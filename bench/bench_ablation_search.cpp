@@ -1,0 +1,103 @@
+// Ablation: the two search optimizations of Section 2.2 and the stop-level
+// knob, plus the composition-refinement second phase.
+//
+//   1. binary splitting of large structures ("reduces the amount of
+//      configurations that must be tested when there are a large number of
+//      replaceable sections sprinkled with a few non-replaceable sections");
+//   2. profile-weight prioritisation ("allows the search to rule out large
+//      replacements more quickly and to provide faster preliminary
+//      results");
+//   3. stop level ("the search can also be configured to stop at basic
+//      blocks or functions, allowing for faster convergence with coarser
+//      results").
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "search/search.hpp"
+
+namespace {
+
+using namespace fpmix;
+
+struct Cfg {
+  const char* label;
+  search::SearchOptions opts;
+};
+
+void run_table(const kernels::Workload& w, const std::vector<Cfg>& cfgs) {
+  std::printf("\n%s (%s):\n", w.name.c_str(), "candidates/tested/static/"
+              "dynamic/final/time");
+  for (const Cfg& c : cfgs) {
+    const program::Image img = kernels::build_image(w);
+    auto ix = config::StructureIndex::build(program::lift(img));
+    const auto verifier = kernels::make_verifier(w, img);
+    Timer t;
+    const search::SearchResult r =
+        search::run_search(img, &ix, *verifier, c.opts);
+    std::printf("  %-28s %5zu %6zu %7.1f%% %7.1f%% %5s  %6.2fs", c.label,
+                r.candidates, r.configs_tested, r.stats.static_pct,
+                r.stats.dynamic_pct, r.final_passed ? "pass" : "fail",
+                t.elapsed_seconds());
+    if (r.refined) {
+      std::printf("  [refined: %.1f%% static, %.1f%% dynamic, verified]",
+                  r.refined_stats.static_pct, r.refined_stats.dynamic_pct);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Search ablations (DESIGN.md section 5, items 1/2/5)\n");
+
+  std::vector<Cfg> cfgs;
+  {
+    Cfg c;
+    c.label = "baseline (paper defaults)";
+    c.opts.keep_log = false;
+    cfgs.push_back(c);
+  }
+  {
+    Cfg c;
+    c.label = "no binary split";
+    c.opts.keep_log = false;
+    c.opts.binary_split = false;
+    cfgs.push_back(c);
+  }
+  {
+    Cfg c;
+    c.label = "no profile prioritisation";
+    c.opts.keep_log = false;
+    c.opts.prioritize_by_profile = false;
+    cfgs.push_back(c);
+  }
+  {
+    Cfg c;
+    c.label = "stop at functions";
+    c.opts.keep_log = false;
+    c.opts.stop_level = search::StopLevel::kFunction;
+    cfgs.push_back(c);
+  }
+  {
+    Cfg c;
+    c.label = "stop at blocks";
+    c.opts.keep_log = false;
+    c.opts.stop_level = search::StopLevel::kBlock;
+    cfgs.push_back(c);
+  }
+  {
+    Cfg c;
+    c.label = "with composition refinement";
+    c.opts.keep_log = false;
+    c.opts.refine_composition = true;
+    cfgs.push_back(c);
+  }
+
+  run_table(kernels::make_ep('W'), cfgs);
+  run_table(kernels::make_mg('W'), cfgs);
+  run_table(kernels::make_ft('W'), cfgs);
+  run_table(kernels::make_superlu(2.5e-5), cfgs);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Shared helpers for the experiment harnesses (one binary per paper
+// table/figure; see DESIGN.md section 4 for the experiment index).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "config/config.hpp"
+#include "instrument/patch.hpp"
+#include "kernels/workload.hpp"
+#include "program/layout.hpp"
+#include "program/program.hpp"
+#include "support/timer.hpp"
+#include "vm/machine.hpp"
+
+namespace fpmix::bench {
+
+struct TimedRun {
+  double seconds = 0;
+  std::uint64_t instructions = 0;
+  std::vector<double> outputs;
+  bool ok = false;
+  std::string error;
+};
+
+/// Runs an image on one rank, timed.
+inline TimedRun run_timed(const program::Image& img,
+                          vm::MiniMpi* mpi = nullptr, int rank = 0) {
+  vm::Machine::Options opts;
+  opts.mpi = mpi;
+  opts.rank = rank;
+  vm::Machine m(img, opts);
+  Timer t;
+  const vm::RunResult r = m.run();
+  TimedRun out;
+  out.seconds = t.elapsed_seconds();
+  out.instructions = m.instructions_retired();
+  out.outputs = m.output_f64();
+  out.ok = r.ok();
+  out.error = r.trap_message;
+  return out;
+}
+
+/// Runs an image on `ranks` ranks (std::thread per rank); returns total
+/// wall time and the summed retired instructions.
+inline TimedRun run_timed_mpi(const program::Image& img, int ranks) {
+  vm::MiniMpi mpi(ranks);
+  std::vector<std::unique_ptr<vm::Machine>> machines;
+  for (int r = 0; r < ranks; ++r) {
+    vm::Machine::Options opts;
+    opts.mpi = &mpi;
+    opts.rank = r;
+    machines.push_back(std::make_unique<vm::Machine>(img, opts));
+  }
+  std::vector<std::thread> threads;
+  std::vector<vm::RunResult> results(static_cast<std::size_t>(ranks));
+  Timer t;
+  for (int r = 0; r < ranks; ++r) {
+    threads.emplace_back([&, r] {
+      results[static_cast<std::size_t>(r)] =
+          machines[static_cast<std::size_t>(r)]->run();
+    });
+  }
+  for (auto& th : threads) th.join();
+  TimedRun out;
+  out.seconds = t.elapsed_seconds();
+  out.ok = true;
+  for (int r = 0; r < ranks; ++r) {
+    out.instructions +=
+        machines[static_cast<std::size_t>(r)]->instructions_retired();
+    if (!results[static_cast<std::size_t>(r)].ok()) {
+      out.ok = false;
+      out.error = results[static_cast<std::size_t>(r)].trap_message;
+    }
+  }
+  out.outputs = machines[0]->output_f64();
+  return out;
+}
+
+/// All-double instrumented image (the Figure 8/9 overhead configuration:
+/// every FP instruction wrapped, nothing narrowed).
+inline program::Image all_double_instrumented(const program::Image& img) {
+  const auto ix = config::StructureIndex::build(program::lift(img));
+  return instrument::instrument_image(img, ix, config::PrecisionConfig{});
+}
+
+inline void print_rule(int width = 72) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace fpmix::bench

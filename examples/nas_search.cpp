@@ -1,0 +1,95 @@
+// The paper's NAS experiment as a command-line tool: run the automatic
+// mixed-precision search on one benchmark analogue and write the
+// recommended configuration file.
+//
+// Usage:  nas_search <ep|cg|ft|mg|bt|lu|sp|amg> [S|W|A|C] [--trace]
+//                    [--refine] [--out FILE]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "config/textio.hpp"
+#include "kernels/workload.hpp"
+#include "program/program.hpp"
+#include "search/search.hpp"
+#include "support/timer.hpp"
+
+using namespace fpmix;
+
+int main(int argc, char** argv) {
+  std::string bench = argc > 1 ? argv[1] : "ep";
+  char cls = 'W';
+  bool trace = false;
+  bool refine = false;
+  std::string out_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace") trace = true;
+    else if (arg == "--refine") refine = true;
+    else if (arg == "--out" && i + 1 < argc) out_path = argv[++i];
+    else if (arg.size() == 1) cls = arg[0];
+  }
+
+  kernels::Workload w;
+  if (bench == "ep") w = kernels::make_ep(cls);
+  else if (bench == "cg") w = kernels::make_cg(cls);
+  else if (bench == "ft") w = kernels::make_ft(cls);
+  else if (bench == "mg") w = kernels::make_mg(cls);
+  else if (bench == "bt") w = kernels::make_bt(cls);
+  else if (bench == "lu") w = kernels::make_lu(cls);
+  else if (bench == "sp") w = kernels::make_sp(cls);
+  else if (bench == "amg") w = kernels::make_amg();
+  else {
+    std::fprintf(stderr, "unknown benchmark '%s'\n", bench.c_str());
+    return 2;
+  }
+
+  std::printf("searching %s ...\n", w.name.c_str());
+  const program::Image img = kernels::build_image(w);
+  auto index = config::StructureIndex::build(program::lift(img));
+  const auto verifier = kernels::make_verifier(w, img);
+
+  search::SearchOptions opts;
+  opts.keep_log = true;
+  opts.refine_composition = refine;
+  Timer t;
+  const search::SearchResult res =
+      search::run_search(img, &index, *verifier, opts);
+
+  if (trace) {
+    std::printf("\n-- search trace --\n");
+    for (const auto& rec : res.trace) {
+      std::printf("  %-40s %4zu cand  %s%s%s\n", rec.unit.c_str(),
+                  rec.candidates, rec.passed ? "PASS" : "fail",
+                  rec.failure.empty() ? "" : ": ",
+                  rec.failure.c_str());
+    }
+  }
+
+  std::printf("\n%s: %zu candidates, %zu configurations tested in %.1fs\n",
+              w.name.c_str(), res.candidates, res.configs_tested,
+              t.elapsed_seconds());
+  std::printf("final configuration: %.1f%% static / %.1f%% dynamic "
+              "replacement, composition %s\n",
+              res.stats.static_pct, res.stats.dynamic_pct,
+              res.final_passed ? "PASSES" : "FAILS");
+  if (res.refined) {
+    std::printf("refined composition: %.1f%% static / %.1f%% dynamic, "
+                "verified passing\n",
+                res.refined_stats.static_pct, res.refined_stats.dynamic_pct);
+  }
+
+  const config::PrecisionConfig& best =
+      (res.refined && !res.final_passed) ? res.refined_config
+                                         : res.final_config;
+  const std::string text = config::to_text(index, best);
+  if (!out_path.empty()) {
+    std::ofstream f(out_path);
+    f << text;
+    std::printf("configuration written to %s\n", out_path.c_str());
+  } else {
+    std::printf("\n%s", text.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Quickstart: the whole fpmix pipeline on a small program.
+//
+//   1. Write a double-precision program in the kernel mini-language and
+//      compile it to a virtual binary (stands in for "an existing binary").
+//   2. Lift the binary, enumerate its structure and candidate set.
+//   3. Hand-build a mixed-precision configuration, patch the binary and run
+//      it -- no source changes involved.
+//   4. Let the automatic breadth-first search find the best configuration,
+//      and print it in the Figure-3 exchange format.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "config/textio.hpp"
+#include "instrument/patch.hpp"
+#include "lang/builder.hpp"
+#include "lang/compile.hpp"
+#include "program/layout.hpp"
+#include "program/program.hpp"
+#include "search/search.hpp"
+#include "verify/evaluate.hpp"
+#include "vm/machine.hpp"
+
+using namespace fpmix;
+
+namespace {
+
+// A toy "simulation": a forward sweep that tolerates single precision and a
+// compensated reduction that does not.
+lang::ProgramModel build_demo() {
+  lang::Builder b;
+  auto cells = b.array_f64("cells", 256);
+  auto total = b.var_f64("total");
+  auto carry = b.var_f64("carry");
+
+  b.begin_func("relax", "physics");
+  {
+    auto i = b.var_i64("rx_i");
+    b.for_(i, b.ci(1), b.ci(255), [&] {
+      b.store(cells, lang::Expr(i),
+              (cells[lang::Expr(i) - b.ci(1)] + cells[lang::Expr(i)] +
+               cells[lang::Expr(i) + b.ci(1)]) /
+                  b.cf(3.0));
+    });
+  }
+  b.end_func();
+
+  b.begin_func("reduce", "diagnostics");
+  {
+    // Kahan summation: numerically delicate on purpose.
+    auto i = b.var_i64("rd_i");
+    auto y = b.var_f64("rd_y");
+    auto t = b.var_f64("rd_t");
+    b.set(total, b.cf(0.0));
+    b.set(carry, b.cf(0.0));
+    b.for_(i, b.ci(0), b.ci(256), [&] {
+      b.set(y, cells[lang::Expr(i)] - lang::Expr(carry));
+      b.set(t, lang::Expr(total) + lang::Expr(y));
+      b.set(carry, (lang::Expr(t) - lang::Expr(total)) - lang::Expr(y));
+      b.set(total, t);
+    });
+  }
+  b.end_func();
+
+  b.begin_func("main", "driver");
+  {
+    auto i = b.var_i64("mn_i");
+    auto s = b.var_i64("mn_s");
+    b.for_(i, b.ci(0), b.ci(256), [&] {
+      b.store(cells, lang::Expr(i),
+              sin_(to_f64(i) * b.cf(0.1)) + b.cf(1.0e-7) * to_f64(i));
+    });
+    b.for_(s, b.ci(0), b.ci(20), [&] { b.call("relax"); });
+    b.call("reduce");
+    b.output(total);
+  }
+  b.end_func();
+  return b.take_model();
+}
+
+}  // namespace
+
+int main() {
+  // -- 1. The "existing binary" --------------------------------------------
+  const program::Image binary =
+      program::relayout(lang::compile(build_demo(), lang::Mode::kDouble));
+  std::printf("binary: %zu code bytes, %zu functions\n", binary.code.size(),
+              binary.symbols.size());
+
+  vm::Machine original(binary);
+  if (!original.run().ok()) return 1;
+  const double reference = original.output_f64().at(0);
+  std::printf("double-precision result: %.15g (%llu instructions)\n\n",
+              reference,
+              static_cast<unsigned long long>(
+                  original.instructions_retired()));
+
+  // -- 2. Static analysis ----------------------------------------------------
+  auto index = config::StructureIndex::build(program::lift(binary));
+  std::printf("structure: %zu modules, %zu functions, %zu blocks, "
+              "%zu candidate instructions\n\n",
+              index.modules().size(), index.funcs().size(),
+              index.blocks().size(), index.candidates().size());
+
+  // -- 3. A hand-built mixed-precision configuration -------------------------
+  config::PrecisionConfig manual;
+  manual.set_module(index.module_named("physics"),
+                    config::Precision::kSingle);
+  instrument::InstrumentStats stats;
+  const program::Image patched =
+      instrument::instrument_image(binary, index, manual, &stats);
+  vm::Machine mixed(patched);
+  if (!mixed.run().ok()) return 1;
+  std::printf("physics module narrowed to single: result %.15g "
+              "(|delta| = %.3g), %zu instructions wrapped, %zu narrowed\n\n",
+              mixed.output_f64().at(0),
+              std::abs(mixed.output_f64().at(0) - reference), stats.wrapped,
+              stats.replaced_single);
+
+  // -- 4. Automatic search ----------------------------------------------------
+  verify::RelativeErrorVerifier verifier({reference}, 1e-7);
+  search::SearchOptions opts;
+  const search::SearchResult result =
+      search::run_search(binary, &index, verifier, opts);
+  std::printf("search: %zu configurations tested; final configuration "
+              "replaces %.1f%% of candidates (%.1f%% of executions), "
+              "composition %s\n\n",
+              result.configs_tested, result.stats.static_pct,
+              result.stats.dynamic_pct,
+              result.final_passed ? "passes" : "fails");
+
+  std::printf("---- recommended configuration (Figure 3 format) ----\n%s",
+              config::to_text(index, result.final_config).c_str());
+  return 0;
+}

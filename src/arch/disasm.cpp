@@ -1,0 +1,97 @@
+#include "arch/disasm.hpp"
+
+#include "arch/intrinsics.hpp"
+#include "support/strings.hpp"
+
+namespace fpmix::arch {
+namespace {
+
+std::string reg_name(std::uint8_t r, bool xmm) {
+  if (xmm) return strformat("xmm%u", r);
+  if (r == kSpReg) return "sp";
+  return strformat("r%u", r);
+}
+
+bool src_is_xmm_file(Opcode op) {
+  // Opcodes whose register *src* operand lives in the XMM file.
+  switch (op) {
+    case Opcode::kMovqRX:
+    case Opcode::kCvttsd2si:
+    case Opcode::kCvttss2si:
+      return true;
+    default:
+      // xmm,xmm arithmetic and moves have xmm dst too; handled by caller
+      // passing dst kind.
+      return false;
+  }
+}
+
+}  // namespace
+
+std::string operand_to_string(const Operand& op, bool is_xmm_reg) {
+  switch (op.kind) {
+    case OperandKind::kNone:
+      return "";
+    case OperandKind::kGpr:
+      return reg_name(op.reg, false);
+    case OperandKind::kXmm:
+      return reg_name(op.reg, true);
+    case OperandKind::kImm:
+      if (op.imm >= 0 && op.imm < 4096) return strformat("%lld",
+          static_cast<long long>(op.imm));
+      return strformat("0x%llx", static_cast<unsigned long long>(op.imm));
+    case OperandKind::kMem: {
+      std::string s = "[";
+      bool first = true;
+      if (op.mem.base != kNoReg) {
+        s += reg_name(op.mem.base, false);
+        first = false;
+      }
+      if (op.mem.index != kNoReg) {
+        if (!first) s += "+";
+        s += reg_name(op.mem.index, false);
+        if (op.mem.scale != 1) s += strformat("*%u", op.mem.scale);
+        first = false;
+      }
+      if (op.mem.disp != 0 || first) {
+        if (!first && op.mem.disp >= 0) s += "+";
+        s += strformat("%d", op.mem.disp);
+      }
+      s += "]";
+      return s;
+    }
+  }
+  return "";
+  (void)is_xmm_reg;
+}
+
+std::string instr_to_string(const Instr& ins) {
+  const OpcodeInfo& info = opcode_info(ins.op);
+  std::string s = info.name;
+  if (ins.op == Opcode::kIntrin) {
+    const auto id = static_cast<intrinsics::Id>(ins.src.imm);
+    if (id < intrinsics::Id::kNumIntrinsics) {
+      return s + " " + intrinsics::intrin_name(id);
+    }
+    return s + strformat(" #%lld", static_cast<long long>(ins.src.imm));
+  }
+  if (info.is_branch || info.is_call) {
+    return s + strformat(" 0x%llx",
+                         static_cast<unsigned long long>(ins.src.imm));
+  }
+  const std::string d = operand_to_string(ins.dst, ins.dst.is_xmm());
+  const std::string r =
+      operand_to_string(ins.src, ins.src.is_xmm() || src_is_xmm_file(ins.op));
+  if (!d.empty() && !r.empty()) return s + " " + d + ", " + r;
+  if (!d.empty()) return s + " " + d;
+  if (!r.empty()) return s + " " + r;
+  return s;
+}
+
+std::string instr_to_config_string(const Instr& ins) {
+  return strformat("0x%llx \"%s\"",
+                   static_cast<unsigned long long>(ins.addr),
+                   instr_to_string(ins).c_str());
+}
+
+}  // namespace fpmix::arch

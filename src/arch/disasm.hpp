@@ -1,0 +1,20 @@
+// Textual disassembly, used by the config explorer, the Figure-3 style
+// configuration files, and error messages.
+#pragma once
+
+#include <string>
+
+#include "arch/instr.hpp"
+
+namespace fpmix::arch {
+
+/// One operand, AT&T-free flat syntax: r3, xmm5, 42, [r1+r2*8+16].
+std::string operand_to_string(const Operand& op, bool is_xmm_reg);
+
+/// Whole instruction, e.g. "addsd xmm0, xmm1" or "jne 0x4002f1".
+std::string instr_to_string(const Instr& ins);
+
+/// "0x6f45ce \"addsd xmm0, xmm1\"" -- the form used in configuration files.
+std::string instr_to_config_string(const Instr& ins);
+
+}  // namespace fpmix::arch

@@ -1,0 +1,310 @@
+#include "arch/encode.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace fpmix::arch {
+namespace {
+
+std::uint32_t operand_size(const Operand& op) {
+  switch (op.kind) {
+    case OperandKind::kNone: return 0;
+    case OperandKind::kGpr:
+    case OperandKind::kXmm: return 1;
+    case OperandKind::kImm: return 8;
+    case OperandKind::kMem: return 7;
+  }
+  return 0;
+}
+
+// Allowed operand-form table. Forms are pairs (dst kind, src kind).
+struct Form {
+  OperandKind dst;
+  OperandKind src;
+};
+
+constexpr OperandKind N = OperandKind::kNone;
+constexpr OperandKind G = OperandKind::kGpr;
+constexpr OperandKind X = OperandKind::kXmm;
+constexpr OperandKind I = OperandKind::kImm;
+constexpr OperandKind M = OperandKind::kMem;
+
+bool form_allowed(Opcode op, OperandKind d, OperandKind s) {
+  const auto any = [&](std::initializer_list<Form> forms) {
+    for (const Form& f : forms) {
+      if (f.dst == d && f.src == s) return true;
+    }
+    return false;
+  };
+  switch (op) {
+    case Opcode::kNop:
+    case Opcode::kHalt:
+    case Opcode::kRet:
+      return any({{N, N}});
+    case Opcode::kJmp:
+    case Opcode::kJe:
+    case Opcode::kJne:
+    case Opcode::kJl:
+    case Opcode::kJle:
+    case Opcode::kJg:
+    case Opcode::kJge:
+    case Opcode::kJb:
+    case Opcode::kJbe:
+    case Opcode::kJa:
+    case Opcode::kJae:
+    case Opcode::kCall:
+    case Opcode::kIntrin:
+      return any({{N, I}});
+    case Opcode::kMov:
+      return any({{G, G}, {G, I}});
+    case Opcode::kLoad:
+      return any({{G, M}});
+    case Opcode::kStore:
+      return any({{M, G}});
+    case Opcode::kLea:
+      return any({{G, M}});
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kImul:
+    case Opcode::kIdiv:
+    case Opcode::kIrem:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kSar:
+    case Opcode::kCmp:
+    case Opcode::kTest:
+      return any({{G, G}, {G, I}});
+    case Opcode::kPush:
+      return any({{G, N}});
+    case Opcode::kPop:
+      return any({{G, N}});
+    case Opcode::kMovqXR:
+      return any({{X, G}});
+    case Opcode::kMovqRX:
+      return any({{G, X}});
+    case Opcode::kMovsdXX:
+    case Opcode::kMovapdXX:
+      return any({{X, X}});
+    case Opcode::kMovsdXM:
+    case Opcode::kMovssXM:
+    case Opcode::kMovapdXM:
+      return any({{X, M}});
+    case Opcode::kMovsdMX:
+    case Opcode::kMovssMX:
+    case Opcode::kMovapdMX:
+      return any({{M, X}});
+    case Opcode::kPushX:
+    case Opcode::kPopX:
+      return any({{X, N}});
+    // Scalar & packed FP arithmetic: xmm,xmm or xmm,[mem] (as x86 SSE).
+    case Opcode::kAddsd:
+    case Opcode::kSubsd:
+    case Opcode::kMulsd:
+    case Opcode::kDivsd:
+    case Opcode::kSqrtsd:
+    case Opcode::kMinsd:
+    case Opcode::kMaxsd:
+    case Opcode::kUcomisd:
+    case Opcode::kCvtsd2ss:
+    case Opcode::kCvtss2sd:
+    case Opcode::kAddss:
+    case Opcode::kSubss:
+    case Opcode::kMulss:
+    case Opcode::kDivss:
+    case Opcode::kSqrtss:
+    case Opcode::kMinss:
+    case Opcode::kMaxss:
+    case Opcode::kUcomiss:
+    case Opcode::kAddpd:
+    case Opcode::kSubpd:
+    case Opcode::kMulpd:
+    case Opcode::kDivpd:
+    case Opcode::kSqrtpd:
+    case Opcode::kAddps:
+    case Opcode::kSubps:
+    case Opcode::kMulps:
+    case Opcode::kDivps:
+    case Opcode::kSqrtps:
+    case Opcode::kAndpd:
+    case Opcode::kOrpd:
+    case Opcode::kXorpd:
+      return any({{X, X}, {X, M}});
+    case Opcode::kCvtsi2sd:
+    case Opcode::kCvtsi2ss:
+      return any({{X, G}});
+    case Opcode::kCvttsd2si:
+    case Opcode::kCvttss2si:
+      return any({{G, X}});
+    default:
+      return false;
+  }
+}
+
+void put_u32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  out->push_back(static_cast<std::uint8_t>(v));
+  out->push_back(static_cast<std::uint8_t>(v >> 8));
+  out->push_back(static_cast<std::uint8_t>(v >> 16));
+  out->push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void encode_operand(const Operand& op, std::vector<std::uint8_t>* out) {
+  switch (op.kind) {
+    case OperandKind::kNone:
+      break;
+    case OperandKind::kGpr:
+    case OperandKind::kXmm:
+      out->push_back(op.reg);
+      break;
+    case OperandKind::kImm:
+      put_u64(out, static_cast<std::uint64_t>(op.imm));
+      break;
+    case OperandKind::kMem:
+      out->push_back(op.mem.base);
+      out->push_back(op.mem.index);
+      out->push_back(op.mem.scale);
+      put_u32(out, static_cast<std::uint32_t>(op.mem.disp));
+      break;
+  }
+}
+
+std::uint32_t decode_operand(std::span<const std::uint8_t> bytes,
+                             std::size_t offset, OperandKind kind,
+                             Operand* out) {
+  const auto need = [&](std::size_t n) {
+    if (offset + n > bytes.size()) {
+      throw DecodeError(strformat("truncated operand at offset %zu", offset));
+    }
+  };
+  out->kind = kind;
+  switch (kind) {
+    case OperandKind::kNone:
+      return 0;
+    case OperandKind::kGpr:
+    case OperandKind::kXmm: {
+      need(1);
+      out->reg = bytes[offset];
+      if (out->reg >= kNumGprs) {
+        throw DecodeError(strformat("register %u out of range", out->reg));
+      }
+      return 1;
+    }
+    case OperandKind::kImm: {
+      need(8);
+      std::uint64_t v = 0;
+      for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(bytes[offset + i]) << (8 * i);
+      }
+      out->imm = static_cast<std::int64_t>(v);
+      return 8;
+    }
+    case OperandKind::kMem: {
+      need(7);
+      out->mem.base = bytes[offset];
+      out->mem.index = bytes[offset + 1];
+      out->mem.scale = bytes[offset + 2];
+      std::uint32_t d = 0;
+      for (int i = 0; i < 4; ++i) {
+        d |= static_cast<std::uint32_t>(bytes[offset + 3 + i]) << (8 * i);
+      }
+      out->mem.disp = static_cast<std::int32_t>(d);
+      if (out->mem.base != kNoReg && out->mem.base >= kNumGprs) {
+        throw DecodeError("mem base register out of range");
+      }
+      if (out->mem.index != kNoReg && out->mem.index >= kNumGprs) {
+        throw DecodeError("mem index register out of range");
+      }
+      if (out->mem.scale != 1 && out->mem.scale != 2 && out->mem.scale != 4 &&
+          out->mem.scale != 8) {
+        throw DecodeError("mem scale must be 1/2/4/8");
+      }
+      return 7;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::uint32_t encoded_size(const Instr& ins) {
+  return 2 + operand_size(ins.dst) + operand_size(ins.src);
+}
+
+void validate(const Instr& ins) {
+  if (ins.op >= Opcode::kNumOpcodes) {
+    throw DecodeError("invalid opcode value");
+  }
+  if (!form_allowed(ins.op, ins.dst.kind, ins.src.kind)) {
+    throw DecodeError(strformat(
+        "illegal operand form for %s: dst kind %d, src kind %d",
+        opcode_name(ins.op), static_cast<int>(ins.dst.kind),
+        static_cast<int>(ins.src.kind)));
+  }
+  const auto check_reg = [](const Operand& o) {
+    if ((o.is_gpr() || o.is_xmm()) && o.reg >= kNumGprs) {
+      throw DecodeError("register number out of range");
+    }
+  };
+  check_reg(ins.dst);
+  check_reg(ins.src);
+}
+
+void encode(const Instr& ins, std::vector<std::uint8_t>* out) {
+  validate(ins);
+  out->push_back(static_cast<std::uint8_t>(ins.op));
+  out->push_back(static_cast<std::uint8_t>(
+      (static_cast<unsigned>(ins.dst.kind) << 4) |
+      static_cast<unsigned>(ins.src.kind)));
+  encode_operand(ins.dst, out);
+  encode_operand(ins.src, out);
+}
+
+std::uint32_t decode(std::span<const std::uint8_t> bytes, std::size_t offset,
+                     std::uint64_t image_base, Instr* out) {
+  if (offset + 2 > bytes.size()) {
+    throw DecodeError(strformat("truncated instruction at offset %zu", offset));
+  }
+  const std::uint8_t opbyte = bytes[offset];
+  if (opbyte >= static_cast<std::uint8_t>(Opcode::kNumOpcodes)) {
+    throw DecodeError(strformat("unknown opcode byte 0x%02x at offset %zu",
+                                opbyte, offset));
+  }
+  const std::uint8_t formbyte = bytes[offset + 1];
+  const auto dk = static_cast<OperandKind>(formbyte >> 4);
+  const auto sk = static_cast<OperandKind>(formbyte & 0x0F);
+  if (static_cast<unsigned>(dk) > 4 || static_cast<unsigned>(sk) > 4) {
+    throw DecodeError("invalid operand form byte");
+  }
+  Instr ins;
+  ins.op = static_cast<Opcode>(opbyte);
+  std::size_t pos = offset + 2;
+  pos += decode_operand(bytes, pos, dk, &ins.dst);
+  pos += decode_operand(bytes, pos, sk, &ins.src);
+  validate(ins);
+  ins.addr = image_base + offset;
+  ins.size = static_cast<std::uint32_t>(pos - offset);
+  ins.origin = ins.addr;
+  *out = ins;
+  return ins.size;
+}
+
+std::vector<Instr> decode_all(std::span<const std::uint8_t> bytes,
+                              std::uint64_t image_base) {
+  std::vector<Instr> out;
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    Instr ins;
+    offset += decode(bytes, offset, image_base, &ins);
+    out.push_back(ins);
+  }
+  return out;
+}
+
+}  // namespace fpmix::arch

@@ -1,0 +1,44 @@
+// Binary encoding of the virtual ISA (the role XED plays in the paper).
+//
+// Layout of an encoded instruction:
+//   byte 0          opcode
+//   byte 1          operand form: (dst kind << 4) | src kind
+//   dst fields      kGpr/kXmm: 1 reg byte
+//                   kImm:      8 bytes little-endian
+//                   kMem:      base, index, scale, disp (4 bytes LE signed)
+//   src fields      same scheme
+//
+// Instructions are variable length (2..16 bytes), so -- exactly as with x86
+// -- an image cannot be patched by overwriting bytes in place; the
+// instrumenter must split basic blocks and relocate code (Section 2.4).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/instr.hpp"
+
+namespace fpmix::arch {
+
+/// Returns the encoded size of `ins` in bytes.
+std::uint32_t encoded_size(const Instr& ins);
+
+/// Validates the operand form against the opcode's allowed forms.
+/// Throws DecodeError on an illegal combination.
+void validate(const Instr& ins);
+
+/// Appends the encoding of `ins` to `out`. Throws DecodeError if invalid.
+void encode(const Instr& ins, std::vector<std::uint8_t>* out);
+
+/// Decodes one instruction starting at `bytes[offset]`. On success fills
+/// `*out` (with addr = image_base + offset and size set) and returns the
+/// number of bytes consumed. Throws DecodeError on malformed input.
+std::uint32_t decode(std::span<const std::uint8_t> bytes, std::size_t offset,
+                     std::uint64_t image_base, Instr* out);
+
+/// Decodes an entire code region into a flat instruction list.
+std::vector<Instr> decode_all(std::span<const std::uint8_t> bytes,
+                              std::uint64_t image_base);
+
+}  // namespace fpmix::arch

@@ -1,0 +1,46 @@
+// A decoded instruction.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/opcode.hpp"
+#include "arch/operand.hpp"
+
+namespace fpmix::arch {
+
+/// Sentinel for "no address yet" (instructions built by the assembler or the
+/// snippet compiler before layout).
+inline constexpr std::uint64_t kNoAddr = ~0ull;
+
+struct Instr {
+  Opcode op = Opcode::kNop;
+  Operand dst;  // first operand; read and/or written depending on opcode
+  Operand src;  // second operand; immediates, branch targets, intrinsic ids
+
+  // Filled by the decoder / layout engine:
+  std::uint64_t addr = kNoAddr;  // address of first byte in its image
+  std::uint32_t size = 0;        // encoded size in bytes
+
+  // Provenance: address of the *original* program instruction this one
+  // derives from. For instructions of an unmodified image this equals
+  // `addr`; for snippet instructions inserted by the instrumenter it is the
+  // address of the replaced original instruction, so profiles of patched
+  // programs can be mapped back onto the original binary (the dynamic
+  // replacement percentages of Figure 10 rely on this).
+  std::uint64_t origin = kNoAddr;
+
+  friend bool operator==(const Instr& a, const Instr& b) {
+    return a.op == b.op && a.dst == b.dst && a.src == b.src;
+  }
+};
+
+/// Convenience builders (addresses filled in later by layout).
+inline Instr make0(Opcode op) { return Instr{op, {}, {}, kNoAddr, 0, kNoAddr}; }
+inline Instr make1(Opcode op, Operand dst) {
+  return Instr{op, dst, {}, kNoAddr, 0, kNoAddr};
+}
+inline Instr make2(Opcode op, Operand dst, Operand src) {
+  return Instr{op, dst, src, kNoAddr, 0, kNoAddr};
+}
+
+}  // namespace fpmix::arch

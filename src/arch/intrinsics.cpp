@@ -1,0 +1,63 @@
+#include "arch/intrinsics.hpp"
+
+#include "support/error.hpp"
+
+namespace fpmix::arch::intrinsics {
+namespace {
+
+constexpr IntrinInfo kInfo[] = {
+    // name            f64args  f64res  f32 twin
+    {"sin",            1,       true,   Id::kSinF32},
+    {"cos",            1,       true,   Id::kCosF32},
+    {"tan",            1,       true,   Id::kTanF32},
+    {"exp",            1,       true,   Id::kExpF32},
+    {"log",            1,       true,   Id::kLogF32},
+    {"pow",            2,       true,   Id::kPowF32},
+    {"floor",          1,       true,   Id::kFloorF32},
+    {"ceil",           1,       true,   Id::kCeilF32},
+    {"fabs",           1,       true,   Id::kFabsF32},
+    {"sinf",           0,       false,  Id::kSinF32},
+    {"cosf",           0,       false,  Id::kCosF32},
+    {"tanf",           0,       false,  Id::kTanF32},
+    {"expf",           0,       false,  Id::kExpF32},
+    {"logf",           0,       false,  Id::kLogF32},
+    {"powf",           0,       false,  Id::kPowF32},
+    {"floorf",         0,       false,  Id::kFloorF32},
+    {"ceilf",          0,       false,  Id::kCeilF32},
+    {"fabsf",          0,       false,  Id::kFabsF32},
+    {"output_f64",     1,       false,  Id::kOutputF64},
+    {"output_i64",     0,       false,  Id::kOutputI64},
+    {"print_f64",      1,       false,  Id::kPrintF64},
+    {"print_i64",      0,       false,  Id::kPrintI64},
+    {"print_str",      0,       false,  Id::kPrintStr},
+    {"mpi_rank",       0,       false,  Id::kMpiRank},
+    {"mpi_size",       0,       false,  Id::kMpiSize},
+    {"mpi_barrier",    0,       false,  Id::kMpiBarrier},
+    {"mpi_allreduce",  1,       true,   Id::kMpiAllreduceSum},
+    {"mpi_allreduce_max", 1,    true,   Id::kMpiAllreduceMax},
+    {"mpi_allreduce_vec", 0,    false,  Id::kMpiAllreduceVec},
+};
+
+static_assert(sizeof(kInfo) / sizeof(kInfo[0]) ==
+                  static_cast<std::size_t>(Id::kNumIntrinsics),
+              "every intrinsic must have an IntrinInfo row");
+
+}  // namespace
+
+const IntrinInfo& intrin_info(Id id) {
+  FPMIX_CHECK(id < Id::kNumIntrinsics);
+  return kInfo[static_cast<std::size_t>(id)];
+}
+
+const char* intrin_name(Id id) { return intrin_info(id).name; }
+
+bool intrin_touches_fp(Id id) {
+  const IntrinInfo& info = intrin_info(id);
+  return info.num_f64_args > 0 || info.has_f64_result;
+}
+
+bool intrin_has_f32_twin(Id id) {
+  return intrin_info(id).f32_twin != id && intrin_info(id).num_f64_args > 0;
+}
+
+}  // namespace fpmix::arch::intrinsics

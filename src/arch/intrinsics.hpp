@@ -1,0 +1,84 @@
+// Intrinsic calls: the VM's model of library routines and system services.
+//
+// Real binaries call libm / MPI / libc; our virtual programs invoke the same
+// services through the `intrin` instruction. The instrumenter treats FP
+// intrinsics like the paper treats calls into uninstrumented libraries: the
+// arguments must be untagged (upcast) before the call, and -- when the
+// enclosing code region is mapped to single precision -- a single-precision
+// variant is substituted (Section 2.5 discusses exactly this special
+// handling for transcendental functions).
+//
+// ABI: f64 arguments in xmm0 (and xmm1), f64 result in xmm0; integer
+// arguments in r1..r3, integer result in r0. F32 variants use the low 32
+// bits of the same registers. Every F32 variant computes
+//   (f32) f((f64) x)
+// i.e. the double-precision function applied to the widened argument and
+// rounded once -- which makes an all-single instrumented run bit-identical
+// to a manually converted single-precision build (Section 3.1).
+#pragma once
+
+#include <cstdint>
+
+namespace fpmix::arch::intrinsics {
+
+enum class Id : std::uint16_t {
+  // Math, f64 flavour: xmm0 (, xmm1) -> xmm0.
+  kSin = 0,
+  kCos,
+  kTan,
+  kExp,
+  kLog,
+  kPow,   // xmm0 ^ xmm1
+  kFloor,
+  kCeil,
+  kFabs,
+  // Math, f32 flavour (twins of the above, in the same order).
+  kSinF32,
+  kCosF32,
+  kTanF32,
+  kExpF32,
+  kLogF32,
+  kPowF32,
+  kFloorF32,
+  kCeilF32,
+  kFabsF32,
+
+  // Output channel: appends a value to the VM's output vector. These are the
+  // values the verification routine inspects.
+  kOutputF64,  // xmm0
+  kOutputI64,  // r1
+
+  // Console printing (examples / debugging).
+  kPrintF64,   // xmm0
+  kPrintI64,   // r1
+  kPrintStr,   // r1 = address, r2 = length
+
+  // Mini-MPI (Figure 8). No-ops in a single-rank VM.
+  kMpiRank,          // r0 <- rank
+  kMpiSize,          // r0 <- number of ranks
+  kMpiBarrier,
+  kMpiAllreduceSum,  // xmm0 <- sum of xmm0 across ranks
+  kMpiAllreduceMax,  // xmm0 <- max of xmm0 across ranks
+  kMpiAllreduceVec,  // r1 = address, r2 = count: elementwise sum in place
+
+  kNumIntrinsics,
+};
+
+struct IntrinInfo {
+  const char* name;
+  std::uint8_t num_f64_args;  // consumed from xmm0..xmm1 (f64 flavour)
+  bool has_f64_result;        // produces xmm0 (f64 flavour)
+  Id f32_twin;                // same-id when no twin exists
+};
+
+const IntrinInfo& intrin_info(Id id);
+const char* intrin_name(Id id);
+
+/// True when the intrinsic consumes or produces floating-point values and
+/// therefore participates in tag discipline.
+bool intrin_touches_fp(Id id);
+
+/// True when a single-precision variant exists (replacement candidate).
+bool intrin_has_f32_twin(Id id);
+
+}  // namespace fpmix::arch::intrinsics

@@ -1,0 +1,132 @@
+#include "arch/opcode.hpp"
+
+#include "support/error.hpp"
+
+namespace fpmix::arch {
+namespace {
+
+using O = Opcode;
+
+constexpr OpcodeInfo kInfo[] = {
+    // name        br     cond   call   ret    halt   rD     rS     wD     ln  twin
+    {"nop",        false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"halt",       false, false, false, false, true,  false, false, false, 0, O::kNop},
+
+    {"jmp",        true,  false, false, false, false, false, false, false, 0, O::kNop},
+    {"je",         true,  true,  false, false, false, false, false, false, 0, O::kNop},
+    {"jne",        true,  true,  false, false, false, false, false, false, 0, O::kNop},
+    {"jl",         true,  true,  false, false, false, false, false, false, 0, O::kNop},
+    {"jle",        true,  true,  false, false, false, false, false, false, 0, O::kNop},
+    {"jg",         true,  true,  false, false, false, false, false, false, 0, O::kNop},
+    {"jge",        true,  true,  false, false, false, false, false, false, 0, O::kNop},
+    {"jb",         true,  true,  false, false, false, false, false, false, 0, O::kNop},
+    {"jbe",        true,  true,  false, false, false, false, false, false, 0, O::kNop},
+    {"ja",         true,  true,  false, false, false, false, false, false, 0, O::kNop},
+    {"jae",        true,  true,  false, false, false, false, false, false, 0, O::kNop},
+    {"call",       false, false, true,  false, false, false, false, false, 0, O::kNop},
+    {"ret",        false, false, false, true,  false, false, false, false, 0, O::kNop},
+
+    {"mov",        false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"load",       false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"store",      false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"lea",        false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"add",        false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"sub",        false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"imul",       false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"idiv",       false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"irem",       false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"and",        false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"or",         false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"xor",        false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"shl",        false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"shr",        false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"sar",        false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"cmp",        false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"test",       false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"push",       false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"pop",        false, false, false, false, false, false, false, false, 0, O::kNop},
+
+    {"movq_xr",    false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"movq_rx",    false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"movsd_xx",   false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"movsd_xm",   false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"movsd_mx",   false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"movss_xm",   false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"movss_mx",   false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"movapd_xx",  false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"movapd_xm",  false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"movapd_mx",  false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"pushx",      false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"popx",       false, false, false, false, false, false, false, false, 0, O::kNop},
+
+    {"addsd",      false, false, false, false, false, true,  true,  true,  1, O::kAddss},
+    {"subsd",      false, false, false, false, false, true,  true,  true,  1, O::kSubss},
+    {"mulsd",      false, false, false, false, false, true,  true,  true,  1, O::kMulss},
+    {"divsd",      false, false, false, false, false, true,  true,  true,  1, O::kDivss},
+    {"sqrtsd",     false, false, false, false, false, false, true,  true,  1, O::kSqrtss},
+    {"minsd",      false, false, false, false, false, true,  true,  true,  1, O::kMinss},
+    {"maxsd",      false, false, false, false, false, true,  true,  true,  1, O::kMaxss},
+    {"ucomisd",    false, false, false, false, false, true,  true,  false, 1, O::kUcomiss},
+    {"cvtsd2ss",   false, false, false, false, false, false, true,  false, 1, O::kNop},
+    {"cvtss2sd",   false, false, false, false, false, false, false, true,  1, O::kNop},
+    {"cvtsi2sd",   false, false, false, false, false, false, false, true,  1, O::kCvtsi2ss},
+    {"cvttsd2si",  false, false, false, false, false, false, true,  false, 1, O::kCvttss2si},
+
+    {"addss",      false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"subss",      false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"mulss",      false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"divss",      false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"sqrtss",     false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"minss",      false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"maxss",      false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"ucomiss",    false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"cvtsi2ss",   false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"cvttss2si",  false, false, false, false, false, false, false, false, 0, O::kNop},
+
+    {"addpd",      false, false, false, false, false, true,  true,  true,  2, O::kAddps},
+    {"subpd",      false, false, false, false, false, true,  true,  true,  2, O::kSubps},
+    {"mulpd",      false, false, false, false, false, true,  true,  true,  2, O::kMulps},
+    {"divpd",      false, false, false, false, false, true,  true,  true,  2, O::kDivps},
+    {"sqrtpd",     false, false, false, false, false, false, true,  true,  2, O::kSqrtps},
+    {"addps",      false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"subps",      false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"mulps",      false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"divps",      false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"sqrtps",     false, false, false, false, false, false, false, false, 0, O::kNop},
+
+    {"andpd",      false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"orpd",       false, false, false, false, false, false, false, false, 0, O::kNop},
+    {"xorpd",      false, false, false, false, false, false, false, false, 0, O::kNop},
+
+    {"intrin",     false, false, false, false, false, false, false, false, 0, O::kNop},
+};
+
+static_assert(sizeof(kInfo) / sizeof(kInfo[0]) ==
+                  static_cast<std::size_t>(Opcode::kNumOpcodes),
+              "every opcode must have an OpcodeInfo row");
+
+}  // namespace
+
+const OpcodeInfo& opcode_info(Opcode op) {
+  FPMIX_CHECK(op < Opcode::kNumOpcodes);
+  return kInfo[static_cast<std::size_t>(op)];
+}
+
+const char* opcode_name(Opcode op) { return opcode_info(op).name; }
+
+bool is_replacement_candidate(Opcode op) {
+  const OpcodeInfo& info = opcode_info(op);
+  return info.single_twin != Opcode::kNop;
+}
+
+bool touches_f64(Opcode op) {
+  const OpcodeInfo& info = opcode_info(op);
+  return info.reads_dst_f64 || info.reads_src_f64 || info.writes_dst_f64;
+}
+
+bool ends_basic_block(Opcode op) {
+  const OpcodeInfo& info = opcode_info(op);
+  return info.is_branch || info.is_ret || info.is_halt;
+}
+
+}  // namespace fpmix::arch

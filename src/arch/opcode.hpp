@@ -1,0 +1,165 @@
+// The fpmix virtual instruction set.
+//
+// The ISA is deliberately modelled on the subset of x86-64 + SSE2 that the
+// paper's binary-modification framework manipulates: 16 general-purpose
+// 64-bit registers, 16 XMM registers of 128 bits (two 64-bit lanes), scalar
+// and packed IEEE-754 arithmetic, flag-setting compares with conditional
+// branches, and a stack with push/pop/call/ret. Like x86, most arithmetic is
+// two-operand destructive (`addsd a, b` computes `a = a + b`).
+//
+// Deviations from x86 are intentional simplifications that do not affect the
+// mixed-precision mechanics (documented in DESIGN.md): integer divide is a
+// plain two-operand op instead of RDX:RAX, and immediates are always 64-bit.
+#pragma once
+
+#include <cstdint>
+
+namespace fpmix::arch {
+
+enum class Opcode : std::uint8_t {
+  kNop = 0,
+  kHalt,
+
+  // -- Control flow. Branch/call targets are absolute addresses in `src`.
+  kJmp,
+  kJe,
+  kJne,
+  kJl,
+  kJle,
+  kJg,
+  kJge,
+  kJb,
+  kJbe,
+  kJa,
+  kJae,
+  kCall,
+  kRet,
+
+  // -- Integer (GPR) operations.
+  kMov,    // gpr <- gpr|imm
+  kLoad,   // gpr <- [mem], 64-bit
+  kStore,  // [mem] <- gpr, 64-bit
+  kLea,    // gpr <- effective address of mem operand
+  kAdd,    // gpr <- gpr + (gpr|imm)
+  kSub,
+  kImul,
+  kIdiv,   // signed quotient (traps on divide-by-zero)
+  kIrem,   // signed remainder
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kShr,    // logical right shift
+  kSar,    // arithmetic right shift
+  kCmp,    // flags <- compare gpr, (gpr|imm)
+  kTest,   // flags <- gpr & (gpr|imm)
+  kPush,   // push gpr (8 bytes)
+  kPop,
+
+  // -- XMM data movement (bit-preserving; never instrumented -- tagged
+  //    values flow through moves untouched, exactly as on x86).
+  kMovqXR,    // xmm.lane0 <- gpr (64-bit)
+  kMovqRX,    // gpr <- xmm.lane0
+  kMovsdXX,   // xmm.lane0 <- xmm.lane0 (upper lane of dst preserved)
+  kMovsdXM,   // xmm.lane0 <- [mem] 64-bit (upper lane zeroed, as x86 movsd)
+  kMovsdMX,   // [mem] <- xmm.lane0
+  kMovssXM,   // xmm low 32 bits <- [mem] 32-bit (rest zeroed)
+  kMovssMX,   // [mem] 32-bit <- xmm low 32 bits
+  kMovapdXX,  // xmm <- xmm, full 128 bits
+  kMovapdXM,  // xmm <- [mem] 128-bit
+  kMovapdMX,  // [mem] <- xmm 128-bit
+  kPushX,     // push xmm, full 128 bits
+  kPopX,
+
+  // -- Scalar double-precision arithmetic (lane 0 as f64).
+  kAddsd,
+  kSubsd,
+  kMulsd,
+  kDivsd,
+  kSqrtsd,  // dst = sqrt(src); dst not read
+  kMinsd,
+  kMaxsd,
+  kUcomisd,   // flags <- compare f64
+  kCvtsd2ss,  // low 32 of dst <- (f32)(f64 src lane0); rest of lane0 zeroed
+  kCvtss2sd,  // dst lane0 <- (f64)(f32 low 32 of src)
+  kCvtsi2sd,  // xmm lane0 <- (f64)(i64 gpr)
+  kCvttsd2si, // gpr <- truncate-to-i64(f64 xmm lane0)
+
+  // -- Scalar single-precision arithmetic (low 32 bits as f32).
+  kAddss,
+  kSubss,
+  kMulss,
+  kDivss,
+  kSqrtss,
+  kMinss,
+  kMaxss,
+  kUcomiss,
+  kCvtsi2ss,
+  kCvttss2si,
+
+  // -- Packed arithmetic. *pd: two f64 lanes. *ps: four f32 lanes.
+  kAddpd,
+  kSubpd,
+  kMulpd,
+  kDivpd,
+  kSqrtpd,
+  kAddps,
+  kSubps,
+  kMulps,
+  kDivps,
+  kSqrtps,
+
+  // -- Bitwise ops on full 128-bit XMM values.
+  kAndpd,
+  kOrpd,
+  kXorpd,
+
+  // -- Intrinsic call: `src` immediate selects an intrinsics::Id. Arguments
+  //    and results use the intrinsic ABI (xmm0/xmm1, r0..r3).
+  kIntrin,
+
+  kNumOpcodes,
+};
+
+/// Category bits describing how each opcode interacts with control flow and
+/// with double-precision data. The instrumenter is driven entirely by this
+/// table; adding an opcode without classifying it is a compile-time error
+/// (the table is indexed by every enumerator).
+struct OpcodeInfo {
+  const char* name;       // disassembler mnemonic
+  bool is_branch;         // jmp or conditional branch (target in src imm)
+  bool is_cond_branch;    // has fall-through successor
+  bool is_call;
+  bool is_ret;
+  bool is_halt;
+  // Double-precision dataflow (drives Figure 5/6 snippet generation):
+  bool reads_dst_f64;     // dst operand is read as f64 (e.g. addsd dst, src)
+  bool reads_src_f64;     // src operand is read as f64
+  bool writes_dst_f64;    // dst receives an f64 result
+  std::uint8_t fp_lanes;  // 0 = not FP, 1 = scalar, 2 = packed (two f64)
+  // The single-precision twin used when a configuration maps the
+  // instruction to `single` (kNop when the opcode is not a candidate).
+  Opcode single_twin;
+};
+
+/// Returns the static info record for `op`.
+const OpcodeInfo& opcode_info(Opcode op);
+
+/// Mnemonic, e.g. "addsd".
+const char* opcode_name(Opcode op);
+
+/// True when the instruction is a member of the candidate set Pd: a
+/// double-precision instruction that a precision configuration may map to
+/// `single` (Section 2.1 of the paper).
+bool is_replacement_candidate(Opcode op);
+
+/// True when the instruction consumes f64 operands and therefore must be
+/// wrapped with tag-check/upcast snippets once *any* instruction in the
+/// program has been replaced (Section 2.3: "once we replace any instruction
+/// ... we must replace all floating-point instructions with our snippets").
+bool touches_f64(Opcode op);
+
+/// True for instructions that terminate a basic block (branches, ret, halt).
+bool ends_basic_block(Opcode op);
+
+}  // namespace fpmix::arch

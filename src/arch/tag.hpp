@@ -1,0 +1,45 @@
+// The replaced-double representation (Figure 5 of the paper).
+//
+// A double-precision slot whose value has been narrowed to single precision
+// stores the 32 float bits in its low half and the sentinel 0x7FF4DEAD in
+// its high half. The sentinel is chosen exactly as in the paper: the leading
+// 0x7FF4 makes the 64-bit pattern a NaN, so a replaced value that escapes
+// the analysis can never be silently consumed as a plausible double, and the
+// trailing 0xDEAD is easy to spot in a hex dump.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace fpmix::arch {
+
+inline constexpr std::uint32_t kReplacedTag = 0x7FF4DEAD;
+inline constexpr std::uint64_t kReplacedTagHigh = 0x7FF4DEAD00000000ull;
+
+/// True when the 64-bit pattern carries the replaced-double sentinel.
+constexpr bool is_tagged(std::uint64_t bits) {
+  return (bits >> 32) == kReplacedTag;
+}
+
+/// Boxes a float into a replaced-double slot.
+inline std::uint64_t make_tagged(float value) {
+  return kReplacedTagHigh | std::bit_cast<std::uint32_t>(value);
+}
+
+/// Extracts the float payload of a replaced-double slot.
+inline float tagged_float(std::uint64_t bits) {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(bits));
+}
+
+/// Narrowing conversion performed by the replacement snippets: the double is
+/// rounded once to single precision and boxed.
+inline std::uint64_t downcast_to_tagged(double value) {
+  return make_tagged(static_cast<float>(value));
+}
+
+/// Widening conversion: recovers a plain double from a replaced slot.
+inline double tagged_to_double(std::uint64_t bits) {
+  return static_cast<double>(tagged_float(bits));
+}
+
+}  // namespace fpmix::arch

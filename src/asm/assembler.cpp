@@ -1,0 +1,248 @@
+#include "asm/assembler.hpp"
+
+#include <cstring>
+#include <set>
+
+#include "arch/encode.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace fpmix::casm {
+
+using arch::Instr;
+using arch::Opcode;
+using arch::Operand;
+
+Assembler::Assembler()
+    : data_base_(program::Image::kDefaultDataBase),
+      bss_base_(program::Image::kDefaultBssBase) {}
+
+void Assembler::begin_function(std::string name, std::string module) {
+  FPMIX_CHECK(!in_function_);
+  for (const auto& f : functions_) {
+    if (f.name == name) {
+      throw ProgramError(strformat("duplicate function %s", name.c_str()));
+    }
+  }
+  PendingFunction fn;
+  fn.name = std::move(name);
+  fn.module = std::move(module);
+  functions_.push_back(std::move(fn));
+  in_function_ = true;
+}
+
+void Assembler::end_function() {
+  FPMIX_CHECK(in_function_);
+  FPMIX_CHECK(!current().instrs.empty());
+  in_function_ = false;
+}
+
+Assembler::PendingFunction& Assembler::current() {
+  FPMIX_CHECK(in_function_);
+  return functions_.back();
+}
+
+Label Assembler::new_label() { return Label{next_label_++}; }
+
+void Assembler::bind(Label label) {
+  FPMIX_CHECK(label.valid());
+  PendingFunction& fn = current();
+  FPMIX_CHECK(!fn.label_positions.contains(label.id));
+  fn.label_positions[label.id] = fn.instrs.size();
+}
+
+void Assembler::emit(Opcode op, Operand dst, Operand src) {
+  Instr ins = arch::make2(op, dst, src);
+  arch::validate(ins);
+  current().instrs.push_back(ins);
+}
+
+void Assembler::branch(Opcode op, Label l) {
+  FPMIX_CHECK(l.valid());
+  PendingFunction& fn = current();
+  fn.branch_labels[fn.instrs.size()] = l.id;
+  fn.instrs.push_back(arch::make2(op, Operand::none(), Operand::make_imm(0)));
+}
+
+void Assembler::jmp(Label l) { branch(Opcode::kJmp, l); }
+void Assembler::je(Label l) { branch(Opcode::kJe, l); }
+void Assembler::jne(Label l) { branch(Opcode::kJne, l); }
+void Assembler::jl(Label l) { branch(Opcode::kJl, l); }
+void Assembler::jle(Label l) { branch(Opcode::kJle, l); }
+void Assembler::jg(Label l) { branch(Opcode::kJg, l); }
+void Assembler::jge(Label l) { branch(Opcode::kJge, l); }
+void Assembler::jb(Label l) { branch(Opcode::kJb, l); }
+void Assembler::jbe(Label l) { branch(Opcode::kJbe, l); }
+void Assembler::ja(Label l) { branch(Opcode::kJa, l); }
+void Assembler::jae(Label l) { branch(Opcode::kJae, l); }
+
+void Assembler::call(std::string_view callee) {
+  PendingFunction& fn = current();
+  fn.call_names[fn.instrs.size()] = std::string(callee);
+  fn.instrs.push_back(
+      arch::make2(Opcode::kCall, Operand::none(), Operand::make_imm(0)));
+}
+
+void Assembler::ret() { emit(Opcode::kRet); }
+void Assembler::halt() { emit(Opcode::kHalt); }
+
+void Assembler::intrin(arch::intrinsics::Id id) {
+  emit(Opcode::kIntrin, Operand::none(),
+       Operand::make_imm(static_cast<std::int64_t>(id)));
+}
+
+std::uint64_t Assembler::data_f64(double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return data_bytes(&bits, sizeof(bits), 8);
+}
+
+std::uint64_t Assembler::data_i64(std::int64_t value) {
+  return data_bytes(&value, sizeof(value), 8);
+}
+
+std::uint64_t Assembler::data_bytes(const void* bytes, std::size_t size,
+                                    std::size_t align) {
+  FPMIX_CHECK(align > 0 && (align & (align - 1)) == 0);
+  while (data_.size() % align != 0) data_.push_back(0);
+  const std::uint64_t addr = data_base_ + data_.size();
+  const auto* p = static_cast<const std::uint8_t*>(bytes);
+  data_.insert(data_.end(), p, p + size);
+  return addr;
+}
+
+std::uint64_t Assembler::reserve_bss(std::size_t size, std::size_t align) {
+  FPMIX_CHECK(align > 0 && (align & (align - 1)) == 0);
+  // bss lives at a fixed base of its own so that slots can be handed out
+  // while the data segment (constant pool) is still growing.
+  std::uint64_t off = bss_bytes_;
+  while ((bss_base_ + off) % align != 0) ++off;
+  const std::uint64_t addr = bss_base_ + off;
+  bss_bytes_ = off + size;
+  return addr;
+}
+
+program::Program Assembler::finish(std::string_view entry) {
+  FPMIX_CHECK(!in_function_);
+  program::Program prog;
+  prog.data = data_;
+  prog.data_base = data_base_;
+  prog.bss_base = bss_base_;
+  prog.bss_size = bss_bytes_;
+  if (data_base_ + data_.size() > bss_base_) {
+    throw ProgramError("data segment (constant pool) overflows into bss");
+  }
+
+  // Grow the VM address space if static data plus a stack reserve overflows
+  // the default size.
+  constexpr std::uint64_t kStackReserve = 4ull << 20;
+  const std::uint64_t need = bss_base_ + bss_bytes_ + kStackReserve;
+  if (need > prog.memory_size) {
+    std::uint64_t sz = prog.memory_size;
+    while (sz < need) sz *= 2;
+    prog.memory_size = sz;
+  }
+
+  // Pass 1: function name -> index.
+  std::map<std::string, program::FuncIndex> func_index;
+  for (std::size_t i = 0; i < functions_.size(); ++i) {
+    func_index[functions_[i].name] = static_cast<program::FuncIndex>(i);
+  }
+
+  for (PendingFunction& fn : functions_) {
+    program::Function out;
+    out.name = fn.name;
+    out.module = fn.module;
+
+    const std::size_t n = fn.instrs.size();
+    // Resolve calls.
+    for (auto& [idx, callee] : fn.call_names) {
+      auto it = func_index.find(callee);
+      if (it == func_index.end()) {
+        throw ProgramError(strformat("call to undefined function %s from %s",
+                                     callee.c_str(), fn.name.c_str()));
+      }
+      fn.instrs[idx].src.imm = it->second;
+    }
+
+    // Leader analysis over instruction indices.
+    std::set<std::size_t> leaders;
+    leaders.insert(0);
+    for (const auto& [idx, label_id] : fn.branch_labels) {
+      auto it = fn.label_positions.find(label_id);
+      if (it == fn.label_positions.end()) {
+        throw ProgramError(strformat("unbound label in function %s",
+                                     fn.name.c_str()));
+      }
+      if (it->second >= n) {
+        throw ProgramError(strformat(
+            "label in %s bound past the last instruction", fn.name.c_str()));
+      }
+      leaders.insert(it->second);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (arch::ends_basic_block(fn.instrs[i].op) && i + 1 < n) {
+        leaders.insert(i + 1);
+      }
+    }
+
+    std::map<std::size_t, program::BlockIndex> block_of;
+    for (std::size_t leader : leaders) {
+      block_of[leader] = static_cast<program::BlockIndex>(block_of.size());
+    }
+    out.blocks.resize(leaders.size());
+
+    program::BlockIndex cur = program::kNoIndex;
+    for (std::size_t i = 0; i < n; ++i) {
+      auto it = block_of.find(i);
+      if (it != block_of.end()) cur = it->second;
+      out.blocks[static_cast<std::size_t>(cur)].instrs.push_back(
+          fn.instrs[i]);
+    }
+
+    // Edges.
+    std::size_t pos = 0;
+    for (std::size_t bi = 0; bi < out.blocks.size(); ++bi) {
+      program::BasicBlock& blk = out.blocks[bi];
+      const std::size_t last = pos + blk.instrs.size() - 1;
+      arch::Instr& term = blk.instrs.back();
+      const auto& info = arch::opcode_info(term.op);
+      if (info.is_branch) {
+        const int label_id = fn.branch_labels.at(last);
+        const std::size_t target = fn.label_positions.at(label_id);
+        blk.taken = block_of.at(target);
+        term.src.imm = blk.taken;
+        if (info.is_cond_branch) {
+          if (last + 1 >= n) {
+            throw ProgramError(strformat(
+                "conditional branch at end of function %s", fn.name.c_str()));
+          }
+          blk.fallthrough = block_of.at(last + 1);
+        }
+      } else if (info.is_ret || info.is_halt) {
+        // no successors
+      } else {
+        if (last + 1 >= n) {
+          throw ProgramError(strformat("function %s falls off its end",
+                                       fn.name.c_str()));
+        }
+        blk.fallthrough = block_of.at(last + 1);
+      }
+      pos += blk.instrs.size();
+    }
+
+    prog.functions.push_back(std::move(out));
+  }
+
+  auto it = func_index.find(std::string(entry));
+  if (it == func_index.end()) {
+    throw ProgramError(strformat("entry function %.*s not defined",
+                                 static_cast<int>(entry.size()),
+                                 entry.data()));
+  }
+  prog.entry_function = it->second;
+  prog.validate();
+  return prog;
+}
+
+}  // namespace fpmix::casm

@@ -1,0 +1,109 @@
+// A label-based assembler producing structured Programs.
+//
+// The assembler is how virtual binaries come to exist in the first place:
+// the mini-language code generator (src/lang) and hand-written test programs
+// emit instructions through it. It resolves labels into the symbolic CFG
+// form of program::Program; program::relayout then produces runnable bytes.
+//
+// Conventions (mirrored by the DSL code generator):
+//  - GPR 15 is the stack pointer; the VM initializes it to the top of memory.
+//  - Static data lives in the data/bss segments; `data_*`/`reserve_bss`
+//    return absolute addresses usable as [abs] memory operands.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/instr.hpp"
+#include "arch/intrinsics.hpp"
+#include "program/program.hpp"
+
+namespace fpmix::casm {
+
+/// Opaque label handle.
+struct Label {
+  int id = -1;
+  bool valid() const { return id >= 0; }
+};
+
+class Assembler {
+ public:
+  Assembler();
+
+  // ---- Functions --------------------------------------------------------
+  /// Starts a new function. `module` models the translation unit the
+  /// function belongs to (the coarsest granularity of the search).
+  void begin_function(std::string name, std::string module);
+  void end_function();
+
+  // ---- Labels ------------------------------------------------------------
+  Label new_label();
+  /// Binds `label` to the next emitted instruction of the current function.
+  void bind(Label label);
+
+  // ---- Raw emission ------------------------------------------------------
+  void emit(arch::Opcode op, arch::Operand dst = arch::Operand::none(),
+            arch::Operand src = arch::Operand::none());
+
+  // ---- Control flow ------------------------------------------------------
+  void jmp(Label l);
+  void je(Label l);
+  void jne(Label l);
+  void jl(Label l);
+  void jle(Label l);
+  void jg(Label l);
+  void jge(Label l);
+  void jb(Label l);
+  void jbe(Label l);
+  void ja(Label l);
+  void jae(Label l);
+  /// Direct call by function name; the callee may be defined later.
+  void call(std::string_view callee);
+  void ret();
+  void halt();
+  void intrin(arch::intrinsics::Id id);
+
+  // ---- Static data -------------------------------------------------------
+  /// Appends an 8-byte double to the data segment; returns its address.
+  std::uint64_t data_f64(double value);
+  /// Appends an 8-byte integer to the data segment; returns its address.
+  std::uint64_t data_i64(std::int64_t value);
+  /// Appends raw bytes (e.g. strings); returns the address.
+  std::uint64_t data_bytes(const void* bytes, std::size_t size,
+                           std::size_t align = 8);
+  /// Reserves zero-initialized storage; returns the address.
+  std::uint64_t reserve_bss(std::size_t size, std::size_t align = 8);
+
+  // ---- Finalization ------------------------------------------------------
+  /// Resolves all labels and calls, forms basic blocks and returns the
+  /// structured program. `entry` names the entry function.
+  program::Program finish(std::string_view entry);
+
+ private:
+  struct PendingFunction {
+    std::string name;
+    std::string module;
+    std::vector<arch::Instr> instrs;
+    // Per-branch-instruction label id (parallel to branch instrs by index
+    // into instrs).
+    std::map<std::size_t, int> branch_labels;   // instr index -> label id
+    std::map<std::size_t, std::string> call_names;  // instr index -> callee
+    std::map<int, std::size_t> label_positions;     // label id -> instr index
+  };
+
+  void branch(arch::Opcode op, Label l);
+  PendingFunction& current();
+
+  std::vector<PendingFunction> functions_;
+  bool in_function_ = false;
+  int next_label_ = 0;
+
+  std::vector<std::uint8_t> data_;
+  std::uint64_t bss_bytes_ = 0;
+  std::uint64_t data_base_;
+  std::uint64_t bss_base_;
+};
+
+}  // namespace fpmix::casm

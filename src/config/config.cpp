@@ -1,0 +1,156 @@
+#include "config/config.hpp"
+
+#include "support/error.hpp"
+
+namespace fpmix::config {
+
+char precision_flag(Precision p) {
+  switch (p) {
+    case Precision::kDouble: return 'd';
+    case Precision::kSingle: return 's';
+    case Precision::kIgnore: return 'i';
+  }
+  return '?';
+}
+
+std::optional<Precision> precision_from_flag(char c) {
+  switch (c) {
+    case 'd': return Precision::kDouble;
+    case 's': return Precision::kSingle;
+    case 'i': return Precision::kIgnore;
+    default: return std::nullopt;
+  }
+}
+
+const char* precision_name(Precision p) {
+  switch (p) {
+    case Precision::kDouble: return "double";
+    case Precision::kSingle: return "single";
+    case Precision::kIgnore: return "ignore";
+  }
+  return "?";
+}
+
+PrecisionConfig::PrecisionConfig(const StructureIndex&) {}
+
+namespace {
+void set_flag(std::map<std::size_t, Precision>* store, std::size_t id,
+              std::optional<Precision> p) {
+  if (p.has_value()) {
+    (*store)[id] = *p;
+  } else {
+    store->erase(id);
+  }
+}
+std::optional<Precision> get_flag(const std::map<std::size_t, Precision>& s,
+                                  std::size_t id) {
+  auto it = s.find(id);
+  if (it == s.end()) return std::nullopt;
+  return it->second;
+}
+}  // namespace
+
+void PrecisionConfig::set_module(std::size_t m, std::optional<Precision> p) {
+  set_flag(&module_, m, p);
+}
+void PrecisionConfig::set_func(std::size_t f, std::optional<Precision> p) {
+  set_flag(&func_, f, p);
+}
+void PrecisionConfig::set_block(std::size_t b, std::optional<Precision> p) {
+  set_flag(&block_, b, p);
+}
+void PrecisionConfig::set_instr(std::size_t i, std::optional<Precision> p) {
+  set_flag(&instr_, i, p);
+}
+
+std::optional<Precision> PrecisionConfig::module_flag(std::size_t m) const {
+  return get_flag(module_, m);
+}
+std::optional<Precision> PrecisionConfig::func_flag(std::size_t f) const {
+  return get_flag(func_, f);
+}
+std::optional<Precision> PrecisionConfig::block_flag(std::size_t b) const {
+  return get_flag(block_, b);
+}
+std::optional<Precision> PrecisionConfig::instr_flag(std::size_t i) const {
+  return get_flag(instr_, i);
+}
+
+Precision PrecisionConfig::resolve(const StructureIndex& index,
+                                   std::size_t i) const {
+  const InstrEntry& ie = index.instrs().at(i);
+  const FuncEntry& fe = index.funcs().at(ie.func);
+  if (auto p = get_flag(module_, fe.module)) return *p;
+  if (auto p = get_flag(func_, ie.func)) return *p;
+  if (auto p = get_flag(block_, ie.block)) return *p;
+  if (auto p = get_flag(instr_, i)) return *p;
+  return Precision::kDouble;
+}
+
+std::map<std::uint64_t, Precision> PrecisionConfig::address_map(
+    const StructureIndex& index) const {
+  std::map<std::uint64_t, Precision> out;
+  for (std::size_t i = 0; i < index.instrs().size(); ++i) {
+    out[index.instrs()[i].addr] = resolve(index, i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> PrecisionConfig::replaced_candidates(
+    const StructureIndex& index) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i : index.candidates()) {
+    if (resolve(index, i) == Precision::kSingle) out.push_back(i);
+  }
+  return out;
+}
+
+void PrecisionConfig::merge_union(const PrecisionConfig& other) {
+  // Merge every non-double flag; explicit kDouble flags are the default and
+  // need no copying. Conflicts resolve toward the flag from `other` only if
+  // this config has no flag at that node (first-passing-config wins keeps
+  // the union well defined; the search never produces conflicting units).
+  const auto merge = [](const std::map<std::size_t, Precision>& src,
+                        std::map<std::size_t, Precision>* dst) {
+    for (const auto& [id, p] : src) {
+      if (p == Precision::kDouble) continue;
+      dst->try_emplace(id, p);
+    }
+  };
+  merge(other.module_, &module_);
+  merge(other.func_, &func_);
+  merge(other.block_, &block_);
+  merge(other.instr_, &instr_);
+}
+
+bool PrecisionConfig::is_all_double(const StructureIndex& index) const {
+  for (std::size_t i : index.candidates()) {
+    if (resolve(index, i) != Precision::kDouble) return false;
+  }
+  return true;
+}
+
+ReplacementStats replacement_stats(const StructureIndex& index,
+                                   const PrecisionConfig& cfg) {
+  ReplacementStats st;
+  st.candidates = index.candidates().size();
+  for (std::size_t i : index.candidates()) {
+    const InstrEntry& ie = index.instrs()[i];
+    st.exec_total += ie.exec_weight;
+    if (cfg.resolve(index, i) == Precision::kSingle) {
+      ++st.replaced_static;
+      st.exec_replaced += ie.exec_weight;
+    }
+  }
+  st.static_pct = st.candidates == 0
+                      ? 0.0
+                      : 100.0 * static_cast<double>(st.replaced_static) /
+                            static_cast<double>(st.candidates);
+  st.dynamic_pct = st.exec_total == 0
+                       ? 0.0
+                       : 100.0 * static_cast<double>(st.exec_replaced) /
+                             static_cast<double>(st.exec_total);
+  return st;
+}
+
+}  // namespace fpmix::config

@@ -1,0 +1,22 @@
+// Precision levels assignable to program structures (Section 2.1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace fpmix::config {
+
+/// p -> {single, double, ignore}: how an instruction (or an aggregate
+/// structure, overriding its children) is treated by the instrumenter.
+enum class Precision : std::uint8_t {
+  kDouble = 0,  // wrap with upcast checks, execute in double precision
+  kSingle = 1,  // narrow: downcast inputs, execute single twin, tag result
+  kIgnore = 2,  // leave the instruction completely untouched
+};
+
+/// Flag characters used by the text exchange format ('d', 's', 'i').
+char precision_flag(Precision p);
+std::optional<Precision> precision_from_flag(char c);
+const char* precision_name(Precision p);
+
+}  // namespace fpmix::config

@@ -1,0 +1,146 @@
+#include "config/structure.hpp"
+
+#include "arch/intrinsics.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace fpmix::config {
+
+namespace in = arch::intrinsics;
+
+bool is_candidate_instr(const arch::Instr& ins) {
+  if (ins.op == arch::Opcode::kIntrin) {
+    const auto id = static_cast<in::Id>(ins.src.imm);
+    return id < in::Id::kNumIntrinsics && in::intrin_has_f32_twin(id);
+  }
+  return arch::is_replacement_candidate(ins.op);
+}
+
+bool is_fp_touching_instr(const arch::Instr& ins) {
+  if (ins.op == arch::Opcode::kIntrin) {
+    const auto id = static_cast<in::Id>(ins.src.imm);
+    return id < in::Id::kNumIntrinsics && in::intrin_touches_fp(id);
+  }
+  return arch::touches_f64(ins.op);
+}
+
+StructureIndex StructureIndex::build(const program::Program& prog) {
+  StructureIndex ix;
+  std::map<std::string, std::size_t> module_ids;
+
+  for (std::size_t fi = 0; fi < prog.functions.size(); ++fi) {
+    const program::Function& fn = prog.functions[fi];
+    auto [mit, inserted] =
+        module_ids.try_emplace(fn.module, ix.modules_.size());
+    if (inserted) {
+      ModuleEntry m;
+      m.name = fn.module;
+      ix.modules_.push_back(std::move(m));
+    }
+    const std::size_t mi = mit->second;
+
+    FuncEntry fe;
+    fe.name = fn.name;
+    fe.module = mi;
+    const std::size_t func_id = ix.funcs_.size();
+    ix.modules_[mi].funcs.push_back(func_id);
+
+    bool first_instr = true;
+    for (const program::BasicBlock& blk : fn.blocks) {
+      BlockEntry be;
+      be.func = func_id;
+      const std::size_t block_id = ix.blocks_.size() + 0;  // assigned below
+      fe.blocks.push_back(ix.blocks_.size());
+      for (const arch::Instr& ins : blk.instrs) {
+        FPMIX_CHECK(ins.addr != arch::kNoAddr);
+        InstrEntry ie;
+        ie.addr = ins.addr;
+        ie.instr = ins;
+        ie.candidate = is_candidate_instr(ins);
+        ie.fp_touching = is_fp_touching_instr(ins);
+        ie.func = func_id;
+        ie.block = block_id;
+        const std::size_t instr_id = ix.instrs_.size();
+        if (be.instrs.empty()) be.head_addr = ins.addr;
+        if (first_instr) {
+          fe.entry_addr = ins.addr;
+          first_instr = false;
+        }
+        be.instrs.push_back(instr_id);
+        if (ie.candidate) {
+          be.candidates.push_back(instr_id);
+          fe.candidates.push_back(instr_id);
+          ix.modules_[mi].candidates.push_back(instr_id);
+          ix.candidates_.push_back(instr_id);
+        }
+        auto [ait, fresh] = ix.by_addr_.try_emplace(ie.addr, instr_id);
+        if (!fresh) {
+          throw ConfigError(strformat(
+              "duplicate instruction address 0x%llx in structure index",
+              static_cast<unsigned long long>(ie.addr)));
+        }
+        ix.instrs_.push_back(std::move(ie));
+      }
+      ix.blocks_.push_back(std::move(be));
+    }
+    ix.funcs_.push_back(std::move(fe));
+  }
+  return ix;
+}
+
+std::size_t StructureIndex::instr_at(std::uint64_t addr) const {
+  auto it = by_addr_.find(addr);
+  if (it == by_addr_.end()) {
+    throw ConfigError(strformat("no instruction at address 0x%llx",
+                                static_cast<unsigned long long>(addr)));
+  }
+  return it->second;
+}
+
+bool StructureIndex::has_instr_at(std::uint64_t addr) const {
+  return by_addr_.contains(addr);
+}
+
+std::size_t StructureIndex::func_named(std::string_view name) const {
+  for (std::size_t i = 0; i < funcs_.size(); ++i) {
+    if (funcs_[i].name == name) return i;
+  }
+  throw ConfigError(strformat("no function named %.*s",
+                              static_cast<int>(name.size()), name.data()));
+}
+
+std::size_t StructureIndex::module_named(std::string_view name) const {
+  for (std::size_t i = 0; i < modules_.size(); ++i) {
+    if (modules_[i].name == name) return i;
+  }
+  throw ConfigError(strformat("no module named %.*s",
+                              static_cast<int>(name.size()), name.data()));
+}
+
+void StructureIndex::apply_profile(
+    const std::map<std::uint64_t, std::uint64_t>& profile) {
+  for (InstrEntry& ie : instrs_) {
+    auto it = profile.find(ie.addr);
+    ie.exec_weight = (it != profile.end()) ? it->second : 0;
+  }
+}
+
+std::uint64_t StructureIndex::candidate_weight_of_module(std::size_t m) const {
+  std::uint64_t w = 0;
+  for (std::size_t i : modules_.at(m).candidates) w += instrs_[i].exec_weight;
+  return w;
+}
+
+std::uint64_t StructureIndex::candidate_weight_of_func(std::size_t f) const {
+  std::uint64_t w = 0;
+  for (std::size_t i : funcs_.at(f).candidates) w += instrs_[i].exec_weight;
+  return w;
+}
+
+std::uint64_t StructureIndex::candidate_weight_of_block(std::size_t b) const {
+  std::uint64_t w = 0;
+  for (std::size_t i : blocks_.at(b).candidates) w += instrs_[i].exec_weight;
+  return w;
+}
+
+}  // namespace fpmix::config

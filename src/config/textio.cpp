@@ -1,0 +1,154 @@
+#include "config/textio.hpp"
+
+#include "arch/disasm.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace fpmix::config {
+namespace {
+
+std::string flag_prefix(std::optional<Precision> p) {
+  if (!p.has_value()) return " ";
+  return std::string(1, precision_flag(*p));
+}
+
+}  // namespace
+
+std::string to_text(const StructureIndex& index, const PrecisionConfig& cfg) {
+  std::string out = "# fpmix precision configuration\n";
+  std::size_t func_no = 0;
+  std::size_t block_no = 0;
+  std::size_t insn_no = 0;
+  for (std::size_t mi = 0; mi < index.modules().size(); ++mi) {
+    const ModuleEntry& m = index.modules()[mi];
+    out += flag_prefix(cfg.module_flag(mi));
+    out += strformat("  MODULE %s\n", m.name.c_str());
+    for (std::size_t fi : m.funcs) {
+      const FuncEntry& f = index.funcs()[fi];
+      ++func_no;
+      out += flag_prefix(cfg.func_flag(fi));
+      out += strformat("    FUNC%02zu: %s\n", func_no, f.name.c_str());
+      for (std::size_t bi : f.blocks) {
+        const BlockEntry& b = index.blocks()[bi];
+        if (b.candidates.empty()) continue;  // keep files compact
+        ++block_no;
+        out += flag_prefix(cfg.block_flag(bi));
+        out += strformat("      BBLK%02zu: 0x%llx\n", block_no,
+                         static_cast<unsigned long long>(b.head_addr));
+        for (std::size_t ii : b.candidates) {
+          const InstrEntry& ins = index.instrs()[ii];
+          ++insn_no;
+          out += flag_prefix(cfg.instr_flag(ii));
+          out += strformat(
+              "        INSN%02zu: %s\n", insn_no,
+              arch::instr_to_config_string(ins.instr).c_str());
+        }
+      }
+    }
+  }
+  return out;
+}
+
+PrecisionConfig from_text(const StructureIndex& index,
+                          std::string_view text) {
+  PrecisionConfig cfg;
+  bool have_module = false, have_func = false, have_block = false;
+  std::size_t cur_module = 0, cur_func = 0, cur_block = 0;
+
+  int lineno = 0;
+  for (std::string_view raw : split_lines(text)) {
+    ++lineno;
+    if (raw.empty()) continue;
+
+    // Column 1 is the flag position.
+    std::optional<Precision> flag;
+    std::string_view rest = raw;
+    if (raw[0] != ' ' && raw[0] != '\t' && raw[0] != '#') {
+      flag = precision_from_flag(raw[0]);
+      if (!flag.has_value()) {
+        throw ConfigError(strformat("line %d: unknown flag character '%c'",
+                                    lineno, raw[0]));
+      }
+      rest = raw.substr(1);
+    }
+    const std::string_view body = trim(rest);
+    if (body.empty() || body[0] == '#') continue;
+
+    const auto fields = split_fields(body);
+    FPMIX_CHECK(!fields.empty());
+    const std::string_view head = fields[0];
+
+    if (head == "MODULE") {
+      if (fields.size() < 2) {
+        throw ConfigError(strformat("line %d: MODULE needs a name", lineno));
+      }
+      cur_module = index.module_named(fields[1]);
+      have_module = true;
+      have_func = have_block = false;
+      if (flag) cfg.set_module(cur_module, flag);
+    } else if (starts_with(head, "FUNC")) {
+      if (fields.size() < 2) {
+        throw ConfigError(strformat("line %d: FUNC needs a name", lineno));
+      }
+      cur_func = index.func_named(fields[1]);
+      if (!have_module ||
+          index.funcs()[cur_func].module != cur_module) {
+        throw ConfigError(strformat(
+            "line %d: function %.*s is not in the current module", lineno,
+            static_cast<int>(fields[1].size()), fields[1].data()));
+      }
+      have_func = true;
+      have_block = false;
+      if (flag) cfg.set_func(cur_func, flag);
+    } else if (starts_with(head, "BBLK")) {
+      if (fields.size() < 2) {
+        throw ConfigError(strformat("line %d: BBLK needs an address",
+                                    lineno));
+      }
+      std::uint64_t addr = 0;
+      if (!parse_hex_u64(fields[1], &addr)) {
+        throw ConfigError(strformat("line %d: bad block address", lineno));
+      }
+      if (!have_func) {
+        throw ConfigError(strformat("line %d: BBLK outside a FUNC", lineno));
+      }
+      const std::size_t head_instr = index.instr_at(addr);
+      cur_block = index.instrs()[head_instr].block;
+      if (index.blocks()[cur_block].head_addr != addr ||
+          index.blocks()[cur_block].func != cur_func) {
+        throw ConfigError(strformat(
+            "line %d: 0x%llx is not a block head of the current function",
+            lineno, static_cast<unsigned long long>(addr)));
+      }
+      have_block = true;
+      if (flag) cfg.set_block(cur_block, flag);
+    } else if (starts_with(head, "INSN")) {
+      if (fields.size() < 2) {
+        throw ConfigError(strformat("line %d: INSN needs an address",
+                                    lineno));
+      }
+      std::uint64_t addr = 0;
+      if (!parse_hex_u64(fields[1], &addr)) {
+        throw ConfigError(strformat("line %d: bad instruction address",
+                                    lineno));
+      }
+      if (!have_block) {
+        throw ConfigError(strformat("line %d: INSN outside a BBLK", lineno));
+      }
+      const std::size_t ii = index.instr_at(addr);
+      if (index.instrs()[ii].block != cur_block) {
+        throw ConfigError(strformat(
+            "line %d: instruction 0x%llx is not in the current block",
+            lineno, static_cast<unsigned long long>(addr)));
+      }
+      if (flag) cfg.set_instr(ii, flag);
+    } else {
+      throw ConfigError(strformat("line %d: unrecognized entity '%.*s'",
+                                  lineno, static_cast<int>(head.size()),
+                                  head.data()));
+    }
+  }
+  return cfg;
+}
+
+}  // namespace fpmix::config

@@ -1,0 +1,36 @@
+// The human-readable precision-configuration exchange format (Figure 3).
+//
+// Example:
+//
+//     # fpmix precision configuration
+//       MODULE nas_cg
+//         FUNC01: conj_grad
+//           BBLK01: 0x400120
+//     s       INSN01: 0x400131 "addsd xmm1, xmm0"
+//     d       INSN02: 0x40013d "mulsd xmm2, xmm1"
+//     s   FUNC02: split
+//           BBLK02: 0x4002f0
+//             INSN03: 0x4002f8 "subsd xmm1, xmm0"
+//
+// The first column carries the precision flag ('d', 's', 'i'); a blank first
+// column means "no flag here". A flag on an aggregate (module/function/
+// block) overrides any flags on its children, exactly as in the paper.
+// Only replacement candidates (the set Pd) are listed at instruction level.
+#pragma once
+
+#include <string>
+
+#include "config/config.hpp"
+#include "config/structure.hpp"
+
+namespace fpmix::config {
+
+/// Serializes a configuration against its structure index.
+std::string to_text(const StructureIndex& index, const PrecisionConfig& cfg);
+
+/// Parses a configuration file. Structure lines are validated against the
+/// index (unknown functions/addresses raise ConfigError); flags may be
+/// omitted anywhere.
+PrecisionConfig from_text(const StructureIndex& index, std::string_view text);
+
+}  // namespace fpmix::config

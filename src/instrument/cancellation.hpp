@@ -1,0 +1,76 @@
+// Cancellation-detection instrumentation: the related-work comparator.
+//
+// Section 4.4 of the paper describes the authors' earlier dynamic
+// cancellation detector [Lam et al., WHIST'11] and the heavier "badness"
+// quantifying tools built on it [Benz et al., PLDI'12], whose overheads
+// "range from 160X to over 1000X" -- two orders of magnitude above the
+// mixed-precision snippets. This module implements such an analysis inside
+// the same patching framework so the overhead comparison can be reproduced
+// (bench_cancellation_overhead).
+//
+// Every double-precision add/subtract is wrapped with a snippet that
+//   1. extracts the biased exponents of both inputs,
+//   2. executes the original operation,
+//   3. compares the result exponent against the larger input exponent; a
+//      drop of >= min_cancel_bits is a cancellation event, recorded in a
+//      per-instruction counter and a global magnitude histogram, and
+//   4. runs a shadow-maintenance loop of configurable length on every
+//      operation -- modelling the shadow-value bookkeeping that makes the
+//      cited tools so expensive.
+//
+// Counters live in an analysis area appended to the program's bss, readable
+// after the run via vm::Machine::read_memory.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "program/image.hpp"
+#include "program/program.hpp"
+#include "vm/machine.hpp"
+
+namespace fpmix::instrument {
+
+struct CancellationOptions {
+  /// Exponent drop that counts as a cancellation (1 = any lost leading bit).
+  int min_cancel_bits = 1;
+  /// Iterations of the per-operation shadow-maintenance loop. The default
+  /// approximates the cited tools' per-operation cost; 0 disables the loop
+  /// (leaving only the lightweight detector of Lam et al.).
+  int shadow_iters = 384;
+};
+
+struct CancellationLayout {
+  std::uint64_t counter_base = 0;  // one u64 counter per instrumented instr
+  std::size_t num_slots = 0;
+  std::uint64_t histogram_base = 0;  // 64 u64 bins (cancelled bits)
+  std::uint64_t shadow_base = 0;     // scratch cell for the shadow loop
+  /// Original instruction address per counter slot.
+  std::vector<std::uint64_t> slot_origin;
+};
+
+struct CancellationResult {
+  program::Image image;  // rewritten binary with the analysis embedded
+  CancellationLayout layout;
+};
+
+/// Instruments every double add/sub in the image with the cancellation
+/// detector.
+CancellationResult instrument_cancellation(
+    const program::Image& image, const CancellationOptions& options = {});
+
+/// Aggregated results read back from a finished machine.
+struct CancellationReport {
+  std::uint64_t total_events = 0;
+  /// Cancellation events per original instruction address.
+  std::map<std::uint64_t, std::uint64_t> events_by_addr;
+  /// Histogram over the number of cancelled leading bits (bin 63 = 63+).
+  std::array<std::uint64_t, 64> bits_histogram{};
+};
+
+CancellationReport read_cancellation_report(const vm::Machine& machine,
+                                            const CancellationLayout& layout);
+
+}  // namespace fpmix::instrument

@@ -1,0 +1,81 @@
+// ChainBuilder: incremental construction of snippet chains (sequences of
+// basic blocks with forward-branch control flow), shared by the
+// mixed-precision snippet compiler and the cancellation-detection
+// instrumenter.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/instr.hpp"
+#include "instrument/snippet.hpp"
+
+namespace fpmix::instrument {
+
+class ChainBuilder {
+ public:
+  explicit ChainBuilder(std::uint64_t origin) : origin_(origin) {
+    blocks_.emplace_back();
+  }
+
+  void emit(arch::Opcode op, arch::Operand dst = arch::Operand::none(),
+            arch::Operand src = arch::Operand::none()) {
+    arch::Instr ins = arch::make2(op, dst, src);
+    ins.origin = origin_;
+    blocks_.back().instrs.push_back(ins);
+  }
+
+  /// Ends the current block with a forward branch whose target is bound by
+  /// land(); execution falls through to the next emitted code otherwise.
+  struct FwdBranch {
+    std::size_t block;
+  };
+  FwdBranch branch_fwd(arch::Opcode jcc) {
+    emit(jcc, arch::Operand::none(), arch::Operand::make_imm(0));
+    const FwdBranch h{blocks_.size() - 1};
+    start_block();
+    return h;
+  }
+
+  /// A backward branch: ends the current block with `jcc` targeting a block
+  /// that was started by mark() earlier (loop support for the cancellation
+  /// shadow loops).
+  struct Mark {
+    program::BlockIndex block;
+  };
+  Mark mark() {
+    start_block();
+    return Mark{static_cast<program::BlockIndex>(blocks_.size() - 1)};
+  }
+  void branch_back(arch::Opcode jcc, Mark m) {
+    emit(jcc, arch::Operand::none(),
+         arch::Operand::make_imm(static_cast<std::int64_t>(m.block)));
+    blocks_.back().taken = m.block;
+    start_block();
+  }
+
+  /// Binds a pending forward branch to the instruction emitted next.
+  void land(FwdBranch h) {
+    start_block();
+    const auto target =
+        static_cast<program::BlockIndex>(blocks_.size() - 1);
+    program::BasicBlock& b = blocks_[h.block];
+    b.taken = target;
+    b.instrs.back().src.imm = target;
+  }
+
+  SnippetChain finish();
+
+  std::uint64_t origin() const { return origin_; }
+
+ private:
+  void start_block() {
+    const auto next = static_cast<program::BlockIndex>(blocks_.size());
+    blocks_.back().fallthrough = next;
+    blocks_.emplace_back();
+  }
+
+  std::uint64_t origin_;
+  std::vector<program::BasicBlock> blocks_;
+};
+
+}  // namespace fpmix::instrument

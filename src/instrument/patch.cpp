@@ -1,0 +1,327 @@
+#include "instrument/patch.hpp"
+
+#include <array>
+
+#include "arch/disasm.hpp"
+#include "arch/intrinsics.hpp"
+#include "program/layout.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace fpmix::instrument {
+
+using arch::Instr;
+using arch::Opcode;
+using config::Precision;
+namespace in = arch::intrinsics;
+
+namespace {
+
+bool sets_flags(Opcode op) {
+  return op == Opcode::kCmp || op == Opcode::kTest ||
+         op == Opcode::kUcomisd || op == Opcode::kUcomiss;
+}
+
+/// Old-block-index sentinel used while splicing: edges still pointing into
+/// the original block numbering are encoded as -(old + kOldBias) and fixed
+/// up once the new block list is complete.
+constexpr program::BlockIndex kOldBias = 1000000;
+
+program::BlockIndex encode_old(program::BlockIndex old) {
+  return old == program::kNoIndex ? program::kNoIndex : -(old + kOldBias);
+}
+
+bool is_encoded_old(program::BlockIndex e) { return e <= -kOldBias; }
+
+program::BlockIndex decode_old(program::BlockIndex e) {
+  return -e - kOldBias;
+}
+
+/// Verifies the paper's implicit precondition that condition flags are not
+/// live across an instrumented instruction (snippets clobber flags). Our
+/// code generator always emits compare+branch adjacently, so this never
+/// fires on DSL-built binaries; it protects hand-written programs.
+void check_flag_liveness(const program::Function& fn,
+                         const program::BasicBlock& blk,
+                         const WrapPredicate& would_wrap) {
+  if (!blk.ends_with_cond_branch()) return;
+  // Find the last flag setter before the terminator.
+  std::ptrdiff_t setter = -1;
+  for (std::ptrdiff_t i = 0;
+       i < static_cast<std::ptrdiff_t>(blk.instrs.size()) - 1; ++i) {
+    if (sets_flags(blk.instrs[static_cast<std::size_t>(i)].op)) setter = i;
+  }
+  for (std::ptrdiff_t i = setter + 1;
+       i < static_cast<std::ptrdiff_t>(blk.instrs.size()) - 1; ++i) {
+    const Instr& ins = blk.instrs[static_cast<std::size_t>(i)];
+    if (would_wrap(ins)) {
+      throw ProgramError(strformat(
+          "function %s: flags are live across instrumented instruction "
+          "'%s' at 0x%llx",
+          fn.name.c_str(), arch::instr_to_string(ins).c_str(),
+          static_cast<unsigned long long>(ins.addr)));
+    }
+  }
+  if (setter == -1) {
+    // Flags flow in from a predecessor; any snippet in this block would
+    // clobber them before the terminator consumes them.
+    for (std::size_t i = 0; i + 1 < blk.instrs.size(); ++i) {
+      if (would_wrap(blk.instrs[i])) {
+        throw ProgramError(strformat(
+            "function %s: block consumes inherited flags but contains "
+            "instrumented instructions", fn.name.c_str()));
+      }
+    }
+  }
+}
+
+/// Intra-block tag-state tracker for the dataflow optimization. Tracks, for
+/// each XMM register, whether its lane-0 slot is known to hold a plain
+/// double, a boxed single, or unknown bits.
+class TagStateTracker {
+ public:
+  void reset() { states_.fill(TagState::kUnknown); }
+
+  TagState state_of(const arch::Operand& op) const {
+    return op.is_xmm() ? states_[op.reg] : TagState::kUnknown;
+  }
+
+  /// Updates state for an instruction the patcher left untouched.
+  void step_unwrapped(const Instr& ins) {
+    switch (ins.op) {
+      case Opcode::kMovsdXX:
+      case Opcode::kMovapdXX:
+        states_[ins.dst.reg] = states_[ins.src.reg];
+        break;
+      case Opcode::kCvtss2sd:
+      case Opcode::kCvtsi2sd:
+        states_[ins.dst.reg] = TagState::kPlain;
+        break;
+      case Opcode::kCall:
+        reset();  // callee may leave anything in any register
+        break;
+      case Opcode::kIntrin: {
+        const auto id = static_cast<in::Id>(ins.src.imm);
+        if (id < in::Id::kNumIntrinsics &&
+            in::intrin_info(id).has_f64_result) {
+          states_[0] = TagState::kPlain;  // unwrapped intrinsics stay f64
+        }
+        break;
+      }
+      default:
+        if (ins.dst.is_xmm()) states_[ins.dst.reg] = TagState::kUnknown;
+        break;
+    }
+  }
+
+  /// Updates state after a wrapped instruction: checked inputs were
+  /// converted in place (write-back), and the result is boxed (single) or
+  /// plain (double).
+  void step_wrapped(const Instr& ins, bool single) {
+    const arch::OpcodeInfo& info = arch::opcode_info(ins.op);
+    const TagState converted =
+        single ? TagState::kTagged : TagState::kPlain;
+    if (ins.op == Opcode::kIntrin) {
+      states_[0] = converted;
+      states_[1] = converted;  // conservative: arg state after conversion
+      return;
+    }
+    if (info.fp_lanes == 2) {
+      // Packed states are not tracked (lane-wise); be conservative.
+      if (ins.dst.is_xmm()) states_[ins.dst.reg] = TagState::kUnknown;
+      if (ins.src.is_xmm()) states_[ins.src.reg] = TagState::kUnknown;
+      return;
+    }
+    if (info.reads_dst_f64 && ins.dst.is_xmm()) {
+      states_[ins.dst.reg] = converted;
+    }
+    if (info.reads_src_f64 && ins.src.is_xmm()) {
+      states_[ins.src.reg] = converted;
+    }
+    if (info.writes_dst_f64 && ins.dst.is_xmm()) {
+      states_[ins.dst.reg] = converted;
+    }
+  }
+
+ private:
+  std::array<TagState, arch::kNumXmms> states_{};
+};
+
+}  // namespace
+
+program::Program splice_snippets(const program::Program& prog,
+                                 const WrapPredicate& would_wrap,
+                                 const SnippetFactory& factory,
+                                 InstrumentStats* stats,
+                                 const std::function<void()>& on_block_start) {
+  prog.validate();
+
+  program::Program out;
+  out.code_base = prog.code_base;
+  out.data_base = prog.data_base;
+  out.data = prog.data;
+  out.bss_base = prog.bss_base;
+  out.bss_size = prog.bss_size;
+  out.memory_size = prog.memory_size;
+  out.entry_function = prog.entry_function;
+
+  for (const program::Function& fn : prog.functions) {
+    for (const program::BasicBlock& blk : fn.blocks) {
+      check_flag_liveness(fn, blk, would_wrap);
+    }
+
+    program::Function nf;
+    nf.name = fn.name;
+    nf.module = fn.module;
+    nf.orig_addr = fn.orig_addr;
+
+    std::vector<program::BlockIndex> head_of_old(fn.blocks.size());
+    std::vector<program::BasicBlock> blocks;
+
+    for (std::size_t bi = 0; bi < fn.blocks.size(); ++bi) {
+      const program::BasicBlock& blk = fn.blocks[bi];
+      head_of_old[bi] = static_cast<program::BlockIndex>(blocks.size());
+
+      program::BasicBlock cur;
+      cur.orig_addr = blk.orig_addr;
+      if (on_block_start) on_block_start();
+
+      for (const Instr& ins : blk.instrs) {
+        std::optional<SnippetChain> chain = factory(ins);
+        if (!chain.has_value()) {
+          cur.instrs.push_back(ins);
+          continue;
+        }
+
+        // Section 2.4: split the block around the instruction and splice
+        // the snippet chain in its place.
+        if (stats != nullptr) {
+          ++stats->wrapped;
+          stats->snippet_instrs += chain->instruction_count();
+        }
+        const auto chain_base =
+            static_cast<program::BlockIndex>(blocks.size() + 1);
+        cur.fallthrough = chain_base;
+        if (cur.orig_addr == arch::kNoAddr) cur.orig_addr = ins.addr;
+        blocks.push_back(std::move(cur));
+        const auto exit_index = static_cast<program::BlockIndex>(
+            chain_base +
+            static_cast<program::BlockIndex>(chain->blocks.size()));
+        for (program::BasicBlock& sb : chain->blocks) {
+          const auto fix = [&](program::BlockIndex e) {
+            if (e == SnippetChain::kChainExit) return exit_index;
+            if (e == program::kNoIndex) return program::kNoIndex;
+            return static_cast<program::BlockIndex>(chain_base + e);
+          };
+          sb.taken = fix(sb.taken);
+          sb.fallthrough = fix(sb.fallthrough);
+          if (sb.ends_with_branch()) {
+            sb.instrs.back().src.imm = sb.taken;
+          }
+          if (sb.orig_addr == arch::kNoAddr) sb.orig_addr = ins.addr;
+          blocks.push_back(std::move(sb));
+        }
+        cur = program::BasicBlock{};
+        cur.orig_addr = ins.addr;
+      }
+
+      // Close the final fragment with the original block's terminator edges
+      // (encoded as old indices; remapped below).
+      cur.taken = encode_old(blk.taken);
+      cur.fallthrough = encode_old(blk.fallthrough);
+      blocks.push_back(std::move(cur));
+    }
+
+    // Remap old edges to the heads of their rebuilt blocks.
+    for (program::BasicBlock& b : blocks) {
+      if (is_encoded_old(b.taken)) {
+        b.taken = head_of_old[static_cast<std::size_t>(decode_old(b.taken))];
+        if (b.ends_with_branch()) b.instrs.back().src.imm = b.taken;
+      }
+      if (is_encoded_old(b.fallthrough)) {
+        b.fallthrough =
+            head_of_old[static_cast<std::size_t>(decode_old(b.fallthrough))];
+      }
+    }
+
+    nf.blocks = std::move(blocks);
+    out.functions.push_back(std::move(nf));
+  }
+
+  out.validate();
+  return out;
+}
+
+InstrumentResult instrument(const program::Program& prog,
+                            const config::StructureIndex& index,
+                            const config::PrecisionConfig& cfg,
+                            const InstrumentOptions& options) {
+  const std::map<std::uint64_t, Precision> pmap = cfg.address_map(index);
+
+  const auto effective_precision = [&](const Instr& ins) {
+    auto it = pmap.find(ins.addr);
+    if (it == pmap.end()) {
+      throw ProgramError(strformat(
+          "instruction at 0x%llx is unknown to the structure index "
+          "(stale index?)",
+          static_cast<unsigned long long>(ins.addr)));
+    }
+    Precision p = it->second;
+    // A `single` flag on an aggregate also covers non-candidate FP
+    // instructions inside it (e.g. conversions, output calls); those
+    // execute in double precision with tag checks.
+    if (p == Precision::kSingle && !config::is_candidate_instr(ins)) {
+      p = Precision::kDouble;
+    }
+    return p;
+  };
+
+  InstrumentResult result;
+  // The dataflow facts are strictly intra-block: the tracker resets at
+  // every block head (blocks can have multiple predecessors with different
+  // tag states).
+  TagStateTracker tracker;
+  tracker.reset();
+
+  const auto would_wrap = [&](const Instr& ins) {
+    return needs_snippet(ins, effective_precision(ins));
+  };
+
+  const auto factory = [&](const Instr& ins) -> std::optional<SnippetChain> {
+    const Precision p = effective_precision(ins);
+    if (p == Precision::kIgnore) ++result.stats.ignored;
+    if (!needs_snippet(ins, p)) {
+      if (options.dataflow_optimize) tracker.step_unwrapped(ins);
+      return std::nullopt;
+    }
+    const bool single =
+        p == Precision::kSingle && config::is_candidate_instr(ins);
+    SnippetOptions sopts = options.snippet;
+    if (options.dataflow_optimize) {
+      sopts.dst_state = tracker.state_of(ins.dst);
+      sopts.src_state = tracker.state_of(ins.src);
+      if (sopts.dst_state != TagState::kUnknown) ++result.stats.checks_elided;
+      if (sopts.src_state != TagState::kUnknown) ++result.stats.checks_elided;
+      tracker.step_wrapped(ins, single);
+    }
+    if (single) ++result.stats.replaced_single;
+    return build_snippet(ins, p, sopts);
+  };
+
+  result.patched = splice_snippets(prog, would_wrap, factory, &result.stats,
+                                   [&] { tracker.reset(); });
+  return result;
+}
+
+program::Image instrument_image(const program::Image& image,
+                                const config::StructureIndex& index,
+                                const config::PrecisionConfig& cfg,
+                                InstrumentStats* stats,
+                                const InstrumentOptions& options) {
+  const program::Program prog = program::lift(image);
+  InstrumentResult r = instrument(prog, index, cfg, options);
+  if (stats != nullptr) *stats = r.stats;
+  return program::relayout(r.patched);
+}
+
+}  // namespace fpmix::instrument

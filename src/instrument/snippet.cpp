@@ -1,0 +1,301 @@
+#include "instrument/snippet.hpp"
+
+#include "arch/intrinsics.hpp"
+#include "arch/tag.hpp"
+#include "config/structure.hpp"
+#include "instrument/chain_builder.hpp"
+#include "support/error.hpp"
+
+namespace fpmix::instrument {
+
+using arch::Instr;
+using arch::Opcode;
+using arch::Operand;
+using config::Precision;
+namespace in = arch::intrinsics;
+
+SnippetChain ChainBuilder::finish() {
+  FPMIX_CHECK(!blocks_.back().instrs.empty());
+  blocks_.back().fallthrough = SnippetChain::kChainExit;
+  SnippetChain chain;
+  chain.blocks = std::move(blocks_);
+  return chain;
+}
+
+namespace {
+
+// Scratch register conventions (saved/restored by every snippet that uses
+// them): r0/r1 for bit tests, xmm15 for hoisted memory operands, xmm14 for
+// lane-wise conversions of packed values.
+constexpr std::uint8_t kScratchA = 0;   // "rax" of Figure 6
+constexpr std::uint8_t kScratchB = 1;   // "rbx" of Figure 6
+constexpr std::uint8_t kMemTemp = 15;   // hoisted memory operand
+constexpr std::uint8_t kLaneTemp = 14;  // packed lane conversion
+
+constexpr std::int64_t kTagWord =
+    static_cast<std::int64_t>(arch::kReplacedTag);
+constexpr std::int64_t kTagHigh =
+    static_cast<std::int64_t>(arch::kReplacedTagHigh);
+constexpr std::int64_t kLowMask = 0xFFFFFFFFll;
+
+/// Boxes the single-precision result in xmm `x` lane 0: low 32 bits are
+/// kept, the sentinel is written to the high 32.
+void retag(ChainBuilder& b, std::uint8_t x) {
+  b.emit(Opcode::kMovqRX, Operand::gpr(kScratchA), Operand::xmm(x));
+  b.emit(Opcode::kAnd, Operand::gpr(kScratchA), Operand::make_imm(kLowMask));
+  b.emit(Opcode::kOr, Operand::gpr(kScratchA), Operand::make_imm(kTagHigh));
+  b.emit(Opcode::kMovqXR, Operand::xmm(x), Operand::gpr(kScratchA));
+}
+
+/// Figure 6 input handling, single-precision flavour: if xmm `x` does not
+/// carry the sentinel, downcast it in place and set the flag. `state` is
+/// the dataflow fact for this register.
+void downcast_check(ChainBuilder& b, std::uint8_t x,
+                    const SnippetOptions& opts,
+                    TagState state = TagState::kUnknown) {
+  if (state == TagState::kTagged) return;  // already boxed: nothing to do
+  if (state == TagState::kPlain) {
+    // Known-plain double: narrow unconditionally (sound elision).
+    b.emit(Opcode::kCvtsd2ss, Operand::xmm(x), Operand::xmm(x));
+    retag(b, x);
+    return;
+  }
+  if (!opts.check_tags) {
+    // Ablation: unconditional narrowing. Correct only when the input is
+    // guaranteed untagged.
+    b.emit(Opcode::kCvtsd2ss, Operand::xmm(x), Operand::xmm(x));
+    retag(b, x);
+    return;
+  }
+  b.emit(Opcode::kMovqRX, Operand::gpr(kScratchA), Operand::xmm(x));
+  b.emit(Opcode::kMov, Operand::gpr(kScratchB), Operand::gpr(kScratchA));
+  b.emit(Opcode::kShr, Operand::gpr(kScratchB), Operand::make_imm(32));
+  b.emit(Opcode::kCmp, Operand::gpr(kScratchB), Operand::make_imm(kTagWord));
+  const ChainBuilder::FwdBranch skip = b.branch_fwd(Opcode::kJe);
+  b.emit(Opcode::kCvtsd2ss, Operand::xmm(x), Operand::xmm(x));
+  b.emit(Opcode::kMovqRX, Operand::gpr(kScratchA), Operand::xmm(x));
+  b.emit(Opcode::kOr, Operand::gpr(kScratchA), Operand::make_imm(kTagHigh));
+  b.emit(Opcode::kMovqXR, Operand::xmm(x), Operand::gpr(kScratchA));
+  b.land(skip);
+}
+
+/// Double-precision flavour: if xmm `x` carries the sentinel, widen the
+/// boxed float back to a plain double in place.
+void upcast_check(ChainBuilder& b, std::uint8_t x,
+                  const SnippetOptions& opts,
+                  TagState state = TagState::kUnknown) {
+  (void)opts;  // check_tags never elides the upcast test (correctness)
+  if (state == TagState::kPlain) return;  // known plain: nothing to do
+  if (state == TagState::kTagged) {
+    b.emit(Opcode::kCvtss2sd, Operand::xmm(x), Operand::xmm(x));
+    return;
+  }
+  b.emit(Opcode::kMovqRX, Operand::gpr(kScratchA), Operand::xmm(x));
+  b.emit(Opcode::kShr, Operand::gpr(kScratchA), Operand::make_imm(32));
+  b.emit(Opcode::kCmp, Operand::gpr(kScratchA), Operand::make_imm(kTagWord));
+  const ChainBuilder::FwdBranch skip = b.branch_fwd(Opcode::kJne);
+  b.emit(Opcode::kCvtss2sd, Operand::xmm(x), Operand::xmm(x));
+  b.land(skip);
+}
+
+/// Lane-wise check/convert of a packed register through a stack spill.
+void packed_check(ChainBuilder& b, std::uint8_t x, bool single,
+                  const SnippetOptions& opts) {
+  b.emit(Opcode::kPushX, Operand::xmm(x));
+  for (int lane = 0; lane < 2; ++lane) {
+    const auto slot = Operand::mem_bd(arch::kSpReg, 8 * lane);
+    ChainBuilder::FwdBranch skip{};
+    bool have_skip = false;
+    if (opts.check_tags || !single) {
+      b.emit(Opcode::kLoad, Operand::gpr(kScratchA), slot);
+      b.emit(Opcode::kShr, Operand::gpr(kScratchA), Operand::make_imm(32));
+      b.emit(Opcode::kCmp, Operand::gpr(kScratchA),
+             Operand::make_imm(kTagWord));
+      skip = b.branch_fwd(single ? Opcode::kJe : Opcode::kJne);
+      have_skip = true;
+    }
+    b.emit(Opcode::kMovsdXM, Operand::xmm(kLaneTemp), slot);
+    if (single) {
+      b.emit(Opcode::kCvtsd2ss, Operand::xmm(kLaneTemp),
+             Operand::xmm(kLaneTemp));
+      b.emit(Opcode::kMovqRX, Operand::gpr(kScratchA),
+             Operand::xmm(kLaneTemp));
+      b.emit(Opcode::kOr, Operand::gpr(kScratchA),
+             Operand::make_imm(kTagHigh));
+      b.emit(Opcode::kStore, slot, Operand::gpr(kScratchA));
+    } else {
+      b.emit(Opcode::kCvtss2sd, Operand::xmm(kLaneTemp),
+             Operand::xmm(kLaneTemp));
+      b.emit(Opcode::kMovsdMX, slot, Operand::xmm(kLaneTemp));
+    }
+    if (have_skip) b.land(skip);
+  }
+  b.emit(Opcode::kPopX, Operand::xmm(x));
+}
+
+/// Boxes both lanes of a packed result.
+void packed_retag(ChainBuilder& b, std::uint8_t x) {
+  b.emit(Opcode::kPushX, Operand::xmm(x));
+  for (int lane = 0; lane < 2; ++lane) {
+    const auto slot = Operand::mem_bd(arch::kSpReg, 8 * lane);
+    b.emit(Opcode::kLoad, Operand::gpr(kScratchA), slot);
+    b.emit(Opcode::kAnd, Operand::gpr(kScratchA), Operand::make_imm(kLowMask));
+    b.emit(Opcode::kOr, Operand::gpr(kScratchA), Operand::make_imm(kTagHigh));
+    b.emit(Opcode::kStore, slot, Operand::gpr(kScratchA));
+  }
+  b.emit(Opcode::kPopX, Operand::xmm(x));
+}
+
+std::uint64_t origin_of(const Instr& ins) {
+  return ins.origin != arch::kNoAddr ? ins.origin : ins.addr;
+}
+
+bool reads_f64(const arch::OpcodeInfo& info) {
+  return info.reads_dst_f64 || info.reads_src_f64;
+}
+
+/// Builds the snippet for an FP intrinsic call.
+SnippetChain build_intrin_snippet(const Instr& ins, Precision p,
+                                  const SnippetOptions& opts) {
+  const auto id = static_cast<in::Id>(ins.src.imm);
+  const in::IntrinInfo& info = in::intrin_info(id);
+  ChainBuilder b(origin_of(ins));
+  b.emit(Opcode::kPush, Operand::gpr(kScratchA));
+  b.emit(Opcode::kPush, Operand::gpr(kScratchB));
+  const bool single = p == Precision::kSingle;
+  FPMIX_CHECK(!single || in::intrin_has_f32_twin(id));
+  for (std::uint8_t a = 0; a < info.num_f64_args; ++a) {
+    if (single) {
+      downcast_check(b, a, opts);  // args in xmm0, xmm1
+    } else {
+      upcast_check(b, a, opts);
+    }
+  }
+  const in::Id call_id = single ? info.f32_twin : id;
+  b.emit(Opcode::kIntrin, Operand::none(),
+         Operand::make_imm(static_cast<std::int64_t>(call_id)));
+  if (single && info.has_f64_result) retag(b, 0);
+  b.emit(Opcode::kPop, Operand::gpr(kScratchB));
+  b.emit(Opcode::kPop, Operand::gpr(kScratchA));
+  return b.finish();
+}
+
+}  // namespace
+
+bool needs_snippet(const arch::Instr& ins, Precision p) {
+  if (p == Precision::kIgnore) return false;
+  if (ins.op == Opcode::kIntrin) {
+    const auto id = static_cast<in::Id>(ins.src.imm);
+    if (id >= in::Id::kNumIntrinsics || !in::intrin_touches_fp(id)) {
+      return false;
+    }
+    const in::IntrinInfo& info = in::intrin_info(id);
+    if (info.num_f64_args == 0) return false;  // nothing to check or narrow
+    return true;
+  }
+  const arch::OpcodeInfo& info = arch::opcode_info(ins.op);
+  const bool single =
+      p == Precision::kSingle && arch::is_replacement_candidate(ins.op);
+  if (single) return true;
+  // Double-mapped: only instructions that might consume a tagged slot need
+  // wrapping (cvtsi2sd writes a fresh double and reads nothing).
+  return reads_f64(info);
+}
+
+SnippetChain build_snippet(const arch::Instr& ins, Precision p,
+                           const SnippetOptions& options) {
+  FPMIX_CHECK(p != Precision::kIgnore);
+  if (ins.op == Opcode::kIntrin) {
+    return build_intrin_snippet(ins, p, options);
+  }
+
+  const arch::OpcodeInfo& info = arch::opcode_info(ins.op);
+  const bool single =
+      p == Precision::kSingle && arch::is_replacement_candidate(ins.op);
+  FPMIX_CHECK(p != Precision::kSingle || single);
+  FPMIX_CHECK(single || reads_f64(info));
+
+  ChainBuilder b(origin_of(ins));
+  const bool packed = info.fp_lanes == 2;
+  const bool mem_src = ins.src.is_mem();
+
+  // Scratch-register conflicts. Dyninst resolves these with register
+  // liveness analysis; our code generator simply never allocates r0/r1 or
+  // xmm14/xmm15 to program values, and the patcher enforces it here.
+  if (ins.dst.is_gpr() &&
+      (ins.dst.reg == kScratchA || ins.dst.reg == kScratchB)) {
+    throw ProgramError(
+        "instrumented FP instruction writes a snippet scratch GPR (r0/r1)");
+  }
+  for (const Operand* op : {&ins.dst, &ins.src}) {
+    if (op->is_xmm() && (op->reg == kMemTemp || op->reg == kLaneTemp) &&
+        (mem_src || packed)) {
+      throw ProgramError(
+          "instrumented FP instruction uses a snippet scratch XMM "
+          "(xmm14/xmm15)");
+    }
+  }
+
+  // Prologue: save scratch state. xmm15 is only clobbered when a memory
+  // operand is hoisted; xmm14 only by packed lane conversions.
+  b.emit(Opcode::kPush, Operand::gpr(kScratchA));
+  b.emit(Opcode::kPush, Operand::gpr(kScratchB));
+  if (mem_src) b.emit(Opcode::kPushX, Operand::xmm(kMemTemp));
+  if (packed) b.emit(Opcode::kPushX, Operand::xmm(kLaneTemp));
+
+  // Hoist a memory source into xmm15 ("copies any memory operands into a
+  // temporary register, and modifies the replaced instruction to use only
+  // register operands").
+  Operand src = ins.src;
+  if (mem_src) {
+    b.emit(packed ? Opcode::kMovapdXM : Opcode::kMovsdXM,
+           Operand::xmm(kMemTemp), ins.src);
+    src = Operand::xmm(kMemTemp);
+  }
+
+  // Input checks. Dataflow states apply only to register operands (a
+  // hoisted memory operand's state is always unknown).
+  const TagState src_state =
+      mem_src ? TagState::kUnknown : options.src_state;
+  if (packed) {
+    if (info.reads_dst_f64) packed_check(b, ins.dst.reg, single, options);
+    if (info.reads_src_f64) packed_check(b, src.reg, single, options);
+  } else {
+    if (info.reads_dst_f64) {
+      if (single) downcast_check(b, ins.dst.reg, options, options.dst_state);
+      else upcast_check(b, ins.dst.reg, options, options.dst_state);
+    }
+    if (info.reads_src_f64 && src.is_xmm()) {
+      // Same-register operands were just converted by the dst check.
+      const TagState eff =
+          (ins.dst.is_xmm() && info.reads_dst_f64 &&
+           src.reg == ins.dst.reg)
+              ? (single ? TagState::kTagged : TagState::kPlain)
+              : src_state;
+      if (single) downcast_check(b, src.reg, options, eff);
+      else upcast_check(b, src.reg, options, eff);
+    }
+  }
+
+  // The operation itself, possibly rewritten to its single twin.
+  const Opcode op = single ? info.single_twin : ins.op;
+  b.emit(op, ins.dst, src);
+
+  // Box single results.
+  if (single && info.writes_dst_f64) {
+    if (packed) {
+      packed_retag(b, ins.dst.reg);
+    } else {
+      retag(b, ins.dst.reg);
+    }
+  }
+
+  // Epilogue (reverse order).
+  if (packed) b.emit(Opcode::kPopX, Operand::xmm(kLaneTemp));
+  if (mem_src) b.emit(Opcode::kPopX, Operand::xmm(kMemTemp));
+  b.emit(Opcode::kPop, Operand::gpr(kScratchB));
+  b.emit(Opcode::kPop, Operand::gpr(kScratchA));
+  return b.finish();
+}
+
+}  // namespace fpmix::instrument

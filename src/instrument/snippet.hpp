@@ -1,0 +1,77 @@
+// The snippet mini-compiler (Section 2.3, Figure 6).
+//
+// For every floating-point instruction the patcher asks this module for a
+// replacement snippet: a small chain of basic blocks that
+//   1. saves the scratch registers it needs (push r0/r1, pushx xmm14/15),
+//   2. hoists memory operands into a temporary XMM register (the paper does
+//      this to avoid writing to unwritable memory and to sidestep
+//      synchronization hazards),
+//   3. tests each double-precision input for the 0x7FF4DEAD sentinel and
+//      downcasts (single) or upcasts (double) it as required, writing
+//      converted register operands back in place,
+//   4. executes the operation -- rewritten to its single-precision twin when
+//      the configuration maps the instruction to `single`,
+//   5. boxes single-precision results back into tagged slots, and
+//   6. restores scratch registers.
+//
+// Packed (two-lane) values are handled lane-wise through a stack spill,
+// exactly mirroring the paper's treatment of 128-bit XMM data.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/instr.hpp"
+#include "config/precision.hpp"
+#include "program/program.hpp"
+
+namespace fpmix::instrument {
+
+/// A snippet: basic blocks whose taken/fallthrough edges are indices *local
+/// to this chain*. The final block's fallthrough is kChainExit and is wired
+/// to the continuation block by the patcher.
+struct SnippetChain {
+  static constexpr program::BlockIndex kChainExit = -2;
+  std::vector<program::BasicBlock> blocks;
+
+  std::size_t instruction_count() const {
+    std::size_t n = 0;
+    for (const auto& b : blocks) n += b.instrs.size();
+    return n;
+  }
+};
+
+/// Statically known boxed/plain state of an operand register, fed by the
+/// patcher's intra-block dataflow (paper Section 2.5). kUnknown emits the
+/// full Figure 6 check; kPlain/kTagged let the snippet skip or
+/// strength-reduce the sentinel test.
+enum class TagState : std::uint8_t { kUnknown, kPlain, kTagged };
+
+/// Snippet-generation knobs (defaults reproduce the paper's design; the
+/// non-default settings exist for the ablation benchmarks and the dataflow
+/// optimization).
+struct SnippetOptions {
+  /// Test for the 0x7FF4DEAD sentinel before converting (Figure 6). With
+  /// false, single-mapped inputs are downcast unconditionally: cheaper
+  /// snippets, but a value that is *already* boxed gets re-converted as if
+  /// its bit pattern were a double -- the ablation shows the check is
+  /// load-bearing for correctness, not just for speed.
+  bool check_tags = true;
+
+  /// Dataflow facts for the instruction's register operands.
+  TagState dst_state = TagState::kUnknown;
+  TagState src_state = TagState::kUnknown;
+};
+
+/// True when `ins` must be replaced by a snippet under effective precision
+/// `p` (false for ignore, for bit-preserving moves, and for double-mapped
+/// instructions that read no f64 data).
+bool needs_snippet(const arch::Instr& ins, config::Precision p);
+
+/// Builds the snippet for `ins` under `p`. `p` must be kSingle only when the
+/// instruction is a replacement candidate. Every emitted instruction carries
+/// origin = ins.addr (or ins.origin when set) for provenance.
+SnippetChain build_snippet(const arch::Instr& ins, config::Precision p,
+                           const SnippetOptions& options = {});
+
+}  // namespace fpmix::instrument

@@ -1,0 +1,279 @@
+// BT: block-tridiagonal solver analogue.
+//
+// Solves a batch of independent block-tridiagonal systems with dense 3x3
+// blocks by the block Thomas algorithm: forward elimination with explicit
+// 3x3 inverses (adjugate formula, fully unrolled -- this is where BT's large
+// candidate count comes from in the paper) and back-substitution. Block data
+// is baked, diagonally dominant.
+#include "kernels/workload.hpp"
+
+#include "lang/builder.hpp"
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace fpmix::kernels {
+
+using lang::Builder;
+using lang::Expr;
+
+namespace {
+
+struct BtParams {
+  std::size_t systems;   // independent lines
+  std::size_t nblocks;   // blocks per line
+};
+
+BtParams bt_params(char cls) {
+  switch (cls) {
+    case 'S': return {4, 12};
+    case 'W': return {8, 24};
+    case 'A': return {16, 40};
+    case 'C': return {32, 64};
+    default: throw Error(strformat("bt: unknown class %c", cls));
+  }
+}
+
+}  // namespace
+
+Workload make_bt(char cls) {
+  const BtParams p = bt_params(cls);
+  const auto sys = static_cast<std::int64_t>(p.systems);
+  const auto nb = static_cast<std::int64_t>(p.nblocks);
+  const std::size_t total_blocks = p.systems * p.nblocks;
+
+  // Bake block data: per (system, block): lower A, diagonal D, upper C (3x3
+  // each) and rhs (3). Diagonal dominance keeps pivot-free elimination
+  // stable.
+  std::vector<double> lowd(total_blocks * 9), diag(total_blocks * 9),
+      uppd(total_blocks * 9), rhs(total_blocks * 3);
+  {
+    SplitMix64 rng(0xB7 + static_cast<std::uint64_t>(cls));
+    for (std::size_t t = 0; t < total_blocks; ++t) {
+      double offsum[3] = {0, 0, 0};
+      for (int e = 0; e < 9; ++e) {
+        lowd[t * 9 + static_cast<std::size_t>(e)] =
+            rng.next_double(-0.2, 0.2);
+        uppd[t * 9 + static_cast<std::size_t>(e)] =
+            rng.next_double(-0.2, 0.2);
+        const double v = rng.next_double(-0.3, 0.3);
+        diag[t * 9 + static_cast<std::size_t>(e)] = v;
+        offsum[e / 3] += std::fabs(v);
+      }
+      for (int d = 0; d < 3; ++d) {
+        diag[t * 9 + static_cast<std::size_t>(d * 3 + d)] =
+            offsum[d] + 0.35 + 0.2 * rng.next_double(0.0, 1.0);
+        rhs[t * 3 + static_cast<std::size_t>(d)] = rng.next_double(-1, 1);
+      }
+    }
+  }
+
+  Builder b;
+  auto A = b.const_array_f64("blkA", lowd);
+  auto D = b.const_array_f64("blkD", diag);
+  auto C = b.const_array_f64("blkC", uppd);
+  auto R = b.const_array_f64("blkR", rhs);
+
+  // Working storage for one line.
+  auto wd = b.array_f64("wd", p.nblocks * 9);    // modified diagonal blocks
+  auto wmat = b.array_f64("wmat", p.nblocks * 9);  // W_k = inv(D'_k) C_k
+  auto wg = b.array_f64("wg", p.nblocks * 3);      // g_k = inv(D'_k) b_k
+  auto wb = b.array_f64("wb", p.nblocks * 3);      // running rhs
+  auto xs = b.array_f64("xs", p.nblocks * 3);      // solution of the line
+
+  // 3x3 scratch (globals, Fortran COMMON style).
+  auto m9 = b.array_f64("m9", 9);    // input matrix for inv3
+  auto inv9 = b.array_f64("inv9", 9);
+  auto va3 = b.array_f64("va3", 3);
+  auto vb3 = b.array_f64("vb3", 3);
+
+  // --- module bt_blas: unrolled 3x3 primitives ------------------------------
+  // inv9 = inverse(m9) via adjugate / determinant.
+  b.begin_func("inv3", "bt_blas");
+  {
+    auto det = b.var_f64("iv_det");
+    const auto m = [&](int i, int j) { return m9[b.ci(i * 3 + j)]; };
+    auto c00 = b.var_f64("iv_c00");
+    auto c01 = b.var_f64("iv_c01");
+    auto c02 = b.var_f64("iv_c02");
+    b.set(c00, m(1, 1) * m(2, 2) - m(1, 2) * m(2, 1));
+    b.set(c01, m(1, 2) * m(2, 0) - m(1, 0) * m(2, 2));
+    b.set(c02, m(1, 0) * m(2, 1) - m(1, 1) * m(2, 0));
+    b.set(det, m(0, 0) * Expr(c00) + m(0, 1) * Expr(c01) +
+                   m(0, 2) * Expr(c02));
+    b.set(det, b.cf(1.0) / Expr(det));
+    b.store(inv9, b.ci(0), Expr(c00) * Expr(det));
+    b.store(inv9, b.ci(3), Expr(c01) * Expr(det));
+    b.store(inv9, b.ci(6), Expr(c02) * Expr(det));
+    b.store(inv9, b.ci(1),
+            (m(0, 2) * m(2, 1) - m(0, 1) * m(2, 2)) * Expr(det));
+    b.store(inv9, b.ci(4),
+            (m(0, 0) * m(2, 2) - m(0, 2) * m(2, 0)) * Expr(det));
+    b.store(inv9, b.ci(7),
+            (m(0, 1) * m(2, 0) - m(0, 0) * m(2, 1)) * Expr(det));
+    b.store(inv9, b.ci(2),
+            (m(0, 1) * m(1, 2) - m(0, 2) * m(1, 1)) * Expr(det));
+    b.store(inv9, b.ci(5),
+            (m(0, 2) * m(1, 0) - m(0, 0) * m(1, 2)) * Expr(det));
+    b.store(inv9, b.ci(8),
+            (m(0, 0) * m(1, 1) - m(0, 1) * m(1, 0)) * Expr(det));
+  }
+  b.end_func();
+
+  // vb3 = m9 * va3 (unrolled).
+  b.begin_func("mv3", "bt_blas");
+  {
+    for (int i = 0; i < 3; ++i) {
+      b.store(vb3, b.ci(i),
+              m9[b.ci(i * 3)] * va3[b.ci(0)] +
+                  m9[b.ci(i * 3 + 1)] * va3[b.ci(1)] +
+                  m9[b.ci(i * 3 + 2)] * va3[b.ci(2)]);
+    }
+  }
+  b.end_func();
+
+  // --- module bt_solve: block Thomas over one line ---------------------------
+  auto line = b.var_i64("line");
+
+  b.begin_func("solve_line", "bt_solve");
+  {
+    auto k = b.var_i64("sl_k");
+    auto e = b.var_i64("sl_e");
+    auto base = b.var_i64("sl_base");   // block index of (line, k)
+    auto prev = b.var_i64("sl_prev");
+    auto t0 = b.var_f64("sl_t0");
+
+    // Copy line data into working arrays.
+    b.for_(k, b.ci(0), b.ci(nb), [&] {
+      b.set(base, (Expr(line) * b.ci(nb) + Expr(k)) * b.ci(9));
+      b.for_(e, b.ci(0), b.ci(9), [&] {
+        b.store(wd, Expr(k) * b.ci(9) + Expr(e), D[Expr(base) + Expr(e)]);
+      });
+      b.set(base, (Expr(line) * b.ci(nb) + Expr(k)) * b.ci(3));
+      b.for_(e, b.ci(0), b.ci(3), [&] {
+        b.store(wb, Expr(k) * b.ci(3) + Expr(e), R[Expr(base) + Expr(e)]);
+      });
+    });
+
+    // Forward elimination.
+    b.for_(k, b.ci(0), b.ci(nb), [&] {
+      b.set(base, (Expr(line) * b.ci(nb) + Expr(k)) * b.ci(9));
+      b.if_(Expr(k) > b.ci(0), [&] {
+        b.set(prev, Expr(k) - b.ci(1));
+        // wd_k -= A_k * W_{k-1};  wb_k -= A_k * g_{k-1}
+        // Unrolled 3x3 multiply-subtract.
+        auto ii = b.var_i64("sl_ii");
+        auto jj = b.var_i64("sl_jj");
+        auto kk = b.var_i64("sl_kk");
+        b.for_(ii, b.ci(0), b.ci(3), [&] {
+          b.for_(jj, b.ci(0), b.ci(3), [&] {
+            b.set(t0, b.cf(0.0));
+            b.for_(kk, b.ci(0), b.ci(3), [&] {
+              b.set(t0, Expr(t0) +
+                            A[Expr(base) + Expr(ii) * b.ci(3) + Expr(kk)] *
+                                wmat[Expr(prev) * b.ci(9) +
+                                     Expr(kk) * b.ci(3) + Expr(jj)]);
+            });
+            b.store(wd, Expr(k) * b.ci(9) + Expr(ii) * b.ci(3) + Expr(jj),
+                    wd[Expr(k) * b.ci(9) + Expr(ii) * b.ci(3) + Expr(jj)] -
+                        Expr(t0));
+          });
+          b.set(t0, b.cf(0.0));
+          b.for_(kk, b.ci(0), b.ci(3), [&] {
+            b.set(t0, Expr(t0) +
+                          A[Expr(base) + Expr(ii) * b.ci(3) + Expr(kk)] *
+                              wg[Expr(prev) * b.ci(3) + Expr(kk)]);
+          });
+          b.store(wb, Expr(k) * b.ci(3) + Expr(ii),
+                  wb[Expr(k) * b.ci(3) + Expr(ii)] - Expr(t0));
+        });
+      });
+      // inv(D'_k)
+      b.for_(e, b.ci(0), b.ci(9), [&] {
+        b.store(m9, Expr(e), wd[Expr(k) * b.ci(9) + Expr(e)]);
+      });
+      b.call("inv3");
+      // W_k = inv * C_k
+      auto ii = b.var_i64("sl_i2");
+      auto jj = b.var_i64("sl_j2");
+      auto kk = b.var_i64("sl_k2");
+      b.for_(ii, b.ci(0), b.ci(3), [&] {
+        b.for_(jj, b.ci(0), b.ci(3), [&] {
+          b.set(t0, b.cf(0.0));
+          b.for_(kk, b.ci(0), b.ci(3), [&] {
+            b.set(t0, Expr(t0) +
+                          inv9[Expr(ii) * b.ci(3) + Expr(kk)] *
+                              C[(Expr(line) * b.ci(nb) + Expr(k)) * b.ci(9) +
+                                Expr(kk) * b.ci(3) + Expr(jj)]);
+          });
+          b.store(wmat, Expr(k) * b.ci(9) + Expr(ii) * b.ci(3) + Expr(jj),
+                  t0);
+        });
+      });
+      // g_k = inv * wb_k  (via mv3 on globals)
+      b.for_(e, b.ci(0), b.ci(9), [&] {
+        b.store(m9, Expr(e), inv9[Expr(e)]);
+      });
+      b.for_(e, b.ci(0), b.ci(3), [&] {
+        b.store(va3, Expr(e), wb[Expr(k) * b.ci(3) + Expr(e)]);
+      });
+      b.call("mv3");
+      b.for_(e, b.ci(0), b.ci(3), [&] {
+        b.store(wg, Expr(k) * b.ci(3) + Expr(e), vb3[Expr(e)]);
+      });
+    });
+
+    // Back substitution.
+    auto e2 = b.var_i64("sl_e2");
+    b.for_(e2, b.ci(0), b.ci(3), [&] {
+      b.store(xs, (b.ci(nb) - b.ci(1)) * b.ci(3) + Expr(e2),
+              wg[(b.ci(nb) - b.ci(1)) * b.ci(3) + Expr(e2)]);
+    });
+    b.for_(k, b.ci(nb) - b.ci(2), b.ci(-1), [&] {
+      b.for_(e2, b.ci(0), b.ci(9), [&] {
+        b.store(m9, Expr(e2), wmat[Expr(k) * b.ci(9) + Expr(e2)]);
+      });
+      b.for_(e2, b.ci(0), b.ci(3), [&] {
+        b.store(va3, Expr(e2), xs[(Expr(k) + b.ci(1)) * b.ci(3) + Expr(e2)]);
+      });
+      b.call("mv3");
+      b.for_(e2, b.ci(0), b.ci(3), [&] {
+        b.store(xs, Expr(k) * b.ci(3) + Expr(e2),
+                wg[Expr(k) * b.ci(3) + Expr(e2)] - vb3[Expr(e2)]);
+      });
+    }, /*step=*/-1);
+  }
+  b.end_func();
+
+  // --- module bt_main ----------------------------------------------------------
+  b.begin_func("main", "bt_main");
+  {
+    auto e = b.var_i64("mn_e");
+    auto csum = b.var_f64("mn_csum");
+    auto lsum = b.var_f64("mn_lsum");
+    b.set(csum, b.cf(0.0));
+    b.for_(line, b.ci(0), b.ci(sys), [&] {
+      b.call("solve_line");
+      b.set(lsum, b.cf(0.0));
+      b.for_(e, b.ci(0), b.ci(nb * 3), [&] {
+        b.set(lsum, Expr(lsum) + xs[Expr(e)] * xs[Expr(e)]);
+      });
+      b.set(csum, Expr(csum) + sqrt_(lsum));
+    });
+    b.output(csum);
+  }
+  b.end_func();
+
+  Workload w;
+  w.name = strformat("bt.%c", cls);
+  w.model = b.take_model();
+  // A single moderately tight figure of merit: per-instruction narrowing
+  // usually survives, whole-phase narrowing often does not -- BT is the
+  // paper's example of a final composed configuration that can fail.
+  w.rel_tol = 2e-8;
+  return w;
+}
+
+}  // namespace fpmix::kernels

@@ -1,0 +1,186 @@
+// CG: conjugate-gradient NAS analogue.
+//
+// Structure mirrors NPB CG: an outer power-method iteration computing the
+// dominant-eigenvalue estimate zeta = shift + 1/(x.z), with each outer step
+// solving A z = x by a fixed number of CG iterations over a sparse SPD
+// matrix. The matrix is baked into the data segment (our stand-in for
+// makea); auxiliary statistics (residual norms per outer step) are reported
+// with loose tolerances while zeta itself is checked tightly -- so the
+// search discovers that the hot sparse kernels feeding zeta are
+// precision-sensitive while peripheral computation narrows freely.
+#include "kernels/workload.hpp"
+
+#include "lang/builder.hpp"
+#include "linalg/csr.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace fpmix::kernels {
+
+using lang::Builder;
+using lang::Expr;
+
+namespace {
+
+struct CgParams {
+  std::size_t n;
+  std::size_t nnz_per_row;
+  std::size_t inner_iters;
+  std::size_t outer_iters;
+  double shift;
+};
+
+CgParams cg_params(char cls) {
+  switch (cls) {
+    case 'S': return {200, 5, 6, 2, 10.0};
+    case 'W': return {424, 6, 8, 3, 12.0};
+    case 'A': return {904, 7, 10, 3, 20.0};
+    case 'C': return {1800, 8, 12, 4, 60.0};
+    default: throw Error(strformat("cg: unknown class %c", cls));
+  }
+}
+
+}  // namespace
+
+Workload make_cg(char cls, int ranks) {
+  const CgParams p = cg_params(cls);
+  const auto n = static_cast<std::int64_t>(p.n);
+  FPMIX_CHECK(ranks >= 1);
+  FPMIX_CHECK(p.n % static_cast<std::size_t>(ranks) == 0);
+
+  const linalg::Csr<double> a =
+      linalg::make_random_spd(p.n, p.nnz_per_row, p.shift, 0xC6 + cls);
+
+  Builder b;
+  auto rowptr = b.const_array_i64("rowptr", a.rowptr);
+  auto col = b.const_array_i64("col", a.col);
+  auto val = b.const_array_f64("val", a.val);
+
+  auto x = b.array_f64("x", p.n);
+  auto z = b.array_f64("z", p.n);
+  auto r = b.array_f64("r", p.n);
+  auto pv = b.array_f64("p", p.n);
+  auto q = b.array_f64("q", p.n);
+  auto rho = b.var_f64("rho");
+  auto rnorm = b.var_f64("rnorm");
+
+  // --- module cg_blas: y = A p (the hot kernel) ----------------------------
+  b.begin_func("matvec", "cg_blas");
+  {
+    auto i = b.var_i64("mv_i");
+    auto k = b.var_i64("mv_k");
+    auto acc = b.var_f64("mv_acc");
+    auto lo = b.var_i64("mv_lo");  // per-rank row range
+    auto hi = b.var_i64("mv_hi");
+    if (ranks > 1) {
+      auto rows = b.var_i64("mv_rows");
+      b.set(rows, b.ci(n) / b.mpi_size());
+      b.set(lo, b.mpi_rank() * Expr(rows));
+      b.set(hi, Expr(lo) + Expr(rows));
+      // Ranks own disjoint row blocks; the allreduce below assembles q.
+      b.for_(i, b.ci(0), b.ci(n), [&] { b.store(q, Expr(i), b.cf(0.0)); });
+    } else {
+      b.set(lo, b.ci(0));
+      b.set(hi, b.ci(n));
+    }
+    b.for_(i, Expr(lo), Expr(hi), [&] {
+      b.set(acc, b.cf(0.0));
+      b.for_(k, rowptr[Expr(i)], rowptr[Expr(i) + b.ci(1)], [&] {
+        b.set(acc, Expr(acc) + val[Expr(k)] * pv[col[Expr(k)]]);
+      });
+      b.store(q, Expr(i), acc);
+    });
+    if (ranks > 1) {
+      b.allreduce_vec(q, b.ci(n));
+    }
+  }
+  b.end_func();
+
+  // --- module cg_core: one CG solve of A z = x ------------------------------
+  b.begin_func("conj_grad", "cg_core");
+  {
+    auto i = b.var_i64("cg_i");
+    auto it = b.var_i64("cg_it");
+    auto alpha = b.var_f64("alpha");
+    auto beta = b.var_f64("beta");
+    auto rho1 = b.var_f64("rho1");
+    auto pq = b.var_f64("pq");
+
+    b.for_(i, b.ci(0), b.ci(n), [&] {
+      b.store(z, Expr(i), b.cf(0.0));
+      b.store(r, Expr(i), x[Expr(i)]);
+      b.store(pv, Expr(i), x[Expr(i)]);
+    });
+    b.set(rho, b.cf(0.0));
+    b.for_(i, b.ci(0), b.ci(n),
+           [&] { b.set(rho, Expr(rho) + r[Expr(i)] * r[Expr(i)]); });
+
+    b.for_(it, b.ci(0), b.ci(static_cast<std::int64_t>(p.inner_iters)), [&] {
+      b.call("matvec");
+      b.set(pq, b.cf(0.0));
+      b.for_(i, b.ci(0), b.ci(n),
+             [&] { b.set(pq, Expr(pq) + pv[Expr(i)] * q[Expr(i)]); });
+      b.set(alpha, Expr(rho) / Expr(pq));
+      b.for_(i, b.ci(0), b.ci(n), [&] {
+        b.store(z, Expr(i), z[Expr(i)] + Expr(alpha) * pv[Expr(i)]);
+        b.store(r, Expr(i), r[Expr(i)] - Expr(alpha) * q[Expr(i)]);
+      });
+      b.set(rho1, b.cf(0.0));
+      b.for_(i, b.ci(0), b.ci(n),
+             [&] { b.set(rho1, Expr(rho1) + r[Expr(i)] * r[Expr(i)]); });
+      b.set(beta, Expr(rho1) / Expr(rho));
+      b.set(rho, rho1);
+      b.for_(i, b.ci(0), b.ci(n), [&] {
+        b.store(pv, Expr(i), r[Expr(i)] + Expr(beta) * pv[Expr(i)]);
+      });
+    });
+    b.set(rnorm, sqrt_(rho));
+  }
+  b.end_func();
+
+  // --- module cg_main: power iteration over the CG solver -------------------
+  b.begin_func("main", "cg_main");
+  {
+    auto i = b.var_i64("mn_i");
+    auto outer = b.var_i64("mn_outer");
+    auto xz = b.var_f64("xz");
+    auto znorm = b.var_f64("znorm");
+    auto zeta = b.var_f64("zeta");
+
+    b.for_(i, b.ci(0), b.ci(n), [&] { b.store(x, Expr(i), b.cf(1.0)); });
+
+    b.for_(outer, b.ci(0), b.ci(static_cast<std::int64_t>(p.outer_iters)),
+           [&] {
+             b.call("conj_grad");
+             b.set(xz, b.cf(0.0));
+             b.set(znorm, b.cf(0.0));
+             b.for_(i, b.ci(0), b.ci(n), [&] {
+               b.set(xz, Expr(xz) + x[Expr(i)] * z[Expr(i)]);
+               b.set(znorm, Expr(znorm) + z[Expr(i)] * z[Expr(i)]);
+             });
+             b.set(znorm, sqrt_(znorm));
+             b.set(zeta, b.cf(p.shift) + b.cf(1.0) / Expr(xz));
+             b.for_(i, b.ci(0), b.ci(n),
+                    [&] { b.store(x, Expr(i), z[Expr(i)] / Expr(znorm)); });
+             // Auxiliary per-step report (loose check).
+             b.output(rnorm);
+           });
+    // Figure of merit (tight check).
+    b.output(zeta);
+  }
+  b.end_func();
+
+  Workload w;
+  w.name = strformat("cg.%c%s", cls, ranks > 1 ? ".mpi" : "");
+  w.model = b.take_model();
+  // Outputs: outer_iters residual norms (loose: they sit at the CG
+  // stagnation level), then zeta (tight, NAS-style).
+  w.rel_tol = 1e-9;
+  w.abs_tol = 0.0;
+  for (std::size_t k = 0; k < p.outer_iters; ++k) {
+    w.output_tols.push_back({k, 0.5, 1e-4});
+  }
+  return w;
+}
+
+}  // namespace fpmix::kernels

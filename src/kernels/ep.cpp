@@ -1,0 +1,177 @@
+// EP: the "embarrassingly parallel" NAS benchmark analogue.
+//
+// Generates pseudo-random pairs with the NAS 46-bit linear congruential
+// generator (implemented *in the program* with double-precision floor
+// arithmetic, exactly as NPB's randlc does), maps accepted pairs through the
+// Marsaglia polar method, and tallies Gaussian deviates into annulus
+// counts. The LCG is the paper's canonical example of a region that cannot
+// be narrowed: its 46-bit modular arithmetic needs more significand than
+// single precision has, so any configuration that narrows it corrupts the
+// whole stream and fails verification -- while the accumulation arithmetic
+// narrows fine.
+#include "kernels/workload.hpp"
+
+#include "lang/builder.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace fpmix::kernels {
+
+using lang::Builder;
+using lang::Expr;
+
+namespace {
+
+std::size_t ep_pairs(char cls) {
+  switch (cls) {
+    case 'S': return 1 << 10;
+    case 'W': return 1 << 12;
+    case 'A': return 1 << 14;
+    case 'C': return 1 << 16;
+    default: throw Error(strformat("ep: unknown class %c", cls));
+  }
+}
+
+}  // namespace
+
+Workload make_ep(char cls, int ranks) {
+  const std::size_t pairs = ep_pairs(cls);
+  FPMIX_CHECK(ranks >= 1);
+  FPMIX_CHECK(pairs % static_cast<std::size_t>(ranks) == 0);
+
+  Builder b;
+
+  // Globals shared between the RNG module and the main module.
+  auto seed = b.var_f64("seed");
+  auto rr = b.var_f64("rr");
+
+  // Per-rank starting seeds, precomputed host-side with the same recurrence
+  // (NPB jumps the stream with log-stepping; baking the jumped seeds
+  // preserves the exact stream each rank consumes).
+  std::vector<double> rank_seeds(static_cast<std::size_t>(ranks));
+  {
+    NasLcg lcg;
+    const std::size_t per_rank = 2 * (pairs / static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) {
+      rank_seeds[static_cast<std::size_t>(r)] = lcg.seed();
+      for (std::size_t k = 0; k < per_rank; ++k) lcg.next();
+    }
+  }
+  auto seeds = b.const_array_f64("rank_seeds", rank_seeds);
+
+  // --- module ep_rand: the NAS randlc recurrence ---------------------------
+  b.begin_func("randlc", "ep_rand");
+  {
+    const double kA = NasLcg::kDefaultA;
+    const double kR23 = 0x1.0p-23, kT23 = 0x1.0p+23;
+    const double kR46 = 0x1.0p-46, kT46 = 0x1.0p+46;
+    auto a1 = b.var_f64("rl_a1");
+    auto a2 = b.var_f64("rl_a2");
+    auto x1 = b.var_f64("rl_x1");
+    auto x2 = b.var_f64("rl_x2");
+    auto t1 = b.var_f64("rl_t1");
+    auto t2 = b.var_f64("rl_t2");
+    auto z = b.var_f64("rl_z");
+    auto t3 = b.var_f64("rl_t3");
+    auto t4 = b.var_f64("rl_t4");
+    b.set(a1, floor_(b.cf(kR23 * kA)));
+    b.set(a2, b.cf(kA) - b.cf(kT23) * Expr(a1));
+    b.set(t1, b.cf(kR23) * Expr(seed));
+    b.set(x1, floor_(t1));
+    b.set(x2, Expr(seed) - b.cf(kT23) * Expr(x1));
+    b.set(t1, Expr(a1) * Expr(x2) + Expr(a2) * Expr(x1));
+    b.set(t2, floor_(b.cf(kR23) * Expr(t1)));
+    b.set(z, Expr(t1) - b.cf(kT23) * Expr(t2));
+    b.set(t3, b.cf(kT23) * Expr(z) + Expr(a2) * Expr(x2));
+    b.set(t4, floor_(b.cf(kR46) * Expr(t3)));
+    b.set(seed, Expr(t3) - b.cf(kT46) * Expr(t4));
+    b.set(rr, b.cf(kR46) * Expr(seed));
+  }
+  b.end_func();
+
+  // --- module ep_main -------------------------------------------------------
+  constexpr std::size_t kNq = 10;
+  auto sx = b.var_f64("sx");
+  auto sy = b.var_f64("sy");
+  auto q = b.array_f64("q", kNq);
+  auto gc = b.var_f64("gc");  // accepted-pair count
+
+  b.begin_func("main", "ep_main");
+  {
+    auto i = b.var_i64("i");
+    auto k = b.var_i64("k");
+    auto r1 = b.var_f64("r1");
+    auto r2 = b.var_f64("r2");
+    auto x1 = b.var_f64("x1");
+    auto x2 = b.var_f64("x2");
+    auto t = b.var_f64("t");
+    auto f = b.var_f64("f");
+    auto y1 = b.var_f64("y1");
+    auto y2 = b.var_f64("y2");
+    auto l = b.var_i64("l");
+    auto npairs = b.var_i64("npairs");
+
+    if (ranks > 1) {
+      b.set(seed, seeds[b.mpi_rank()]);
+      b.set(npairs, b.ci(static_cast<std::int64_t>(pairs)) / b.mpi_size());
+    } else {
+      b.set(seed, b.cf(NasLcg::kEpSeed));
+      b.set(npairs, b.ci(static_cast<std::int64_t>(pairs)));
+    }
+    b.set(sx, b.cf(0.0));
+    b.set(sy, b.cf(0.0));
+    b.set(gc, b.cf(0.0));
+    b.for_(k, b.ci(0), b.ci(static_cast<std::int64_t>(kNq)),
+           [&] { b.store(q, Expr(k), b.cf(0.0)); });
+
+    b.for_(i, b.ci(0), Expr(npairs), [&] {
+      b.call("randlc");
+      b.set(r1, rr);
+      b.call("randlc");
+      b.set(r2, rr);
+      b.set(x1, b.cf(2.0) * Expr(r1) - b.cf(1.0));
+      b.set(x2, b.cf(2.0) * Expr(r2) - b.cf(1.0));
+      b.set(t, Expr(x1) * Expr(x1) + Expr(x2) * Expr(x2));
+      b.if_(Expr(t) <= b.cf(1.0), [&] {
+        b.set(f, sqrt_(b.cf(-2.0) * log_(t) / Expr(t)));
+        b.set(y1, Expr(x1) * Expr(f));
+        b.set(y2, Expr(x2) * Expr(f));
+        b.set(sx, Expr(sx) + Expr(y1));
+        b.set(sy, Expr(sy) + Expr(y2));
+        b.set(gc, Expr(gc) + b.cf(1.0));
+        b.set(l, to_i64(max_(fabs_(y1), fabs_(y2))));
+        b.if_(Expr(l) > b.ci(static_cast<std::int64_t>(kNq - 1)),
+              [&] { b.set(l, b.ci(static_cast<std::int64_t>(kNq - 1))); });
+        b.store(q, Expr(l), q[Expr(l)] + b.cf(1.0));
+      });
+    });
+
+    if (ranks > 1) {
+      b.set(sx, b.allreduce_sum(sx));
+      b.set(sy, b.allreduce_sum(sy));
+      b.set(gc, b.allreduce_sum(gc));
+      b.allreduce_vec(q, b.ci(static_cast<std::int64_t>(kNq)));
+    }
+
+    b.output(sx);
+    b.output(sy);
+    b.output(gc);
+    b.for_(k, b.ci(0), b.ci(static_cast<std::int64_t>(kNq)),
+           [&] { b.output(q[Expr(k)]); });
+  }
+  b.end_func();
+
+  Workload w;
+  w.name = strformat("ep.%c%s", cls, ranks > 1 ? ".mpi" : "");
+  w.model = b.take_model();
+  // sx/sy are random-walk sums of O(sqrt(n)) magnitude: widen the absolute
+  // slack so single-precision accumulation passes while a corrupted RNG
+  // stream (order-of-magnitude different sums) fails.
+  w.rel_tol = 1e-2;
+  w.abs_tol = 0.0;
+  w.output_tols = {{0, 1e-2, 0.5}, {1, 1e-2, 0.5}};
+  return w;
+}
+
+}  // namespace fpmix::kernels

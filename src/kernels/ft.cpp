@@ -1,0 +1,232 @@
+// FT: the NAS FFT benchmark analogue.
+//
+// An iterative radix-2 complex FFT (separate re/im arrays, a baked
+// bit-reversal table, twiddle factors computed in-program with sin/cos as
+// NPB does), applied as forward transform -> spectral evolution -> inverse
+// transform per time step, with NAS-style complex checksums. The checksum is
+// checked tightly: FFT butterflies accumulate rounding across log2(N)
+// stages, which is why the paper measures almost no dynamically-executed
+// replacements for FT.
+#include "kernels/workload.hpp"
+
+#include "lang/builder.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace fpmix::kernels {
+
+using lang::Builder;
+using lang::Expr;
+
+namespace {
+
+struct FtParams {
+  std::size_t n;       // transform size (power of two)
+  std::size_t steps;   // evolve/transform iterations
+};
+
+FtParams ft_params(char cls) {
+  switch (cls) {
+    case 'S': return {64, 2};
+    case 'W': return {128, 3};
+    case 'A': return {256, 3};
+    case 'C': return {512, 4};
+    default: throw Error(strformat("ft: unknown class %c", cls));
+  }
+}
+
+std::vector<std::int64_t> bitrev_table(std::size_t n) {
+  std::vector<std::int64_t> t(n);
+  std::size_t bits = 0;
+  while ((1u << bits) < n) ++bits;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t r = 0;
+    for (std::size_t b = 0; b < bits; ++b) {
+      if (i & (1u << b)) r |= 1u << (bits - 1 - b);
+    }
+    t[i] = static_cast<std::int64_t>(r);
+  }
+  return t;
+}
+
+}  // namespace
+
+Workload make_ft(char cls, int ranks) {
+  const FtParams p = ft_params(cls);
+  const auto n = static_cast<std::int64_t>(p.n);
+  FPMIX_CHECK(ranks >= 1);
+  // The MPI variant runs `ranks` independent transforms (a batch split),
+  // reducing the checksums; the serial variant runs one.
+  Builder b;
+
+  auto re = b.array_f64("re", p.n);
+  auto im = b.array_f64("im", p.n);
+  auto twr = b.array_f64("twr", p.n / 2);
+  auto twi = b.array_f64("twi", p.n / 2);
+  auto brev = b.const_array_i64("brev", bitrev_table(p.n));
+  auto sign = b.var_f64("fft_sign");  // +1 forward, -1 inverse
+
+  // --- module ft_init: twiddles and initial data ---------------------------
+  b.begin_func("init_twiddle", "ft_init");
+  {
+    auto j = b.var_i64("tw_j");
+    const double theta = -2.0 * 3.14159265358979323846 / double(p.n);
+    b.for_(j, b.ci(0), b.ci(n / 2), [&] {
+      b.store(twr, Expr(j), cos_(b.cf(theta) * to_f64(j)));
+      b.store(twi, Expr(j), sin_(b.cf(theta) * to_f64(j)));
+    });
+  }
+  b.end_func();
+
+  b.begin_func("init_data", "ft_init");
+  {
+    auto i = b.var_i64("in_i");
+    auto base = b.var_f64("in_base");  // MPI: offset the batch member
+    if (ranks > 1) {
+      b.set(base, to_f64(b.mpi_rank()) * b.cf(0.37));
+    } else {
+      b.set(base, b.cf(0.0));
+    }
+    b.for_(i, b.ci(0), b.ci(n), [&] {
+      b.store(re, Expr(i),
+              sin_(b.cf(0.25) * to_f64(i) + Expr(base) + b.cf(0.3)));
+      b.store(im, Expr(i),
+              cos_(b.cf(0.125) * to_f64(i) + Expr(base) - b.cf(0.7)));
+    });
+  }
+  b.end_func();
+
+  // --- module ft_fft: the transform kernel ---------------------------------
+  b.begin_func("fft", "ft_fft");
+  {
+    auto i = b.var_i64("f_i");
+    auto j = b.var_i64("f_j");
+    auto len = b.var_i64("f_len");
+    auto half = b.var_i64("f_half");
+    auto step = b.var_i64("f_step");
+    auto base_ = b.var_i64("f_base");
+    auto ia = b.var_i64("f_ia");
+    auto ib = b.var_i64("f_ib");
+    auto itw = b.var_i64("f_itw");
+    auto wr = b.var_f64("f_wr");
+    auto wi = b.var_f64("f_wi");
+    auto tr = b.var_f64("f_tr");
+    auto ti = b.var_f64("f_ti");
+    auto ur = b.var_f64("f_ur");
+    auto ui = b.var_f64("f_ui");
+    auto tmp = b.var_f64("f_tmp");
+
+    // Bit-reversal permutation.
+    b.for_(i, b.ci(0), b.ci(n), [&] {
+      b.set(j, brev[Expr(i)]);
+      b.if_(Expr(j) > Expr(i), [&] {
+        b.set(tmp, re[Expr(i)]);
+        b.store(re, Expr(i), re[Expr(j)]);
+        b.store(re, Expr(j), tmp);
+        b.set(tmp, im[Expr(i)]);
+        b.store(im, Expr(i), im[Expr(j)]);
+        b.store(im, Expr(j), tmp);
+      });
+    });
+
+    // Butterfly stages.
+    b.set(len, b.ci(2));
+    b.while_(Expr(len) <= b.ci(n), [&] {
+      b.set(half, Expr(len) >> b.ci(1));
+      b.set(step, b.ci(n) / Expr(len));
+      b.set(base_, b.ci(0));
+      b.while_(Expr(base_) < b.ci(n), [&] {
+        b.for_(j, b.ci(0), Expr(half), [&] {
+          b.set(itw, Expr(j) * Expr(step));
+          b.set(wr, twr[Expr(itw)]);
+          b.set(wi, Expr(sign) * twi[Expr(itw)]);
+          b.set(ia, Expr(base_) + Expr(j));
+          b.set(ib, Expr(ia) + Expr(half));
+          b.set(tr, Expr(wr) * re[Expr(ib)] - Expr(wi) * im[Expr(ib)]);
+          b.set(ti, Expr(wr) * im[Expr(ib)] + Expr(wi) * re[Expr(ib)]);
+          b.set(ur, re[Expr(ia)]);
+          b.set(ui, im[Expr(ia)]);
+          b.store(re, Expr(ia), Expr(ur) + Expr(tr));
+          b.store(im, Expr(ia), Expr(ui) + Expr(ti));
+          b.store(re, Expr(ib), Expr(ur) - Expr(tr));
+          b.store(im, Expr(ib), Expr(ui) - Expr(ti));
+        });
+        b.set(base_, Expr(base_) + Expr(len));
+      });
+      b.set(len, Expr(len) << b.ci(1));
+    });
+  }
+  b.end_func();
+
+  // --- module ft_main --------------------------------------------------------
+  b.begin_func("main", "ft_main");
+  {
+    auto i = b.var_i64("m_i");
+    auto t = b.var_i64("m_t");
+    auto csr_ = b.var_f64("m_csr");
+    auto csi_ = b.var_f64("m_csi");
+    auto scale = b.var_f64("m_scale");
+
+    b.call("init_twiddle");
+    b.call("init_data");
+
+    b.for_(t, b.ci(0), b.ci(static_cast<std::int64_t>(p.steps)), [&] {
+      // Forward transform.
+      b.set(sign, b.cf(1.0));
+      b.call("fft");
+      // Spectral evolution: damp each mode slightly (stands in for NPB's
+      // exp(-4 pi^2 t k^2) factors).
+      b.for_(i, b.ci(0), b.ci(n), [&] {
+        b.set(scale,
+              b.cf(1.0) / (b.cf(1.0) + b.cf(1e-3) * to_f64(Expr(i) % b.ci(17))));
+        b.store(re, Expr(i), re[Expr(i)] * Expr(scale));
+        b.store(im, Expr(i), im[Expr(i)] * Expr(scale));
+      });
+      // Inverse transform (conjugate twiddles + 1/n scaling).
+      b.set(sign, b.cf(-1.0));
+      b.call("fft");
+      b.for_(i, b.ci(0), b.ci(n), [&] {
+        b.store(re, Expr(i), re[Expr(i)] / b.cf(double(p.n)));
+        b.store(im, Expr(i), im[Expr(i)] / b.cf(double(p.n)));
+      });
+      // NAS-style checksum over strided probes.
+      b.set(csr_, b.cf(0.0));
+      b.set(csi_, b.cf(0.0));
+      b.for_(i, b.ci(1), b.ci(33), [&] {
+        auto idx = (Expr(i) * Expr(i) * b.ci(5)) % b.ci(n);
+        b.set(csr_, Expr(csr_) + re[idx]);
+        b.set(csi_, Expr(csi_) + im[idx]);
+      });
+      if (ranks > 1) {
+        b.set(csr_, b.allreduce_sum(csr_));
+        b.set(csi_, b.allreduce_sum(csi_));
+      }
+      b.output(csr_);
+      b.output(csi_);
+    });
+
+    // Auxiliary report: data norm (loose). Reduced so every rank reports
+    // the same value in the MPI variant.
+    auto nrm = b.var_f64("m_nrm");
+    b.set(nrm, b.cf(0.0));
+    b.for_(i, b.ci(0), b.ci(n), [&] {
+      b.set(nrm, Expr(nrm) + re[Expr(i)] * re[Expr(i)] +
+                     im[Expr(i)] * im[Expr(i)]);
+    });
+    if (ranks > 1) b.set(nrm, b.allreduce_sum(nrm));
+    b.output(sqrt_(nrm));
+  }
+  b.end_func();
+
+  Workload w;
+  w.name = strformat("ft.%c%s", cls, ranks > 1 ? ".mpi" : "");
+  w.model = b.take_model();
+  // Checksums tight (NPB verifies checksums to 1e-12 relative); the final
+  // norm report loose.
+  w.rel_tol = 1e-9;
+  w.abs_tol = 1e-10;
+  w.output_tols.push_back({2 * p.steps, 1e-3, 1e-6});
+  return w;
+}
+
+}  // namespace fpmix::kernels

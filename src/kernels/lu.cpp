@@ -1,0 +1,161 @@
+// LU: SSOR solver analogue.
+//
+// NAS LU applies symmetric successive over-relaxation to a structured-grid
+// system; our analogue runs SSOR sweeps (forward lower + backward upper
+// triangular passes) over a 2D 5-point operator, tracking the residual and
+// a solution checksum. Multiple functions across sweep/residual/setup
+// modules give the search a realistic hierarchy.
+#include "kernels/workload.hpp"
+
+#include "lang/builder.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace fpmix::kernels {
+
+using lang::Builder;
+using lang::Expr;
+
+namespace {
+
+struct LuParams {
+  std::size_t m;        // interior grid side
+  std::size_t sweeps;   // SSOR iterations
+  double omega;
+};
+
+LuParams lu_params(char cls) {
+  switch (cls) {
+    case 'S': return {16, 6, 1.2};
+    case 'W': return {28, 8, 1.2};
+    case 'A': return {48, 10, 1.2};
+    case 'C': return {84, 12, 1.2};
+    default: throw Error(strformat("lu: unknown class %c", cls));
+  }
+}
+
+}  // namespace
+
+Workload make_lu(char cls) {
+  const LuParams p = lu_params(cls);
+  const auto m = static_cast<std::int64_t>(p.m);
+  const std::int64_t s = m + 2;
+  const std::size_t total = static_cast<std::size_t>(s * s);
+
+  Builder b;
+  auto u = b.array_f64("u", total);
+  auto f = b.array_f64("f", total);
+  auto r = b.array_f64("r", total);
+
+  // --- module lu_init ----------------------------------------------------------
+  b.begin_func("setup", "lu_init");
+  {
+    auto i = b.var_i64("st_i");
+    auto j = b.var_i64("st_j");
+    b.for_(i, b.ci(1), b.ci(m + 1), [&] {
+      b.for_(j, b.ci(1), b.ci(m + 1), [&] {
+        // Smooth forcing field.
+        b.store(f, Expr(i) * b.ci(s) + Expr(j),
+                sin_(b.cf(0.18) * to_f64(i)) * cos_(b.cf(0.11) * to_f64(j)) +
+                    b.cf(0.01) * to_f64(Expr(i) + Expr(j)));
+      });
+    });
+  }
+  b.end_func();
+
+  // --- module lu_sweep: forward and backward SSOR passes ------------------------
+  b.begin_func("sweep_lower", "lu_sweep");
+  {
+    auto i = b.var_i64("fl_i");
+    auto j = b.var_i64("fl_j");
+    auto id = b.var_i64("fl_id");
+    auto res = b.var_f64("fl_res");
+    b.for_(i, b.ci(1), b.ci(m + 1), [&] {
+      b.for_(j, b.ci(1), b.ci(m + 1), [&] {
+        b.set(id, Expr(i) * b.ci(s) + Expr(j));
+        b.set(res, f[Expr(id)] -
+                       (b.cf(4.0) * u[Expr(id)] - u[Expr(id) - b.ci(1)] -
+                        u[Expr(id) + b.ci(1)] - u[Expr(id) - b.ci(s)] -
+                        u[Expr(id) + b.ci(s)]));
+        b.store(u, Expr(id),
+                u[Expr(id)] + b.cf(p.omega) * Expr(res) / b.cf(4.0));
+      });
+    });
+  }
+  b.end_func();
+
+  b.begin_func("sweep_upper", "lu_sweep");
+  {
+    auto i = b.var_i64("bu_i");
+    auto j = b.var_i64("bu_j");
+    auto id = b.var_i64("bu_id");
+    auto res = b.var_f64("bu_res");
+    b.for_(i, b.ci(m), b.ci(0), [&] {
+      b.for_(j, b.ci(m), b.ci(0), [&] {
+        b.set(id, Expr(i) * b.ci(s) + Expr(j));
+        b.set(res, f[Expr(id)] -
+                       (b.cf(4.0) * u[Expr(id)] - u[Expr(id) - b.ci(1)] -
+                        u[Expr(id) + b.ci(1)] - u[Expr(id) - b.ci(s)] -
+                        u[Expr(id) + b.ci(s)]));
+        b.store(u, Expr(id),
+                u[Expr(id)] + b.cf(p.omega) * Expr(res) / b.cf(4.0));
+      }, /*step=*/-1);
+    }, /*step=*/-1);
+  }
+  b.end_func();
+
+  // --- module lu_resid -----------------------------------------------------------
+  auto rnorm = b.var_f64("rnorm");
+  b.begin_func("compute_resid", "lu_resid");
+  {
+    auto i = b.var_i64("rs_i");
+    auto j = b.var_i64("rs_j");
+    auto id = b.var_i64("rs_id");
+    auto acc = b.var_f64("rs_acc");
+    b.set(acc, b.cf(0.0));
+    b.for_(i, b.ci(1), b.ci(m + 1), [&] {
+      b.for_(j, b.ci(1), b.ci(m + 1), [&] {
+        b.set(id, Expr(i) * b.ci(s) + Expr(j));
+        b.store(r, Expr(id),
+                f[Expr(id)] -
+                    (b.cf(4.0) * u[Expr(id)] - u[Expr(id) - b.ci(1)] -
+                     u[Expr(id) + b.ci(1)] - u[Expr(id) - b.ci(s)] -
+                     u[Expr(id) + b.ci(s)]));
+        b.set(acc, Expr(acc) + r[Expr(id)] * r[Expr(id)]);
+      });
+    });
+    b.set(rnorm, sqrt_(acc));
+  }
+  b.end_func();
+
+  // --- module lu_main --------------------------------------------------------------
+  b.begin_func("main", "lu_main");
+  {
+    auto k = b.var_i64("mn_k");
+    auto i = b.var_i64("mn_i");
+    auto usum = b.var_f64("mn_usum");
+    b.call("setup");
+    b.for_(k, b.ci(0), b.ci(static_cast<std::int64_t>(p.sweeps)), [&] {
+      b.call("sweep_lower");
+      b.call("sweep_upper");
+      b.call("compute_resid");
+      b.output(rnorm);  // per-sweep residual history (loose)
+    });
+    b.set(usum, b.cf(0.0));
+    b.for_(i, b.ci(0), b.ci(s * s),
+           [&] { b.set(usum, Expr(usum) + u[Expr(i)]); });
+    b.output(usum);  // figure of merit (tight)
+  }
+  b.end_func();
+
+  Workload w;
+  w.name = strformat("lu.%c", cls);
+  w.model = b.take_model();
+  w.rel_tol = 1e-7;  // checksum, tight-ish
+  for (std::size_t k = 0; k < p.sweeps; ++k) {
+    w.output_tols.push_back({k, 5e-3, 1e-8});
+  }
+  return w;
+}
+
+}  // namespace fpmix::kernels

@@ -1,0 +1,172 @@
+// SP: scalar pentadiagonal solver analogue.
+//
+// Solves batches of independent pentadiagonal systems by two-pass Gaussian
+// elimination (forward elimination of both subdiagonals, then back
+// substitution through both superdiagonals), the scalar core of NAS SP's
+// x/y/z line solves. Band data is baked and diagonally dominant.
+#include "kernels/workload.hpp"
+
+#include "lang/builder.hpp"
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace fpmix::kernels {
+
+using lang::Builder;
+using lang::Expr;
+
+namespace {
+
+struct SpParams {
+  std::size_t systems;
+  std::size_t n;  // unknowns per system
+};
+
+SpParams sp_params(char cls) {
+  switch (cls) {
+    case 'S': return {6, 40};
+    case 'W': return {10, 80};
+    case 'A': return {16, 160};
+    case 'C': return {24, 320};
+    default: throw Error(strformat("sp: unknown class %c", cls));
+  }
+}
+
+}  // namespace
+
+Workload make_sp(char cls) {
+  const SpParams p = sp_params(cls);
+  const auto sys = static_cast<std::int64_t>(p.systems);
+  const auto n = static_cast<std::int64_t>(p.n);
+  const std::size_t total = p.systems * p.n;
+
+  // Bands: a (sub-2), bq (sub-1), c (diag), dq (sup-1), e (sup-2), rhs.
+  std::vector<double> ba(total), bb(total), bc(total), bd(total), be(total),
+      brhs(total);
+  {
+    SplitMix64 rng(0x5D + static_cast<std::uint64_t>(cls));
+    for (std::size_t t = 0; t < total; ++t) {
+      ba[t] = rng.next_double(-0.2, 0.2);
+      bb[t] = rng.next_double(-0.5, 0.5);
+      bd[t] = rng.next_double(-0.5, 0.5);
+      be[t] = rng.next_double(-0.2, 0.2);
+      bc[t] = std::fabs(ba[t]) + std::fabs(bb[t]) + std::fabs(bd[t]) +
+              std::fabs(be[t]) + 0.12 + rng.next_double(0.0, 0.2);
+      brhs[t] = rng.next_double(-1.0, 1.0);
+    }
+  }
+
+  Builder b;
+  auto A2 = b.const_array_f64("band_a", ba);
+  auto A1 = b.const_array_f64("band_b", bb);
+  auto D0 = b.const_array_f64("band_c", bc);
+  auto U1 = b.const_array_f64("band_d", bd);
+  auto U2 = b.const_array_f64("band_e", be);
+  auto RHS = b.const_array_f64("band_rhs", brhs);
+
+  // Working copies of one line (all five bands plus rhs).
+  auto wb2 = b.array_f64("wb2", p.n);
+  auto wb1 = b.array_f64("wb1", p.n);
+  auto wc = b.array_f64("wc", p.n);
+  auto wdg = b.array_f64("wdg", p.n);
+  auto we = b.array_f64("we", p.n);
+  auto wr = b.array_f64("wr", p.n);
+  auto xs = b.array_f64("xs", p.n);
+
+  auto line = b.var_i64("line");
+
+  // --- module sp_solve ----------------------------------------------------------
+  b.begin_func("load_line", "sp_solve");
+  {
+    auto k = b.var_i64("ld_k");
+    b.for_(k, b.ci(0), b.ci(n), [&] {
+      auto off = Expr(line) * b.ci(n) + Expr(k);
+      b.store(wb2, Expr(k), A2[off]);
+      b.store(wb1, Expr(k), A1[off]);
+      b.store(wc, Expr(k), D0[off]);
+      b.store(wdg, Expr(k), U1[off]);
+      b.store(we, Expr(k), U2[off]);
+      b.store(wr, Expr(k), RHS[off]);
+    });
+  }
+  b.end_func();
+
+  b.begin_func("eliminate", "sp_solve");
+  {
+    auto k = b.var_i64("el_k");
+    auto fac = b.var_f64("el_fac");
+    // Eliminate sub-1 of row k+1 and sub-2 of row k+2 against row k.
+    b.for_(k, b.ci(0), b.ci(n) - b.ci(1), [&] {
+      b.set(fac, wb1[Expr(k) + b.ci(1)] / wc[Expr(k)]);
+      b.store(wc, Expr(k) + b.ci(1),
+              wc[Expr(k) + b.ci(1)] - Expr(fac) * wdg[Expr(k)]);
+      b.store(wdg, Expr(k) + b.ci(1),
+              wdg[Expr(k) + b.ci(1)] - Expr(fac) * we[Expr(k)]);
+      b.store(wr, Expr(k) + b.ci(1),
+              wr[Expr(k) + b.ci(1)] - Expr(fac) * wr[Expr(k)]);
+      b.if_(Expr(k) + b.ci(2) < b.ci(n), [&] {
+        b.set(fac, wb2[Expr(k) + b.ci(2)] / wc[Expr(k)]);
+        b.store(wb1, Expr(k) + b.ci(2),
+                wb1[Expr(k) + b.ci(2)] - Expr(fac) * wdg[Expr(k)]);
+        b.store(wc, Expr(k) + b.ci(2),
+                wc[Expr(k) + b.ci(2)] - Expr(fac) * we[Expr(k)]);
+        b.store(wr, Expr(k) + b.ci(2),
+                wr[Expr(k) + b.ci(2)] - Expr(fac) * wr[Expr(k)]);
+      });
+    });
+  }
+  b.end_func();
+
+  b.begin_func("backsub", "sp_solve");
+  {
+    auto k = b.var_i64("bs_k");
+    b.store(xs, b.ci(n) - b.ci(1),
+            wr[b.ci(n) - b.ci(1)] / wc[b.ci(n) - b.ci(1)]);
+    b.store(xs, b.ci(n) - b.ci(2),
+            (wr[b.ci(n) - b.ci(2)] -
+             wdg[b.ci(n) - b.ci(2)] * xs[b.ci(n) - b.ci(1)]) /
+                wc[b.ci(n) - b.ci(2)]);
+    b.for_(k, b.ci(n) - b.ci(3), b.ci(-1), [&] {
+      b.store(xs, Expr(k),
+              (wr[Expr(k)] - wdg[Expr(k)] * xs[Expr(k) + b.ci(1)] -
+               we[Expr(k)] * xs[Expr(k) + b.ci(2)]) /
+                  wc[Expr(k)]);
+    }, /*step=*/-1);
+  }
+  b.end_func();
+
+  // --- module sp_main --------------------------------------------------------------
+  b.begin_func("main", "sp_main");
+  {
+    auto k = b.var_i64("mn_k");
+    auto csum = b.var_f64("mn_csum");
+    auto lsum = b.var_f64("mn_lsum");
+    b.set(csum, b.cf(0.0));
+    b.for_(line, b.ci(0), b.ci(sys), [&] {
+      b.call("load_line");
+      b.call("eliminate");
+      b.call("backsub");
+      b.set(lsum, b.cf(0.0));
+      b.for_(k, b.ci(0), b.ci(n),
+             [&] { b.set(lsum, Expr(lsum) + xs[Expr(k)] * xs[Expr(k)]); });
+      b.set(csum, Expr(csum) + sqrt_(lsum));
+      b.output(lsum);  // per-line report (loose)
+    });
+    b.output(csum);  // figure of merit (tight)
+  }
+  b.end_func();
+
+  Workload w;
+  w.name = strformat("sp.%c", cls);
+  w.model = b.take_model();
+  w.rel_tol = 5e-9;
+  for (std::size_t k = 0; k < p.systems; ++k) {
+    w.output_tols.push_back({k, 1e-3, 1e-9});
+  }
+  return w;
+}
+
+}  // namespace fpmix::kernels

@@ -1,0 +1,167 @@
+// SuperLU analogue (Section 3.3 of the paper): a direct banded solver on
+// the memplus-like system, reporting its own solution-error metric.
+//
+// The paper drives its search with "a driver script that ran the program
+// and compared the reported error against a predefined threshold error
+// bound" -- our workload does the same: the program factorizes the banded
+// matrix, solves for a right-hand side constructed so the true solution is
+// all-ones, and outputs max_i |x_i - 1| (plus auxiliary statistics). The
+// Figure 11 sweep varies the threshold the verifier enforces.
+//
+// See DESIGN.md for the substitution rationale (banded pivot-free LU on a
+// diagonally dominant wide-dynamic-range matrix standing in for SuperLU's
+// supernodal sparse LU on memplus).
+#include "kernels/workload.hpp"
+
+#include "lang/builder.hpp"
+#include "linalg/banded.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace fpmix::kernels {
+
+using lang::Builder;
+using lang::Expr;
+
+Workload make_superlu(double threshold) {
+  constexpr std::size_t kN = 360;
+  constexpr std::size_t kHalfBw = 6;
+  constexpr std::size_t kWidth = 2 * kHalfBw + 1;
+
+  const linalg::Banded<double> a =
+      linalg::make_memplus_like(kN, kHalfBw, 0x51u);
+
+  // Row-major band storage baked into the data segment; b = A * ones.
+  std::vector<double> bandvals(kN * kWidth);
+  for (std::size_t i = 0; i < kN; ++i) {
+    for (std::ptrdiff_t d = -static_cast<std::ptrdiff_t>(kHalfBw);
+         d <= static_cast<std::ptrdiff_t>(kHalfBw); ++d) {
+      bandvals[i * kWidth + static_cast<std::size_t>(d + kHalfBw)] =
+          a.get(i, d);
+    }
+  }
+  const std::vector<double> ones(kN, 1.0);
+  const std::vector<double> bvec = a.matvec(ones);
+
+  Builder b;
+  const auto n = static_cast<std::int64_t>(kN);
+  const auto kl = static_cast<std::int64_t>(kHalfBw);
+  const auto bw = static_cast<std::int64_t>(kWidth);
+
+  auto bands = b.const_array_f64("bands", bandvals);
+  auto rhs0 = b.const_array_f64("rhs", bvec);
+  auto lu = b.array_f64("lu", kN * kWidth);  // working factorization
+  auto x = b.array_f64("x", kN);
+
+  // --- module slu_factor -------------------------------------------------------
+  b.begin_func("factorize", "slu_factor");
+  {
+    auto i = b.var_i64("fc_i");
+    auto k = b.var_i64("fc_k");
+    auto dj = b.var_i64("fc_dj");
+    auto imax = b.var_i64("fc_imax");
+    auto jj = b.var_i64("fc_jj");
+    auto dij = b.var_i64("fc_dij");
+    auto piv = b.var_f64("fc_piv");
+    auto mfac = b.var_f64("fc_m");
+
+    // Copy the band matrix into the working array.
+    b.for_(i, b.ci(0), b.ci(n * bw),
+           [&] { b.store(lu, Expr(i), bands[Expr(i)]); });
+
+    // Pivot-free banded LU: lu(i, d) at lu[i*w + d + kl].
+    b.for_(k, b.ci(0), b.ci(n), [&] {
+      b.set(piv, lu[Expr(k) * b.ci(bw) + b.ci(kl)]);
+      b.set(imax, Expr(k) + b.ci(kl));
+      b.if_(Expr(imax) > b.ci(n - 1), [&] { b.set(imax, b.ci(n - 1)); });
+      b.for_(i, Expr(k) + b.ci(1), Expr(imax) + b.ci(1), [&] {
+        // di = k - i in [-kl, -1]
+        b.set(mfac,
+              lu[Expr(i) * b.ci(bw) + Expr(k) - Expr(i) + b.ci(kl)] /
+                  Expr(piv));
+        b.store(lu, Expr(i) * b.ci(bw) + Expr(k) - Expr(i) + b.ci(kl), mfac);
+        b.for_(dj, b.ci(1), b.ci(kl + 1), [&] {
+          b.set(jj, Expr(k) + Expr(dj));
+          b.if_(Expr(jj) < b.ci(n), [&] {
+            b.set(dij, Expr(jj) - Expr(i));
+            b.store(lu, Expr(i) * b.ci(bw) + Expr(dij) + b.ci(kl),
+                    lu[Expr(i) * b.ci(bw) + Expr(dij) + b.ci(kl)] -
+                        Expr(mfac) *
+                            lu[Expr(k) * b.ci(bw) + Expr(dj) + b.ci(kl)]);
+          });
+        });
+      });
+    });
+  }
+  b.end_func();
+
+  // --- module slu_solve --------------------------------------------------------
+  b.begin_func("solve", "slu_solve");
+  {
+    auto i = b.var_i64("sv_i");
+    auto j = b.var_i64("sv_j");
+    auto jlo = b.var_i64("sv_jlo");
+    auto jhi = b.var_i64("sv_jhi");
+    auto acc = b.var_f64("sv_acc");
+
+    b.for_(i, b.ci(0), b.ci(n), [&] { b.store(x, Expr(i), rhs0[Expr(i)]); });
+    // Forward: Ly = b (unit diagonal).
+    b.for_(i, b.ci(0), b.ci(n), [&] {
+      b.set(acc, x[Expr(i)]);
+      b.set(jlo, Expr(i) - b.ci(kl));
+      b.if_(Expr(jlo) < b.ci(0), [&] { b.set(jlo, b.ci(0)); });
+      b.for_(j, Expr(jlo), Expr(i), [&] {
+        b.set(acc, Expr(acc) -
+                       lu[Expr(i) * b.ci(bw) + Expr(j) - Expr(i) + b.ci(kl)] *
+                           x[Expr(j)]);
+      });
+      b.store(x, Expr(i), acc);
+    });
+    // Backward: Ux = y.
+    b.for_(i, b.ci(n - 1), b.ci(-1), [&] {
+      b.set(acc, x[Expr(i)]);
+      b.set(jhi, Expr(i) + b.ci(kl));
+      b.if_(Expr(jhi) > b.ci(n - 1), [&] { b.set(jhi, b.ci(n - 1)); });
+      b.for_(j, Expr(i) + b.ci(1), Expr(jhi) + b.ci(1), [&] {
+        b.set(acc, Expr(acc) -
+                       lu[Expr(i) * b.ci(bw) + Expr(j) - Expr(i) + b.ci(kl)] *
+                           x[Expr(j)]);
+      });
+      b.store(x, Expr(i), Expr(acc) / lu[Expr(i) * b.ci(bw) + b.ci(kl)]);
+    }, /*step=*/-1);
+  }
+  b.end_func();
+
+  // --- module slu_main -----------------------------------------------------------
+  b.begin_func("main", "slu_main");
+  {
+    auto i = b.var_i64("mn_i");
+    auto err = b.var_f64("mn_err");
+    auto dev = b.var_f64("mn_dev");
+    auto xsum = b.var_f64("mn_xsum");
+    b.call("factorize");
+    b.call("solve");
+    // Reported error metric: max_i |x_i - 1| (true solution is all-ones).
+    b.set(err, b.cf(0.0));
+    b.set(xsum, b.cf(0.0));
+    b.for_(i, b.ci(0), b.ci(n), [&] {
+      b.set(dev, fabs_(x[Expr(i)] - b.cf(1.0)));
+      b.set(err, max_(err, dev));
+      b.set(xsum, Expr(xsum) + x[Expr(i)]);
+    });
+    b.output(err);   // index 0: the error the driver thresholds
+    b.output(xsum);  // auxiliary
+  }
+  b.end_func();
+
+  Workload w;
+  w.name = strformat("superlu@%.1e", threshold);
+  w.model = b.take_model();
+  w.threshold_mode = true;
+  w.error_output_index = 0;
+  w.expected_outputs = 2;
+  w.threshold = threshold;
+  return w;
+}
+
+}  // namespace fpmix::kernels

@@ -1,0 +1,117 @@
+// AST for the kernel mini-language.
+//
+// The paper's benchmarks are Fortran codes compiled to x86; ours are written
+// in this small typed language and compiled to the virtual ISA. The language
+// is deliberately Fortran-flavoured: static storage for scalars and arrays
+// (no recursion), counted loops, and calls that communicate through module
+// globals. Programs can be compiled in two modes:
+//   Mode::kDouble -- all real arithmetic in f64 (the "original" binaries);
+//   Mode::kSingle -- a whole-program manual conversion to f32, used to
+//                    validate instrumented runs bit-for-bit (Section 3.1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/intrinsics.hpp"
+
+namespace fpmix::lang {
+
+enum class Type : std::uint8_t { kF64, kI64 };
+
+enum class Mode : std::uint8_t { kDouble, kSingle };
+
+enum class BinOp : std::uint8_t {
+  // Real (kF64 operands).
+  kAddF, kSubF, kMulF, kDivF, kMinF, kMaxF,
+  // Integer.
+  kAddI, kSubI, kMulI, kDivI, kRemI, kAndI, kOrI, kXorI, kShlI, kShrI,
+};
+
+enum class CmpOp : std::uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+struct ExprNode;
+using ExprPtr = std::shared_ptr<const ExprNode>;
+
+struct ExprNode {
+  enum class Kind : std::uint8_t {
+    kConstF,    // cf
+    kConstI,    // ci
+    kVar,       // var_id (scalar)
+    kLoad,      // array var_id, index expr a
+    kBin,       // bop, a, b
+    kSqrt,      // a (lowered to sqrtsd/sqrtss, not an intrinsic call)
+    kIntrin,    // intrinsic id (f64 flavour), args a [, b]
+    kCastIF,    // a : i64 -> real
+    kCastFI,    // a : real -> i64 (truncating)
+    kMpiRank,   // i64
+    kMpiSize,   // i64
+  };
+  Kind kind;
+  Type type = Type::kF64;
+  double cf = 0.0;
+  std::int64_t ci = 0;
+  int var_id = -1;
+  BinOp bop = BinOp::kAddF;
+  arch::intrinsics::Id intrin = arch::intrinsics::Id::kSin;
+  ExprPtr a, b;
+};
+
+struct CondNode {
+  CmpOp op = CmpOp::kEq;
+  ExprPtr a, b;  // same type
+};
+
+struct StmtNode;
+using StmtPtr = std::shared_ptr<const StmtNode>;
+using StmtList = std::vector<StmtPtr>;
+
+struct StmtNode {
+  enum class Kind : std::uint8_t {
+    kAssign,      // var_id = a
+    kStore,       // array var_id [ a ] = b
+    kIf,          // cond, then_body, else_body
+    kWhile,       // cond, body
+    kFor,         // var_id = a .. < b (step c as constant), body
+    kCall,        // callee (void, communicates via globals)
+    kOutput,      // a (real; emitted to the verification channel as f64)
+    kOutputI,     // a (i64)
+    kBarrier,
+    kAllreduceVec,  // array var_id, count expr a (elementwise f64 sum)
+    kReturn,
+  };
+  Kind kind;
+  int var_id = -1;
+  ExprPtr a, b;
+  std::int64_t step = 1;
+  CondNode cond;
+  StmtList body, else_body;
+  std::string callee;
+};
+
+/// A declared scalar or array.
+struct VarDecl {
+  std::string name;
+  Type type = Type::kF64;
+  bool is_array = false;
+  std::size_t size = 1;              // elements, arrays only
+  std::vector<double> init_f;        // baked initial contents (f64 arrays)
+  std::vector<std::int64_t> init_i;  // baked initial contents (i64 arrays)
+  bool has_init = false;
+};
+
+struct FuncDecl {
+  std::string name;
+  std::string module;
+  StmtList body;
+};
+
+struct ProgramModel {
+  std::vector<VarDecl> vars;    // global (static) storage, var_id indexed
+  std::vector<FuncDecl> funcs;  // funcs[0..]; entry selected at compile time
+  std::string entry = "main";
+};
+
+}  // namespace fpmix::lang

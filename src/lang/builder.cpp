@@ -1,0 +1,439 @@
+#include "lang/builder.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace fpmix::lang {
+
+namespace in = arch::intrinsics;
+
+namespace {
+
+ExprPtr make_node(ExprNode n) {
+  return std::make_shared<const ExprNode>(std::move(n));
+}
+
+Expr make_bin(BinOp fop, BinOp iop, Expr a, Expr b, const char* what) {
+  if (a.type() != b.type()) {
+    throw ProgramError(strformat("type mismatch in %s", what));
+  }
+  ExprNode n;
+  n.kind = ExprNode::Kind::kBin;
+  n.type = a.type();
+  n.bop = a.type() == Type::kF64 ? fop : iop;
+  n.a = a.node();
+  n.b = b.node();
+  return Expr(make_node(std::move(n)));
+}
+
+Expr make_int_bin(BinOp op, Expr a, Expr b, const char* what) {
+  if (a.type() != Type::kI64 || b.type() != Type::kI64) {
+    throw ProgramError(strformat("%s requires integer operands", what));
+  }
+  ExprNode n;
+  n.kind = ExprNode::Kind::kBin;
+  n.type = Type::kI64;
+  n.bop = op;
+  n.a = a.node();
+  n.b = b.node();
+  return Expr(make_node(std::move(n)));
+}
+
+Expr make_intrin(in::Id id, Expr a, Expr b = Expr()) {
+  if (a.type() != Type::kF64 || (b.valid() && b.type() != Type::kF64)) {
+    throw ProgramError("math intrinsics require real operands");
+  }
+  ExprNode n;
+  n.kind = ExprNode::Kind::kIntrin;
+  n.type = Type::kF64;
+  n.intrin = id;
+  n.a = a.node();
+  if (b.valid()) n.b = b.node();
+  return Expr(make_node(std::move(n)));
+}
+
+Cond make_cond(CmpOp op, Expr a, Expr b) {
+  if (a.type() != b.type()) {
+    throw ProgramError("type mismatch in comparison");
+  }
+  Cond c;
+  c.node.op = op;
+  c.node.a = a.node();
+  c.node.b = b.node();
+  return c;
+}
+
+}  // namespace
+
+Expr operator+(Expr a, Expr b) {
+  return make_bin(BinOp::kAddF, BinOp::kAddI, a, b, "+");
+}
+Expr operator-(Expr a, Expr b) {
+  return make_bin(BinOp::kSubF, BinOp::kSubI, a, b, "-");
+}
+Expr operator*(Expr a, Expr b) {
+  return make_bin(BinOp::kMulF, BinOp::kMulI, a, b, "*");
+}
+Expr operator/(Expr a, Expr b) {
+  return make_bin(BinOp::kDivF, BinOp::kDivI, a, b, "/");
+}
+Expr operator%(Expr a, Expr b) { return make_int_bin(BinOp::kRemI, a, b, "%"); }
+Expr operator&(Expr a, Expr b) { return make_int_bin(BinOp::kAndI, a, b, "&"); }
+Expr operator|(Expr a, Expr b) { return make_int_bin(BinOp::kOrI, a, b, "|"); }
+Expr operator^(Expr a, Expr b) { return make_int_bin(BinOp::kXorI, a, b, "^"); }
+Expr operator<<(Expr a, Expr b) {
+  return make_int_bin(BinOp::kShlI, a, b, "<<");
+}
+Expr operator>>(Expr a, Expr b) {
+  return make_int_bin(BinOp::kShrI, a, b, ">>");
+}
+
+Expr operator-(Expr a) {
+  if (a.type() == Type::kF64) {
+    ExprNode zero;
+    zero.kind = ExprNode::Kind::kConstF;
+    zero.type = Type::kF64;
+    zero.cf = 0.0;
+    return Expr(make_node(std::move(zero))) - a;
+  }
+  ExprNode zero;
+  zero.kind = ExprNode::Kind::kConstI;
+  zero.type = Type::kI64;
+  zero.ci = 0;
+  return Expr(make_node(std::move(zero))) - a;
+}
+
+Expr sqrt_(Expr a) {
+  if (a.type() != Type::kF64) throw ProgramError("sqrt_ requires a real");
+  ExprNode n;
+  n.kind = ExprNode::Kind::kSqrt;
+  n.type = Type::kF64;
+  n.a = a.node();
+  return Expr(make_node(std::move(n)));
+}
+
+Expr fabs_(Expr a) { return make_intrin(in::Id::kFabs, a); }
+Expr min_(Expr a, Expr b) {
+  if (a.type() != Type::kF64) throw ProgramError("min_ requires reals");
+  return make_bin(BinOp::kMinF, BinOp::kMinF, a, b, "min_");
+}
+Expr max_(Expr a, Expr b) {
+  if (a.type() != Type::kF64) throw ProgramError("max_ requires reals");
+  return make_bin(BinOp::kMaxF, BinOp::kMaxF, a, b, "max_");
+}
+Expr sin_(Expr a) { return make_intrin(in::Id::kSin, a); }
+Expr cos_(Expr a) { return make_intrin(in::Id::kCos, a); }
+Expr exp_(Expr a) { return make_intrin(in::Id::kExp, a); }
+Expr log_(Expr a) { return make_intrin(in::Id::kLog, a); }
+Expr pow_(Expr a, Expr b) { return make_intrin(in::Id::kPow, a, b); }
+Expr floor_(Expr a) { return make_intrin(in::Id::kFloor, a); }
+
+Expr to_f64(Expr a) {
+  if (a.type() != Type::kI64) throw ProgramError("to_f64 requires an i64");
+  ExprNode n;
+  n.kind = ExprNode::Kind::kCastIF;
+  n.type = Type::kF64;
+  n.a = a.node();
+  return Expr(make_node(std::move(n)));
+}
+
+Expr to_i64(Expr a) {
+  if (a.type() != Type::kF64) throw ProgramError("to_i64 requires a real");
+  ExprNode n;
+  n.kind = ExprNode::Kind::kCastFI;
+  n.type = Type::kI64;
+  n.a = a.node();
+  return Expr(make_node(std::move(n)));
+}
+
+Cond operator==(Expr a, Expr b) { return make_cond(CmpOp::kEq, a, b); }
+Cond operator!=(Expr a, Expr b) { return make_cond(CmpOp::kNe, a, b); }
+Cond operator<(Expr a, Expr b) { return make_cond(CmpOp::kLt, a, b); }
+Cond operator<=(Expr a, Expr b) { return make_cond(CmpOp::kLe, a, b); }
+Cond operator>(Expr a, Expr b) { return make_cond(CmpOp::kGt, a, b); }
+Cond operator>=(Expr a, Expr b) { return make_cond(CmpOp::kGe, a, b); }
+
+Var::operator Expr() const {
+  FPMIX_CHECK(id_ >= 0);
+  ExprNode n;
+  n.kind = ExprNode::Kind::kVar;
+  n.type = type_;
+  n.var_id = id_;
+  return Expr(make_node(std::move(n)));
+}
+
+Expr Arr::operator[](Expr index) const {
+  FPMIX_CHECK(id_ >= 0);
+  if (index.type() != Type::kI64) {
+    throw ProgramError("array index must be an i64");
+  }
+  ExprNode n;
+  n.kind = ExprNode::Kind::kLoad;
+  n.type = elem_;
+  n.var_id = id_;
+  n.a = index.node();
+  return Expr(make_node(std::move(n)));
+}
+
+Expr Arr::operator[](std::int64_t index) const {
+  ExprNode n;
+  n.kind = ExprNode::Kind::kConstI;
+  n.type = Type::kI64;
+  n.ci = index;
+  return (*this)[Expr(make_node(std::move(n)))];
+}
+
+Builder::Builder() = default;
+
+Expr Builder::cf(double v) const {
+  ExprNode n;
+  n.kind = ExprNode::Kind::kConstF;
+  n.type = Type::kF64;
+  n.cf = v;
+  return Expr(make_node(std::move(n)));
+}
+
+Expr Builder::ci(std::int64_t v) const {
+  ExprNode n;
+  n.kind = ExprNode::Kind::kConstI;
+  n.type = Type::kI64;
+  n.ci = v;
+  return Expr(make_node(std::move(n)));
+}
+
+int Builder::declare(VarDecl decl) {
+  for (const VarDecl& v : model_.vars) {
+    if (v.name == decl.name) {
+      throw ProgramError(strformat("duplicate variable %s",
+                                   decl.name.c_str()));
+    }
+  }
+  model_.vars.push_back(std::move(decl));
+  return static_cast<int>(model_.vars.size() - 1);
+}
+
+Var Builder::var_f64(std::string name) {
+  VarDecl d;
+  d.name = std::move(name);
+  d.type = Type::kF64;
+  return Var(declare(std::move(d)), Type::kF64);
+}
+
+Var Builder::var_i64(std::string name) {
+  VarDecl d;
+  d.name = std::move(name);
+  d.type = Type::kI64;
+  return Var(declare(std::move(d)), Type::kI64);
+}
+
+Arr Builder::array_f64(std::string name, std::size_t size) {
+  VarDecl d;
+  d.name = std::move(name);
+  d.type = Type::kF64;
+  d.is_array = true;
+  d.size = size;
+  return Arr(declare(std::move(d)), Type::kF64);
+}
+
+Arr Builder::array_i64(std::string name, std::size_t size) {
+  VarDecl d;
+  d.name = std::move(name);
+  d.type = Type::kI64;
+  d.is_array = true;
+  d.size = size;
+  return Arr(declare(std::move(d)), Type::kI64);
+}
+
+Arr Builder::const_array_f64(std::string name,
+                             const std::vector<double>& data) {
+  VarDecl d;
+  d.name = std::move(name);
+  d.type = Type::kF64;
+  d.is_array = true;
+  d.size = data.size();
+  d.init_f = data;
+  d.has_init = true;
+  return Arr(declare(std::move(d)), Type::kF64);
+}
+
+Arr Builder::const_array_i64(std::string name,
+                             const std::vector<std::int64_t>& data) {
+  VarDecl d;
+  d.name = std::move(name);
+  d.type = Type::kI64;
+  d.is_array = true;
+  d.size = data.size();
+  d.init_i = data;
+  d.has_init = true;
+  return Arr(declare(std::move(d)), Type::kI64);
+}
+
+void Builder::begin_func(std::string name, std::string module) {
+  FPMIX_CHECK(!in_func_);
+  FuncDecl f;
+  f.name = std::move(name);
+  f.module = std::move(module);
+  model_.funcs.push_back(std::move(f));
+  in_func_ = true;
+  cur_ = &model_.funcs.back().body;
+  stack_ = {cur_};
+}
+
+void Builder::end_func() {
+  FPMIX_CHECK(in_func_ && stack_.size() == 1);
+  in_func_ = false;
+  cur_ = nullptr;
+  stack_.clear();
+}
+
+void Builder::add_stmt(StmtPtr s) {
+  FPMIX_CHECK(cur_ != nullptr);
+  cur_->push_back(std::move(s));
+}
+
+void Builder::set(Var v, Expr value) {
+  if (v.type() != value.type()) {
+    throw ProgramError("type mismatch in assignment");
+  }
+  auto s = std::make_shared<StmtNode>();
+  s->kind = StmtNode::Kind::kAssign;
+  s->var_id = v.id();
+  s->a = value.node();
+  add_stmt(std::move(s));
+}
+
+void Builder::store(Arr a, Expr index, Expr value) {
+  if (index.type() != Type::kI64 || a.elem() != value.type()) {
+    throw ProgramError("type mismatch in array store");
+  }
+  auto s = std::make_shared<StmtNode>();
+  s->kind = StmtNode::Kind::kStore;
+  s->var_id = a.id();
+  s->a = index.node();
+  s->b = value.node();
+  add_stmt(std::move(s));
+}
+
+namespace {
+StmtList capture(Builder* b, std::vector<StmtList*>* stack, StmtList** cur,
+                 const std::function<void()>& body) {
+  StmtList list;
+  stack->push_back(&list);
+  *cur = &list;
+  body();
+  stack->pop_back();
+  *cur = stack->back();
+  (void)b;
+  return list;
+}
+}  // namespace
+
+void Builder::if_(Cond c, const std::function<void()>& then_body) {
+  auto s = std::make_shared<StmtNode>();
+  s->kind = StmtNode::Kind::kIf;
+  s->cond = c.node;
+  s->body = capture(this, &stack_, &cur_, then_body);
+  add_stmt(std::move(s));
+}
+
+void Builder::if_else(Cond c, const std::function<void()>& then_body,
+                      const std::function<void()>& else_body) {
+  auto s = std::make_shared<StmtNode>();
+  s->kind = StmtNode::Kind::kIf;
+  s->cond = c.node;
+  s->body = capture(this, &stack_, &cur_, then_body);
+  s->else_body = capture(this, &stack_, &cur_, else_body);
+  add_stmt(std::move(s));
+}
+
+void Builder::while_(Cond c, const std::function<void()>& body) {
+  auto s = std::make_shared<StmtNode>();
+  s->kind = StmtNode::Kind::kWhile;
+  s->cond = c.node;
+  s->body = capture(this, &stack_, &cur_, body);
+  add_stmt(std::move(s));
+}
+
+void Builder::for_(Var v, Expr lo, Expr hi, const std::function<void()>& body,
+                   std::int64_t step) {
+  FPMIX_CHECK(v.type() == Type::kI64);
+  FPMIX_CHECK(step != 0);
+  auto s = std::make_shared<StmtNode>();
+  s->kind = StmtNode::Kind::kFor;
+  s->var_id = v.id();
+  s->a = lo.node();
+  s->b = hi.node();
+  s->step = step;
+  s->body = capture(this, &stack_, &cur_, body);
+  add_stmt(std::move(s));
+}
+
+void Builder::call(std::string callee) {
+  auto s = std::make_shared<StmtNode>();
+  s->kind = StmtNode::Kind::kCall;
+  s->callee = std::move(callee);
+  add_stmt(std::move(s));
+}
+
+void Builder::output(Expr real_value) {
+  if (real_value.type() != Type::kF64) {
+    throw ProgramError("output requires a real value");
+  }
+  auto s = std::make_shared<StmtNode>();
+  s->kind = StmtNode::Kind::kOutput;
+  s->a = real_value.node();
+  add_stmt(std::move(s));
+}
+
+void Builder::output_i(Expr int_value) {
+  if (int_value.type() != Type::kI64) {
+    throw ProgramError("output_i requires an i64 value");
+  }
+  auto s = std::make_shared<StmtNode>();
+  s->kind = StmtNode::Kind::kOutputI;
+  s->a = int_value.node();
+  add_stmt(std::move(s));
+}
+
+void Builder::ret() {
+  auto s = std::make_shared<StmtNode>();
+  s->kind = StmtNode::Kind::kReturn;
+  add_stmt(std::move(s));
+}
+
+Expr Builder::mpi_rank() const {
+  ExprNode n;
+  n.kind = ExprNode::Kind::kMpiRank;
+  n.type = Type::kI64;
+  return Expr(make_node(std::move(n)));
+}
+
+Expr Builder::mpi_size() const {
+  ExprNode n;
+  n.kind = ExprNode::Kind::kMpiSize;
+  n.type = Type::kI64;
+  return Expr(make_node(std::move(n)));
+}
+
+void Builder::barrier() {
+  auto s = std::make_shared<StmtNode>();
+  s->kind = StmtNode::Kind::kBarrier;
+  add_stmt(std::move(s));
+}
+
+Expr Builder::allreduce_sum(Expr real_value) const {
+  return make_intrin(in::Id::kMpiAllreduceSum, real_value);
+}
+
+void Builder::allreduce_vec(Arr a, Expr count) {
+  if (a.elem() != Type::kF64 || count.type() != Type::kI64) {
+    throw ProgramError("allreduce_vec requires an f64 array and i64 count");
+  }
+  auto s = std::make_shared<StmtNode>();
+  s->kind = StmtNode::Kind::kAllreduceVec;
+  s->var_id = a.id();
+  s->a = count.node();
+  add_stmt(std::move(s));
+}
+
+}  // namespace fpmix::lang

@@ -1,0 +1,164 @@
+// Ergonomic construction of ProgramModel ASTs.
+//
+// Kernels are written against this API:
+//
+//   lang::Builder b;
+//   b.begin_func("main", "ep");
+//   auto i = b.var_i64("i");
+//   auto q = b.array_f64("q", 64);
+//   b.for_(i, b.ci(0), b.ci(100), [&] {
+//     b.store(q, i % b.ci(64), q[i % b.ci(64)] + b.cf(1.0));
+//   });
+//   b.output(q[b.ci(0)]);
+//   b.end_func();
+//   program::Program prog = compile(b.model(), lang::Mode::kDouble);
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "lang/ast.hpp"
+
+namespace fpmix::lang {
+
+class Builder;
+
+/// Value wrapper enabling operator syntax. Carries the node and its type.
+class Expr {
+ public:
+  Expr() = default;
+  explicit Expr(ExprPtr node) : node_(std::move(node)) {}
+  const ExprPtr& node() const { return node_; }
+  Type type() const { return node_->type; }
+  bool valid() const { return node_ != nullptr; }
+
+ private:
+  ExprPtr node_;
+};
+
+// Arithmetic (same-type operands; real ops on kF64, integer ops on kI64).
+Expr operator+(Expr a, Expr b);
+Expr operator-(Expr a, Expr b);
+Expr operator*(Expr a, Expr b);
+Expr operator/(Expr a, Expr b);
+Expr operator%(Expr a, Expr b);   // i64 only
+Expr operator&(Expr a, Expr b);   // i64 only
+Expr operator|(Expr a, Expr b);   // i64 only
+Expr operator^(Expr a, Expr b);   // i64 only
+Expr operator<<(Expr a, Expr b);  // i64 only
+Expr operator>>(Expr a, Expr b);  // i64 only
+Expr operator-(Expr a);           // negation
+
+Expr sqrt_(Expr a);               // lowered to the sqrt instruction
+Expr fabs_(Expr a);
+Expr min_(Expr a, Expr b);
+Expr max_(Expr a, Expr b);
+Expr sin_(Expr a);
+Expr cos_(Expr a);
+Expr exp_(Expr a);
+Expr log_(Expr a);
+Expr pow_(Expr a, Expr b);
+Expr floor_(Expr a);
+Expr to_f64(Expr a);              // i64 -> real
+Expr to_i64(Expr a);              // real -> i64 (truncating)
+
+/// Comparison result; consumed by if_/while_.
+struct Cond {
+  CondNode node;
+};
+Cond operator==(Expr a, Expr b);
+Cond operator!=(Expr a, Expr b);
+Cond operator<(Expr a, Expr b);
+Cond operator<=(Expr a, Expr b);
+Cond operator>(Expr a, Expr b);
+Cond operator>=(Expr a, Expr b);
+
+/// Scalar variable handle; implicitly usable as an Expr.
+class Var {
+ public:
+  Var() = default;
+  Var(int id, Type type) : id_(id), type_(type) {}
+  int id() const { return id_; }
+  Type type() const { return type_; }
+  operator Expr() const;  // NOLINT(google-explicit-constructor)
+
+ private:
+  int id_ = -1;
+  Type type_ = Type::kF64;
+};
+
+/// Array handle; `arr[index]` loads an element.
+class Arr {
+ public:
+  Arr() = default;
+  Arr(int id, Type elem) : id_(id), elem_(elem) {}
+  int id() const { return id_; }
+  Type elem() const { return elem_; }
+  Expr operator[](Expr index) const;
+  Expr operator[](std::int64_t index) const;
+
+ private:
+  int id_ = -1;
+  Type elem_ = Type::kF64;
+};
+
+class Builder {
+ public:
+  Builder();
+
+  // ---- Literals -----------------------------------------------------------
+  Expr cf(double v) const;        // real constant
+  Expr ci(std::int64_t v) const;  // integer constant
+
+  // ---- Declarations (global/static storage, Fortran style) ----------------
+  Var var_f64(std::string name);
+  Var var_i64(std::string name);
+  Arr array_f64(std::string name, std::size_t size);
+  Arr array_i64(std::string name, std::size_t size);
+  /// Arrays with baked initial contents (the input data set).
+  Arr const_array_f64(std::string name, const std::vector<double>& data);
+  Arr const_array_i64(std::string name,
+                      const std::vector<std::int64_t>& data);
+
+  // ---- Functions -----------------------------------------------------------
+  void begin_func(std::string name, std::string module);
+  void end_func();
+
+  // ---- Statements ----------------------------------------------------------
+  void set(Var v, Expr value);
+  void store(Arr a, Expr index, Expr value);
+  void if_(Cond c, const std::function<void()>& then_body);
+  void if_else(Cond c, const std::function<void()>& then_body,
+               const std::function<void()>& else_body);
+  void while_(Cond c, const std::function<void()>& body);
+  /// for (v = lo; v < hi; v += step) body
+  void for_(Var v, Expr lo, Expr hi, const std::function<void()>& body,
+            std::int64_t step = 1);
+  void call(std::string callee);
+  void output(Expr real_value);
+  void output_i(Expr int_value);
+  void ret();
+
+  // ---- Mini-MPI -------------------------------------------------------------
+  Expr mpi_rank() const;
+  Expr mpi_size() const;
+  void barrier();
+  Expr allreduce_sum(Expr real_value) const;
+  void allreduce_vec(Arr a, Expr count);
+
+  // ---- Finalization ----------------------------------------------------------
+  const ProgramModel& model() const { return model_; }
+  ProgramModel take_model() { return std::move(model_); }
+
+ private:
+  friend class Arr;
+  void add_stmt(StmtPtr s);
+  int declare(VarDecl decl);
+
+  ProgramModel model_;
+  std::vector<StmtList*> stack_;  // innermost statement list
+  StmtList* cur_ = nullptr;
+  bool in_func_ = false;
+};
+
+}  // namespace fpmix::lang

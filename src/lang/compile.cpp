@@ -1,0 +1,507 @@
+#include "lang/compile.hpp"
+
+#include <cstring>
+#include <map>
+
+#include "asm/assembler.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace fpmix::lang {
+
+using arch::Opcode;
+using arch::Operand;
+namespace in = arch::intrinsics;
+
+namespace {
+
+class Compiler {
+ public:
+  Compiler(const ProgramModel& model, Mode mode)
+      : model_(model), mode_(mode) {}
+
+  program::Program run() {
+    allocate_storage();
+    for (const FuncDecl& fn : model_.funcs) {
+      compile_function(fn);
+    }
+    return asm_.finish(model_.entry);
+  }
+
+ private:
+  // ---- Storage ------------------------------------------------------------
+
+  std::size_t real_size() const { return mode_ == Mode::kDouble ? 8 : 4; }
+
+  void allocate_storage() {
+    addr_.resize(model_.vars.size());
+    for (std::size_t i = 0; i < model_.vars.size(); ++i) {
+      const VarDecl& v = model_.vars[i];
+      const std::size_t elem =
+          (v.type == Type::kF64) ? real_size() : 8;
+      const std::size_t bytes = elem * (v.is_array ? v.size : 1);
+      if (v.has_init) {
+        std::vector<std::uint8_t> bytes_out(bytes);
+        if (v.type == Type::kF64) {
+          FPMIX_CHECK(v.init_f.size() == v.size);
+          for (std::size_t k = 0; k < v.size; ++k) {
+            if (mode_ == Mode::kDouble) {
+              std::memcpy(bytes_out.data() + 8 * k, &v.init_f[k], 8);
+            } else {
+              const float f = static_cast<float>(v.init_f[k]);
+              std::memcpy(bytes_out.data() + 4 * k, &f, 4);
+            }
+          }
+        } else {
+          FPMIX_CHECK(v.init_i.size() == v.size);
+          std::memcpy(bytes_out.data(), v.init_i.data(), bytes);
+        }
+        addr_[i] = asm_.data_bytes(bytes_out.data(), bytes_out.size(), 16);
+      } else {
+        addr_[i] = asm_.reserve_bss(bytes, 16);
+      }
+    }
+  }
+
+  // ---- Register pools -----------------------------------------------------
+
+  std::uint8_t alloc_f() {
+    for (std::uint8_t r = 2; r <= 13; ++r) {
+      if (!fbusy_[r]) {
+        fbusy_[r] = true;
+        return r;
+      }
+    }
+    throw ProgramError("expression too deep: out of xmm registers");
+  }
+  void free_f(std::uint8_t r) { fbusy_[r] = false; }
+
+  std::uint8_t alloc_i() {
+    for (std::uint8_t r = 2; r <= 13; ++r) {
+      if (!ibusy_[r]) {
+        ibusy_[r] = true;
+        return r;
+      }
+    }
+    throw ProgramError("expression too deep: out of integer registers");
+  }
+  void free_i(std::uint8_t r) { ibusy_[r] = false; }
+
+  // ---- Real-op helpers (mode-dependent) ------------------------------------
+
+  Opcode op_mov_load() const {
+    return mode_ == Mode::kDouble ? Opcode::kMovsdXM : Opcode::kMovssXM;
+  }
+  Opcode op_mov_store() const {
+    return mode_ == Mode::kDouble ? Opcode::kMovsdMX : Opcode::kMovssMX;
+  }
+  Opcode op_bin(BinOp b) const {
+    const bool d = mode_ == Mode::kDouble;
+    switch (b) {
+      case BinOp::kAddF: return d ? Opcode::kAddsd : Opcode::kAddss;
+      case BinOp::kSubF: return d ? Opcode::kSubsd : Opcode::kSubss;
+      case BinOp::kMulF: return d ? Opcode::kMulsd : Opcode::kMulss;
+      case BinOp::kDivF: return d ? Opcode::kDivsd : Opcode::kDivss;
+      case BinOp::kMinF: return d ? Opcode::kMinsd : Opcode::kMinss;
+      case BinOp::kMaxF: return d ? Opcode::kMaxsd : Opcode::kMaxss;
+      case BinOp::kAddI: return Opcode::kAdd;
+      case BinOp::kSubI: return Opcode::kSub;
+      case BinOp::kMulI: return Opcode::kImul;
+      case BinOp::kDivI: return Opcode::kIdiv;
+      case BinOp::kRemI: return Opcode::kIrem;
+      case BinOp::kAndI: return Opcode::kAnd;
+      case BinOp::kOrI: return Opcode::kOr;
+      case BinOp::kXorI: return Opcode::kXor;
+      case BinOp::kShlI: return Opcode::kShl;
+      case BinOp::kShrI: return Opcode::kShr;
+    }
+    throw ProgramError("unknown binary op");
+  }
+
+  /// Pool-register copy, both modes (64-bit lane copy is harmless for f32
+  /// payloads: ss ops only read the low 32 bits).
+  void mov_xx(std::uint8_t dst, std::uint8_t src) {
+    asm_.emit(Opcode::kMovsdXX, Operand::xmm(dst), Operand::xmm(src));
+  }
+
+  Operand const_slot(double v) {
+    if (mode_ == Mode::kDouble) {
+      std::uint64_t bits;
+      std::memcpy(&bits, &v, 8);
+      auto it = fconst_.find(bits);
+      if (it == fconst_.end()) {
+        it = fconst_.emplace(bits, asm_.data_f64(v)).first;
+      }
+      return Operand::mem_abs(static_cast<std::int32_t>(it->second));
+    }
+    const float f = static_cast<float>(v);
+    std::uint32_t bits;
+    std::memcpy(&bits, &f, 4);
+    auto it = fconst_.find(bits);
+    if (it == fconst_.end()) {
+      it = fconst_.emplace(bits, asm_.data_bytes(&f, 4, 4)).first;
+    }
+    return Operand::mem_abs(static_cast<std::int32_t>(it->second));
+  }
+
+  Operand scalar_slot(int var_id) const {
+    return Operand::mem_abs(static_cast<std::int32_t>(addr_[var_id]));
+  }
+
+  Operand elem_slot(int var_id, std::uint8_t index_reg) const {
+    const VarDecl& v = model_.vars[var_id];
+    const std::uint8_t scale =
+        (v.type == Type::kF64) ? static_cast<std::uint8_t>(real_size()) : 8;
+    return Operand::mem_bisd(arch::kNoReg, index_reg, scale,
+                             static_cast<std::int32_t>(addr_[var_id]));
+  }
+
+  // ---- Expressions ----------------------------------------------------------
+
+  std::uint8_t gen_f(const ExprPtr& e) {
+    FPMIX_CHECK(e != nullptr && e->type == Type::kF64);
+    switch (e->kind) {
+      case ExprNode::Kind::kConstF: {
+        const std::uint8_t r = alloc_f();
+        asm_.emit(op_mov_load(), Operand::xmm(r), const_slot(e->cf));
+        return r;
+      }
+      case ExprNode::Kind::kVar: {
+        const std::uint8_t r = alloc_f();
+        asm_.emit(op_mov_load(), Operand::xmm(r), scalar_slot(e->var_id));
+        return r;
+      }
+      case ExprNode::Kind::kLoad: {
+        const std::uint8_t idx = gen_i(e->a);
+        const std::uint8_t r = alloc_f();
+        asm_.emit(op_mov_load(), Operand::xmm(r), elem_slot(e->var_id, idx));
+        free_i(idx);
+        return r;
+      }
+      case ExprNode::Kind::kBin: {
+        const std::uint8_t x = gen_f(e->a);
+        const std::uint8_t y = gen_f(e->b);
+        asm_.emit(op_bin(e->bop), Operand::xmm(x), Operand::xmm(y));
+        free_f(y);
+        return x;
+      }
+      case ExprNode::Kind::kSqrt: {
+        const std::uint8_t x = gen_f(e->a);
+        asm_.emit(mode_ == Mode::kDouble ? Opcode::kSqrtsd : Opcode::kSqrtss,
+                  Operand::xmm(x), Operand::xmm(x));
+        return x;
+      }
+      case ExprNode::Kind::kIntrin:
+        return gen_intrin(e);
+      case ExprNode::Kind::kCastIF: {
+        const std::uint8_t g = gen_i(e->a);
+        const std::uint8_t r = alloc_f();
+        asm_.emit(
+            mode_ == Mode::kDouble ? Opcode::kCvtsi2sd : Opcode::kCvtsi2ss,
+            Operand::xmm(r), Operand::gpr(g));
+        free_i(g);
+        return r;
+      }
+      default:
+        throw ProgramError("malformed real expression");
+    }
+  }
+
+  std::uint8_t gen_intrin(const ExprPtr& e) {
+    const std::uint8_t x = gen_f(e->a);
+    std::uint8_t y = 0;
+    const bool two = e->b != nullptr;
+    if (two) y = gen_f(e->b);
+    // Arguments go to xmm0/xmm1 per the intrinsic ABI.
+    if (two) mov_xx(1, y);
+    mov_xx(0, x);
+    free_f(x);
+    if (two) free_f(y);
+
+    in::Id id = e->intrin;
+    bool wrap_f32 = false;
+    if (mode_ == Mode::kSingle) {
+      if (in::intrin_has_f32_twin(id)) {
+        id = in::intrin_info(id).f32_twin;
+      } else {
+        // Intrinsics with a fixed f64 ABI (e.g. mpi_allreduce): widen the
+        // argument, call, and narrow the result. This is exactly what a
+        // manual single-precision port of an MPI code would do at the
+        // library boundary.
+        wrap_f32 = true;
+      }
+    }
+    if (wrap_f32) {
+      asm_.emit(Opcode::kCvtss2sd, Operand::xmm(0), Operand::xmm(0));
+      if (two) {
+        asm_.emit(Opcode::kCvtss2sd, Operand::xmm(1), Operand::xmm(1));
+      }
+    }
+    asm_.intrin(id);
+    if (wrap_f32) {
+      asm_.emit(Opcode::kCvtsd2ss, Operand::xmm(0), Operand::xmm(0));
+    }
+    const std::uint8_t r = alloc_f();
+    mov_xx(r, 0);
+    return r;
+  }
+
+  std::uint8_t gen_i(const ExprPtr& e) {
+    FPMIX_CHECK(e != nullptr && e->type == Type::kI64);
+    switch (e->kind) {
+      case ExprNode::Kind::kConstI: {
+        const std::uint8_t r = alloc_i();
+        asm_.emit(Opcode::kMov, Operand::gpr(r), Operand::make_imm(e->ci));
+        return r;
+      }
+      case ExprNode::Kind::kVar: {
+        const std::uint8_t r = alloc_i();
+        asm_.emit(Opcode::kLoad, Operand::gpr(r), scalar_slot(e->var_id));
+        return r;
+      }
+      case ExprNode::Kind::kLoad: {
+        const std::uint8_t idx = gen_i(e->a);
+        const std::uint8_t r = alloc_i();
+        asm_.emit(Opcode::kLoad, Operand::gpr(r),
+                  elem_slot(e->var_id, idx));
+        free_i(idx);
+        return r;
+      }
+      case ExprNode::Kind::kBin: {
+        const std::uint8_t x = gen_i(e->a);
+        const std::uint8_t y = gen_i(e->b);
+        asm_.emit(op_bin(e->bop), Operand::gpr(x), Operand::gpr(y));
+        free_i(y);
+        return x;
+      }
+      case ExprNode::Kind::kCastFI: {
+        const std::uint8_t x = gen_f(e->a);
+        const std::uint8_t r = alloc_i();
+        asm_.emit(
+            mode_ == Mode::kDouble ? Opcode::kCvttsd2si : Opcode::kCvttss2si,
+            Operand::gpr(r), Operand::xmm(x));
+        free_f(x);
+        return r;
+      }
+      case ExprNode::Kind::kMpiRank:
+      case ExprNode::Kind::kMpiSize: {
+        asm_.intrin(e->kind == ExprNode::Kind::kMpiRank ? in::Id::kMpiRank
+                                                        : in::Id::kMpiSize);
+        const std::uint8_t r = alloc_i();
+        asm_.emit(Opcode::kMov, Operand::gpr(r), Operand::gpr(0));
+        return r;
+      }
+      default:
+        throw ProgramError("malformed integer expression");
+    }
+  }
+
+  // ---- Conditions ------------------------------------------------------------
+
+  /// Emits compare + branch-if-FALSE to `target`.
+  void branch_unless(const CondNode& c, casm::Label target) {
+    const Type t = c.a->type;
+    if (t == Type::kF64) {
+      const std::uint8_t x = gen_f(c.a);
+      const std::uint8_t y = gen_f(c.b);
+      asm_.emit(mode_ == Mode::kDouble ? Opcode::kUcomisd : Opcode::kUcomiss,
+                Operand::xmm(x), Operand::xmm(y));
+      free_f(x);
+      free_f(y);
+      switch (c.op) {  // FP compares use the unsigned-style branches
+        case CmpOp::kEq: asm_.jne(target); break;
+        case CmpOp::kNe: asm_.je(target); break;
+        case CmpOp::kLt: asm_.jae(target); break;
+        case CmpOp::kLe: asm_.ja(target); break;
+        case CmpOp::kGt: asm_.jbe(target); break;
+        case CmpOp::kGe: asm_.jb(target); break;
+      }
+    } else {
+      const std::uint8_t x = gen_i(c.a);
+      const std::uint8_t y = gen_i(c.b);
+      asm_.emit(Opcode::kCmp, Operand::gpr(x), Operand::gpr(y));
+      free_i(x);
+      free_i(y);
+      switch (c.op) {
+        case CmpOp::kEq: asm_.jne(target); break;
+        case CmpOp::kNe: asm_.je(target); break;
+        case CmpOp::kLt: asm_.jge(target); break;
+        case CmpOp::kLe: asm_.jg(target); break;
+        case CmpOp::kGt: asm_.jle(target); break;
+        case CmpOp::kGe: asm_.jl(target); break;
+      }
+    }
+  }
+
+  // ---- Statements -------------------------------------------------------------
+
+  void compile_function(const FuncDecl& fn) {
+    asm_.begin_function(fn.name, fn.module);
+    for (const StmtPtr& s : fn.body) compile_stmt(*s);
+    if (fn.name == model_.entry) {
+      asm_.halt();
+    } else {
+      asm_.ret();
+    }
+    asm_.end_function();
+  }
+
+  void compile_stmt(const StmtNode& s) {
+    switch (s.kind) {
+      case StmtNode::Kind::kAssign: {
+        const VarDecl& v = model_.vars[s.var_id];
+        if (v.type == Type::kF64) {
+          const std::uint8_t x = gen_f(s.a);
+          asm_.emit(op_mov_store(), scalar_slot(s.var_id), Operand::xmm(x));
+          free_f(x);
+        } else {
+          const std::uint8_t x = gen_i(s.a);
+          asm_.emit(Opcode::kStore, scalar_slot(s.var_id), Operand::gpr(x));
+          free_i(x);
+        }
+        break;
+      }
+      case StmtNode::Kind::kStore: {
+        const VarDecl& v = model_.vars[s.var_id];
+        const std::uint8_t idx = gen_i(s.a);
+        if (v.type == Type::kF64) {
+          const std::uint8_t x = gen_f(s.b);
+          asm_.emit(op_mov_store(), elem_slot(s.var_id, idx),
+                    Operand::xmm(x));
+          free_f(x);
+        } else {
+          const std::uint8_t x = gen_i(s.b);
+          asm_.emit(Opcode::kStore, elem_slot(s.var_id, idx),
+                    Operand::gpr(x));
+          free_i(x);
+        }
+        free_i(idx);
+        break;
+      }
+      case StmtNode::Kind::kIf: {
+        casm::Label lelse = asm_.new_label();
+        branch_unless(s.cond, lelse);
+        for (const StmtPtr& st : s.body) compile_stmt(*st);
+        if (s.else_body.empty()) {
+          asm_.bind(lelse);
+          asm_.emit(Opcode::kNop);  // label landing pad
+        } else {
+          casm::Label lend = asm_.new_label();
+          asm_.jmp(lend);
+          asm_.bind(lelse);
+          for (const StmtPtr& st : s.else_body) compile_stmt(*st);
+          asm_.bind(lend);
+          asm_.emit(Opcode::kNop);
+        }
+        break;
+      }
+      case StmtNode::Kind::kWhile: {
+        casm::Label lhead = asm_.new_label();
+        casm::Label lend = asm_.new_label();
+        asm_.bind(lhead);
+        branch_unless(s.cond, lend);
+        for (const StmtPtr& st : s.body) compile_stmt(*st);
+        asm_.jmp(lhead);
+        asm_.bind(lend);
+        asm_.emit(Opcode::kNop);
+        break;
+      }
+      case StmtNode::Kind::kFor: {
+        // v = lo; head: if !(v < hi) goto end; body; v += step; goto head.
+        const std::uint8_t lo = gen_i(s.a);
+        asm_.emit(Opcode::kStore, scalar_slot(s.var_id), Operand::gpr(lo));
+        free_i(lo);
+        casm::Label lhead = asm_.new_label();
+        casm::Label lend = asm_.new_label();
+        asm_.bind(lhead);
+        {
+          const std::uint8_t v = alloc_i();
+          asm_.emit(Opcode::kLoad, Operand::gpr(v), scalar_slot(s.var_id));
+          const std::uint8_t hi = gen_i(s.b);
+          asm_.emit(Opcode::kCmp, Operand::gpr(v), Operand::gpr(hi));
+          free_i(v);
+          free_i(hi);
+          if (s.step > 0) {
+            asm_.jge(lend);
+          } else {
+            asm_.jle(lend);
+          }
+        }
+        for (const StmtPtr& st : s.body) compile_stmt(*st);
+        {
+          const std::uint8_t v = alloc_i();
+          asm_.emit(Opcode::kLoad, Operand::gpr(v), scalar_slot(s.var_id));
+          asm_.emit(Opcode::kAdd, Operand::gpr(v), Operand::make_imm(s.step));
+          asm_.emit(Opcode::kStore, scalar_slot(s.var_id), Operand::gpr(v));
+          free_i(v);
+        }
+        asm_.jmp(lhead);
+        asm_.bind(lend);
+        asm_.emit(Opcode::kNop);
+        break;
+      }
+      case StmtNode::Kind::kCall:
+        asm_.call(s.callee);
+        break;
+      case StmtNode::Kind::kOutput: {
+        const std::uint8_t x = gen_f(s.a);
+        if (mode_ == Mode::kDouble) {
+          mov_xx(0, x);
+        } else {
+          asm_.emit(Opcode::kCvtss2sd, Operand::xmm(0), Operand::xmm(x));
+        }
+        free_f(x);
+        asm_.intrin(in::Id::kOutputF64);
+        break;
+      }
+      case StmtNode::Kind::kOutputI: {
+        const std::uint8_t x = gen_i(s.a);
+        asm_.emit(Opcode::kMov, Operand::gpr(1), Operand::gpr(x));
+        free_i(x);
+        asm_.intrin(in::Id::kOutputI64);
+        break;
+      }
+      case StmtNode::Kind::kBarrier:
+        asm_.intrin(in::Id::kMpiBarrier);
+        break;
+      case StmtNode::Kind::kAllreduceVec: {
+        if (mode_ == Mode::kSingle) {
+          throw ProgramError(
+              "allreduce_vec is not supported in single mode (f64 buffers)");
+        }
+        const std::uint8_t c = gen_i(s.a);
+        asm_.emit(Opcode::kMov, Operand::gpr(1),
+                  Operand::make_imm(
+                      static_cast<std::int64_t>(addr_[s.var_id])));
+        if (c != 2) {
+          asm_.emit(Opcode::kMov, Operand::gpr(2), Operand::gpr(c));
+        }
+        free_i(c);
+        asm_.intrin(in::Id::kMpiAllreduceVec);
+        break;
+      }
+      case StmtNode::Kind::kReturn:
+        if (model_.funcs.empty()) break;
+        asm_.ret();
+        break;
+    }
+  }
+
+  const ProgramModel& model_;
+  Mode mode_;
+  casm::Assembler asm_;
+  std::vector<std::uint64_t> addr_;
+  std::map<std::uint64_t, std::uint64_t> fconst_;
+  bool fbusy_[16] = {};
+  bool ibusy_[16] = {};
+};
+
+}  // namespace
+
+program::Program compile(const ProgramModel& model, Mode mode) {
+  if (model.funcs.empty()) throw ProgramError("program has no functions");
+  Compiler c(model, mode);
+  return c.run();
+}
+
+}  // namespace fpmix::lang

@@ -1,0 +1,113 @@
+// Banded matrices and banded LU (the SuperLU stand-in; see DESIGN.md for
+// the substitution rationale).
+//
+// Storage is LAPACK-style band storage: band(i, d) holds A(i, i + d) for
+// d in [-kl, ku]. Factorization is LU without pivoting -- valid for the
+// diagonally dominant systems our memplus-like generator produces -- and is
+// implemented identically in the native twins here and in the virtual
+// kernel (kernels/superlu.cpp), so the error metrics line up.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace fpmix::linalg {
+
+template <typename T>
+class Banded {
+ public:
+  Banded() = default;
+  Banded(std::size_t n, std::size_t kl, std::size_t ku)
+      : n_(n), kl_(kl), ku_(ku), w_(kl + ku + 1), a_(n * w_, T(0)) {}
+
+  std::size_t n() const { return n_; }
+  std::size_t kl() const { return kl_; }
+  std::size_t ku() const { return ku_; }
+  std::size_t width() const { return w_; }
+
+  /// Element A(i, i+d), d in [-kl, ku]. Out-of-band reads return 0.
+  T get(std::size_t i, std::ptrdiff_t d) const {
+    if (d < -static_cast<std::ptrdiff_t>(kl_) ||
+        d > static_cast<std::ptrdiff_t>(ku_)) {
+      return T(0);
+    }
+    return a_[i * w_ + static_cast<std::size_t>(d + kl_)];
+  }
+  void set(std::size_t i, std::ptrdiff_t d, T v) {
+    FPMIX_CHECK(d >= -static_cast<std::ptrdiff_t>(kl_) &&
+                d <= static_cast<std::ptrdiff_t>(ku_));
+    a_[i * w_ + static_cast<std::size_t>(d + kl_)] = v;
+  }
+
+  const std::vector<T>& storage() const { return a_; }
+  std::vector<T>& storage() { return a_; }
+
+  std::vector<T> matvec(const std::vector<T>& x) const {
+    FPMIX_CHECK(x.size() == n_);
+    std::vector<T> y(n_, T(0));
+    for (std::size_t i = 0; i < n_; ++i) {
+      T acc = T(0);
+      for (std::ptrdiff_t d = -static_cast<std::ptrdiff_t>(kl_);
+           d <= static_cast<std::ptrdiff_t>(ku_); ++d) {
+        const std::ptrdiff_t j = static_cast<std::ptrdiff_t>(i) + d;
+        if (j < 0 || j >= static_cast<std::ptrdiff_t>(n_)) continue;
+        acc += get(i, d) * x[static_cast<std::size_t>(j)];
+      }
+      y[i] = acc;
+    }
+    return y;
+  }
+
+  template <typename U>
+  Banded<U> cast() const {
+    Banded<U> out(n_, kl_, ku_);
+    for (std::size_t i = 0; i < a_.size(); ++i) {
+      out.storage()[i] = static_cast<U>(a_[i]);
+    }
+    return out;
+  }
+
+ private:
+  std::size_t n_ = 0, kl_ = 0, ku_ = 0, w_ = 1;
+  std::vector<T> a_;
+};
+
+/// In-place banded LU without pivoting. L's multipliers overwrite the lower
+/// band; U overwrites the diagonal and upper band. Throws on zero pivot.
+template <typename T>
+void banded_lu_factor(Banded<T>* a);
+
+/// Solves LUx = b given banded_lu_factor output.
+template <typename T>
+std::vector<T> banded_lu_solve(const Banded<T>& lu, const std::vector<T>& b);
+
+/// The end-to-end error metric our SuperLU analogue reports:
+/// max_i |x_i - xtrue_i| / max_i |xtrue_i|.
+template <typename T>
+double solution_error(const std::vector<T>& x,
+                      const std::vector<double>& xtrue);
+
+/// Generates the memplus-like system: an n x n banded matrix whose diagonal
+/// magnitudes span several orders of magnitude (memory-circuit conductances)
+/// with strictly weaker off-diagonal coupling, keeping the matrix diagonally
+/// dominant so pivot-free LU is stable while the wide dynamic range makes
+/// the solve genuinely sensitive to working precision.
+Banded<double> make_memplus_like(std::size_t n, std::size_t half_bandwidth,
+                                 std::uint64_t seed);
+
+extern template void banded_lu_factor<double>(Banded<double>*);
+extern template void banded_lu_factor<float>(Banded<float>*);
+extern template std::vector<double> banded_lu_solve<double>(
+    const Banded<double>&, const std::vector<double>&);
+extern template std::vector<float> banded_lu_solve<float>(
+    const Banded<float>&, const std::vector<float>&);
+extern template double solution_error<double>(const std::vector<double>&,
+                                              const std::vector<double>&);
+extern template double solution_error<float>(const std::vector<float>&,
+                                             const std::vector<double>&);
+
+}  // namespace fpmix::linalg

@@ -1,0 +1,284 @@
+#include "linalg/csr.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace fpmix::linalg {
+
+Csr<double> make_poisson2d(std::size_t m) {
+  const std::size_t n = m * m;
+  Csr<double> a;
+  a.n = n;
+  a.rowptr.reserve(n + 1);
+  a.rowptr.push_back(0);
+  for (std::size_t y = 0; y < m; ++y) {
+    for (std::size_t x = 0; x < m; ++x) {
+      const auto idx = [m](std::size_t yy, std::size_t xx) {
+        return static_cast<std::int64_t>(yy * m + xx);
+      };
+      if (y > 0) {
+        a.col.push_back(idx(y - 1, x));
+        a.val.push_back(-1.0);
+      }
+      if (x > 0) {
+        a.col.push_back(idx(y, x - 1));
+        a.val.push_back(-1.0);
+      }
+      a.col.push_back(idx(y, x));
+      a.val.push_back(4.0);
+      if (x + 1 < m) {
+        a.col.push_back(idx(y, x + 1));
+        a.val.push_back(-1.0);
+      }
+      if (y + 1 < m) {
+        a.col.push_back(idx(y + 1, x));
+        a.val.push_back(-1.0);
+      }
+      a.rowptr.push_back(static_cast<std::int64_t>(a.col.size()));
+    }
+  }
+  return a;
+}
+
+Csr<double> make_random_spd(std::size_t n, std::size_t nnz_per_row,
+                            double shift, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  // Build a symmetric pattern: collect (i, j, v) with i < j, mirror, then
+  // add the dominant diagonal.
+  std::map<std::pair<std::size_t, std::size_t>, double> off;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k + 1 < nnz_per_row; ++k) {
+      // Banded-random column like NAS makea's geometric distribution.
+      const std::size_t span = 1 + rng.next_below(n / 8 + 2);
+      std::size_t j = (i + 1 + rng.next_below(span)) % n;
+      if (j == i) j = (i + 1) % n;
+      const auto key = std::minmax(i, j);
+      off[{key.first, key.second}] = rng.next_double(-0.5, 0.5);
+    }
+  }
+  std::vector<std::map<std::size_t, double>> rows(n);
+  for (const auto& [ij, v] : off) {
+    rows[ij.first][ij.second] = v;
+    rows[ij.second][ij.first] = v;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 0;
+    for (const auto& [j, v] : rows[i]) s += std::fabs(v);
+    rows[i][i] = s + shift;
+  }
+  Csr<double> a;
+  a.n = n;
+  a.rowptr.push_back(0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& [j, v] : rows[i]) {
+      a.col.push_back(static_cast<std::int64_t>(j));
+      a.val.push_back(v);
+    }
+    a.rowptr.push_back(static_cast<std::int64_t>(a.col.size()));
+  }
+  return a;
+}
+
+template <typename T>
+double cg_solve(const Csr<T>& a, const std::vector<T>& b, std::vector<T>* x,
+                std::size_t max_iters) {
+  const std::size_t n = a.n;
+  FPMIX_CHECK(x != nullptr && x->size() == n && b.size() == n);
+  std::vector<T> r(n), p(n), q(n);
+  const std::vector<T> ax = a.matvec(*x);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ax[i];
+  p = r;
+  T rho = T(0);
+  for (std::size_t i = 0; i < n; ++i) rho += r[i] * r[i];
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    q = a.matvec(p);
+    T pq = T(0);
+    for (std::size_t i = 0; i < n; ++i) pq += p[i] * q[i];
+    const T alpha = rho / pq;
+    for (std::size_t i = 0; i < n; ++i) {
+      (*x)[i] += alpha * p[i];
+      r[i] -= alpha * q[i];
+    }
+    T rho_new = T(0);
+    for (std::size_t i = 0; i < n; ++i) rho_new += r[i] * r[i];
+    const T beta = rho_new / rho;
+    rho = rho_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+  }
+  return std::sqrt(double(rho));
+}
+
+template <typename T>
+void jacobi(const Csr<T>& a, const std::vector<T>& b, std::vector<T>* x,
+            double weight, std::size_t sweeps) {
+  const std::size_t n = a.n;
+  std::vector<T> diag(n, T(0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::int64_t k = a.rowptr[i]; k < a.rowptr[i + 1]; ++k) {
+      if (a.col[static_cast<std::size_t>(k)] ==
+          static_cast<std::int64_t>(i)) {
+        diag[i] = a.val[static_cast<std::size_t>(k)];
+      }
+    }
+  }
+  const T w = static_cast<T>(weight);
+  for (std::size_t s = 0; s < sweeps; ++s) {
+    const std::vector<T> ax = a.matvec(*x);
+    for (std::size_t i = 0; i < n; ++i) {
+      (*x)[i] += w * (b[i] - ax[i]) / diag[i];
+    }
+  }
+}
+
+namespace {
+
+/// Full-weighting restriction from an m x m grid (m odd) to (m-1)/2 square.
+template <typename T>
+std::vector<T> restrict_grid(const std::vector<T>& fine, std::size_t m) {
+  const std::size_t mc = (m - 1) / 2;
+  std::vector<T> coarse(mc * mc, T(0));
+  const auto f = [&](std::size_t y, std::size_t x) -> T {
+    return fine[y * m + x];
+  };
+  for (std::size_t yc = 0; yc < mc; ++yc) {
+    for (std::size_t xc = 0; xc < mc; ++xc) {
+      const std::size_t y = 2 * yc + 1, x = 2 * xc + 1;
+      T v = f(y, x) * T(0.25);
+      v += (f(y - 1, x) + f(y + 1, x) + f(y, x - 1) + f(y, x + 1)) *
+           T(0.125);
+      v += (f(y - 1, x - 1) + f(y - 1, x + 1) + f(y + 1, x - 1) +
+            f(y + 1, x + 1)) *
+           T(0.0625);
+      coarse[yc * mc + xc] = v;
+    }
+  }
+  return coarse;
+}
+
+/// Bilinear prolongation, adjoint of restrict_grid.
+template <typename T>
+void prolong_add(const std::vector<T>& coarse, std::size_t mc,
+                 std::vector<T>* fine, std::size_t m) {
+  const auto c = [&](std::ptrdiff_t yc, std::ptrdiff_t xc) -> T {
+    if (yc < 0 || xc < 0 || yc >= static_cast<std::ptrdiff_t>(mc) ||
+        xc >= static_cast<std::ptrdiff_t>(mc)) {
+      return T(0);
+    }
+    return coarse[static_cast<std::size_t>(yc) * mc +
+                  static_cast<std::size_t>(xc)];
+  };
+  (void)c;
+  // Scatter formulation: each coarse point at fine coordinates
+  // (2yc+1, 2xc+1) contributes bilinear weights to its 3x3 neighbourhood.
+  for (std::size_t yc = 0; yc < mc; ++yc) {
+    for (std::size_t xc = 0; xc < mc; ++xc) {
+      const T v = coarse[yc * mc + xc];
+      const std::size_t y = 2 * yc + 1, x = 2 * xc + 1;
+      const auto add = [&](std::ptrdiff_t yy, std::ptrdiff_t xx, T w) {
+        if (yy < 0 || xx < 0 || yy >= static_cast<std::ptrdiff_t>(m) ||
+            xx >= static_cast<std::ptrdiff_t>(m)) {
+          return;
+        }
+        (*fine)[static_cast<std::size_t>(yy) * m +
+                static_cast<std::size_t>(xx)] += w * v;
+      };
+      const auto yi = static_cast<std::ptrdiff_t>(y);
+      const auto xi = static_cast<std::ptrdiff_t>(x);
+      add(yi, xi, T(1));
+      add(yi - 1, xi, T(0.5));
+      add(yi + 1, xi, T(0.5));
+      add(yi, xi - 1, T(0.5));
+      add(yi, xi + 1, T(0.5));
+      add(yi - 1, xi - 1, T(0.25));
+      add(yi - 1, xi + 1, T(0.25));
+      add(yi + 1, xi - 1, T(0.25));
+      add(yi + 1, xi + 1, T(0.25));
+    }
+  }
+}
+
+template <typename T>
+void vcycle(const std::vector<Csr<T>>& ops,
+            const std::vector<std::size_t>& ms, std::size_t level,
+            const std::vector<T>& b, std::vector<T>* x,
+            std::size_t pre_sweeps, std::size_t post_sweeps) {
+  const Csr<T>& a = ops[level];
+  if (level + 1 == ops.size()) {
+    // Coarsest: relax hard.
+    jacobi(a, b, x, 0.8, 32);
+    return;
+  }
+  jacobi(a, b, x, 0.8, pre_sweeps);
+  const std::vector<T> ax = a.matvec(*x);
+  std::vector<T> r(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) r[i] = b[i] - ax[i];
+  std::vector<T> rc = restrict_grid(r, ms[level]);
+  // The unscaled 5-point stencil absorbs h^2: the coarse operator represents
+  // -4 h_f^2 Laplacian, so the restricted residual must be scaled by 4.
+  for (T& v : rc) v *= T(4);
+  std::vector<T> ec(rc.size(), T(0));
+  vcycle(ops, ms, level + 1, rc, &ec, pre_sweeps, post_sweeps);
+  prolong_add(ec, ms[level + 1], x, ms[level]);
+  jacobi(a, b, x, 0.8, post_sweeps);
+}
+
+}  // namespace
+
+template <typename T>
+PoissonMg<T>::PoissonMg(std::size_t m) {
+  std::size_t cur = m;
+  while (true) {
+    ms_.push_back(cur);
+    ops_.push_back(make_poisson2d(cur).template cast<T>());
+    if (cur < 7 || cur % 2 == 0) break;
+    cur = (cur - 1) / 2;
+  }
+}
+
+template <typename T>
+double PoissonMg<T>::cycle(const std::vector<T>& b, std::vector<T>* x,
+                           std::size_t cycles, std::size_t pre_sweeps,
+                           std::size_t post_sweeps) const {
+  FPMIX_CHECK(x != nullptr && x->size() == n() && b.size() == n());
+  for (std::size_t c = 0; c < cycles; ++c) {
+    vcycle(ops_, ms_, 0, b, x, pre_sweeps, post_sweeps);
+  }
+  const std::vector<T> ax = ops_[0].matvec(*x);
+  double acc = 0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    const double d = double(b[i]) - double(ax[i]);
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+template <typename T>
+double poisson_vcycle_solve(std::size_t m, const std::vector<T>& b,
+                            std::vector<T>* x, std::size_t cycles,
+                            std::size_t pre_sweeps, std::size_t post_sweeps) {
+  const PoissonMg<T> mg(m);
+  return mg.cycle(b, x, cycles, pre_sweeps, post_sweeps);
+}
+
+template class PoissonMg<double>;
+template class PoissonMg<float>;
+
+template double cg_solve<double>(const Csr<double>&,
+                                 const std::vector<double>&,
+                                 std::vector<double>*, std::size_t);
+template double cg_solve<float>(const Csr<float>&, const std::vector<float>&,
+                                std::vector<float>*, std::size_t);
+template void jacobi<double>(const Csr<double>&, const std::vector<double>&,
+                             std::vector<double>*, double, std::size_t);
+template void jacobi<float>(const Csr<float>&, const std::vector<float>&,
+                            std::vector<float>*, double, std::size_t);
+template double poisson_vcycle_solve<double>(std::size_t,
+                                             const std::vector<double>&,
+                                             std::vector<double>*, std::size_t,
+                                             std::size_t, std::size_t);
+template double poisson_vcycle_solve<float>(std::size_t,
+                                            const std::vector<float>&,
+                                            std::vector<float>*, std::size_t,
+                                            std::size_t, std::size_t);
+
+}  // namespace fpmix::linalg

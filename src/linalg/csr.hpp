@@ -1,0 +1,131 @@
+// Compressed-sparse-row matrices, generators, and the iterative solvers the
+// kernels are modelled on (CG and an algebraic-multigrid-style V-cycle with
+// Jacobi smoothing). Templated on the scalar so the double/float speedup
+// twins (Sections 3.2/3.3) share one implementation.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace fpmix::linalg {
+
+template <typename T>
+struct Csr {
+  std::size_t n = 0;                 // square
+  std::vector<std::int64_t> rowptr;  // n+1
+  std::vector<std::int64_t> col;     // nnz
+  std::vector<T> val;                // nnz
+
+  std::size_t nnz() const { return val.size(); }
+
+  std::vector<T> matvec(const std::vector<T>& x) const {
+    FPMIX_CHECK(x.size() == n);
+    std::vector<T> y(n, T(0));
+    for (std::size_t i = 0; i < n; ++i) {
+      T acc = T(0);
+      for (std::int64_t k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+        acc += val[static_cast<std::size_t>(k)] *
+               x[static_cast<std::size_t>(col[static_cast<std::size_t>(k)])];
+      }
+      y[i] = acc;
+    }
+    return y;
+  }
+
+  template <typename U>
+  Csr<U> cast() const {
+    Csr<U> out;
+    out.n = n;
+    out.rowptr = rowptr;
+    out.col = col;
+    out.val.resize(val.size());
+    for (std::size_t i = 0; i < val.size(); ++i) {
+      out.val[i] = static_cast<U>(val[i]);
+    }
+    return out;
+  }
+};
+
+/// 2D 5-point Poisson operator on an m x m grid (n = m*m), Dirichlet.
+Csr<double> make_poisson2d(std::size_t m);
+
+/// Random sparse SPD matrix in the spirit of NAS CG's makea: a banded-random
+/// sparsity pattern, symmetric, with a dominant diagonal shift.
+Csr<double> make_random_spd(std::size_t n, std::size_t nnz_per_row,
+                            double shift, std::uint64_t seed);
+
+/// Conjugate gradient. Returns the final residual 2-norm; x is in/out.
+template <typename T>
+double cg_solve(const Csr<T>& a, const std::vector<T>& b, std::vector<T>* x,
+                std::size_t max_iters);
+
+/// Weighted-Jacobi relaxation sweeps: x <- x + w D^-1 (b - A x).
+template <typename T>
+void jacobi(const Csr<T>& a, const std::vector<T>& b, std::vector<T>* x,
+            double weight, std::size_t sweeps);
+
+/// Geometric two-grid hierarchy for make_poisson2d operators: full-weighting
+/// restriction and bilinear prolongation on nested m x m grids.
+struct MgLevelSizes {
+  std::vector<std::size_t> m_per_level;  // finest first
+};
+
+/// V-cycle multigrid solver for the 2D Poisson operator. `m` must be
+/// (2^k - 1)-shaped so grids nest (m -> (m-1)/2). Returns the residual
+/// 2-norm after `cycles` V-cycles.
+template <typename T>
+double poisson_vcycle_solve(std::size_t m, const std::vector<T>& b,
+                            std::vector<T>* x, std::size_t cycles,
+                            std::size_t pre_sweeps = 2,
+                            std::size_t post_sweeps = 1);
+
+/// Reusable multigrid hierarchy: build once, cycle many times. This is the
+/// shape of the AMG microkernel's timed region (setup excluded), used by
+/// bench_amg to measure the double-vs-single arithmetic speedup.
+template <typename T>
+class PoissonMg {
+ public:
+  explicit PoissonMg(std::size_t m);
+
+  /// Runs `cycles` V-cycles on x (in/out); returns the residual 2-norm.
+  double cycle(const std::vector<T>& b, std::vector<T>* x,
+               std::size_t cycles, std::size_t pre_sweeps = 2,
+               std::size_t post_sweeps = 1) const;
+
+  std::size_t n() const { return ms_.front() * ms_.front(); }
+
+ private:
+  std::vector<std::size_t> ms_;
+  std::vector<Csr<T>> ops_;
+};
+
+extern template class PoissonMg<double>;
+extern template class PoissonMg<float>;
+
+extern template double cg_solve<double>(const Csr<double>&,
+                                        const std::vector<double>&,
+                                        std::vector<double>*, std::size_t);
+extern template double cg_solve<float>(const Csr<float>&,
+                                       const std::vector<float>&,
+                                       std::vector<float>*, std::size_t);
+extern template void jacobi<double>(const Csr<double>&,
+                                    const std::vector<double>&,
+                                    std::vector<double>*, double, std::size_t);
+extern template void jacobi<float>(const Csr<float>&, const std::vector<float>&,
+                                   std::vector<float>*, double, std::size_t);
+extern template double poisson_vcycle_solve<double>(std::size_t,
+                                                    const std::vector<double>&,
+                                                    std::vector<double>*,
+                                                    std::size_t, std::size_t,
+                                                    std::size_t);
+extern template double poisson_vcycle_solve<float>(std::size_t,
+                                                   const std::vector<float>&,
+                                                   std::vector<float>*,
+                                                   std::size_t, std::size_t,
+                                                   std::size_t);
+
+}  // namespace fpmix::linalg

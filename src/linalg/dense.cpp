@@ -1,0 +1,85 @@
+#include "linalg/dense.hpp"
+
+namespace fpmix::linalg {
+
+template <typename T>
+std::vector<std::size_t> lu_factor(Dense<T>* a) {
+  FPMIX_CHECK(a != nullptr && a->rows() == a->cols());
+  const std::size_t n = a->rows();
+  std::vector<std::size_t> piv(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: largest |a[i][k]|, i >= k.
+    std::size_t p = k;
+    double best = std::fabs(double(a->at(k, k)));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::fabs(double(a->at(i, k)));
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    if (best == 0.0) throw Error("lu_factor: singular matrix");
+    piv[k] = p;
+    if (p != k) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a->at(k, j), a->at(p, j));
+      }
+    }
+    const T pivot = a->at(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const T m = a->at(i, k) / pivot;
+      a->at(i, k) = m;
+      for (std::size_t j = k + 1; j < n; ++j) {
+        a->at(i, j) -= m * a->at(k, j);
+      }
+    }
+  }
+  return piv;
+}
+
+template <typename T>
+std::vector<T> lu_solve(const Dense<T>& lu,
+                        const std::vector<std::size_t>& piv,
+                        const std::vector<T>& b) {
+  const std::size_t n = lu.rows();
+  FPMIX_CHECK(b.size() == n && piv.size() == n);
+  std::vector<T> x = b;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (piv[k] != k) std::swap(x[k], x[piv[k]]);
+  }
+  // Ly = Pb (unit lower triangular).
+  for (std::size_t i = 1; i < n; ++i) {
+    T acc = x[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu.at(i, j) * x[j];
+    x[i] = acc;
+  }
+  // Ux = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    T acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu.at(ii, j) * x[j];
+    x[ii] = acc / lu.at(ii, ii);
+  }
+  return x;
+}
+
+template <typename T>
+std::vector<T> dense_solve(const Dense<T>& a, const std::vector<T>& b) {
+  Dense<T> lu = a;
+  const std::vector<std::size_t> piv = lu_factor(&lu);
+  return lu_solve(lu, piv, b);
+}
+
+template std::vector<std::size_t> lu_factor<double>(Dense<double>*);
+template std::vector<std::size_t> lu_factor<float>(Dense<float>*);
+template std::vector<double> lu_solve<double>(const Dense<double>&,
+                                              const std::vector<std::size_t>&,
+                                              const std::vector<double>&);
+template std::vector<float> lu_solve<float>(const Dense<float>&,
+                                            const std::vector<std::size_t>&,
+                                            const std::vector<float>&);
+template std::vector<double> dense_solve<double>(const Dense<double>&,
+                                                 const std::vector<double>&);
+template std::vector<float> dense_solve<float>(const Dense<float>&,
+                                               const std::vector<float>&);
+
+}  // namespace fpmix::linalg

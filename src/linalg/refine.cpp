@@ -1,0 +1,55 @@
+#include "linalg/refine.hpp"
+
+namespace fpmix::linalg {
+
+double scaled_residual(const Dense<double>& a, const std::vector<double>& x,
+                       const std::vector<double>& b) {
+  const std::vector<double> r = residual(a, x, b);
+  double norm_a = 0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double s = 0;
+    for (std::size_t j = 0; j < a.cols(); ++j) s += std::fabs(a.at(i, j));
+    norm_a = std::max(norm_a, s);
+  }
+  const double den = norm_a * double(norm_inf(x)) + double(norm_inf(b));
+  return den == 0 ? double(norm_inf(r)) : double(norm_inf(r)) / den;
+}
+
+RefineResult refine_solve(const Dense<double>& a, const std::vector<double>& b,
+                          double tol, std::size_t max_iters) {
+  const std::size_t n = a.rows();
+  FPMIX_CHECK(b.size() == n);
+
+  // Steps 1-3: factor and first solve entirely in single precision.
+  Dense<float> lu = a.cast<float>();
+  const std::vector<std::size_t> piv = lu_factor(&lu);
+  std::vector<float> bf(n);
+  for (std::size_t i = 0; i < n; ++i) bf[i] = static_cast<float>(b[i]);
+  const std::vector<float> x0 = lu_solve(lu, piv, bf);
+
+  RefineResult out;
+  out.x.assign(x0.begin(), x0.end());
+
+  for (std::size_t k = 1; k <= max_iters; ++k) {
+    // Step 5 (*): double-precision residual.
+    const std::vector<double> r = residual(a, out.x, b);
+    // Steps 6-7: correction solve in single precision.
+    std::vector<float> rf(n);
+    for (std::size_t i = 0; i < n; ++i) rf[i] = static_cast<float>(r[i]);
+    const std::vector<float> z = lu_solve(lu, piv, rf);
+    // Step 8 (*): double-precision update.
+    for (std::size_t i = 0; i < n; ++i) {
+      out.x[i] += static_cast<double>(z[i]);
+    }
+    out.iterations = k;
+    out.final_residual = scaled_residual(a, out.x, b);
+    if (out.final_residual < tol) {
+      out.converged = true;
+      break;
+    }
+  }
+  if (out.iterations == 0) out.final_residual = scaled_residual(a, out.x, b);
+  return out;
+}
+
+}  // namespace fpmix::linalg

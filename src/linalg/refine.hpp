@@ -1,0 +1,45 @@
+// Mixed-precision iterative refinement (Figure 12 of the paper).
+//
+//   1: LU <- PA                  (single precision, O(n^3))
+//   2: solve Ly = Pb             (single)
+//   3: solve Ux0 = y             (single)
+//   4: for k = 1, 2, ... do
+//   5:   r_k <- b - A x_{k-1}    (double, O(n^2))   (*)
+//   6:   solve Ly = P r_k        (single)
+//   7:   solve U z_k = y         (single)
+//   8:   x_k <- x_{k-1} + z_k    (double)           (*)
+//   9:   check for convergence
+//  10: end for
+//
+// Only the starred steps run in double precision; the O(n^3) factorization
+// stays in single. This is the manual mixed-precision algorithm family
+// (Baboulin et al.) the paper cites as motivation, and bench_fig12 measures
+// its speed/accuracy against all-double and all-single direct solves.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/dense.hpp"
+
+namespace fpmix::linalg {
+
+struct RefineResult {
+  std::vector<double> x;
+  std::size_t iterations = 0;      // refinement steps actually taken
+  double final_residual = 0.0;     // ||b - Ax||_inf / (||A||_inf ||x||_inf)
+  bool converged = false;
+};
+
+/// Solves A x = b with single-precision LU plus double-precision iterative
+/// refinement. Stops when the scaled residual drops below `tol` or after
+/// `max_iters` corrections.
+RefineResult refine_solve(const Dense<double>& a, const std::vector<double>& b,
+                          double tol = 1e-12, std::size_t max_iters = 30);
+
+/// Scaled residual used for the convergence check (and reported by the
+/// benchmarks): ||b - Ax||_inf / (||A||_inf * ||x||_inf + ||b||_inf).
+double scaled_residual(const Dense<double>& a, const std::vector<double>& x,
+                       const std::vector<double>& b);
+
+}  // namespace fpmix::linalg

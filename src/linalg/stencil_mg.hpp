@@ -1,0 +1,161 @@
+// Matrix-free 5-point multigrid (stencil form).
+//
+// The CSR-based V-cycle in csr.hpp spends most of its bandwidth on column
+// indices, which caps the double->single speedup near 1.3x. Production
+// multigrid smoothers (including the AMG microkernel's structured phases)
+// stream pure floating-point arrays, where halving the element size halves
+// the memory traffic -- this stencil twin exists to measure that regime for
+// the Section 3.2 speedup comparison (bench_amg).
+//
+// Grids are (m+2)^2 padded arrays with a zero Dirichlet ring; m must be
+// (2^k - 1) so levels nest by m -> (m-1)/2.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace fpmix::linalg {
+
+template <typename T>
+class StencilMg {
+ public:
+  explicit StencilMg(std::size_t m) {
+    std::size_t cur = m;
+    while (true) {
+      FPMIX_CHECK(cur >= 3);
+      ms_.push_back(cur);
+      const std::size_t side = cur + 2;
+      u_.emplace_back(side * side, T(0));
+      f_.emplace_back(side * side, T(0));
+      r_.emplace_back(side * side, T(0));
+      tmp_.emplace_back(side * side, T(0));
+      if (cur == 3 || cur % 2 == 0) break;
+      cur = (cur - 1) / 2;
+    }
+  }
+
+  std::size_t m() const { return ms_.front(); }
+  std::size_t padded_size() const {
+    return (ms_.front() + 2) * (ms_.front() + 2);
+  }
+
+  /// Runs `cycles` V-cycles for A u = f with zero initial guess; `f` is the
+  /// padded right-hand side. Returns the final residual 2-norm and leaves
+  /// the solution in `u_fine()`.
+  double solve(const std::vector<T>& f_padded, std::size_t cycles,
+               std::size_t pre_sweeps = 2, std::size_t post_sweeps = 1) {
+    FPMIX_CHECK(f_padded.size() == padded_size());
+    f_[0] = f_padded;
+    std::fill(u_[0].begin(), u_[0].end(), T(0));
+    for (std::size_t c = 0; c < cycles; ++c) {
+      vcycle(0, pre_sweeps, post_sweeps);
+    }
+    residual(0);
+    double acc = 0;
+    for (const T v : r_[0]) acc += double(v) * double(v);
+    return std::sqrt(acc);
+  }
+
+  const std::vector<T>& u_fine() const { return u_[0]; }
+
+ private:
+  std::size_t side(std::size_t l) const { return ms_[l] + 2; }
+
+  /// Weighted Jacobi, sweep into tmp then swap (pure streaming loads).
+  void smooth(std::size_t l, std::size_t sweeps) {
+    const std::size_t mm = ms_[l];
+    const std::size_t s = side(l);
+    std::vector<T>& u = u_[l];
+    std::vector<T>& t = tmp_[l];
+    const T w = T(0.8), quarter = T(0.25);
+    for (std::size_t k = 0; k < sweeps; ++k) {
+      for (std::size_t i = 1; i <= mm; ++i) {
+        const std::size_t row = i * s;
+        for (std::size_t j = 1; j <= mm; ++j) {
+          const std::size_t id = row + j;
+          const T gs = (f_[l][id] + u[id - 1] + u[id + 1] + u[id - s] +
+                        u[id + s]) *
+                       quarter;
+          t[id] = u[id] + w * (gs - u[id]);
+        }
+      }
+      u.swap(t);
+    }
+  }
+
+  void residual(std::size_t l) {
+    const std::size_t mm = ms_[l];
+    const std::size_t s = side(l);
+    const std::vector<T>& u = u_[l];
+    for (std::size_t i = 1; i <= mm; ++i) {
+      const std::size_t row = i * s;
+      for (std::size_t j = 1; j <= mm; ++j) {
+        const std::size_t id = row + j;
+        r_[l][id] = f_[l][id] - (T(4) * u[id] - u[id - 1] - u[id + 1] -
+                                 u[id - s] - u[id + s]);
+      }
+    }
+  }
+
+  void restrict_to(std::size_t l) {
+    const std::size_t mc = ms_[l + 1];
+    const std::size_t sc = side(l + 1);
+    const std::size_t sf = side(l);
+    std::fill(u_[l + 1].begin(), u_[l + 1].end(), T(0));
+    for (std::size_t ic = 1; ic <= mc; ++ic) {
+      for (std::size_t jc = 1; jc <= mc; ++jc) {
+        const std::size_t idf = (2 * ic) * sf + 2 * jc;
+        // Full weighting, scaled by 4 (the unscaled stencil absorbs h^2).
+        f_[l + 1][ic * sc + jc] =
+            T(1) * r_[l][idf] +
+            T(0.5) * (r_[l][idf - 1] + r_[l][idf + 1] + r_[l][idf - sf] +
+                      r_[l][idf + sf]) +
+            T(0.25) * (r_[l][idf - sf - 1] + r_[l][idf - sf + 1] +
+                       r_[l][idf + sf - 1] + r_[l][idf + sf + 1]);
+      }
+    }
+  }
+
+  void prolong_from(std::size_t l) {
+    const std::size_t mc = ms_[l + 1];
+    const std::size_t sc = side(l + 1);
+    const std::size_t sf = side(l);
+    std::vector<T>& uf = u_[l];
+    for (std::size_t ic = 1; ic <= mc; ++ic) {
+      for (std::size_t jc = 1; jc <= mc; ++jc) {
+        const T v = u_[l + 1][ic * sc + jc];
+        const std::size_t idf = (2 * ic) * sf + 2 * jc;
+        uf[idf] += v;
+        uf[idf - 1] += T(0.5) * v;
+        uf[idf + 1] += T(0.5) * v;
+        uf[idf - sf] += T(0.5) * v;
+        uf[idf + sf] += T(0.5) * v;
+        uf[idf - sf - 1] += T(0.25) * v;
+        uf[idf - sf + 1] += T(0.25) * v;
+        uf[idf + sf - 1] += T(0.25) * v;
+        uf[idf + sf + 1] += T(0.25) * v;
+      }
+    }
+  }
+
+  void vcycle(std::size_t l, std::size_t pre, std::size_t post) {
+    if (l + 1 == ms_.size()) {
+      smooth(l, 32);
+      return;
+    }
+    smooth(l, pre);
+    residual(l);
+    restrict_to(l);
+    vcycle(l + 1, pre, post);
+    prolong_from(l);
+    smooth(l, post);
+  }
+
+  std::vector<std::size_t> ms_;
+  std::vector<std::vector<T>> u_, f_, r_, tmp_;
+};
+
+}  // namespace fpmix::linalg

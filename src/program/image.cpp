@@ -1,0 +1,68 @@
+#include "program/image.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace fpmix::program {
+
+std::uint64_t Image::origin_of(std::uint64_t addr) const {
+  auto it = std::lower_bound(
+      origins.begin(), origins.end(), addr,
+      [](const OriginEntry& e, std::uint64_t a) { return e.addr < a; });
+  if (it != origins.end() && it->addr == addr) return it->origin;
+  return addr;
+}
+
+const Symbol* Image::find_function_at(std::uint64_t addr) const {
+  for (const Symbol& s : symbols) {
+    if (addr >= s.addr && addr < s.addr + s.size) return &s;
+  }
+  return nullptr;
+}
+
+const Symbol* Image::find_function(std::string_view name) const {
+  for (const Symbol& s : symbols) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::span<const std::uint8_t> Image::function_bytes(const Symbol& sym) const {
+  FPMIX_CHECK(sym.addr >= code_base);
+  FPMIX_CHECK(sym.addr + sym.size <= code_end());
+  return std::span<const std::uint8_t>(code).subspan(sym.addr - code_base,
+                                                     sym.size);
+}
+
+void Image::validate() const {
+  if (symbols.empty()) throw ProgramError("image has no symbols");
+  std::uint64_t prev_end = code_base;
+  for (const Symbol& s : symbols) {
+    if (s.addr != prev_end) {
+      throw ProgramError(strformat(
+          "symbol %s at 0x%llx does not abut previous symbol end 0x%llx",
+          s.name.c_str(), static_cast<unsigned long long>(s.addr),
+          static_cast<unsigned long long>(prev_end)));
+    }
+    prev_end = s.addr + s.size;
+  }
+  if (prev_end != code_end()) {
+    throw ProgramError("symbols do not cover the code segment");
+  }
+  if (find_function_at(entry) == nullptr) {
+    throw ProgramError("entry point is not inside any function");
+  }
+  if (data_base < code_end()) {
+    throw ProgramError("data segment overlaps code segment");
+  }
+  if (bss_base != 0 && data_base + data.size() > bss_base) {
+    throw ProgramError("data segment overlaps bss segment");
+  }
+  if (effective_bss_base() + bss_size > memory_size) {
+    throw ProgramError("data/bss segments do not fit in VM memory");
+  }
+}
+
+}  // namespace fpmix::program

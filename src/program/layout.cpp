@@ -1,0 +1,116 @@
+#include "program/layout.hpp"
+
+#include <vector>
+
+#include "arch/encode.hpp"
+#include "support/error.hpp"
+
+namespace fpmix::program {
+namespace {
+
+/// True when block `bi`'s fall-through edge needs an explicit jmp because
+/// its successor will not be laid out immediately after it.
+bool needs_explicit_jump(const Function& fn, std::size_t bi) {
+  const BasicBlock& b = fn.blocks[bi];
+  if (b.ends_with_stop()) return false;
+  if (b.ends_with_branch() && !b.ends_with_cond_branch()) return false;
+  FPMIX_CHECK(b.fallthrough != kNoIndex);
+  return static_cast<std::size_t>(b.fallthrough) != bi + 1;
+}
+
+// Size of an emitted jmp (opcode + form + 8-byte imm).
+std::uint32_t jmp_size() {
+  static const std::uint32_t size = arch::encoded_size(
+      arch::make2(arch::Opcode::kJmp, arch::Operand::none(),
+                  arch::Operand::make_imm(0)));
+  return size;
+}
+
+}  // namespace
+
+Image relayout(const Program& prog) {
+  prog.validate();
+
+  // Pass 1: assign addresses. Instruction encodings have a fixed size that
+  // does not depend on operand values, so one forward pass suffices.
+  std::vector<std::uint64_t> func_addr(prog.functions.size());
+  std::vector<std::vector<std::uint64_t>> block_addr(prog.functions.size());
+  std::uint64_t pc = prog.code_base;
+  for (std::size_t fi = 0; fi < prog.functions.size(); ++fi) {
+    const Function& fn = prog.functions[fi];
+    func_addr[fi] = pc;
+    block_addr[fi].resize(fn.blocks.size());
+    for (std::size_t bi = 0; bi < fn.blocks.size(); ++bi) {
+      block_addr[fi][bi] = pc;
+      for (const arch::Instr& ins : fn.blocks[bi].instrs) {
+        pc += arch::encoded_size(ins);
+      }
+      if (needs_explicit_jump(fn, bi)) pc += jmp_size();
+    }
+  }
+
+  // Pass 2: emit with resolved targets.
+  Image img;
+  img.code_base = prog.code_base;
+  img.data_base = prog.data_base;
+  img.data = prog.data;
+  img.bss_base = prog.bss_base;
+  img.bss_size = prog.bss_size;
+  img.memory_size = prog.memory_size;
+  img.code.reserve(pc - prog.code_base);
+
+  for (std::size_t fi = 0; fi < prog.functions.size(); ++fi) {
+    const Function& fn = prog.functions[fi];
+    const std::uint64_t fn_start = func_addr[fi];
+    for (std::size_t bi = 0; bi < fn.blocks.size(); ++bi) {
+      const BasicBlock& blk = fn.blocks[bi];
+      std::uint64_t last_origin = arch::kNoAddr;
+      for (std::size_t ii = 0; ii < blk.instrs.size(); ++ii) {
+        arch::Instr ins = blk.instrs[ii];
+        const auto& info = arch::opcode_info(ins.op);
+        if (info.is_branch) {
+          FPMIX_CHECK(ii + 1 == blk.instrs.size());
+          ins.src.imm = static_cast<std::int64_t>(
+              block_addr[fi][static_cast<std::size_t>(blk.taken)]);
+        } else if (info.is_call) {
+          ins.src.imm = static_cast<std::int64_t>(
+              func_addr[static_cast<std::size_t>(ins.src.imm)]);
+        }
+        const std::uint64_t at = img.code_base + img.code.size();
+        const std::uint64_t origin =
+            (ins.origin != arch::kNoAddr) ? ins.origin : at;
+        if (origin != at) img.origins.push_back({at, origin});
+        last_origin = origin;
+        arch::encode(ins, &img.code);
+      }
+      if (needs_explicit_jump(fn, bi)) {
+        arch::Instr jmp = arch::make2(
+            arch::Opcode::kJmp, arch::Operand::none(),
+            arch::Operand::make_imm(static_cast<std::int64_t>(
+                block_addr[fi][static_cast<std::size_t>(blk.fallthrough)])));
+        const std::uint64_t at = img.code_base + img.code.size();
+        if (last_origin != arch::kNoAddr && last_origin != at) {
+          img.origins.push_back({at, last_origin});
+        }
+        arch::encode(jmp, &img.code);
+      }
+    }
+    Symbol sym;
+    sym.name = fn.name;
+    sym.module = fn.module;
+    sym.addr = fn_start;
+    const std::uint64_t fn_end = (fi + 1 < prog.functions.size())
+                                     ? func_addr[fi + 1]
+                                     : pc;
+    sym.size = fn_end - fn_start;
+    img.symbols.push_back(std::move(sym));
+  }
+
+  img.entry = func_addr[static_cast<std::size_t>(prog.entry_function)];
+  img.validate();
+  return img;
+}
+
+Image rewrite_identity(const Image& image) { return relayout(lift(image)); }
+
+}  // namespace fpmix::program

@@ -1,0 +1,25 @@
+// Layout: the binary-rewriter half of the patching pipeline.
+//
+// Takes a (possibly patched) structured Program and emits a fresh Image:
+// assigns addresses to every block, materializes fall-through edges that are
+// no longer physically adjacent as explicit jmp instructions, resolves
+// symbolic branch targets and call targets to absolute addresses, and
+// re-encodes everything. This is the role Dyninst's binary rewriter plays in
+// Section 2.4 of the paper.
+#pragma once
+
+#include "program/image.hpp"
+#include "program/program.hpp"
+
+namespace fpmix::program {
+
+/// Produces a runnable image. The input program is not modified; instruction
+/// `origin` fields are preserved into the emitted code so profiles of the
+/// output can be attributed to original-program addresses.
+Image relayout(const Program& prog);
+
+/// Round-trip helper: lift + relayout, used by tests to show the pipeline is
+/// faithful (a lifted-and-relaid image executes identically).
+Image rewrite_identity(const Image& image);
+
+}  // namespace fpmix::program

@@ -1,0 +1,231 @@
+#include "program/program.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "arch/encode.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace fpmix::program {
+
+const Function* Program::find_function(std::string_view name) const {
+  for (const Function& f : functions) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+FuncIndex Program::find_function_index(std::string_view name) const {
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    if (functions[i].name == name) return static_cast<FuncIndex>(i);
+  }
+  return kNoIndex;
+}
+
+std::vector<std::string> Program::module_names() const {
+  std::vector<std::string> out;
+  for (const Function& f : functions) {
+    if (std::find(out.begin(), out.end(), f.module) == out.end()) {
+      out.push_back(f.module);
+    }
+  }
+  return out;
+}
+
+void Program::validate() const {
+  if (functions.empty()) throw ProgramError("program has no functions");
+  if (entry_function < 0 ||
+      entry_function >= static_cast<FuncIndex>(functions.size())) {
+    throw ProgramError("entry function index out of range");
+  }
+  for (const Function& f : functions) {
+    if (f.blocks.empty()) {
+      throw ProgramError(strformat("function %s has no blocks",
+                                   f.name.c_str()));
+    }
+    const auto nblocks = static_cast<BlockIndex>(f.blocks.size());
+    for (std::size_t bi = 0; bi < f.blocks.size(); ++bi) {
+      const BasicBlock& b = f.blocks[bi];
+      const auto bad_edge = [&](BlockIndex e) {
+        return e != kNoIndex && (e < 0 || e >= nblocks);
+      };
+      if (bad_edge(b.taken) || bad_edge(b.fallthrough)) {
+        throw ProgramError(strformat("function %s block %zu has an edge out "
+                                     "of range", f.name.c_str(), bi));
+      }
+      if (b.ends_with_branch()) {
+        if (b.taken == kNoIndex) {
+          throw ProgramError(strformat(
+              "function %s block %zu ends with a branch but has no taken "
+              "edge", f.name.c_str(), bi));
+        }
+        if (b.instrs.back().src.imm != b.taken) {
+          throw ProgramError(strformat(
+              "function %s block %zu: branch imm disagrees with taken edge",
+              f.name.c_str(), bi));
+        }
+        if (b.ends_with_cond_branch() && b.fallthrough == kNoIndex) {
+          throw ProgramError(strformat(
+              "function %s block %zu: conditional branch without "
+              "fall-through", f.name.c_str(), bi));
+        }
+      } else if (b.ends_with_stop()) {
+        if (b.taken != kNoIndex || b.fallthrough != kNoIndex) {
+          throw ProgramError(strformat(
+              "function %s block %zu: ret/halt block has successors",
+              f.name.c_str(), bi));
+        }
+      } else if (b.fallthrough == kNoIndex) {
+        throw ProgramError(strformat(
+            "function %s block %zu falls off the end of the function",
+            f.name.c_str(), bi));
+      }
+      for (const arch::Instr& ins : b.instrs) {
+        if (arch::opcode_info(ins.op).is_call) {
+          const auto callee = static_cast<FuncIndex>(ins.src.imm);
+          if (callee < 0 ||
+              callee >= static_cast<FuncIndex>(functions.size())) {
+            throw ProgramError(strformat(
+                "function %s: call target index %d out of range",
+                f.name.c_str(), callee));
+          }
+        }
+      }
+    }
+  }
+}
+
+Program lift(const Image& image) {
+  image.validate();
+  Program prog;
+  prog.code_base = image.code_base;
+  prog.data_base = image.data_base;
+  prog.data = image.data;
+  prog.bss_base = image.bss_base;
+  prog.bss_size = image.bss_size;
+  prog.memory_size = image.memory_size;
+
+  // Map from function entry address to its index, for call rewriting.
+  std::map<std::uint64_t, FuncIndex> func_by_addr;
+  for (std::size_t i = 0; i < image.symbols.size(); ++i) {
+    func_by_addr[image.symbols[i].addr] = static_cast<FuncIndex>(i);
+  }
+
+  for (const Symbol& sym : image.symbols) {
+    Function fn;
+    fn.name = sym.name;
+    fn.module = sym.module;
+    fn.orig_addr = sym.addr;
+
+    // Decode the whole function body.
+    std::vector<arch::Instr> instrs =
+        arch::decode_all(image.function_bytes(sym), sym.addr);
+    if (instrs.empty()) {
+      throw ProgramError(strformat("function %s is empty", sym.name.c_str()));
+    }
+
+    std::set<std::uint64_t> starts;
+    for (const arch::Instr& ins : instrs) starts.insert(ins.addr);
+
+    // Leader analysis: function entry, branch targets, instruction after a
+    // block-ending instruction.
+    std::set<std::uint64_t> leaders;
+    leaders.insert(sym.addr);
+    const std::uint64_t func_end = sym.addr + sym.size;
+    for (const arch::Instr& ins : instrs) {
+      const auto& info = arch::opcode_info(ins.op);
+      if (info.is_branch) {
+        const auto target = static_cast<std::uint64_t>(ins.src.imm);
+        if (target < sym.addr || target >= func_end) {
+          throw ProgramError(strformat(
+              "function %s: branch at 0x%llx targets 0x%llx outside the "
+              "function", sym.name.c_str(),
+              static_cast<unsigned long long>(ins.addr),
+              static_cast<unsigned long long>(target)));
+        }
+        if (!starts.contains(target)) {
+          throw ProgramError(strformat(
+              "function %s: branch targets mid-instruction address 0x%llx",
+              sym.name.c_str(), static_cast<unsigned long long>(target)));
+        }
+        leaders.insert(target);
+      }
+      if (arch::ends_basic_block(ins.op)) {
+        const std::uint64_t next = ins.addr + ins.size;
+        if (next < func_end) leaders.insert(next);
+      }
+    }
+
+    // Partition instructions into blocks at leaders.
+    std::map<std::uint64_t, BlockIndex> block_of_addr;  // leader -> index
+    for (std::uint64_t leader : leaders) {
+      block_of_addr[leader] = static_cast<BlockIndex>(block_of_addr.size());
+    }
+    fn.blocks.resize(leaders.size());
+    BlockIndex cur = kNoIndex;
+    for (const arch::Instr& ins : instrs) {
+      auto it = block_of_addr.find(ins.addr);
+      if (it != block_of_addr.end()) cur = it->second;
+      FPMIX_CHECK(cur != kNoIndex);
+      BasicBlock& blk = fn.blocks[static_cast<std::size_t>(cur)];
+      if (blk.instrs.empty()) blk.orig_addr = ins.addr;
+      blk.instrs.push_back(ins);
+    }
+
+    // Edges + branch/call operand rewriting (absolute -> symbolic).
+    for (std::size_t bi = 0; bi < fn.blocks.size(); ++bi) {
+      BasicBlock& blk = fn.blocks[bi];
+      FPMIX_CHECK(!blk.instrs.empty());
+      for (arch::Instr& ins : blk.instrs) {
+        if (arch::opcode_info(ins.op).is_call) {
+          const auto target = static_cast<std::uint64_t>(ins.src.imm);
+          auto it = func_by_addr.find(target);
+          if (it == func_by_addr.end()) {
+            throw ProgramError(strformat(
+                "function %s: call at 0x%llx targets 0x%llx which is not a "
+                "function entry", sym.name.c_str(),
+                static_cast<unsigned long long>(ins.addr),
+                static_cast<unsigned long long>(target)));
+          }
+          ins.src.imm = it->second;
+        }
+      }
+      arch::Instr& last = blk.instrs.back();
+      const auto& info = arch::opcode_info(last.op);
+      const std::uint64_t next_addr = last.addr + last.size;
+      if (info.is_branch) {
+        const auto target = static_cast<std::uint64_t>(last.src.imm);
+        blk.taken = block_of_addr.at(target);
+        last.src.imm = blk.taken;
+        if (info.is_cond_branch) {
+          FPMIX_CHECK(next_addr < func_end);
+          blk.fallthrough = block_of_addr.at(next_addr);
+        }
+      } else if (info.is_ret || info.is_halt) {
+        // no successors
+      } else {
+        if (next_addr >= func_end) {
+          throw ProgramError(strformat(
+              "function %s falls off its end at 0x%llx", sym.name.c_str(),
+              static_cast<unsigned long long>(next_addr)));
+        }
+        blk.fallthrough = block_of_addr.at(next_addr);
+      }
+    }
+
+    prog.functions.push_back(std::move(fn));
+  }
+
+  const Symbol* entry_sym = image.find_function_at(image.entry);
+  FPMIX_CHECK(entry_sym != nullptr);
+  if (image.entry != entry_sym->addr) {
+    throw ProgramError("entry point is not a function entry");
+  }
+  prog.entry_function = prog.find_function_index(entry_sym->name);
+  prog.validate();
+  return prog;
+}
+
+}  // namespace fpmix::program

@@ -1,0 +1,107 @@
+// The structured (lifted) view of a binary: module -> function -> basic
+// block -> instruction, with a symbolic CFG that the patcher can edit.
+//
+// This mirrors Dyninst's parse + PatchAPI object model. Branch targets and
+// call targets are symbolic (block index / function index) so that blocks
+// can be split, re-ordered and new blocks inserted; the layout engine
+// (layout.hpp) turns the result back into concrete bytes, assigning new
+// addresses and relocating all control flow -- Dyninst's binary rewriter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/instr.hpp"
+#include "program/image.hpp"
+
+namespace fpmix::program {
+
+/// Index of a basic block within its function, or of a function within the
+/// program.
+using BlockIndex = int;
+using FuncIndex = int;
+inline constexpr int kNoIndex = -1;
+
+/// A basic block. Instructions run straight-line; if the last instruction is
+/// a branch, its `src.imm` holds the *local block index* of the taken target
+/// (kept in sync with `taken`). `call` instructions may appear anywhere in
+/// the block; their `src.imm` holds the callee's FuncIndex.
+struct BasicBlock {
+  std::vector<arch::Instr> instrs;
+
+  BlockIndex taken = kNoIndex;        // branch target (jmp / jcc)
+  BlockIndex fallthrough = kNoIndex;  // successor when not taken / no branch
+
+  /// Address of the first instruction before any patching (used for
+  /// reporting and for stable block naming in configurations). New blocks
+  /// inserted by the patcher inherit the origin of the code they wrap.
+  std::uint64_t orig_addr = arch::kNoAddr;
+
+  bool ends_with_branch() const {
+    return !instrs.empty() && arch::opcode_info(instrs.back().op).is_branch;
+  }
+  bool ends_with_cond_branch() const {
+    return !instrs.empty() &&
+           arch::opcode_info(instrs.back().op).is_cond_branch;
+  }
+  bool ends_with_stop() const {  // ret or halt: no successors
+    if (instrs.empty()) return false;
+    const auto& info = arch::opcode_info(instrs.back().op);
+    return info.is_ret || info.is_halt;
+  }
+};
+
+struct Function {
+  std::string name;
+  std::string module;
+  std::uint64_t orig_addr = arch::kNoAddr;
+
+  /// blocks[0] is the entry block. Block order is also layout order.
+  std::vector<BasicBlock> blocks;
+
+  std::size_t instruction_count() const {
+    std::size_t n = 0;
+    for (const auto& b : blocks) n += b.instrs.size();
+    return n;
+  }
+};
+
+/// A whole program in structured form. Data/bss/entry metadata is carried
+/// through from the Image so that relayout can produce a runnable Image.
+struct Program {
+  std::uint64_t code_base = Image::kDefaultCodeBase;
+  std::uint64_t data_base = Image::kDefaultDataBase;
+  std::vector<std::uint8_t> data;
+  std::uint64_t bss_base = 0;  // 0 = immediately after data (Image semantics)
+  std::uint64_t bss_size = 0;
+  std::uint64_t memory_size = Image::kDefaultMemorySize;
+
+  std::vector<Function> functions;
+  FuncIndex entry_function = kNoIndex;
+
+  const Function* find_function(std::string_view name) const;
+  FuncIndex find_function_index(std::string_view name) const;
+
+  std::size_t instruction_count() const {
+    std::size_t n = 0;
+    for (const auto& f : functions) n += f.instruction_count();
+    return n;
+  }
+
+  /// Lists distinct module names in first-appearance order.
+  std::vector<std::string> module_names() const;
+
+  /// Structural sanity checks: edge indices in range, entry blocks present,
+  /// terminators consistent with edges. Throws ProgramError on violation.
+  void validate() const;
+};
+
+/// Recovers the structured form from an image: decodes every function,
+/// finds basic-block leaders (function entry, branch targets, post-branch
+/// instructions), splits into blocks and builds symbolic edges. Branch
+/// `src.imm` fields are rewritten from absolute addresses to local block
+/// indices; call targets to function indices.
+Program lift(const Image& image);
+
+}  // namespace fpmix::program

@@ -1,0 +1,432 @@
+#include "search/search.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <mutex>
+
+#include "support/error.hpp"
+#include "support/log.hpp"
+#include "support/strings.hpp"
+#include "support/thread_pool.hpp"
+#include "vm/machine.hpp"
+
+namespace fpmix::search {
+
+using config::Precision;
+using config::PrecisionConfig;
+using config::StructureIndex;
+
+namespace {
+
+/// A unit of the configuration space: one structure (or partition) whose
+/// candidates are flipped to single precision while the rest of the program
+/// stays double.
+struct Unit {
+  enum class Kind : std::uint8_t {
+    kModule,
+    kFunction,
+    kFuncPart,   // contiguous range of a function's blocks
+    kBlock,
+    kBlockPart,  // contiguous range of a block's candidate instructions
+    kInstr,
+  };
+  Kind kind;
+  std::size_t id = 0;                 // module/function/block/instr index
+  std::vector<std::size_t> blocks;    // kFuncPart
+  std::vector<std::size_t> instrs;    // kBlockPart
+  std::uint64_t weight = 0;           // profiled executions of candidates
+  std::uint64_t seq = 0;              // tie-break for deterministic order
+};
+
+std::vector<std::size_t> unit_candidates(const StructureIndex& ix,
+                                         const Unit& u) {
+  switch (u.kind) {
+    case Unit::Kind::kModule:
+      return ix.modules()[u.id].candidates;
+    case Unit::Kind::kFunction:
+      return ix.funcs()[u.id].candidates;
+    case Unit::Kind::kFuncPart: {
+      std::vector<std::size_t> out;
+      for (std::size_t b : u.blocks) {
+        const auto& c = ix.blocks()[b].candidates;
+        out.insert(out.end(), c.begin(), c.end());
+      }
+      return out;
+    }
+    case Unit::Kind::kBlock:
+      return ix.blocks()[u.id].candidates;
+    case Unit::Kind::kBlockPart:
+      return u.instrs;
+    case Unit::Kind::kInstr:
+      return {u.id};
+  }
+  return {};
+}
+
+std::uint64_t weight_of(const StructureIndex& ix,
+                        const std::vector<std::size_t>& candidates) {
+  std::uint64_t w = 0;
+  for (std::size_t i : candidates) w += ix.instrs()[i].exec_weight;
+  return w;
+}
+
+PrecisionConfig config_for(const Unit& u) {
+  PrecisionConfig cfg;
+  switch (u.kind) {
+    case Unit::Kind::kModule:
+      cfg.set_module(u.id, Precision::kSingle);
+      break;
+    case Unit::Kind::kFunction:
+      cfg.set_func(u.id, Precision::kSingle);
+      break;
+    case Unit::Kind::kFuncPart:
+      for (std::size_t b : u.blocks) cfg.set_block(b, Precision::kSingle);
+      break;
+    case Unit::Kind::kBlock:
+      cfg.set_block(u.id, Precision::kSingle);
+      break;
+    case Unit::Kind::kBlockPart:
+    case Unit::Kind::kInstr:
+      break;  // fallthrough below
+  }
+  if (u.kind == Unit::Kind::kBlockPart) {
+    for (std::size_t i : u.instrs) cfg.set_instr(i, Precision::kSingle);
+  } else if (u.kind == Unit::Kind::kInstr) {
+    cfg.set_instr(u.id, Precision::kSingle);
+  }
+  return cfg;
+}
+
+std::string unit_name(const StructureIndex& ix, const Unit& u) {
+  switch (u.kind) {
+    case Unit::Kind::kModule:
+      return strformat("module %s", ix.modules()[u.id].name.c_str());
+    case Unit::Kind::kFunction:
+      return strformat("func %s", ix.funcs()[u.id].name.c_str());
+    case Unit::Kind::kFuncPart: {
+      const auto& f = ix.funcs()[ix.blocks()[u.blocks.front()].func];
+      return strformat("func %s part[%zu blocks]", f.name.c_str(),
+                       u.blocks.size());
+    }
+    case Unit::Kind::kBlock:
+      return strformat("block 0x%llx",
+                       static_cast<unsigned long long>(
+                           ix.blocks()[u.id].head_addr));
+    case Unit::Kind::kBlockPart: {
+      return strformat("block 0x%llx part[%zu insns]",
+                       static_cast<unsigned long long>(
+                           ix.blocks()[ix.instrs()[u.instrs.front()].block]
+                               .head_addr),
+                       u.instrs.size());
+    }
+    case Unit::Kind::kInstr:
+      return strformat("insn 0x%llx",
+                       static_cast<unsigned long long>(
+                           ix.instrs()[u.id].addr));
+  }
+  return "?";
+}
+
+class Searcher {
+ public:
+  Searcher(const program::Image& original, StructureIndex* index,
+           const verify::Verifier& verifier, const SearchOptions& options)
+      : original_(original), ix_(*index), verifier_(verifier),
+        options_(options) {}
+
+  SearchResult run() {
+    profile_original();
+    seed_queue();
+
+    ThreadPool pool(std::max<std::size_t>(1, options_.num_threads));
+    while (!queue_.empty()) {
+      // Pop a batch (highest priority first) and evaluate concurrently.
+      const std::size_t batch =
+          std::min(queue_.size(), std::max<std::size_t>(
+                                      1, options_.num_threads));
+      std::vector<Unit> units;
+      for (std::size_t i = 0; i < batch; ++i) units.push_back(pop_unit());
+
+      std::vector<verify::EvalResult> results(units.size());
+      if (units.size() == 1) {
+        results[0] = evaluate(units[0]);
+      } else {
+        std::mutex mu;
+        for (std::size_t i = 0; i < units.size(); ++i) {
+          pool.submit([this, &units, &results, i] {
+            results[i] = evaluate(units[i]);
+          });
+        }
+        pool.wait_idle();
+        (void)mu;
+      }
+
+      for (std::size_t i = 0; i < units.size(); ++i) {
+        process_result(units[i], results[i]);
+      }
+    }
+
+    // Compose and test the final configuration (Section 2.2: "the union of
+    // all previously-found successful individual configurations").
+    SearchResult out;
+    out.final_config = final_config_;
+    out.candidates = ix_.candidates().size();
+    const verify::EvalResult final_eval = evaluate_config_counted(
+        final_config_, "final composition");
+    out.final_passed = final_eval.passed;
+
+    // Optional second phase: precision interactions can make the plain
+    // union fail even though each unit passed alone; rebuild a passing
+    // composition greedily, heaviest units first.
+    if (!out.final_passed && options_.refine_composition) {
+      std::stable_sort(passing_.begin(), passing_.end(),
+                       [](const PassingUnit& a, const PassingUnit& b) {
+                         return a.weight > b.weight;
+                       });
+      PrecisionConfig composed;
+      for (const PassingUnit& u : passing_) {
+        PrecisionConfig trial = composed;
+        trial.merge_union(u.cfg);
+        const verify::EvalResult r =
+            evaluate_config_counted(trial, "refine composition");
+        if (r.passed) composed = std::move(trial);
+      }
+      out.refined = true;
+      out.refined_config = composed;
+      out.refined_stats = config::replacement_stats(ix_, composed);
+    }
+
+    out.configs_tested = tested_;
+    out.stats = config::replacement_stats(ix_, final_config_);
+    out.trace = std::move(trace_);
+    return out;
+  }
+
+ private:
+  void profile_original() {
+    vm::Machine::Options mopts;
+    mopts.max_instructions = options_.max_instructions_per_run;
+    vm::Machine machine(original_, mopts);
+    const vm::RunResult r = machine.run();
+    if (!r.ok()) {
+      throw Error(strformat("profiling run of the original binary failed: %s",
+                            r.trap_message.c_str()));
+    }
+    ix_.apply_profile(machine.profile_by_address());
+  }
+
+  void seed_queue() {
+    for (std::size_t m = 0; m < ix_.modules().size(); ++m) {
+      Unit u;
+      u.kind = Unit::Kind::kModule;
+      u.id = m;
+      push_unit(std::move(u));
+    }
+  }
+
+  void push_unit(Unit u) {
+    const auto cands = unit_candidates(ix_, u);
+    if (cands.empty()) return;
+    u.weight = weight_of(ix_, cands);
+    u.seq = next_seq_++;
+    queue_.push_back(std::move(u));
+  }
+
+  Unit pop_unit() {
+    FPMIX_CHECK(!queue_.empty());
+    std::size_t best = 0;
+    if (options_.prioritize_by_profile) {
+      for (std::size_t i = 1; i < queue_.size(); ++i) {
+        const Unit& a = queue_[i];
+        const Unit& b = queue_[best];
+        if (a.weight > b.weight ||
+            (a.weight == b.weight && a.seq < b.seq)) {
+          best = i;
+        }
+      }
+    }
+    Unit u = std::move(queue_[best]);
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best));
+    return u;
+  }
+
+  verify::EvalResult evaluate(const Unit& u) {
+    verify::EvalOptions eopts;
+    eopts.max_instructions = options_.max_instructions_per_run;
+    return verify::evaluate_config(original_, ix_, config_for(u), verifier_,
+                                   eopts);
+  }
+
+  verify::EvalResult evaluate_config_counted(const PrecisionConfig& cfg,
+                                             const std::string& name) {
+    verify::EvalOptions eopts;
+    eopts.max_instructions = options_.max_instructions_per_run;
+    const verify::EvalResult r =
+        verify::evaluate_config(original_, ix_, cfg, verifier_, eopts);
+    ++tested_;
+    record(name, config::replacement_stats(ix_, cfg).replaced_static, r);
+    return r;
+  }
+
+  void record(const std::string& name, std::size_t candidates,
+              const verify::EvalResult& r) {
+    if (!options_.keep_log) return;
+    TestRecord rec;
+    rec.unit = name;
+    rec.candidates = candidates;
+    rec.passed = r.passed;
+    rec.failure = r.failure;
+    trace_.push_back(std::move(rec));
+  }
+
+  void process_result(const Unit& u, const verify::EvalResult& r) {
+    ++tested_;
+    record(unit_name(ix_, u), unit_candidates(ix_, u).size(), r);
+    if (r.passed) {
+      PrecisionConfig cfg = config_for(u);
+      final_config_.merge_union(cfg);
+      passing_.push_back(PassingUnit{std::move(cfg), u.weight});
+      return;
+    }
+    for (Unit& child : children(u)) push_unit(std::move(child));
+  }
+
+  std::vector<Unit> children(const Unit& u) {
+    std::vector<Unit> out;
+    const auto level_allows = [&](StopLevel need) {
+      return static_cast<int>(options_.stop_level) >= static_cast<int>(need);
+    };
+
+    switch (u.kind) {
+      case Unit::Kind::kModule: {
+        if (!level_allows(StopLevel::kFunction)) break;
+        for (std::size_t f : ix_.modules()[u.id].funcs) {
+          Unit c;
+          c.kind = Unit::Kind::kFunction;
+          c.id = f;
+          out.push_back(std::move(c));
+        }
+        break;
+      }
+      case Unit::Kind::kFunction: {
+        if (!level_allows(StopLevel::kBlock)) break;
+        const auto& blocks = ix_.funcs()[u.id].blocks;
+        descend_blocks(blocks, &out);
+        break;
+      }
+      case Unit::Kind::kFuncPart: {
+        descend_blocks(u.blocks, &out);
+        break;
+      }
+      case Unit::Kind::kBlock: {
+        if (!level_allows(StopLevel::kInstruction)) break;
+        descend_instrs(ix_.blocks()[u.id].candidates, &out);
+        break;
+      }
+      case Unit::Kind::kBlockPart: {
+        descend_instrs(u.instrs, &out);
+        break;
+      }
+      case Unit::Kind::kInstr:
+        break;  // cannot be subdivided
+    }
+    return out;
+  }
+
+  /// Binary split of a block list, or one unit per block.
+  void descend_blocks(const std::vector<std::size_t>& blocks,
+                      std::vector<Unit>* out) {
+    // Only blocks with candidates participate.
+    std::vector<std::size_t> useful;
+    for (std::size_t b : blocks) {
+      if (!ix_.blocks()[b].candidates.empty()) useful.push_back(b);
+    }
+    if (useful.empty()) return;
+    if (useful.size() == 1) {
+      Unit c;
+      c.kind = Unit::Kind::kBlock;
+      c.id = useful[0];
+      out->push_back(std::move(c));
+      return;
+    }
+    if (options_.binary_split && useful.size() >= options_.min_split_size) {
+      const std::size_t half = useful.size() / 2;
+      Unit lo, hi;
+      lo.kind = hi.kind = Unit::Kind::kFuncPart;
+      lo.blocks.assign(useful.begin(), useful.begin() +
+                                           static_cast<std::ptrdiff_t>(half));
+      hi.blocks.assign(useful.begin() + static_cast<std::ptrdiff_t>(half),
+                       useful.end());
+      out->push_back(std::move(lo));
+      out->push_back(std::move(hi));
+      return;
+    }
+    for (std::size_t b : useful) {
+      Unit c;
+      c.kind = Unit::Kind::kBlock;
+      c.id = b;
+      out->push_back(std::move(c));
+    }
+  }
+
+  /// Binary split of a candidate-instruction list, or one unit each.
+  void descend_instrs(const std::vector<std::size_t>& instrs,
+                      std::vector<Unit>* out) {
+    if (instrs.empty()) return;
+    if (instrs.size() == 1) {
+      Unit c;
+      c.kind = Unit::Kind::kInstr;
+      c.id = instrs[0];
+      out->push_back(std::move(c));
+      return;
+    }
+    if (options_.binary_split && instrs.size() >= options_.min_split_size) {
+      const std::size_t half = instrs.size() / 2;
+      Unit lo, hi;
+      lo.kind = hi.kind = Unit::Kind::kBlockPart;
+      lo.instrs.assign(instrs.begin(), instrs.begin() +
+                                           static_cast<std::ptrdiff_t>(half));
+      hi.instrs.assign(instrs.begin() + static_cast<std::ptrdiff_t>(half),
+                       instrs.end());
+      out->push_back(std::move(lo));
+      out->push_back(std::move(hi));
+      return;
+    }
+    for (std::size_t i : instrs) {
+      Unit c;
+      c.kind = Unit::Kind::kInstr;
+      c.id = i;
+      out->push_back(std::move(c));
+    }
+  }
+
+  const program::Image& original_;
+  StructureIndex& ix_;
+  const verify::Verifier& verifier_;
+  const SearchOptions& options_;
+
+  struct PassingUnit {
+    PrecisionConfig cfg;
+    std::uint64_t weight;
+  };
+
+  std::deque<Unit> queue_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t tested_ = 0;
+  PrecisionConfig final_config_;
+  std::vector<PassingUnit> passing_;
+  std::vector<TestRecord> trace_;
+};
+
+}  // namespace
+
+SearchResult run_search(const program::Image& original,
+                        config::StructureIndex* index,
+                        const verify::Verifier& verifier,
+                        const SearchOptions& options) {
+  FPMIX_CHECK(index != nullptr);
+  Searcher s(original, index, verifier, options);
+  return s.run();
+}
+
+}  // namespace fpmix::search

@@ -1,0 +1,96 @@
+// The automatic breadth-first configuration search (Section 2.2).
+//
+// Strategy: test whole modules first; descend into functions, then (via
+// optional binary splitting) block partitions, blocks, instruction
+// partitions and finally single instructions -- but only where the parent
+// failed verification. A structure that passes is recorded and never
+// subdivided, so the search finds "the coarsest granularity at which each
+// part of the program can successfully be replaced by single precision."
+//
+// Both of the paper's optimizations are implemented and can be toggled for
+// the ablation benchmarks:
+//   1. binary splitting of large functions/blocks into two equally sized
+//      partitions instead of enqueueing every child at once;
+//   2. prioritisation by profiled execution weight, so heavy replacements
+//      are ruled in or out early.
+//
+// Evaluations are independent (patch + run + verify on private state) and
+// run on a thread pool when num_threads > 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "config/config.hpp"
+#include "program/image.hpp"
+#include "verify/evaluate.hpp"
+#include "verify/verifier.hpp"
+
+namespace fpmix::search {
+
+/// Coarsest granularity the search descends to (the paper: "the search can
+/// also be configured to stop at basic blocks or functions, allowing for
+/// faster convergence with coarser results").
+enum class StopLevel : std::uint8_t {
+  kModule = 0,
+  kFunction = 1,
+  kBlock = 2,
+  kInstruction = 3,
+};
+
+struct SearchOptions {
+  StopLevel stop_level = StopLevel::kInstruction;
+  bool binary_split = true;           // optimization 1 (Section 2.2)
+  bool prioritize_by_profile = true;  // optimization 2 (Section 2.2)
+  std::size_t num_threads = 1;
+  /// Structures with at least this many candidates are binary-split
+  /// instead of expanded child-by-child.
+  std::size_t min_split_size = 4;
+  std::uint64_t max_instructions_per_run = 1ull << 32;
+  bool keep_log = true;
+
+  /// Second search phase (the paper's Section 3.1 suggestion: "a second
+  /// search phase may be useful, to determine the largest subset of
+  /// individually-passing instruction replacements that may be composed to
+  /// create a passing final configuration"). When the union of passing
+  /// units fails verification, units are re-added greedily in decreasing
+  /// profile-weight order, dropping any unit whose addition breaks the
+  /// composition.
+  bool refine_composition = false;
+};
+
+/// One tested configuration, for logs and the search trace.
+struct TestRecord {
+  std::string unit;        // e.g. "module solver", "func conj_grad[3..5]"
+  std::size_t candidates;  // candidate instructions the unit covers
+  bool passed;
+  std::string failure;     // trap/verification detail when failed
+};
+
+struct SearchResult {
+  config::PrecisionConfig final_config;  // union of all passing units
+  bool final_passed = false;             // verification of the composition
+  std::size_t candidates = 0;            // |Pd|
+  std::size_t configs_tested = 0;        // includes the final composition
+  config::ReplacementStats stats;        // static/dynamic % of final config
+  std::vector<TestRecord> trace;         // only when keep_log
+
+  /// Results of the optional composition-refinement phase. Only meaningful
+  /// when SearchOptions::refine_composition was set and the plain union
+  /// failed: `refined_config` is a verified-passing subset composition.
+  bool refined = false;
+  config::PrecisionConfig refined_config;
+  config::ReplacementStats refined_stats;
+};
+
+/// Runs the full pipeline of Figure 2: profile the original binary, search
+/// the configuration space breadth-first, compose and test the final
+/// configuration. `index` must be built from `original` and is updated in
+/// place with profile weights.
+SearchResult run_search(const program::Image& original,
+                        config::StructureIndex* index,
+                        const verify::Verifier& verifier,
+                        const SearchOptions& options = {});
+
+}  // namespace fpmix::search

@@ -1,0 +1,66 @@
+// Error handling primitives shared by every fpmix module.
+//
+// The framework is a tool pipeline (decode -> patch -> run -> verify); most
+// failures are programmer errors in a stage's input and are reported with an
+// exception carrying enough context to locate the offending instruction or
+// configuration line.
+#pragma once
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace fpmix {
+
+/// Base class for all fpmix errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+/// Malformed instruction bytes or an operand form the ISA does not allow.
+class DecodeError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Structurally invalid program (bad CFG, dangling edge, unknown symbol).
+class ProgramError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Runtime fault inside the VM (bad memory access, div-by-zero, trap).
+class VmError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Malformed precision-configuration file.
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), "FPMIX_CHECK failed: %s (%s:%d)", expr, file,
+                line);
+  throw Error(buf);
+}
+}  // namespace detail
+
+/// Internal invariant check. Unlike assert(), always enabled: the framework
+/// rewrites executable code, where a silently violated invariant produces
+/// corrupt binaries that are far harder to debug than a thrown error.
+#define FPMIX_CHECK(expr)                                      \
+  do {                                                         \
+    if (!(expr)) {                                             \
+      ::fpmix::detail::check_failed(#expr, __FILE__, __LINE__); \
+    }                                                          \
+  } while (false)
+
+}  // namespace fpmix

@@ -1,0 +1,51 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace fpmix::log {
+namespace {
+
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_mutex;
+
+const char* prefix(Level level) {
+  switch (level) {
+    case Level::kDebug: return "[debug] ";
+    case Level::kInfo: return "[info ] ";
+    case Level::kWarn: return "[warn ] ";
+    case Level::kError: return "[error] ";
+    default: return "";
+  }
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void vlogf(Level lvl, const char* fmt, std::va_list args) {
+  if (lvl < level()) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fputs(prefix(lvl), stderr);
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+}
+
+#define FPMIX_LOG_IMPL(name, lvl)              \
+  void name(const char* fmt, ...) {            \
+    std::va_list args;                         \
+    va_start(args, fmt);                       \
+    vlogf(lvl, fmt, args);                     \
+    va_end(args);                              \
+  }
+
+FPMIX_LOG_IMPL(debugf, Level::kDebug)
+FPMIX_LOG_IMPL(infof, Level::kInfo)
+FPMIX_LOG_IMPL(warnf, Level::kWarn)
+FPMIX_LOG_IMPL(errorf, Level::kError)
+
+#undef FPMIX_LOG_IMPL
+
+}  // namespace fpmix::log

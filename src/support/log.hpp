@@ -1,0 +1,30 @@
+// Minimal leveled logger. Single global sink, thread-safe, printf-style.
+#pragma once
+
+#include <cstdarg>
+
+namespace fpmix::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the minimum level that is emitted. Default: kWarn (tools are quiet
+/// unless something is wrong; benches and examples raise it to kInfo).
+void set_level(Level level);
+Level level();
+
+void vlogf(Level level, const char* fmt, std::va_list args);
+
+#if defined(__GNUC__)
+#define FPMIX_PRINTF(a, b) __attribute__((format(printf, a, b)))
+#else
+#define FPMIX_PRINTF(a, b)
+#endif
+
+void debugf(const char* fmt, ...) FPMIX_PRINTF(1, 2);
+void infof(const char* fmt, ...) FPMIX_PRINTF(1, 2);
+void warnf(const char* fmt, ...) FPMIX_PRINTF(1, 2);
+void errorf(const char* fmt, ...) FPMIX_PRINTF(1, 2);
+
+#undef FPMIX_PRINTF
+
+}  // namespace fpmix::log

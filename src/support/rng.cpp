@@ -1,0 +1,37 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+namespace fpmix {
+namespace {
+
+constexpr double kR23 = 0x1.0p-23;
+constexpr double kT23 = 0x1.0p+23;
+constexpr double kR46 = 0x1.0p-46;
+constexpr double kT46 = 0x1.0p+46;
+
+}  // namespace
+
+NasLcg::NasLcg(double seed, double a) : x_(seed), a_(a) {}
+
+double NasLcg::next() {
+  // Break a and x into two 23-bit halves: a = 2^23 * a1 + a2.
+  const double t1a = kR23 * a_;
+  const double a1 = std::floor(t1a);
+  const double a2 = a_ - kT23 * a1;
+
+  const double t1x = kR23 * x_;
+  const double x1 = std::floor(t1x);
+  const double x2 = x_ - kT23 * x1;
+
+  // t = a1*x2 + a2*x1 (mod 2^23) scaled, then z*2^23 + a2*x2 (mod 2^46).
+  const double t1 = a1 * x2 + a2 * x1;
+  const double t2 = std::floor(kR23 * t1);
+  const double z = t1 - kT23 * t2;
+  const double t3 = kT23 * z + a2 * x2;
+  const double t4 = std::floor(kR46 * t3);
+  x_ = t3 - kT46 * t4;
+  return kR46 * x_;
+}
+
+}  // namespace fpmix

@@ -1,0 +1,67 @@
+// Deterministic random number generators.
+//
+// Two generators are provided:
+//  - SplitMix64: general-purpose seeding / test data.
+//  - NasLcg: the 48-bit linear congruential generator used by the NAS
+//    Parallel Benchmarks (x_{k+1} = a * x_k mod 2^46, a = 5^13). Our EP
+//    kernel analogue reproduces its structure, including the property that
+//    the generator itself is implemented in double-precision arithmetic and
+//    is therefore precision-sensitive -- a key feature the search must
+//    discover (the RNG region cannot be narrowed to single precision).
+#pragma once
+
+#include <cstdint>
+
+namespace fpmix {
+
+/// SplitMix64; passes BigCrush, one multiplication + shifts per draw.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double next_double(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// The NAS "randlc" generator: 46-bit LCG computed with double arithmetic,
+/// exactly as the NPB reference implementation does (split into two 23-bit
+/// halves so every intermediate fits in a 52-bit significand).
+class NasLcg {
+ public:
+  /// NPB default multiplier a = 5^13 and EP seed.
+  static constexpr double kDefaultA = 1220703125.0;  // 5^13
+  static constexpr double kEpSeed = 271828183.0;
+
+  explicit NasLcg(double seed = kEpSeed, double a = kDefaultA);
+
+  /// Advances the stream and returns a uniform double in (0, 1).
+  double next();
+
+  double seed() const { return x_; }
+
+ private:
+  double x_;
+  double a_;
+};
+
+}  // namespace fpmix

@@ -1,0 +1,36 @@
+// Small string utilities used by the config parser, disassembler and
+// report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fpmix {
+
+/// printf-style formatting into a std::string.
+std::string strformat(const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 1, 2)))
+#endif
+    ;
+
+/// Strips leading/trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// Splits on any character in `seps`, skipping empty fields.
+std::vector<std::string_view> split_fields(std::string_view s,
+                                           std::string_view seps = " \t");
+
+/// Splits into lines; keeps empty lines (the config format is line-oriented).
+std::vector<std::string_view> split_lines(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parses a non-negative integer; returns false on malformed input.
+bool parse_u64(std::string_view s, std::uint64_t* out);
+
+/// Parses a hexadecimal integer with optional 0x prefix.
+bool parse_hex_u64(std::string_view s, std::uint64_t* out);
+
+}  // namespace fpmix

@@ -1,0 +1,50 @@
+#include "verify/evaluate.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace fpmix::verify {
+
+EvalResult evaluate_config(const program::Image& original,
+                           const config::StructureIndex& index,
+                           const config::PrecisionConfig& cfg,
+                           const Verifier& verifier,
+                           const EvalOptions& options) {
+  EvalResult result;
+  const program::Image patched =
+      instrument::instrument_image(original, index, cfg, &result.stats);
+
+  vm::Machine::Options mopts;
+  mopts.max_instructions = options.max_instructions;
+  mopts.profile = options.profile;
+  vm::Machine machine(patched, mopts);
+  const vm::RunResult run = machine.run();
+  result.run_status = run.status;
+  result.instructions_retired = run.instructions_retired;
+  result.outputs = machine.output_f64();
+
+  if (!run.ok()) {
+    result.passed = false;
+    result.failure = run.trap_message.empty() ? "run failed"
+                                              : run.trap_message;
+    return result;
+  }
+  result.passed = verifier.verify(result.outputs);
+  if (!result.passed) result.failure = "verification failed";
+  return result;
+}
+
+std::vector<double> reference_outputs(const program::Image& original,
+                                      std::uint64_t max_instructions) {
+  vm::Machine::Options mopts;
+  mopts.max_instructions = max_instructions;
+  vm::Machine machine(original, mopts);
+  const vm::RunResult run = machine.run();
+  if (!run.ok()) {
+    throw Error(strformat("reference run failed: %s",
+                          run.trap_message.c_str()));
+  }
+  return machine.output_f64();
+}
+
+}  // namespace fpmix::verify

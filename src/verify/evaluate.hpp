@@ -1,0 +1,45 @@
+// Configuration evaluation: patch, run, verify -- the inner loop of the
+// automatic search and the "Configuration Evaluation" box of Figure 2.
+#pragma once
+
+#include <memory>
+
+#include "config/config.hpp"
+#include "instrument/patch.hpp"
+#include "program/image.hpp"
+#include "verify/verifier.hpp"
+#include "vm/machine.hpp"
+
+namespace fpmix::verify {
+
+struct EvalOptions {
+  std::uint64_t max_instructions = 1ull << 32;
+  bool profile = false;
+};
+
+struct EvalResult {
+  bool passed = false;
+  vm::RunResult::Status run_status = vm::RunResult::Status::kHalted;
+  std::string failure;               // empty when passed
+  std::vector<double> outputs;
+  std::uint64_t instructions_retired = 0;
+  instrument::InstrumentStats stats;
+};
+
+/// Builds the mixed-precision binary for `cfg` and evaluates it. Crashes,
+/// traps and instruction-budget blowups count as verification failures
+/// (with the reason recorded), exactly as a crashed test run does in the
+/// paper's search harness.
+EvalResult evaluate_config(const program::Image& original,
+                           const config::StructureIndex& index,
+                           const config::PrecisionConfig& cfg,
+                           const Verifier& verifier,
+                           const EvalOptions& options = {});
+
+/// Runs the unmodified binary and returns its outputs (the reference for
+/// RelativeErrorVerifier / BitExactVerifier) -- throws on failure.
+std::vector<double> reference_outputs(const program::Image& original,
+                                      std::uint64_t max_instructions =
+                                          1ull << 32);
+
+}  // namespace fpmix::verify

@@ -1,0 +1,77 @@
+#include "verify/verifier.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "support/strings.hpp"
+
+namespace fpmix::verify {
+
+RelativeErrorVerifier::RelativeErrorVerifier(std::vector<double> reference,
+                                             double rel_tol, double abs_tol)
+    : reference_(std::move(reference)), rel_tol_(rel_tol), abs_tol_(abs_tol) {}
+
+void RelativeErrorVerifier::set_output_tolerance(std::size_t index,
+                                                 double rel_tol,
+                                                 double abs_tol) {
+  if (per_output_.size() <= index) {
+    per_output_.resize(index + 1, Tol{-1.0, 0.0});
+  }
+  per_output_[index] = Tol{rel_tol, abs_tol};
+}
+
+bool RelativeErrorVerifier::verify(std::span<const double> outputs) const {
+  if (outputs.size() != reference_.size()) return false;
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    const double out = outputs[i];
+    const double ref = reference_[i];
+    if (!std::isfinite(out)) return false;
+    double rel = rel_tol_, abs = abs_tol_;
+    if (i < per_output_.size() && per_output_[i].rel >= 0.0) {
+      rel = per_output_[i].rel;
+      abs = per_output_[i].abs;
+    }
+    if (std::fabs(out - ref) > abs + rel * std::fabs(ref)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string RelativeErrorVerifier::describe() const {
+  return strformat("relative-error <= %.3g (abs %.3g) vs %zu reference "
+                   "outputs", rel_tol_, abs_tol_, reference_.size());
+}
+
+BitExactVerifier::BitExactVerifier(std::vector<double> reference)
+    : reference_(std::move(reference)) {}
+
+bool BitExactVerifier::verify(std::span<const double> outputs) const {
+  if (outputs.size() != reference_.size()) return false;
+  return std::memcmp(outputs.data(), reference_.data(),
+                     outputs.size() * sizeof(double)) == 0;
+}
+
+std::string BitExactVerifier::describe() const {
+  return strformat("bit-exact vs %zu reference outputs", reference_.size());
+}
+
+ThresholdVerifier::ThresholdVerifier(std::size_t index, double threshold,
+                                     std::size_t expected_outputs)
+    : index_(index), threshold_(threshold),
+      expected_outputs_(expected_outputs) {}
+
+bool ThresholdVerifier::verify(std::span<const double> outputs) const {
+  if (outputs.size() != expected_outputs_ || index_ >= outputs.size()) {
+    return false;
+  }
+  const double err = outputs[index_];
+  return std::isfinite(err) && err <= threshold_;
+}
+
+std::string ThresholdVerifier::describe() const {
+  return strformat("reported error (output %zu) <= %.3g", index_,
+                   threshold_);
+}
+
+}  // namespace fpmix::verify

@@ -1,0 +1,85 @@
+// Verification routines (Section 2: "given a representative data set and a
+// verification routine, this system builds multiple mixed-precision
+// configurations ... and evaluates them").
+//
+// A verifier inspects the outputs a candidate binary emitted through the
+// output_f64 channel and decides pass/fail. Crashed or hung runs never reach
+// the verifier -- the evaluation driver fails them directly, which is how
+// the paper's tag-crash design integrates with the search.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fpmix::verify {
+
+class Verifier {
+ public:
+  virtual ~Verifier() = default;
+
+  /// Returns true when the outputs are acceptable.
+  virtual bool verify(std::span<const double> outputs) const = 0;
+
+  /// Human-readable description for logs and reports.
+  virtual std::string describe() const = 0;
+};
+
+/// Element-wise comparison against a reference run:
+/// |out - ref| <= abs_tol + rel_tol * |ref| for every element, and the
+/// counts must match.
+class RelativeErrorVerifier : public Verifier {
+ public:
+  RelativeErrorVerifier(std::vector<double> reference, double rel_tol,
+                        double abs_tol = 0.0);
+
+  /// Per-output tolerances (NAS style: tight on the figure of merit, loose
+  /// on auxiliary reports). Missing entries fall back to the scalar
+  /// tolerances given at construction.
+  void set_output_tolerance(std::size_t index, double rel_tol,
+                            double abs_tol = 0.0);
+
+  bool verify(std::span<const double> outputs) const override;
+  std::string describe() const override;
+
+ private:
+  struct Tol {
+    double rel, abs;
+  };
+  std::vector<double> reference_;
+  double rel_tol_;
+  double abs_tol_;
+  std::vector<Tol> per_output_;  // index-aligned; rel < 0 means "default"
+};
+
+/// Bit-for-bit comparison against a reference run (Section 3.1).
+class BitExactVerifier : public Verifier {
+ public:
+  explicit BitExactVerifier(std::vector<double> reference);
+  bool verify(std::span<const double> outputs) const override;
+  std::string describe() const override;
+
+ private:
+  std::vector<double> reference_;
+};
+
+/// The SuperLU-style driver check: the program itself reports an error
+/// metric at output index `index`; pass when it is finite and does not
+/// exceed `threshold` (Section 3.3's "compared the reported error against a
+/// predefined threshold error bound").
+class ThresholdVerifier : public Verifier {
+ public:
+  ThresholdVerifier(std::size_t index, double threshold,
+                    std::size_t expected_outputs);
+  bool verify(std::span<const double> outputs) const override;
+  std::string describe() const override;
+
+ private:
+  std::size_t index_;
+  double threshold_;
+  std::size_t expected_outputs_;
+};
+
+}  // namespace fpmix::verify

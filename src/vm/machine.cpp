@@ -1,0 +1,718 @@
+#include "vm/machine.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "arch/disasm.hpp"
+#include "arch/encode.hpp"
+#include "arch/intrinsics.hpp"
+#include "arch/tag.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace fpmix::vm {
+
+using arch::Instr;
+using arch::Opcode;
+using arch::Operand;
+using arch::OperandKind;
+
+namespace in = arch::intrinsics;
+
+namespace {
+
+double f64_of(std::uint64_t bits) { return std::bit_cast<double>(bits); }
+std::uint64_t bits_of(double v) { return std::bit_cast<std::uint64_t>(v); }
+float f32_of(std::uint32_t bits) { return std::bit_cast<float>(bits); }
+std::uint32_t bits_of(float v) { return std::bit_cast<std::uint32_t>(v); }
+
+/// Replaces the low 32 bits of `slot`, preserving the high 32.
+std::uint64_t with_low32(std::uint64_t slot, std::uint32_t low) {
+  return (slot & 0xFFFFFFFF00000000ull) | low;
+}
+
+}  // namespace
+
+Machine::Machine(const program::Image& image, Options options)
+    : image_(image), options_(options) {
+  image_.validate();
+  code_ = arch::decode_all(image_.code, image_.code_base);
+  if (code_.empty()) throw VmError("image has no code");
+  index_of_addr_.reserve(code_.size() * 2);
+  for (std::size_t i = 0; i < code_.size(); ++i) {
+    index_of_addr_[code_[i].addr] = static_cast<std::uint32_t>(i);
+  }
+  // Resolve branch/call targets to instruction indices once.
+  for (Instr& ins : code_) {
+    const auto& info = arch::opcode_info(ins.op);
+    if (info.is_branch || info.is_call) {
+      const auto target = static_cast<std::uint64_t>(ins.src.imm);
+      auto it = index_of_addr_.find(target);
+      if (it == index_of_addr_.end()) {
+        throw VmError(strformat(
+            "control transfer at 0x%llx targets 0x%llx, which is not an "
+            "instruction boundary",
+            static_cast<unsigned long long>(ins.addr),
+            static_cast<unsigned long long>(target)));
+      }
+      ins.src.imm = it->second;
+    }
+  }
+  memory_.assign(image_.memory_size, 0);
+  if (!image_.data.empty()) {
+    FPMIX_CHECK(image_.data_base + image_.data.size() <= memory_.size());
+    std::memcpy(memory_.data() + image_.data_base, image_.data.data(),
+                image_.data.size());
+  }
+  if (options_.profile) counts_.assign(code_.size(), 0);
+  if (options_.mpi != nullptr) {
+    FPMIX_CHECK(options_.rank >= 0 && options_.rank < options_.mpi->size());
+  }
+}
+
+void Machine::trap(std::string message) const { throw Trap{std::move(message)}; }
+
+std::uint64_t Machine::effective_address(const arch::MemRef& m) const {
+  std::uint64_t a = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(m.disp));
+  if (m.base != arch::kNoReg) a += gpr_[m.base];
+  if (m.index != arch::kNoReg) a += gpr_[m.index] * m.scale;
+  return a;
+}
+
+std::uint64_t Machine::load(std::uint64_t addr, unsigned bytes) const {
+  if (addr + bytes > memory_.size() || addr + bytes < addr) {
+    trap(strformat("memory read of %u bytes at 0x%llx out of bounds", bytes,
+                   static_cast<unsigned long long>(addr)));
+  }
+  std::uint64_t v = 0;
+  std::memcpy(&v, memory_.data() + addr, bytes);
+  return v;
+}
+
+void Machine::store(std::uint64_t addr, std::uint64_t value, unsigned bytes) {
+  if (addr + bytes > memory_.size() || addr + bytes < addr) {
+    trap(strformat("memory write of %u bytes at 0x%llx out of bounds", bytes,
+                   static_cast<unsigned long long>(addr)));
+  }
+  std::memcpy(memory_.data() + addr, &value, bytes);
+}
+
+std::uint64_t Machine::int_value(const Operand& op) const {
+  switch (op.kind) {
+    case OperandKind::kGpr: return gpr_[op.reg];
+    case OperandKind::kImm: return static_cast<std::uint64_t>(op.imm);
+    default:
+      trap("integer operand is neither register nor immediate");
+  }
+}
+
+void Machine::check_not_tagged(const Instr& ins, std::uint64_t bits) const {
+  if (options_.tag_trap && arch::is_tagged(bits)) {
+    trap(strformat(
+        "replaced-double sentinel consumed by '%s' at 0x%llx (origin 0x%llx):"
+        " a narrowed value escaped the instrumentation",
+        arch::instr_to_string(ins).c_str(),
+        static_cast<unsigned long long>(ins.addr),
+        static_cast<unsigned long long>(image_.origin_of(ins.addr))));
+  }
+}
+
+std::uint64_t Machine::read_f64_bits(const Instr& ins, const Operand& op,
+                                     unsigned lane) const {
+  std::uint64_t bits;
+  if (op.is_xmm()) {
+    bits = (lane == 0) ? xmm_[op.reg].lo : xmm_[op.reg].hi;
+  } else if (op.is_mem()) {
+    bits = load(effective_address(op.mem) + 8ull * lane, 8);
+  } else {
+    trap("f64 operand is neither xmm nor memory");
+  }
+  check_not_tagged(ins, bits);
+  return bits;
+}
+
+void Machine::push64(std::uint64_t v) {
+  gpr_[arch::kSpReg] -= 8;
+  store(gpr_[arch::kSpReg], v, 8);
+}
+
+std::uint64_t Machine::pop64() {
+  const std::uint64_t v = load(gpr_[arch::kSpReg], 8);
+  gpr_[arch::kSpReg] += 8;
+  return v;
+}
+
+RunResult Machine::run() {
+  FPMIX_CHECK(!ran_);
+  ran_ = true;
+
+  // Initial state: stack at the top of memory with a null return address; a
+  // `ret` from the entry function stops the machine like `halt` does.
+  gpr_[arch::kSpReg] = memory_.size();
+  push64(0);
+  auto entry_it = index_of_addr_.find(image_.entry);
+  FPMIX_CHECK(entry_it != index_of_addr_.end());
+  pc_ = entry_it->second;
+
+  RunResult result;
+  try {
+    while (!stopped_) {
+      if (retired_ >= options_.max_instructions) {
+        result.status = RunResult::Status::kOutOfBudget;
+        result.trap_message = "instruction budget exhausted";
+        result.instructions_retired = retired_;
+        return result;
+      }
+      const Instr& ins = code_[pc_];
+      if (options_.profile) ++counts_[pc_];
+      ++retired_;
+      step(ins);
+    }
+    result.status = RunResult::Status::kHalted;
+  } catch (const Trap& t) {
+    result.status = RunResult::Status::kTrapped;
+    result.trap_message = t.message;
+  }
+  result.instructions_retired = retired_;
+  return result;
+}
+
+void Machine::step(const Instr& ins) {
+  // Most instructions fall through; control flow overrides `next`.
+  std::size_t next = pc_ + 1;
+
+  const auto take_branch_if = [&](bool cond) {
+    if (cond) next = static_cast<std::size_t>(ins.src.imm);
+  };
+
+  // Scalar f64 binary: dst.lane0 = f(dst.lane0, src.lane0/mem).
+  const auto binsd = [&](auto f) {
+    const double a = f64_of(read_f64_bits(ins, ins.dst, 0));
+    const double b = f64_of(read_f64_bits(ins, ins.src, 0));
+    xmm_[ins.dst.reg].lo = bits_of(double(f(a, b)));
+  };
+  // Scalar f32 binary on low 32 bits.
+  const auto binss = [&](auto f) {
+    const float a = f32_of(static_cast<std::uint32_t>(xmm_[ins.dst.reg].lo));
+    std::uint32_t src_bits;
+    if (ins.src.is_xmm()) {
+      src_bits = static_cast<std::uint32_t>(xmm_[ins.src.reg].lo);
+    } else {
+      src_bits =
+          static_cast<std::uint32_t>(load(effective_address(ins.src.mem), 4));
+    }
+    const float b = f32_of(src_bits);
+    xmm_[ins.dst.reg].lo =
+        with_low32(xmm_[ins.dst.reg].lo, bits_of(float(f(a, b))));
+  };
+  // Packed f64: both lanes.
+  const auto binpd = [&](auto f) {
+    const double a0 = f64_of(read_f64_bits(ins, ins.dst, 0));
+    const double a1 = f64_of(read_f64_bits(ins, ins.dst, 1));
+    const double b0 = f64_of(read_f64_bits(ins, ins.src, 0));
+    const double b1 = f64_of(read_f64_bits(ins, ins.src, 1));
+    xmm_[ins.dst.reg].lo = bits_of(double(f(a0, b0)));
+    xmm_[ins.dst.reg].hi = bits_of(double(f(a1, b1)));
+  };
+  // Packed f32: four lanes (two per 64-bit half).
+  const auto binps = [&](auto f) {
+    std::uint64_t slo, shi;
+    if (ins.src.is_xmm()) {
+      slo = xmm_[ins.src.reg].lo;
+      shi = xmm_[ins.src.reg].hi;
+    } else {
+      const std::uint64_t ea = effective_address(ins.src.mem);
+      slo = load(ea, 8);
+      shi = load(ea + 8, 8);
+    }
+    const auto apply_half = [&](std::uint64_t d, std::uint64_t s) {
+      const float d0 = f32_of(static_cast<std::uint32_t>(d));
+      const float d1 = f32_of(static_cast<std::uint32_t>(d >> 32));
+      const float s0 = f32_of(static_cast<std::uint32_t>(s));
+      const float s1 = f32_of(static_cast<std::uint32_t>(s >> 32));
+      const std::uint64_t r0 = bits_of(float(f(d0, s0)));
+      const std::uint64_t r1 = bits_of(float(f(d1, s1)));
+      return r0 | (r1 << 32);
+    };
+    xmm_[ins.dst.reg].lo = apply_half(xmm_[ins.dst.reg].lo, slo);
+    xmm_[ins.dst.reg].hi = apply_half(xmm_[ins.dst.reg].hi, shi);
+  };
+  // Bitwise 128-bit.
+  const auto bitop = [&](auto f) {
+    std::uint64_t slo, shi;
+    if (ins.src.is_xmm()) {
+      slo = xmm_[ins.src.reg].lo;
+      shi = xmm_[ins.src.reg].hi;
+    } else {
+      const std::uint64_t ea = effective_address(ins.src.mem);
+      slo = load(ea, 8);
+      shi = load(ea + 8, 8);
+    }
+    xmm_[ins.dst.reg].lo = f(xmm_[ins.dst.reg].lo, slo);
+    xmm_[ins.dst.reg].hi = f(xmm_[ins.dst.reg].hi, shi);
+  };
+  // Integer binary on gpr dst.
+  const auto binint = [&](auto f) {
+    gpr_[ins.dst.reg] = f(gpr_[ins.dst.reg], int_value(ins.src));
+  };
+
+  switch (ins.op) {
+    case Opcode::kNop:
+      break;
+    case Opcode::kHalt:
+      stopped_ = true;
+      break;
+
+    case Opcode::kJmp: take_branch_if(true); break;
+    case Opcode::kJe: take_branch_if(flags_.eq); break;
+    case Opcode::kJne: take_branch_if(!flags_.eq); break;
+    case Opcode::kJl: take_branch_if(flags_.lt); break;
+    case Opcode::kJle: take_branch_if(flags_.lt || flags_.eq); break;
+    case Opcode::kJg: take_branch_if(!flags_.lt && !flags_.eq); break;
+    case Opcode::kJge: take_branch_if(!flags_.lt); break;
+    case Opcode::kJb: take_branch_if(flags_.ltu); break;
+    case Opcode::kJbe: take_branch_if(flags_.ltu || flags_.eq); break;
+    case Opcode::kJa: take_branch_if(!flags_.ltu && !flags_.eq); break;
+    case Opcode::kJae: take_branch_if(!flags_.ltu); break;
+
+    case Opcode::kCall: {
+      const Instr& self = ins;
+      push64(self.addr + self.size);
+      next = static_cast<std::size_t>(ins.src.imm);
+      break;
+    }
+    case Opcode::kRet: {
+      const std::uint64_t ra = pop64();
+      if (ra == 0) {
+        stopped_ = true;
+        break;
+      }
+      auto it = index_of_addr_.find(ra);
+      if (it == index_of_addr_.end()) {
+        trap(strformat("ret to 0x%llx, not an instruction boundary",
+                       static_cast<unsigned long long>(ra)));
+      }
+      next = it->second;
+      break;
+    }
+
+    case Opcode::kMov:
+      gpr_[ins.dst.reg] = int_value(ins.src);
+      break;
+    case Opcode::kLoad:
+      gpr_[ins.dst.reg] = load(effective_address(ins.src.mem), 8);
+      break;
+    case Opcode::kStore:
+      store(effective_address(ins.dst.mem), gpr_[ins.src.reg], 8);
+      break;
+    case Opcode::kLea:
+      gpr_[ins.dst.reg] = effective_address(ins.src.mem);
+      break;
+
+    case Opcode::kAdd: binint([](std::uint64_t a, std::uint64_t b) { return a + b; }); break;
+    case Opcode::kSub: binint([](std::uint64_t a, std::uint64_t b) { return a - b; }); break;
+    case Opcode::kImul: binint([](std::uint64_t a, std::uint64_t b) { return a * b; }); break;
+    case Opcode::kIdiv: {
+      const auto a = static_cast<std::int64_t>(gpr_[ins.dst.reg]);
+      const auto b = static_cast<std::int64_t>(int_value(ins.src));
+      if (b == 0) trap("integer division by zero");
+      if (a == INT64_MIN && b == -1) trap("integer division overflow");
+      gpr_[ins.dst.reg] = static_cast<std::uint64_t>(a / b);
+      break;
+    }
+    case Opcode::kIrem: {
+      const auto a = static_cast<std::int64_t>(gpr_[ins.dst.reg]);
+      const auto b = static_cast<std::int64_t>(int_value(ins.src));
+      if (b == 0) trap("integer remainder by zero");
+      if (a == INT64_MIN && b == -1) trap("integer remainder overflow");
+      gpr_[ins.dst.reg] = static_cast<std::uint64_t>(a % b);
+      break;
+    }
+    case Opcode::kAnd: binint([](std::uint64_t a, std::uint64_t b) { return a & b; }); break;
+    case Opcode::kOr: binint([](std::uint64_t a, std::uint64_t b) { return a | b; }); break;
+    case Opcode::kXor: binint([](std::uint64_t a, std::uint64_t b) { return a ^ b; }); break;
+    case Opcode::kShl: binint([](std::uint64_t a, std::uint64_t b) { return a << (b & 63); }); break;
+    case Opcode::kShr: binint([](std::uint64_t a, std::uint64_t b) { return a >> (b & 63); }); break;
+    case Opcode::kSar:
+      binint([](std::uint64_t a, std::uint64_t b) {
+        return static_cast<std::uint64_t>(static_cast<std::int64_t>(a) >>
+                                          (b & 63));
+      });
+      break;
+    case Opcode::kCmp: {
+      const std::uint64_t a = gpr_[ins.dst.reg];
+      const std::uint64_t b = int_value(ins.src);
+      flags_.eq = a == b;
+      flags_.lt = static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b);
+      flags_.ltu = a < b;
+      break;
+    }
+    case Opcode::kTest: {
+      const std::uint64_t v = gpr_[ins.dst.reg] & int_value(ins.src);
+      flags_.eq = v == 0;
+      flags_.lt = static_cast<std::int64_t>(v) < 0;
+      flags_.ltu = false;
+      break;
+    }
+    case Opcode::kPush: push64(gpr_[ins.dst.reg]); break;
+    case Opcode::kPop: gpr_[ins.dst.reg] = pop64(); break;
+
+    case Opcode::kMovqXR:
+      // Deviation from x86: preserves the upper lane, so scalar snippet
+      // write-backs cannot clobber live packed data (DESIGN.md section 6).
+      xmm_[ins.dst.reg].lo = gpr_[ins.src.reg];
+      break;
+    case Opcode::kMovqRX:
+      gpr_[ins.dst.reg] = xmm_[ins.src.reg].lo;
+      break;
+    case Opcode::kMovsdXX:
+      xmm_[ins.dst.reg].lo = xmm_[ins.src.reg].lo;
+      break;
+    case Opcode::kMovsdXM:
+      xmm_[ins.dst.reg].lo = load(effective_address(ins.src.mem), 8);
+      xmm_[ins.dst.reg].hi = 0;
+      break;
+    case Opcode::kMovsdMX:
+      store(effective_address(ins.dst.mem), xmm_[ins.src.reg].lo, 8);
+      break;
+    case Opcode::kMovssXM:
+      xmm_[ins.dst.reg].lo = load(effective_address(ins.src.mem), 4);
+      xmm_[ins.dst.reg].hi = 0;
+      break;
+    case Opcode::kMovssMX:
+      store(effective_address(ins.dst.mem), xmm_[ins.src.reg].lo & 0xFFFFFFFFu,
+            4);
+      break;
+    case Opcode::kMovapdXX:
+      xmm_[ins.dst.reg] = xmm_[ins.src.reg];
+      break;
+    case Opcode::kMovapdXM: {
+      const std::uint64_t ea = effective_address(ins.src.mem);
+      xmm_[ins.dst.reg].lo = load(ea, 8);
+      xmm_[ins.dst.reg].hi = load(ea + 8, 8);
+      break;
+    }
+    case Opcode::kMovapdMX: {
+      const std::uint64_t ea = effective_address(ins.dst.mem);
+      store(ea, xmm_[ins.src.reg].lo, 8);
+      store(ea + 8, xmm_[ins.src.reg].hi, 8);
+      break;
+    }
+    case Opcode::kPushX:
+      gpr_[arch::kSpReg] -= 16;
+      store(gpr_[arch::kSpReg], xmm_[ins.dst.reg].lo, 8);
+      store(gpr_[arch::kSpReg] + 8, xmm_[ins.dst.reg].hi, 8);
+      break;
+    case Opcode::kPopX:
+      xmm_[ins.dst.reg].lo = load(gpr_[arch::kSpReg], 8);
+      xmm_[ins.dst.reg].hi = load(gpr_[arch::kSpReg] + 8, 8);
+      gpr_[arch::kSpReg] += 16;
+      break;
+
+    case Opcode::kAddsd: binsd([](double a, double b) { return a + b; }); break;
+    case Opcode::kSubsd: binsd([](double a, double b) { return a - b; }); break;
+    case Opcode::kMulsd: binsd([](double a, double b) { return a * b; }); break;
+    case Opcode::kDivsd: binsd([](double a, double b) { return a / b; }); break;
+    case Opcode::kSqrtsd: {
+      const double b = f64_of(read_f64_bits(ins, ins.src, 0));
+      xmm_[ins.dst.reg].lo = bits_of(std::sqrt(b));
+      break;
+    }
+    case Opcode::kMinsd: binsd([](double a, double b) { return b < a ? b : a; }); break;
+    case Opcode::kMaxsd: binsd([](double a, double b) { return a < b ? b : a; }); break;
+    case Opcode::kUcomisd: {
+      const double a = f64_of(read_f64_bits(ins, ins.dst, 0));
+      const double b = f64_of(read_f64_bits(ins, ins.src, 0));
+      flags_.eq = a == b;
+      flags_.lt = flags_.ltu = a < b;
+      break;
+    }
+    case Opcode::kCvtsd2ss: {
+      const double b = f64_of(read_f64_bits(ins, ins.src, 0));
+      xmm_[ins.dst.reg].lo = bits_of(static_cast<float>(b));
+      break;
+    }
+    case Opcode::kCvtss2sd: {
+      std::uint32_t src_bits;
+      if (ins.src.is_xmm()) {
+        src_bits = static_cast<std::uint32_t>(xmm_[ins.src.reg].lo);
+      } else {
+        src_bits = static_cast<std::uint32_t>(
+            load(effective_address(ins.src.mem), 4));
+      }
+      xmm_[ins.dst.reg].lo = bits_of(static_cast<double>(f32_of(src_bits)));
+      break;
+    }
+    case Opcode::kCvtsi2sd:
+      xmm_[ins.dst.reg].lo = bits_of(
+          static_cast<double>(static_cast<std::int64_t>(gpr_[ins.src.reg])));
+      break;
+    case Opcode::kCvttsd2si: {
+      const double v = f64_of(read_f64_bits(ins, ins.src, 0));
+      if (!(v > -9.2e18 && v < 9.2e18)) {
+        trap("cvttsd2si operand out of int64 range");
+      }
+      gpr_[ins.dst.reg] = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(v));
+      break;
+    }
+
+    case Opcode::kAddss: binss([](float a, float b) { return a + b; }); break;
+    case Opcode::kSubss: binss([](float a, float b) { return a - b; }); break;
+    case Opcode::kMulss: binss([](float a, float b) { return a * b; }); break;
+    case Opcode::kDivss: binss([](float a, float b) { return a / b; }); break;
+    case Opcode::kSqrtss: {
+      std::uint32_t src_bits;
+      if (ins.src.is_xmm()) {
+        src_bits = static_cast<std::uint32_t>(xmm_[ins.src.reg].lo);
+      } else {
+        src_bits = static_cast<std::uint32_t>(
+            load(effective_address(ins.src.mem), 4));
+      }
+      xmm_[ins.dst.reg].lo = with_low32(
+          xmm_[ins.dst.reg].lo, bits_of(std::sqrt(f32_of(src_bits))));
+      break;
+    }
+    case Opcode::kMinss: binss([](float a, float b) { return b < a ? b : a; }); break;
+    case Opcode::kMaxss: binss([](float a, float b) { return a < b ? b : a; }); break;
+    case Opcode::kUcomiss: {
+      const float a = f32_of(static_cast<std::uint32_t>(xmm_[ins.dst.reg].lo));
+      std::uint32_t src_bits;
+      if (ins.src.is_xmm()) {
+        src_bits = static_cast<std::uint32_t>(xmm_[ins.src.reg].lo);
+      } else {
+        src_bits = static_cast<std::uint32_t>(
+            load(effective_address(ins.src.mem), 4));
+      }
+      const float b = f32_of(src_bits);
+      flags_.eq = a == b;
+      flags_.lt = flags_.ltu = a < b;
+      break;
+    }
+    case Opcode::kCvtsi2ss:
+      xmm_[ins.dst.reg].lo = with_low32(
+          xmm_[ins.dst.reg].lo,
+          bits_of(static_cast<float>(
+              static_cast<std::int64_t>(gpr_[ins.src.reg]))));
+      break;
+    case Opcode::kCvttss2si: {
+      const float v = f32_of(static_cast<std::uint32_t>(xmm_[ins.src.reg].lo));
+      if (!(v > -9.2e18f && v < 9.2e18f)) {
+        trap("cvttss2si operand out of int64 range");
+      }
+      gpr_[ins.dst.reg] = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(v));
+      break;
+    }
+
+    case Opcode::kAddpd: binpd([](double a, double b) { return a + b; }); break;
+    case Opcode::kSubpd: binpd([](double a, double b) { return a - b; }); break;
+    case Opcode::kMulpd: binpd([](double a, double b) { return a * b; }); break;
+    case Opcode::kDivpd: binpd([](double a, double b) { return a / b; }); break;
+    case Opcode::kSqrtpd: {
+      const double b0 = f64_of(read_f64_bits(ins, ins.src, 0));
+      const double b1 = f64_of(read_f64_bits(ins, ins.src, 1));
+      xmm_[ins.dst.reg].lo = bits_of(std::sqrt(b0));
+      xmm_[ins.dst.reg].hi = bits_of(std::sqrt(b1));
+      break;
+    }
+    case Opcode::kAddps: binps([](float a, float b) { return a + b; }); break;
+    case Opcode::kSubps: binps([](float a, float b) { return a - b; }); break;
+    case Opcode::kMulps: binps([](float a, float b) { return a * b; }); break;
+    case Opcode::kDivps: binps([](float a, float b) { return a / b; }); break;
+    case Opcode::kSqrtps: {
+      std::uint64_t slo, shi;
+      if (ins.src.is_xmm()) {
+        slo = xmm_[ins.src.reg].lo;
+        shi = xmm_[ins.src.reg].hi;
+      } else {
+        const std::uint64_t ea = effective_address(ins.src.mem);
+        slo = load(ea, 8);
+        shi = load(ea + 8, 8);
+      }
+      const auto sqrt_half = [](std::uint64_t s) {
+        const std::uint64_t r0 =
+            bits_of(std::sqrt(f32_of(static_cast<std::uint32_t>(s))));
+        const std::uint64_t r1 =
+            bits_of(std::sqrt(f32_of(static_cast<std::uint32_t>(s >> 32))));
+        return r0 | (r1 << 32);
+      };
+      xmm_[ins.dst.reg].lo = sqrt_half(slo);
+      xmm_[ins.dst.reg].hi = sqrt_half(shi);
+      break;
+    }
+
+    case Opcode::kAndpd: bitop([](std::uint64_t a, std::uint64_t b) { return a & b; }); break;
+    case Opcode::kOrpd: bitop([](std::uint64_t a, std::uint64_t b) { return a | b; }); break;
+    case Opcode::kXorpd: bitop([](std::uint64_t a, std::uint64_t b) { return a ^ b; }); break;
+
+    case Opcode::kIntrin:
+      exec_intrinsic(ins);
+      break;
+
+    default:
+      trap(strformat("unimplemented opcode %s", arch::opcode_name(ins.op)));
+  }
+
+  pc_ = next;
+}
+
+void Machine::exec_intrinsic(const Instr& ins) {
+  const auto id = static_cast<in::Id>(ins.src.imm);
+  if (id >= in::Id::kNumIntrinsics) trap("invalid intrinsic id");
+
+  // f64 math helpers --------------------------------------------------------
+  const auto arg_f64 = [&](int i) {
+    const std::uint64_t bits = xmm_[i].lo;
+    check_not_tagged(ins, bits);
+    return f64_of(bits);
+  };
+  const auto ret_f64 = [&](double v) { xmm_[0].lo = bits_of(v); };
+  // f32 twins: argument and result in the low 32 bits. Each computes the
+  // double-precision function on the widened argument, rounded once -- so an
+  // all-single instrumented run matches a manual single conversion
+  // bit-for-bit (Section 3.1).
+  const auto arg_f32 = [&](int i) {
+    return static_cast<double>(
+        f32_of(static_cast<std::uint32_t>(xmm_[i].lo)));
+  };
+  const auto ret_f32 = [&](double v) {
+    xmm_[0].lo = with_low32(xmm_[0].lo, bits_of(static_cast<float>(v)));
+  };
+
+  switch (id) {
+    case in::Id::kSin: ret_f64(std::sin(arg_f64(0))); break;
+    case in::Id::kCos: ret_f64(std::cos(arg_f64(0))); break;
+    case in::Id::kTan: ret_f64(std::tan(arg_f64(0))); break;
+    case in::Id::kExp: ret_f64(std::exp(arg_f64(0))); break;
+    case in::Id::kLog: ret_f64(std::log(arg_f64(0))); break;
+    case in::Id::kPow: ret_f64(std::pow(arg_f64(0), arg_f64(1))); break;
+    case in::Id::kFloor: ret_f64(std::floor(arg_f64(0))); break;
+    case in::Id::kCeil: ret_f64(std::ceil(arg_f64(0))); break;
+    case in::Id::kFabs: ret_f64(std::fabs(arg_f64(0))); break;
+
+    case in::Id::kSinF32: ret_f32(std::sin(arg_f32(0))); break;
+    case in::Id::kCosF32: ret_f32(std::cos(arg_f32(0))); break;
+    case in::Id::kTanF32: ret_f32(std::tan(arg_f32(0))); break;
+    case in::Id::kExpF32: ret_f32(std::exp(arg_f32(0))); break;
+    case in::Id::kLogF32: ret_f32(std::log(arg_f32(0))); break;
+    case in::Id::kPowF32: ret_f32(std::pow(arg_f32(0), arg_f32(1))); break;
+    case in::Id::kFloorF32: ret_f32(std::floor(arg_f32(0))); break;
+    case in::Id::kCeilF32: ret_f32(std::ceil(arg_f32(0))); break;
+    case in::Id::kFabsF32: ret_f32(std::fabs(arg_f32(0))); break;
+
+    case in::Id::kOutputF64: {
+      const std::uint64_t bits = xmm_[0].lo;
+      check_not_tagged(ins, bits);
+      output_f64_.push_back(f64_of(bits));
+      break;
+    }
+    case in::Id::kOutputI64:
+      output_i64_.push_back(static_cast<std::int64_t>(gpr_[1]));
+      break;
+
+    case in::Id::kPrintF64: {
+      const std::uint64_t bits = xmm_[0].lo;
+      check_not_tagged(ins, bits);
+      std::printf("%.17g\n", f64_of(bits));
+      break;
+    }
+    case in::Id::kPrintI64:
+      std::printf("%lld\n", static_cast<long long>(gpr_[1]));
+      break;
+    case in::Id::kPrintStr: {
+      const std::uint64_t addr = gpr_[1];
+      const std::uint64_t len = gpr_[2];
+      if (addr + len > memory_.size()) trap("print_str out of bounds");
+      std::fwrite(memory_.data() + addr, 1, len, stdout);
+      break;
+    }
+
+    case in::Id::kMpiRank:
+      gpr_[0] = static_cast<std::uint64_t>(options_.rank);
+      break;
+    case in::Id::kMpiSize:
+      gpr_[0] = static_cast<std::uint64_t>(
+          options_.mpi != nullptr ? options_.mpi->size() : 1);
+      break;
+    case in::Id::kMpiBarrier:
+      if (options_.mpi != nullptr) options_.mpi->barrier();
+      break;
+    case in::Id::kMpiAllreduceSum: {
+      const std::uint64_t bits = xmm_[0].lo;
+      check_not_tagged(ins, bits);
+      double v = f64_of(bits);
+      if (options_.mpi != nullptr) v = options_.mpi->allreduce_sum(v);
+      xmm_[0].lo = bits_of(v);
+      break;
+    }
+    case in::Id::kMpiAllreduceMax: {
+      const std::uint64_t bits = xmm_[0].lo;
+      check_not_tagged(ins, bits);
+      double v = f64_of(bits);
+      if (options_.mpi != nullptr) v = options_.mpi->allreduce_max(v);
+      xmm_[0].lo = bits_of(v);
+      break;
+    }
+    case in::Id::kMpiAllreduceVec: {
+      const std::uint64_t addr = gpr_[1];
+      const std::uint64_t count = gpr_[2];
+      if (addr % 8 != 0) trap("mpi_allreduce_vec: unaligned buffer");
+      if (addr + count * 8 > memory_.size()) {
+        trap("mpi_allreduce_vec out of bounds");
+      }
+      auto* data = reinterpret_cast<double*>(memory_.data() + addr);
+      if (options_.tag_trap) {
+        for (std::uint64_t i = 0; i < count; ++i) {
+          check_not_tagged(ins, std::bit_cast<std::uint64_t>(data[i]));
+        }
+      }
+      if (options_.mpi != nullptr) {
+        options_.mpi->allreduce_vec(std::span<double>(data, count));
+      }
+      break;
+    }
+
+    default:
+      trap(strformat("unimplemented intrinsic %s", in::intrin_name(id)));
+  }
+}
+
+std::vector<std::uint8_t> Machine::read_memory(std::uint64_t addr,
+                                               std::size_t size) const {
+  if (addr + size > memory_.size() || addr + size < addr) {
+    throw VmError("read_memory out of bounds");
+  }
+  return std::vector<std::uint8_t>(memory_.begin() +
+                                       static_cast<std::ptrdiff_t>(addr),
+                                   memory_.begin() +
+                                       static_cast<std::ptrdiff_t>(addr +
+                                                                   size));
+}
+
+std::uint64_t Machine::read_memory_u64(std::uint64_t addr) const {
+  if (addr + 8 > memory_.size()) throw VmError("read_memory out of bounds");
+  std::uint64_t v = 0;
+  std::memcpy(&v, memory_.data() + addr, 8);
+  return v;
+}
+
+std::map<std::uint64_t, std::uint64_t> Machine::profile_by_address() const {
+  std::map<std::uint64_t, std::uint64_t> out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] != 0) out[code_[i].addr] = counts_[i];
+  }
+  return out;
+}
+
+std::map<std::uint64_t, std::uint64_t> Machine::profile_by_origin() const {
+  std::map<std::uint64_t, std::uint64_t> out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] != 0) out[image_.origin_of(code_[i].addr)] += counts_[i];
+  }
+  return out;
+}
+
+}  // namespace fpmix::vm

@@ -1,0 +1,144 @@
+// The virtual machine: loads an Image, executes it, profiles it.
+//
+// Responsibilities beyond plain interpretation:
+//  - per-instruction execution counts (the profiling run that drives search
+//    prioritisation and the "dynamic % replaced" column of Figure 10);
+//  - the tag trap: any instruction that *interprets* a 64-bit slot as a
+//    double while the slot carries the 0x7FF4DEAD replacement sentinel stops
+//    the machine with a diagnostic. This realises the paper's design goal
+//    that "anything that our analysis misses causes a crash, which is much
+//    easier to debug than mis-rounded operations";
+//  - the intrinsic table (math library, output channel, mini-MPI).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/instr.hpp"
+#include "program/image.hpp"
+#include "vm/minimpi.hpp"
+
+namespace fpmix::vm {
+
+struct RunResult {
+  enum class Status {
+    kHalted,        // clean stop (halt, or return from the entry function)
+    kTrapped,       // runtime fault; see `trap_message`
+    kOutOfBudget,   // exceeded Options::max_instructions
+  };
+  Status status = Status::kHalted;
+  std::string trap_message;
+  std::uint64_t instructions_retired = 0;
+
+  bool ok() const { return status == Status::kHalted; }
+};
+
+class Machine {
+ public:
+  struct Options {
+    /// Hard cap on retired instructions; infinite loops in broken patched
+    /// binaries must not hang the search.
+    std::uint64_t max_instructions = 1ull << 33;
+
+    /// Detect replaced-double sentinels consumed by double-interpreting
+    /// instructions (see file comment). Disable only in tests that study
+    /// the escape behaviour itself.
+    bool tag_trap = true;
+
+    /// Mini-MPI attachment; nullptr runs as a single rank.
+    MiniMpi* mpi = nullptr;
+    int rank = 0;
+
+    /// Collect per-instruction execution counts.
+    bool profile = true;
+  };
+
+  explicit Machine(const program::Image& image) : Machine(image, Options{}) {}
+  Machine(const program::Image& image, Options options);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  /// Runs from the image entry point to completion. May be called once.
+  RunResult run();
+
+  /// Values emitted through the output_f64 / output_i64 intrinsics; these
+  /// are what verification routines inspect.
+  const std::vector<double>& output_f64() const { return output_f64_; }
+  const std::vector<std::int64_t>& output_i64() const { return output_i64_; }
+
+  std::uint64_t instructions_retired() const { return retired_; }
+
+  /// Execution count per instruction address (this image's addresses).
+  std::map<std::uint64_t, std::uint64_t> profile_by_address() const;
+
+  /// Execution counts attributed to original-program addresses via the
+  /// image's provenance table (identity when the image was never patched).
+  std::map<std::uint64_t, std::uint64_t> profile_by_origin() const;
+
+  /// Reads VM memory (for inspecting analysis areas written by
+  /// instrumentation, e.g. cancellation counters). Throws VmError when the
+  /// range is out of bounds.
+  std::vector<std::uint8_t> read_memory(std::uint64_t addr,
+                                        std::size_t size) const;
+  std::uint64_t read_memory_u64(std::uint64_t addr) const;
+
+ private:
+  struct Xmm {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+  };
+  struct Flags {
+    bool eq = false;
+    bool lt = false;   // signed / FP less-than
+    bool ltu = false;  // unsigned less-than
+  };
+
+  // Internal trap signal; caught by run().
+  struct Trap {
+    std::string message;
+  };
+  [[noreturn]] void trap(std::string message) const;
+
+  // Memory access (bounds-checked).
+  std::uint64_t effective_address(const arch::MemRef& m) const;
+  std::uint64_t load(std::uint64_t addr, unsigned bytes) const;
+  void store(std::uint64_t addr, std::uint64_t value, unsigned bytes);
+
+  // Operand helpers.
+  std::uint64_t int_value(const arch::Operand& op) const;  // gpr or imm
+  std::uint64_t read_f64_bits(const arch::Instr& ins, const arch::Operand& op,
+                              unsigned lane) const;
+  void check_not_tagged(const arch::Instr& ins, std::uint64_t bits) const;
+
+  void exec_intrinsic(const arch::Instr& ins);
+  void push64(std::uint64_t v);
+  std::uint64_t pop64();
+
+  void step(const arch::Instr& ins);
+
+  program::Image image_;
+  Options options_;
+
+  std::vector<arch::Instr> code_;  // decoded; branch/call imms -> indices
+  std::unordered_map<std::uint64_t, std::uint32_t> index_of_addr_;
+
+  std::vector<std::uint8_t> memory_;
+  std::uint64_t gpr_[arch::kNumGprs] = {};
+  Xmm xmm_[arch::kNumXmms];
+  Flags flags_;
+
+  std::size_t pc_ = 0;        // index into code_
+  bool stopped_ = false;
+  std::uint64_t retired_ = 0;
+  std::vector<std::uint64_t> counts_;
+
+  std::vector<double> output_f64_;
+  std::vector<std::int64_t> output_i64_;
+  bool ran_ = false;
+};
+
+}  // namespace fpmix::vm

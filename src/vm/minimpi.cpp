@@ -1,0 +1,65 @@
+#include "vm/minimpi.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace fpmix::vm {
+
+MiniMpi::MiniMpi(int size) : size_(size) { FPMIX_CHECK(size >= 1); }
+
+void MiniMpi::collective(const std::function<void()>& init,
+                         const std::function<void()>& merge,
+                         const std::function<void()>& consume) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // A new phase may not begin while the previous one drains.
+  cv_.wait(lock, [this] { return !draining_; });
+  if (arrived_ == 0 && init) init();
+  if (merge) merge();
+  ++arrived_;
+  if (arrived_ == size_) {
+    draining_ = true;
+    leaving_ = size_;
+    arrived_ = 0;
+    cv_.notify_all();
+  } else {
+    cv_.wait(lock, [this] { return draining_; });
+  }
+  if (consume) consume();
+  if (--leaving_ == 0) {
+    draining_ = false;
+    cv_.notify_all();
+  }
+}
+
+void MiniMpi::barrier() { collective(nullptr, nullptr, nullptr); }
+
+double MiniMpi::allreduce_sum(double x) {
+  double out = 0.0;
+  collective([this] { scalar_ = 0.0; },
+             [this, x] { scalar_ += x; },
+             [this, &out] { out = scalar_; });
+  return out;
+}
+
+double MiniMpi::allreduce_max(double x) {
+  double out = 0.0;
+  collective([this, x] { scalar_ = x; },
+             [this, x] { scalar_ = std::max(scalar_, x); },
+             [this, &out] { out = scalar_; });
+  return out;
+}
+
+void MiniMpi::allreduce_vec(std::span<double> data) {
+  collective(
+      [this, data] { vec_.assign(data.size(), 0.0); },
+      [this, data] {
+        FPMIX_CHECK(vec_.size() == data.size());
+        for (std::size_t i = 0; i < data.size(); ++i) vec_[i] += data[i];
+      },
+      [this, data] {
+        std::copy(vec_.begin(), vec_.end(), data.begin());
+      });
+}
+
+}  // namespace fpmix::vm

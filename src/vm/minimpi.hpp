@@ -1,0 +1,58 @@
+// Mini-MPI: a shared-memory message-passing runtime connecting VM instances.
+//
+// The paper evaluates overhead on MPI versions of the NAS benchmarks
+// (Figure 8). Our virtual programs reach an equivalent runtime through
+// `intrin` instructions; ranks are Machine instances running on their own
+// std::threads and meeting in this communicator. Communication time is real
+// wall time spent blocked -- and is *not* instrumented code -- which is what
+// produces the paper's observation that overhead shrinks as ranks grow.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace fpmix::vm {
+
+class MiniMpi {
+ public:
+  explicit MiniMpi(int size);
+
+  int size() const { return size_; }
+
+  /// Blocks until all ranks arrive.
+  void barrier();
+
+  /// Global sum / max of one double; every rank receives the result.
+  double allreduce_sum(double x);
+  double allreduce_max(double x);
+
+  /// Elementwise global sum of an f64 array; each rank passes a view of its
+  /// own copy and receives the reduced values in place. All ranks must pass
+  /// the same count.
+  void allreduce_vec(std::span<double> data);
+
+ private:
+  // One collective phase: `init` runs on the first arriver, `merge` on every
+  // arriver, `finish` on the last, and `consume` on every rank after
+  // completion -- all under the phase lock, with drain tracking so a fast
+  // rank cannot corrupt a phase other ranks are still reading.
+  void collective(const std::function<void()>& init,
+                  const std::function<void()>& merge,
+                  const std::function<void()>& consume);
+
+  const int size_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int arrived_ = 0;
+  int leaving_ = 0;
+  bool draining_ = false;
+
+  double scalar_ = 0.0;
+  std::vector<double> vec_;
+};
+
+}  // namespace fpmix::vm

@@ -1,0 +1,320 @@
+// Tests for the virtual ISA: opcode classification, operand forms, the
+// binary encoder/decoder, the disassembler, and the replaced-double tag
+// representation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "arch/disasm.hpp"
+#include "arch/encode.hpp"
+#include "arch/intrinsics.hpp"
+#include "arch/tag.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace fpmix::arch {
+namespace {
+
+namespace in = intrinsics;
+
+// ---------------------------------------------------------------------------
+// Opcode table invariants.
+
+TEST(OpcodeTable, EveryOpcodeHasName) {
+  for (int i = 0; i < static_cast<int>(Opcode::kNumOpcodes); ++i) {
+    const auto op = static_cast<Opcode>(i);
+    EXPECT_NE(opcode_name(op), nullptr);
+    EXPECT_GT(std::string_view(opcode_name(op)).size(), 0u);
+  }
+}
+
+TEST(OpcodeTable, SingleTwinsAreConsistent) {
+  // A candidate's twin must not itself be a candidate, and packed opcodes
+  // must map to packed twins.
+  for (int i = 0; i < static_cast<int>(Opcode::kNumOpcodes); ++i) {
+    const auto op = static_cast<Opcode>(i);
+    const OpcodeInfo& info = opcode_info(op);
+    if (!is_replacement_candidate(op)) continue;
+    EXPECT_FALSE(is_replacement_candidate(info.single_twin))
+        << opcode_name(op);
+    EXPECT_GE(info.fp_lanes, 1) << opcode_name(op);
+  }
+}
+
+TEST(OpcodeTable, CandidateSetMatchesPaper) {
+  // The candidate set Pd: scalar and packed double arithmetic, compares and
+  // int conversions -- but never moves (bit-preserving) and never the
+  // single-precision forms.
+  EXPECT_TRUE(is_replacement_candidate(Opcode::kAddsd));
+  EXPECT_TRUE(is_replacement_candidate(Opcode::kDivpd));
+  EXPECT_TRUE(is_replacement_candidate(Opcode::kUcomisd));
+  EXPECT_TRUE(is_replacement_candidate(Opcode::kCvtsi2sd));
+  EXPECT_TRUE(is_replacement_candidate(Opcode::kCvttsd2si));
+  EXPECT_FALSE(is_replacement_candidate(Opcode::kMovsdXM));
+  EXPECT_FALSE(is_replacement_candidate(Opcode::kMovapdXM));
+  EXPECT_FALSE(is_replacement_candidate(Opcode::kAddss));
+  EXPECT_FALSE(is_replacement_candidate(Opcode::kCvtsd2ss));
+  EXPECT_FALSE(is_replacement_candidate(Opcode::kAdd));
+  EXPECT_FALSE(is_replacement_candidate(Opcode::kJmp));
+}
+
+TEST(OpcodeTable, BlockEnders) {
+  EXPECT_TRUE(ends_basic_block(Opcode::kJmp));
+  EXPECT_TRUE(ends_basic_block(Opcode::kJe));
+  EXPECT_TRUE(ends_basic_block(Opcode::kRet));
+  EXPECT_TRUE(ends_basic_block(Opcode::kHalt));
+  EXPECT_FALSE(ends_basic_block(Opcode::kCall));  // calls stay inside blocks
+  EXPECT_FALSE(ends_basic_block(Opcode::kAddsd));
+}
+
+TEST(IntrinsicTable, TwinsAndFpClassification) {
+  EXPECT_TRUE(in::intrin_has_f32_twin(in::Id::kSin));
+  EXPECT_TRUE(in::intrin_has_f32_twin(in::Id::kPow));
+  EXPECT_FALSE(in::intrin_has_f32_twin(in::Id::kSinF32));
+  EXPECT_FALSE(in::intrin_has_f32_twin(in::Id::kMpiAllreduceSum));
+  EXPECT_TRUE(in::intrin_touches_fp(in::Id::kOutputF64));
+  EXPECT_TRUE(in::intrin_touches_fp(in::Id::kMpiAllreduceSum));
+  EXPECT_FALSE(in::intrin_touches_fp(in::Id::kMpiBarrier));
+  EXPECT_FALSE(in::intrin_touches_fp(in::Id::kOutputI64));
+}
+
+// ---------------------------------------------------------------------------
+// Replaced-double representation (Figure 5).
+
+TEST(Tag, RoundTrip) {
+  const float f = 3.14159f;
+  const std::uint64_t boxed = make_tagged(f);
+  EXPECT_TRUE(is_tagged(boxed));
+  EXPECT_EQ(tagged_float(boxed), f);
+  EXPECT_EQ(boxed >> 32, 0x7FF4DEADull);
+}
+
+TEST(Tag, DowncastRoundsOnce) {
+  const double d = 1.0 / 3.0;
+  const std::uint64_t boxed = downcast_to_tagged(d);
+  EXPECT_EQ(tagged_float(boxed), static_cast<float>(d));
+  EXPECT_EQ(tagged_to_double(boxed),
+            static_cast<double>(static_cast<float>(d)));
+}
+
+TEST(Tag, SentinelIsNaN) {
+  // The boxed pattern must decode as a NaN when misread as a double, so
+  // escapes poison downstream arithmetic instead of silently mis-rounding.
+  const std::uint64_t boxed = make_tagged(42.0f);
+  const double as_double = std::bit_cast<double>(boxed);
+  EXPECT_TRUE(std::isnan(as_double));
+}
+
+TEST(Tag, OrdinaryDoublesAreNotTagged) {
+  for (double d : {0.0, 1.0, -1.0, 1e300, -1e-300, 3.14159e7}) {
+    EXPECT_FALSE(is_tagged(std::bit_cast<std::uint64_t>(d))) << d;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Encoder / decoder round trips.
+
+std::vector<Instr> representative_instrs() {
+  using Op = Operand;
+  std::vector<Instr> v;
+  v.push_back(make0(Opcode::kNop));
+  v.push_back(make0(Opcode::kHalt));
+  v.push_back(make0(Opcode::kRet));
+  v.push_back(make2(Opcode::kJmp, Op::none(), Op::make_imm(0x400123)));
+  v.push_back(make2(Opcode::kJne, Op::none(), Op::make_imm(0x400001)));
+  v.push_back(make2(Opcode::kCall, Op::none(), Op::make_imm(0x400400)));
+  v.push_back(make2(Opcode::kMov, Op::gpr(3), Op::make_imm(-12345)));
+  v.push_back(make2(Opcode::kMov, Op::gpr(3), Op::gpr(7)));
+  v.push_back(make2(Opcode::kLoad, Op::gpr(2), Op::mem_bd(1, 64)));
+  v.push_back(make2(Opcode::kStore, Op::mem_bisd(1, 2, 8, -8), Op::gpr(0)));
+  v.push_back(make2(Opcode::kLea, Op::gpr(4), Op::mem_abs(0x800000)));
+  v.push_back(make2(Opcode::kAdd, Op::gpr(1), Op::make_imm(8)));
+  v.push_back(make2(Opcode::kCmp, Op::gpr(1), Op::gpr(2)));
+  v.push_back(make1(Opcode::kPush, Op::gpr(0)));
+  v.push_back(make1(Opcode::kPop, Op::gpr(0)));
+  v.push_back(make2(Opcode::kMovqXR, Op::xmm(15), Op::gpr(0)));
+  v.push_back(make2(Opcode::kMovqRX, Op::gpr(0), Op::xmm(15)));
+  v.push_back(make2(Opcode::kMovsdXM, Op::xmm(0), Op::mem_bd(1, 0)));
+  v.push_back(make2(Opcode::kMovsdMX, Op::mem_bd(1, 0), Op::xmm(0)));
+  v.push_back(make2(Opcode::kMovapdXM, Op::xmm(3), Op::mem_bisd(1, 2, 8, 0)));
+  v.push_back(make1(Opcode::kPushX, Op::xmm(14)));
+  v.push_back(make1(Opcode::kPopX, Op::xmm(14)));
+  v.push_back(make2(Opcode::kAddsd, Op::xmm(0), Op::xmm(1)));
+  v.push_back(make2(Opcode::kMulsd, Op::xmm(2), Op::mem_bd(5, 16)));
+  v.push_back(make2(Opcode::kSqrtsd, Op::xmm(1), Op::xmm(1)));
+  v.push_back(make2(Opcode::kUcomisd, Op::xmm(0), Op::xmm(1)));
+  v.push_back(make2(Opcode::kCvtsd2ss, Op::xmm(0), Op::xmm(0)));
+  v.push_back(make2(Opcode::kCvtss2sd, Op::xmm(0), Op::xmm(0)));
+  v.push_back(make2(Opcode::kCvtsi2sd, Op::xmm(0), Op::gpr(1)));
+  v.push_back(make2(Opcode::kCvttsd2si, Op::gpr(1), Op::xmm(0)));
+  v.push_back(make2(Opcode::kAddss, Op::xmm(0), Op::xmm(1)));
+  v.push_back(make2(Opcode::kAddpd, Op::xmm(0), Op::xmm(1)));
+  v.push_back(make2(Opcode::kMulps, Op::xmm(7), Op::mem_bd(3, 32)));
+  v.push_back(make2(Opcode::kAndpd, Op::xmm(0), Op::xmm(1)));
+  v.push_back(make2(Opcode::kIntrin, Op::none(),
+                    Op::make_imm(static_cast<std::int64_t>(in::Id::kSin))));
+  return v;
+}
+
+TEST(Encode, RoundTripRepresentative) {
+  const std::vector<Instr> instrs = representative_instrs();
+  std::vector<std::uint8_t> bytes;
+  for (const Instr& ins : instrs) encode(ins, &bytes);
+
+  std::vector<Instr> decoded = decode_all(bytes, 0x400000);
+  ASSERT_EQ(decoded.size(), instrs.size());
+  for (std::size_t i = 0; i < instrs.size(); ++i) {
+    EXPECT_EQ(decoded[i], instrs[i]) << "instr " << i << ": "
+                                     << instr_to_string(instrs[i]);
+  }
+}
+
+TEST(Encode, SizesAreSelfConsistent) {
+  for (const Instr& ins : representative_instrs()) {
+    std::vector<std::uint8_t> bytes;
+    encode(ins, &bytes);
+    EXPECT_EQ(bytes.size(), encoded_size(ins)) << instr_to_string(ins);
+  }
+}
+
+TEST(Encode, AddressesAssignedSequentially) {
+  const std::vector<Instr> instrs = representative_instrs();
+  std::vector<std::uint8_t> bytes;
+  for (const Instr& ins : instrs) encode(ins, &bytes);
+  const std::vector<Instr> decoded = decode_all(bytes, 0x1000);
+  std::uint64_t expect = 0x1000;
+  for (const Instr& ins : decoded) {
+    EXPECT_EQ(ins.addr, expect);
+    EXPECT_EQ(ins.origin, ins.addr);  // fresh decode: identity provenance
+    expect += ins.size;
+  }
+}
+
+// Property sweep: random (but valid) instructions survive the round trip.
+class EncodeRandomSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncodeRandomSweep, RoundTrip) {
+  SplitMix64 rng(0xC0FFEE + static_cast<std::uint64_t>(GetParam()));
+  std::vector<Instr> instrs;
+  const std::vector<Instr> reps = representative_instrs();
+  for (int i = 0; i < 200; ++i) {
+    Instr ins = reps[rng.next_below(reps.size())];
+    // Perturb register numbers and displacements within valid ranges.
+    const auto perturb = [&](Operand* op) {
+      switch (op->kind) {
+        case OperandKind::kGpr:
+        case OperandKind::kXmm:
+          op->reg = static_cast<std::uint8_t>(rng.next_below(16));
+          break;
+        case OperandKind::kImm:
+          if (!opcode_info(ins.op).is_branch &&
+              !opcode_info(ins.op).is_call && ins.op != Opcode::kIntrin) {
+            op->imm = static_cast<std::int64_t>(rng.next_u64());
+          }
+          break;
+        case OperandKind::kMem: {
+          op->mem.base = static_cast<std::uint8_t>(rng.next_below(16));
+          const std::uint8_t scales[4] = {1, 2, 4, 8};
+          if (rng.next_below(2) == 0) {
+            op->mem.index = static_cast<std::uint8_t>(rng.next_below(16));
+            op->mem.scale = scales[rng.next_below(4)];
+          } else {
+            op->mem.index = kNoReg;
+            op->mem.scale = 1;
+          }
+          op->mem.disp = static_cast<std::int32_t>(rng.next_u64());
+          break;
+        }
+        default:
+          break;
+      }
+    };
+    perturb(&ins.dst);
+    perturb(&ins.src);
+    instrs.push_back(ins);
+  }
+  std::vector<std::uint8_t> bytes;
+  for (const Instr& ins : instrs) encode(ins, &bytes);
+  const std::vector<Instr> decoded = decode_all(bytes, 0x400000);
+  ASSERT_EQ(decoded.size(), instrs.size());
+  for (std::size_t i = 0; i < instrs.size(); ++i) {
+    EXPECT_EQ(decoded[i], instrs[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodeRandomSweep, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// Validation rejections.
+
+TEST(Encode, RejectsIllegalForms) {
+  std::vector<std::uint8_t> bytes;
+  // Immediate destination for add.
+  EXPECT_THROW(encode(make2(Opcode::kAdd, Operand::make_imm(1),
+                            Operand::gpr(0)), &bytes),
+               DecodeError);
+  // addsd with a GPR operand.
+  EXPECT_THROW(encode(make2(Opcode::kAddsd, Operand::xmm(0), Operand::gpr(1)),
+                      &bytes),
+               DecodeError);
+  // mov into memory must use store.
+  EXPECT_THROW(
+      encode(make2(Opcode::kMov, Operand::mem_bd(0, 0), Operand::gpr(1)),
+             &bytes),
+      DecodeError);
+  // Out-of-range register.
+  EXPECT_THROW(encode(make2(Opcode::kMov, Operand::gpr(16),
+                            Operand::make_imm(0)), &bytes),
+               DecodeError);
+}
+
+TEST(Decode, RejectsMalformedBytes) {
+  // Unknown opcode byte.
+  std::vector<std::uint8_t> bad = {0xEE, 0x00};
+  Instr out;
+  EXPECT_THROW(decode(bad, 0, 0, &out), DecodeError);
+  // Truncated immediate.
+  std::vector<std::uint8_t> ok;
+  encode(make2(Opcode::kMov, Operand::gpr(0), Operand::make_imm(42)), &ok);
+  ok.resize(ok.size() - 2);
+  EXPECT_THROW(decode(ok, 0, 0, &out), DecodeError);
+  // Invalid operand form nibble.
+  std::vector<std::uint8_t> badform = {
+      static_cast<std::uint8_t>(Opcode::kNop), 0x77};
+  EXPECT_THROW(decode(badform, 0, 0, &out), DecodeError);
+  // Bad mem scale.
+  std::vector<std::uint8_t> memop;
+  encode(make2(Opcode::kLoad, Operand::gpr(0), Operand::mem_bd(1, 0)), &memop);
+  memop[5] = 3;  // scale byte (op, form, reg, base, index, scale)
+  EXPECT_THROW(decode(memop, 0, 0, &out), DecodeError);
+}
+
+// ---------------------------------------------------------------------------
+// Disassembler output (shape only; exact format is an interface with the
+// configuration files).
+
+TEST(Disasm, KnownPatterns) {
+  EXPECT_EQ(instr_to_string(make2(Opcode::kAddsd, Operand::xmm(0),
+                                  Operand::xmm(1))),
+            "addsd xmm0, xmm1");
+  EXPECT_EQ(instr_to_string(make2(Opcode::kMov, Operand::gpr(3),
+                                  Operand::make_imm(42))),
+            "mov r3, 42");
+  EXPECT_EQ(instr_to_string(make2(Opcode::kLoad, Operand::gpr(2),
+                                  Operand::mem_bisd(1, 2, 8, 16))),
+            "load r2, [r1+r2*8+16]");
+  EXPECT_EQ(instr_to_string(make2(Opcode::kJne, Operand::none(),
+                                  Operand::make_imm(0x400100))),
+            "jne 0x400100");
+  EXPECT_EQ(instr_to_string(
+                make2(Opcode::kIntrin, Operand::none(),
+                      Operand::make_imm(static_cast<std::int64_t>(
+                          in::Id::kOutputF64)))),
+            "intrin output_f64");
+  EXPECT_EQ(instr_to_string(make1(Opcode::kPush, Operand::gpr(15))),
+            "push sp");
+}
+
+}  // namespace
+}  // namespace fpmix::arch

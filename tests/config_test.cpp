@@ -1,0 +1,242 @@
+// Tests for precision configurations: structure indexing, hierarchical
+// override semantics, union composition, statistics, and the Figure-3 text
+// exchange format.
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "config/config.hpp"
+#include "config/structure.hpp"
+#include "config/textio.hpp"
+#include "program/layout.hpp"
+#include "support/error.hpp"
+
+namespace fpmix::config {
+namespace {
+
+using arch::Opcode;
+using arch::Operand;
+namespace in = arch::intrinsics;
+
+// Two modules, three functions, blocks with FP candidates and plain code.
+program::Program make_test_program() {
+  casm::Assembler a;
+
+  a.begin_function("kernel", "solver");
+  a.emit(Opcode::kAddsd, Operand::xmm(0), Operand::xmm(1));
+  a.emit(Opcode::kMulsd, Operand::xmm(0), Operand::xmm(2));
+  auto l = a.new_label();
+  a.emit(Opcode::kCmp, Operand::gpr(2), Operand::make_imm(0));
+  a.je(l);
+  a.emit(Opcode::kDivsd, Operand::xmm(0), Operand::xmm(3));
+  a.bind(l);
+  a.emit(Opcode::kSubsd, Operand::xmm(0), Operand::xmm(1));
+  a.ret();
+  a.end_function();
+
+  a.begin_function("rand", "solver");
+  a.emit(Opcode::kMulsd, Operand::xmm(0), Operand::xmm(0));
+  a.intrin(in::Id::kFloor);
+  a.ret();
+  a.end_function();
+
+  a.begin_function("main", "main");
+  a.emit(Opcode::kCvtsi2sd, Operand::xmm(0), Operand::gpr(1));
+  a.call("kernel");
+  a.call("rand");
+  a.intrin(in::Id::kOutputF64);
+  a.halt();
+  a.end_function();
+
+  return program::lift(program::relayout(a.finish("main")));
+}
+
+TEST(StructureIndex, BuildsHierarchy) {
+  const program::Program prog = make_test_program();
+  const StructureIndex ix = StructureIndex::build(prog);
+
+  ASSERT_EQ(ix.modules().size(), 2u);
+  EXPECT_EQ(ix.modules()[0].name, "solver");
+  EXPECT_EQ(ix.modules()[1].name, "main");
+  ASSERT_EQ(ix.funcs().size(), 3u);
+  EXPECT_EQ(ix.funcs()[0].name, "kernel");
+
+  // Candidates: kernel has addsd, mulsd, divsd, subsd = 4; rand has mulsd +
+  // floor intrinsic = 2; main has cvtsi2sd = 1.
+  EXPECT_EQ(ix.funcs()[0].candidates.size(), 4u);
+  EXPECT_EQ(ix.funcs()[1].candidates.size(), 2u);
+  EXPECT_EQ(ix.funcs()[2].candidates.size(), 1u);
+  EXPECT_EQ(ix.candidates().size(), 7u);
+  EXPECT_EQ(ix.modules()[0].candidates.size(), 6u);
+
+  // output_f64 is FP-touching but not a candidate (no narrowing twin).
+  std::size_t out_touching = 0;
+  for (const auto& ie : ix.instrs()) {
+    if (ie.fp_touching && !ie.candidate) ++out_touching;
+  }
+  EXPECT_EQ(out_touching, 1u);
+}
+
+TEST(StructureIndex, LookupsAndErrors) {
+  const StructureIndex ix = StructureIndex::build(make_test_program());
+  EXPECT_EQ(ix.func_named("rand"), 1u);
+  EXPECT_EQ(ix.module_named("main"), 1u);
+  EXPECT_THROW(ix.func_named("nope"), ConfigError);
+  EXPECT_THROW(ix.module_named("nope"), ConfigError);
+  EXPECT_THROW(ix.instr_at(0xdeadbeef), ConfigError);
+  const std::uint64_t addr = ix.instrs()[3].addr;
+  EXPECT_EQ(ix.instr_at(addr), 3u);
+}
+
+TEST(PrecisionConfig, DefaultIsAllDouble) {
+  const StructureIndex ix = StructureIndex::build(make_test_program());
+  const PrecisionConfig cfg;
+  EXPECT_TRUE(cfg.is_all_double(ix));
+  for (std::size_t i : ix.candidates()) {
+    EXPECT_EQ(cfg.resolve(ix, i), Precision::kDouble);
+  }
+}
+
+TEST(PrecisionConfig, AggregateOverridesChildren) {
+  const StructureIndex ix = StructureIndex::build(make_test_program());
+  PrecisionConfig cfg;
+
+  // Flag one instruction single, then its function double: the function
+  // flag wins (paper: aggregate overrides children).
+  const std::size_t victim = ix.funcs()[0].candidates[1];
+  cfg.set_instr(victim, Precision::kSingle);
+  EXPECT_EQ(cfg.resolve(ix, victim), Precision::kSingle);
+  cfg.set_func(0, Precision::kDouble);
+  EXPECT_EQ(cfg.resolve(ix, victim), Precision::kDouble);
+  // Module flag overrides the function flag.
+  cfg.set_module(ix.module_named("solver"), Precision::kSingle);
+  EXPECT_EQ(cfg.resolve(ix, victim), Precision::kSingle);
+  // Clearing restores the child flag.
+  cfg.set_module(ix.module_named("solver"), std::nullopt);
+  cfg.set_func(0, std::nullopt);
+  EXPECT_EQ(cfg.resolve(ix, victim), Precision::kSingle);
+}
+
+TEST(PrecisionConfig, BlockFlagCoversItsInstructions) {
+  const StructureIndex ix = StructureIndex::build(make_test_program());
+  PrecisionConfig cfg;
+  const std::size_t some_candidate = ix.funcs()[0].candidates[0];
+  const std::size_t blk = ix.instrs()[some_candidate].block;
+  cfg.set_block(blk, Precision::kSingle);
+  for (std::size_t i : ix.blocks()[blk].candidates) {
+    EXPECT_EQ(cfg.resolve(ix, i), Precision::kSingle);
+  }
+  // Instructions in other blocks are untouched.
+  for (std::size_t i : ix.candidates()) {
+    if (ix.instrs()[i].block != blk) {
+      EXPECT_EQ(cfg.resolve(ix, i), Precision::kDouble);
+    }
+  }
+}
+
+TEST(PrecisionConfig, MergeUnion) {
+  const StructureIndex ix = StructureIndex::build(make_test_program());
+  PrecisionConfig a, b;
+  a.set_func(0, Precision::kSingle);
+  b.set_func(1, Precision::kIgnore);
+  b.set_instr(ix.funcs()[2].candidates[0], Precision::kSingle);
+  a.merge_union(b);
+  EXPECT_EQ(a.func_flag(0), Precision::kSingle);
+  EXPECT_EQ(a.func_flag(1), Precision::kIgnore);
+  EXPECT_EQ(a.instr_flag(ix.funcs()[2].candidates[0]), Precision::kSingle);
+  EXPECT_FALSE(a.is_all_double(ix));
+}
+
+TEST(PrecisionConfig, StatsFollowProfile) {
+  const StructureIndex ix = StructureIndex::build(make_test_program());
+  StructureIndex mutable_ix = ix;
+  // Synthetic profile: every candidate ran 10x except the ones in function
+  // "rand" which ran 1000x.
+  std::map<std::uint64_t, std::uint64_t> prof;
+  for (const auto& ie : mutable_ix.instrs()) {
+    prof[ie.addr] = 10;
+  }
+  for (std::size_t i : mutable_ix.funcs()[1].candidates) {
+    prof[mutable_ix.instrs()[i].addr] = 1000;
+  }
+  mutable_ix.apply_profile(prof);
+
+  PrecisionConfig cfg;
+  cfg.set_func(1, Precision::kSingle);  // replace "rand" only
+  const ReplacementStats st = replacement_stats(mutable_ix, cfg);
+  EXPECT_EQ(st.candidates, 7u);
+  EXPECT_EQ(st.replaced_static, 2u);
+  EXPECT_NEAR(st.static_pct, 100.0 * 2 / 7, 1e-9);
+  EXPECT_EQ(st.exec_total, 5u * 10 + 2u * 1000);
+  EXPECT_EQ(st.exec_replaced, 2000u);
+  EXPECT_NEAR(st.dynamic_pct, 100.0 * 2000 / 2050, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Text format.
+
+TEST(TextFormat, RoundTrip) {
+  const StructureIndex ix = StructureIndex::build(make_test_program());
+  PrecisionConfig cfg;
+  cfg.set_module(0, Precision::kSingle);
+  cfg.set_func(1, Precision::kIgnore);
+  cfg.set_instr(ix.funcs()[0].candidates[2], Precision::kDouble);
+  const std::size_t blk = ix.instrs()[ix.funcs()[0].candidates[0]].block;
+  cfg.set_block(blk, Precision::kSingle);
+
+  const std::string text = to_text(ix, cfg);
+  const PrecisionConfig parsed = from_text(ix, text);
+  EXPECT_EQ(parsed, cfg);
+  // Round-trip is a fixed point of serialization too.
+  EXPECT_EQ(to_text(ix, parsed), text);
+}
+
+TEST(TextFormat, EmptyConfigRoundTrips) {
+  const StructureIndex ix = StructureIndex::build(make_test_program());
+  const PrecisionConfig cfg;
+  EXPECT_EQ(from_text(ix, to_text(ix, cfg)), cfg);
+}
+
+TEST(TextFormat, LooksLikeFigure3) {
+  const StructureIndex ix = StructureIndex::build(make_test_program());
+  PrecisionConfig cfg;
+  cfg.set_func(2, Precision::kSingle);
+  const std::string text = to_text(ix, cfg);
+  EXPECT_NE(text.find("MODULE solver"), std::string::npos);
+  EXPECT_NE(text.find("FUNC01: kernel"), std::string::npos);
+  EXPECT_NE(text.find("BBLK"), std::string::npos);
+  EXPECT_NE(text.find("INSN"), std::string::npos);
+  EXPECT_NE(text.find("\"addsd xmm0, xmm1\""), std::string::npos);
+  // The flag character sits in column 1 of the flagged FUNC line.
+  const auto pos = text.find("FUNC03: main");
+  ASSERT_NE(pos, std::string::npos);
+  const auto line_start = text.rfind('\n', pos) + 1;
+  EXPECT_EQ(text[line_start], 's');
+}
+
+TEST(TextFormat, ParserRejectsGarbage) {
+  const StructureIndex ix = StructureIndex::build(make_test_program());
+  EXPECT_THROW(from_text(ix, "x MODULE solver\n"), ConfigError);      // flag
+  EXPECT_THROW(from_text(ix, "  MODULE nope\n"), ConfigError);        // name
+  EXPECT_THROW(from_text(ix, "  FUNC01: kernel\n"), ConfigError);     // scope
+  EXPECT_THROW(from_text(ix, "  WIDGET foo\n"), ConfigError);         // entity
+  EXPECT_THROW(from_text(ix, "  MODULE solver\n  FUNC01: main\n"),
+               ConfigError);  // main is not in module solver
+  EXPECT_THROW(
+      from_text(ix, "  MODULE solver\n  FUNC01: kernel\n  BBLK01: 0x1\n"),
+      ConfigError);  // unknown block address
+}
+
+TEST(TextFormat, CommentsAndBlanksIgnored) {
+  const StructureIndex ix = StructureIndex::build(make_test_program());
+  const std::string text =
+      "# header comment\n"
+      "\n"
+      "  MODULE solver\n"
+      "  # another comment\n"
+      "s   FUNC01: kernel\n";
+  const PrecisionConfig cfg = from_text(ix, text);
+  EXPECT_EQ(cfg.func_flag(0), Precision::kSingle);
+}
+
+}  // namespace
+}  // namespace fpmix::config

@@ -1,0 +1,258 @@
+// Tests for the kernel mini-language and its code generator: numeric
+// equivalence with host semantics in both modes, control flow, arrays,
+// functions, and the Section 3.1 property that an instrumented all-single
+// binary is bit-identical to the manually converted (Mode::kSingle) build.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "config/config.hpp"
+#include "instrument/patch.hpp"
+#include "lang/builder.hpp"
+#include "lang/compile.hpp"
+#include "program/layout.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "vm/machine.hpp"
+
+namespace fpmix::lang {
+namespace {
+
+std::vector<double> run_model(const ProgramModel& model, Mode mode,
+                              vm::RunResult* rr = nullptr) {
+  const program::Image img = program::relayout(compile(model, mode));
+  vm::Machine m(img);
+  const vm::RunResult r = m.run();
+  if (rr != nullptr) *rr = r;
+  else EXPECT_TRUE(r.ok()) << r.trap_message;
+  return m.output_f64();
+}
+
+TEST(Lang, ArithmeticAndPrecedence) {
+  Builder b;
+  b.begin_func("main", "m");
+  auto x = b.var_f64("x");
+  b.set(x, (b.cf(3.0) + b.cf(4.0)) * b.cf(2.0) - b.cf(1.0) / b.cf(4.0));
+  b.output(x);
+  b.output(sqrt_(b.cf(2.0)));
+  b.output(min_(b.cf(3.0), b.cf(-7.0)));
+  b.output(max_(b.cf(3.0), b.cf(-7.0)));
+  b.output(fabs_(b.cf(-2.5)));
+  b.output(-b.cf(6.25));
+  b.end_func();
+  const auto out = run_model(b.model(), Mode::kDouble);
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_EQ(out[0], 13.75);
+  EXPECT_EQ(out[1], std::sqrt(2.0));
+  EXPECT_EQ(out[2], -7.0);
+  EXPECT_EQ(out[3], 3.0);
+  EXPECT_EQ(out[4], 2.5);
+  EXPECT_EQ(out[5], -6.25);
+}
+
+TEST(Lang, IntegerOpsAndCasts) {
+  Builder b;
+  b.begin_func("main", "m");
+  auto i = b.var_i64("i");
+  b.set(i, (b.ci(17) * b.ci(3)) % b.ci(7));  // 51 % 7 = 2
+  b.output_i(i);
+  b.output_i(b.ci(40) / b.ci(6));            // 6
+  b.output_i((b.ci(1) << b.ci(10)) - b.ci(1));
+  b.output_i(b.ci(0xF0) >> b.ci(4));
+  b.output_i((b.ci(0b1100) & b.ci(0b1010)) | b.ci(1));
+  b.output(to_f64(b.ci(-9)));
+  b.output_i(to_i64(b.cf(7.9)));             // truncation -> 7
+  b.end_func();
+  const program::Image img = program::relayout(compile(b.model(),
+                                                       Mode::kDouble));
+  vm::Machine m(img);
+  ASSERT_TRUE(m.run().ok());
+  const auto& oi = m.output_i64();
+  ASSERT_EQ(oi.size(), 6u);
+  EXPECT_EQ(oi[5], 7);
+  EXPECT_EQ(oi[0], 2);
+  EXPECT_EQ(oi[1], 6);
+  EXPECT_EQ(oi[2], 1023);
+  EXPECT_EQ(oi[3], 15);
+  EXPECT_EQ(oi[4], 9);
+  EXPECT_EQ(oi[5], 7);
+  ASSERT_EQ(m.output_f64().size(), 1u);
+  EXPECT_EQ(m.output_f64()[0], -9.0);
+}
+
+TEST(Lang, LoopsAndConditionals) {
+  // Sum of odd squares below 20, via if_ inside for_.
+  Builder b;
+  b.begin_func("main", "m");
+  auto i = b.var_i64("i");
+  auto acc = b.var_f64("acc");
+  b.set(acc, b.cf(0.0));
+  b.for_(i, b.ci(0), b.ci(20), [&] {
+    b.if_(Expr(i) % b.ci(2) == b.ci(1), [&] {
+      b.set(acc, Expr(acc) + to_f64(Expr(i) * Expr(i)));
+    });
+  });
+  b.output(acc);
+  // while_ countdown.
+  auto k = b.var_i64("k");
+  auto n = b.var_i64("n");
+  b.set(k, b.ci(10));
+  b.set(n, b.ci(0));
+  b.while_(Expr(k) > b.ci(0), [&] {
+    b.set(n, Expr(n) + Expr(k));
+    b.set(k, Expr(k) - b.ci(1));
+  });
+  b.output_i(n);
+  // if_else.
+  b.if_else(b.cf(1.0) < b.cf(2.0), [&] { b.output(b.cf(111.0)); },
+            [&] { b.output(b.cf(222.0)); });
+  b.end_func();
+
+  const program::Image img = program::relayout(compile(b.model(),
+                                                       Mode::kDouble));
+  vm::Machine m(img);
+  ASSERT_TRUE(m.run().ok());
+  double expect = 0;
+  for (int v = 1; v < 20; v += 2) expect += double(v) * v;
+  ASSERT_EQ(m.output_f64().size(), 2u);
+  EXPECT_EQ(m.output_f64()[0], expect);
+  EXPECT_EQ(m.output_i64().at(0), 55);
+  EXPECT_EQ(m.output_f64()[1], 111.0);
+}
+
+TEST(Lang, ArraysAndConstArrays) {
+  std::vector<double> data = {1.5, -2.25, 3.75, 0.5};
+  Builder b;
+  b.begin_func("main", "m");
+  auto src = b.const_array_f64("src", data);
+  auto dst = b.array_f64("dst", 4);
+  auto idx = b.const_array_i64("perm", {3, 2, 1, 0});
+  auto i = b.var_i64("i");
+  b.for_(i, b.ci(0), b.ci(4), [&] {
+    b.store(dst, Expr(i), src[idx[Expr(i)]] * b.cf(2.0));
+  });
+  b.for_(i, b.ci(0), b.ci(4), [&] { b.output(dst[Expr(i)]); });
+  b.end_func();
+  const auto out = run_model(b.model(), Mode::kDouble);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], 1.0);
+  EXPECT_EQ(out[1], 7.5);
+  EXPECT_EQ(out[2], -4.5);
+  EXPECT_EQ(out[3], 3.0);
+}
+
+TEST(Lang, FunctionsCommunicateViaGlobals) {
+  Builder b;
+  auto arg = b.var_f64("arg");
+  auto res = b.var_f64("res");
+  b.begin_func("cube", "libk");
+  b.set(res, Expr(arg) * Expr(arg) * Expr(arg));
+  b.end_func();
+  b.begin_func("main", "m");
+  b.set(arg, b.cf(3.0));
+  b.call("cube");
+  b.output(res);
+  b.end_func();
+  const auto out = run_model(b.model(), Mode::kDouble);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 27.0);
+}
+
+TEST(Lang, SingleModeRoundsLikeFloat) {
+  Builder b;
+  b.begin_func("main", "m");
+  auto x = b.var_f64("x");
+  b.set(x, b.cf(1.0) / b.cf(3.0));
+  b.set(x, Expr(x) + b.cf(1.0e-9));
+  b.output(x);
+  b.output(sin_(b.cf(0.7)));
+  b.end_func();
+
+  const auto out = run_model(b.model(), Mode::kSingle);
+  ASSERT_EQ(out.size(), 2u);
+  const float fx = 1.0f / 3.0f + 1.0e-9f;
+  EXPECT_EQ(out[0], static_cast<double>(fx));
+  const float fs = static_cast<float>(std::sin(static_cast<double>(0.7f)));
+  EXPECT_EQ(out[1], static_cast<double>(fs));
+}
+
+// The central Section 3.1 property, now at mini-language level: instrumented
+// all-single double binary == manually converted single binary, bit-for-bit.
+ProgramModel mixed_workload() {
+  Builder b;
+  b.begin_func("main", "m");
+  auto i = b.var_i64("i");
+  auto acc = b.var_f64("acc");
+  auto v = b.array_f64("v", 32);
+  b.set(acc, b.cf(0.0));
+  b.for_(i, b.ci(0), b.ci(32), [&] {
+    b.store(v, Expr(i),
+            to_f64(Expr(i)) * b.cf(0.37) + sqrt_(to_f64(Expr(i) + b.ci(1))));
+  });
+  b.for_(i, b.ci(0), b.ci(32), [&] {
+    b.if_(v[Expr(i)] > b.cf(2.0), [&] {
+      b.set(acc, Expr(acc) + v[Expr(i)] / b.cf(1.7));
+    });
+  });
+  b.output(acc);
+  b.end_func();
+  Builder* leak = nullptr;
+  (void)leak;
+  return b.take_model();
+}
+
+TEST(Lang, InstrumentedAllSingleMatchesManualConversion) {
+  const ProgramModel model = mixed_workload();
+
+  // Manually converted build.
+  const std::vector<double> manual = run_model(model, Mode::kSingle);
+
+  // Instrumented all-single build of the double binary.
+  const program::Image orig =
+      program::relayout(compile(model, Mode::kDouble));
+  const program::Program lifted = program::lift(orig);
+  const config::StructureIndex ix = config::StructureIndex::build(lifted);
+  config::PrecisionConfig cfg;
+  for (std::size_t m = 0; m < ix.modules().size(); ++m) {
+    cfg.set_module(m, config::Precision::kSingle);
+  }
+  const program::Image patched = instrument::instrument_image(orig, ix, cfg);
+  vm::Machine m(patched);
+  ASSERT_TRUE(m.run().ok());
+  const std::vector<double>& inst = m.output_f64();
+
+  ASSERT_EQ(inst.size(), manual.size());
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(inst[i]),
+              std::bit_cast<std::uint64_t>(manual[i]))
+        << "output " << i << ": instrumented " << inst[i] << " vs manual "
+        << manual[i];
+  }
+}
+
+TEST(Lang, TypeErrorsRejected) {
+  Builder b;
+  EXPECT_THROW((void)(b.cf(1.0) + b.ci(1)), ProgramError);
+  EXPECT_THROW((void)(b.ci(1) % b.cf(1.0)), ProgramError);
+  EXPECT_THROW((void)sqrt_(b.ci(4)), ProgramError);
+  EXPECT_THROW((void)to_f64(b.cf(1.0)), ProgramError);
+  EXPECT_THROW((void)to_i64(b.ci(1)), ProgramError);
+  EXPECT_THROW((void)(b.cf(1.0) < b.ci(1)), ProgramError);
+  auto a = b.array_f64("a", 4);
+  EXPECT_THROW((void)a[b.cf(0.0)], ProgramError);
+  b.begin_func("main", "m");
+  auto x = b.var_f64("x");
+  EXPECT_THROW(b.set(x, Expr(b.ci(1))), ProgramError);
+  EXPECT_THROW(b.output_i(b.cf(1.0)), ProgramError);
+  b.output(x);
+  b.end_func();
+}
+
+TEST(Lang, DuplicateVarRejected) {
+  Builder b;
+  b.var_f64("x");
+  EXPECT_THROW(b.var_i64("x"), ProgramError);
+}
+
+}  // namespace
+}  // namespace fpmix::lang

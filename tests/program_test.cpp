@@ -1,0 +1,207 @@
+// Tests for the structured program layer: assembler, CFG recovery (lift),
+// layout/relocation (the binary-rewriter pipeline), and image validation.
+#include <gtest/gtest.h>
+
+#include "arch/encode.hpp"
+#include "asm/assembler.hpp"
+#include "program/layout.hpp"
+#include "program/program.hpp"
+#include "support/error.hpp"
+
+namespace fpmix {
+namespace {
+
+using arch::Opcode;
+using arch::Operand;
+namespace in = arch::intrinsics;
+
+// A small two-function program with a loop and a conditional.
+program::Program sample_program() {
+  casm::Assembler a;
+
+  // helper(): xmm0 = xmm0 * xmm0
+  a.begin_function("square", "libmath");
+  a.emit(Opcode::kMulsd, Operand::xmm(0), Operand::xmm(0));
+  a.ret();
+  a.end_function();
+
+  // main(): sum of squares 1..10, output.
+  a.begin_function("main", "main");
+  const std::uint64_t acc = a.data_f64(0.0);
+  a.emit(Opcode::kMov, Operand::gpr(1), Operand::make_imm(1));
+  auto loop = a.new_label();
+  auto done = a.new_label();
+  a.bind(loop);
+  a.emit(Opcode::kCmp, Operand::gpr(1), Operand::make_imm(10));
+  a.jg(done);
+  a.emit(Opcode::kCvtsi2sd, Operand::xmm(0), Operand::gpr(1));
+  a.call("square");
+  a.emit(Opcode::kMovsdXM, Operand::xmm(1),
+         Operand::mem_abs(static_cast<std::int32_t>(acc)));
+  a.emit(Opcode::kAddsd, Operand::xmm(1), Operand::xmm(0));
+  a.emit(Opcode::kMovsdMX, Operand::mem_abs(static_cast<std::int32_t>(acc)),
+         Operand::xmm(1));
+  a.emit(Opcode::kAdd, Operand::gpr(1), Operand::make_imm(1));
+  a.jmp(loop);
+  a.bind(done);
+  a.emit(Opcode::kMovsdXM, Operand::xmm(0),
+         Operand::mem_abs(static_cast<std::int32_t>(acc)));
+  a.intrin(in::Id::kOutputF64);
+  a.halt();
+  a.end_function();
+
+  return a.finish("main");
+}
+
+TEST(Assembler, BuildsExpectedStructure) {
+  const program::Program prog = sample_program();
+  ASSERT_EQ(prog.functions.size(), 2u);
+  EXPECT_EQ(prog.functions[0].name, "square");
+  EXPECT_EQ(prog.functions[0].module, "libmath");
+  EXPECT_EQ(prog.functions[1].name, "main");
+  EXPECT_EQ(prog.entry_function, 1);
+  // main: preamble block, loop-head block (cmp/jg), body block, exit block.
+  EXPECT_EQ(prog.functions[1].blocks.size(), 4u);
+  EXPECT_EQ(prog.functions[0].blocks.size(), 1u);
+  const auto modules = prog.module_names();
+  ASSERT_EQ(modules.size(), 2u);
+  EXPECT_EQ(modules[0], "libmath");
+  EXPECT_EQ(modules[1], "main");
+}
+
+TEST(Assembler, RejectsBrokenPrograms) {
+  {
+    casm::Assembler a;
+    a.begin_function("f", "m");
+    auto l = a.new_label();
+    a.jmp(l);  // label never bound
+    a.end_function();
+    EXPECT_THROW(a.finish("f"), ProgramError);
+  }
+  {
+    casm::Assembler a;
+    a.begin_function("f", "m");
+    a.call("missing");
+    a.halt();
+    a.end_function();
+    EXPECT_THROW(a.finish("f"), ProgramError);
+  }
+  {
+    casm::Assembler a;
+    a.begin_function("f", "m");
+    a.emit(Opcode::kNop);  // falls off the end
+    a.end_function();
+    EXPECT_THROW(a.finish("f"), ProgramError);
+  }
+  {
+    casm::Assembler a;
+    a.begin_function("f", "m");
+    a.halt();
+    a.end_function();
+    EXPECT_THROW(a.finish("nonexistent"), ProgramError);
+  }
+}
+
+TEST(Layout, ProducesValidImage) {
+  const program::Image img = program::relayout(sample_program());
+  EXPECT_EQ(img.symbols.size(), 2u);
+  EXPECT_GT(img.code.size(), 0u);
+  EXPECT_EQ(img.entry, img.find_function("main")->addr);
+  // Whole code segment decodes cleanly.
+  const auto instrs = arch::decode_all(img.code, img.code_base);
+  EXPECT_GT(instrs.size(), 10u);
+}
+
+TEST(Lift, RecoversStructure) {
+  const program::Program prog = sample_program();
+  const program::Image img = program::relayout(prog);
+  const program::Program lifted = program::lift(img);
+
+  ASSERT_EQ(lifted.functions.size(), prog.functions.size());
+  for (std::size_t i = 0; i < prog.functions.size(); ++i) {
+    EXPECT_EQ(lifted.functions[i].name, prog.functions[i].name);
+    EXPECT_EQ(lifted.functions[i].module, prog.functions[i].module);
+    EXPECT_EQ(lifted.functions[i].blocks.size(),
+              prog.functions[i].blocks.size());
+    EXPECT_EQ(lifted.functions[i].instruction_count(),
+              prog.functions[i].instruction_count());
+  }
+  EXPECT_EQ(lifted.entry_function, prog.entry_function);
+}
+
+TEST(Lift, RoundTripIsAFixedPoint) {
+  // lift(relayout(lift(img))) must equal lift(img) structurally, and a
+  // second rewrite must produce byte-identical code.
+  const program::Image img1 = program::relayout(sample_program());
+  const program::Image img2 = program::rewrite_identity(img1);
+  const program::Image img3 = program::rewrite_identity(img2);
+  EXPECT_EQ(img2.code, img3.code);
+  EXPECT_EQ(img2.entry, img3.entry);
+  ASSERT_EQ(img2.symbols.size(), img3.symbols.size());
+  for (std::size_t i = 0; i < img2.symbols.size(); ++i) {
+    EXPECT_EQ(img2.symbols[i].addr, img3.symbols[i].addr);
+    EXPECT_EQ(img2.symbols[i].size, img3.symbols[i].size);
+  }
+}
+
+TEST(Image, ValidateCatchesCorruption) {
+  program::Image img = program::relayout(sample_program());
+  {
+    program::Image bad = img;
+    bad.entry = bad.code_end() + 100;
+    EXPECT_THROW(bad.validate(), ProgramError);
+  }
+  {
+    program::Image bad = img;
+    bad.symbols[0].size -= 1;  // coverage gap
+    EXPECT_THROW(bad.validate(), ProgramError);
+  }
+  {
+    program::Image bad = img;
+    bad.symbols.clear();
+    EXPECT_THROW(bad.validate(), ProgramError);
+  }
+}
+
+TEST(Image, OriginDefaultsToIdentity) {
+  const program::Image img = program::relayout(sample_program());
+  EXPECT_TRUE(img.origins.empty());
+  EXPECT_EQ(img.origin_of(img.entry), img.entry);
+}
+
+TEST(Lift, RejectsCrossFunctionBranch) {
+  // Hand-craft an image whose branch escapes its function.
+  casm::Assembler a;
+  a.begin_function("f", "m");
+  a.halt();
+  a.end_function();
+  a.begin_function("g", "m");
+  a.halt();
+  a.end_function();
+  program::Image img = program::relayout(a.finish("f"));
+
+  // Append a jmp-to-g inside f by rebuilding f's body manually.
+  std::vector<std::uint8_t> code;
+  arch::encode(arch::make2(Opcode::kJmp, Operand::none(),
+                           Operand::make_imm(static_cast<std::int64_t>(
+                               img.symbols[1].addr))),
+               &code);
+  arch::encode(arch::make0(Opcode::kHalt), &code);
+  program::Image bad = img;
+  bad.code = code;
+  // Rebuild symbols: f = the jmp, g = the halt.
+  bad.symbols[0].size = code.size() - 2;
+  bad.symbols[1].addr = bad.code_base + code.size() - 2;
+  bad.symbols[1].size = 2;
+  bad.entry = bad.symbols[0].addr;
+  EXPECT_THROW(program::lift(bad), ProgramError);
+}
+
+TEST(Program, ValidateCatchesBadEdges) {
+  program::Program prog = sample_program();
+  prog.functions[1].blocks[1].taken = 99;
+  EXPECT_THROW(prog.validate(), ProgramError);
+}
+
+}  // namespace
+}  // namespace fpmix

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_snippets.dir/bench_ablation_snippets.cpp.o"
+  "CMakeFiles/bench_ablation_snippets.dir/bench_ablation_snippets.cpp.o.d"
+  "bench_ablation_snippets"
+  "bench_ablation_snippets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_snippets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

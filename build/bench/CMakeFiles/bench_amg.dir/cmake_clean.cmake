@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_amg.dir/bench_amg.cpp.o"
+  "CMakeFiles/bench_amg.dir/bench_amg.cpp.o.d"
+  "bench_amg"
+  "bench_amg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_amg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

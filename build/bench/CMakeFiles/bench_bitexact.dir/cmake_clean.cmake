@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bitexact.dir/bench_bitexact.cpp.o"
+  "CMakeFiles/bench_bitexact.dir/bench_bitexact.cpp.o.d"
+  "bench_bitexact"
+  "bench_bitexact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bitexact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cancellation_overhead.dir/bench_cancellation_overhead.cpp.o"
+  "CMakeFiles/bench_cancellation_overhead.dir/bench_cancellation_overhead.cpp.o.d"
+  "bench_cancellation_overhead"
+  "bench_cancellation_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cancellation_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

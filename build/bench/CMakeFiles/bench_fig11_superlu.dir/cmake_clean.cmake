@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_superlu.dir/bench_fig11_superlu.cpp.o"
+  "CMakeFiles/bench_fig11_superlu.dir/bench_fig11_superlu.cpp.o.d"
+  "bench_fig11_superlu"
+  "bench_fig11_superlu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_superlu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

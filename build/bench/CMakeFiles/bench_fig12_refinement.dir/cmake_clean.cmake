@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_refinement.dir/bench_fig12_refinement.cpp.o"
+  "CMakeFiles/bench_fig12_refinement.dir/bench_fig12_refinement.cpp.o.d"
+  "bench_fig12_refinement"
+  "bench_fig12_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

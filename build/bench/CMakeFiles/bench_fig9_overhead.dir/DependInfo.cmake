@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig9_overhead.cpp" "bench/CMakeFiles/bench_fig9_overhead.dir/bench_fig9_overhead.cpp.o" "gcc" "bench/CMakeFiles/bench_fig9_overhead.dir/bench_fig9_overhead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/fpmix_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/fpmix_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/fpmix_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/fpmix_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/fpmix_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/fpmix_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/fpmix_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/fpmix_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/fpmix_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/fpmix_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fpmix_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

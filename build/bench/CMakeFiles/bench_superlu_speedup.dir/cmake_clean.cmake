@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_superlu_speedup.dir/bench_superlu_speedup.cpp.o"
+  "CMakeFiles/bench_superlu_speedup.dir/bench_superlu_speedup.cpp.o.d"
+  "bench_superlu_speedup"
+  "bench_superlu_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_superlu_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cancellation_report.dir/cancellation_report.cpp.o"
+  "CMakeFiles/cancellation_report.dir/cancellation_report.cpp.o.d"
+  "cancellation_report"
+  "cancellation_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cancellation_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superlu_threshold.dir/superlu_threshold.cpp.o"
+  "CMakeFiles/superlu_threshold.dir/superlu_threshold.cpp.o.d"
+  "superlu_threshold"
+  "superlu_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superlu_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("arch")
+subdirs("program")
+subdirs("asm")
+subdirs("lang")
+subdirs("vm")
+subdirs("config")
+subdirs("instrument")
+subdirs("verify")
+subdirs("search")
+subdirs("linalg")
+subdirs("kernels")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpmix_arch.dir/disasm.cpp.o"
+  "CMakeFiles/fpmix_arch.dir/disasm.cpp.o.d"
+  "CMakeFiles/fpmix_arch.dir/encode.cpp.o"
+  "CMakeFiles/fpmix_arch.dir/encode.cpp.o.d"
+  "CMakeFiles/fpmix_arch.dir/intrinsics.cpp.o"
+  "CMakeFiles/fpmix_arch.dir/intrinsics.cpp.o.d"
+  "CMakeFiles/fpmix_arch.dir/opcode.cpp.o"
+  "CMakeFiles/fpmix_arch.dir/opcode.cpp.o.d"
+  "libfpmix_arch.a"
+  "libfpmix_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpmix_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

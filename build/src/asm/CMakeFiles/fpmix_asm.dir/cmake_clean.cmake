@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpmix_asm.dir/assembler.cpp.o"
+  "CMakeFiles/fpmix_asm.dir/assembler.cpp.o.d"
+  "libfpmix_asm.a"
+  "libfpmix_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpmix_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpmix_config.dir/config.cpp.o"
+  "CMakeFiles/fpmix_config.dir/config.cpp.o.d"
+  "CMakeFiles/fpmix_config.dir/structure.cpp.o"
+  "CMakeFiles/fpmix_config.dir/structure.cpp.o.d"
+  "CMakeFiles/fpmix_config.dir/textio.cpp.o"
+  "CMakeFiles/fpmix_config.dir/textio.cpp.o.d"
+  "libfpmix_config.a"
+  "libfpmix_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpmix_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/instrument/cancellation.cpp" "src/instrument/CMakeFiles/fpmix_instrument.dir/cancellation.cpp.o" "gcc" "src/instrument/CMakeFiles/fpmix_instrument.dir/cancellation.cpp.o.d"
+  "/root/repo/src/instrument/patch.cpp" "src/instrument/CMakeFiles/fpmix_instrument.dir/patch.cpp.o" "gcc" "src/instrument/CMakeFiles/fpmix_instrument.dir/patch.cpp.o.d"
+  "/root/repo/src/instrument/snippet.cpp" "src/instrument/CMakeFiles/fpmix_instrument.dir/snippet.cpp.o" "gcc" "src/instrument/CMakeFiles/fpmix_instrument.dir/snippet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/config/CMakeFiles/fpmix_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/fpmix_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/fpmix_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/fpmix_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fpmix_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpmix_instrument.dir/cancellation.cpp.o"
+  "CMakeFiles/fpmix_instrument.dir/cancellation.cpp.o.d"
+  "CMakeFiles/fpmix_instrument.dir/patch.cpp.o"
+  "CMakeFiles/fpmix_instrument.dir/patch.cpp.o.d"
+  "CMakeFiles/fpmix_instrument.dir/snippet.cpp.o"
+  "CMakeFiles/fpmix_instrument.dir/snippet.cpp.o.d"
+  "libfpmix_instrument.a"
+  "libfpmix_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpmix_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

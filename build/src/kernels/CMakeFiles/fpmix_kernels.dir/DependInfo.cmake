@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/amg.cpp" "src/kernels/CMakeFiles/fpmix_kernels.dir/amg.cpp.o" "gcc" "src/kernels/CMakeFiles/fpmix_kernels.dir/amg.cpp.o.d"
+  "/root/repo/src/kernels/bt.cpp" "src/kernels/CMakeFiles/fpmix_kernels.dir/bt.cpp.o" "gcc" "src/kernels/CMakeFiles/fpmix_kernels.dir/bt.cpp.o.d"
+  "/root/repo/src/kernels/cg.cpp" "src/kernels/CMakeFiles/fpmix_kernels.dir/cg.cpp.o" "gcc" "src/kernels/CMakeFiles/fpmix_kernels.dir/cg.cpp.o.d"
+  "/root/repo/src/kernels/ep.cpp" "src/kernels/CMakeFiles/fpmix_kernels.dir/ep.cpp.o" "gcc" "src/kernels/CMakeFiles/fpmix_kernels.dir/ep.cpp.o.d"
+  "/root/repo/src/kernels/ft.cpp" "src/kernels/CMakeFiles/fpmix_kernels.dir/ft.cpp.o" "gcc" "src/kernels/CMakeFiles/fpmix_kernels.dir/ft.cpp.o.d"
+  "/root/repo/src/kernels/lu.cpp" "src/kernels/CMakeFiles/fpmix_kernels.dir/lu.cpp.o" "gcc" "src/kernels/CMakeFiles/fpmix_kernels.dir/lu.cpp.o.d"
+  "/root/repo/src/kernels/mg.cpp" "src/kernels/CMakeFiles/fpmix_kernels.dir/mg.cpp.o" "gcc" "src/kernels/CMakeFiles/fpmix_kernels.dir/mg.cpp.o.d"
+  "/root/repo/src/kernels/sp.cpp" "src/kernels/CMakeFiles/fpmix_kernels.dir/sp.cpp.o" "gcc" "src/kernels/CMakeFiles/fpmix_kernels.dir/sp.cpp.o.d"
+  "/root/repo/src/kernels/superlu.cpp" "src/kernels/CMakeFiles/fpmix_kernels.dir/superlu.cpp.o" "gcc" "src/kernels/CMakeFiles/fpmix_kernels.dir/superlu.cpp.o.d"
+  "/root/repo/src/kernels/workload.cpp" "src/kernels/CMakeFiles/fpmix_kernels.dir/workload.cpp.o" "gcc" "src/kernels/CMakeFiles/fpmix_kernels.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/fpmix_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/fpmix_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/fpmix_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/fpmix_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fpmix_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/fpmix_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/fpmix_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/fpmix_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/fpmix_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/fpmix_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpmix_kernels.dir/amg.cpp.o"
+  "CMakeFiles/fpmix_kernels.dir/amg.cpp.o.d"
+  "CMakeFiles/fpmix_kernels.dir/bt.cpp.o"
+  "CMakeFiles/fpmix_kernels.dir/bt.cpp.o.d"
+  "CMakeFiles/fpmix_kernels.dir/cg.cpp.o"
+  "CMakeFiles/fpmix_kernels.dir/cg.cpp.o.d"
+  "CMakeFiles/fpmix_kernels.dir/ep.cpp.o"
+  "CMakeFiles/fpmix_kernels.dir/ep.cpp.o.d"
+  "CMakeFiles/fpmix_kernels.dir/ft.cpp.o"
+  "CMakeFiles/fpmix_kernels.dir/ft.cpp.o.d"
+  "CMakeFiles/fpmix_kernels.dir/lu.cpp.o"
+  "CMakeFiles/fpmix_kernels.dir/lu.cpp.o.d"
+  "CMakeFiles/fpmix_kernels.dir/mg.cpp.o"
+  "CMakeFiles/fpmix_kernels.dir/mg.cpp.o.d"
+  "CMakeFiles/fpmix_kernels.dir/sp.cpp.o"
+  "CMakeFiles/fpmix_kernels.dir/sp.cpp.o.d"
+  "CMakeFiles/fpmix_kernels.dir/superlu.cpp.o"
+  "CMakeFiles/fpmix_kernels.dir/superlu.cpp.o.d"
+  "CMakeFiles/fpmix_kernels.dir/workload.cpp.o"
+  "CMakeFiles/fpmix_kernels.dir/workload.cpp.o.d"
+  "libfpmix_kernels.a"
+  "libfpmix_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpmix_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

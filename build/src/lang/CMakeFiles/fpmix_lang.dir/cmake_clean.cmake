@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpmix_lang.dir/builder.cpp.o"
+  "CMakeFiles/fpmix_lang.dir/builder.cpp.o.d"
+  "CMakeFiles/fpmix_lang.dir/compile.cpp.o"
+  "CMakeFiles/fpmix_lang.dir/compile.cpp.o.d"
+  "libfpmix_lang.a"
+  "libfpmix_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpmix_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/banded.cpp" "src/linalg/CMakeFiles/fpmix_linalg.dir/banded.cpp.o" "gcc" "src/linalg/CMakeFiles/fpmix_linalg.dir/banded.cpp.o.d"
+  "/root/repo/src/linalg/csr.cpp" "src/linalg/CMakeFiles/fpmix_linalg.dir/csr.cpp.o" "gcc" "src/linalg/CMakeFiles/fpmix_linalg.dir/csr.cpp.o.d"
+  "/root/repo/src/linalg/dense.cpp" "src/linalg/CMakeFiles/fpmix_linalg.dir/dense.cpp.o" "gcc" "src/linalg/CMakeFiles/fpmix_linalg.dir/dense.cpp.o.d"
+  "/root/repo/src/linalg/matrix_market.cpp" "src/linalg/CMakeFiles/fpmix_linalg.dir/matrix_market.cpp.o" "gcc" "src/linalg/CMakeFiles/fpmix_linalg.dir/matrix_market.cpp.o.d"
+  "/root/repo/src/linalg/refine.cpp" "src/linalg/CMakeFiles/fpmix_linalg.dir/refine.cpp.o" "gcc" "src/linalg/CMakeFiles/fpmix_linalg.dir/refine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fpmix_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpmix_linalg.dir/banded.cpp.o"
+  "CMakeFiles/fpmix_linalg.dir/banded.cpp.o.d"
+  "CMakeFiles/fpmix_linalg.dir/csr.cpp.o"
+  "CMakeFiles/fpmix_linalg.dir/csr.cpp.o.d"
+  "CMakeFiles/fpmix_linalg.dir/dense.cpp.o"
+  "CMakeFiles/fpmix_linalg.dir/dense.cpp.o.d"
+  "CMakeFiles/fpmix_linalg.dir/matrix_market.cpp.o"
+  "CMakeFiles/fpmix_linalg.dir/matrix_market.cpp.o.d"
+  "CMakeFiles/fpmix_linalg.dir/refine.cpp.o"
+  "CMakeFiles/fpmix_linalg.dir/refine.cpp.o.d"
+  "libfpmix_linalg.a"
+  "libfpmix_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpmix_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

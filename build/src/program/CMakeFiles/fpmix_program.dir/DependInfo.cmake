@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/program/image.cpp" "src/program/CMakeFiles/fpmix_program.dir/image.cpp.o" "gcc" "src/program/CMakeFiles/fpmix_program.dir/image.cpp.o.d"
+  "/root/repo/src/program/layout.cpp" "src/program/CMakeFiles/fpmix_program.dir/layout.cpp.o" "gcc" "src/program/CMakeFiles/fpmix_program.dir/layout.cpp.o.d"
+  "/root/repo/src/program/program.cpp" "src/program/CMakeFiles/fpmix_program.dir/program.cpp.o" "gcc" "src/program/CMakeFiles/fpmix_program.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/fpmix_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fpmix_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

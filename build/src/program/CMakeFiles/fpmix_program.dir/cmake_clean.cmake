@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpmix_program.dir/image.cpp.o"
+  "CMakeFiles/fpmix_program.dir/image.cpp.o.d"
+  "CMakeFiles/fpmix_program.dir/layout.cpp.o"
+  "CMakeFiles/fpmix_program.dir/layout.cpp.o.d"
+  "CMakeFiles/fpmix_program.dir/program.cpp.o"
+  "CMakeFiles/fpmix_program.dir/program.cpp.o.d"
+  "libfpmix_program.a"
+  "libfpmix_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpmix_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

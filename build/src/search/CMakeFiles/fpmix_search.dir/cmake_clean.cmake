@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpmix_search.dir/search.cpp.o"
+  "CMakeFiles/fpmix_search.dir/search.cpp.o.d"
+  "libfpmix_search.a"
+  "libfpmix_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpmix_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpmix_support.dir/log.cpp.o"
+  "CMakeFiles/fpmix_support.dir/log.cpp.o.d"
+  "CMakeFiles/fpmix_support.dir/rng.cpp.o"
+  "CMakeFiles/fpmix_support.dir/rng.cpp.o.d"
+  "CMakeFiles/fpmix_support.dir/strings.cpp.o"
+  "CMakeFiles/fpmix_support.dir/strings.cpp.o.d"
+  "CMakeFiles/fpmix_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/fpmix_support.dir/thread_pool.cpp.o.d"
+  "libfpmix_support.a"
+  "libfpmix_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpmix_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

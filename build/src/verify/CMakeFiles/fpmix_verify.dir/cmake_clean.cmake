@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpmix_verify.dir/evaluate.cpp.o"
+  "CMakeFiles/fpmix_verify.dir/evaluate.cpp.o.d"
+  "CMakeFiles/fpmix_verify.dir/verifier.cpp.o"
+  "CMakeFiles/fpmix_verify.dir/verifier.cpp.o.d"
+  "libfpmix_verify.a"
+  "libfpmix_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpmix_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/machine.cpp" "src/vm/CMakeFiles/fpmix_vm.dir/machine.cpp.o" "gcc" "src/vm/CMakeFiles/fpmix_vm.dir/machine.cpp.o.d"
+  "/root/repo/src/vm/minimpi.cpp" "src/vm/CMakeFiles/fpmix_vm.dir/minimpi.cpp.o" "gcc" "src/vm/CMakeFiles/fpmix_vm.dir/minimpi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/program/CMakeFiles/fpmix_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/fpmix_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fpmix_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

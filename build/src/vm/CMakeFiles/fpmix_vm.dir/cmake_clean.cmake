@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpmix_vm.dir/machine.cpp.o"
+  "CMakeFiles/fpmix_vm.dir/machine.cpp.o.d"
+  "CMakeFiles/fpmix_vm.dir/minimpi.cpp.o"
+  "CMakeFiles/fpmix_vm.dir/minimpi.cpp.o.d"
+  "libfpmix_vm.a"
+  "libfpmix_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpmix_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,70 @@
+// Warm-vs-cold search with the persistent trial cache.
+//
+// Cold: fresh journal, every trial is patched + run + verified live.
+// Warm: second run over the same journal -- every trial (including the
+// final composition) must be a cache hit, so the only remaining cost is
+// the profiling run and the search bookkeeping itself. The gap between the
+// two columns is what a crash no longer costs.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.hpp"
+#include "search/search.hpp"
+
+namespace {
+
+using namespace fpmix;
+
+void run_row(const kernels::Workload& w) {
+  const std::string journal =
+      "bench_resume_" + w.name + ".journal.jsonl";
+  std::remove(journal.c_str());
+
+  search::SearchOptions opts;
+  opts.keep_log = false;
+  opts.journal_path = journal;
+
+  double cold_s = 0.0, warm_s = 0.0;
+  std::size_t trials = 0;
+  double warm_hit = 0.0;
+  bool identical = false;
+  {
+    const program::Image img = kernels::build_image(w);
+    auto ix = config::StructureIndex::build(program::lift(img));
+    const auto verifier = kernels::make_verifier(w, img);
+    Timer t;
+    const search::SearchResult cold =
+        search::run_search(img, &ix, *verifier, opts);
+    cold_s = t.elapsed_seconds();
+    trials = cold.configs_tested;
+
+    auto ix2 = config::StructureIndex::build(program::lift(img));
+    t.reset();
+    const search::SearchResult warm =
+        search::run_search(img, &ix2, *verifier, opts);
+    warm_s = t.elapsed_seconds();
+    warm_hit = warm.metrics.cache_hit_rate;
+    identical = warm.final_config == cold.final_config &&
+                warm.configs_tested == cold.configs_tested;
+  }
+  std::printf("  %-24s %6zu %9.2fs %9.2fs %7.1fx %6.1f%% %s\n",
+              w.name.c_str(), trials, cold_s, warm_s,
+              warm_s > 0 ? cold_s / warm_s : 0.0, warm_hit,
+              identical ? "identical" : "MISMATCH");
+  std::fflush(stdout);
+  std::remove(journal.c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Warm-vs-cold search (journal-backed trial cache)\n");
+  std::printf("  %-24s %6s %10s %10s %8s %7s %s\n", "workload", "trials",
+              "cold", "warm", "speedup", "hit", "result");
+  bench::print_rule();
+  run_row(kernels::make_ep('W'));
+  run_row(kernels::make_mg('W'));
+  run_row(kernels::make_ft('W'));
+  run_row(kernels::make_superlu(2.5e-5));
+  return 0;
+}

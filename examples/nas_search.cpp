@@ -3,7 +3,13 @@
 // recommended configuration file.
 //
 // Usage:  nas_search <ep|cg|ft|mg|bt|lu|sp|amg> [S|W|A|C] [--trace]
-//                    [--refine] [--out FILE]
+//                    [--refine] [--out FILE] [--journal FILE] [--no-resume]
+//                    [--threads N] [--quiet]
+//
+// With --journal, every completed trial is appended to FILE as it
+// finishes; re-running the same command resumes from it, re-using every
+// journaled verdict instead of re-evaluating (an interrupted search loses
+// at most the trial in flight).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -13,6 +19,8 @@
 #include "kernels/workload.hpp"
 #include "program/program.hpp"
 #include "search/search.hpp"
+#include "support/log.hpp"
+#include "support/strings.hpp"
 #include "support/timer.hpp"
 
 using namespace fpmix;
@@ -22,13 +30,34 @@ int main(int argc, char** argv) {
   char cls = 'W';
   bool trace = false;
   bool refine = false;
+  bool quiet = false;
   std::string out_path;
+  search::SearchOptions opts;
+  opts.keep_log = true;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace") trace = true;
     else if (arg == "--refine") refine = true;
+    else if (arg == "--quiet") quiet = true;
+    else if (arg == "--no-resume") opts.resume = false;
     else if (arg == "--out" && i + 1 < argc) out_path = argv[++i];
+    else if (arg == "--journal" && i + 1 < argc) opts.journal_path = argv[++i];
+    else if (arg == "--threads" && i + 1 < argc) {
+      std::uint64_t n = 1;
+      if (!parse_u64(argv[++i], &n) || n == 0) {
+        std::fprintf(stderr, "bad --threads value '%s'\n", argv[i]);
+        return 2;
+      }
+      opts.num_threads = static_cast<std::size_t>(n);
+    }
     else if (arg.size() == 1) cls = arg[0];
+  }
+  opts.refine_composition = refine;
+  if (!quiet) {
+    // Progress/metrics lines (trials/sec, cache hit rate, ETA) flow through
+    // the support logger at info level.
+    opts.progress_log = true;
+    log::set_level(log::Level::kInfo);
   }
 
   kernels::Workload w;
@@ -50,9 +79,6 @@ int main(int argc, char** argv) {
   auto index = config::StructureIndex::build(program::lift(img));
   const auto verifier = kernels::make_verifier(w, img);
 
-  search::SearchOptions opts;
-  opts.keep_log = true;
-  opts.refine_composition = refine;
   Timer t;
   const search::SearchResult res =
       search::run_search(img, &index, *verifier, opts);
@@ -60,8 +86,9 @@ int main(int argc, char** argv) {
   if (trace) {
     std::printf("\n-- search trace --\n");
     for (const auto& rec : res.trace) {
-      std::printf("  %-40s %4zu cand  %s%s%s\n", rec.unit.c_str(),
+      std::printf("  %-40s %4zu cand  %s%s%s%s\n", rec.unit.c_str(),
                   rec.candidates, rec.passed ? "PASS" : "fail",
+                  rec.cached ? " (cached)" : "",
                   rec.failure.empty() ? "" : ": ",
                   rec.failure.c_str());
     }
@@ -70,6 +97,14 @@ int main(int argc, char** argv) {
   std::printf("\n%s: %zu candidates, %zu configurations tested in %.1fs\n",
               w.name.c_str(), res.candidates, res.configs_tested,
               t.elapsed_seconds());
+  const search::SearchMetrics& m = res.metrics;
+  std::printf("trials: %zu live + %zu cached (%.1f%% cache hit), "
+              "%.1f trials/s, %.2fs evaluating\n",
+              m.trials_live, m.trials_cached, m.cache_hit_rate,
+              m.trials_per_sec, m.eval_seconds);
+  for (const auto& [level, secs] : m.eval_seconds_per_level) {
+    std::printf("  level %-12s %.2fs\n", level.c_str(), secs);
+  }
   std::printf("final configuration: %.1f%% static / %.1f%% dynamic "
               "replacement, composition %s\n",
               res.stats.static_pct, res.stats.dynamic_pct,

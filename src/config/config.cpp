@@ -1,6 +1,8 @@
 #include "config/config.hpp"
 
 #include "support/error.hpp"
+#include "support/hash.hpp"
+#include "support/strings.hpp"
 
 namespace fpmix::config {
 
@@ -121,6 +123,29 @@ void PrecisionConfig::merge_union(const PrecisionConfig& other) {
   merge(other.func_, &func_);
   merge(other.block_, &block_);
   merge(other.instr_, &instr_);
+}
+
+std::string PrecisionConfig::canonical_key() const {
+  // std::map iterates in ascending id order, which makes the serialization
+  // canonical without an extra sort. Explicit kDouble flags participate:
+  // they are semantically meaningful (they shield children from aggregate
+  // overrides), so configs differing only in them must not collide.
+  std::string out;
+  const auto emit = [&out](char level,
+                           const std::map<std::size_t, Precision>& store) {
+    for (const auto& [id, p] : store) {
+      out += strformat("%c%zu=%c;", level, id, precision_flag(p));
+    }
+  };
+  emit('m', module_);
+  emit('f', func_);
+  emit('b', block_);
+  emit('i', instr_);
+  return out;
+}
+
+std::uint64_t PrecisionConfig::stable_hash() const {
+  return fnv1a64(canonical_key());
 }
 
 bool PrecisionConfig::is_all_double(const StructureIndex& index) const {

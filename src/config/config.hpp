@@ -59,6 +59,19 @@ class PrecisionConfig {
   /// True when no structure is flagged single (the all-double baseline).
   bool is_all_double(const StructureIndex& index) const;
 
+  // ---- Identity -----------------------------------------------------------
+  /// Canonical, index-independent serialization of the flag stores:
+  /// `m<id>=<flag>;f<id>=<flag>;b<id>=<flag>;i<id>=<flag>;` in ascending id
+  /// order per level. Two configs have equal keys iff they set the same
+  /// flags, so the key (and its hash) identifies a search trial across
+  /// process runs -- the basis of the persistent trial cache.
+  std::string canonical_key() const;
+
+  /// Stable 64-bit digest of canonical_key() (FNV-1a, hex form via
+  /// fpmix::hex_digest). Never hashed with std::hash: journal files persist
+  /// these digests across runs and platforms.
+  std::uint64_t stable_hash() const;
+
   bool operator==(const PrecisionConfig&) const = default;
 
  private:

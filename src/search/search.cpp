@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <deque>
-#include <mutex>
 
+#include "search/trial_cache.hpp"
 #include "support/error.hpp"
+#include "support/hash.hpp"
+#include "support/journal.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
 #include "support/thread_pool.hpp"
+#include "support/timer.hpp"
 #include "vm/machine.hpp"
 
 namespace fpmix::search {
@@ -97,6 +100,18 @@ PrecisionConfig config_for(const Unit& u) {
   return cfg;
 }
 
+const char* level_name(Unit::Kind k) {
+  switch (k) {
+    case Unit::Kind::kModule: return "module";
+    case Unit::Kind::kFunction: return "function";
+    case Unit::Kind::kFuncPart: return "func-part";
+    case Unit::Kind::kBlock: return "block";
+    case Unit::Kind::kBlockPart: return "block-part";
+    case Unit::Kind::kInstr: return "insn";
+  }
+  return "?";
+}
+
 std::string unit_name(const StructureIndex& ix, const Unit& u) {
   switch (u.kind) {
     case Unit::Kind::kModule:
@@ -135,34 +150,43 @@ class Searcher {
         options_(options) {}
 
   SearchResult run() {
+    setup_journal();
     profile_original();
     seed_queue();
 
     ThreadPool pool(std::max<std::size_t>(1, options_.num_threads));
     while (!queue_.empty()) {
-      // Pop a batch (highest priority first) and evaluate concurrently.
+      // Pop a batch (highest priority first), resolve cache hits, and
+      // evaluate the misses concurrently. Trials are committed in pop
+      // order, so trace/journal order is deterministic for any thread
+      // count.
       const std::size_t batch =
           std::min(queue_.size(), std::max<std::size_t>(
                                       1, options_.num_threads));
-      std::vector<Unit> units;
-      for (std::size_t i = 0; i < batch; ++i) units.push_back(pop_unit());
-
-      std::vector<verify::EvalResult> results(units.size());
-      if (units.size() == 1) {
-        results[0] = evaluate(units[0]);
-      } else {
-        std::mutex mu;
-        for (std::size_t i = 0; i < units.size(); ++i) {
-          pool.submit([this, &units, &results, i] {
-            results[i] = evaluate(units[i]);
-          });
-        }
-        pool.wait_idle();
-        (void)mu;
+      std::vector<Trial> trials;
+      trials.reserve(batch);
+      for (std::size_t i = 0; i < batch; ++i) {
+        trials.push_back(make_trial(pop_unit()));
       }
 
-      for (std::size_t i = 0; i < units.size(); ++i) {
-        process_result(units[i], results[i]);
+      std::vector<std::size_t> live;
+      for (std::size_t i = 0; i < trials.size(); ++i) {
+        if (!trials[i].cached) live.push_back(i);
+      }
+      if (live.size() == 1) {
+        evaluate_live(&trials[live[0]]);
+      } else if (!live.empty()) {
+        for (std::size_t i : live) {
+          pool.submit([this, &trials, i] { evaluate_live(&trials[i]); });
+        }
+        pool.wait_idle();
+      }
+
+      for (Trial& t : trials) {
+        commit_trial(&t, unit_name(ix_, t.unit),
+                     unit_candidates(ix_, t.unit).size(),
+                     level_name(t.unit.kind));
+        process_result(t.unit, t.result);
       }
     }
 
@@ -171,9 +195,8 @@ class Searcher {
     SearchResult out;
     out.final_config = final_config_;
     out.candidates = ix_.candidates().size();
-    const verify::EvalResult final_eval = evaluate_config_counted(
-        final_config_, "final composition");
-    out.final_passed = final_eval.passed;
+    out.final_passed =
+        run_config_trial(final_config_, "final composition").passed;
 
     // Optional second phase: precision interactions can make the plain
     // union fail even though each unit passed alone; rebuild a passing
@@ -188,7 +211,7 @@ class Searcher {
         PrecisionConfig trial = composed;
         trial.merge_union(u.cfg);
         const verify::EvalResult r =
-            evaluate_config_counted(trial, "refine composition");
+            run_config_trial(trial, "refine composition");
         if (r.passed) composed = std::move(trial);
       }
       out.refined = true;
@@ -199,6 +222,25 @@ class Searcher {
     out.configs_tested = tested_;
     out.stats = config::replacement_stats(ix_, final_config_);
     out.trace = std::move(trace_);
+
+    metrics_.trials_total = tested_;
+    metrics_.wall_seconds = wall_timer_.elapsed_seconds();
+    metrics_.cache_hit_rate =
+        tested_ == 0 ? 0.0
+                     : 100.0 * static_cast<double>(metrics_.trials_cached) /
+                           static_cast<double>(tested_);
+    metrics_.trials_per_sec =
+        metrics_.wall_seconds > 0.0
+            ? static_cast<double>(tested_) / metrics_.wall_seconds
+            : 0.0;
+    out.metrics = metrics_;
+    if (options_.progress_log) {
+      log::infof("search done: %zu trials (%zu live, %zu cached, %.1f%% "
+                 "hit) in %.2fs, %.1f trials/s",
+                 metrics_.trials_total, metrics_.trials_live,
+                 metrics_.trials_cached, metrics_.cache_hit_rate,
+                 metrics_.wall_seconds, metrics_.trials_per_sec);
+    }
     return out;
   }
 
@@ -250,38 +292,140 @@ class Searcher {
     return u;
   }
 
-  verify::EvalResult evaluate(const Unit& u) {
-    verify::EvalOptions eopts;
-    eopts.max_instructions = options_.max_instructions_per_run;
-    return verify::evaluate_config(original_, ix_, config_for(u), verifier_,
-                                   eopts);
+  /// One configuration on its way through the cache -> evaluate -> commit
+  /// pipeline. `unit` is only meaningful for frontier trials; composition
+  /// trials carry an empty default.
+  struct Trial {
+    Unit unit;
+    PrecisionConfig cfg;
+    std::string key;     // stable config digest (cache/journal identity)
+    bool cached = false;
+    verify::EvalResult result;
+    std::uint64_t eval_ns = 0;
+  };
+
+  void setup_journal() {
+    search_fp_ = search_fingerprint(verifier_.fingerprint(),
+                                    options_.max_instructions_per_run);
+    if (options_.journal_path.empty()) return;
+    if (options_.resume) {
+      const std::size_t n =
+          load_journal(options_.journal_path, search_fp_, &cache_);
+      if (n > 0) {
+        log::infof("search: resuming with %zu journaled trial(s) from %s",
+                   n, options_.journal_path.c_str());
+      }
+    }
+    if (!journal_.open(options_.journal_path)) {
+      log::warnf("search: cannot open journal %s for append; trials will "
+                 "not be persisted", options_.journal_path.c_str());
+      return;
+    }
+    journal_.append(encode_meta_line(search_fp_));
   }
 
-  verify::EvalResult evaluate_config_counted(const PrecisionConfig& cfg,
-                                             const std::string& name) {
+  Trial make_trial(Unit u) {
+    Trial t;
+    t.unit = std::move(u);
+    t.cfg = config_for(t.unit);
+    fill_from_cache(&t);
+    return t;
+  }
+
+  void fill_from_cache(Trial* t) {
+    t->key = hex_digest(t->cfg.stable_hash());
+    if (const CachedTrial* hit = cache_.lookup(t->key)) {
+      t->cached = true;
+      t->result.passed = hit->passed;
+      t->result.failure = hit->failure;
+    }
+  }
+
+  /// Patch + run + verify; safe to call from pool threads (private state
+  /// per evaluation, writes only to *t).
+  void evaluate_live(Trial* t) {
     verify::EvalOptions eopts;
     eopts.max_instructions = options_.max_instructions_per_run;
-    const verify::EvalResult r =
-        verify::evaluate_config(original_, ix_, cfg, verifier_, eopts);
+    Timer timer;
+    t->result =
+        verify::evaluate_config(original_, ix_, t->cfg, verifier_, eopts);
+    t->eval_ns = timer.elapsed_ns();
+  }
+
+  /// Cache-aware evaluation of a composed configuration (final union and
+  /// refinement steps), sharing journal/metrics with frontier trials.
+  verify::EvalResult run_config_trial(const PrecisionConfig& cfg,
+                                      const std::string& name) {
+    Trial t;
+    t.cfg = cfg;
+    fill_from_cache(&t);
+    if (!t.cached) evaluate_live(&t);
+    commit_trial(&t, name, config::replacement_stats(ix_, cfg).replaced_static,
+                 "composition");
+    return std::move(t.result);
+  }
+
+  /// Counts, journals, caches and traces a finished trial. Serial-section
+  /// only: journal appends and cache inserts are not synchronized.
+  void commit_trial(Trial* t, const std::string& name, std::size_t candidates,
+                    const char* level) {
     ++tested_;
-    record(name, config::replacement_stats(ix_, cfg).replaced_static, r);
-    return r;
+    if (t->cached) {
+      ++metrics_.trials_cached;
+    } else {
+      ++metrics_.trials_live;
+      const double secs = 1e-9 * static_cast<double>(t->eval_ns);
+      metrics_.eval_seconds += secs;
+      metrics_.eval_seconds_per_level[level] += secs;
+      CachedTrial entry{t->result.passed, t->result.failure, t->eval_ns};
+      if (journal_.is_open()) {
+        journal_.append(encode_trial_line(t->key, name, candidates, entry));
+      }
+      cache_.insert(t->key, std::move(entry));
+    }
+    if (options_.keep_log) {
+      TestRecord rec;
+      rec.unit = name;
+      rec.key = t->key;
+      rec.candidates = candidates;
+      rec.passed = t->result.passed;
+      rec.cached = t->cached;
+      rec.eval_ns = t->eval_ns;
+      rec.failure = t->result.failure;
+      trace_.push_back(std::move(rec));
+    }
+    maybe_log_progress();
   }
 
-  void record(const std::string& name, std::size_t candidates,
-              const verify::EvalResult& r) {
-    if (!options_.keep_log) return;
-    TestRecord rec;
-    rec.unit = name;
-    rec.candidates = candidates;
-    rec.passed = r.passed;
-    rec.failure = r.failure;
-    trace_.push_back(std::move(rec));
+  void maybe_log_progress() {
+    if (!options_.progress_log) return;
+    const std::size_t every = std::max<std::size_t>(1,
+                                                    options_.progress_every);
+    if (tested_ % every != 0) return;
+    const double wall = wall_timer_.elapsed_seconds();
+    const double rate =
+        wall > 0.0 ? static_cast<double>(tested_) / wall : 0.0;
+    const double hit =
+        100.0 * static_cast<double>(metrics_.trials_cached) /
+        static_cast<double>(tested_);
+    // ETA over the *currently enqueued* frontier at the live evaluation
+    // rate the pool sustains -- a lower bound, since failing units still
+    // enqueue children.
+    double eta = 0.0;
+    if (metrics_.trials_live > 0) {
+      const double per_live =
+          metrics_.eval_seconds / static_cast<double>(metrics_.trials_live);
+      eta = static_cast<double>(queue_.size()) * per_live /
+            static_cast<double>(std::max<std::size_t>(1,
+                                                      options_.num_threads));
+    }
+    log::infof("search: %zu trials (%zu cached, %.1f%% hit), %.1f trials/s, "
+               "%zu queued, eta >= %.1fs",
+               tested_, metrics_.trials_cached, hit, rate, queue_.size(),
+               eta);
   }
 
   void process_result(const Unit& u, const verify::EvalResult& r) {
-    ++tested_;
-    record(unit_name(ix_, u), unit_candidates(ix_, u).size(), r);
     if (r.passed) {
       PrecisionConfig cfg = config_for(u);
       final_config_.merge_union(cfg);
@@ -416,6 +560,12 @@ class Searcher {
   PrecisionConfig final_config_;
   std::vector<PassingUnit> passing_;
   std::vector<TestRecord> trace_;
+
+  TrialCache cache_;
+  Journal journal_;
+  std::string search_fp_;
+  SearchMetrics metrics_;
+  Timer wall_timer_;
 };
 
 }  // namespace

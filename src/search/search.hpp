@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -58,14 +59,50 @@ struct SearchOptions {
   /// profile-weight order, dropping any unit whose addition breaks the
   /// composition.
   bool refine_composition = false;
+
+  // ---- Crash safety / incrementality --------------------------------------
+  /// Append-only JSONL trial journal. When non-empty, every completed trial
+  /// is recorded here as it finishes, and (with `resume`) an existing
+  /// journal is replayed before searching so already-evaluated
+  /// configurations are served from cache instead of re-running the
+  /// verifier. See trial_cache.hpp for the record format.
+  std::string journal_path;
+  /// Replay an existing journal at `journal_path` before searching. Off, an
+  /// existing journal is only appended to, never consulted.
+  bool resume = true;
+
+  // ---- Observability -------------------------------------------------------
+  /// Emit progress lines (trials/sec, cache hit rate, queue depth, ETA)
+  /// through support/log at info level while the search runs.
+  bool progress_log = false;
+  /// Trials between progress lines.
+  std::size_t progress_every = 16;
 };
 
 /// One tested configuration, for logs and the search trace.
 struct TestRecord {
   std::string unit;        // e.g. "module solver", "func conj_grad[3..5]"
+  std::string key;         // stable config digest (journal/cache identity)
   std::size_t candidates;  // candidate instructions the unit covers
   bool passed;
-  std::string failure;     // trap/verification detail when failed
+  bool cached = false;       // served from the trial cache, not evaluated
+  std::uint64_t eval_ns = 0; // live evaluation wall time (0 when cached)
+  std::string failure;       // trap/verification detail when failed
+};
+
+/// Throughput and cache statistics of one run_search call.
+struct SearchMetrics {
+  std::size_t trials_total = 0;   // == SearchResult::configs_tested
+  std::size_t trials_live = 0;    // actually patched + run + verified
+  std::size_t trials_cached = 0;  // served from the journal-backed cache
+  double cache_hit_rate = 0.0;    // percent of trials served from cache
+  double wall_seconds = 0.0;      // whole search, profiling included
+  double eval_seconds = 0.0;      // summed live evaluation time
+  double trials_per_sec = 0.0;    // trials_total / wall_seconds
+  /// Live evaluation seconds attributed to each descent level
+  /// ("module", "function", "func-part", "block", "block-part", "insn",
+  /// "composition").
+  std::map<std::string, double> eval_seconds_per_level;
 };
 
 struct SearchResult {
@@ -82,6 +119,8 @@ struct SearchResult {
   bool refined = false;
   config::PrecisionConfig refined_config;
   config::ReplacementStats refined_stats;
+
+  SearchMetrics metrics;
 };
 
 /// Runs the full pipeline of Figure 2: profile the original binary, search

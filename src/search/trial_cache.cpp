@@ -1,0 +1,90 @@
+#include "search/trial_cache.hpp"
+
+#include "support/hash.hpp"
+#include "support/journal.hpp"
+#include "support/log.hpp"
+#include "support/strings.hpp"
+
+namespace fpmix::search {
+
+void TrialCache::insert(const std::string& key, CachedTrial trial) {
+  trials_.try_emplace(key, std::move(trial));
+}
+
+const CachedTrial* TrialCache::lookup(const std::string& key) const {
+  const auto it = trials_.find(key);
+  return it == trials_.end() ? nullptr : &it->second;
+}
+
+std::string search_fingerprint(const std::string& verifier_fingerprint,
+                               std::uint64_t max_instructions_per_run) {
+  std::uint64_t h = fnv1a64(verifier_fingerprint);
+  h = fnv1a64_mix(h, max_instructions_per_run);
+  return hex_digest(h);
+}
+
+std::string encode_meta_line(const std::string& search_fp) {
+  return strformat("{\"type\":\"meta\",\"version\":1,\"search_fp\":\"%s\"}",
+                   json_escape(search_fp).c_str());
+}
+
+std::string encode_trial_line(const std::string& key, const std::string& unit,
+                              std::size_t candidates, const CachedTrial& t) {
+  return strformat(
+      "{\"type\":\"trial\",\"key\":\"%s\",\"unit\":\"%s\",\"cand\":%zu,"
+      "\"passed\":%s,\"failure\":\"%s\",\"eval_ns\":%llu}",
+      json_escape(key).c_str(), json_escape(unit).c_str(), candidates,
+      t.passed ? "true" : "false", json_escape(t.failure).c_str(),
+      static_cast<unsigned long long>(t.eval_ns));
+}
+
+std::size_t load_journal(const std::string& path,
+                         const std::string& search_fp, TrialCache* cache) {
+  std::size_t loaded = 0;
+  std::size_t skipped = 0;
+  bool fp_matches = false;  // until a meta record says otherwise
+  for (const std::string& line : Journal::read_lines(path)) {
+    if (trim(line).empty()) continue;
+    JsonRecord rec;
+    if (!parse_flat_json(line, &rec)) {
+      ++skipped;
+      continue;
+    }
+    const auto type = rec.find("type");
+    if (type == rec.end()) {
+      ++skipped;
+      continue;
+    }
+    if (type->second == "meta") {
+      const auto fp = rec.find("search_fp");
+      fp_matches = fp != rec.end() && fp->second == search_fp;
+      continue;
+    }
+    if (type->second != "trial") continue;  // future record types: ignore
+    if (!fp_matches) continue;  // recorded under a different search identity
+    const auto key = rec.find("key");
+    const auto passed = rec.find("passed");
+    if (key == rec.end() || passed == rec.end() ||
+        (passed->second != "true" && passed->second != "false")) {
+      ++skipped;
+      continue;
+    }
+    CachedTrial t;
+    t.passed = passed->second == "true";
+    if (const auto f = rec.find("failure"); f != rec.end()) {
+      t.failure = f->second;
+    }
+    if (const auto ns = rec.find("eval_ns"); ns != rec.end()) {
+      parse_u64(ns->second, &t.eval_ns);
+    }
+    cache->insert(key->second, std::move(t));
+    ++loaded;
+  }
+  if (skipped > 0) {
+    log::warnf("trial journal %s: skipped %zu malformed record(s)",
+               path.c_str(), skipped);
+  }
+  return loaded;
+}
+
+}  // namespace fpmix::search

@@ -1,0 +1,78 @@
+// Persistent trial cache for the configuration search.
+//
+// Every evaluated configuration (a "trial") is identified by the stable
+// digest of its PrecisionConfig serialization. Outcomes are held in an
+// in-memory cache and appended to a JSONL journal, so that
+//   * identical sub-configurations -- common under binary splitting and
+//     composition refinement -- are evaluated exactly once, and
+//   * a crashed or interrupted search resumes by replaying the journal:
+//     the deterministic search re-traverses the same frontier, but every
+//     already-journaled trial is served from cache at zero evaluation cost.
+//
+// Cache entries are only valid for one *search identity*: the verifier
+// (its fingerprint covers tolerances and a digest of the reference data)
+// plus the evaluation-affecting options. Journals carry that identity in
+// meta records, and replay skips trials recorded under a different one.
+//
+// Journal format (one JSON object per line; see DESIGN.md):
+//   {"type":"meta","version":1,"search_fp":"<16-hex>"}
+//   {"type":"trial","key":"<16-hex>","unit":"func cg","cand":12,
+//    "passed":true,"failure":"","eval_ns":18234987}
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace fpmix::search {
+
+/// Outcome of one evaluated configuration, as persisted in the journal.
+/// Pass/fail plus the failure reason is everything the search's decision
+/// procedure consumes, so it is everything the cache has to keep.
+struct CachedTrial {
+  bool passed = false;
+  std::string failure;
+  std::uint64_t eval_ns = 0;  // live evaluation cost when first computed
+};
+
+/// In-memory index of completed trials, keyed on the config digest.
+class TrialCache {
+ public:
+  /// First insert wins (re-evaluating a config is deterministic, so a
+  /// duplicate insert never carries new information).
+  void insert(const std::string& key, CachedTrial trial);
+
+  /// Returns the cached outcome, or nullptr on a miss.
+  const CachedTrial* lookup(const std::string& key) const;
+
+  std::size_t size() const { return trials_.size(); }
+
+ private:
+  std::unordered_map<std::string, CachedTrial> trials_;
+};
+
+/// Digest identifying a search's evaluation semantics: the verifier
+/// fingerprint plus every option that can change a trial's outcome
+/// (currently the per-run instruction budget). Options that only steer
+/// *which* configs get tested (stop level, splitting, prioritisation,
+/// thread count) are deliberately excluded so journals stay valid across
+/// them.
+std::string search_fingerprint(const std::string& verifier_fingerprint,
+                               std::uint64_t max_instructions_per_run);
+
+/// Journal meta record announcing the search identity of subsequent trials.
+std::string encode_meta_line(const std::string& search_fp);
+
+/// Journal trial record.
+std::string encode_trial_line(const std::string& key, const std::string& unit,
+                              std::size_t candidates, const CachedTrial& t);
+
+/// Replays the journal at `path` into `cache`: trial records whose most
+/// recent preceding meta record matches `search_fp` are inserted; foreign,
+/// malformed, or truncated records are skipped (with a warning for
+/// malformed ones). Returns the number of trials loaded. A missing file
+/// loads nothing.
+std::size_t load_journal(const std::string& path,
+                         const std::string& search_fp, TrialCache* cache);
+
+}  // namespace fpmix::search

@@ -1,0 +1,50 @@
+// Stable, dependency-free content hashing (64-bit FNV-1a).
+//
+// Used to derive identity keys for cached search trials: the digests are
+// persisted in journal files and compared across process runs, so the
+// algorithm must be stable across platforms and builds -- never replace it
+// with std::hash, whose value is unspecified and may change per invocation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fpmix {
+
+inline constexpr std::uint64_t kFnv1a64Offset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnv1a64Prime = 0x100000001b3ull;
+
+/// 64-bit FNV-1a over a byte string; `seed` allows chained hashing.
+constexpr std::uint64_t fnv1a64(std::string_view data,
+                                std::uint64_t seed = kFnv1a64Offset) {
+  std::uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnv1a64Prime;
+  }
+  return h;
+}
+
+/// Mixes an integer into a running hash (for ids, counts, option values).
+constexpr std::uint64_t fnv1a64_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= v & 0xFF;
+    h *= kFnv1a64Prime;
+    v >>= 8;
+  }
+  return h;
+}
+
+/// Fixed-width lowercase hex digest (16 chars), the journal's key format.
+inline std::string hex_digest(std::uint64_t h) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[h & 0xF];
+    h >>= 4;
+  }
+  return out;
+}
+
+}  // namespace fpmix

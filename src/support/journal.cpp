@@ -1,0 +1,191 @@
+#include "support/journal.hpp"
+
+#include <cctype>
+#include <cstring>
+
+#include "support/strings.hpp"
+
+namespace fpmix {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strformat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Parses a JSON string literal starting at s[*pos] == '"'; advances *pos
+/// past the closing quote and appends the unescaped text to *out.
+bool parse_string(std::string_view s, std::size_t* pos, std::string* out) {
+  if (*pos >= s.size() || s[*pos] != '"') return false;
+  ++*pos;
+  while (*pos < s.size()) {
+    const char c = s[*pos];
+    if (c == '"') {
+      ++*pos;
+      return true;
+    }
+    if (c == '\\') {
+      if (*pos + 1 >= s.size()) return false;
+      const char e = s[*pos + 1];
+      switch (e) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (*pos + 5 >= s.size()) return false;
+          std::uint64_t cp = 0;
+          if (!parse_hex_u64(s.substr(*pos + 2, 4), &cp) || cp > 0xFF) {
+            return false;  // journal strings only ever escape control bytes
+          }
+          *out += static_cast<char>(cp);
+          *pos += 4;
+          break;
+        }
+        default:
+          return false;
+      }
+      *pos += 2;
+      continue;
+    }
+    *out += c;
+    ++*pos;
+  }
+  return false;  // unterminated
+}
+
+void skip_ws(std::string_view s, std::size_t* pos) {
+  while (*pos < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[*pos]))) {
+    ++*pos;
+  }
+}
+
+/// Parses a bare scalar token (number / true / false / null) as literal
+/// text. Nested arrays/objects fail.
+bool parse_scalar(std::string_view s, std::size_t* pos, std::string* out) {
+  const std::size_t start = *pos;
+  while (*pos < s.size() && s[*pos] != ',' && s[*pos] != '}' &&
+         !std::isspace(static_cast<unsigned char>(s[*pos]))) {
+    const char c = s[*pos];
+    if (c == '{' || c == '[' || c == '"') return false;
+    ++*pos;
+  }
+  if (*pos == start) return false;
+  *out = std::string(s.substr(start, *pos - start));
+  return true;
+}
+
+}  // namespace
+
+bool parse_flat_json(std::string_view line, JsonRecord* out) {
+  out->clear();
+  std::size_t pos = 0;
+  skip_ws(line, &pos);
+  if (pos >= line.size() || line[pos] != '{') return false;
+  ++pos;
+  skip_ws(line, &pos);
+  if (pos < line.size() && line[pos] == '}') {
+    ++pos;
+  } else {
+    while (true) {
+      std::string key, value;
+      skip_ws(line, &pos);
+      if (!parse_string(line, &pos, &key)) return false;
+      skip_ws(line, &pos);
+      if (pos >= line.size() || line[pos] != ':') return false;
+      ++pos;
+      skip_ws(line, &pos);
+      if (pos < line.size() && line[pos] == '"') {
+        if (!parse_string(line, &pos, &value)) return false;
+      } else {
+        if (!parse_scalar(line, &pos, &value)) return false;
+      }
+      (*out)[key] = std::move(value);
+      skip_ws(line, &pos);
+      if (pos >= line.size()) return false;
+      if (line[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (line[pos] == '}') {
+        ++pos;
+        break;
+      }
+      return false;
+    }
+  }
+  skip_ws(line, &pos);
+  return pos == line.size();
+}
+
+Journal::~Journal() { close(); }
+
+bool Journal::open(const std::string& path) {
+  close();
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) return false;
+  path_ = path;
+  return true;
+}
+
+void Journal::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  path_.clear();
+}
+
+void Journal::append(const std::string& json_object) {
+  if (file_ == nullptr) return;
+  // One line per record: write + '\n' in a single buffered stream op, then
+  // flush so the record survives this process dying right after.
+  std::fwrite(json_object.data(), 1, json_object.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+}
+
+std::vector<std::string> Journal::read_lines(const std::string& path) {
+  std::vector<std::string> lines;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return lines;
+  std::string current;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (buf[i] == '\n') {
+        lines.push_back(std::move(current));
+        current.clear();
+      } else {
+        current += buf[i];
+      }
+    }
+  }
+  std::fclose(f);
+  // `current` holds a chunk with no terminating newline: an append that was
+  // cut short by a crash. Drop it -- resume re-evaluates that trial.
+  return lines;
+}
+
+}  // namespace fpmix

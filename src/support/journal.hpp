@@ -1,0 +1,61 @@
+// Append-only JSONL journaling for crash-safe incremental tools.
+//
+// A journal is a plain-text file of one JSON object per line. Records are
+// appended with a single buffered write followed by a flush, so an
+// interrupted process loses at most the line it was writing -- and readers
+// ignore an unterminated final line, which makes truncated journals (crash,
+// kill -9, full disk) safe to resume from.
+//
+// Only flat objects with string / integer / boolean values are supported;
+// that is all the trial journal needs, and it keeps the parser small enough
+// to audit.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fpmix {
+
+/// Escapes `s` for use inside a JSON string literal (quotes not included).
+std::string json_escape(std::string_view s);
+
+/// A flat JSON object, decoded: values are unescaped strings for string
+/// fields and the literal token text for numbers / booleans.
+using JsonRecord = std::map<std::string, std::string, std::less<>>;
+
+/// Parses one flat JSON object line. Returns false (leaving *out
+/// unspecified) on malformed input, nesting, or non-scalar values.
+bool parse_flat_json(std::string_view line, JsonRecord* out);
+
+/// Append-only JSONL writer. Not thread-safe; callers serialize appends.
+class Journal {
+ public:
+  Journal() = default;
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Opens `path` for appending, creating it if absent.
+  /// Returns false (and stays closed) when the file cannot be opened.
+  bool open(const std::string& path);
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+  void close();
+
+  /// Appends one record as a single line ('\n' added here) and flushes.
+  void append(const std::string& json_object);
+
+  /// Reads every complete line of `path`. A trailing chunk without a final
+  /// newline -- the signature of a crash mid-append -- is dropped. A missing
+  /// file yields an empty vector.
+  static std::vector<std::string> read_lines(const std::string& path);
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+}  // namespace fpmix

@@ -1,11 +1,22 @@
 #include "verify/verifier.hpp"
 
+#include <bit>
 #include <cmath>
 #include <cstring>
 
+#include "support/hash.hpp"
 #include "support/strings.hpp"
 
 namespace fpmix::verify {
+
+std::string Verifier::fingerprint() const { return describe(); }
+
+std::string digest_doubles(std::span<const double> values) {
+  std::uint64_t h = fnv1a64("f64[]");
+  for (double v : values) h = fnv1a64_mix(h, std::bit_cast<std::uint64_t>(v));
+  h = fnv1a64_mix(h, values.size());
+  return hex_digest(h);
+}
 
 RelativeErrorVerifier::RelativeErrorVerifier(std::vector<double> reference,
                                              double rel_tol, double abs_tol)
@@ -43,6 +54,17 @@ std::string RelativeErrorVerifier::describe() const {
                    "outputs", rel_tol_, abs_tol_, reference_.size());
 }
 
+std::string RelativeErrorVerifier::fingerprint() const {
+  std::string fp = strformat("rel-err:rel=%.17g:abs=%.17g:ref=%s", rel_tol_,
+                             abs_tol_, digest_doubles(reference_).c_str());
+  for (std::size_t i = 0; i < per_output_.size(); ++i) {
+    if (per_output_[i].rel < 0.0) continue;
+    fp += strformat(":tol%zu=%.17g,%.17g", i, per_output_[i].rel,
+                    per_output_[i].abs);
+  }
+  return fp;
+}
+
 BitExactVerifier::BitExactVerifier(std::vector<double> reference)
     : reference_(std::move(reference)) {}
 
@@ -54,6 +76,10 @@ bool BitExactVerifier::verify(std::span<const double> outputs) const {
 
 std::string BitExactVerifier::describe() const {
   return strformat("bit-exact vs %zu reference outputs", reference_.size());
+}
+
+std::string BitExactVerifier::fingerprint() const {
+  return strformat("bit-exact:ref=%s", digest_doubles(reference_).c_str());
 }
 
 ThresholdVerifier::ThresholdVerifier(std::size_t index, double threshold,
@@ -72,6 +98,11 @@ bool ThresholdVerifier::verify(std::span<const double> outputs) const {
 std::string ThresholdVerifier::describe() const {
   return strformat("reported error (output %zu) <= %.3g", index_,
                    threshold_);
+}
+
+std::string ThresholdVerifier::fingerprint() const {
+  return strformat("threshold:index=%zu:limit=%.17g:outputs=%zu", index_,
+                   threshold_, expected_outputs_);
 }
 
 }  // namespace fpmix::verify

@@ -25,7 +25,20 @@ class Verifier {
 
   /// Human-readable description for logs and reports.
   virtual std::string describe() const = 0;
+
+  /// Stable identity of this verifier instance: two verifiers with equal
+  /// fingerprints accept exactly the same outputs, so cached trial verdicts
+  /// (the search's journal) transfer between them. The built-in verifiers
+  /// fold every parameter *and a digest of the reference data* into the
+  /// fingerprint; the default falls back to describe(), which is safe for
+  /// custom verifiers whose description names all their parameters.
+  virtual std::string fingerprint() const;
 };
+
+/// Stable digest of a double vector (hashes the raw IEEE-754 bytes), used
+/// by verifier fingerprints so different reference runs never share cache
+/// entries.
+std::string digest_doubles(std::span<const double> values);
 
 /// Element-wise comparison against a reference run:
 /// |out - ref| <= abs_tol + rel_tol * |ref| for every element, and the
@@ -43,6 +56,7 @@ class RelativeErrorVerifier : public Verifier {
 
   bool verify(std::span<const double> outputs) const override;
   std::string describe() const override;
+  std::string fingerprint() const override;
 
  private:
   struct Tol {
@@ -60,6 +74,7 @@ class BitExactVerifier : public Verifier {
   explicit BitExactVerifier(std::vector<double> reference);
   bool verify(std::span<const double> outputs) const override;
   std::string describe() const override;
+  std::string fingerprint() const override;
 
  private:
   std::vector<double> reference_;
@@ -75,6 +90,7 @@ class ThresholdVerifier : public Verifier {
                     std::size_t expected_outputs);
   bool verify(std::span<const double> outputs) const override;
   std::string describe() const override;
+  std::string fingerprint() const override;
 
  private:
   std::size_t index_;

@@ -3,6 +3,8 @@
 // exchange format.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "asm/assembler.hpp"
 #include "config/config.hpp"
 #include "config/structure.hpp"
@@ -224,6 +226,40 @@ TEST(TextFormat, ParserRejectsGarbage) {
   EXPECT_THROW(
       from_text(ix, "  MODULE solver\n  FUNC01: kernel\n  BBLK01: 0x1\n"),
       ConfigError);  // unknown block address
+}
+
+TEST(CanonicalKey, IdentifiesConfigsStably) {
+  PrecisionConfig a;
+  a.set_module(3, Precision::kSingle);
+  a.set_instr(7, Precision::kIgnore);
+  EXPECT_EQ(a.canonical_key(), "m3=s;i7=i;");
+
+  // Equal configs hash equal; the digest is pinned to the serialization,
+  // not the insertion order.
+  PrecisionConfig b;
+  b.set_instr(7, Precision::kIgnore);
+  b.set_module(3, Precision::kSingle);
+  EXPECT_EQ(a.canonical_key(), b.canonical_key());
+  EXPECT_EQ(a.stable_hash(), b.stable_hash());
+
+  // Any flag difference changes the key -- including an explicit 'd', which
+  // shields a child from aggregate overrides and is therefore meaningful.
+  PrecisionConfig c = a;
+  c.set_instr(9, Precision::kDouble);
+  EXPECT_EQ(c.canonical_key(), "m3=s;i7=i;i9=d;");
+  EXPECT_NE(c.stable_hash(), a.stable_hash());
+
+  // Id spaces do not collide: module 1 vs func 1 vs block 1 vs instr 1.
+  PrecisionConfig m, f, bl, in;
+  m.set_module(1, Precision::kSingle);
+  f.set_func(1, Precision::kSingle);
+  bl.set_block(1, Precision::kSingle);
+  in.set_instr(1, Precision::kSingle);
+  std::set<std::string> keys{m.canonical_key(), f.canonical_key(),
+                             bl.canonical_key(), in.canonical_key()};
+  EXPECT_EQ(keys.size(), 4u);
+
+  EXPECT_EQ(PrecisionConfig{}.canonical_key(), "");
 }
 
 TEST(TextFormat, CommentsAndBlanksIgnored) {

@@ -1,0 +1,291 @@
+// Crash-safe resumable search: the journal-backed trial cache must make a
+// resumed search behave exactly like an uninterrupted one -- byte-identical
+// final configuration, identical trial count -- while performing zero live
+// verifier evaluations for already-journaled configurations.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "config/textio.hpp"
+#include "kernels/workload.hpp"
+#include "lang/builder.hpp"
+#include "lang/compile.hpp"
+#include "program/layout.hpp"
+#include "program/program.hpp"
+#include "search/search.hpp"
+#include "search/trial_cache.hpp"
+#include "support/journal.hpp"
+#include "verify/evaluate.hpp"
+
+namespace fpmix::search {
+namespace {
+
+using config::Precision;
+using lang::Builder;
+using lang::Expr;
+
+struct Prepared {
+  program::Image image;
+  config::StructureIndex index;
+  std::unique_ptr<verify::Verifier> verifier;
+};
+
+/// A mixed-sensitivity program that forces a deep search: a straight-line
+/// run of independently narrowable adds (found via binary splitting) plus a
+/// precision-critical tail that must be refused down to the instruction
+/// level, so the journal records trials at several descent levels.
+lang::ProgramModel deep_search_program() {
+  Builder b;
+  b.begin_func("main", "m");
+  auto good = b.var_f64("good");
+  auto bad = b.var_f64("bad");
+  b.set(good, b.cf(0.0));
+  for (int k = 0; k < 24; ++k) {
+    b.set(good, floor_(Expr(good) + b.cf(1.0 + k)));
+  }
+  b.set(bad, b.cf(1.0) / b.cf(3.0) + b.cf(1.0) / b.cf(7.0));
+  b.output(good);
+  b.output(bad);
+  b.end_func();
+  return b.take_model();
+}
+
+Prepared prepare(double rel_tol = 1e-12) {
+  Prepared p{program::relayout(lang::compile(deep_search_program(),
+                                             lang::Mode::kDouble)),
+             {}, nullptr};
+  p.index = config::StructureIndex::build(program::lift(p.image));
+  std::vector<double> ref = verify::reference_outputs(p.image);
+  p.verifier =
+      std::make_unique<verify::RelativeErrorVerifier>(std::move(ref),
+                                                      rel_tol);
+  return p;
+}
+
+std::string temp_journal(const char* name) {
+  const std::string path = testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+TEST(Resume, WarmRunIsAllCacheHitsAndByteIdentical) {
+  const std::string journal = temp_journal("resume_warm.jsonl");
+
+  SearchOptions opts;
+  opts.journal_path = journal;
+
+  Prepared p1 = prepare();
+  const SearchResult cold = run_search(p1.image, &p1.index, *p1.verifier,
+                                       opts);
+  EXPECT_EQ(cold.metrics.trials_cached, 0u);
+  EXPECT_EQ(cold.metrics.trials_live, cold.configs_tested);
+  EXPECT_GT(cold.configs_tested, 5u);  // the search actually descended
+
+  Prepared p2 = prepare();
+  const SearchResult warm = run_search(p2.image, &p2.index, *p2.verifier,
+                                       opts);
+
+  // Zero verifier evaluations: every trial, composition included, is
+  // served from the journal.
+  EXPECT_EQ(warm.metrics.trials_live, 0u);
+  EXPECT_EQ(warm.metrics.trials_cached, warm.configs_tested);
+  EXPECT_DOUBLE_EQ(warm.metrics.cache_hit_rate, 100.0);
+  for (const TestRecord& rec : warm.trace) {
+    EXPECT_TRUE(rec.cached) << rec.unit;
+  }
+
+  // Identical outcome, down to the serialized bytes.
+  EXPECT_EQ(warm.configs_tested, cold.configs_tested);
+  EXPECT_EQ(warm.final_config, cold.final_config);
+  EXPECT_EQ(warm.final_passed, cold.final_passed);
+  EXPECT_EQ(config::to_text(p2.index, warm.final_config),
+            config::to_text(p1.index, cold.final_config));
+  std::remove(journal.c_str());
+}
+
+TEST(Resume, TruncatedJournalResumesToUninterruptedResult) {
+  const std::string journal = temp_journal("resume_trunc.jsonl");
+
+  // Reference: an uninterrupted search with no journal at all.
+  Prepared pr = prepare();
+  const SearchResult uninterrupted =
+      run_search(pr.image, &pr.index, *pr.verifier, {});
+
+  // A full journaled run, then simulate a crash mid-level: keep roughly
+  // half the records and cut the next one mid-line (an append that died).
+  SearchOptions opts;
+  opts.journal_path = journal;
+  {
+    Prepared p = prepare();
+    run_search(p.image, &p.index, *p.verifier, opts);
+  }
+  const auto lines = Journal::read_lines(journal);
+  ASSERT_GT(lines.size(), 6u);
+  const std::size_t keep = lines.size() / 2;
+  {
+    std::ofstream f(journal, std::ios::trunc | std::ios::binary);
+    for (std::size_t i = 0; i < keep; ++i) f << lines[i] << '\n';
+    f << lines[keep].substr(0, lines[keep].size() / 2);  // torn write
+  }
+
+  // Resume. The torn record is dropped, the complete prefix is replayed,
+  // and the search finishes the remainder live.
+  Prepared p2 = prepare();
+  const SearchResult resumed =
+      run_search(p2.image, &p2.index, *p2.verifier, opts);
+  EXPECT_GT(resumed.metrics.trials_cached, 0u);
+  EXPECT_GT(resumed.metrics.trials_live, 0u);
+
+  // Cached + live together must equal the uninterrupted run exactly.
+  EXPECT_EQ(resumed.configs_tested, uninterrupted.configs_tested);
+  EXPECT_EQ(resumed.final_config, uninterrupted.final_config);
+  EXPECT_EQ(resumed.final_passed, uninterrupted.final_passed);
+  EXPECT_EQ(config::to_text(p2.index, resumed.final_config),
+            config::to_text(pr.index, uninterrupted.final_config));
+
+  // And a third run over the now-complete journal is 100% warm again.
+  Prepared p3 = prepare();
+  const SearchResult warm = run_search(p3.image, &p3.index, *p3.verifier,
+                                       opts);
+  EXPECT_EQ(warm.metrics.trials_live, 0u);
+  EXPECT_EQ(warm.final_config, uninterrupted.final_config);
+  std::remove(journal.c_str());
+}
+
+TEST(Resume, JournalFromDifferentVerifierIsIgnored) {
+  const std::string journal = temp_journal("resume_foreign.jsonl");
+
+  SearchOptions opts;
+  opts.journal_path = journal;
+  {
+    Prepared p = prepare(1e-12);
+    run_search(p.image, &p.index, *p.verifier, opts);
+  }
+
+  // A looser tolerance is a different search identity: journaled verdicts
+  // must not transfer. The run must look exactly like the same search with
+  // no journal at all (intra-run dedup hits -- here the final composition
+  // equalling the already-passed module config -- are still allowed).
+  Prepared pb = prepare(1e-2);
+  const SearchResult base = run_search(pb.image, &pb.index, *pb.verifier,
+                                       {});
+  Prepared p2 = prepare(1e-2);
+  const SearchResult res = run_search(p2.image, &p2.index, *p2.verifier,
+                                      opts);
+  EXPECT_EQ(res.metrics.trials_cached, base.metrics.trials_cached);
+  EXPECT_EQ(res.metrics.trials_live, base.metrics.trials_live);
+  EXPECT_EQ(res.configs_tested, base.configs_tested);
+  EXPECT_EQ(res.final_config, base.final_config);
+  std::remove(journal.c_str());
+}
+
+TEST(Resume, ResumeOffAppendsButNeverConsults) {
+  const std::string journal = temp_journal("resume_off.jsonl");
+
+  SearchOptions opts;
+  opts.journal_path = journal;
+  {
+    Prepared p = prepare();
+    run_search(p.image, &p.index, *p.verifier, opts);
+  }
+  const std::size_t lines_after_first = Journal::read_lines(journal).size();
+
+  opts.resume = false;
+  Prepared p2 = prepare();
+  const SearchResult res = run_search(p2.image, &p2.index, *p2.verifier,
+                                      opts);
+  EXPECT_EQ(res.metrics.trials_cached, 0u);
+  EXPECT_GT(Journal::read_lines(journal).size(), lines_after_first);
+  std::remove(journal.c_str());
+}
+
+TEST(Resume, ParallelWarmRunMatchesSerial) {
+  // Thread count must not perturb journal identity or replay: a warm
+  // 4-thread run over a serial run's journal is still 100% cached.
+  const std::string journal = temp_journal("resume_parallel.jsonl");
+
+  SearchOptions serial;
+  serial.journal_path = journal;
+  Prepared p1 = prepare();
+  const SearchResult cold = run_search(p1.image, &p1.index, *p1.verifier,
+                                       serial);
+
+  SearchOptions parallel = serial;
+  parallel.num_threads = 4;
+  Prepared p2 = prepare();
+  const SearchResult warm = run_search(p2.image, &p2.index, *p2.verifier,
+                                       parallel);
+  EXPECT_EQ(warm.metrics.trials_live, 0u);
+  EXPECT_EQ(warm.configs_tested, cold.configs_tested);
+  EXPECT_EQ(warm.final_config, cold.final_config);
+  std::remove(journal.c_str());
+}
+
+TEST(Resume, MetricsAccounting) {
+  Prepared p = prepare();
+  const SearchResult res = run_search(p.image, &p.index, *p.verifier, {});
+  const SearchMetrics& m = res.metrics;
+  EXPECT_EQ(m.trials_total, res.configs_tested);
+  EXPECT_EQ(m.trials_live + m.trials_cached, m.trials_total);
+  EXPECT_GT(m.wall_seconds, 0.0);
+  EXPECT_GT(m.trials_per_sec, 0.0);
+  EXPECT_GT(m.eval_seconds, 0.0);
+  // Per-level attribution sums to the live total and includes the final
+  // composition level.
+  double sum = 0.0;
+  for (const auto& [level, secs] : m.eval_seconds_per_level) sum += secs;
+  EXPECT_NEAR(sum, m.eval_seconds, 1e-9);
+  EXPECT_TRUE(m.eval_seconds_per_level.contains("composition"));
+  // Trace carries per-trial identity and timing.
+  for (const TestRecord& rec : res.trace) {
+    EXPECT_EQ(rec.key.size(), 16u) << rec.unit;
+    EXPECT_FALSE(rec.cached);
+    EXPECT_GT(rec.eval_ns, 0u) << rec.unit;
+  }
+}
+
+TEST(TrialCacheUnit, FirstInsertWinsAndFingerprintSeparates) {
+  TrialCache cache;
+  cache.insert("k1", CachedTrial{true, "", 5});
+  cache.insert("k1", CachedTrial{false, "later", 9});
+  ASSERT_NE(cache.lookup("k1"), nullptr);
+  EXPECT_TRUE(cache.lookup("k1")->passed);
+  EXPECT_EQ(cache.lookup("missing"), nullptr);
+
+  EXPECT_NE(search_fingerprint("verifier-a", 100),
+            search_fingerprint("verifier-b", 100));
+  EXPECT_NE(search_fingerprint("verifier-a", 100),
+            search_fingerprint("verifier-a", 200));
+  EXPECT_EQ(search_fingerprint("verifier-a", 100),
+            search_fingerprint("verifier-a", 100));
+}
+
+TEST(TrialCacheUnit, LoadJournalHonoursMetaFingerprint) {
+  const std::string path = temp_journal("trial_cache_load.jsonl");
+  {
+    Journal j;
+    ASSERT_TRUE(j.open(path));
+    j.append(encode_meta_line("fp-one"));
+    j.append(encode_trial_line("aaaa", "module m", 3,
+                               CachedTrial{true, "", 11}));
+    j.append(encode_meta_line("fp-two"));
+    j.append(encode_trial_line("bbbb", "func f", 2,
+                               CachedTrial{false, "trap: tag escape", 7}));
+    j.append("this is not json");
+    j.append("{\"type\":\"trial\",\"passed\":true}");  // missing key
+  }
+  TrialCache cache;
+  EXPECT_EQ(load_journal(path, "fp-two", &cache), 1u);
+  EXPECT_EQ(cache.lookup("aaaa"), nullptr);  // other fingerprint
+  const CachedTrial* t = cache.lookup("bbbb");
+  ASSERT_NE(t, nullptr);
+  EXPECT_FALSE(t->passed);
+  EXPECT_EQ(t->failure, "trap: tag escape");
+  EXPECT_EQ(t->eval_ns, 7u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fpmix::search

@@ -1,9 +1,14 @@
-// Tests for the support layer: string utilities, RNGs, thread pool.
+// Tests for the support layer: string utilities, RNGs, thread pool,
+// stable hashing, JSONL journal.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <cstdio>
 #include <set>
 
+#include "support/hash.hpp"
+#include "support/journal.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
 #include "support/thread_pool.hpp"
@@ -58,6 +63,93 @@ TEST(Strings, ParseNumbers) {
   EXPECT_EQ(v, 0xFFu);
   EXPECT_FALSE(parse_hex_u64("0x", &v));
   EXPECT_FALSE(parse_hex_u64("0xZZ", &v));
+}
+
+// ---------------------------------------------------------------------------
+// Stable hashing.
+
+TEST(Hash, MatchesFnv1aReferenceVectors) {
+  // Values persisted in journal files must never drift, so pin the
+  // published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Hash, MixAndDigest) {
+  const std::uint64_t h1 = fnv1a64_mix(kFnv1a64Offset, 1);
+  const std::uint64_t h2 = fnv1a64_mix(kFnv1a64Offset, 2);
+  EXPECT_NE(h1, h2);
+  EXPECT_EQ(hex_digest(0), "0000000000000000");
+  EXPECT_EQ(hex_digest(0xdeadbeef), "00000000deadbeef");
+  EXPECT_EQ(hex_digest(0xcbf29ce484222325ull), "cbf29ce484222325");
+}
+
+// ---------------------------------------------------------------------------
+// JSONL journal.
+
+TEST(Json, EscapeRoundTrip) {
+  const std::string nasty = "a\"b\\c\nd\te\rf\x01g";
+  const std::string line =
+      "{\"k\":\"" + json_escape(nasty) + "\",\"n\":42,\"b\":true}";
+  JsonRecord rec;
+  ASSERT_TRUE(parse_flat_json(line, &rec));
+  EXPECT_EQ(rec["k"], nasty);
+  EXPECT_EQ(rec["n"], "42");
+  EXPECT_EQ(rec["b"], "true");
+}
+
+TEST(Json, RejectsMalformedAndNested) {
+  JsonRecord rec;
+  EXPECT_TRUE(parse_flat_json("{}", &rec));
+  EXPECT_TRUE(rec.empty());
+  EXPECT_TRUE(parse_flat_json("  {\"a\" : \"b\" , \"c\" : 1}  ", &rec));
+  EXPECT_FALSE(parse_flat_json("", &rec));
+  EXPECT_FALSE(parse_flat_json("{\"a\":\"b\"", &rec));       // truncated
+  EXPECT_FALSE(parse_flat_json("{\"a\":{\"b\":1}}", &rec));  // nested
+  EXPECT_FALSE(parse_flat_json("{\"a\":[1,2]}", &rec));      // array
+  EXPECT_FALSE(parse_flat_json("{\"a\":\"b\"}x", &rec));     // trailing junk
+  EXPECT_FALSE(parse_flat_json("{\"a\" \"b\"}", &rec));      // missing colon
+}
+
+TEST(Journal, AppendAndReadBack) {
+  const std::string path = testing::TempDir() + "journal_rw.jsonl";
+  std::remove(path.c_str());
+  {
+    Journal j;
+    ASSERT_TRUE(j.open(path));
+    j.append("{\"n\":1}");
+    j.append("{\"n\":2}");
+  }
+  {
+    Journal j;  // append mode: reopening must not clobber prior records
+    ASSERT_TRUE(j.open(path));
+    j.append("{\"n\":3}");
+  }
+  const auto lines = Journal::read_lines(path);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "{\"n\":1}");
+  EXPECT_EQ(lines[2], "{\"n\":3}");
+  std::remove(path.c_str());
+}
+
+TEST(Journal, DropsUnterminatedTailLine) {
+  const std::string path = testing::TempDir() + "journal_trunc.jsonl";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{\"n\":1}\n{\"n\":2}\n{\"n\":3", f);  // crash mid-append
+  std::fclose(f);
+  const auto lines = Journal::read_lines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], "{\"n\":2}");
+  std::remove(path.c_str());
+}
+
+TEST(Journal, MissingFileReadsEmpty) {
+  EXPECT_TRUE(Journal::read_lines("/nonexistent/nope.jsonl").empty());
+  Journal j;
+  EXPECT_FALSE(j.open("/nonexistent/nope.jsonl"));
+  EXPECT_FALSE(j.is_open());
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,147 @@
+// Interpreted-MIPS comparison of the two VM execution engines.
+//
+// For each NAS kernel analogue, predecodes the image once, runs it to
+// completion on the reference switch interpreter and on the micro-op
+// engine (profiling off on both -- the trial-evaluation configuration),
+// and reports retired-instructions-per-second. The engines must agree
+// bit-for-bit on outputs and retired counts; any mismatch fails the run
+// with a non-zero exit, so this binary doubles as an end-to-end
+// differential check.
+//
+// Usage: bench_vm_dispatch [S|W|A] [--quick]
+//   --quick: class S, one repetition per engine (the CI smoke
+//   configuration; still prints the full table).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "kernels/workload.hpp"
+#include "lang/compile.hpp"
+#include "support/timer.hpp"
+#include "vm/machine.hpp"
+
+namespace {
+
+struct EngineRun {
+  double best_seconds = 0.0;
+  std::uint64_t retired = 0;
+  std::vector<double> outputs;
+  bool ok = false;
+  std::string error;
+};
+
+EngineRun run_best_of(
+    const std::shared_ptr<const fpmix::vm::ExecutableImage>& exec,
+    fpmix::vm::Engine engine, std::uint64_t max_instructions, int reps) {
+  EngineRun out;
+  for (int rep = 0; rep < reps; ++rep) {
+    fpmix::vm::Machine::Options opts;
+    opts.engine = engine;
+    opts.profile = false;
+    opts.max_instructions = max_instructions;
+    fpmix::vm::Machine m(exec, opts);
+    fpmix::Timer t;
+    const fpmix::vm::RunResult r = m.run();
+    const double secs = t.elapsed_seconds();
+    if (rep == 0 || secs < out.best_seconds) out.best_seconds = secs;
+    out.retired = m.instructions_retired();
+    out.outputs = m.output_f64();
+    out.ok = r.ok();
+    out.error = r.trap_message;
+    if (!out.ok) break;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fpmix;
+
+  char cls = 'W';
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strlen(argv[i]) == 1) {
+      cls = argv[i][0];
+    }
+  }
+  if (quick) cls = 'S';
+  const int reps = quick ? 1 : 3;
+
+  std::vector<kernels::Workload> suite;
+  suite.push_back(kernels::make_ep(cls));
+  suite.push_back(kernels::make_cg(cls));
+  suite.push_back(kernels::make_ft(cls));
+  suite.push_back(kernels::make_mg(cls));
+  suite.push_back(kernels::make_bt(cls));
+  suite.push_back(kernels::make_lu(cls));
+  suite.push_back(kernels::make_sp(cls));
+
+  std::printf("VM dispatch engines, NAS kernel suite, class %c "
+              "(best of %d rep%s)\n",
+              cls, reps, reps == 1 ? "" : "s");
+  bench::print_rule(78);
+  std::printf("%-8s %14s %12s %12s %9s\n", "bench", "instructions",
+              "switch MIPS", "micro MIPS", "speedup");
+  bench::print_rule(78);
+
+  bool all_match = true;
+  double log_speedup_sum = 0.0;
+  for (const kernels::Workload& w : suite) {
+    const program::Image img = kernels::build_image(w);
+    const auto exec = vm::ExecutableImage::build(img);
+
+    const EngineRun sw = run_best_of(exec, vm::Engine::kSwitch,
+                                     w.max_instructions, reps);
+    const EngineRun micro = run_best_of(exec, vm::Engine::kMicroOp,
+                                        w.max_instructions, reps);
+    if (!sw.ok || !micro.ok) {
+      std::printf("%-8s FAILED: %s\n", w.name.c_str(),
+                  (!sw.ok ? sw.error : micro.error).c_str());
+      all_match = false;
+      continue;
+    }
+    bool match = sw.retired == micro.retired &&
+                 sw.outputs.size() == micro.outputs.size();
+    if (match) {
+      for (std::size_t i = 0; i < sw.outputs.size(); ++i) {
+        if (std::bit_cast<std::uint64_t>(sw.outputs[i]) !=
+            std::bit_cast<std::uint64_t>(micro.outputs[i])) {
+          match = false;
+          break;
+        }
+      }
+    }
+    if (!match) {
+      std::printf("%-8s ENGINE MISMATCH (outputs or retired count)\n",
+                  w.name.c_str());
+      all_match = false;
+      continue;
+    }
+
+    const double sw_mips =
+        static_cast<double>(sw.retired) / sw.best_seconds / 1e6;
+    const double micro_mips =
+        static_cast<double>(micro.retired) / micro.best_seconds / 1e6;
+    const double speedup = micro_mips / sw_mips;
+    log_speedup_sum += std::log(speedup);
+    std::printf("%-8s %14llu %12.1f %12.1f %8.2fx\n", w.name.c_str(),
+                static_cast<unsigned long long>(micro.retired), sw_mips,
+                micro_mips, speedup);
+  }
+  bench::print_rule(78);
+  if (!all_match) {
+    std::printf("FAIL: engines disagree; see rows above\n");
+    return 1;
+  }
+  const double geomean =
+      std::exp(log_speedup_sum / static_cast<double>(suite.size()));
+  std::printf("geomean speedup: %.2fx (micro-op over switch)\n", geomean);
+  return 0;
+}

@@ -105,6 +105,10 @@ int main(int argc, char** argv) {
   for (const auto& [level, secs] : m.eval_seconds_per_level) {
     std::printf("  level %-12s %.2fs\n", level.c_str(), secs);
   }
+  std::printf("  stages: patch %.2fs, predecode %.2fs, run %.2fs, "
+              "verify %.2fs\n",
+              m.patch_seconds, m.predecode_seconds, m.run_seconds,
+              m.verify_seconds);
   std::printf("final configuration: %.1f%% static / %.1f%% dynamic "
               "replacement, composition %s\n",
               res.stats.static_pct, res.stats.dynamic_pct,

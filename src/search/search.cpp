@@ -346,6 +346,9 @@ class Searcher {
   void evaluate_live(Trial* t) {
     verify::EvalOptions eopts;
     eopts.max_instructions = options_.max_instructions_per_run;
+    // Pass/fail is all a trial reports; per-instruction counts come only
+    // from profile_original(), so the VM can take its non-profiling loop.
+    eopts.profile = false;
     Timer timer;
     t->result =
         verify::evaluate_config(original_, ix_, t->cfg, verifier_, eopts);
@@ -377,6 +380,12 @@ class Searcher {
       const double secs = 1e-9 * static_cast<double>(t->eval_ns);
       metrics_.eval_seconds += secs;
       metrics_.eval_seconds_per_level[level] += secs;
+      metrics_.patch_seconds += 1e-9 * static_cast<double>(t->result.patch_ns);
+      metrics_.predecode_seconds +=
+          1e-9 * static_cast<double>(t->result.predecode_ns);
+      metrics_.run_seconds += 1e-9 * static_cast<double>(t->result.run_ns);
+      metrics_.verify_seconds +=
+          1e-9 * static_cast<double>(t->result.verify_ns);
       CachedTrial entry{t->result.passed, t->result.failure, t->eval_ns};
       if (journal_.is_open()) {
         journal_.append(encode_trial_line(t->key, name, candidates, entry));

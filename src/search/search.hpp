@@ -103,6 +103,13 @@ struct SearchMetrics {
   /// ("module", "function", "func-part", "block", "block-part", "insn",
   /// "composition").
   std::map<std::string, double> eval_seconds_per_level;
+  /// Stage breakdown of the summed live evaluations: where each trial's
+  /// time went (patch = instrument_image, predecode = ExecutableImage
+  /// build, run = VM execution, verify = output check).
+  double patch_seconds = 0.0;
+  double predecode_seconds = 0.0;
+  double run_seconds = 0.0;
+  double verify_seconds = 0.0;
 };
 
 struct SearchResult {

@@ -2,6 +2,7 @@
 
 #include "support/error.hpp"
 #include "support/strings.hpp"
+#include "support/timer.hpp"
 
 namespace fpmix::verify {
 
@@ -11,14 +12,23 @@ EvalResult evaluate_config(const program::Image& original,
                            const Verifier& verifier,
                            const EvalOptions& options) {
   EvalResult result;
-  const program::Image patched =
+  Timer timer;
+  program::Image patched =
       instrument::instrument_image(original, index, cfg, &result.stats);
+  result.patch_ns = timer.elapsed_ns();
+
+  timer.reset();
+  const auto exec = vm::ExecutableImage::build(std::move(patched));
+  result.predecode_ns = timer.elapsed_ns();
 
   vm::Machine::Options mopts;
   mopts.max_instructions = options.max_instructions;
   mopts.profile = options.profile;
-  vm::Machine machine(patched, mopts);
+  mopts.engine = options.engine;
+  vm::Machine machine(exec, mopts);
+  timer.reset();
   const vm::RunResult run = machine.run();
+  result.run_ns = timer.elapsed_ns();
   result.run_status = run.status;
   result.instructions_retired = run.instructions_retired;
   result.outputs = machine.output_f64();
@@ -29,7 +39,9 @@ EvalResult evaluate_config(const program::Image& original,
                                               : run.trap_message;
     return result;
   }
+  timer.reset();
   result.passed = verifier.verify(result.outputs);
+  result.verify_ns = timer.elapsed_ns();
   if (!result.passed) result.failure = "verification failed";
   return result;
 }
@@ -38,6 +50,7 @@ std::vector<double> reference_outputs(const program::Image& original,
                                       std::uint64_t max_instructions) {
   vm::Machine::Options mopts;
   mopts.max_instructions = max_instructions;
+  mopts.profile = false;  // only the outputs are consumed
   vm::Machine machine(original, mopts);
   const vm::RunResult run = machine.run();
   if (!run.ok()) {

@@ -14,7 +14,11 @@ namespace fpmix::verify {
 
 struct EvalOptions {
   std::uint64_t max_instructions = 1ull << 32;
+  /// Per-instruction execution counts. Pass/fail trials never read them, so
+  /// the search leaves this off and the VM takes its non-profiling run loop.
   bool profile = false;
+  /// Execution engine; kSwitch is the differential-testing oracle.
+  vm::Engine engine = vm::Engine::kMicroOp;
 };
 
 struct EvalResult {
@@ -24,6 +28,12 @@ struct EvalResult {
   std::vector<double> outputs;
   std::uint64_t instructions_retired = 0;
   instrument::InstrumentStats stats;
+
+  // Stage breakdown of this evaluation (SearchMetrics aggregates these).
+  std::uint64_t patch_ns = 0;      // instrument_image
+  std::uint64_t predecode_ns = 0;  // ExecutableImage::build of the patch
+  std::uint64_t run_ns = 0;        // VM execution
+  std::uint64_t verify_ns = 0;     // verifier.verify on the outputs
 };
 
 /// Builds the mixed-precision binary for `cfg` and evaluates it. Crashes,

@@ -1,0 +1,394 @@
+#include "vm/exec_image.hpp"
+
+#include <bit>
+#include <utility>
+
+#include "arch/encode.hpp"
+#include "arch/opcode.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace fpmix::vm {
+
+using arch::Instr;
+using arch::Opcode;
+using arch::Operand;
+
+namespace {
+
+void fill_ea(const arch::MemRef& m, MicroOp* u) {
+  u->ea_base = m.base == arch::kNoReg ? kZeroRegSlot : m.base;
+  u->ea_index = m.index == arch::kNoReg ? kZeroRegSlot : m.index;
+  // Decode guarantees scale is 1/2/4/8; a shift keeps the index term off
+  // the multiplier on the engine's address critical path.
+  u->ea_shift = static_cast<std::uint8_t>(std::countr_zero(m.scale));
+  u->ea_disp = m.disp;
+}
+
+/// Picks the XX or XM variant of an FP op from the src operand and fills
+/// the shared fields (dst xmm in `a`; src xmm in `b` or the address
+/// recipe). Returns kFallback for any form the specialization set does not
+/// cover, which the engine executes through the switch oracle.
+MicroKind xmm_variant(const Instr& ins, MicroKind xx, MicroKind xm,
+                      MicroOp* u) {
+  if (!ins.dst.is_xmm()) return MicroKind::kFallback;
+  u->a = ins.dst.reg;
+  if (ins.src.is_xmm()) {
+    u->b = ins.src.reg;
+    return xx;
+  }
+  if (ins.src.is_mem()) {
+    fill_ea(ins.src.mem, u);
+    return xm;
+  }
+  return MicroKind::kFallback;
+}
+
+/// Same scheme for two-operand integer ops (gpr,gpr / gpr,imm).
+MicroKind int_variant(const Instr& ins, MicroKind rr, MicroKind ri,
+                      MicroOp* u) {
+  if (!ins.dst.is_gpr()) return MicroKind::kFallback;
+  u->a = ins.dst.reg;
+  if (ins.src.is_gpr()) {
+    u->b = ins.src.reg;
+    return rr;
+  }
+  if (ins.src.is_imm()) {
+    u->imm = ins.src.imm;
+    return ri;
+  }
+  return MicroKind::kFallback;
+}
+
+MicroOp lower(const Instr& ins) {
+  MicroOp u;
+  const auto set = [&u](MicroKind k) {
+    u.kind = static_cast<std::uint16_t>(k);
+  };
+  switch (ins.op) {
+    case Opcode::kNop: set(MicroKind::kNop); break;
+    case Opcode::kHalt: set(MicroKind::kHalt); break;
+
+    case Opcode::kJmp: set(MicroKind::kJmp); u.imm = ins.src.imm; break;
+    case Opcode::kJe: set(MicroKind::kJe); u.imm = ins.src.imm; break;
+    case Opcode::kJne: set(MicroKind::kJne); u.imm = ins.src.imm; break;
+    case Opcode::kJl: set(MicroKind::kJl); u.imm = ins.src.imm; break;
+    case Opcode::kJle: set(MicroKind::kJle); u.imm = ins.src.imm; break;
+    case Opcode::kJg: set(MicroKind::kJg); u.imm = ins.src.imm; break;
+    case Opcode::kJge: set(MicroKind::kJge); u.imm = ins.src.imm; break;
+    case Opcode::kJb: set(MicroKind::kJb); u.imm = ins.src.imm; break;
+    case Opcode::kJbe: set(MicroKind::kJbe); u.imm = ins.src.imm; break;
+    case Opcode::kJa: set(MicroKind::kJa); u.imm = ins.src.imm; break;
+    case Opcode::kJae: set(MicroKind::kJae); u.imm = ins.src.imm; break;
+    case Opcode::kCall:
+      set(MicroKind::kCall);
+      u.imm = ins.src.imm;
+      u.aux = ins.addr + ins.size;  // return address, precomputed
+      break;
+    case Opcode::kRet: set(MicroKind::kRet); break;
+
+    case Opcode::kMov:
+      set(int_variant(ins, MicroKind::kMovRR, MicroKind::kMovRI, &u));
+      break;
+    case Opcode::kLoad:
+      if (ins.dst.is_gpr() && ins.src.is_mem()) {
+        set(MicroKind::kLoad);
+        u.a = ins.dst.reg;
+        fill_ea(ins.src.mem, &u);
+      } else {
+        set(MicroKind::kFallback);
+      }
+      break;
+    case Opcode::kStore:
+      if (ins.dst.is_mem() && ins.src.is_gpr()) {
+        set(MicroKind::kStore);
+        u.b = ins.src.reg;
+        fill_ea(ins.dst.mem, &u);
+      } else {
+        set(MicroKind::kFallback);
+      }
+      break;
+    case Opcode::kLea:
+      if (ins.dst.is_gpr() && ins.src.is_mem()) {
+        set(MicroKind::kLea);
+        u.a = ins.dst.reg;
+        fill_ea(ins.src.mem, &u);
+      } else {
+        set(MicroKind::kFallback);
+      }
+      break;
+
+    case Opcode::kAdd:
+      set(int_variant(ins, MicroKind::kAddRR, MicroKind::kAddRI, &u));
+      break;
+    case Opcode::kSub:
+      set(int_variant(ins, MicroKind::kSubRR, MicroKind::kSubRI, &u));
+      break;
+    case Opcode::kImul:
+      set(int_variant(ins, MicroKind::kImulRR, MicroKind::kImulRI, &u));
+      break;
+    case Opcode::kIdiv:
+      set(int_variant(ins, MicroKind::kIdivRR, MicroKind::kIdivRI, &u));
+      break;
+    case Opcode::kIrem:
+      set(int_variant(ins, MicroKind::kIremRR, MicroKind::kIremRI, &u));
+      break;
+    case Opcode::kAnd:
+      set(int_variant(ins, MicroKind::kAndRR, MicroKind::kAndRI, &u));
+      break;
+    case Opcode::kOr:
+      set(int_variant(ins, MicroKind::kOrRR, MicroKind::kOrRI, &u));
+      break;
+    case Opcode::kXor:
+      set(int_variant(ins, MicroKind::kXorRR, MicroKind::kXorRI, &u));
+      break;
+    case Opcode::kShl:
+      set(int_variant(ins, MicroKind::kShlRR, MicroKind::kShlRI, &u));
+      break;
+    case Opcode::kShr:
+      set(int_variant(ins, MicroKind::kShrRR, MicroKind::kShrRI, &u));
+      break;
+    case Opcode::kSar:
+      set(int_variant(ins, MicroKind::kSarRR, MicroKind::kSarRI, &u));
+      break;
+    case Opcode::kCmp:
+      set(int_variant(ins, MicroKind::kCmpRR, MicroKind::kCmpRI, &u));
+      break;
+    case Opcode::kTest:
+      set(int_variant(ins, MicroKind::kTestRR, MicroKind::kTestRI, &u));
+      break;
+    case Opcode::kPush: set(MicroKind::kPush); u.a = ins.dst.reg; break;
+    case Opcode::kPop: set(MicroKind::kPop); u.a = ins.dst.reg; break;
+
+    case Opcode::kMovqXR:
+      set(MicroKind::kMovqXR);
+      u.a = ins.dst.reg;
+      u.b = ins.src.reg;
+      break;
+    case Opcode::kMovqRX:
+      set(MicroKind::kMovqRX);
+      u.a = ins.dst.reg;
+      u.b = ins.src.reg;
+      break;
+    case Opcode::kMovsdXX:
+      set(MicroKind::kMovsdXX);
+      u.a = ins.dst.reg;
+      u.b = ins.src.reg;
+      break;
+    case Opcode::kMovsdXM:
+      set(MicroKind::kMovsdXM);
+      u.a = ins.dst.reg;
+      fill_ea(ins.src.mem, &u);
+      break;
+    case Opcode::kMovsdMX:
+      set(MicroKind::kMovsdMX);
+      u.b = ins.src.reg;
+      fill_ea(ins.dst.mem, &u);
+      break;
+    case Opcode::kMovssXM:
+      set(MicroKind::kMovssXM);
+      u.a = ins.dst.reg;
+      fill_ea(ins.src.mem, &u);
+      break;
+    case Opcode::kMovssMX:
+      set(MicroKind::kMovssMX);
+      u.b = ins.src.reg;
+      fill_ea(ins.dst.mem, &u);
+      break;
+    case Opcode::kMovapdXX:
+      set(MicroKind::kMovapdXX);
+      u.a = ins.dst.reg;
+      u.b = ins.src.reg;
+      break;
+    case Opcode::kMovapdXM:
+      set(MicroKind::kMovapdXM);
+      u.a = ins.dst.reg;
+      fill_ea(ins.src.mem, &u);
+      break;
+    case Opcode::kMovapdMX:
+      set(MicroKind::kMovapdMX);
+      u.b = ins.src.reg;
+      fill_ea(ins.dst.mem, &u);
+      break;
+    case Opcode::kPushX: set(MicroKind::kPushX); u.a = ins.dst.reg; break;
+    case Opcode::kPopX: set(MicroKind::kPopX); u.a = ins.dst.reg; break;
+
+    case Opcode::kAddsd:
+      set(xmm_variant(ins, MicroKind::kAddsdXX, MicroKind::kAddsdXM, &u));
+      break;
+    case Opcode::kSubsd:
+      set(xmm_variant(ins, MicroKind::kSubsdXX, MicroKind::kSubsdXM, &u));
+      break;
+    case Opcode::kMulsd:
+      set(xmm_variant(ins, MicroKind::kMulsdXX, MicroKind::kMulsdXM, &u));
+      break;
+    case Opcode::kDivsd:
+      set(xmm_variant(ins, MicroKind::kDivsdXX, MicroKind::kDivsdXM, &u));
+      break;
+    case Opcode::kMinsd:
+      set(xmm_variant(ins, MicroKind::kMinsdXX, MicroKind::kMinsdXM, &u));
+      break;
+    case Opcode::kMaxsd:
+      set(xmm_variant(ins, MicroKind::kMaxsdXX, MicroKind::kMaxsdXM, &u));
+      break;
+    case Opcode::kSqrtsd:
+      set(xmm_variant(ins, MicroKind::kSqrtsdXX, MicroKind::kSqrtsdXM, &u));
+      break;
+    case Opcode::kUcomisd:
+      set(xmm_variant(ins, MicroKind::kUcomisdXX, MicroKind::kUcomisdXM,
+                      &u));
+      break;
+    case Opcode::kCvtsd2ss:
+      set(xmm_variant(ins, MicroKind::kCvtsd2ssXX, MicroKind::kCvtsd2ssXM,
+                      &u));
+      break;
+    case Opcode::kCvtss2sd:
+      set(xmm_variant(ins, MicroKind::kCvtss2sdXX, MicroKind::kCvtss2sdXM,
+                      &u));
+      break;
+    case Opcode::kCvtsi2sd:
+      set(MicroKind::kCvtsi2sd);
+      u.a = ins.dst.reg;
+      u.b = ins.src.reg;
+      break;
+    case Opcode::kCvttsd2si:
+      set(MicroKind::kCvttsd2si);
+      u.a = ins.dst.reg;
+      u.b = ins.src.reg;
+      break;
+
+    case Opcode::kAddss:
+      set(xmm_variant(ins, MicroKind::kAddssXX, MicroKind::kAddssXM, &u));
+      break;
+    case Opcode::kSubss:
+      set(xmm_variant(ins, MicroKind::kSubssXX, MicroKind::kSubssXM, &u));
+      break;
+    case Opcode::kMulss:
+      set(xmm_variant(ins, MicroKind::kMulssXX, MicroKind::kMulssXM, &u));
+      break;
+    case Opcode::kDivss:
+      set(xmm_variant(ins, MicroKind::kDivssXX, MicroKind::kDivssXM, &u));
+      break;
+    case Opcode::kMinss:
+      set(xmm_variant(ins, MicroKind::kMinssXX, MicroKind::kMinssXM, &u));
+      break;
+    case Opcode::kMaxss:
+      set(xmm_variant(ins, MicroKind::kMaxssXX, MicroKind::kMaxssXM, &u));
+      break;
+    case Opcode::kSqrtss:
+      set(xmm_variant(ins, MicroKind::kSqrtssXX, MicroKind::kSqrtssXM, &u));
+      break;
+    case Opcode::kUcomiss:
+      set(xmm_variant(ins, MicroKind::kUcomissXX, MicroKind::kUcomissXM,
+                      &u));
+      break;
+    case Opcode::kCvtsi2ss:
+      set(MicroKind::kCvtsi2ss);
+      u.a = ins.dst.reg;
+      u.b = ins.src.reg;
+      break;
+    case Opcode::kCvttss2si:
+      set(MicroKind::kCvttss2si);
+      u.a = ins.dst.reg;
+      u.b = ins.src.reg;
+      break;
+
+    case Opcode::kAddpd:
+      set(xmm_variant(ins, MicroKind::kAddpdXX, MicroKind::kAddpdXM, &u));
+      break;
+    case Opcode::kSubpd:
+      set(xmm_variant(ins, MicroKind::kSubpdXX, MicroKind::kSubpdXM, &u));
+      break;
+    case Opcode::kMulpd:
+      set(xmm_variant(ins, MicroKind::kMulpdXX, MicroKind::kMulpdXM, &u));
+      break;
+    case Opcode::kDivpd:
+      set(xmm_variant(ins, MicroKind::kDivpdXX, MicroKind::kDivpdXM, &u));
+      break;
+    case Opcode::kSqrtpd:
+      set(xmm_variant(ins, MicroKind::kSqrtpdXX, MicroKind::kSqrtpdXM, &u));
+      break;
+    case Opcode::kAddps:
+      set(xmm_variant(ins, MicroKind::kAddpsXX, MicroKind::kAddpsXM, &u));
+      break;
+    case Opcode::kSubps:
+      set(xmm_variant(ins, MicroKind::kSubpsXX, MicroKind::kSubpsXM, &u));
+      break;
+    case Opcode::kMulps:
+      set(xmm_variant(ins, MicroKind::kMulpsXX, MicroKind::kMulpsXM, &u));
+      break;
+    case Opcode::kDivps:
+      set(xmm_variant(ins, MicroKind::kDivpsXX, MicroKind::kDivpsXM, &u));
+      break;
+    case Opcode::kSqrtps:
+      set(xmm_variant(ins, MicroKind::kSqrtpsXX, MicroKind::kSqrtpsXM, &u));
+      break;
+
+    case Opcode::kAndpd:
+      set(xmm_variant(ins, MicroKind::kAndpdXX, MicroKind::kAndpdXM, &u));
+      break;
+    case Opcode::kOrpd:
+      set(xmm_variant(ins, MicroKind::kOrpdXX, MicroKind::kOrpdXM, &u));
+      break;
+    case Opcode::kXorpd:
+      set(xmm_variant(ins, MicroKind::kXorpdXX, MicroKind::kXorpdXM, &u));
+      break;
+
+    case Opcode::kIntrin:
+      set(MicroKind::kIntrin);
+      u.imm = ins.src.imm;
+      break;
+
+    default:
+      set(MicroKind::kFallback);
+      break;
+  }
+  return u;
+}
+
+}  // namespace
+
+std::shared_ptr<const ExecutableImage> ExecutableImage::build(
+    program::Image image) {
+  // shared_ptr<ExecutableImage> first so members stay mutable during
+  // construction; returned as pointer-to-const.
+  auto exec = std::shared_ptr<ExecutableImage>(new ExecutableImage);
+  exec->image_ = std::move(image);
+  exec->image_.validate();
+  exec->code_ = arch::decode_all(exec->image_.code, exec->image_.code_base);
+  if (exec->code_.empty()) throw VmError("image has no code");
+  exec->index_of_addr_.reserve(exec->code_.size() * 2);
+  for (std::size_t i = 0; i < exec->code_.size(); ++i) {
+    exec->index_of_addr_[exec->code_[i].addr] =
+        static_cast<std::uint32_t>(i);
+  }
+  // Resolve branch/call targets to instruction indices once.
+  for (Instr& ins : exec->code_) {
+    const auto& info = arch::opcode_info(ins.op);
+    if (info.is_branch || info.is_call) {
+      const auto target = static_cast<std::uint64_t>(ins.src.imm);
+      auto it = exec->index_of_addr_.find(target);
+      if (it == exec->index_of_addr_.end()) {
+        throw VmError(strformat(
+            "control transfer at 0x%llx targets 0x%llx, which is not an "
+            "instruction boundary",
+            static_cast<unsigned long long>(ins.addr),
+            static_cast<unsigned long long>(target)));
+      }
+      ins.src.imm = it->second;
+    }
+  }
+  const std::size_t entry = exec->index_of(exec->image_.entry);
+  if (entry == kNoIndex) {
+    throw VmError(strformat(
+        "entry point 0x%llx is not an instruction boundary",
+        static_cast<unsigned long long>(exec->image_.entry)));
+  }
+  exec->entry_index_ = entry;
+
+  exec->uops_.reserve(exec->code_.size());
+  for (const Instr& ins : exec->code_) exec->uops_.push_back(lower(ins));
+  return exec;
+}
+
+}  // namespace fpmix::vm

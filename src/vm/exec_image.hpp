@@ -1,0 +1,145 @@
+// Shared predecoded images and the micro-op program representation.
+//
+// Constructing a vm::Machine used to repeat, per trial, work that depends
+// only on the image bytes: decoding, branch-target -> instruction-index
+// resolution, and (implicitly, on every retired instruction) operand-kind
+// classification. ExecutableImage hoists all of it into a single build step
+// whose result is immutable and shareable across Machines and threads: the
+// search predecodes the unpatched reference once, and each trial predecodes
+// only its freshly patched image.
+//
+// Lowering: every arch::Instr becomes exactly one MicroOp -- a compact
+// record with pre-resolved register indices, an effective-address recipe
+// (with absent base/index registers redirected to an always-zero register
+// slot, so address computation is branch-free), the immediate, and a
+// handler id selected by (opcode x operand shape). The execution engine
+// dispatches through a function-pointer table indexed by that id, so the
+// inner loop never re-inspects OperandKind.
+//
+// The 1:1 instruction<->micro-op mapping is load-bearing: the micro-op
+// index IS the instruction index, so branch targets, profiles and trap
+// diagnostics are shared verbatim with the reference switch interpreter.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/instr.hpp"
+#include "program/image.hpp"
+
+namespace fpmix::vm {
+
+/// Handler selector: one enumerator per specialized (opcode x operand
+/// shape) execution routine. Suffixes: RR/RI = gpr,gpr / gpr,imm;
+/// XX/XM = xmm,xmm / xmm,[mem]. The handler table in machine.cpp is
+/// indexed by these values.
+enum class MicroKind : std::uint16_t {
+  kNop = 0,
+  kHalt,
+  // Control flow (imm = resolved target micro-op index).
+  kJmp, kJe, kJne, kJl, kJle, kJg, kJge, kJb, kJbe, kJa, kJae,
+  kCall, kRet,
+  // Integer file.
+  kMovRR, kMovRI, kLoad, kStore, kLea,
+  kAddRR, kAddRI, kSubRR, kSubRI, kImulRR, kImulRI,
+  kIdivRR, kIdivRI, kIremRR, kIremRI,
+  kAndRR, kAndRI, kOrRR, kOrRI, kXorRR, kXorRI,
+  kShlRR, kShlRI, kShrRR, kShrRI, kSarRR, kSarRI,
+  kCmpRR, kCmpRI, kTestRR, kTestRI,
+  kPush, kPop,
+  // XMM data movement.
+  kMovqXR, kMovqRX, kMovsdXX, kMovsdXM, kMovsdMX, kMovssXM, kMovssMX,
+  kMovapdXX, kMovapdXM, kMovapdMX, kPushX, kPopX,
+  // Scalar f64.
+  kAddsdXX, kAddsdXM, kSubsdXX, kSubsdXM, kMulsdXX, kMulsdXM,
+  kDivsdXX, kDivsdXM, kMinsdXX, kMinsdXM, kMaxsdXX, kMaxsdXM,
+  kSqrtsdXX, kSqrtsdXM, kUcomisdXX, kUcomisdXM,
+  kCvtsd2ssXX, kCvtsd2ssXM, kCvtss2sdXX, kCvtss2sdXM,
+  kCvtsi2sd, kCvttsd2si,
+  // Scalar f32.
+  kAddssXX, kAddssXM, kSubssXX, kSubssXM, kMulssXX, kMulssXM,
+  kDivssXX, kDivssXM, kMinssXX, kMinssXM, kMaxssXX, kMaxssXM,
+  kSqrtssXX, kSqrtssXM, kUcomissXX, kUcomissXM,
+  kCvtsi2ss, kCvttss2si,
+  // Packed f64 / f32.
+  kAddpdXX, kAddpdXM, kSubpdXX, kSubpdXM, kMulpdXX, kMulpdXM,
+  kDivpdXX, kDivpdXM, kSqrtpdXX, kSqrtpdXM,
+  kAddpsXX, kAddpsXM, kSubpsXX, kSubpsXM, kMulpsXX, kMulpsXM,
+  kDivpsXX, kDivpsXM, kSqrtpsXX, kSqrtpsXM,
+  // 128-bit bitwise.
+  kAndpdXX, kAndpdXM, kOrpdXX, kOrpdXM, kXorpdXX, kXorpdXM,
+  // Intrinsic call (imm = intrinsics::Id).
+  kIntrin,
+  // Any legal-but-unspecialized form: delegates to the switch oracle for
+  // this one instruction. Lowering never fails.
+  kFallback,
+
+  kNumMicroKinds,
+};
+
+/// Index of the always-zero register slot used by effective-address
+/// recipes whose base or index register is absent (Machine's gpr file has
+/// arch::kNumGprs + 1 slots; only 0..15 are architecturally writable).
+inline constexpr std::uint8_t kZeroRegSlot = 16;
+
+/// One predecoded instruction. 32 bytes; everything the handler needs
+/// without touching arch::Instr on the hot path.
+struct MicroOp {
+  std::uint16_t kind = 0;      // MicroKind, stored raw for direct indexing
+  std::uint8_t a = 0;          // dst register index (gpr or xmm file)
+  std::uint8_t b = 0;          // src register index
+  std::uint8_t ea_base = kZeroRegSlot;   // effective-address base slot
+  std::uint8_t ea_index = kZeroRegSlot;  // effective-address index slot
+  std::uint8_t ea_shift = 0;             // log2 of the scale (decode-checked)
+  std::uint8_t pad_ = 0;
+  std::int32_t ea_disp = 0;
+  std::uint32_t pad2_ = 0;
+  std::int64_t imm = 0;        // immediate / branch-target index / intrin id
+  std::uint64_t aux = 0;       // kCall: precomputed return address
+};
+static_assert(sizeof(MicroOp) == 32);
+
+/// An immutable, shareable execution form of a program::Image: decoded
+/// instructions with control-transfer targets resolved to instruction
+/// indices, the address->index map, and the lowered micro-op stream.
+/// Build once per image; share freely across Machines and threads.
+class ExecutableImage {
+ public:
+  static constexpr std::size_t kNoIndex = ~static_cast<std::size_t>(0);
+
+  /// Validates and predecodes `image` (taken by value: move in to avoid the
+  /// copy). Throws VmError when the image has no code, when a control
+  /// transfer targets a non-boundary, or when the entry point is not an
+  /// instruction boundary.
+  static std::shared_ptr<const ExecutableImage> build(program::Image image);
+
+  const program::Image& image() const { return image_; }
+
+  /// Decoded instructions. NOTE: branch/call `src.imm` fields hold
+  /// *instruction indices*, not addresses (resolved at build time).
+  const std::vector<arch::Instr>& code() const { return code_; }
+
+  const std::vector<MicroOp>& uops() const { return uops_; }
+
+  std::size_t entry_index() const { return entry_index_; }
+
+  /// Instruction index for an address, or kNoIndex.
+  std::size_t index_of(std::uint64_t addr) const {
+    auto it = index_of_addr_.find(addr);
+    return it == index_of_addr_.end() ? kNoIndex
+                                      : static_cast<std::size_t>(it->second);
+  }
+
+ private:
+  ExecutableImage() = default;
+
+  program::Image image_;
+  std::vector<arch::Instr> code_;
+  std::vector<MicroOp> uops_;
+  std::unordered_map<std::uint64_t, std::uint32_t> index_of_addr_;
+  std::size_t entry_index_ = 0;
+};
+
+}  // namespace fpmix::vm

@@ -1,5 +1,6 @@
 #include "vm/machine.hpp"
 
+#include <array>
 #include <bit>
 #include <cmath>
 #include <cstring>
@@ -35,37 +36,21 @@ std::uint64_t with_low32(std::uint64_t slot, std::uint32_t low) {
 }  // namespace
 
 Machine::Machine(const program::Image& image, Options options)
-    : image_(image), options_(options) {
-  image_.validate();
-  code_ = arch::decode_all(image_.code, image_.code_base);
-  if (code_.empty()) throw VmError("image has no code");
-  index_of_addr_.reserve(code_.size() * 2);
-  for (std::size_t i = 0; i < code_.size(); ++i) {
-    index_of_addr_[code_[i].addr] = static_cast<std::uint32_t>(i);
+    : Machine(ExecutableImage::build(image), options) {}
+
+Machine::Machine(std::shared_ptr<const ExecutableImage> exec, Options options)
+    : exec_(std::move(exec)), options_(options) {
+  FPMIX_CHECK(exec_ != nullptr);
+  const program::Image& image = exec_->image();
+  memory_.assign(image.memory_size, 0);
+  if (!image.data.empty()) {
+    FPMIX_CHECK(image.data_base + image.data.size() <= memory_.size());
+    std::memcpy(memory_.data() + image.data_base, image.data.data(),
+                image.data.size());
   }
-  // Resolve branch/call targets to instruction indices once.
-  for (Instr& ins : code_) {
-    const auto& info = arch::opcode_info(ins.op);
-    if (info.is_branch || info.is_call) {
-      const auto target = static_cast<std::uint64_t>(ins.src.imm);
-      auto it = index_of_addr_.find(target);
-      if (it == index_of_addr_.end()) {
-        throw VmError(strformat(
-            "control transfer at 0x%llx targets 0x%llx, which is not an "
-            "instruction boundary",
-            static_cast<unsigned long long>(ins.addr),
-            static_cast<unsigned long long>(target)));
-      }
-      ins.src.imm = it->second;
-    }
-  }
-  memory_.assign(image_.memory_size, 0);
-  if (!image_.data.empty()) {
-    FPMIX_CHECK(image_.data_base + image_.data.size() <= memory_.size());
-    std::memcpy(memory_.data() + image_.data_base, image_.data.data(),
-                image_.data.size());
-  }
-  if (options_.profile) counts_.assign(code_.size(), 0);
+  mem_base_ = memory_.data();
+  mem_size_ = memory_.size();
+  if (options_.profile) counts_.assign(exec_->code().size(), 0);
   if (options_.mpi != nullptr) {
     FPMIX_CHECK(options_.rank >= 0 && options_.rank < options_.mpi->size());
   }
@@ -82,21 +67,21 @@ std::uint64_t Machine::effective_address(const arch::MemRef& m) const {
 }
 
 std::uint64_t Machine::load(std::uint64_t addr, unsigned bytes) const {
-  if (addr + bytes > memory_.size() || addr + bytes < addr) {
+  if (addr + bytes > mem_size_ || addr + bytes < addr) {
     trap(strformat("memory read of %u bytes at 0x%llx out of bounds", bytes,
                    static_cast<unsigned long long>(addr)));
   }
   std::uint64_t v = 0;
-  std::memcpy(&v, memory_.data() + addr, bytes);
+  std::memcpy(&v, mem_base_ + addr, bytes);
   return v;
 }
 
 void Machine::store(std::uint64_t addr, std::uint64_t value, unsigned bytes) {
-  if (addr + bytes > memory_.size() || addr + bytes < addr) {
+  if (addr + bytes > mem_size_ || addr + bytes < addr) {
     trap(strformat("memory write of %u bytes at 0x%llx out of bounds", bytes,
                    static_cast<unsigned long long>(addr)));
   }
-  std::memcpy(memory_.data() + addr, &value, bytes);
+  std::memcpy(mem_base_ + addr, &value, bytes);
 }
 
 std::uint64_t Machine::int_value(const Operand& op) const {
@@ -115,7 +100,7 @@ void Machine::check_not_tagged(const Instr& ins, std::uint64_t bits) const {
         " a narrowed value escaped the instrumentation",
         arch::instr_to_string(ins).c_str(),
         static_cast<unsigned long long>(ins.addr),
-        static_cast<unsigned long long>(image_.origin_of(ins.addr))));
+        static_cast<unsigned long long>(exec_->image().origin_of(ins.addr))));
   }
 }
 
@@ -152,10 +137,13 @@ RunResult Machine::run() {
   // `ret` from the entry function stops the machine like `halt` does.
   gpr_[arch::kSpReg] = memory_.size();
   push64(0);
-  auto entry_it = index_of_addr_.find(image_.entry);
-  FPMIX_CHECK(entry_it != index_of_addr_.end());
-  pc_ = entry_it->second;
+  pc_ = exec_->entry_index();
 
+  if (options_.engine == Engine::kSwitch) return run_switch();
+  return options_.profile ? run_micro<true>() : run_micro<false>();
+}
+
+RunResult Machine::run_switch() {
   RunResult result;
   try {
     while (!stopped_) {
@@ -165,10 +153,10 @@ RunResult Machine::run() {
         result.instructions_retired = retired_;
         return result;
       }
-      const Instr& ins = code_[pc_];
+      const Instr& ins = exec_->code()[pc_];
       if (options_.profile) ++counts_[pc_];
       ++retired_;
-      step(ins);
+      step_switch(ins);
     }
     result.status = RunResult::Status::kHalted;
   } catch (const Trap& t) {
@@ -179,7 +167,7 @@ RunResult Machine::run() {
   return result;
 }
 
-void Machine::step(const Instr& ins) {
+void Machine::step_switch(const Instr& ins) {
   // Most instructions fall through; control flow overrides `next`.
   std::size_t next = pc_ + 1;
 
@@ -289,12 +277,12 @@ void Machine::step(const Instr& ins) {
         stopped_ = true;
         break;
       }
-      auto it = index_of_addr_.find(ra);
-      if (it == index_of_addr_.end()) {
+      const std::size_t idx = exec_->index_of(ra);
+      if (idx == ExecutableImage::kNoIndex) {
         trap(strformat("ret to 0x%llx, not an instruction boundary",
                        static_cast<unsigned long long>(ra)));
       }
-      next = it->second;
+      next = idx;
       break;
     }
 
@@ -702,17 +690,1195 @@ std::uint64_t Machine::read_memory_u64(std::uint64_t addr) const {
 std::map<std::uint64_t, std::uint64_t> Machine::profile_by_address() const {
   std::map<std::uint64_t, std::uint64_t> out;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
-    if (counts_[i] != 0) out[code_[i].addr] = counts_[i];
+    if (counts_[i] != 0) out[exec_->code()[i].addr] = counts_[i];
   }
   return out;
 }
 
 std::map<std::uint64_t, std::uint64_t> Machine::profile_by_origin() const {
   std::map<std::uint64_t, std::uint64_t> out;
+  const program::Image& image = exec_->image();
   for (std::size_t i = 0; i < counts_.size(); ++i) {
-    if (counts_[i] != 0) out[image_.origin_of(code_[i].addr)] += counts_[i];
+    if (counts_[i] != 0) out[image.origin_of(exec_->code()[i].addr)] +=
+        counts_[i];
   }
   return out;
 }
+
+// ---------------------------------------------------------------------------
+// Micro-op engine.
+//
+// One static handler per MicroKind, dispatched through kMicroTable below.
+// Handlers take the current instruction index and return the next one (or
+// MicroExec::kStop), so the run loop keeps the pc and the retired count in
+// registers across the indirect call. Semantics -- including the ORDER of tag checks vs. memory
+// loads, which decides which trap fires first -- mirror step_switch exactly;
+// tests/vm_engine_test.cpp holds the two engines bit-identical.
+// ---------------------------------------------------------------------------
+
+struct MicroExec {
+  /// Returns the next instruction index, or kStop to stop the machine.
+  using Handler = std::size_t (*)(Machine&, const MicroOp&, std::size_t);
+
+  /// Next-pc sentinel meaning "stop cleanly": a halt, or a ret to the null
+  /// return address pushed by run().
+  static constexpr std::size_t kStop = ExecutableImage::kNoIndex;
+
+  static const Instr& instr(const Machine& m, std::size_t pc) {
+    return m.exec_->code()[pc];
+  }
+
+  /// Branch-free: absent base/index were redirected to the always-zero
+  /// register slot at lowering time.
+  static std::uint64_t ea(const Machine& m, const MicroOp& u) {
+    return static_cast<std::uint64_t>(static_cast<std::int64_t>(u.ea_disp)) +
+           m.gpr_[u.ea_base] + (m.gpr_[u.ea_index] << u.ea_shift);
+  }
+
+  static void check_tag(Machine& m, std::uint64_t bits, std::size_t pc) {
+    if (m.options_.tag_trap && arch::is_tagged(bits)) [[unlikely]] {
+      m.check_not_tagged(instr(m, pc), bits);  // traps with the full diagnostic
+    }
+  }
+
+  /// 8-byte load that is about to be interpreted as a double: bounds trap
+  /// first (the load), then the tag trap -- same order as read_f64_bits.
+  static std::uint64_t load_f64(Machine& m, std::uint64_t addr,
+                                std::size_t pc) {
+    const std::uint64_t bits = m.load(addr, 8);
+    check_tag(m, bits, pc);
+    return bits;
+  }
+
+  // --- control flow --------------------------------------------------------
+
+  static std::size_t h_nop(Machine&, const MicroOp&, std::size_t pc) {
+    return pc + 1;
+  }
+  static std::size_t h_halt(Machine&, const MicroOp&, std::size_t) {
+    return kStop;
+  }
+  static std::size_t h_jmp(Machine&, const MicroOp& u, std::size_t) {
+    return static_cast<std::size_t>(u.imm);
+  }
+
+#define FPMIX_H_JCC(NAME, COND)                               \
+  static std::size_t NAME(Machine& m, const MicroOp& u,       \
+                          std::size_t pc) {                   \
+    return (COND) ? static_cast<std::size_t>(u.imm) : pc + 1; \
+  }
+  FPMIX_H_JCC(h_je, m.flags_.eq)
+  FPMIX_H_JCC(h_jne, !m.flags_.eq)
+  FPMIX_H_JCC(h_jl, m.flags_.lt)
+  FPMIX_H_JCC(h_jle, m.flags_.lt || m.flags_.eq)
+  FPMIX_H_JCC(h_jg, !m.flags_.lt && !m.flags_.eq)
+  FPMIX_H_JCC(h_jge, !m.flags_.lt)
+  FPMIX_H_JCC(h_jb, m.flags_.ltu)
+  FPMIX_H_JCC(h_jbe, m.flags_.ltu || m.flags_.eq)
+  FPMIX_H_JCC(h_ja, !m.flags_.ltu && !m.flags_.eq)
+  FPMIX_H_JCC(h_jae, !m.flags_.ltu)
+#undef FPMIX_H_JCC
+
+  static std::size_t h_call(Machine& m, const MicroOp& u, std::size_t) {
+    m.push64(u.aux);  // return address, precomputed at lowering time
+    return static_cast<std::size_t>(u.imm);
+  }
+  static std::size_t h_ret(Machine& m, const MicroOp&, std::size_t) {
+    const std::uint64_t ra = m.pop64();
+    if (ra == 0) return kStop;  // the null frame pushed by run()
+    const std::size_t idx = m.exec_->index_of(ra);
+    if (idx == ExecutableImage::kNoIndex) {
+      m.trap(strformat("ret to 0x%llx, not an instruction boundary",
+                       static_cast<unsigned long long>(ra)));
+    }
+    return idx;
+  }
+
+  // --- integer file --------------------------------------------------------
+
+  static std::size_t h_mov_rr(Machine& m, const MicroOp& u, std::size_t pc) {
+    m.gpr_[u.a] = m.gpr_[u.b];
+    return pc + 1;
+  }
+  static std::size_t h_mov_ri(Machine& m, const MicroOp& u, std::size_t pc) {
+    m.gpr_[u.a] = static_cast<std::uint64_t>(u.imm);
+    return pc + 1;
+  }
+  static std::size_t h_load(Machine& m, const MicroOp& u, std::size_t pc) {
+    m.gpr_[u.a] = m.load(ea(m, u), 8);
+    return pc + 1;
+  }
+  static std::size_t h_store(Machine& m, const MicroOp& u, std::size_t pc) {
+    m.store(ea(m, u), m.gpr_[u.b], 8);
+    return pc + 1;
+  }
+  static std::size_t h_lea(Machine& m, const MicroOp& u, std::size_t pc) {
+    m.gpr_[u.a] = ea(m, u);
+    return pc + 1;
+  }
+
+#define FPMIX_H_INT(NAME, EXPR)                                                \
+  static std::size_t NAME##_rr(Machine& m, const MicroOp& u, std::size_t pc) { \
+    const std::uint64_t a = m.gpr_[u.a];                                       \
+    const std::uint64_t b = m.gpr_[u.b];                                       \
+    m.gpr_[u.a] = (EXPR);                                                      \
+    return pc + 1;                                                             \
+  }                                                                            \
+  static std::size_t NAME##_ri(Machine& m, const MicroOp& u, std::size_t pc) { \
+    const std::uint64_t a = m.gpr_[u.a];                                       \
+    const std::uint64_t b = static_cast<std::uint64_t>(u.imm);                 \
+    m.gpr_[u.a] = (EXPR);                                                      \
+    return pc + 1;                                                             \
+  }
+  FPMIX_H_INT(h_add, a + b)
+  FPMIX_H_INT(h_sub, a - b)
+  FPMIX_H_INT(h_imul, a * b)
+  FPMIX_H_INT(h_and, a & b)
+  FPMIX_H_INT(h_or, a | b)
+  FPMIX_H_INT(h_xor, a ^ b)
+  FPMIX_H_INT(h_shl, a << (b & 63))
+  FPMIX_H_INT(h_shr, a >> (b & 63))
+  FPMIX_H_INT(h_sar, static_cast<std::uint64_t>(
+                         static_cast<std::int64_t>(a) >> (b & 63)))
+#undef FPMIX_H_INT
+
+  static std::size_t do_idiv(Machine& m, const MicroOp& u, std::uint64_t bv,
+                             std::size_t pc) {
+    const auto a = static_cast<std::int64_t>(m.gpr_[u.a]);
+    const auto b = static_cast<std::int64_t>(bv);
+    if (b == 0) m.trap("integer division by zero");
+    if (a == INT64_MIN && b == -1) m.trap("integer division overflow");
+    m.gpr_[u.a] = static_cast<std::uint64_t>(a / b);
+    return pc + 1;
+  }
+  static std::size_t do_irem(Machine& m, const MicroOp& u, std::uint64_t bv,
+                             std::size_t pc) {
+    const auto a = static_cast<std::int64_t>(m.gpr_[u.a]);
+    const auto b = static_cast<std::int64_t>(bv);
+    if (b == 0) m.trap("integer remainder by zero");
+    if (a == INT64_MIN && b == -1) m.trap("integer remainder overflow");
+    m.gpr_[u.a] = static_cast<std::uint64_t>(a % b);
+    return pc + 1;
+  }
+  static std::size_t h_idiv_rr(Machine& m, const MicroOp& u, std::size_t pc) {
+    return do_idiv(m, u, m.gpr_[u.b], pc);
+  }
+  static std::size_t h_idiv_ri(Machine& m, const MicroOp& u, std::size_t pc) {
+    return do_idiv(m, u, static_cast<std::uint64_t>(u.imm), pc);
+  }
+  static std::size_t h_irem_rr(Machine& m, const MicroOp& u, std::size_t pc) {
+    return do_irem(m, u, m.gpr_[u.b], pc);
+  }
+  static std::size_t h_irem_ri(Machine& m, const MicroOp& u, std::size_t pc) {
+    return do_irem(m, u, static_cast<std::uint64_t>(u.imm), pc);
+  }
+
+  static std::size_t set_cmp_flags(Machine& m, std::uint64_t a,
+                                   std::uint64_t b, std::size_t pc) {
+    m.flags_.eq = a == b;
+    m.flags_.lt = static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b);
+    m.flags_.ltu = a < b;
+    return pc + 1;
+  }
+  static std::size_t h_cmp_rr(Machine& m, const MicroOp& u, std::size_t pc) {
+    return set_cmp_flags(m, m.gpr_[u.a], m.gpr_[u.b], pc);
+  }
+  static std::size_t h_cmp_ri(Machine& m, const MicroOp& u, std::size_t pc) {
+    return set_cmp_flags(m, m.gpr_[u.a], static_cast<std::uint64_t>(u.imm), pc);
+  }
+  static std::size_t set_test_flags(Machine& m, std::uint64_t v,
+                                    std::size_t pc) {
+    m.flags_.eq = v == 0;
+    m.flags_.lt = static_cast<std::int64_t>(v) < 0;
+    m.flags_.ltu = false;
+    return pc + 1;
+  }
+  static std::size_t h_test_rr(Machine& m, const MicroOp& u, std::size_t pc) {
+    return set_test_flags(m, m.gpr_[u.a] & m.gpr_[u.b], pc);
+  }
+  static std::size_t h_test_ri(Machine& m, const MicroOp& u, std::size_t pc) {
+    return set_test_flags(m, m.gpr_[u.a] & static_cast<std::uint64_t>(u.imm), pc);
+  }
+
+  static std::size_t h_push(Machine& m, const MicroOp& u, std::size_t pc) {
+    m.push64(m.gpr_[u.a]);
+    return pc + 1;
+  }
+  static std::size_t h_pop(Machine& m, const MicroOp& u, std::size_t pc) {
+    m.gpr_[u.a] = m.pop64();
+    return pc + 1;
+  }
+
+  // --- XMM data movement ---------------------------------------------------
+
+  static std::size_t h_movq_xr(Machine& m, const MicroOp& u, std::size_t pc) {
+    m.xmm_[u.a].lo = m.gpr_[u.b];  // upper lane preserved (see step_switch)
+    return pc + 1;
+  }
+  static std::size_t h_movq_rx(Machine& m, const MicroOp& u, std::size_t pc) {
+    m.gpr_[u.a] = m.xmm_[u.b].lo;
+    return pc + 1;
+  }
+  static std::size_t h_movsd_xx(Machine& m, const MicroOp& u, std::size_t pc) {
+    m.xmm_[u.a].lo = m.xmm_[u.b].lo;
+    return pc + 1;
+  }
+  static std::size_t h_movsd_xm(Machine& m, const MicroOp& u, std::size_t pc) {
+    m.xmm_[u.a].lo = m.load(ea(m, u), 8);
+    m.xmm_[u.a].hi = 0;
+    return pc + 1;
+  }
+  static std::size_t h_movsd_mx(Machine& m, const MicroOp& u, std::size_t pc) {
+    m.store(ea(m, u), m.xmm_[u.b].lo, 8);
+    return pc + 1;
+  }
+  static std::size_t h_movss_xm(Machine& m, const MicroOp& u, std::size_t pc) {
+    m.xmm_[u.a].lo = m.load(ea(m, u), 4);
+    m.xmm_[u.a].hi = 0;
+    return pc + 1;
+  }
+  static std::size_t h_movss_mx(Machine& m, const MicroOp& u, std::size_t pc) {
+    m.store(ea(m, u), m.xmm_[u.b].lo & 0xFFFFFFFFu, 4);
+    return pc + 1;
+  }
+  static std::size_t h_movapd_xx(Machine& m, const MicroOp& u, std::size_t pc) {
+    m.xmm_[u.a] = m.xmm_[u.b];
+    return pc + 1;
+  }
+  static std::size_t h_movapd_xm(Machine& m, const MicroOp& u, std::size_t pc) {
+    const std::uint64_t a = ea(m, u);
+    m.xmm_[u.a].lo = m.load(a, 8);
+    m.xmm_[u.a].hi = m.load(a + 8, 8);
+    return pc + 1;
+  }
+  static std::size_t h_movapd_mx(Machine& m, const MicroOp& u, std::size_t pc) {
+    const std::uint64_t a = ea(m, u);
+    m.store(a, m.xmm_[u.b].lo, 8);
+    m.store(a + 8, m.xmm_[u.b].hi, 8);
+    return pc + 1;
+  }
+  static std::size_t h_push_x(Machine& m, const MicroOp& u, std::size_t pc) {
+    m.gpr_[arch::kSpReg] -= 16;
+    m.store(m.gpr_[arch::kSpReg], m.xmm_[u.a].lo, 8);
+    m.store(m.gpr_[arch::kSpReg] + 8, m.xmm_[u.a].hi, 8);
+    return pc + 1;
+  }
+  static std::size_t h_pop_x(Machine& m, const MicroOp& u, std::size_t pc) {
+    m.xmm_[u.a].lo = m.load(m.gpr_[arch::kSpReg], 8);
+    m.xmm_[u.a].hi = m.load(m.gpr_[arch::kSpReg] + 8, 8);
+    m.gpr_[arch::kSpReg] += 16;
+    return pc + 1;
+  }
+
+  // --- scalar f64 ----------------------------------------------------------
+  // Tag-check order matches read_f64_bits in step_switch: dst first, then
+  // src (for XM, the dst check precedes the src bounds check).
+
+#define FPMIX_H_SD(NAME, EXPR)                                                 \
+  static std::size_t NAME##_xx(Machine& m, const MicroOp& u, std::size_t pc) { \
+    const std::uint64_t abits = m.xmm_[u.a].lo;                                \
+    check_tag(m, abits, pc);                                                   \
+    const std::uint64_t bbits = m.xmm_[u.b].lo;                                \
+    check_tag(m, bbits, pc);                                                   \
+    const double a = f64_of(abits);                                            \
+    const double b = f64_of(bbits);                                            \
+    m.xmm_[u.a].lo = bits_of(double(EXPR));                                    \
+    return pc + 1;                                                             \
+  }                                                                            \
+  static std::size_t NAME##_xm(Machine& m, const MicroOp& u, std::size_t pc) { \
+    const std::uint64_t abits = m.xmm_[u.a].lo;                                \
+    check_tag(m, abits, pc);                                                   \
+    const std::uint64_t bbits = load_f64(m, ea(m, u), pc);                     \
+    const double a = f64_of(abits);                                            \
+    const double b = f64_of(bbits);                                            \
+    m.xmm_[u.a].lo = bits_of(double(EXPR));                                    \
+    return pc + 1;                                                             \
+  }
+  FPMIX_H_SD(h_addsd, a + b)
+  FPMIX_H_SD(h_subsd, a - b)
+  FPMIX_H_SD(h_mulsd, a * b)
+  FPMIX_H_SD(h_divsd, a / b)
+  FPMIX_H_SD(h_minsd, b < a ? b : a)
+  FPMIX_H_SD(h_maxsd, a < b ? b : a)
+#undef FPMIX_H_SD
+
+  static std::size_t h_sqrtsd_xx(Machine& m, const MicroOp& u, std::size_t pc) {
+    const std::uint64_t bbits = m.xmm_[u.b].lo;
+    check_tag(m, bbits, pc);
+    m.xmm_[u.a].lo = bits_of(std::sqrt(f64_of(bbits)));
+    return pc + 1;
+  }
+  static std::size_t h_sqrtsd_xm(Machine& m, const MicroOp& u, std::size_t pc) {
+    const std::uint64_t bbits = load_f64(m, ea(m, u), pc);
+    m.xmm_[u.a].lo = bits_of(std::sqrt(f64_of(bbits)));
+    return pc + 1;
+  }
+
+  static std::size_t set_fcmp_flags(Machine& m, bool eq, bool lt,
+                                    std::size_t pc) {
+    m.flags_.eq = eq;
+    m.flags_.lt = m.flags_.ltu = lt;
+    return pc + 1;
+  }
+  static std::size_t h_ucomisd_xx(Machine& m, const MicroOp& u, std::size_t pc) {
+    const std::uint64_t abits = m.xmm_[u.a].lo;
+    check_tag(m, abits, pc);
+    const std::uint64_t bbits = m.xmm_[u.b].lo;
+    check_tag(m, bbits, pc);
+    const double a = f64_of(abits);
+    const double b = f64_of(bbits);
+    return set_fcmp_flags(m, a == b, a < b, pc);
+  }
+  static std::size_t h_ucomisd_xm(Machine& m, const MicroOp& u, std::size_t pc) {
+    const std::uint64_t abits = m.xmm_[u.a].lo;
+    check_tag(m, abits, pc);
+    const std::uint64_t bbits = load_f64(m, ea(m, u), pc);
+    const double a = f64_of(abits);
+    const double b = f64_of(bbits);
+    return set_fcmp_flags(m, a == b, a < b, pc);
+  }
+
+  static std::size_t h_cvtsd2ss_xx(Machine& m, const MicroOp& u, std::size_t pc) {
+    const std::uint64_t bbits = m.xmm_[u.b].lo;
+    check_tag(m, bbits, pc);
+    m.xmm_[u.a].lo = bits_of(static_cast<float>(f64_of(bbits)));
+    return pc + 1;
+  }
+  static std::size_t h_cvtsd2ss_xm(Machine& m, const MicroOp& u, std::size_t pc) {
+    const std::uint64_t bbits = load_f64(m, ea(m, u), pc);
+    m.xmm_[u.a].lo = bits_of(static_cast<float>(f64_of(bbits)));
+    return pc + 1;
+  }
+  static std::size_t h_cvtss2sd_xx(Machine& m, const MicroOp& u, std::size_t pc) {
+    const auto src = static_cast<std::uint32_t>(m.xmm_[u.b].lo);
+    m.xmm_[u.a].lo = bits_of(static_cast<double>(f32_of(src)));
+    return pc + 1;
+  }
+  static std::size_t h_cvtss2sd_xm(Machine& m, const MicroOp& u, std::size_t pc) {
+    const auto src = static_cast<std::uint32_t>(m.load(ea(m, u), 4));
+    m.xmm_[u.a].lo = bits_of(static_cast<double>(f32_of(src)));
+    return pc + 1;
+  }
+  static std::size_t h_cvtsi2sd(Machine& m, const MicroOp& u, std::size_t pc) {
+    m.xmm_[u.a].lo = bits_of(
+        static_cast<double>(static_cast<std::int64_t>(m.gpr_[u.b])));
+    return pc + 1;
+  }
+  static std::size_t h_cvttsd2si(Machine& m, const MicroOp& u, std::size_t pc) {
+    const std::uint64_t bbits = m.xmm_[u.b].lo;
+    check_tag(m, bbits, pc);
+    const double v = f64_of(bbits);
+    if (!(v > -9.2e18 && v < 9.2e18)) {
+      m.trap("cvttsd2si operand out of int64 range");
+    }
+    m.gpr_[u.a] = static_cast<std::uint64_t>(static_cast<std::int64_t>(v));
+    return pc + 1;
+  }
+
+  // --- scalar f32 (no tag checks: 32-bit lanes cannot carry the sentinel) --
+
+#define FPMIX_H_SS(NAME, EXPR)                                                 \
+  static std::size_t NAME##_xx(Machine& m, const MicroOp& u, std::size_t pc) { \
+    const float a = f32_of(static_cast<std::uint32_t>(m.xmm_[u.a].lo));        \
+    const float b = f32_of(static_cast<std::uint32_t>(m.xmm_[u.b].lo));        \
+    m.xmm_[u.a].lo = with_low32(m.xmm_[u.a].lo, bits_of(float(EXPR)));         \
+    return pc + 1;                                                             \
+  }                                                                            \
+  static std::size_t NAME##_xm(Machine& m, const MicroOp& u, std::size_t pc) { \
+    const float a = f32_of(static_cast<std::uint32_t>(m.xmm_[u.a].lo));        \
+    const float b = f32_of(static_cast<std::uint32_t>(m.load(ea(m, u), 4)));   \
+    m.xmm_[u.a].lo = with_low32(m.xmm_[u.a].lo, bits_of(float(EXPR)));         \
+    return pc + 1;                                                             \
+  }
+  FPMIX_H_SS(h_addss, a + b)
+  FPMIX_H_SS(h_subss, a - b)
+  FPMIX_H_SS(h_mulss, a * b)
+  FPMIX_H_SS(h_divss, a / b)
+  FPMIX_H_SS(h_minss, b < a ? b : a)
+  FPMIX_H_SS(h_maxss, a < b ? b : a)
+#undef FPMIX_H_SS
+
+  static std::size_t h_sqrtss_xx(Machine& m, const MicroOp& u, std::size_t pc) {
+    const auto src = static_cast<std::uint32_t>(m.xmm_[u.b].lo);
+    m.xmm_[u.a].lo =
+        with_low32(m.xmm_[u.a].lo, bits_of(std::sqrt(f32_of(src))));
+    return pc + 1;
+  }
+  static std::size_t h_sqrtss_xm(Machine& m, const MicroOp& u, std::size_t pc) {
+    const auto src = static_cast<std::uint32_t>(m.load(ea(m, u), 4));
+    m.xmm_[u.a].lo =
+        with_low32(m.xmm_[u.a].lo, bits_of(std::sqrt(f32_of(src))));
+    return pc + 1;
+  }
+  static std::size_t h_ucomiss_xx(Machine& m, const MicroOp& u, std::size_t pc) {
+    const float a = f32_of(static_cast<std::uint32_t>(m.xmm_[u.a].lo));
+    const float b = f32_of(static_cast<std::uint32_t>(m.xmm_[u.b].lo));
+    return set_fcmp_flags(m, a == b, a < b, pc);
+  }
+  static std::size_t h_ucomiss_xm(Machine& m, const MicroOp& u, std::size_t pc) {
+    const float a = f32_of(static_cast<std::uint32_t>(m.xmm_[u.a].lo));
+    const float b = f32_of(static_cast<std::uint32_t>(m.load(ea(m, u), 4)));
+    return set_fcmp_flags(m, a == b, a < b, pc);
+  }
+  static std::size_t h_cvtsi2ss(Machine& m, const MicroOp& u, std::size_t pc) {
+    m.xmm_[u.a].lo = with_low32(
+        m.xmm_[u.a].lo,
+        bits_of(static_cast<float>(static_cast<std::int64_t>(m.gpr_[u.b]))));
+    return pc + 1;
+  }
+  static std::size_t h_cvttss2si(Machine& m, const MicroOp& u, std::size_t pc) {
+    const float v = f32_of(static_cast<std::uint32_t>(m.xmm_[u.b].lo));
+    if (!(v > -9.2e18f && v < 9.2e18f)) {
+      m.trap("cvttss2si operand out of int64 range");
+    }
+    m.gpr_[u.a] = static_cast<std::uint64_t>(static_cast<std::int64_t>(v));
+    return pc + 1;
+  }
+
+  // --- packed f64 ----------------------------------------------------------
+  // Read order (dst lane0, dst lane1, src lane0, src lane1) matches binpd,
+  // so the first trap to fire is the same on both engines.
+
+#define FPMIX_H_PD(NAME, EXPR)                                                 \
+  static std::size_t NAME##_xx(Machine& m, const MicroOp& u, std::size_t pc) { \
+    const std::uint64_t a0b = m.xmm_[u.a].lo;                                  \
+    check_tag(m, a0b, pc);                                                     \
+    const std::uint64_t a1b = m.xmm_[u.a].hi;                                  \
+    check_tag(m, a1b, pc);                                                     \
+    const std::uint64_t b0b = m.xmm_[u.b].lo;                                  \
+    check_tag(m, b0b, pc);                                                     \
+    const std::uint64_t b1b = m.xmm_[u.b].hi;                                  \
+    check_tag(m, b1b, pc);                                                     \
+    const double a0 = f64_of(a0b), a1 = f64_of(a1b);                           \
+    const double b0 = f64_of(b0b), b1 = f64_of(b1b);                           \
+    m.xmm_[u.a].lo = bits_of(double((EXPR)(a0, b0)));                          \
+    m.xmm_[u.a].hi = bits_of(double((EXPR)(a1, b1)));                          \
+    return pc + 1;                                                             \
+  }                                                                            \
+  static std::size_t NAME##_xm(Machine& m, const MicroOp& u, std::size_t pc) { \
+    const std::uint64_t a0b = m.xmm_[u.a].lo;                                  \
+    check_tag(m, a0b, pc);                                                     \
+    const std::uint64_t a1b = m.xmm_[u.a].hi;                                  \
+    check_tag(m, a1b, pc);                                                     \
+    const std::uint64_t addr = ea(m, u);                                       \
+    const std::uint64_t b0b = load_f64(m, addr, pc);                           \
+    const std::uint64_t b1b = load_f64(m, addr + 8, pc);                       \
+    const double a0 = f64_of(a0b), a1 = f64_of(a1b);                           \
+    const double b0 = f64_of(b0b), b1 = f64_of(b1b);                           \
+    m.xmm_[u.a].lo = bits_of(double((EXPR)(a0, b0)));                          \
+    m.xmm_[u.a].hi = bits_of(double((EXPR)(a1, b1)));                          \
+    return pc + 1;                                                             \
+  }
+  FPMIX_H_PD(h_addpd, [](double a, double b) { return a + b; })
+  FPMIX_H_PD(h_subpd, [](double a, double b) { return a - b; })
+  FPMIX_H_PD(h_mulpd, [](double a, double b) { return a * b; })
+  FPMIX_H_PD(h_divpd, [](double a, double b) { return a / b; })
+#undef FPMIX_H_PD
+
+  static std::size_t h_sqrtpd_xx(Machine& m, const MicroOp& u, std::size_t pc) {
+    const std::uint64_t b0b = m.xmm_[u.b].lo;
+    check_tag(m, b0b, pc);
+    const std::uint64_t b1b = m.xmm_[u.b].hi;
+    check_tag(m, b1b, pc);
+    m.xmm_[u.a].lo = bits_of(std::sqrt(f64_of(b0b)));
+    m.xmm_[u.a].hi = bits_of(std::sqrt(f64_of(b1b)));
+    return pc + 1;
+  }
+  static std::size_t h_sqrtpd_xm(Machine& m, const MicroOp& u, std::size_t pc) {
+    const std::uint64_t addr = ea(m, u);
+    const std::uint64_t b0b = load_f64(m, addr, pc);
+    const std::uint64_t b1b = load_f64(m, addr + 8, pc);
+    m.xmm_[u.a].lo = bits_of(std::sqrt(f64_of(b0b)));
+    m.xmm_[u.a].hi = bits_of(std::sqrt(f64_of(b1b)));
+    return pc + 1;
+  }
+
+  // --- packed f32 ----------------------------------------------------------
+  // Src halves are read before any dst write so aliased src==dst (e.g.
+  // `addps x0, x0`) behaves like binps.
+
+#define FPMIX_H_PS(NAME, EXPR)                                                 \
+  static std::uint64_t NAME##_half(std::uint64_t d, std::uint64_t s) {         \
+    const auto f = [](float a, float b) { return float(EXPR); };               \
+    const std::uint64_t r0 =                                                   \
+        bits_of(f(f32_of(static_cast<std::uint32_t>(d)),                       \
+                  f32_of(static_cast<std::uint32_t>(s))));                     \
+    const std::uint64_t r1 =                                                   \
+        bits_of(f(f32_of(static_cast<std::uint32_t>(d >> 32)),                 \
+                  f32_of(static_cast<std::uint32_t>(s >> 32))));               \
+    return r0 | (r1 << 32);                                                    \
+  }                                                                            \
+  static std::size_t NAME##_xx(Machine& m, const MicroOp& u, std::size_t pc) { \
+    const std::uint64_t slo = m.xmm_[u.b].lo;                                  \
+    const std::uint64_t shi = m.xmm_[u.b].hi;                                  \
+    m.xmm_[u.a].lo = NAME##_half(m.xmm_[u.a].lo, slo);                         \
+    m.xmm_[u.a].hi = NAME##_half(m.xmm_[u.a].hi, shi);                         \
+    return pc + 1;                                                             \
+  }                                                                            \
+  static std::size_t NAME##_xm(Machine& m, const MicroOp& u, std::size_t pc) { \
+    const std::uint64_t addr = ea(m, u);                                       \
+    const std::uint64_t slo = m.load(addr, 8);                                 \
+    const std::uint64_t shi = m.load(addr + 8, 8);                             \
+    m.xmm_[u.a].lo = NAME##_half(m.xmm_[u.a].lo, slo);                         \
+    m.xmm_[u.a].hi = NAME##_half(m.xmm_[u.a].hi, shi);                         \
+    return pc + 1;                                                             \
+  }
+  FPMIX_H_PS(h_addps, a + b)
+  FPMIX_H_PS(h_subps, a - b)
+  FPMIX_H_PS(h_mulps, a * b)
+  FPMIX_H_PS(h_divps, a / b)
+#undef FPMIX_H_PS
+
+  static std::uint64_t sqrt_half(std::uint64_t s) {
+    const std::uint64_t r0 =
+        bits_of(std::sqrt(f32_of(static_cast<std::uint32_t>(s))));
+    const std::uint64_t r1 =
+        bits_of(std::sqrt(f32_of(static_cast<std::uint32_t>(s >> 32))));
+    return r0 | (r1 << 32);
+  }
+  static std::size_t h_sqrtps_xx(Machine& m, const MicroOp& u, std::size_t pc) {
+    const std::uint64_t slo = m.xmm_[u.b].lo;
+    const std::uint64_t shi = m.xmm_[u.b].hi;
+    m.xmm_[u.a].lo = sqrt_half(slo);
+    m.xmm_[u.a].hi = sqrt_half(shi);
+    return pc + 1;
+  }
+  static std::size_t h_sqrtps_xm(Machine& m, const MicroOp& u, std::size_t pc) {
+    const std::uint64_t addr = ea(m, u);
+    const std::uint64_t slo = m.load(addr, 8);
+    const std::uint64_t shi = m.load(addr + 8, 8);
+    m.xmm_[u.a].lo = sqrt_half(slo);
+    m.xmm_[u.a].hi = sqrt_half(shi);
+    return pc + 1;
+  }
+
+  // --- 128-bit bitwise (no tag checks, like bitop) -------------------------
+
+#define FPMIX_H_BIT(NAME, EXPR)                                                \
+  static std::size_t NAME##_xx(Machine& m, const MicroOp& u, std::size_t pc) { \
+    const std::uint64_t slo = m.xmm_[u.b].lo;                                  \
+    const std::uint64_t shi = m.xmm_[u.b].hi;                                  \
+    m.xmm_[u.a].lo = (m.xmm_[u.a].lo EXPR slo);                                \
+    m.xmm_[u.a].hi = (m.xmm_[u.a].hi EXPR shi);                                \
+    return pc + 1;                                                             \
+  }                                                                            \
+  static std::size_t NAME##_xm(Machine& m, const MicroOp& u, std::size_t pc) { \
+    const std::uint64_t addr = ea(m, u);                                       \
+    const std::uint64_t slo = m.load(addr, 8);                                 \
+    const std::uint64_t shi = m.load(addr + 8, 8);                             \
+    m.xmm_[u.a].lo = (m.xmm_[u.a].lo EXPR slo);                                \
+    m.xmm_[u.a].hi = (m.xmm_[u.a].hi EXPR shi);                                \
+    return pc + 1;                                                             \
+  }
+  FPMIX_H_BIT(h_andpd, &)
+  FPMIX_H_BIT(h_orpd, |)
+  FPMIX_H_BIT(h_xorpd, ^)
+#undef FPMIX_H_BIT
+
+  // --- intrinsics / fallback -----------------------------------------------
+
+  static std::size_t h_intrin(Machine& m, const MicroOp&, std::size_t pc) {
+    m.exec_intrinsic(instr(m, pc));
+    return pc + 1;
+  }
+  /// Executes the original decoded instruction through the switch oracle
+  /// (which owns the pc update). Keeps lowering total without duplicating
+  /// rare forms.
+  static std::size_t h_fallback(Machine& m, const MicroOp&, std::size_t pc) {
+    m.pc_ = pc;  // step_switch computes its successor from pc_
+    m.step_switch(instr(m, pc));
+    return m.stopped_ ? kStop : m.pc_;
+  }
+};
+
+namespace {
+
+consteval std::array<MicroExec::Handler,
+                     static_cast<std::size_t>(MicroKind::kNumMicroKinds)>
+make_micro_table() {
+  std::array<MicroExec::Handler,
+             static_cast<std::size_t>(MicroKind::kNumMicroKinds)>
+      t{};
+  const auto set = [&t](MicroKind k, MicroExec::Handler h) {
+    t[static_cast<std::size_t>(k)] = h;
+  };
+  using K = MicroKind;
+  using E = MicroExec;
+  set(K::kNop, &E::h_nop);
+  set(K::kHalt, &E::h_halt);
+  set(K::kJmp, &E::h_jmp);
+  set(K::kJe, &E::h_je);
+  set(K::kJne, &E::h_jne);
+  set(K::kJl, &E::h_jl);
+  set(K::kJle, &E::h_jle);
+  set(K::kJg, &E::h_jg);
+  set(K::kJge, &E::h_jge);
+  set(K::kJb, &E::h_jb);
+  set(K::kJbe, &E::h_jbe);
+  set(K::kJa, &E::h_ja);
+  set(K::kJae, &E::h_jae);
+  set(K::kCall, &E::h_call);
+  set(K::kRet, &E::h_ret);
+  set(K::kMovRR, &E::h_mov_rr);
+  set(K::kMovRI, &E::h_mov_ri);
+  set(K::kLoad, &E::h_load);
+  set(K::kStore, &E::h_store);
+  set(K::kLea, &E::h_lea);
+  set(K::kAddRR, &E::h_add_rr);
+  set(K::kAddRI, &E::h_add_ri);
+  set(K::kSubRR, &E::h_sub_rr);
+  set(K::kSubRI, &E::h_sub_ri);
+  set(K::kImulRR, &E::h_imul_rr);
+  set(K::kImulRI, &E::h_imul_ri);
+  set(K::kIdivRR, &E::h_idiv_rr);
+  set(K::kIdivRI, &E::h_idiv_ri);
+  set(K::kIremRR, &E::h_irem_rr);
+  set(K::kIremRI, &E::h_irem_ri);
+  set(K::kAndRR, &E::h_and_rr);
+  set(K::kAndRI, &E::h_and_ri);
+  set(K::kOrRR, &E::h_or_rr);
+  set(K::kOrRI, &E::h_or_ri);
+  set(K::kXorRR, &E::h_xor_rr);
+  set(K::kXorRI, &E::h_xor_ri);
+  set(K::kShlRR, &E::h_shl_rr);
+  set(K::kShlRI, &E::h_shl_ri);
+  set(K::kShrRR, &E::h_shr_rr);
+  set(K::kShrRI, &E::h_shr_ri);
+  set(K::kSarRR, &E::h_sar_rr);
+  set(K::kSarRI, &E::h_sar_ri);
+  set(K::kCmpRR, &E::h_cmp_rr);
+  set(K::kCmpRI, &E::h_cmp_ri);
+  set(K::kTestRR, &E::h_test_rr);
+  set(K::kTestRI, &E::h_test_ri);
+  set(K::kPush, &E::h_push);
+  set(K::kPop, &E::h_pop);
+  set(K::kMovqXR, &E::h_movq_xr);
+  set(K::kMovqRX, &E::h_movq_rx);
+  set(K::kMovsdXX, &E::h_movsd_xx);
+  set(K::kMovsdXM, &E::h_movsd_xm);
+  set(K::kMovsdMX, &E::h_movsd_mx);
+  set(K::kMovssXM, &E::h_movss_xm);
+  set(K::kMovssMX, &E::h_movss_mx);
+  set(K::kMovapdXX, &E::h_movapd_xx);
+  set(K::kMovapdXM, &E::h_movapd_xm);
+  set(K::kMovapdMX, &E::h_movapd_mx);
+  set(K::kPushX, &E::h_push_x);
+  set(K::kPopX, &E::h_pop_x);
+  set(K::kAddsdXX, &E::h_addsd_xx);
+  set(K::kAddsdXM, &E::h_addsd_xm);
+  set(K::kSubsdXX, &E::h_subsd_xx);
+  set(K::kSubsdXM, &E::h_subsd_xm);
+  set(K::kMulsdXX, &E::h_mulsd_xx);
+  set(K::kMulsdXM, &E::h_mulsd_xm);
+  set(K::kDivsdXX, &E::h_divsd_xx);
+  set(K::kDivsdXM, &E::h_divsd_xm);
+  set(K::kMinsdXX, &E::h_minsd_xx);
+  set(K::kMinsdXM, &E::h_minsd_xm);
+  set(K::kMaxsdXX, &E::h_maxsd_xx);
+  set(K::kMaxsdXM, &E::h_maxsd_xm);
+  set(K::kSqrtsdXX, &E::h_sqrtsd_xx);
+  set(K::kSqrtsdXM, &E::h_sqrtsd_xm);
+  set(K::kUcomisdXX, &E::h_ucomisd_xx);
+  set(K::kUcomisdXM, &E::h_ucomisd_xm);
+  set(K::kCvtsd2ssXX, &E::h_cvtsd2ss_xx);
+  set(K::kCvtsd2ssXM, &E::h_cvtsd2ss_xm);
+  set(K::kCvtss2sdXX, &E::h_cvtss2sd_xx);
+  set(K::kCvtss2sdXM, &E::h_cvtss2sd_xm);
+  set(K::kCvtsi2sd, &E::h_cvtsi2sd);
+  set(K::kCvttsd2si, &E::h_cvttsd2si);
+  set(K::kAddssXX, &E::h_addss_xx);
+  set(K::kAddssXM, &E::h_addss_xm);
+  set(K::kSubssXX, &E::h_subss_xx);
+  set(K::kSubssXM, &E::h_subss_xm);
+  set(K::kMulssXX, &E::h_mulss_xx);
+  set(K::kMulssXM, &E::h_mulss_xm);
+  set(K::kDivssXX, &E::h_divss_xx);
+  set(K::kDivssXM, &E::h_divss_xm);
+  set(K::kMinssXX, &E::h_minss_xx);
+  set(K::kMinssXM, &E::h_minss_xm);
+  set(K::kMaxssXX, &E::h_maxss_xx);
+  set(K::kMaxssXM, &E::h_maxss_xm);
+  set(K::kSqrtssXX, &E::h_sqrtss_xx);
+  set(K::kSqrtssXM, &E::h_sqrtss_xm);
+  set(K::kUcomissXX, &E::h_ucomiss_xx);
+  set(K::kUcomissXM, &E::h_ucomiss_xm);
+  set(K::kCvtsi2ss, &E::h_cvtsi2ss);
+  set(K::kCvttss2si, &E::h_cvttss2si);
+  set(K::kAddpdXX, &E::h_addpd_xx);
+  set(K::kAddpdXM, &E::h_addpd_xm);
+  set(K::kSubpdXX, &E::h_subpd_xx);
+  set(K::kSubpdXM, &E::h_subpd_xm);
+  set(K::kMulpdXX, &E::h_mulpd_xx);
+  set(K::kMulpdXM, &E::h_mulpd_xm);
+  set(K::kDivpdXX, &E::h_divpd_xx);
+  set(K::kDivpdXM, &E::h_divpd_xm);
+  set(K::kSqrtpdXX, &E::h_sqrtpd_xx);
+  set(K::kSqrtpdXM, &E::h_sqrtpd_xm);
+  set(K::kAddpsXX, &E::h_addps_xx);
+  set(K::kAddpsXM, &E::h_addps_xm);
+  set(K::kSubpsXX, &E::h_subps_xx);
+  set(K::kSubpsXM, &E::h_subps_xm);
+  set(K::kMulpsXX, &E::h_mulps_xx);
+  set(K::kMulpsXM, &E::h_mulps_xm);
+  set(K::kDivpsXX, &E::h_divps_xx);
+  set(K::kDivpsXM, &E::h_divps_xm);
+  set(K::kSqrtpsXX, &E::h_sqrtps_xx);
+  set(K::kSqrtpsXM, &E::h_sqrtps_xm);
+  set(K::kAndpdXX, &E::h_andpd_xx);
+  set(K::kAndpdXM, &E::h_andpd_xm);
+  set(K::kOrpdXX, &E::h_orpd_xx);
+  set(K::kOrpdXM, &E::h_orpd_xm);
+  set(K::kXorpdXX, &E::h_xorpd_xx);
+  set(K::kXorpdXM, &E::h_xorpd_xm);
+  set(K::kIntrin, &E::h_intrin);
+  set(K::kFallback, &E::h_fallback);
+  return t;
+}
+
+constexpr auto kMicroTable = make_micro_table();
+// Every MicroKind must have a handler; a null entry here means the enum and
+// the table drifted apart.
+static_assert([] {
+  for (const auto h : kMicroTable) {
+    if (h == nullptr) return false;
+  }
+  return true;
+}());
+
+}  // namespace
+
+
+// Hot fall-through pairs fused into one token: the first op must be a plain
+// fall-through (never a branch), the second may be anything. A fused block
+// is the literal concatenation of the two per-op sequences with the middle
+// indirect dispatch removed, so retired counts, profile counts, the budget
+// check and trap pcs are identical to the unfused path. Pairs chosen from
+// executed-pair frequencies on the NAS kernel suite.
+#define FPMIX_FUSED_PAIRS(X) \
+  X(kLoad, kMovRI, h_load, h_mov_ri) \
+  X(kLoad, kMovsdXM, h_load, h_movsd_xm) \
+  X(kLoad, kLoad, h_load, h_load) \
+  X(kLoad, kAddRR, h_load, h_add_rr) \
+  X(kLoad, kAddRI, h_load, h_add_ri) \
+  X(kMovsdXM, kMulsdXX, h_movsd_xm, h_mulsd_xx) \
+  X(kMovsdXM, kMovsdXM, h_movsd_xm, h_movsd_xm) \
+  X(kMovsdXM, kLoad, h_movsd_xm, h_load) \
+  X(kMovsdXM, kSubsdXX, h_movsd_xm, h_subsd_xx) \
+  X(kMovsdXM, kMovsdMX, h_movsd_xm, h_movsd_mx) \
+  X(kMovsdXM, kAddsdXX, h_movsd_xm, h_addsd_xx) \
+  X(kMovsdMX, kLoad, h_movsd_mx, h_load) \
+  X(kMovsdMX, kMovsdXM, h_movsd_mx, h_movsd_xm) \
+  X(kMovRI, kAddRR, h_mov_ri, h_add_rr) \
+  X(kMovRI, kImulRR, h_mov_ri, h_imul_rr) \
+  X(kMovRI, kCmpRR, h_mov_ri, h_cmp_rr) \
+  X(kAddRR, kMovsdXM, h_add_rr, h_movsd_xm) \
+  X(kAddRR, kLoad, h_add_rr, h_load) \
+  X(kAddRI, kStore, h_add_ri, h_store) \
+  X(kImulRR, kLoad, h_imul_rr, h_load) \
+  X(kStore, kJmp, h_store, h_jmp) \
+  X(kCmpRR, kJge, h_cmp_rr, h_jge) \
+  X(kCmpRR, kJl, h_cmp_rr, h_jl) \
+  X(kCmpRR, kJne, h_cmp_rr, h_jne) \
+  X(kCmpRI, kJge, h_cmp_ri, h_jge) \
+  X(kCmpRI, kJl, h_cmp_ri, h_jl) \
+  X(kCmpRI, kJne, h_cmp_ri, h_jne) \
+  X(kAddsdXX, kMovsdMX, h_addsd_xx, h_movsd_mx) \
+  X(kSubsdXX, kMovsdMX, h_subsd_xx, h_movsd_mx) \
+  X(kMulsdXX, kAddsdXX, h_mulsd_xx, h_addsd_xx) \
+  X(kMulsdXX, kSubsdXX, h_mulsd_xx, h_subsd_xx)
+
+template <bool Profile>
+RunResult Machine::run_micro() {
+  const MicroOp* const uops = exec_->uops().data();
+  const std::uint64_t max_instructions = options_.max_instructions;
+  // The pc and the retired count live in locals: handler code is opaque to
+  // the register allocator only at the memory level, so member state would
+  // otherwise be spilled and reloaded on every instruction.
+  std::size_t pc = pc_;
+  std::uint64_t retired = retired_;
+  std::uint64_t* const counts = Profile ? counts_.data() : nullptr;
+  RunResult result;
+
+#if defined(__GNUC__) || defined(__clang__)
+  // Token-threaded core. Each op body ends with its own dispatch (computed
+  // goto), so the branch predictor sees one indirect jump per opcode site
+  // instead of a single shared dispatch point, and the handler functions --
+  // direct calls here, unlike the function-pointer table below -- inline
+  // into the label blocks. kMicroTable's static_assert guarantees the set
+  // of labels is total over MicroKind.
+  const void* labels[static_cast<std::size_t>(MicroKind::kNumMicroKinds)] = {};
+#define FPMIX_LABEL(KIND) \
+  labels[static_cast<std::size_t>(MicroKind::KIND)] = &&L_##KIND
+  FPMIX_LABEL(kNop);
+  FPMIX_LABEL(kHalt);
+  FPMIX_LABEL(kJmp);
+  FPMIX_LABEL(kJe);
+  FPMIX_LABEL(kJne);
+  FPMIX_LABEL(kJl);
+  FPMIX_LABEL(kJle);
+  FPMIX_LABEL(kJg);
+  FPMIX_LABEL(kJge);
+  FPMIX_LABEL(kJb);
+  FPMIX_LABEL(kJbe);
+  FPMIX_LABEL(kJa);
+  FPMIX_LABEL(kJae);
+  FPMIX_LABEL(kCall);
+  FPMIX_LABEL(kRet);
+  FPMIX_LABEL(kMovRR);
+  FPMIX_LABEL(kMovRI);
+  FPMIX_LABEL(kLoad);
+  FPMIX_LABEL(kStore);
+  FPMIX_LABEL(kLea);
+  FPMIX_LABEL(kAddRR);
+  FPMIX_LABEL(kAddRI);
+  FPMIX_LABEL(kSubRR);
+  FPMIX_LABEL(kSubRI);
+  FPMIX_LABEL(kImulRR);
+  FPMIX_LABEL(kImulRI);
+  FPMIX_LABEL(kIdivRR);
+  FPMIX_LABEL(kIdivRI);
+  FPMIX_LABEL(kIremRR);
+  FPMIX_LABEL(kIremRI);
+  FPMIX_LABEL(kAndRR);
+  FPMIX_LABEL(kAndRI);
+  FPMIX_LABEL(kOrRR);
+  FPMIX_LABEL(kOrRI);
+  FPMIX_LABEL(kXorRR);
+  FPMIX_LABEL(kXorRI);
+  FPMIX_LABEL(kShlRR);
+  FPMIX_LABEL(kShlRI);
+  FPMIX_LABEL(kShrRR);
+  FPMIX_LABEL(kShrRI);
+  FPMIX_LABEL(kSarRR);
+  FPMIX_LABEL(kSarRI);
+  FPMIX_LABEL(kCmpRR);
+  FPMIX_LABEL(kCmpRI);
+  FPMIX_LABEL(kTestRR);
+  FPMIX_LABEL(kTestRI);
+  FPMIX_LABEL(kPush);
+  FPMIX_LABEL(kPop);
+  FPMIX_LABEL(kMovqXR);
+  FPMIX_LABEL(kMovqRX);
+  FPMIX_LABEL(kMovsdXX);
+  FPMIX_LABEL(kMovsdXM);
+  FPMIX_LABEL(kMovsdMX);
+  FPMIX_LABEL(kMovssXM);
+  FPMIX_LABEL(kMovssMX);
+  FPMIX_LABEL(kMovapdXX);
+  FPMIX_LABEL(kMovapdXM);
+  FPMIX_LABEL(kMovapdMX);
+  FPMIX_LABEL(kPushX);
+  FPMIX_LABEL(kPopX);
+  FPMIX_LABEL(kAddsdXX);
+  FPMIX_LABEL(kAddsdXM);
+  FPMIX_LABEL(kSubsdXX);
+  FPMIX_LABEL(kSubsdXM);
+  FPMIX_LABEL(kMulsdXX);
+  FPMIX_LABEL(kMulsdXM);
+  FPMIX_LABEL(kDivsdXX);
+  FPMIX_LABEL(kDivsdXM);
+  FPMIX_LABEL(kMinsdXX);
+  FPMIX_LABEL(kMinsdXM);
+  FPMIX_LABEL(kMaxsdXX);
+  FPMIX_LABEL(kMaxsdXM);
+  FPMIX_LABEL(kSqrtsdXX);
+  FPMIX_LABEL(kSqrtsdXM);
+  FPMIX_LABEL(kUcomisdXX);
+  FPMIX_LABEL(kUcomisdXM);
+  FPMIX_LABEL(kCvtsd2ssXX);
+  FPMIX_LABEL(kCvtsd2ssXM);
+  FPMIX_LABEL(kCvtss2sdXX);
+  FPMIX_LABEL(kCvtss2sdXM);
+  FPMIX_LABEL(kCvtsi2sd);
+  FPMIX_LABEL(kCvttsd2si);
+  FPMIX_LABEL(kAddssXX);
+  FPMIX_LABEL(kAddssXM);
+  FPMIX_LABEL(kSubssXX);
+  FPMIX_LABEL(kSubssXM);
+  FPMIX_LABEL(kMulssXX);
+  FPMIX_LABEL(kMulssXM);
+  FPMIX_LABEL(kDivssXX);
+  FPMIX_LABEL(kDivssXM);
+  FPMIX_LABEL(kMinssXX);
+  FPMIX_LABEL(kMinssXM);
+  FPMIX_LABEL(kMaxssXX);
+  FPMIX_LABEL(kMaxssXM);
+  FPMIX_LABEL(kSqrtssXX);
+  FPMIX_LABEL(kSqrtssXM);
+  FPMIX_LABEL(kUcomissXX);
+  FPMIX_LABEL(kUcomissXM);
+  FPMIX_LABEL(kCvtsi2ss);
+  FPMIX_LABEL(kCvttss2si);
+  FPMIX_LABEL(kAddpdXX);
+  FPMIX_LABEL(kAddpdXM);
+  FPMIX_LABEL(kSubpdXX);
+  FPMIX_LABEL(kSubpdXM);
+  FPMIX_LABEL(kMulpdXX);
+  FPMIX_LABEL(kMulpdXM);
+  FPMIX_LABEL(kDivpdXX);
+  FPMIX_LABEL(kDivpdXM);
+  FPMIX_LABEL(kSqrtpdXX);
+  FPMIX_LABEL(kSqrtpdXM);
+  FPMIX_LABEL(kAddpsXX);
+  FPMIX_LABEL(kAddpsXM);
+  FPMIX_LABEL(kSubpsXX);
+  FPMIX_LABEL(kSubpsXM);
+  FPMIX_LABEL(kMulpsXX);
+  FPMIX_LABEL(kMulpsXM);
+  FPMIX_LABEL(kDivpsXX);
+  FPMIX_LABEL(kDivpsXM);
+  FPMIX_LABEL(kSqrtpsXX);
+  FPMIX_LABEL(kSqrtpsXM);
+  FPMIX_LABEL(kAndpdXX);
+  FPMIX_LABEL(kAndpdXM);
+  FPMIX_LABEL(kOrpdXX);
+  FPMIX_LABEL(kOrpdXM);
+  FPMIX_LABEL(kXorpdXX);
+  FPMIX_LABEL(kXorpdXM);
+  FPMIX_LABEL(kIntrin);
+  FPMIX_LABEL(kFallback);
+#undef FPMIX_LABEL
+
+  // Resolve each op's token to its label address once per run; dispatch then
+  // needs a single load indexed by pc (issued in parallel with the uop load)
+  // instead of uop.kind followed by a table lookup -- two dependent loads on
+  // the critical path.
+  const std::size_t code_len = exec_->uops().size();
+  std::vector<const void*> threaded(code_len);
+  for (std::size_t i = 0; i < code_len; ++i) {
+    const void* t = labels[uops[i].kind];
+#define FPMIX_RESOLVE(KA, KB, HA, HB)                                   \
+    if (uops[i].kind == static_cast<std::uint16_t>(MicroKind::KA) &&    \
+        i + 1 < code_len &&                                             \
+        uops[i + 1].kind == static_cast<std::uint16_t>(MicroKind::KB))  \
+      t = &&L2_##KA##_##KB;
+    FPMIX_FUSED_PAIRS(FPMIX_RESOLVE)
+#undef FPMIX_RESOLVE
+    threaded[i] = t;
+  }
+  const void* const* const tokens = threaded.data();
+
+#define FPMIX_DISPATCH()                                       \
+  do {                                                         \
+    if (retired >= max_instructions) [[unlikely]] goto budget; \
+    if constexpr (Profile) ++counts[pc];                       \
+    ++retired;                                                 \
+    u = &uops[pc];                                             \
+    goto* tokens[pc];                                          \
+  } while (0)
+  // Ops that can stop the machine (halt, ret-to-null, a fallback that
+  // executed one of those) check for the sentinel; the rest skip it.
+#define FPMIX_OP(KIND, HANDLER)             \
+  L_##KIND:                                 \
+  pc = MicroExec::HANDLER(*this, *u, pc);   \
+  FPMIX_DISPATCH();
+#define FPMIX_OP_STOP(KIND, HANDLER)        \
+  L_##KIND:                                 \
+  pc = MicroExec::HANDLER(*this, *u, pc);   \
+  if (pc == MicroExec::kStop) goto halted;  \
+  FPMIX_DISPATCH();
+
+  const MicroOp* u = nullptr;
+  try {
+    FPMIX_DISPATCH();
+
+    FPMIX_OP(kNop, h_nop)
+    FPMIX_OP_STOP(kHalt, h_halt)
+    FPMIX_OP(kJmp, h_jmp)
+    FPMIX_OP(kJe, h_je)
+    FPMIX_OP(kJne, h_jne)
+    FPMIX_OP(kJl, h_jl)
+    FPMIX_OP(kJle, h_jle)
+    FPMIX_OP(kJg, h_jg)
+    FPMIX_OP(kJge, h_jge)
+    FPMIX_OP(kJb, h_jb)
+    FPMIX_OP(kJbe, h_jbe)
+    FPMIX_OP(kJa, h_ja)
+    FPMIX_OP(kJae, h_jae)
+    FPMIX_OP(kCall, h_call)
+    FPMIX_OP_STOP(kRet, h_ret)
+    FPMIX_OP(kMovRR, h_mov_rr)
+    FPMIX_OP(kMovRI, h_mov_ri)
+    FPMIX_OP(kLoad, h_load)
+    FPMIX_OP(kStore, h_store)
+    FPMIX_OP(kLea, h_lea)
+    FPMIX_OP(kAddRR, h_add_rr)
+    FPMIX_OP(kAddRI, h_add_ri)
+    FPMIX_OP(kSubRR, h_sub_rr)
+    FPMIX_OP(kSubRI, h_sub_ri)
+    FPMIX_OP(kImulRR, h_imul_rr)
+    FPMIX_OP(kImulRI, h_imul_ri)
+    FPMIX_OP(kIdivRR, h_idiv_rr)
+    FPMIX_OP(kIdivRI, h_idiv_ri)
+    FPMIX_OP(kIremRR, h_irem_rr)
+    FPMIX_OP(kIremRI, h_irem_ri)
+    FPMIX_OP(kAndRR, h_and_rr)
+    FPMIX_OP(kAndRI, h_and_ri)
+    FPMIX_OP(kOrRR, h_or_rr)
+    FPMIX_OP(kOrRI, h_or_ri)
+    FPMIX_OP(kXorRR, h_xor_rr)
+    FPMIX_OP(kXorRI, h_xor_ri)
+    FPMIX_OP(kShlRR, h_shl_rr)
+    FPMIX_OP(kShlRI, h_shl_ri)
+    FPMIX_OP(kShrRR, h_shr_rr)
+    FPMIX_OP(kShrRI, h_shr_ri)
+    FPMIX_OP(kSarRR, h_sar_rr)
+    FPMIX_OP(kSarRI, h_sar_ri)
+    FPMIX_OP(kCmpRR, h_cmp_rr)
+    FPMIX_OP(kCmpRI, h_cmp_ri)
+    FPMIX_OP(kTestRR, h_test_rr)
+    FPMIX_OP(kTestRI, h_test_ri)
+    FPMIX_OP(kPush, h_push)
+    FPMIX_OP(kPop, h_pop)
+    FPMIX_OP(kMovqXR, h_movq_xr)
+    FPMIX_OP(kMovqRX, h_movq_rx)
+    FPMIX_OP(kMovsdXX, h_movsd_xx)
+    FPMIX_OP(kMovsdXM, h_movsd_xm)
+    FPMIX_OP(kMovsdMX, h_movsd_mx)
+    FPMIX_OP(kMovssXM, h_movss_xm)
+    FPMIX_OP(kMovssMX, h_movss_mx)
+    FPMIX_OP(kMovapdXX, h_movapd_xx)
+    FPMIX_OP(kMovapdXM, h_movapd_xm)
+    FPMIX_OP(kMovapdMX, h_movapd_mx)
+    FPMIX_OP(kPushX, h_push_x)
+    FPMIX_OP(kPopX, h_pop_x)
+    FPMIX_OP(kAddsdXX, h_addsd_xx)
+    FPMIX_OP(kAddsdXM, h_addsd_xm)
+    FPMIX_OP(kSubsdXX, h_subsd_xx)
+    FPMIX_OP(kSubsdXM, h_subsd_xm)
+    FPMIX_OP(kMulsdXX, h_mulsd_xx)
+    FPMIX_OP(kMulsdXM, h_mulsd_xm)
+    FPMIX_OP(kDivsdXX, h_divsd_xx)
+    FPMIX_OP(kDivsdXM, h_divsd_xm)
+    FPMIX_OP(kMinsdXX, h_minsd_xx)
+    FPMIX_OP(kMinsdXM, h_minsd_xm)
+    FPMIX_OP(kMaxsdXX, h_maxsd_xx)
+    FPMIX_OP(kMaxsdXM, h_maxsd_xm)
+    FPMIX_OP(kSqrtsdXX, h_sqrtsd_xx)
+    FPMIX_OP(kSqrtsdXM, h_sqrtsd_xm)
+    FPMIX_OP(kUcomisdXX, h_ucomisd_xx)
+    FPMIX_OP(kUcomisdXM, h_ucomisd_xm)
+    FPMIX_OP(kCvtsd2ssXX, h_cvtsd2ss_xx)
+    FPMIX_OP(kCvtsd2ssXM, h_cvtsd2ss_xm)
+    FPMIX_OP(kCvtss2sdXX, h_cvtss2sd_xx)
+    FPMIX_OP(kCvtss2sdXM, h_cvtss2sd_xm)
+    FPMIX_OP(kCvtsi2sd, h_cvtsi2sd)
+    FPMIX_OP(kCvttsd2si, h_cvttsd2si)
+    FPMIX_OP(kAddssXX, h_addss_xx)
+    FPMIX_OP(kAddssXM, h_addss_xm)
+    FPMIX_OP(kSubssXX, h_subss_xx)
+    FPMIX_OP(kSubssXM, h_subss_xm)
+    FPMIX_OP(kMulssXX, h_mulss_xx)
+    FPMIX_OP(kMulssXM, h_mulss_xm)
+    FPMIX_OP(kDivssXX, h_divss_xx)
+    FPMIX_OP(kDivssXM, h_divss_xm)
+    FPMIX_OP(kMinssXX, h_minss_xx)
+    FPMIX_OP(kMinssXM, h_minss_xm)
+    FPMIX_OP(kMaxssXX, h_maxss_xx)
+    FPMIX_OP(kMaxssXM, h_maxss_xm)
+    FPMIX_OP(kSqrtssXX, h_sqrtss_xx)
+    FPMIX_OP(kSqrtssXM, h_sqrtss_xm)
+    FPMIX_OP(kUcomissXX, h_ucomiss_xx)
+    FPMIX_OP(kUcomissXM, h_ucomiss_xm)
+    FPMIX_OP(kCvtsi2ss, h_cvtsi2ss)
+    FPMIX_OP(kCvttss2si, h_cvttss2si)
+    FPMIX_OP(kAddpdXX, h_addpd_xx)
+    FPMIX_OP(kAddpdXM, h_addpd_xm)
+    FPMIX_OP(kSubpdXX, h_subpd_xx)
+    FPMIX_OP(kSubpdXM, h_subpd_xm)
+    FPMIX_OP(kMulpdXX, h_mulpd_xx)
+    FPMIX_OP(kMulpdXM, h_mulpd_xm)
+    FPMIX_OP(kDivpdXX, h_divpd_xx)
+    FPMIX_OP(kDivpdXM, h_divpd_xm)
+    FPMIX_OP(kSqrtpdXX, h_sqrtpd_xx)
+    FPMIX_OP(kSqrtpdXM, h_sqrtpd_xm)
+    FPMIX_OP(kAddpsXX, h_addps_xx)
+    FPMIX_OP(kAddpsXM, h_addps_xm)
+    FPMIX_OP(kSubpsXX, h_subps_xx)
+    FPMIX_OP(kSubpsXM, h_subps_xm)
+    FPMIX_OP(kMulpsXX, h_mulps_xx)
+    FPMIX_OP(kMulpsXM, h_mulps_xm)
+    FPMIX_OP(kDivpsXX, h_divps_xx)
+    FPMIX_OP(kDivpsXM, h_divps_xm)
+    FPMIX_OP(kSqrtpsXX, h_sqrtps_xx)
+    FPMIX_OP(kSqrtpsXM, h_sqrtps_xm)
+    FPMIX_OP(kAndpdXX, h_andpd_xx)
+    FPMIX_OP(kAndpdXM, h_andpd_xm)
+    FPMIX_OP(kOrpdXX, h_orpd_xx)
+    FPMIX_OP(kOrpdXM, h_orpd_xm)
+    FPMIX_OP(kXorpdXX, h_xorpd_xx)
+    FPMIX_OP(kXorpdXM, h_xorpd_xm)
+    FPMIX_OP(kIntrin, h_intrin)
+    FPMIX_OP_STOP(kFallback, h_fallback)
+
+#define FPMIX_OP2(KA, KB, HA, HB)                                \
+  L2_##KA##_##KB:                                                \
+  pc = MicroExec::HA(*this, *u, pc);                             \
+  if (retired >= max_instructions) [[unlikely]] goto budget;     \
+  if constexpr (Profile) ++counts[pc];                           \
+  ++retired;                                                     \
+  u = &uops[pc];                                                 \
+  pc = MicroExec::HB(*this, *u, pc);                             \
+  FPMIX_DISPATCH();
+    FPMIX_FUSED_PAIRS(FPMIX_OP2)
+#undef FPMIX_OP2
+
+  halted:
+    stopped_ = true;
+    result.status = RunResult::Status::kHalted;
+  } catch (const Trap& t) {
+    pc_ = pc;  // the index of the instruction that trapped
+    result.status = RunResult::Status::kTrapped;
+    result.trap_message = t.message;
+  }
+  retired_ = retired;
+  result.instructions_retired = retired;
+  return result;
+
+budget:
+  pc_ = pc;
+  retired_ = retired;
+  result.status = RunResult::Status::kOutOfBudget;
+  result.trap_message = "instruction budget exhausted";
+  result.instructions_retired = retired;
+  return result;
+
+#undef FPMIX_OP_STOP
+#undef FPMIX_OP
+#undef FPMIX_DISPATCH
+#undef FPMIX_FUSED_PAIRS
+
+#else  // portable call-threaded loop through kMicroTable
+  try {
+    while (true) {
+      if (retired >= max_instructions) [[unlikely]] {
+        pc_ = pc;
+        retired_ = retired;
+        result.status = RunResult::Status::kOutOfBudget;
+        result.trap_message = "instruction budget exhausted";
+        result.instructions_retired = retired;
+        return result;
+      }
+      if constexpr (Profile) ++counts[pc];
+      ++retired;  // the trapping instruction counts as retired, like switch
+      const MicroOp& u = uops[pc];
+      pc = kMicroTable[u.kind](*this, u, pc);
+      if (pc == MicroExec::kStop) break;
+    }
+    stopped_ = true;
+    result.status = RunResult::Status::kHalted;
+  } catch (const Trap& t) {
+    pc_ = pc;  // the index of the instruction that trapped
+    result.status = RunResult::Status::kTrapped;
+    result.trap_message = t.message;
+  }
+  retired_ = retired;
+  result.instructions_retired = retired;
+  return result;
+#endif
+}
+
+template RunResult Machine::run_micro<true>();
+template RunResult Machine::run_micro<false>();
 
 }  // namespace fpmix::vm

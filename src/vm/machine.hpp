@@ -1,4 +1,4 @@
-// The virtual machine: loads an Image, executes it, profiles it.
+// The virtual machine: executes a predecoded image, profiles it.
 //
 // Responsibilities beyond plain interpretation:
 //  - per-instruction execution counts (the profiling run that drives search
@@ -9,19 +9,37 @@
 //    that "anything that our analysis misses causes a crash, which is much
 //    easier to debug than mis-rounded operations";
 //  - the intrinsic table (math library, output channel, mini-MPI).
+//
+// Two execution engines share all machine state and semantics:
+//  - Engine::kMicroOp (default): executes the ExecutableImage's predecoded
+//    micro-op stream through a function-pointer handler table; operand
+//    kinds were classified at predecode time, so the inner loop does no
+//    per-step operand dispatch. Separate profiling and non-profiling run
+//    loops keep counter maintenance off the pass/fail-trial path.
+//  - Engine::kSwitch: the original decode-and-switch interpreter, retained
+//    as the differential-testing oracle (tests/vm_engine_test.cpp runs
+//    every program on both engines and demands bit-identical behaviour).
+//    Use it when validating engine changes or bisecting a miscompare.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "arch/instr.hpp"
 #include "program/image.hpp"
+#include "vm/exec_image.hpp"
 #include "vm/minimpi.hpp"
 
 namespace fpmix::vm {
+
+/// Execution engine selection (see file comment).
+enum class Engine : std::uint8_t {
+  kMicroOp = 0,  // predecoded micro-op handler table (fast path, default)
+  kSwitch = 1,   // reference decode-and-switch interpreter (oracle)
+};
 
 struct RunResult {
   enum class Status {
@@ -52,12 +70,27 @@ class Machine {
     MiniMpi* mpi = nullptr;
     int rank = 0;
 
-    /// Collect per-instruction execution counts.
+    /// Collect per-instruction execution counts. Trial evaluations that
+    /// only need pass/fail should turn this off: the non-profiling run
+    /// loop skips counter maintenance entirely.
     bool profile = true;
+
+    /// Execution engine; kSwitch is the differential-testing oracle.
+    Engine engine = Engine::kMicroOp;
   };
 
+  /// Convenience constructors: predecode a private ExecutableImage from
+  /// `image` (one decode + lowering pass per Machine). Hot paths that
+  /// construct many Machines should predecode once with
+  /// ExecutableImage::build and use the shared_ptr constructor.
   explicit Machine(const program::Image& image) : Machine(image, Options{}) {}
   Machine(const program::Image& image, Options options);
+
+  /// Shares an immutable predecoded image; no per-Machine decode work and
+  /// no image copy. `exec` may be shared freely across Machines/threads.
+  explicit Machine(std::shared_ptr<const ExecutableImage> exec)
+      : Machine(std::move(exec), Options{}) {}
+  Machine(std::shared_ptr<const ExecutableImage> exec, Options options);
 
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
@@ -71,6 +104,11 @@ class Machine {
   const std::vector<std::int64_t>& output_i64() const { return output_i64_; }
 
   std::uint64_t instructions_retired() const { return retired_; }
+
+  /// The shared predecoded image this machine executes.
+  const std::shared_ptr<const ExecutableImage>& executable() const {
+    return exec_;
+  }
 
   /// Execution count per instruction address (this image's addresses).
   std::map<std::uint64_t, std::uint64_t> profile_by_address() const;
@@ -87,6 +125,8 @@ class Machine {
   std::uint64_t read_memory_u64(std::uint64_t addr) const;
 
  private:
+  friend struct MicroExec;  // the micro-op handlers (machine.cpp)
+
   struct Xmm {
     std::uint64_t lo = 0;
     std::uint64_t hi = 0;
@@ -118,20 +158,32 @@ class Machine {
   void push64(std::uint64_t v);
   std::uint64_t pop64();
 
-  void step(const arch::Instr& ins);
+  // Reference engine: executes one decoded instruction (also the micro-op
+  // engine's fallback for unspecialized operand forms).
+  void step_switch(const arch::Instr& ins);
+  RunResult run_switch();
 
-  program::Image image_;
+  // Micro-op engine; the template parameter selects the profiling loop.
+  template <bool Profile>
+  RunResult run_micro();
+
+  std::shared_ptr<const ExecutableImage> exec_;
   Options options_;
 
-  std::vector<arch::Instr> code_;  // decoded; branch/call imms -> indices
-  std::unordered_map<std::uint64_t, std::uint32_t> index_of_addr_;
-
   std::vector<std::uint8_t> memory_;
-  std::uint64_t gpr_[arch::kNumGprs] = {};
+  /// Raw view of memory_, cached at construction (memory_ never resizes):
+  /// load/store bounds checks read one field instead of the vector's
+  /// begin/end pair.
+  std::uint8_t* mem_base_ = nullptr;
+  std::uint64_t mem_size_ = 0;
+  /// One extra slot past the architectural registers: kZeroRegSlot, always
+  /// zero, targeted by micro-op address recipes whose base/index register
+  /// is absent (makes effective-address computation branch-free).
+  std::uint64_t gpr_[arch::kNumGprs + 1] = {};
   Xmm xmm_[arch::kNumXmms];
   Flags flags_;
 
-  std::size_t pc_ = 0;        // index into code_
+  std::size_t pc_ = 0;        // index into exec_->code() / exec_->uops()
   bool stopped_ = false;
   std::uint64_t retired_ = 0;
   std::vector<std::uint64_t> counts_;

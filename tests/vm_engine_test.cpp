@@ -1,0 +1,332 @@
+// Differential testing of the two VM execution engines.
+//
+// The micro-op engine (Engine::kMicroOp) must be observationally
+// indistinguishable from the reference switch interpreter
+// (Engine::kSwitch): bit-identical outputs, identical trap status and
+// message, identical retired counts and identical per-address profiles --
+// on clean runs, on every trap class (tag escape, division, out-of-bounds,
+// budget), and on instrumented images. A shared ExecutableImage must also
+// behave identically from many Machines across threads.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <functional>
+#include <thread>
+
+#include "arch/encode.hpp"
+#include "arch/tag.hpp"
+#include "asm/assembler.hpp"
+#include "config/config.hpp"
+#include "instrument/patch.hpp"
+#include "lang/builder.hpp"
+#include "lang/compile.hpp"
+#include "program/layout.hpp"
+#include "program/program.hpp"
+#include "support/rng.hpp"
+#include "vm/machine.hpp"
+
+namespace fpmix {
+namespace {
+
+using arch::Opcode;
+using arch::Operand;
+namespace in = arch::intrinsics;
+
+struct EngineOut {
+  vm::RunResult result;
+  std::vector<double> f64;
+  std::vector<std::int64_t> i64;
+  std::uint64_t retired = 0;
+  std::map<std::uint64_t, std::uint64_t> profile;
+};
+
+EngineOut run_engine(const std::shared_ptr<const vm::ExecutableImage>& exec,
+                     vm::Engine engine, vm::Machine::Options opts) {
+  opts.engine = engine;
+  vm::Machine m(exec, opts);
+  EngineOut o;
+  o.result = m.run();
+  o.f64 = m.output_f64();
+  o.i64 = m.output_i64();
+  o.retired = m.instructions_retired();
+  o.profile = m.profile_by_address();
+  return o;
+}
+
+/// Runs `img` on both engines (sharing one predecoded image) and demands
+/// bit-identical observable behaviour.
+void expect_engines_identical(const program::Image& img,
+                              vm::Machine::Options opts = {},
+                              const char* what = "") {
+  const auto exec = vm::ExecutableImage::build(img);
+  const EngineOut micro = run_engine(exec, vm::Engine::kMicroOp, opts);
+  const EngineOut ref = run_engine(exec, vm::Engine::kSwitch, opts);
+
+  EXPECT_EQ(micro.result.status, ref.result.status) << what;
+  EXPECT_EQ(micro.result.trap_message, ref.result.trap_message) << what;
+  EXPECT_EQ(micro.retired, ref.retired) << what;
+
+  ASSERT_EQ(micro.f64.size(), ref.f64.size()) << what;
+  for (std::size_t i = 0; i < ref.f64.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(micro.f64[i]),
+              std::bit_cast<std::uint64_t>(ref.f64[i]))
+        << what << " f64 output " << i;
+  }
+  EXPECT_EQ(micro.i64, ref.i64) << what;
+  EXPECT_EQ(micro.profile, ref.profile) << what;
+}
+
+// ---------------------------------------------------------------------------
+// Fuzzed mini-language programs, original and instrumented.
+
+/// Random type-correct program: scalar pool + one array, mutated by loops,
+/// conditionals, arithmetic chains and math intrinsics (the same shape the
+/// instrumentation fuzz test uses).
+lang::ProgramModel random_model(std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  lang::Builder b;
+
+  constexpr int kScalars = 5;
+  std::vector<lang::Var> vars;
+  for (int i = 0; i < kScalars; ++i) {
+    vars.push_back(b.var_f64("v" + std::to_string(i)));
+  }
+  lang::Arr arr = b.array_f64("arr", 16);
+  lang::Var idx = b.var_i64("idx");
+
+  b.begin_func("main", "fuzz");
+  for (int i = 0; i < kScalars; ++i) {
+    b.set(vars[i], b.cf(rng.next_double(0.5, 3.0)));
+  }
+  b.for_(idx, b.ci(0), b.ci(16), [&] {
+    b.store(arr, lang::Expr(idx),
+            to_f64(idx) * b.cf(rng.next_double(0.01, 0.2)) + b.cf(1.0));
+  });
+
+  const auto rand_var = [&]() -> lang::Expr {
+    return lang::Expr(vars[rng.next_below(kScalars)]);
+  };
+  const std::function<lang::Expr(int)> rand_expr = [&](int depth) {
+    if (depth <= 0 || rng.next_below(3) == 0) {
+      switch (rng.next_below(3)) {
+        case 0: return rand_var();
+        case 1: return b.cf(rng.next_double(0.25, 2.0));
+        default: return arr[b.ci(static_cast<std::int64_t>(
+            rng.next_below(16)))];
+      }
+    }
+    const lang::Expr a = rand_expr(depth - 1);
+    const lang::Expr c = rand_expr(depth - 1);
+    switch (rng.next_below(7)) {
+      case 0: return a + c;
+      case 1: return a - c;
+      case 2: return a * c;
+      case 3: return a / (fabs_(c) + b.cf(1.0));
+      case 4: return sqrt_(fabs_(a) + b.cf(0.5));
+      case 5: return min_(a, c);
+      default: return sin_(a);
+    }
+  };
+
+  const int num_stmts = 6 + static_cast<int>(rng.next_below(8));
+  for (int s = 0; s < num_stmts; ++s) {
+    switch (rng.next_below(4)) {
+      case 0:
+        b.set(vars[rng.next_below(kScalars)], rand_expr(3));
+        break;
+      case 1:
+        b.store(arr,
+                b.ci(static_cast<std::int64_t>(rng.next_below(16))),
+                rand_expr(2));
+        break;
+      case 2: {
+        const auto body_var = rng.next_below(kScalars);
+        lang::Var loop_i = b.var_i64("i" + std::to_string(s));
+        const auto iters =
+            static_cast<std::int64_t>(2 + rng.next_below(6));
+        b.for_(loop_i, b.ci(0), b.ci(iters), [&] {
+          b.set(vars[body_var],
+                lang::Expr(vars[body_var]) * b.cf(0.75) + rand_expr(2));
+        });
+        break;
+      }
+      default: {
+        const auto tgt = rng.next_below(kScalars);
+        b.if_else(rand_expr(1) < rand_expr(1),
+                  [&] { b.set(vars[tgt], rand_expr(2)); },
+                  [&] { b.set(vars[tgt], rand_expr(2) + b.cf(0.125)); });
+        break;
+      }
+    }
+  }
+  for (int i = 0; i < kScalars; ++i) {
+    b.output(lang::Expr(vars[i]) * b.cf(1.0));
+  }
+  b.end_func();
+  return b.take_model();
+}
+
+class EngineFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineFuzz, EnginesBitIdenticalOnFuzzedPrograms) {
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::uint64_t seed =
+        0xE41E * static_cast<std::uint64_t>(GetParam() + 1) +
+        static_cast<std::uint64_t>(trial);
+    const lang::ProgramModel model = random_model(seed);
+    const program::Image orig =
+        program::relayout(lang::compile(model, lang::Mode::kDouble));
+    expect_engines_identical(orig, {}, "original");
+
+    // All-single instrumented build: exercises the cvt/ss handlers, the
+    // snippet call/ret paths and (on analysis misses) the tag trap.
+    const auto ix = config::StructureIndex::build(program::lift(orig));
+    config::PrecisionConfig cfg;
+    for (std::size_t m = 0; m < ix.modules().size(); ++m) {
+      cfg.set_module(m, config::Precision::kSingle);
+    }
+    const program::Image inst = instrument::instrument_image(orig, ix, cfg);
+    expect_engines_identical(inst, {}, "instrumented");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzz, ::testing::Range(0, 4));
+
+// ---------------------------------------------------------------------------
+// Trap classes: the message, status and retired count must match exactly.
+
+TEST(EngineDiff, TaggedEscapeTrapIdentical) {
+  casm::Assembler a;
+  a.begin_function("main", "main");
+  const std::uint64_t boxed = arch::make_tagged(1.0f);
+  a.emit(Opcode::kMov, Operand::gpr(1),
+         Operand::make_imm(static_cast<std::int64_t>(boxed)));
+  a.emit(Opcode::kMovqXR, Operand::xmm(0), Operand::gpr(1));
+  a.emit(Opcode::kAddsd, Operand::xmm(0), Operand::xmm(0));
+  a.halt();
+  a.end_function();
+  const program::Image img = program::relayout(a.finish("main"));
+  expect_engines_identical(img, {}, "tagged escape");
+
+  const auto exec = vm::ExecutableImage::build(img);
+  const EngineOut o = run_engine(exec, vm::Engine::kMicroOp, {});
+  EXPECT_EQ(o.result.status, vm::RunResult::Status::kTrapped);
+  EXPECT_NE(o.result.trap_message.find("replaced-double sentinel"),
+            std::string::npos);
+}
+
+TEST(EngineDiff, TagTrapDisabledIdentical) {
+  casm::Assembler a;
+  a.begin_function("main", "main");
+  const std::uint64_t boxed = arch::make_tagged(1.0f);
+  a.emit(Opcode::kMov, Operand::gpr(1),
+         Operand::make_imm(static_cast<std::int64_t>(boxed)));
+  a.emit(Opcode::kMovqXR, Operand::xmm(0), Operand::gpr(1));
+  a.emit(Opcode::kAddsd, Operand::xmm(0), Operand::xmm(0));
+  a.halt();
+  a.end_function();
+  vm::Machine::Options opts;
+  opts.tag_trap = false;
+  expect_engines_identical(program::relayout(a.finish("main")), opts,
+                           "tag trap disabled");
+}
+
+TEST(EngineDiff, DivisionTrapsIdentical) {
+  for (const Opcode op : {Opcode::kIdiv, Opcode::kIrem}) {
+    casm::Assembler a;
+    a.begin_function("main", "main");
+    a.emit(Opcode::kMov, Operand::gpr(1), Operand::make_imm(7));
+    a.emit(Opcode::kMov, Operand::gpr(2), Operand::make_imm(0));
+    a.emit(op, Operand::gpr(1), Operand::gpr(2));
+    a.halt();
+    a.end_function();
+    expect_engines_identical(program::relayout(a.finish("main")), {},
+                             arch::opcode_name(op));
+  }
+}
+
+TEST(EngineDiff, OutOfBoundsTrapsIdentical) {
+  // Read and write, both far out of range.
+  for (const bool is_store : {false, true}) {
+    casm::Assembler a;
+    a.begin_function("main", "main");
+    a.emit(Opcode::kMov, Operand::gpr(1),
+           Operand::make_imm(1ll << 40));
+    if (is_store) {
+      a.emit(Opcode::kStore, Operand::mem_bd(1, 0), Operand::gpr(2));
+    } else {
+      a.emit(Opcode::kLoad, Operand::gpr(2), Operand::mem_bd(1, 0));
+    }
+    a.halt();
+    a.end_function();
+    expect_engines_identical(program::relayout(a.finish("main")), {},
+                             is_store ? "oob store" : "oob load");
+  }
+}
+
+TEST(EngineDiff, BudgetExhaustionIdentical) {
+  casm::Assembler a;
+  a.begin_function("main", "main");
+  auto l = a.new_label();
+  a.bind(l);
+  a.emit(Opcode::kNop);
+  a.jmp(l);
+  a.end_function();
+  vm::Machine::Options opts;
+  opts.max_instructions = 10'000;
+  expect_engines_identical(program::relayout(a.finish("main")), opts,
+                           "budget");
+}
+
+TEST(EngineDiff, RangeTrapIdentical) {
+  casm::Assembler a;
+  a.begin_function("main", "main");
+  const auto huge = a.data_f64(1e300);
+  a.emit(Opcode::kMovsdXM, Operand::xmm(0),
+         Operand::mem_abs(static_cast<std::int32_t>(huge)));
+  a.emit(Opcode::kCvttsd2si, Operand::gpr(1), Operand::xmm(0));
+  a.halt();
+  a.end_function();
+  expect_engines_identical(program::relayout(a.finish("main")), {},
+                           "cvttsd2si range");
+}
+
+// ---------------------------------------------------------------------------
+// Shared predecoded images.
+
+TEST(SharedExecImage, ManyMachinesAcrossThreads) {
+  const lang::ProgramModel model = random_model(0x5EED);
+  const program::Image img =
+      program::relayout(lang::compile(model, lang::Mode::kDouble));
+  const auto exec = vm::ExecutableImage::build(img);
+
+  vm::Machine reference(exec);
+  EXPECT_EQ(reference.executable().get(), exec.get());
+  const vm::RunResult ref_run = reference.run();
+  ASSERT_TRUE(ref_run.ok()) << ref_run.trap_message;
+  const std::vector<double> want = reference.output_f64();
+
+  constexpr int kThreads = 4;
+  std::vector<std::vector<double>> got(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&exec, &got, i] {
+      vm::Machine m(exec, {});
+      if (m.run().ok()) got[static_cast<std::size_t>(i)] = m.output_f64();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int i = 0; i < kThreads; ++i) {
+    ASSERT_EQ(got[static_cast<std::size_t>(i)].size(), want.size());
+    for (std::size_t j = 0; j < want.size(); ++j) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(got[static_cast<std::size_t>(
+                    i)][j]),
+                std::bit_cast<std::uint64_t>(want[j]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fpmix

@@ -50,7 +50,7 @@ void run_table(const kernels::Workload& w, const std::vector<Cfg>& cfgs) {
 }  // namespace
 
 int main() {
-  std::printf("Search ablations (DESIGN.md section 5, items 1/2/5)\n");
+  std::printf("Search ablations (DESIGN.md section 6, items 1/2/5)\n");
 
   std::vector<Cfg> cfgs;
   {

@@ -1,4 +1,4 @@
-// Ablation: snippet design choices (DESIGN.md section 5, items 3/4 and the
+// Ablation: snippet design choices (DESIGN.md section 6, items 3/4 and the
 // Section 2.5 dataflow optimization).
 //
 //   - sentinel check vs unconditional downcast: the Figure 6 tag test costs

@@ -1,5 +1,5 @@
 // Shared helpers for the experiment harnesses (one binary per paper
-// table/figure; see DESIGN.md section 4 for the experiment index).
+// table/figure; see DESIGN.md section 5 for the experiment index).
 #pragma once
 
 #include <cstdio>

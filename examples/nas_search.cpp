@@ -4,7 +4,12 @@
 //
 // Usage:  nas_search <ep|cg|ft|mg|bt|lu|sp|amg> [S|W|A|C] [--trace]
 //                    [--refine] [--out FILE] [--journal FILE] [--no-resume]
-//                    [--threads N] [--quiet]
+//                    [--threads N] [--deadline-ms N] [--retries N] [--quiet]
+//
+// --deadline-ms bounds each trial's wall-clock time (a spinning patched
+// binary is classified "timeout" instead of hanging the search);
+// --retries N re-evaluates each trial until one verdict holds a majority
+// of N+1 attempts, quarantining configs whose attempts disagree.
 //
 // With --journal, every completed trial is appended to FILE as it
 // finishes; re-running the same command resumes from it, re-using every
@@ -49,6 +54,20 @@ int main(int argc, char** argv) {
         return 2;
       }
       opts.num_threads = static_cast<std::size_t>(n);
+    }
+    else if (arg == "--deadline-ms" && i + 1 < argc) {
+      if (!parse_u64(argv[++i], &opts.deadline_ms)) {
+        std::fprintf(stderr, "bad --deadline-ms value '%s'\n", argv[i]);
+        return 2;
+      }
+    }
+    else if (arg == "--retries" && i + 1 < argc) {
+      std::uint64_t n = 0;
+      if (!parse_u64(argv[++i], &n) || n > 16) {
+        std::fprintf(stderr, "bad --retries value '%s'\n", argv[i]);
+        return 2;
+      }
+      opts.max_retries = static_cast<std::uint32_t>(n);
     }
     else if (arg.size() == 1) cls = arg[0];
   }
@@ -109,6 +128,20 @@ int main(int argc, char** argv) {
               "verify %.2fs\n",
               m.patch_seconds, m.predecode_seconds, m.run_seconds,
               m.verify_seconds);
+  if (!m.failures_by_class.empty()) {
+    std::printf("failed trials by class:\n");
+    for (const auto& [cls_name, count] : m.failures_by_class) {
+      std::printf("  %-16s %zu\n", cls_name.c_str(), count);
+    }
+  }
+  if (m.retries > 0 || m.quarantined > 0) {
+    std::printf("supervision: %zu retry attempt(s), %zu quarantined "
+                "config(s)\n", m.retries, m.quarantined);
+  }
+  if (m.profile_degraded) {
+    std::printf("note: profiling run failed; search used unweighted "
+                "structure-order prioritisation\n");
+  }
   std::printf("final configuration: %.1f%% static / %.1f%% dynamic "
               "replacement, composition %s\n",
               res.stats.static_pct, res.stats.dynamic_pct,

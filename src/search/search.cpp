@@ -222,6 +222,7 @@ class Searcher {
     out.configs_tested = tested_;
     out.stats = config::replacement_stats(ix_, final_config_);
     out.trace = std::move(trace_);
+    out.quarantine = std::move(quarantine_);
 
     metrics_.trials_total = tested_;
     metrics_.wall_seconds = wall_timer_.elapsed_seconds();
@@ -248,11 +249,19 @@ class Searcher {
   void profile_original() {
     vm::Machine::Options mopts;
     mopts.max_instructions = options_.max_instructions_per_run;
+    mopts.deadline_ns = options_.deadline_ms * 1000000ull;
     vm::Machine machine(original_, mopts);
     const vm::RunResult r = machine.run();
     if (!r.ok()) {
-      throw Error(strformat("profiling run of the original binary failed: %s",
-                            r.trap_message.c_str()));
+      // The profile only steers trial *order* (optimization 2), never
+      // correctness -- so a failing reference run degrades the search to
+      // unweighted structure-order prioritisation instead of aborting it.
+      log::warnf(
+          "search: profiling run of the original binary failed (%s); "
+          "falling back to unweighted structure-order prioritisation",
+          r.trap_message.c_str());
+      metrics_.profile_degraded = true;
+      return;
     }
     ix_.apply_profile(machine.profile_by_address());
   }
@@ -302,18 +311,27 @@ class Searcher {
     bool cached = false;
     verify::EvalResult result;
     std::uint64_t eval_ns = 0;
+    std::uint32_t attempts = 1;  // evaluations spent (retry policy)
+    bool mixed_votes = false;    // attempts disagreed -> quarantine
   };
 
   void setup_journal() {
-    search_fp_ = search_fingerprint(verifier_.fingerprint(),
-                                    options_.max_instructions_per_run);
+    search_fp_ = search_fingerprint(
+        verifier_.fingerprint(), options_.max_instructions_per_run,
+        options_.deadline_ms,
+        options_.fault_injector != nullptr
+            ? options_.fault_injector->fingerprint_tag()
+            : "");
     if (options_.journal_path.empty()) return;
     if (options_.resume) {
+      JournalReplayStats stats;
       const std::size_t n =
-          load_journal(options_.journal_path, search_fp_, &cache_);
+          load_journal(options_.journal_path, search_fp_, &cache_, &stats);
       if (n > 0) {
-        log::infof("search: resuming with %zu journaled trial(s) from %s",
-                   n, options_.journal_path.c_str());
+        log::infof("search: resuming with %zu journaled trial(s) from %s"
+                   " (%zu damaged record(s) skipped)",
+                   n, options_.journal_path.c_str(),
+                   stats.malformed + stats.crc_mismatch + stats.duplicate_seq);
       }
     }
     if (!journal_.open(options_.journal_path)) {
@@ -321,7 +339,7 @@ class Searcher {
                  "not be persisted", options_.journal_path.c_str());
       return;
     }
-    journal_.append(encode_meta_line(search_fp_));
+    journal_.append_sealed(encode_meta_line(search_fp_));
   }
 
   Trial make_trial(Unit u) {
@@ -337,22 +355,60 @@ class Searcher {
     if (const CachedTrial* hit = cache_.lookup(t->key)) {
       t->cached = true;
       t->result.passed = hit->passed;
+      t->result.failure_class = hit->failure_class;
       t->result.failure = hit->failure;
     }
   }
 
   /// Patch + run + verify; safe to call from pool threads (private state
-  /// per evaluation, writes only to *t).
+  /// per evaluation, writes only to *t). With max_retries > 0, evaluates
+  /// until one verdict holds a strict majority of the allowed attempts --
+  /// two agreeing attempts settle the common (deterministic) case early,
+  /// mixed verdicts burn more attempts and flag the trial for quarantine.
   void evaluate_live(Trial* t) {
     verify::EvalOptions eopts;
     eopts.max_instructions = options_.max_instructions_per_run;
     // Pass/fail is all a trial reports; per-instruction counts come only
     // from profile_original(), so the VM can take its non-profiling loop.
     eopts.profile = false;
+    eopts.deadline_ns = options_.deadline_ms * 1000000ull;
+
+    const std::uint32_t max_attempts = 1 + options_.max_retries;
+    std::uint32_t passes = 0;
+    std::uint32_t fails = 0;
     Timer timer;
-    t->result =
-        verify::evaluate_config(original_, ix_, t->cfg, verifier_, eopts);
+    for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+      fault::TrialFaults faults;
+      if (options_.fault_injector != nullptr) {
+        faults = options_.fault_injector->for_trial(t->key, attempt);
+        eopts.faults = &faults;
+      }
+      t->result =
+          verify::evaluate_config(original_, ix_, t->cfg, verifier_, eopts);
+      if (t->result.passed) {
+        ++passes;
+      } else {
+        ++fails;
+      }
+      if (passes > max_attempts / 2 || fails > max_attempts / 2) break;
+    }
     t->eval_ns = timer.elapsed_ns();
+    t->attempts = passes + fails;
+    t->mixed_votes = passes > 0 && fails > 0;
+
+    // Majority verdict, ties failing (a config that cannot be trusted to
+    // pass must not enter the final composition).
+    const bool verdict = passes > fails;
+    if (verdict != t->result.passed) {
+      t->result.passed = verdict;
+      if (verdict) {
+        t->result.failure_class = verify::FailureClass::kNone;
+        t->result.failure.clear();
+      } else if (t->result.failure_class == verify::FailureClass::kNone) {
+        t->result.failure_class = verify::FailureClass::kDivergence;
+        t->result.failure = "verification failed (majority vote)";
+      }
+    }
   }
 
   /// Cache-aware evaluation of a composed configuration (final union and
@@ -373,10 +429,19 @@ class Searcher {
   void commit_trial(Trial* t, const std::string& name, std::size_t candidates,
                     const char* level) {
     ++tested_;
+    if (!t->result.passed) {
+      ++metrics_.failures_by_class[verify::failure_class_name(
+          t->result.failure_class)];
+    }
     if (t->cached) {
       ++metrics_.trials_cached;
     } else {
       ++metrics_.trials_live;
+      metrics_.retries += t->attempts - 1;
+      if (t->mixed_votes) {
+        ++metrics_.quarantined;
+        quarantine_.push_back(t->key);
+      }
       const double secs = 1e-9 * static_cast<double>(t->eval_ns);
       metrics_.eval_seconds += secs;
       metrics_.eval_seconds_per_level[level] += secs;
@@ -386,9 +451,11 @@ class Searcher {
       metrics_.run_seconds += 1e-9 * static_cast<double>(t->result.run_ns);
       metrics_.verify_seconds +=
           1e-9 * static_cast<double>(t->result.verify_ns);
-      CachedTrial entry{t->result.passed, t->result.failure, t->eval_ns};
+      CachedTrial entry{t->result.passed, t->result.failure_class,
+                        t->result.failure, t->eval_ns};
       if (journal_.is_open()) {
-        journal_.append(encode_trial_line(t->key, name, candidates, entry));
+        journal_.append_sealed(
+            encode_trial_line(t->key, name, candidates, entry));
       }
       cache_.insert(t->key, std::move(entry));
     }
@@ -569,6 +636,7 @@ class Searcher {
   PrecisionConfig final_config_;
   std::vector<PassingUnit> passing_;
   std::vector<TestRecord> trace_;
+  std::vector<std::string> quarantine_;
 
   TrialCache cache_;
   Journal journal_;

@@ -25,6 +25,7 @@
 
 #include "config/config.hpp"
 #include "program/image.hpp"
+#include "support/fault.hpp"
 #include "verify/evaluate.hpp"
 #include "verify/verifier.hpp"
 
@@ -71,6 +72,22 @@ struct SearchOptions {
   /// existing journal is only appended to, never consulted.
   bool resume = true;
 
+  // ---- Trial supervision ---------------------------------------------------
+  /// Wall-clock deadline per trial run, in milliseconds; 0 disables. A
+  /// configuration that spins past it is classified FailureClass::kTimeout
+  /// instead of hanging the search (the instruction budget still applies).
+  /// Also applied to the initial profiling run.
+  std::uint64_t deadline_ms = 0;
+  /// Extra evaluation attempts per trial for flaky-verdict tolerance. With
+  /// N > 0 a trial is evaluated until one verdict holds a strict majority
+  /// of the N+1 allowed attempts (ties fail); trials whose attempts
+  /// disagreed are reported in SearchResult::quarantine.
+  std::uint32_t max_retries = 0;
+  /// Deterministic fault campaign for robustness testing; nullptr runs
+  /// clean. Folded into the search fingerprint so faulted journals never
+  /// contaminate fault-free runs. See support/fault.hpp.
+  const fault::Injector* fault_injector = nullptr;
+
   // ---- Observability -------------------------------------------------------
   /// Emit progress lines (trials/sec, cache hit rate, queue depth, ETA)
   /// through support/log at info level while the search runs.
@@ -110,6 +127,21 @@ struct SearchMetrics {
   double predecode_seconds = 0.0;
   double run_seconds = 0.0;
   double verify_seconds = 0.0;
+
+  // ---- Failure taxonomy and supervision -----------------------------------
+  /// Failed trials by failure_class_name ("trap", "sentinel-escape",
+  /// "divergence", "timeout", "budget", "internal-error"); cached and live
+  /// trials both count -- this is the per-class census nas_search prints.
+  std::map<std::string, std::size_t> failures_by_class;
+  /// Evaluation attempts beyond the first, summed over all trials
+  /// (max_retries policy).
+  std::size_t retries = 0;
+  /// Trials whose attempts returned mixed verdicts (non-deterministic
+  /// under the active campaign); they resolve by majority vote.
+  std::size_t quarantined = 0;
+  /// The profiling run of the original binary failed, and the search fell
+  /// back to unweighted structure-order prioritisation.
+  bool profile_degraded = false;
 };
 
 struct SearchResult {
@@ -126,6 +158,11 @@ struct SearchResult {
   bool refined = false;
   config::PrecisionConfig refined_config;
   config::ReplacementStats refined_stats;
+
+  /// Config digests whose evaluation attempts returned mixed verdicts
+  /// (see SearchOptions::max_retries); their recorded outcome is the
+  /// majority vote, but they should not be trusted as deterministic.
+  std::vector<std::string> quarantine;
 
   SearchMetrics metrics;
 };

@@ -1,0 +1,111 @@
+#include "support/fault.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "support/hash.hpp"
+#include "support/journal.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace fpmix::fault {
+
+namespace {
+
+/// Uniform double in [0, 1) from one SplitMix64 draw.
+double unit_draw(SplitMix64* rng) { return rng->next_double(); }
+
+}  // namespace
+
+TrialFaults Injector::for_trial(std::string_view trial_key,
+                                std::uint32_t attempt) const {
+  // One stable stream per (campaign, trial, attempt): identical decisions
+  // no matter which thread evaluates the trial or how often it is retried
+  // with the same attempt index.
+  std::uint64_t h = fnv1a64(trial_key, seed_ ^ kFnv1a64Offset);
+  h = fnv1a64_mix(h, attempt);
+  SplitMix64 rng(h);
+
+  TrialFaults out;
+  const double v = unit_draw(&rng);
+  double edge = rates_.abort;
+  if (v < edge) {
+    out.vm.kind = VmFault::kAbort;
+  } else if (v < (edge += rates_.bitflip)) {
+    out.vm.kind = VmFault::kBitFlip;
+  } else if (v < (edge += rates_.sentinel)) {
+    out.vm.kind = VmFault::kSentinel;
+  } else if (v < (edge += rates_.stall)) {
+    out.vm.kind = VmFault::kStall;
+  }
+  if (out.vm.kind != VmFault::kNone) {
+    // Early enough that short trial programs usually reach the fault point;
+    // a spec that outlives the run is a harmless no-op.
+    out.vm.at_retired = 1 + rng.next_below(256);
+    out.vm.seed = rng.next_u64();
+  }
+  out.flip_verdict = unit_draw(&rng) < rates_.flaky;
+  return out;
+}
+
+std::string Injector::fingerprint_tag() const {
+  std::uint64_t h = fnv1a64("fault-campaign", seed_);
+  const double rs[] = {rates_.abort, rates_.bitflip, rates_.sentinel,
+                       rates_.stall, rates_.flaky};
+  for (const double r : rs) {
+    h = fnv1a64_mix(h, static_cast<std::uint64_t>(r * 1e9));
+  }
+  return hex_digest(h);
+}
+
+bool sabotage_journal(const std::string& path, JournalFault kind,
+                      std::uint64_t seed) {
+  std::vector<std::string> lines = Journal::read_lines(path);
+  if (lines.empty()) return false;
+  SplitMix64 rng(seed);
+
+  bool torn_tail = false;
+  std::string torn;
+  switch (kind) {
+    case JournalFault::kTruncateTail: {
+      // A crash mid-append: the final line survives only up to a random
+      // byte and has no terminating newline.
+      torn = lines.back();
+      lines.pop_back();
+      if (torn.size() > 1) torn.resize(1 + rng.next_below(torn.size() - 1));
+      torn_tail = true;
+      break;
+    }
+    case JournalFault::kCorruptInterior: {
+      const std::size_t i = rng.next_below(lines.size());
+      std::string& l = lines[i];
+      if (l.empty()) return false;
+      const std::size_t at = rng.next_below(l.size());
+      // Flip a low bit so the line stays newline-free printable-ish text;
+      // never produces '\n' from a printable byte.
+      l[at] = static_cast<char>((l[at] ^ 0x1) | 0x20);
+      break;
+    }
+    case JournalFault::kDuplicateLine: {
+      const std::size_t i = rng.next_below(lines.size());
+      lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(i + 1),
+                   lines[i]);
+      break;
+    }
+    case JournalFault::kGarbageLine: {
+      const std::size_t i = rng.next_below(lines.size() + 1);
+      lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(i),
+                   strformat("@@journal-noise %llx not json",
+                             static_cast<unsigned long long>(rng.next_u64())));
+      break;
+    }
+  }
+
+  std::ofstream f(path, std::ios::trunc | std::ios::binary);
+  if (!f) return false;
+  for (const std::string& l : lines) f << l << '\n';
+  if (torn_tail) f << torn;
+  return static_cast<bool>(f);
+}
+
+}  // namespace fpmix::fault

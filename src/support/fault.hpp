@@ -1,0 +1,102 @@
+// Deterministic, seeded fault injection for robustness testing.
+//
+// The search harness must survive hundreds of trapping, diverging and
+// non-terminating trial configurations without losing the run -- a crashed
+// trial is ordinary data (the 0x7FF4DEAD sentinel is *designed* to make
+// untreated escapes fail loudly). This module manufactures those failures
+// on demand so tests can drive seeded fault campaigns through full searches
+// and assert the harness absorbs every one of them:
+//
+//  - VM faults, fired at an exact retired-instruction count inside
+//    vm::Machine's supervision loop: flip a bit in an FP slot (silent data
+//    corruption), force a replaced-double sentinel escape, abort the trial,
+//    or stall it until the wall-clock deadline trips;
+//  - verifier flakiness, flipping the verdict of a single evaluation
+//    attempt (exercises the search's retry / majority-vote / quarantine
+//    policy);
+//  - journal sabotage, corrupting / truncating / duplicating lines of an
+//    existing journal file (exercises CRC + sequence-number recovery).
+//
+// Everything is a pure function of (seed, trial key, attempt): the same
+// campaign replays identically across processes and thread schedules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fpmix::fault {
+
+/// Machine-level fault kinds, applied by vm::Machine mid-run.
+enum class VmFault : std::uint8_t {
+  kNone = 0,
+  kBitFlip,   // flip one bit of an FP slot (xmm lane or data memory): SDC
+  kSentinel,  // write a 0x7FF4DEAD-tagged slot: forced sentinel escape
+  kAbort,     // trap immediately: models a crashed trial
+  kStall,     // stop retiring instructions: models a hang (needs a deadline)
+};
+
+/// One planned machine fault: `kind` fires once the retired-instruction
+/// count reaches `at_retired`; `seed` picks the target register/bit.
+struct VmFaultSpec {
+  VmFault kind = VmFault::kNone;
+  std::uint64_t at_retired = 0;
+  std::uint64_t seed = 0;
+};
+
+/// Fault decisions for one evaluation attempt of one trial.
+struct TrialFaults {
+  VmFaultSpec vm;
+  bool flip_verdict = false;  // verifier flakiness for this attempt
+};
+
+/// Campaign-level deterministic fault source. for_trial derives every
+/// decision from (campaign seed, trial key, attempt index), so a campaign
+/// is reproducible and per-trial decisions are independent of evaluation
+/// order and thread count. Thread-safe (const, no state).
+class Injector {
+ public:
+  /// Independent per-attempt probabilities of each fault kind. The VM
+  /// faults are mutually exclusive (first match on a single draw); flaky
+  /// verdict flips are drawn separately.
+  struct Rates {
+    double abort = 0.0;
+    double bitflip = 0.0;
+    double sentinel = 0.0;
+    double stall = 0.0;  // only meaningful when a trial deadline is set
+    double flaky = 0.0;
+  };
+
+  Injector(std::uint64_t seed, const Rates& rates)
+      : seed_(seed), rates_(rates) {}
+
+  /// Fault decisions for attempt `attempt` of the trial identified by
+  /// `trial_key` (the config digest the search journals).
+  TrialFaults for_trial(std::string_view trial_key,
+                        std::uint32_t attempt) const;
+
+  /// Tag folded into the search fingerprint so journals written under a
+  /// fault campaign never contaminate fault-free runs.
+  std::string fingerprint_tag() const;
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+  Rates rates_;
+};
+
+/// Journal sabotage kinds (applied to a file between runs).
+enum class JournalFault : std::uint8_t {
+  kTruncateTail,     // cut the final line mid-write (crash signature)
+  kCorruptInterior,  // flip one byte of a random interior line
+  kDuplicateLine,    // replay a random line immediately after itself
+  kGarbageLine,      // splice a non-JSON line at a random position
+};
+
+/// Deterministically damages the journal at `path`. Returns false when the
+/// file is missing or too short to damage in the requested way.
+bool sabotage_journal(const std::string& path, JournalFault kind,
+                      std::uint64_t seed);
+
+}  // namespace fpmix::fault

@@ -7,6 +7,59 @@
 
 namespace fpmix {
 
+namespace {
+
+/// Reflected CRC-32 table for polynomial 0xEDB88320, built once.
+struct Crc32Table {
+  std::uint32_t t[256];
+  Crc32Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+  }
+};
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  static const Crc32Table table;
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    c = table.t[(c ^ static_cast<std::uint8_t>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::string seal_record(std::string_view json_object, std::uint64_t seq) {
+  // `{"a":1}` + seq 7 -> `{"a":1,"seq":7,"crc":"xxxxxxxx"}` with the CRC
+  // taken over `{"a":1,"seq":7` -- every byte that precedes the crc field,
+  // so damage anywhere in the line (seal included) fails verification.
+  std::string out(json_object.substr(0, json_object.size() - 1));
+  out += strformat(",\"seq\":%llu", static_cast<unsigned long long>(seq));
+  const std::uint32_t crc = crc32(out);
+  out += strformat(",\"crc\":\"%08x\"}", crc);
+  return out;
+}
+
+SealCheck check_seal(std::string_view line) {
+  const std::size_t pos = line.rfind(",\"crc\":\"");
+  if (pos == std::string_view::npos) return SealCheck::kUnsealed;
+  // Expect exactly `,"crc":"HHHHHHHH"}` at the tail.
+  const std::string_view tail = line.substr(pos);
+  if (tail.size() != 8 + 8 + 2 || tail.substr(16) != "\"}") {
+    return SealCheck::kCorrupt;
+  }
+  std::uint64_t stored = 0;
+  if (!parse_hex_u64(tail.substr(8, 8), &stored)) return SealCheck::kCorrupt;
+  return crc32(line.substr(0, pos)) == static_cast<std::uint32_t>(stored)
+             ? SealCheck::kOk
+             : SealCheck::kCorrupt;
+}
+
 std::string json_escape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
@@ -142,9 +195,23 @@ Journal::~Journal() { close(); }
 
 bool Journal::open(const std::string& path) {
   close();
+  // A crash mid-append can leave the file without a final newline. Appending
+  // onto that torn tail would glue the new record to it and corrupt both, so
+  // terminate the tail first (readers drop the now-complete junk line by its
+  // failed parse / CRC, exactly like any other damaged record).
+  bool needs_newline = false;
+  if (std::FILE* probe = std::fopen(path.c_str(), "rb")) {
+    if (std::fseek(probe, -1, SEEK_END) == 0) {
+      const int last = std::fgetc(probe);
+      needs_newline = last != EOF && last != '\n';
+    }
+    std::fclose(probe);
+  }
   file_ = std::fopen(path.c_str(), "ab");
   if (file_ == nullptr) return false;
+  if (needs_newline) std::fputc('\n', file_);
   path_ = path;
+  next_seq_ = 1;
   return true;
 }
 
@@ -154,6 +221,10 @@ void Journal::close() {
     file_ = nullptr;
   }
   path_.clear();
+}
+
+void Journal::append_sealed(const std::string& json_object) {
+  append(seal_record(json_object, next_seq_++));
 }
 
 void Journal::append(const std::string& json_object) {

@@ -6,11 +6,20 @@
 // ignore an unterminated final line, which makes truncated journals (crash,
 // kill -9, full disk) safe to resume from.
 //
+// Beyond the torn-tail case, journals written through append_sealed are
+// self-healing against *interior* damage: every sealed record carries a
+// sequence number and a CRC32 of everything before the checksum field, so a
+// reader can detect a corrupted, truncated-in-place, or replayed line and
+// skip exactly that record instead of abandoning the file. Unsealed lines
+// still parse (mixed-version journals stay readable); they simply get no
+// integrity guarantee.
+//
 // Only flat objects with string / integer / boolean values are supported;
 // that is all the trial journal needs, and it keeps the parser small enough
 // to audit.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -18,6 +27,23 @@
 #include <vector>
 
 namespace fpmix {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the checksum used
+/// to seal journal records. Stable across platforms and builds.
+std::uint32_t crc32(std::string_view data);
+
+/// Seals a flat JSON object (must end in '}') by splicing
+/// `,"seq":<seq>,"crc":"<8 hex>"` before the closing brace, where the CRC
+/// covers every byte of the line before the crc field itself.
+std::string seal_record(std::string_view json_object, std::uint64_t seq);
+
+/// Outcome of integrity-checking one journal line.
+enum class SealCheck {
+  kOk,        // sealed and the CRC matches
+  kUnsealed,  // no crc field: a legacy (version-1) or foreign record
+  kCorrupt,   // sealed but damaged: CRC mismatch or mangled seal framing
+};
+SealCheck check_seal(std::string_view line);
 
 /// Escapes `s` for use inside a JSON string literal (quotes not included).
 std::string json_escape(std::string_view s);
@@ -48,6 +74,15 @@ class Journal {
   /// Appends one record as a single line ('\n' added here) and flushes.
   void append(const std::string& json_object);
 
+  /// Appends `json_object` sealed with the next sequence number and its
+  /// CRC32 (see seal_record). Sequence numbers restart at 1 per journal
+  /// session unless set_next_seq was called after a replay.
+  void append_sealed(const std::string& json_object);
+
+  /// Continues sequence numbering after a replay (pass highest-seen + 1).
+  void set_next_seq(std::uint64_t seq) { next_seq_ = seq; }
+  std::uint64_t next_seq() const { return next_seq_; }
+
   /// Reads every complete line of `path`. A trailing chunk without a final
   /// newline -- the signature of a crash mid-append -- is dropped. A missing
   /// file yields an empty vector.
@@ -56,6 +91,7 @@ class Journal {
  private:
   std::FILE* file_ = nullptr;
   std::string path_;
+  std::uint64_t next_seq_ = 1;
 };
 
 }  // namespace fpmix

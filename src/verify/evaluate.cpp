@@ -6,6 +6,66 @@
 
 namespace fpmix::verify {
 
+const char* failure_class_name(FailureClass c) {
+  switch (c) {
+    case FailureClass::kNone: return "none";
+    case FailureClass::kTrap: return "trap";
+    case FailureClass::kSentinelEscape: return "sentinel-escape";
+    case FailureClass::kDivergence: return "divergence";
+    case FailureClass::kTimeout: return "timeout";
+    case FailureClass::kBudget: return "budget";
+    case FailureClass::kInternalError: return "internal-error";
+  }
+  return "unknown";
+}
+
+bool parse_failure_class(std::string_view name, FailureClass* out) {
+  for (const FailureClass c :
+       {FailureClass::kNone, FailureClass::kTrap,
+        FailureClass::kSentinelEscape, FailureClass::kDivergence,
+        FailureClass::kTimeout, FailureClass::kBudget,
+        FailureClass::kInternalError}) {
+    if (name == failure_class_name(c)) {
+      *out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+FailureClass classify_failure_message(std::string_view message) {
+  if (message.empty()) return FailureClass::kNone;
+  if (message.find("sentinel") != std::string_view::npos) {
+    return FailureClass::kSentinelEscape;
+  }
+  if (message.find("budget") != std::string_view::npos) {
+    return FailureClass::kBudget;
+  }
+  if (message.find("deadline") != std::string_view::npos) {
+    return FailureClass::kTimeout;
+  }
+  if (message.find("verification") != std::string_view::npos) {
+    return FailureClass::kDivergence;
+  }
+  return FailureClass::kTrap;
+}
+
+namespace {
+
+FailureClass classify_run(const vm::RunResult& run) {
+  switch (run.status) {
+    case vm::RunResult::Status::kHalted: return FailureClass::kNone;
+    case vm::RunResult::Status::kTrapped:
+      return run.sentinel_escape ? FailureClass::kSentinelEscape
+                                 : FailureClass::kTrap;
+    case vm::RunResult::Status::kOutOfBudget: return FailureClass::kBudget;
+    case vm::RunResult::Status::kDeadline: return FailureClass::kTimeout;
+  }
+  return FailureClass::kInternalError;
+}
+
+}  // namespace
+
 EvalResult evaluate_config(const program::Image& original,
                            const config::StructureIndex& index,
                            const config::PrecisionConfig& cfg,
@@ -13,36 +73,64 @@ EvalResult evaluate_config(const program::Image& original,
                            const EvalOptions& options) {
   EvalResult result;
   Timer timer;
-  program::Image patched =
-      instrument::instrument_image(original, index, cfg, &result.stats);
-  result.patch_ns = timer.elapsed_ns();
+  // Harness-side exceptions (a patcher bug, predecode running out of
+  // memory, ...) are a trial outcome, not a search abort: the paper's
+  // premise is that a failed trial is ordinary data.
+  try {
+    program::Image patched =
+        instrument::instrument_image(original, index, cfg, &result.stats);
+    result.patch_ns = timer.elapsed_ns();
 
-  timer.reset();
-  const auto exec = vm::ExecutableImage::build(std::move(patched));
-  result.predecode_ns = timer.elapsed_ns();
+    timer.reset();
+    const auto exec = vm::ExecutableImage::build(std::move(patched));
+    result.predecode_ns = timer.elapsed_ns();
 
-  vm::Machine::Options mopts;
-  mopts.max_instructions = options.max_instructions;
-  mopts.profile = options.profile;
-  mopts.engine = options.engine;
-  vm::Machine machine(exec, mopts);
-  timer.reset();
-  const vm::RunResult run = machine.run();
-  result.run_ns = timer.elapsed_ns();
-  result.run_status = run.status;
-  result.instructions_retired = run.instructions_retired;
-  result.outputs = machine.output_f64();
+    vm::Machine::Options mopts;
+    mopts.max_instructions = options.max_instructions;
+    mopts.profile = options.profile;
+    mopts.engine = options.engine;
+    mopts.deadline_ns = options.deadline_ns;
+    mopts.deadline_check_interval = options.deadline_check_interval;
+    if (options.faults != nullptr &&
+        options.faults->vm.kind != fault::VmFault::kNone) {
+      mopts.fault = &options.faults->vm;
+    }
+    vm::Machine machine(exec, mopts);
+    timer.reset();
+    const vm::RunResult run = machine.run();
+    result.run_ns = timer.elapsed_ns();
+    result.run_status = run.status;
+    result.instructions_retired = run.instructions_retired;
+    result.outputs = machine.output_f64();
 
-  if (!run.ok()) {
+    if (!run.ok()) {
+      result.passed = false;
+      result.failure_class = classify_run(run);
+      result.failure = run.trap_message.empty() ? "run failed"
+                                                : run.trap_message;
+      return result;
+    }
+    timer.reset();
+    result.passed = verifier.verify(result.outputs);
+    result.verify_ns = timer.elapsed_ns();
+  } catch (const std::exception& e) {
     result.passed = false;
-    result.failure = run.trap_message.empty() ? "run failed"
-                                              : run.trap_message;
+    result.failure_class = FailureClass::kInternalError;
+    result.failure = strformat("internal error: %s", e.what());
     return result;
   }
-  timer.reset();
-  result.passed = verifier.verify(result.outputs);
-  result.verify_ns = timer.elapsed_ns();
-  if (!result.passed) result.failure = "verification failed";
+  if (options.faults != nullptr && options.faults->flip_verdict) {
+    // Injected verifier flakiness: this attempt reports the opposite
+    // verdict (exercises the retry / majority-vote policy upstream).
+    result.passed = !result.passed;
+  }
+  if (!result.passed) {
+    result.failure_class = FailureClass::kDivergence;
+    result.failure = "verification failed";
+  } else {
+    result.failure_class = FailureClass::kNone;
+    result.failure.clear();
+  }
   return result;
 }
 

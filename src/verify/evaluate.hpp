@@ -3,10 +3,12 @@
 #pragma once
 
 #include <memory>
+#include <string_view>
 
 #include "config/config.hpp"
 #include "instrument/patch.hpp"
 #include "program/image.hpp"
+#include "support/fault.hpp"
 #include "verify/verifier.hpp"
 #include "vm/machine.hpp"
 
@@ -19,11 +21,44 @@ struct EvalOptions {
   bool profile = false;
   /// Execution engine; kSwitch is the differential-testing oracle.
   vm::Engine engine = vm::Engine::kMicroOp;
+  /// Wall-clock deadline for the VM run; 0 disables. A trial that exceeds
+  /// it fails with FailureClass::kTimeout instead of hanging the search.
+  std::uint64_t deadline_ns = 0;
+  /// Retired instructions between the VM's wall-clock checks.
+  std::uint64_t deadline_check_interval = 1ull << 20;
+  /// Planned faults for this evaluation attempt (fault-injection
+  /// campaigns); nullptr evaluates clean.
+  const fault::TrialFaults* faults = nullptr;
 };
+
+/// Why a trial failed -- the per-trial taxonomy the search aggregates,
+/// journals, and reports. Kept order-stable: the numeric values appear in
+/// journal records.
+enum class FailureClass : std::uint8_t {
+  kNone = 0,           // trial passed
+  kTrap,               // VM fault: bad memory access, div by zero, ...
+  kSentinelEscape,     // a 0x7FF4DEAD replaced-double reached a consumer
+  kDivergence,         // ran to completion but verification failed
+  kTimeout,            // wall-clock deadline exceeded
+  kBudget,             // retired-instruction budget exhausted
+  kInternalError,      // harness-side exception during patch/predecode/run
+};
+
+/// Stable short name for journal records and reports ("trap",
+/// "sentinel-escape", ...).
+const char* failure_class_name(FailureClass c);
+
+/// Parses a failure_class_name back; returns false on unknown names.
+bool parse_failure_class(std::string_view name, FailureClass* out);
+
+/// Heuristic classification of a legacy journal record's failure message
+/// (records written before the class field existed).
+FailureClass classify_failure_message(std::string_view message);
 
 struct EvalResult {
   bool passed = false;
   vm::RunResult::Status run_status = vm::RunResult::Status::kHalted;
+  FailureClass failure_class = FailureClass::kNone;
   std::string failure;               // empty when passed
   std::vector<double> outputs;
   std::uint64_t instructions_retired = 0;

@@ -1,16 +1,21 @@
 #include "vm/machine.hpp"
 
+#include <algorithm>
 #include <array>
 #include <bit>
+#include <chrono>
 #include <cmath>
 #include <cstring>
+#include <thread>
 
 #include "arch/disasm.hpp"
 #include "arch/encode.hpp"
 #include "arch/intrinsics.hpp"
 #include "arch/tag.hpp"
 #include "support/error.hpp"
+#include "support/rng.hpp"
 #include "support/strings.hpp"
+#include "support/timer.hpp"
 
 namespace fpmix::vm {
 
@@ -58,6 +63,20 @@ Machine::Machine(std::shared_ptr<const ExecutableImage> exec, Options options)
 
 void Machine::trap(std::string message) const { throw Trap{std::move(message)}; }
 
+std::string Machine::trap_context(std::size_t pc, std::uint64_t retired) const {
+  if (pc >= exec_->code().size()) {
+    return strformat(" [pc=%llu retired=%llu]",
+                     static_cast<unsigned long long>(pc),
+                     static_cast<unsigned long long>(retired));
+  }
+  const Instr& ins = exec_->code()[pc];
+  return strformat(" [pc=%llu addr=0x%llx op=%s retired=%llu]",
+                   static_cast<unsigned long long>(pc),
+                   static_cast<unsigned long long>(ins.addr),
+                   arch::opcode_name(ins.op),
+                   static_cast<unsigned long long>(retired));
+}
+
 std::uint64_t Machine::effective_address(const arch::MemRef& m) const {
   std::uint64_t a = static_cast<std::uint64_t>(
       static_cast<std::int64_t>(m.disp));
@@ -95,12 +114,15 @@ std::uint64_t Machine::int_value(const Operand& op) const {
 
 void Machine::check_not_tagged(const Instr& ins, std::uint64_t bits) const {
   if (options_.tag_trap && arch::is_tagged(bits)) {
-    trap(strformat(
-        "replaced-double sentinel consumed by '%s' at 0x%llx (origin 0x%llx):"
-        " a narrowed value escaped the instrumentation",
-        arch::instr_to_string(ins).c_str(),
-        static_cast<unsigned long long>(ins.addr),
-        static_cast<unsigned long long>(exec_->image().origin_of(ins.addr))));
+    throw Trap{
+        strformat("replaced-double sentinel consumed by '%s' at 0x%llx"
+                  " (origin 0x%llx):"
+                  " a narrowed value escaped the instrumentation",
+                  arch::instr_to_string(ins).c_str(),
+                  static_cast<unsigned long long>(ins.addr),
+                  static_cast<unsigned long long>(
+                      exec_->image().origin_of(ins.addr))),
+        /*sentinel=*/true};
   }
 }
 
@@ -139,8 +161,135 @@ RunResult Machine::run() {
   push64(0);
   pc_ = exec_->entry_index();
 
+  const bool fault_planned = options_.fault != nullptr &&
+                             options_.fault->kind != fault::VmFault::kNone;
+  if (options_.deadline_ns == 0 && !fault_planned) return run_engine();
+  return run_supervised();
+}
+
+RunResult Machine::run_engine() {
   if (options_.engine == Engine::kSwitch) return run_switch();
   return options_.profile ? run_micro<true>() : run_micro<false>();
+}
+
+RunResult Machine::run_supervised() {
+  // Both engines persist pc_/retired_ at a budget stop and resume from them,
+  // so the deadline and the fault point are enforced without touching the
+  // hot dispatch loops: temporarily lower max_instructions to the next
+  // supervision point, re-enter the engine, and check the wall clock / fire
+  // the planned fault at each chunk boundary. The overshoot past a deadline
+  // is at most one chunk of retired instructions.
+  const std::uint64_t real_budget = options_.max_instructions;
+  const std::uint64_t interval = std::max<std::uint64_t>(
+      options_.deadline_check_interval, 1);
+  const fault::VmFaultSpec* fault =
+      (options_.fault != nullptr &&
+       options_.fault->kind != fault::VmFault::kNone)
+          ? options_.fault
+          : nullptr;
+  Timer timer;
+
+  const auto deadline_result = [&]() {
+    RunResult r;
+    r.status = RunResult::Status::kDeadline;
+    r.trap_message = strformat(
+        "wall-clock deadline of %llu ms exceeded after %llu instructions",
+        static_cast<unsigned long long>(options_.deadline_ns / 1000000),
+        static_cast<unsigned long long>(retired_));
+    r.instructions_retired = retired_;
+    return r;
+  };
+
+  while (true) {
+    // Fire the planned fault once its retired-instruction count is reached
+    // (including at_retired == 0, before the first chunk).
+    if (fault != nullptr && retired_ >= fault->at_retired) {
+      const fault::VmFaultSpec spec = *fault;
+      fault = nullptr;
+      switch (spec.kind) {
+        case fault::VmFault::kAbort: {
+          RunResult r;
+          r.status = RunResult::Status::kTrapped;
+          r.trap_message = "injected fault: trial aborted" +
+                           trap_context(pc_, retired_);
+          r.instructions_retired = retired_;
+          return r;
+        }
+        case fault::VmFault::kStall: {
+          if (options_.deadline_ns == 0) {
+            // Nothing would ever cancel the hang; surface it as a trap
+            // instead of blocking the harness forever.
+            RunResult r;
+            r.status = RunResult::Status::kTrapped;
+            r.trap_message =
+                "injected fault: stall with no deadline configured" +
+                trap_context(pc_, retired_);
+            r.instructions_retired = retired_;
+            return r;
+          }
+          // Model a hang: stop retiring instructions until the deadline
+          // trips, as a real non-terminating trial would.
+          while (timer.elapsed_ns() < options_.deadline_ns) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+          return deadline_result();
+        }
+        case fault::VmFault::kBitFlip:
+        case fault::VmFault::kSentinel:
+          apply_state_fault(spec);
+          break;
+        case fault::VmFault::kNone:
+          break;
+      }
+    }
+
+    if (options_.deadline_ns != 0 &&
+        timer.elapsed_ns() >= options_.deadline_ns) {
+      return deadline_result();
+    }
+
+    std::uint64_t stop_at = real_budget;
+    if (options_.deadline_ns != 0) {
+      stop_at = std::min(stop_at, retired_ + interval);
+    }
+    if (fault != nullptr) stop_at = std::min(stop_at, fault->at_retired);
+
+    options_.max_instructions = stop_at;
+    RunResult r = run_engine();
+    options_.max_instructions = real_budget;
+
+    // Anything but a chunk-boundary budget stop is a real outcome; a budget
+    // stop is only real once the true budget is spent.
+    if (r.status != RunResult::Status::kOutOfBudget ||
+        retired_ >= real_budget) {
+      return r;
+    }
+  }
+}
+
+void Machine::apply_state_fault(const fault::VmFaultSpec& spec) {
+  SplitMix64 rng(spec.seed);
+  if (spec.kind == fault::VmFault::kBitFlip) {
+    // Silent data corruption: flip one bit of one 64-bit FP slot -- an xmm
+    // lane, or an aligned slot of data memory.
+    const std::uint64_t bit = 1ull << rng.next_below(64);
+    if (mem_size_ >= 8 && rng.next_below(2) == 0) {
+      const std::uint64_t slot = 8 * rng.next_below(mem_size_ / 8);
+      std::uint64_t v = 0;
+      std::memcpy(&v, mem_base_ + slot, 8);
+      v ^= bit;
+      std::memcpy(mem_base_ + slot, &v, 8);
+    } else {
+      Xmm& x = xmm_[rng.next_below(arch::kNumXmms)];
+      (rng.next_below(2) == 0 ? x.lo : x.hi) ^= bit;
+    }
+  } else {  // kSentinel
+    // Plant the replaced-double sentinel in every xmm low lane: the next
+    // double-interpreting read trips the tag trap exactly as a narrowed
+    // value escaping the instrumentation would.
+    const float payload = static_cast<float>(rng.next_double());
+    for (Xmm& x : xmm_) x.lo = arch::make_tagged(payload);
+  }
 }
 
 RunResult Machine::run_switch() {
@@ -161,7 +310,8 @@ RunResult Machine::run_switch() {
     result.status = RunResult::Status::kHalted;
   } catch (const Trap& t) {
     result.status = RunResult::Status::kTrapped;
-    result.trap_message = t.message;
+    result.trap_message = t.message + trap_context(pc_, retired_);
+    result.sentinel_escape = t.sentinel;
   }
   result.instructions_retired = retired_;
   return result;
@@ -349,7 +499,7 @@ void Machine::step_switch(const Instr& ins) {
 
     case Opcode::kMovqXR:
       // Deviation from x86: preserves the upper lane, so scalar snippet
-      // write-backs cannot clobber live packed data (DESIGN.md section 6).
+      // write-backs cannot clobber live packed data (DESIGN.md section 7).
       xmm_[ins.dst.reg].lo = gpr_[ins.src.reg];
       break;
     case Opcode::kMovqRX:
@@ -1829,7 +1979,8 @@ RunResult Machine::run_micro() {
   } catch (const Trap& t) {
     pc_ = pc;  // the index of the instruction that trapped
     result.status = RunResult::Status::kTrapped;
-    result.trap_message = t.message;
+    result.trap_message = t.message + trap_context(pc, retired);
+    result.sentinel_escape = t.sentinel;
   }
   retired_ = retired;
   result.instructions_retired = retired;
@@ -1870,7 +2021,8 @@ budget:
   } catch (const Trap& t) {
     pc_ = pc;  // the index of the instruction that trapped
     result.status = RunResult::Status::kTrapped;
-    result.trap_message = t.message;
+    result.trap_message = t.message + trap_context(pc, retired);
+    result.sentinel_escape = t.sentinel;
   }
   retired_ = retired;
   result.instructions_retired = retired;

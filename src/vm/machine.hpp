@@ -30,6 +30,7 @@
 
 #include "arch/instr.hpp"
 #include "program/image.hpp"
+#include "support/fault.hpp"
 #include "vm/exec_image.hpp"
 #include "vm/minimpi.hpp"
 
@@ -46,10 +47,15 @@ struct RunResult {
     kHalted,        // clean stop (halt, or return from the entry function)
     kTrapped,       // runtime fault; see `trap_message`
     kOutOfBudget,   // exceeded Options::max_instructions
+    kDeadline,      // exceeded Options::deadline_ns of wall-clock time
   };
   Status status = Status::kHalted;
   std::string trap_message;
   std::uint64_t instructions_retired = 0;
+  /// True when the trap was the replaced-double tag trap -- a narrowed
+  /// value escaped the instrumentation. Lets callers classify sentinel
+  /// escapes without parsing trap_message.
+  bool sentinel_escape = false;
 
   bool ok() const { return status == Status::kHalted; }
 };
@@ -77,6 +83,21 @@ class Machine {
 
     /// Execution engine; kSwitch is the differential-testing oracle.
     Engine engine = Engine::kMicroOp;
+
+    /// Wall-clock deadline for the whole run; 0 disables. Enforced on both
+    /// engines by running in bounded retired-instruction chunks and
+    /// checking the clock between chunks, so the hot dispatch loops stay
+    /// untouched. A run that exceeds it stops with Status::kDeadline.
+    std::uint64_t deadline_ns = 0;
+
+    /// Retired instructions between wall-clock checks (and therefore the
+    /// worst-case overshoot, in instructions, past the deadline).
+    std::uint64_t deadline_check_interval = 1ull << 20;
+
+    /// Planned machine fault (fault-injection campaigns); nullptr or
+    /// kind == kNone runs clean. Applied at the exact retired-instruction
+    /// count of the spec, on either engine.
+    const fault::VmFaultSpec* fault = nullptr;
   };
 
   /// Convenience constructors: predecode a private ExecutableImage from
@@ -140,8 +161,15 @@ class Machine {
   // Internal trap signal; caught by run().
   struct Trap {
     std::string message;
+    bool sentinel = false;  // the replaced-double tag trap
   };
   [[noreturn]] void trap(std::string message) const;
+
+  /// Uniform diagnostic suffix for trap messages: program counter, address,
+  /// opcode mnemonic and retired-instruction count of the faulting
+  /// instruction -- enough to act on a journaled failure line without
+  /// re-running the trial. Identical on both engines.
+  std::string trap_context(std::size_t pc, std::uint64_t retired) const;
 
   // Memory access (bounds-checked).
   std::uint64_t effective_address(const arch::MemRef& m) const;
@@ -166,6 +194,19 @@ class Machine {
   // Micro-op engine; the template parameter selects the profiling loop.
   template <bool Profile>
   RunResult run_micro();
+
+  /// Invokes the selected engine from the current machine state.
+  RunResult run_engine();
+
+  /// Chunked supervision loop: enforces Options::deadline_ns and fires the
+  /// planned Options::fault by re-entering the engine in bounded
+  /// retired-instruction chunks (both engines resume from pc_/retired_
+  /// after a budget stop).
+  RunResult run_supervised();
+
+  /// Applies a state-mutating fault (kBitFlip / kSentinel) to the current
+  /// machine state.
+  void apply_state_fault(const fault::VmFaultSpec& spec);
 
   std::shared_ptr<const ExecutableImage> exec_;
   Options options_;

@@ -154,6 +154,121 @@ TEST(Resume, TruncatedJournalResumesToUninterruptedResult) {
   std::remove(journal.c_str());
 }
 
+TEST(Resume, InteriorCorruptionIsSkippedAndReEvaluated) {
+  const std::string journal = temp_journal("resume_corrupt.jsonl");
+
+  Prepared pr = prepare();
+  const SearchResult uninterrupted =
+      run_search(pr.image, &pr.index, *pr.verifier, {});
+
+  SearchOptions opts;
+  opts.journal_path = journal;
+  {
+    Prepared p = prepare();
+    run_search(p.image, &p.index, *p.verifier, opts);
+  }
+
+  // Flip one byte in the middle of an interior *trial* line (the meta
+  // record is line 0): its CRC no longer matches, so replay must skip
+  // exactly that record and the resumed search re-evaluates it live.
+  auto lines = Journal::read_lines(journal);
+  ASSERT_GT(lines.size(), 4u);
+  std::string& victim = lines[lines.size() / 2];
+  victim[victim.size() / 2] ^= 0x1;
+  {
+    std::ofstream f(journal, std::ios::trunc | std::ios::binary);
+    for (const auto& l : lines) f << l << '\n';
+  }
+
+  Prepared p2 = prepare();
+  const SearchResult resumed =
+      run_search(p2.image, &p2.index, *p2.verifier, opts);
+  EXPECT_GT(resumed.metrics.trials_cached, 0u);
+  EXPECT_EQ(resumed.metrics.trials_live, 1u);  // only the damaged record
+  EXPECT_EQ(resumed.configs_tested, uninterrupted.configs_tested);
+  EXPECT_EQ(config::to_text(p2.index, resumed.final_config),
+            config::to_text(pr.index, uninterrupted.final_config));
+
+  // The re-evaluated trial was re-journaled: a third run is fully warm.
+  Prepared p3 = prepare();
+  const SearchResult warm = run_search(p3.image, &p3.index, *p3.verifier,
+                                       opts);
+  EXPECT_EQ(warm.metrics.trials_live, 0u);
+  EXPECT_EQ(warm.final_config, uninterrupted.final_config);
+  std::remove(journal.c_str());
+}
+
+TEST(Resume, DuplicatedLinesAreIgnoredOnReplay) {
+  const std::string journal = temp_journal("resume_dup.jsonl");
+
+  SearchOptions opts;
+  opts.journal_path = journal;
+  config::PrecisionConfig cold_config;
+  {
+    Prepared p = prepare();
+    cold_config = run_search(p.image, &p.index, *p.verifier, opts)
+                      .final_config;
+  }
+
+  // Replay a run of interior lines (a doubled write / copy-paste merge
+  // accident). Sequence numbers expose the duplicates; replay keeps the
+  // first copy of each and the warm run stays 100% cached.
+  auto lines = Journal::read_lines(journal);
+  ASSERT_GT(lines.size(), 3u);
+  {
+    std::ofstream f(journal, std::ios::trunc | std::ios::binary);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      f << lines[i] << '\n';
+      if (i >= 1 && i <= 3) f << lines[i] << '\n';  // duplicate
+    }
+  }
+
+  Prepared p2 = prepare();
+  const SearchResult warm = run_search(p2.image, &p2.index, *p2.verifier,
+                                       opts);
+  EXPECT_EQ(warm.metrics.trials_live, 0u);
+  EXPECT_EQ(warm.final_config, cold_config);
+  std::remove(journal.c_str());
+}
+
+TEST(Resume, MixedVersionJournalReplaysBothFormats) {
+  // A journal whose first session predates sealing (version-1 unsealed
+  // lines) continued by a sealed session: both formats replay, and a
+  // resumed search over the mixture is fully warm.
+  const std::string journal = temp_journal("resume_mixed.jsonl");
+
+  SearchOptions opts;
+  opts.journal_path = journal;
+  config::PrecisionConfig cold_config;
+  {
+    Prepared p = prepare();
+    cold_config = run_search(p.image, &p.index, *p.verifier, opts)
+                      .final_config;
+  }
+
+  // Strip the seals from the first half of the records, turning them into
+  // version-1 lines (drop the ,"seq":N,"crc":"..." splice).
+  auto lines = Journal::read_lines(journal);
+  ASSERT_GT(lines.size(), 4u);
+  for (std::size_t i = 0; i < lines.size() / 2; ++i) {
+    const std::size_t pos = lines[i].rfind(",\"seq\":");
+    ASSERT_NE(pos, std::string::npos);
+    lines[i] = lines[i].substr(0, pos) + "}";
+    ASSERT_EQ(check_seal(lines[i]), SealCheck::kUnsealed);
+  }
+  {
+    std::ofstream f(journal, std::ios::trunc | std::ios::binary);
+    for (const auto& l : lines) f << l << '\n';
+  }
+
+  Prepared p2 = prepare();
+  const SearchResult warm = run_search(p2.image, &p2.index, *p2.verifier,
+                                       opts);
+  EXPECT_EQ(warm.metrics.trials_live, 0u);
+  EXPECT_EQ(warm.final_config, cold_config);
+  std::remove(journal.c_str());
+}
+
 TEST(Resume, JournalFromDifferentVerifierIsIgnored) {
   const std::string journal = temp_journal("resume_foreign.jsonl");
 
@@ -248,8 +363,9 @@ TEST(Resume, MetricsAccounting) {
 
 TEST(TrialCacheUnit, FirstInsertWinsAndFingerprintSeparates) {
   TrialCache cache;
-  cache.insert("k1", CachedTrial{true, "", 5});
-  cache.insert("k1", CachedTrial{false, "later", 9});
+  cache.insert("k1", CachedTrial{true, verify::FailureClass::kNone, "", 5});
+  cache.insert("k1", CachedTrial{false, verify::FailureClass::kTrap,
+                                 "later", 9});
   ASSERT_NE(cache.lookup("k1"), nullptr);
   EXPECT_TRUE(cache.lookup("k1")->passed);
   EXPECT_EQ(cache.lookup("missing"), nullptr);
@@ -268,11 +384,14 @@ TEST(TrialCacheUnit, LoadJournalHonoursMetaFingerprint) {
     Journal j;
     ASSERT_TRUE(j.open(path));
     j.append(encode_meta_line("fp-one"));
-    j.append(encode_trial_line("aaaa", "module m", 3,
-                               CachedTrial{true, "", 11}));
+    j.append(encode_trial_line(
+        "aaaa", "module m", 3,
+        CachedTrial{true, verify::FailureClass::kNone, "", 11}));
     j.append(encode_meta_line("fp-two"));
-    j.append(encode_trial_line("bbbb", "func f", 2,
-                               CachedTrial{false, "trap: tag escape", 7}));
+    j.append(encode_trial_line(
+        "bbbb", "func f", 2,
+        CachedTrial{false, verify::FailureClass::kTrap,
+                    "trap: tag escape", 7}));
     j.append("this is not json");
     j.append("{\"type\":\"trial\",\"passed\":true}");  // missing key
   }
@@ -284,6 +403,47 @@ TEST(TrialCacheUnit, LoadJournalHonoursMetaFingerprint) {
   EXPECT_FALSE(t->passed);
   EXPECT_EQ(t->failure, "trap: tag escape");
   EXPECT_EQ(t->eval_ns, 7u);
+  std::remove(path.c_str());
+}
+
+TEST(TrialCacheUnit, ReplayStatsBreakdown) {
+  const std::string path = temp_journal("trial_cache_stats.jsonl");
+  const CachedTrial ok{true, verify::FailureClass::kNone, "", 5};
+  const CachedTrial bad{false, verify::FailureClass::kTrap, "trap: x", 6};
+  {
+    Journal j;
+    ASSERT_TRUE(j.open(path));
+    j.append_sealed(encode_meta_line("fp"));                    // seq 1
+    j.append_sealed(encode_trial_line("k1", "u1", 1, ok));      // seq 2
+    j.append_sealed(encode_trial_line("k2", "u2", 1, bad));     // seq 3
+    j.set_next_seq(6);
+    j.append_sealed(encode_trial_line("k3", "u3", 1, ok));      // seq 6: gap
+    j.append(encode_trial_line("k4", "u4", 1, ok));             // legacy
+  }
+  {
+    std::ofstream f(path, std::ios::app | std::ios::binary);
+    // Replayed line (seq 2 again), a corrupted seal, and plain garbage.
+    f << seal_record(encode_trial_line("k1", "u1", 1, ok), 2) << '\n';
+    std::string corrupt = seal_record(encode_trial_line("k5", "u5", 1, ok), 7);
+    corrupt[corrupt.size() / 2] ^= 0x1;
+    f << corrupt << '\n';
+    f << "@@noise, not json\n";
+  }
+
+  TrialCache cache;
+  JournalReplayStats stats;
+  EXPECT_EQ(load_journal(path, "fp", &cache, &stats), 4u);
+  EXPECT_EQ(stats.loaded, 4u);  // k1..k3 sealed + k4 legacy
+  EXPECT_EQ(stats.legacy, 1u);
+  EXPECT_EQ(stats.seq_gaps, 1u);
+  EXPECT_EQ(stats.duplicate_seq, 1u);
+  EXPECT_EQ(stats.crc_mismatch, 1u);
+  EXPECT_EQ(stats.malformed, 1u);
+  EXPECT_EQ(stats.foreign, 0u);
+  EXPECT_NE(cache.lookup("k1"), nullptr);
+  EXPECT_NE(cache.lookup("k3"), nullptr);
+  EXPECT_NE(cache.lookup("k4"), nullptr);
+  EXPECT_EQ(cache.lookup("k5"), nullptr);  // its record failed the seal
   std::remove(path.c_str());
 }
 

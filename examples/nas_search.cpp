@@ -5,6 +5,9 @@
 // Usage:  nas_search <ep|cg|ft|mg|bt|lu|sp|amg> [S|W|A|C] [--trace]
 //                    [--refine] [--out FILE] [--journal FILE] [--no-resume]
 //                    [--threads N] [--deadline-ms N] [--retries N] [--quiet]
+//                    [--isolate] [--workers N] [--max-crashes N]
+//                    [--worker-rlimit-as MB] [--fault-seed N]
+//                    [--metrics-json FILE]
 //
 // --deadline-ms bounds each trial's wall-clock time (a spinning patched
 // binary is classified "timeout" instead of hanging the search);
@@ -15,20 +18,111 @@
 // finishes; re-running the same command resumes from it, re-using every
 // journaled verdict instead of re-evaluating (an interrupted search loses
 // at most the trial in flight).
+//
+// --isolate runs every trial in a forked, rlimit-capped worker process:
+// a trial that crashes or OOMs kills its worker, never the search.
+// --workers N sizes the worker fleet (default: --threads), --max-crashes N
+// sets the per-config crash-loop breaker, and --fault-seed N arms a
+// deterministic hard-fault campaign (SIGSEGV/SIGKILL/OOM/corrupt-frame
+// injection) for exercising the supervisor. --metrics-json dumps the full
+// SearchMetrics, including the per-signal worker-crash census, to FILE.
+//
+// Exit codes: 0 search completed and the composition verified; 1 search
+// completed but the final composition fails verification; 2 usage error;
+// 3 internal failure (worker crash storm or internal-error trials).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "config/textio.hpp"
 #include "kernels/workload.hpp"
 #include "program/program.hpp"
 #include "search/search.hpp"
+#include "support/fault.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
 #include "support/timer.hpp"
 
 using namespace fpmix;
+
+namespace {
+
+void json_escape(const std::string& s, std::string* out) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      *out += strformat("\\u%04x", c);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+/// Dumps the full SearchMetrics (plus the run verdict) as one JSON object.
+bool write_metrics_json(const std::string& path,
+                        const search::SearchResult& res) {
+  const search::SearchMetrics& m = res.metrics;
+  std::string j = "{\n";
+  const auto num = [&j](const char* k, double v, bool comma = true) {
+    j += strformat("  \"%s\": %.6f%s\n", k, v, comma ? "," : "");
+  };
+  const auto uint = [&j](const char* k, std::size_t v) {
+    j += strformat("  \"%s\": %zu,\n", k, v);
+  };
+  const auto boolean = [&j](const char* k, bool v) {
+    j += strformat("  \"%s\": %s,\n", k, v ? "true" : "false");
+  };
+  const auto census = [&j](const char* k,
+                           const std::map<std::string, std::size_t>& counts) {
+    j += strformat("  \"%s\": {", k);
+    bool first = true;
+    for (const auto& [name, n] : counts) {
+      std::string esc;
+      json_escape(name, &esc);
+      j += strformat("%s\"%s\": %zu", first ? "" : ", ", esc.c_str(), n);
+      first = false;
+    }
+    j += "},\n";
+  };
+  uint("trials_total", m.trials_total);
+  uint("trials_live", m.trials_live);
+  uint("trials_cached", m.trials_cached);
+  num("cache_hit_rate", m.cache_hit_rate);
+  num("wall_seconds", m.wall_seconds);
+  num("eval_seconds", m.eval_seconds);
+  num("trials_per_sec", m.trials_per_sec);
+  num("patch_seconds", m.patch_seconds);
+  num("predecode_seconds", m.predecode_seconds);
+  num("run_seconds", m.run_seconds);
+  num("verify_seconds", m.verify_seconds);
+  census("failures_by_class", m.failures_by_class);
+  uint("retries", m.retries);
+  uint("quarantined", m.quarantined);
+  boolean("profile_degraded", m.profile_degraded);
+  uint("isolated_trials", m.isolated_trials);
+  uint("worker_crashes", m.worker_crashes);
+  uint("worker_respawns", m.worker_respawns);
+  uint("worker_timeouts", m.worker_timeouts);
+  uint("protocol_errors", m.protocol_errors);
+  uint("crash_quarantined", m.crash_quarantined);
+  census("crashes_by_signal", m.crashes_by_signal);
+  boolean("crash_storm", m.crash_storm);
+  boolean("isolation_degraded", m.isolation_degraded);
+  uint("configs_tested", res.configs_tested);
+  boolean("refined", res.refined);
+  j += strformat("  \"final_passed\": %s\n}\n",
+                 res.final_passed ? "true" : "false");
+  std::ofstream f(path);
+  if (!f) return false;
+  f << j;
+  return f.good();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string bench = argc > 1 ? argv[1] : "ep";
@@ -36,7 +130,10 @@ int main(int argc, char** argv) {
   bool trace = false;
   bool refine = false;
   bool quiet = false;
+  bool have_fault_seed = false;
+  std::uint64_t fault_seed = 0;
   std::string out_path;
+  std::string metrics_path;
   search::SearchOptions opts;
   opts.keep_log = true;
   for (int i = 2; i < argc; ++i) {
@@ -45,8 +142,10 @@ int main(int argc, char** argv) {
     else if (arg == "--refine") refine = true;
     else if (arg == "--quiet") quiet = true;
     else if (arg == "--no-resume") opts.resume = false;
+    else if (arg == "--isolate") opts.isolate_trials = true;
     else if (arg == "--out" && i + 1 < argc) out_path = argv[++i];
     else if (arg == "--journal" && i + 1 < argc) opts.journal_path = argv[++i];
+    else if (arg == "--metrics-json" && i + 1 < argc) metrics_path = argv[++i];
     else if (arg == "--threads" && i + 1 < argc) {
       std::uint64_t n = 1;
       if (!parse_u64(argv[++i], &n) || n == 0) {
@@ -54,6 +153,38 @@ int main(int argc, char** argv) {
         return 2;
       }
       opts.num_threads = static_cast<std::size_t>(n);
+    }
+    else if (arg == "--workers" && i + 1 < argc) {
+      std::uint64_t n = 1;
+      if (!parse_u64(argv[++i], &n) || n == 0 || n > 256) {
+        std::fprintf(stderr, "bad --workers value '%s'\n", argv[i]);
+        return 2;
+      }
+      opts.num_workers = static_cast<std::size_t>(n);
+    }
+    else if (arg == "--max-crashes" && i + 1 < argc) {
+      std::uint64_t n = 0;
+      if (!parse_u64(argv[++i], &n) || n == 0 || n > 64) {
+        std::fprintf(stderr, "bad --max-crashes value '%s'\n", argv[i]);
+        return 2;
+      }
+      opts.max_trial_crashes = static_cast<std::uint32_t>(n);
+    }
+    else if (arg == "--worker-rlimit-as" && i + 1 < argc) {
+      std::uint64_t n = 0;
+      if (!parse_u64(argv[++i], &n) || n < 64 || n > 65536) {
+        std::fprintf(stderr, "bad --worker-rlimit-as value '%s' (MiB)\n",
+                     argv[i]);
+        return 2;
+      }
+      opts.worker_rlimit_as_mb = n;
+    }
+    else if (arg == "--fault-seed" && i + 1 < argc) {
+      if (!parse_u64(argv[++i], &fault_seed)) {
+        std::fprintf(stderr, "bad --fault-seed value '%s'\n", argv[i]);
+        return 2;
+      }
+      have_fault_seed = true;
     }
     else if (arg == "--deadline-ms" && i + 1 < argc) {
       if (!parse_u64(argv[++i], &opts.deadline_ms)) {
@@ -72,6 +203,26 @@ int main(int argc, char** argv) {
     else if (arg.size() == 1) cls = arg[0];
   }
   opts.refine_composition = refine;
+
+  // The stock hard-fault campaign: process-destroying faults only, so the
+  // search's verdicts (and final configuration) stay identical to a clean
+  // run -- every crash is absorbed as a retried fault event.
+  std::unique_ptr<fault::Injector> injector;
+  if (have_fault_seed) {
+    fault::Injector::Rates rates;
+    rates.segv = 0.03;
+    rates.kill = 0.02;
+    rates.oom = 0.02;
+    rates.trunc_result = 0.01;
+    rates.corrupt_result = 0.01;
+    injector = std::make_unique<fault::Injector>(fault_seed, rates);
+    opts.fault_injector = injector.get();
+    if (!opts.isolate_trials) {
+      std::fprintf(stderr,
+                   "--fault-seed arms hard faults, which need --isolate\n");
+      return 2;
+    }
+  }
   if (!quiet) {
     // Progress/metrics lines (trials/sec, cache hit rate, ETA) flow through
     // the support logger at info level.
@@ -142,6 +293,25 @@ int main(int argc, char** argv) {
     std::printf("note: profiling run failed; search used unweighted "
                 "structure-order prioritisation\n");
   }
+  if (opts.isolate_trials) {
+    std::printf("isolation: %zu worker trial(s), %zu crash(es), "
+                "%zu respawn(s), %zu timeout kill(s), %zu protocol "
+                "error(s), %zu config(s) quarantined by the breaker\n",
+                m.isolated_trials, m.worker_crashes, m.worker_respawns,
+                m.worker_timeouts, m.protocol_errors, m.crash_quarantined);
+    if (!m.crashes_by_signal.empty()) {
+      std::printf("worker crash census:\n");
+      for (const auto& [sig, count] : m.crashes_by_signal) {
+        std::printf("  %-12s %zu\n", sig.c_str(), count);
+      }
+    }
+    if (m.isolation_degraded) {
+      std::printf("note: isolation unavailable; trials ran in-process\n");
+    }
+    if (m.crash_storm) {
+      std::printf("ERROR: worker crash storm; search results incomplete\n");
+    }
+  }
   std::printf("final configuration: %.1f%% static / %.1f%% dynamic "
               "replacement, composition %s\n",
               res.stats.static_pct, res.stats.dynamic_pct,
@@ -163,5 +333,25 @@ int main(int argc, char** argv) {
   } else {
     std::printf("\n%s", text.c_str());
   }
-  return 0;
+  if (!metrics_path.empty()) {
+    if (!write_metrics_json(metrics_path, res)) {
+      std::fprintf(stderr, "cannot write metrics JSON to %s\n",
+                   metrics_path.c_str());
+      return 3;
+    }
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
+
+  // Distinct exit codes so scripts and CI can tell "the program resists
+  // mixed precision" (1, a clean scientific result) from "the harness
+  // itself broke" (3).
+  const auto internal_it = m.failures_by_class.find("internal-error");
+  if (m.crash_storm ||
+      (internal_it != m.failures_by_class.end() && internal_it->second > 0)) {
+    return 3;
+  }
+  const bool composition_ok =
+      res.final_passed || (res.refined && res.refined_stats.replaced_static >
+                                             0);
+  return composition_ok ? 0 : 1;
 }

@@ -148,6 +148,37 @@ std::uint64_t PrecisionConfig::stable_hash() const {
   return fnv1a64(canonical_key());
 }
 
+bool PrecisionConfig::from_canonical_key(std::string_view key,
+                                         PrecisionConfig* out) {
+  *out = PrecisionConfig{};
+  std::size_t pos = 0;
+  while (pos < key.size()) {
+    // One segment: `<level><id>=<flag>;` (see canonical_key).
+    const char level = key[pos++];
+    std::size_t id = 0;
+    bool any_digit = false;
+    while (pos < key.size() && key[pos] >= '0' && key[pos] <= '9') {
+      id = id * 10 + static_cast<std::size_t>(key[pos++] - '0');
+      any_digit = true;
+    }
+    if (!any_digit || pos >= key.size() || key[pos] != '=') return false;
+    ++pos;
+    if (pos >= key.size()) return false;
+    const std::optional<Precision> p = precision_from_flag(key[pos++]);
+    if (!p.has_value()) return false;
+    if (pos >= key.size() || key[pos] != ';') return false;
+    ++pos;
+    switch (level) {
+      case 'm': out->set_module(id, *p); break;
+      case 'f': out->set_func(id, *p); break;
+      case 'b': out->set_block(id, *p); break;
+      case 'i': out->set_instr(id, *p); break;
+      default: return false;
+    }
+  }
+  return true;
+}
+
 bool PrecisionConfig::is_all_double(const StructureIndex& index) const {
   for (std::size_t i : index.candidates()) {
     if (resolve(index, i) != Precision::kDouble) return false;

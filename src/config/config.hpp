@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "config/precision.hpp"
@@ -71,6 +73,13 @@ class PrecisionConfig {
   /// fpmix::hex_digest). Never hashed with std::hash: journal files persist
   /// these digests across runs and platforms.
   std::uint64_t stable_hash() const;
+
+  /// Inverse of canonical_key(): rebuilds the flag stores from the
+  /// serialization. Index-independent, so a configuration can cross a
+  /// process boundary (the sandboxed trial runner ships configs this way).
+  /// Returns false on malformed input, leaving *out unspecified. Round-trip
+  /// invariant: from_canonical_key(c.canonical_key()) == c.
+  static bool from_canonical_key(std::string_view key, PrecisionConfig* out);
 
   bool operator==(const PrecisionConfig&) const = default;
 

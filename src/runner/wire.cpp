@@ -1,0 +1,191 @@
+#include "runner/wire.hpp"
+
+#include <cstring>
+
+#include "support/journal.hpp"  // crc32
+
+namespace fpmix::runner {
+
+namespace {
+
+void put_raw_u32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+std::uint32_t read_raw_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string encode_frame(std::string_view payload) {
+  std::string out;
+  out.reserve(12 + payload.size());
+  put_raw_u32(&out, kFrameMagic);
+  put_raw_u32(&out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+  put_raw_u32(&out, crc32(payload));
+  return out;
+}
+
+FrameStatus decode_frame(std::string_view buffer, std::string* payload,
+                         std::size_t* consumed) {
+  if (buffer.size() < 8) return FrameStatus::kNeedMore;
+  if (read_raw_u32(buffer.data()) != kFrameMagic) return FrameStatus::kCorrupt;
+  const std::uint32_t len = read_raw_u32(buffer.data() + 4);
+  if (len > kMaxFramePayload) return FrameStatus::kCorrupt;
+  const std::size_t total = 8 + static_cast<std::size_t>(len) + 4;
+  if (buffer.size() < total) return FrameStatus::kNeedMore;
+  const std::string_view body = buffer.substr(8, len);
+  if (crc32(body) != read_raw_u32(buffer.data() + 8 + len)) {
+    return FrameStatus::kCorrupt;
+  }
+  payload->assign(body);
+  *consumed = total;
+  return FrameStatus::kOk;
+}
+
+void put_u8(std::string* out, std::uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string* out, std::uint32_t v) { put_raw_u32(out, v); }
+
+void put_u64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_string(std::string* out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool WireReader::take(std::size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t WireReader::u8() {
+  if (!take(1)) return 0;
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t WireReader::u32() {
+  if (!take(4)) return 0;
+  const std::uint32_t v = read_raw_u32(data_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  if (!take(8)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<std::uint8_t>(data_[pos_ + static_cast<std::size_t>(
+                                                        i)]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+std::string WireReader::str() {
+  const std::uint32_t len = u32();
+  if (!take(len)) return {};
+  std::string s(data_.substr(pos_, len));
+  pos_ += len;
+  return s;
+}
+
+std::string encode_request(const TrialRequest& req) {
+  std::string out;
+  put_string(&out, req.key);
+  put_u32(&out, req.exec_index);
+  put_string(&out, req.config_key);
+  return out;
+}
+
+bool decode_request(std::string_view payload, TrialRequest* out) {
+  WireReader r(payload);
+  out->key = r.str();
+  out->exec_index = r.u32();
+  out->config_key = r.str();
+  return r.done();
+}
+
+std::string encode_result(const WireResult& res) {
+  std::string out;
+  put_u8(&out, res.passed ? 1 : 0);
+  put_u8(&out, res.failure_class);
+  put_u8(&out, res.run_status);
+  put_string(&out, res.failure);
+  put_u64(&out, res.instructions_retired);
+  put_u64(&out, res.patch_ns);
+  put_u64(&out, res.predecode_ns);
+  put_u64(&out, res.run_ns);
+  put_u64(&out, res.verify_ns);
+  return out;
+}
+
+bool decode_result(std::string_view payload, WireResult* out) {
+  WireReader r(payload);
+  out->passed = r.u8() != 0;
+  out->failure_class = r.u8();
+  out->run_status = r.u8();
+  out->failure = r.str();
+  out->instructions_retired = r.u64();
+  out->patch_ns = r.u64();
+  out->predecode_ns = r.u64();
+  out->run_ns = r.u64();
+  out->verify_ns = r.u64();
+  return r.done();
+}
+
+bool to_eval_result(const WireResult& w, verify::EvalResult* out) {
+  if (w.failure_class >
+          static_cast<std::uint8_t>(verify::FailureClass::kResource) ||
+      w.run_status > static_cast<std::uint8_t>(
+                         vm::RunResult::Status::kDeadline)) {
+    return false;
+  }
+  *out = verify::EvalResult{};
+  out->passed = w.passed;
+  out->failure_class = static_cast<verify::FailureClass>(w.failure_class);
+  out->run_status = static_cast<vm::RunResult::Status>(w.run_status);
+  out->failure = w.failure;
+  out->instructions_retired = w.instructions_retired;
+  out->patch_ns = w.patch_ns;
+  out->predecode_ns = w.predecode_ns;
+  out->run_ns = w.run_ns;
+  out->verify_ns = w.verify_ns;
+  return true;
+}
+
+WireResult from_eval_result(const verify::EvalResult& r) {
+  WireResult w;
+  w.passed = r.passed;
+  w.failure_class = static_cast<std::uint8_t>(r.failure_class);
+  w.run_status = static_cast<std::uint8_t>(r.run_status);
+  w.failure = r.failure;
+  w.instructions_retired = r.instructions_retired;
+  w.patch_ns = r.patch_ns;
+  w.predecode_ns = r.predecode_ns;
+  w.run_ns = r.run_ns;
+  w.verify_ns = r.verify_ns;
+  return w;
+}
+
+}  // namespace fpmix::runner

@@ -1,0 +1,338 @@
+#include "runner/worker_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <thread>
+
+#include "support/strings.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FPMIX_POOL_POSIX 1
+#include <poll.h>
+#else
+#define FPMIX_POOL_POSIX 0
+#endif
+
+namespace fpmix::runner {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+/// One worker plus its in-flight bookkeeping.
+struct WorkerPool::Slot {
+  Worker worker;
+  bool busy = false;
+  std::size_t job_index = 0;
+  std::uint64_t deadline_at = 0;  // steady ns; 0 = no supervisor timeout
+  bool term_sent = false;
+  std::uint64_t kill_at = 0;  // TERM grace expiry once term_sent
+};
+
+WorkerPool::WorkerPool(const WorkerContext& ctx, const PoolOptions& opts)
+    : ctx_(ctx), opts_(opts) {}
+
+WorkerPool::~WorkerPool() = default;
+
+bool WorkerPool::spawn_slot(Slot* slot, bool respawn) {
+  if (!slot->worker.spawn(ctx_, opts_.limits)) return false;
+  ++stats_.workers_spawned;
+  if (respawn) ++stats_.workers_respawned;
+  return true;
+}
+
+bool WorkerPool::record_fault_event(const std::string& key) {
+  const std::uint32_t streak = ++fault_streak_[key];
+  if (streak < opts_.max_crashes_per_config) return false;
+  quarantined_.insert(key);
+  ++stats_.quarantined_configs;
+  return true;
+}
+
+bool WorkerPool::start() {
+  if (!isolation_supported()) return false;
+  const int want = std::max(1, opts_.workers);
+  for (int i = 0; i < want; ++i) {
+    auto slot = std::make_unique<Slot>();
+    if (spawn_slot(slot.get(), /*respawn=*/false)) {
+      slots_.push_back(std::move(slot));
+    }
+  }
+  started_ = !slots_.empty();
+  return started_;
+}
+
+std::vector<TrialOutcome> WorkerPool::run_batch(
+    const std::vector<TrialJob>& jobs) {
+  std::vector<TrialOutcome> out(jobs.size());
+  if (jobs.empty()) return out;
+
+#if !FPMIX_POOL_POSIX
+  for (auto& o : out) {
+    o.result.passed = false;
+    o.result.failure_class = verify::FailureClass::kInternalError;
+    o.result.failure = "process isolation is unsupported on this platform";
+  }
+  return out;
+#else
+  if (!started_) {
+    for (auto& o : out) {
+      o.result.passed = false;
+      o.result.failure_class = verify::FailureClass::kInternalError;
+      o.result.failure = "worker pool has no running workers";
+    }
+    return out;
+  }
+
+  std::deque<std::size_t> queue;
+  for (std::size_t i = 0; i < jobs.size(); ++i) queue.push_back(i);
+  std::vector<std::uint64_t> first_dispatch(jobs.size(), 0);
+  std::vector<std::uint32_t> deaths(jobs.size(), 0);
+  std::vector<char> done(jobs.size(), 0);
+  std::size_t completed = 0;
+
+  const auto finish = [&](std::size_t j, verify::EvalResult result,
+                          bool quarantined) {
+    out[j].result = std::move(result);
+    out[j].worker_deaths = deaths[j];
+    out[j].quarantined = quarantined;
+    const std::uint64_t start = first_dispatch[j];
+    out[j].wall_ns = start != 0 && now_ns() > start ? now_ns() - start : 0;
+    done[j] = 1;
+    ++completed;
+  };
+
+  // A verdict (pass/fail/timeout) landed for this config: its fault streak
+  // resets and the pool-wide storm detector sees a healthy environment.
+  const auto deliver_verdict = [&](std::size_t j, verify::EvalResult result) {
+    fault_streak_[jobs[j].key] = 0;
+    consecutive_deaths_ = 0;
+    finish(j, std::move(result), /*quarantined=*/false);
+  };
+
+  // A fault event (death / resource verdict / protocol error): retry the
+  // trial with a fresh injector draw, or trip the per-config breaker.
+  const auto fault_event = [&](std::size_t j, const std::string& detail) {
+    ++deaths[j];
+    if (record_fault_event(jobs[j].key)) {
+      verify::EvalResult er;
+      er.passed = false;
+      er.failure_class = verify::FailureClass::kCrash;
+      er.failure = strformat(
+          "quarantined after %u consecutive worker faults (last: %s)",
+          static_cast<unsigned>(fault_streak_[jobs[j].key]), detail.c_str());
+      finish(j, std::move(er), /*quarantined=*/true);
+    } else {
+      queue.push_back(j);
+    }
+  };
+
+  const auto note_death = [&]() {
+    ++consecutive_deaths_;
+    if (consecutive_deaths_ >= opts_.crash_storm_threshold) {
+      stats_.crash_storm = true;
+    }
+  };
+
+  // Force-kills and reaps a worker whose stream turned bad (corrupt frame,
+  // failed send). Harmless when the child is already gone.
+  const auto kill_and_reap = [](Slot& s) {
+    s.worker.send_sigkill();
+    Worker::Death death;
+    s.worker.reap(&death, /*block=*/true);
+    return death;
+  };
+
+  const auto process_ready = [&](Slot& s) {
+    std::string payload;
+    bool eof = false;
+    const FrameStatus st = s.worker.read_result(&payload, &eof);
+    const std::size_t j = s.job_index;
+    if (st == FrameStatus::kOk) {
+      WireResult w;
+      verify::EvalResult er;
+      if (!decode_result(payload, &w) || !to_eval_result(w, &er)) {
+        ++stats_.protocol_errors;
+        kill_and_reap(s);
+        note_death();
+        s.busy = false;
+        fault_event(j, "malformed result payload from worker");
+        return;
+      }
+      s.busy = false;
+      if (er.failure_class == verify::FailureClass::kResource) {
+        // Resource verdicts are fault events, not votes: the config gets a
+        // fresh attempt, then the breaker.
+        ++stats_.resource_retries;
+        consecutive_deaths_ = 0;  // the worker survived and spoke
+        fault_event(j, er.failure);
+        return;
+      }
+      deliver_verdict(j, std::move(er));
+      return;
+    }
+    if (st == FrameStatus::kCorrupt) {
+      ++stats_.protocol_errors;
+      kill_and_reap(s);
+      note_death();
+      s.busy = false;
+      fault_event(j, "corrupt or truncated result frame");
+      return;
+    }
+    // kNeedMore: either nothing complete yet, or EOF with no frame.
+    if (!eof) return;
+    Worker::Death death;
+    s.worker.reap(&death, /*block=*/true);
+    s.busy = false;
+    if (s.term_sent) {
+      // The supervisor killed it for exceeding the trial deadline: a
+      // voting kTimeout verdict, same as the in-process deadline path.
+      ++stats_.timeouts_killed;
+      verify::EvalResult er;
+      er.passed = false;
+      er.failure_class = verify::FailureClass::kTimeout;
+      er.run_status = vm::RunResult::Status::kDeadline;
+      er.failure = strformat(
+          "trial exceeded the supervisor deadline (%llu ms); worker killed",
+          static_cast<unsigned long long>(opts_.trial_timeout_ms));
+      deliver_verdict(j, std::move(er));
+      return;
+    }
+    std::string detail;
+    const verify::FailureClass cls = classify_death(death, &detail);
+    ++stats_.worker_crashes;
+    if (death.signaled) {
+      ++stats_.crashes_by_signal[signal_name(death.signal)];
+    } else {
+      ++stats_.crashes_by_signal[strformat("exit:%d", death.exit_code)];
+    }
+    if (cls == verify::FailureClass::kResource) ++stats_.resource_retries;
+    note_death();
+    fault_event(j, detail);
+  };
+
+  while (completed < jobs.size() && !stats_.crash_storm) {
+    // Dispatch queued jobs onto idle slots.
+    for (auto& sp : slots_) {
+      Slot& s = *sp;
+      if (s.busy) continue;
+      // Configs quarantined in an earlier batch never run again.
+      while (!queue.empty() && quarantined_.count(jobs[queue.front()].key)) {
+        const std::size_t j = queue.front();
+        queue.pop_front();
+        verify::EvalResult er;
+        er.passed = false;
+        er.failure_class = verify::FailureClass::kCrash;
+        er.failure = "config quarantined by the crash-loop breaker";
+        finish(j, std::move(er), /*quarantined=*/true);
+      }
+      if (queue.empty()) break;
+      if (!s.worker.running()) {
+        if (consecutive_deaths_ > 0) {
+          // Exponential backoff: 2ms doubling to a 200ms cap. Keeps a
+          // crash-looping config from respawn-thrashing the machine.
+          const std::uint64_t ms = std::min<std::uint64_t>(
+              200, 1ull << std::min<std::uint32_t>(consecutive_deaths_, 8));
+          std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+        }
+        if (!spawn_slot(&s, /*respawn=*/true)) {
+          note_death();  // repeated fork failure is an environment problem
+          if (stats_.crash_storm) break;
+          continue;
+        }
+      }
+      const std::size_t j = queue.front();
+      queue.pop_front();
+      const TrialJob& job = jobs[j];
+      TrialRequest req;
+      req.key = job.key;
+      req.exec_index = exec_counter_[job.key]++;
+      req.config_key = job.config->canonical_key();
+      if (first_dispatch[j] == 0) first_dispatch[j] = now_ns();
+      ++stats_.isolated_trials;
+      if (!s.worker.send_request(req)) {
+        const Worker::Death death = kill_and_reap(s);
+        std::string detail;
+        classify_death(death, &detail);
+        ++stats_.worker_crashes;
+        note_death();
+        fault_event(j, strformat("request pipe broken (%s)", detail.c_str()));
+        continue;
+      }
+      s.busy = true;
+      s.job_index = j;
+      s.term_sent = false;
+      s.kill_at = 0;
+      s.deadline_at = opts_.trial_timeout_ms > 0
+                          ? now_ns() + opts_.trial_timeout_ms * 1000000ull
+                          : 0;
+    }
+    if (completed >= jobs.size() || stats_.crash_storm) break;
+
+    // Gather in-flight response fds.
+    std::vector<pollfd> fds;
+    std::vector<Slot*> fd_slots;
+    std::uint64_t next_event = 0;
+    for (auto& sp : slots_) {
+      Slot& s = *sp;
+      if (!s.busy) continue;
+      fds.push_back(pollfd{s.worker.response_fd(), POLLIN, 0});
+      fd_slots.push_back(&s);
+      const std::uint64_t ev = s.term_sent ? s.kill_at : s.deadline_at;
+      if (ev != 0 && (next_event == 0 || ev < next_event)) next_event = ev;
+    }
+    if (fds.empty()) continue;  // nothing in flight: dispatch again
+
+    int timeout_ms = -1;
+    if (next_event != 0) {
+      const std::uint64_t now = now_ns();
+      timeout_ms = next_event > now
+                       ? static_cast<int>((next_event - now) / 1000000ull) + 1
+                       : 0;
+    }
+    ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents != 0) process_ready(*fd_slots[i]);
+    }
+
+    // Deadline enforcement: TERM first, KILL after the grace period.
+    const std::uint64_t now = now_ns();
+    for (auto& sp : slots_) {
+      Slot& s = *sp;
+      if (!s.busy) continue;
+      if (!s.term_sent && s.deadline_at != 0 && now >= s.deadline_at) {
+        s.worker.send_sigterm();
+        s.term_sent = true;
+        s.kill_at = now + opts_.term_grace_ms * 1000000ull;
+      } else if (s.term_sent && now >= s.kill_at) {
+        s.worker.send_sigkill();
+      }
+    }
+  }
+
+  if (stats_.crash_storm) {
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      if (done[j]) continue;
+      verify::EvalResult er;
+      er.passed = false;
+      er.failure_class = verify::FailureClass::kInternalError;
+      er.failure = strformat(
+          "worker crash storm: %u consecutive deaths, batch aborted",
+          static_cast<unsigned>(consecutive_deaths_));
+      finish(j, std::move(er), /*quarantined=*/false);
+    }
+  }
+  return out;
+#endif
+}
+
+}  // namespace fpmix::runner

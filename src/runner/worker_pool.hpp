@@ -1,0 +1,142 @@
+// Self-healing pool of sandboxed trial workers.
+//
+// The WorkerPool is the supervisor half of the out-of-process runner: a
+// single driver thread multiplexes N forked Workers with poll(2), feeding
+// each a trial request and collecting framed results. Staying
+// single-threaded on the driver side sidesteps every multithreaded-fork
+// hazard (locks held across fork, half-copied allocator state) -- the pool
+// IS the parallelism in isolate mode.
+//
+// Failure policy, in one paragraph: a worker death, an over-rlimit resource
+// verdict, or a corrupt/truncated result frame is a *fault event*, not a
+// trial verdict. The pool respawns the worker (exponential backoff) and
+// re-executes the trial with a fresh fault-injector attempt index. A config
+// that kills workers max_crashes_per_config times in a row trips its
+// circuit breaker: it is reported as a failing (kCrash) outcome, marked
+// quarantined, and never executed again. A supervisor-timeout kill
+// (TERM, then KILL after a grace period) is different: it yields a voting
+// kTimeout verdict, mirroring what the in-process deadline path reports.
+// If workers keep dying regardless of config (crash_storm_threshold
+// consecutive deaths with no result delivered), the pool declares a crash
+// storm and fails the remaining batch instead of fork-bombing the machine.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "runner/trial_runner.hpp"
+
+namespace fpmix::runner {
+
+struct PoolOptions {
+  /// Number of concurrently running workers.
+  int workers = 1;
+  /// Per-config circuit breaker: this many consecutive fault events
+  /// (worker deaths, resource verdicts, protocol errors) quarantines the
+  /// config as failing.
+  std::uint32_t max_crashes_per_config = 3;
+  /// Pool-wide breaker: this many consecutive worker deaths without a
+  /// single delivered result aborts the batch (the environment, not any
+  /// one config, is broken).
+  std::uint32_t crash_storm_threshold = 16;
+  /// Wall-clock cap per trial execution; 0 disables supervisor timeouts
+  /// (the worker's own VM deadline is then the only clock).
+  std::uint64_t trial_timeout_ms = 0;
+  /// Grace between SIGTERM and SIGKILL for a timed-out worker.
+  std::uint64_t term_grace_ms = 250;
+  /// Rlimits each worker applies to itself.
+  RlimitSpec limits;
+};
+
+struct PoolStats {
+  std::uint64_t workers_spawned = 0;
+  std::uint64_t workers_respawned = 0;
+  /// Worker deaths not initiated by the supervisor (crashes, rlimit kills).
+  std::uint64_t worker_crashes = 0;
+  /// Workers the supervisor killed for exceeding the trial timeout.
+  std::uint64_t timeouts_killed = 0;
+  /// Corrupt or truncated result frames (CRC caught them).
+  std::uint64_t protocol_errors = 0;
+  /// Resource verdicts (rlimit OOM / SIGXCPU) absorbed as retries.
+  std::uint64_t resource_retries = 0;
+  std::uint64_t quarantined_configs = 0;
+  /// Trial executions dispatched to workers (retries included).
+  std::uint64_t isolated_trials = 0;
+  bool crash_storm = false;
+  /// Death census by signal name ("SIGSEGV" -> 17), plus "exit:<N>" for
+  /// nonzero exits.
+  std::map<std::string, std::uint64_t> crashes_by_signal;
+};
+
+/// One trial to execute: the journal key identifying it and the config.
+struct TrialJob {
+  std::string key;
+  const config::PrecisionConfig* config = nullptr;
+};
+
+struct TrialOutcome {
+  verify::EvalResult result;
+  /// Wall time from first dispatch to final delivery (retries included).
+  std::uint64_t wall_ns = 0;
+  /// Fault events absorbed to produce this outcome.
+  std::uint32_t worker_deaths = 0;
+  /// True when the circuit breaker tripped: `result` is a synthetic kCrash
+  /// failure and the config will never run again.
+  bool quarantined = false;
+};
+
+/// Supervisor for a fleet of sandboxed Workers. Not thread-safe: one
+/// driver thread owns it (isolate mode's parallelism lives in the workers).
+class WorkerPool {
+ public:
+  WorkerPool(const WorkerContext& ctx, const PoolOptions& opts);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Spawns the initial workers. False when not a single worker could be
+  /// forked -- the caller degrades to the in-process path.
+  bool start();
+
+  /// Executes every job (keys must be distinct within a batch) and returns
+  /// outcomes in job order. Handles crash retries, respawns, timeouts and
+  /// quarantine internally; after a crash storm the remaining jobs come
+  /// back as kInternalError failures.
+  std::vector<TrialOutcome> run_batch(const std::vector<TrialJob>& jobs);
+
+  const PoolStats& stats() const { return stats_; }
+  bool crash_storm() const { return stats_.crash_storm; }
+  bool is_quarantined(const std::string& key) const {
+    return quarantined_.count(key) != 0;
+  }
+  const std::set<std::string>& quarantined_keys() const { return quarantined_; }
+
+ private:
+  struct Slot;
+
+  bool spawn_slot(Slot* slot, bool respawn);
+  /// Registers a fault event for `key`; returns true when the breaker
+  /// tripped (the config is now quarantined).
+  bool record_fault_event(const std::string& key);
+
+  WorkerContext ctx_;
+  PoolOptions opts_;
+  PoolStats stats_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  /// Per-config consecutive fault events (reset when a verdict lands).
+  std::map<std::string, std::uint32_t> fault_streak_;
+  /// Per-config execution counter: every dispatch (retries included)
+  /// consumes one index, so the fault injector draws fresh per execution.
+  std::map<std::string, std::uint32_t> exec_counter_;
+  std::set<std::string> quarantined_;
+  /// Pool-wide consecutive deaths with no delivered result (storm detector
+  /// and backoff driver).
+  std::uint32_t consecutive_deaths_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace fpmix::runner

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <deque>
+#include <memory>
 
+#include "runner/worker_pool.hpp"
 #include "search/trial_cache.hpp"
 #include "support/error.hpp"
 #include "support/hash.hpp"
@@ -152,17 +154,27 @@ class Searcher {
   SearchResult run() {
     setup_journal();
     profile_original();
+    setup_pool();
     seed_queue();
 
-    ThreadPool pool(std::max<std::size_t>(1, options_.num_threads));
+    // In isolate mode the driver stays single-threaded (the forked workers
+    // are the parallelism, and threads + fork do not mix); otherwise live
+    // evaluations fan out on a thread pool.
+    std::unique_ptr<ThreadPool> tpool;
+    if (pool_ == nullptr) {
+      tpool = std::make_unique<ThreadPool>(
+          std::max<std::size_t>(1, options_.num_threads));
+    }
+    const std::size_t lanes = pool_ != nullptr
+                                  ? std::max<std::size_t>(1, pool_workers_)
+                                  : std::max<std::size_t>(
+                                        1, options_.num_threads);
     while (!queue_.empty()) {
       // Pop a batch (highest priority first), resolve cache hits, and
       // evaluate the misses concurrently. Trials are committed in pop
       // order, so trace/journal order is deterministic for any thread
       // count.
-      const std::size_t batch =
-          std::min(queue_.size(), std::max<std::size_t>(
-                                      1, options_.num_threads));
+      const std::size_t batch = std::min(queue_.size(), lanes);
       std::vector<Trial> trials;
       trials.reserve(batch);
       for (std::size_t i = 0; i < batch; ++i) {
@@ -173,13 +185,18 @@ class Searcher {
       for (std::size_t i = 0; i < trials.size(); ++i) {
         if (!trials[i].cached) live.push_back(i);
       }
-      if (live.size() == 1) {
+      if (pool_ != nullptr && !live.empty()) {
+        std::vector<Trial*> lp;
+        lp.reserve(live.size());
+        for (std::size_t i : live) lp.push_back(&trials[i]);
+        evaluate_isolated(lp);
+      } else if (live.size() == 1) {
         evaluate_live(&trials[live[0]]);
       } else if (!live.empty()) {
         for (std::size_t i : live) {
-          pool.submit([this, &trials, i] { evaluate_live(&trials[i]); });
+          tpool->submit([this, &trials, i] { evaluate_live(&trials[i]); });
         }
-        pool.wait_idle();
+        tpool->wait_idle();
       }
 
       for (Trial& t : trials) {
@@ -234,6 +251,19 @@ class Searcher {
         metrics_.wall_seconds > 0.0
             ? static_cast<double>(tested_) / metrics_.wall_seconds
             : 0.0;
+    if (pool_ != nullptr) {
+      const runner::PoolStats& ps = pool_->stats();
+      metrics_.isolated_trials = ps.isolated_trials;
+      metrics_.worker_crashes = ps.worker_crashes;
+      metrics_.worker_respawns = ps.workers_respawned;
+      metrics_.worker_timeouts = ps.timeouts_killed;
+      metrics_.protocol_errors = ps.protocol_errors;
+      metrics_.crash_quarantined = ps.quarantined_configs;
+      metrics_.crash_storm = ps.crash_storm;
+      for (const auto& [sig, n] : ps.crashes_by_signal) {
+        metrics_.crashes_by_signal[sig] = n;
+      }
+    }
     out.metrics = metrics_;
     if (options_.progress_log) {
       log::infof("search done: %zu trials (%zu live, %zu cached, %.1f%% "
@@ -316,12 +346,17 @@ class Searcher {
   };
 
   void setup_journal() {
-    search_fp_ = search_fingerprint(
-        verifier_.fingerprint(), options_.max_instructions_per_run,
-        options_.deadline_ms,
-        options_.fault_injector != nullptr
-            ? options_.fault_injector->fingerprint_tag()
-            : "");
+    std::string fault_tag = options_.fault_injector != nullptr
+                                ? options_.fault_injector->fingerprint_tag()
+                                : "";
+    // Isolated execution under an active fault campaign draws per-execution
+    // (not per-vote-attempt) fault indices and can absorb hard faults the
+    // in-process path never sees; mark the fingerprint so such journals
+    // never feed an in-process run. Clean journals stay mode-compatible.
+    if (!fault_tag.empty() && options_.isolate_trials) fault_tag += "+iso";
+    search_fp_ = search_fingerprint(verifier_.fingerprint(),
+                                    options_.max_instructions_per_run,
+                                    options_.deadline_ms, fault_tag);
     if (options_.journal_path.empty()) return;
     if (options_.resume) {
       JournalReplayStats stats;
@@ -339,7 +374,122 @@ class Searcher {
                  "not be persisted", options_.journal_path.c_str());
       return;
     }
+    // When trials run in crash-prone sandboxed workers, every committed
+    // record must survive a driver loss too: fsync each sealed line.
+    journal_.set_fsync(options_.journal_fsync || options_.isolate_trials);
     journal_.append_sealed(encode_meta_line(search_fp_));
+  }
+
+  void setup_pool() {
+    if (!options_.isolate_trials) return;
+    if (!runner::isolation_supported()) {
+      log::warnf("search: trial isolation requested but fork is unavailable "
+                 "on this platform; running trials in-process");
+      metrics_.isolation_degraded = true;
+      return;
+    }
+    runner::WorkerContext ctx;
+    ctx.image = &original_;
+    ctx.index = &ix_;
+    ctx.verifier = &verifier_;
+    ctx.eval.max_instructions = options_.max_instructions_per_run;
+    ctx.eval.profile = false;
+    ctx.eval.deadline_ns = options_.deadline_ms * 1000000ull;
+    ctx.injector = options_.fault_injector;
+
+    runner::PoolOptions popts;
+    pool_workers_ = options_.num_workers != 0
+                        ? options_.num_workers
+                        : std::max<std::size_t>(1, options_.num_threads);
+    popts.workers = static_cast<int>(pool_workers_);
+    popts.max_crashes_per_config = options_.max_trial_crashes;
+    popts.limits.address_space_mb = options_.worker_rlimit_as_mb;
+    // Supervisor wall-clock backstop over the worker's own VM deadline: a
+    // worker stuck before the VM loop even starts (or hard-hung by a fault)
+    // still gets reaped.
+    popts.trial_timeout_ms =
+        options_.deadline_ms > 0 ? options_.deadline_ms * 3 + 1000 : 0;
+
+    auto pool = std::make_unique<runner::WorkerPool>(ctx, popts);
+    if (!pool->start()) {
+      log::warnf("search: could not spawn any sandboxed worker; running "
+                 "trials in-process");
+      metrics_.isolation_degraded = true;
+      return;
+    }
+    pool_ = std::move(pool);
+  }
+
+  /// Isolated counterpart of evaluate_live: runs each trial's attempts on
+  /// the worker pool, whole-batch rounds, mirroring the majority-vote
+  /// policy. Worker deaths never vote -- the pool retries them internally
+  /// and only delivers verdicts, quarantine verdicts, or storm failures.
+  void evaluate_isolated(const std::vector<Trial*>& live) {
+    const std::uint32_t max_attempts = 1 + options_.max_retries;
+    struct Vote {
+      std::uint32_t passes = 0;
+      std::uint32_t fails = 0;
+      bool settled = false;  // quarantined/storm: the result stands as-is
+    };
+    std::vector<Vote> votes(live.size());
+    std::vector<std::size_t> open(live.size());
+    for (std::size_t i = 0; i < live.size(); ++i) open[i] = i;
+
+    for (std::uint32_t attempt = 0;
+         attempt < max_attempts && !open.empty(); ++attempt) {
+      std::vector<runner::TrialJob> jobs;
+      jobs.reserve(open.size());
+      for (std::size_t i : open) {
+        jobs.push_back(runner::TrialJob{live[i]->key, &live[i]->cfg});
+      }
+      const std::vector<runner::TrialOutcome> outs = pool_->run_batch(jobs);
+      std::vector<std::size_t> next;
+      for (std::size_t j = 0; j < open.size(); ++j) {
+        const std::size_t i = open[j];
+        Trial* t = live[i];
+        Vote& v = votes[i];
+        t->result = outs[j].result;
+        t->eval_ns += outs[j].wall_ns;
+        if (outs[j].quarantined ||
+            t->result.failure_class == verify::FailureClass::kInternalError) {
+          // Breaker verdict or crash storm: final, outside the vote.
+          v.settled = true;
+          continue;
+        }
+        if (t->result.passed) {
+          ++v.passes;
+        } else {
+          ++v.fails;
+        }
+        if (v.passes <= max_attempts / 2 && v.fails <= max_attempts / 2) {
+          next.push_back(i);
+        }
+      }
+      open = std::move(next);
+    }
+
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      Trial* t = live[i];
+      const Vote& v = votes[i];
+      if (v.settled) {
+        t->attempts = std::max<std::uint32_t>(1, v.passes + v.fails + 1);
+        t->mixed_votes = false;
+        continue;
+      }
+      t->attempts = std::max<std::uint32_t>(1, v.passes + v.fails);
+      t->mixed_votes = v.passes > 0 && v.fails > 0;
+      const bool verdict = v.passes > v.fails;
+      if (verdict != t->result.passed) {
+        t->result.passed = verdict;
+        if (verdict) {
+          t->result.failure_class = verify::FailureClass::kNone;
+          t->result.failure.clear();
+        } else if (t->result.failure_class == verify::FailureClass::kNone) {
+          t->result.failure_class = verify::FailureClass::kDivergence;
+          t->result.failure = "verification failed (majority vote)";
+        }
+      }
+    }
   }
 
   Trial make_trial(Unit u) {
@@ -418,7 +568,13 @@ class Searcher {
     Trial t;
     t.cfg = cfg;
     fill_from_cache(&t);
-    if (!t.cached) evaluate_live(&t);
+    if (!t.cached) {
+      if (pool_ != nullptr) {
+        evaluate_isolated({&t});
+      } else {
+        evaluate_live(&t);
+      }
+    }
     commit_trial(&t, name, config::replacement_stats(ix_, cfg).replaced_static,
                  "composition");
     return std::move(t.result);
@@ -643,6 +799,8 @@ class Searcher {
   std::string search_fp_;
   SearchMetrics metrics_;
   Timer wall_timer_;
+  std::unique_ptr<runner::WorkerPool> pool_;  // isolate mode only
+  std::size_t pool_workers_ = 1;
 };
 
 }  // namespace

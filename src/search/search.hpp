@@ -88,6 +88,30 @@ struct SearchOptions {
   /// contaminate fault-free runs. See support/fault.hpp.
   const fault::Injector* fault_injector = nullptr;
 
+  // ---- Process isolation ---------------------------------------------------
+  /// Execute every trial in a forked, rlimit-capped worker process
+  /// (src/runner): a trial that SIGSEGVs, OOMs or hard-hangs kills its
+  /// worker, never the search. Worker deaths are fault events, not
+  /// verdicts -- the trial is retried on a fresh worker, and a config that
+  /// kills max_trial_crashes workers in a row is quarantined as failing.
+  /// Degrades to the in-process path (with a warning and
+  /// SearchMetrics::isolation_degraded) on platforms without fork. The
+  /// driver stays single-threaded in this mode; the workers are the
+  /// parallelism, so num_threads doubles as the worker count unless
+  /// num_workers overrides it.
+  bool isolate_trials = false;
+  /// Worker processes in isolate mode; 0 uses num_threads.
+  std::size_t num_workers = 0;
+  /// Per-config crash-loop circuit breaker threshold (see isolate_trials).
+  std::uint32_t max_trial_crashes = 3;
+  /// RLIMIT_AS each worker applies to itself, in MiB; 0 leaves the address
+  /// space uncapped. Ignored under AddressSanitizer.
+  std::uint64_t worker_rlimit_as_mb = 512;
+  /// fsync the journal file after each sealed record, making every
+  /// committed trial power-loss durable. Forced on when isolate_trials is
+  /// set (a crashing fleet is exactly when the journal must survive).
+  bool journal_fsync = false;
+
   // ---- Observability -------------------------------------------------------
   /// Emit progress lines (trials/sec, cache hit rate, queue depth, ETA)
   /// through support/log at info level while the search runs.
@@ -142,6 +166,30 @@ struct SearchMetrics {
   /// The profiling run of the original binary failed, and the search fell
   /// back to unweighted structure-order prioritisation.
   bool profile_degraded = false;
+
+  // ---- Process isolation --------------------------------------------------
+  /// Trial executions dispatched to sandboxed workers (retries included).
+  std::size_t isolated_trials = 0;
+  /// Worker deaths not initiated by the supervisor (SIGSEGV, OOM-kill, ...).
+  std::size_t worker_crashes = 0;
+  /// Workers respawned after a death.
+  std::size_t worker_respawns = 0;
+  /// Workers the supervisor killed for exceeding the trial deadline
+  /// (TERM, then KILL after a grace period).
+  std::size_t worker_timeouts = 0;
+  /// Corrupt/truncated result frames the pipe CRC caught.
+  std::size_t protocol_errors = 0;
+  /// Configs quarantined by the crash-loop circuit breaker.
+  std::size_t crash_quarantined = 0;
+  /// Worker-death census by signal name ("SIGSEGV" -> 17; "exit:N" for
+  /// nonzero exits).
+  std::map<std::string, std::size_t> crashes_by_signal;
+  /// The pool hit its consecutive-death threshold and aborted: the
+  /// environment, not any one config, is broken.
+  bool crash_storm = false;
+  /// isolate_trials was requested but fork is unavailable (or no worker
+  /// could be spawned); the search ran in-process instead.
+  bool isolation_degraded = false;
 };
 
 struct SearchResult {

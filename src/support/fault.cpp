@@ -45,13 +45,38 @@ TrialFaults Injector::for_trial(std::string_view trial_key,
     out.vm.seed = rng.next_u64();
   }
   out.flip_verdict = unit_draw(&rng) < rates_.flaky;
+
+  // Hard faults: an independent draw (a campaign can combine soft and hard
+  // kinds), first match wins among the mutually exclusive process killers.
+  const double hv = unit_draw(&rng);
+  double hedge = rates_.segv;
+  if (hv < hedge) {
+    out.hard = HardFault::kSegv;
+  } else if (hv < (hedge += rates_.kill)) {
+    out.hard = HardFault::kKill;
+  } else if (hv < (hedge += rates_.oom)) {
+    out.hard = HardFault::kOomStorm;
+  } else if (hv < (hedge += rates_.hang)) {
+    out.hard = HardFault::kHang;
+  } else if (hv < (hedge += rates_.hang_ignore_term)) {
+    out.hard = HardFault::kHangIgnoreTerm;
+  } else if (hv < (hedge += rates_.trunc_result)) {
+    out.hard = HardFault::kTruncResult;
+  } else if (hv < (hedge += rates_.corrupt_result)) {
+    out.hard = HardFault::kCorruptResult;
+  }
+  if (out.hard != HardFault::kNone) out.hard_seed = rng.next_u64();
   return out;
 }
 
 std::string Injector::fingerprint_tag() const {
   std::uint64_t h = fnv1a64("fault-campaign", seed_);
-  const double rs[] = {rates_.abort, rates_.bitflip, rates_.sentinel,
-                       rates_.stall, rates_.flaky};
+  const double rs[] = {rates_.abort,          rates_.bitflip,
+                       rates_.sentinel,       rates_.stall,
+                       rates_.flaky,          rates_.segv,
+                       rates_.kill,           rates_.oom,
+                       rates_.hang,           rates_.hang_ignore_term,
+                       rates_.trunc_result,   rates_.corrupt_result};
   for (const double r : rs) {
     h = fnv1a64_mix(h, static_cast<std::uint64_t>(r * 1e9));
   }

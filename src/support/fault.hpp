@@ -15,7 +15,13 @@
 //    attempt (exercises the search's retry / majority-vote / quarantine
 //    policy);
 //  - journal sabotage, corrupting / truncating / duplicating lines of an
-//    existing journal file (exercises CRC + sequence-number recovery).
+//    existing journal file (exercises CRC + sequence-number recovery);
+//  - *hard* faults, which destroy the evaluating process itself: raise
+//    SIGSEGV/SIGKILL in-trial, allocation storms into the rlimit, hangs
+//    that force the TERM->KILL escalation, and truncated/corrupted result
+//    frames. Only the out-of-process runner (src/runner) survives these;
+//    the in-process evaluation path ignores them by design, since firing
+//    one there would take down the driver the campaign is meant to harden.
 //
 // Everything is a pure function of (seed, trial key, attempt): the same
 // campaign replays identically across processes and thread schedules.
@@ -44,10 +50,26 @@ struct VmFaultSpec {
   std::uint64_t seed = 0;
 };
 
+/// Process-destroying fault kinds, applied by the sandboxed trial worker
+/// (src/runner) around one evaluation. The in-process path ignores them.
+enum class HardFault : std::uint8_t {
+  kNone = 0,
+  kSegv,           // raise SIGSEGV mid-trial: a wild write in a patched image
+  kKill,           // raise SIGKILL: models the kernel OOM-killer / operator
+  kOomStorm,       // allocate until the rlimit refuses (kResource) or a cap,
+                   // then SIGKILL: memory blowup either way
+  kHang,           // stop responding; the supervisor's SIGTERM reaps it
+  kHangIgnoreTerm, // as kHang but SIGTERM is ignored: forces KILL escalation
+  kTruncResult,    // deliver a truncated result frame, then die
+  kCorruptResult,  // deliver a CRC-corrupt result frame, then die
+};
+
 /// Fault decisions for one evaluation attempt of one trial.
 struct TrialFaults {
   VmFaultSpec vm;
   bool flip_verdict = false;  // verifier flakiness for this attempt
+  HardFault hard = HardFault::kNone;  // worker-process fault (runner only)
+  std::uint64_t hard_seed = 0;        // picks the storm size / damage byte
 };
 
 /// Campaign-level deterministic fault source. for_trial derives every
@@ -65,6 +87,16 @@ class Injector {
     double sentinel = 0.0;
     double stall = 0.0;  // only meaningful when a trial deadline is set
     double flaky = 0.0;
+    // Hard (process-destroying) faults; drawn separately from the VM kinds
+    // and mutually exclusive with each other. Only fire under the isolated
+    // runner -- the in-process path cannot survive them.
+    double segv = 0.0;
+    double kill = 0.0;
+    double oom = 0.0;
+    double hang = 0.0;            // needs a supervisor trial timeout
+    double hang_ignore_term = 0.0;
+    double trunc_result = 0.0;
+    double corrupt_result = 0.0;
   };
 
   Injector(std::uint64_t seed, const Rates& rates)

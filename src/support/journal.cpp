@@ -3,6 +3,11 @@
 #include <cctype>
 #include <cstring>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define FPMIX_JOURNAL_HAS_FSYNC 1
+#endif
+
 #include "support/strings.hpp"
 
 namespace fpmix {
@@ -195,6 +200,7 @@ Journal::~Journal() { close(); }
 
 bool Journal::open(const std::string& path) {
   close();
+  const std::lock_guard<std::mutex> lock(mutex_);
   // A crash mid-append can leave the file without a final newline. Appending
   // onto that torn tail would glue the new record to it and corrupt both, so
   // terminate the tail first (readers drop the now-complete junk line by its
@@ -216,6 +222,7 @@ bool Journal::open(const std::string& path) {
 }
 
 void Journal::close() {
+  const std::lock_guard<std::mutex> lock(mutex_);
   if (file_ != nullptr) {
     std::fclose(file_);
     file_ = nullptr;
@@ -224,16 +231,32 @@ void Journal::close() {
 }
 
 void Journal::append_sealed(const std::string& json_object) {
-  append(seal_record(json_object, next_seq_++));
+  // Sequence assignment and the write happen under one lock, so concurrent
+  // sealed appends can neither interleave bytes nor reuse a sequence number.
+  const std::lock_guard<std::mutex> lock(mutex_);
+  append_locked(seal_record(json_object, next_seq_++));
 }
 
 void Journal::append(const std::string& json_object) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  append_locked(json_object);
+}
+
+void Journal::append_locked(const std::string& json_object) {
   if (file_ == nullptr) return;
   // One line per record: write + '\n' in a single buffered stream op, then
   // flush so the record survives this process dying right after.
   std::fwrite(json_object.data(), 1, json_object.size(), file_);
   std::fputc('\n', file_);
   std::fflush(file_);
+#if FPMIX_JOURNAL_HAS_FSYNC
+  // Durability past the OS: fflush only reaches the page cache, so a power
+  // loss (or container kill) can still drop sealed records. fsync pushes
+  // them to stable storage before the append returns.
+  if (fsync_) ::fsync(::fileno(file_));
+#else
+  (void)fsync_;
+#endif
 }
 
 std::vector<std::string> Journal::read_lines(const std::string& path) {

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -56,7 +57,9 @@ using JsonRecord = std::map<std::string, std::string, std::less<>>;
 /// unspecified) on malformed input, nesting, or non-scalar values.
 bool parse_flat_json(std::string_view line, JsonRecord* out);
 
-/// Append-only JSONL writer. Not thread-safe; callers serialize appends.
+/// Append-only JSONL writer. Appends are mutex-guarded, so a supervisor
+/// thread and pool workers can journal concurrently: each record is written
+/// whole (line + seal + flush under one lock), never interleaved.
 class Journal {
  public:
   Journal() = default;
@@ -79,6 +82,13 @@ class Journal {
   /// session unless set_next_seq was called after a replay.
   void append_sealed(const std::string& json_object);
 
+  /// When on, every append is followed by fsync(2), so a sealed record
+  /// survives power loss, not just process death (fflush alone only moves
+  /// bytes into the kernel page cache). Costs one disk round-trip per
+  /// record; the search enables it for isolated (crash-expected) runs.
+  void set_fsync(bool on) { fsync_ = on; }
+  bool fsync_enabled() const { return fsync_; }
+
   /// Continues sequence numbering after a replay (pass highest-seen + 1).
   void set_next_seq(std::uint64_t seq) { next_seq_ = seq; }
   std::uint64_t next_seq() const { return next_seq_; }
@@ -89,9 +99,13 @@ class Journal {
   static std::vector<std::string> read_lines(const std::string& path);
 
  private:
+  void append_locked(const std::string& json_object);
+
+  mutable std::mutex mutex_;  // guards file_, next_seq_ across appenders
   std::FILE* file_ = nullptr;
   std::string path_;
   std::uint64_t next_seq_ = 1;
+  bool fsync_ = false;
 };
 
 }  // namespace fpmix

@@ -15,6 +15,8 @@ const char* failure_class_name(FailureClass c) {
     case FailureClass::kTimeout: return "timeout";
     case FailureClass::kBudget: return "budget";
     case FailureClass::kInternalError: return "internal-error";
+    case FailureClass::kCrash: return "crash";
+    case FailureClass::kResource: return "resource";
   }
   return "unknown";
 }
@@ -24,7 +26,8 @@ bool parse_failure_class(std::string_view name, FailureClass* out) {
        {FailureClass::kNone, FailureClass::kTrap,
         FailureClass::kSentinelEscape, FailureClass::kDivergence,
         FailureClass::kTimeout, FailureClass::kBudget,
-        FailureClass::kInternalError}) {
+        FailureClass::kInternalError, FailureClass::kCrash,
+        FailureClass::kResource}) {
     if (name == failure_class_name(c)) {
       *out = c;
       return true;
@@ -37,6 +40,14 @@ FailureClass classify_failure_message(std::string_view message) {
   if (message.empty()) return FailureClass::kNone;
   if (message.find("sentinel") != std::string_view::npos) {
     return FailureClass::kSentinelEscape;
+  }
+  if (message.find("worker") != std::string_view::npos ||
+      message.find("crash") != std::string_view::npos) {
+    return FailureClass::kCrash;
+  }
+  if (message.find("rlimit") != std::string_view::npos ||
+      message.find("out of memory") != std::string_view::npos) {
+    return FailureClass::kResource;
   }
   if (message.find("budget") != std::string_view::npos) {
     return FailureClass::kBudget;
@@ -113,6 +124,15 @@ EvalResult evaluate_config(const program::Image& original,
     timer.reset();
     result.passed = verifier.verify(result.outputs);
     result.verify_ns = timer.elapsed_ns();
+  } catch (const std::bad_alloc&) {
+    // Memory exhaustion is a *resource* outcome, not a harness bug: under a
+    // sandboxed worker's RLIMIT_AS a config whose patched image blows up the
+    // heap lands here, and the supervisor treats it like a worker death
+    // (retry, then quarantine) rather than a config verdict.
+    result.passed = false;
+    result.failure_class = FailureClass::kResource;
+    result.failure = "out of memory (allocation failed)";
+    return result;
   } catch (const std::exception& e) {
     result.passed = false;
     result.failure_class = FailureClass::kInternalError;

@@ -42,6 +42,8 @@ enum class FailureClass : std::uint8_t {
   kTimeout,            // wall-clock deadline exceeded
   kBudget,             // retired-instruction budget exhausted
   kInternalError,      // harness-side exception during patch/predecode/run
+  kCrash,              // isolated worker process died (SIGSEGV, SIGKILL, ...)
+  kResource,           // resource cap hit: rlimit OOM / bad_alloc / SIGXCPU
 };
 
 /// Stable short name for journal records and reports ("trap",

@@ -262,6 +262,37 @@ TEST(CanonicalKey, IdentifiesConfigsStably) {
   EXPECT_EQ(PrecisionConfig{}.canonical_key(), "");
 }
 
+TEST(CanonicalKey, FromCanonicalKeyRoundTrips) {
+  // The canonical key is also the wire format trial configs cross the
+  // sandboxed-worker process boundary in; parse(serialize(cfg)) must be
+  // the identity at every level.
+  PrecisionConfig a;
+  a.set_module(3, Precision::kSingle);
+  a.set_func(11, Precision::kDouble);
+  a.set_block(42, Precision::kSingle);
+  a.set_instr(7, Precision::kIgnore);
+  a.set_instr(1234, Precision::kSingle);
+
+  PrecisionConfig back;
+  ASSERT_TRUE(PrecisionConfig::from_canonical_key(a.canonical_key(), &back));
+  EXPECT_EQ(back, a);
+  EXPECT_EQ(back.canonical_key(), a.canonical_key());
+
+  // The empty key is the default (all-double) config.
+  PrecisionConfig empty;
+  ASSERT_TRUE(PrecisionConfig::from_canonical_key("", &empty));
+  EXPECT_EQ(empty, PrecisionConfig{});
+
+  // Malformed inputs are rejected, never mis-parsed.
+  PrecisionConfig junk;
+  EXPECT_FALSE(PrecisionConfig::from_canonical_key("m=s;", &junk));
+  EXPECT_FALSE(PrecisionConfig::from_canonical_key("m3=x;", &junk));
+  EXPECT_FALSE(PrecisionConfig::from_canonical_key("m3=s", &junk));
+  EXPECT_FALSE(PrecisionConfig::from_canonical_key("q3=s;", &junk));
+  EXPECT_FALSE(PrecisionConfig::from_canonical_key("m3s;", &junk));
+  EXPECT_FALSE(PrecisionConfig::from_canonical_key("m3=", &junk));
+}
+
 TEST(TextFormat, CommentsAndBlanksIgnored) {
   const StructureIndex ix = StructureIndex::build(make_test_program());
   const std::string text =

@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <set>
 #include <string>
 
 #include "arch/encode.hpp"
@@ -136,12 +137,57 @@ TEST(Injector, PureFunctionOfSeedKeyAttempt) {
   EXPECT_TRUE(any_diff);
 }
 
+TEST(Injector, HardFaultDrawsAreDeterministicAndIndependent) {
+  fault::Injector::Rates rates;
+  rates.segv = 0.1;
+  rates.kill = 0.1;
+  rates.oom = 0.1;
+  rates.hang = 0.05;
+  rates.hang_ignore_term = 0.05;
+  rates.trunc_result = 0.05;
+  rates.corrupt_result = 0.05;
+  const fault::Injector a(0x44AAD, rates);
+  const fault::Injector b(0x44AAD, rates);
+
+  std::set<fault::HardFault> kinds_seen;
+  bool execs_differ = false;
+  for (int k = 0; k < 128; ++k) {
+    const std::string key = "hard-" + std::to_string(k);
+    for (std::uint32_t exec = 0; exec < 4; ++exec) {
+      const fault::TrialFaults fa = a.for_trial(key, exec);
+      const fault::TrialFaults fb = b.for_trial(key, exec);
+      EXPECT_EQ(fa.hard, fb.hard);
+      EXPECT_EQ(fa.hard_seed, fb.hard_seed);
+      kinds_seen.insert(fa.hard);
+      if (exec > 0 && fa.hard != a.for_trial(key, 0).hard) {
+        execs_differ = true;
+      }
+      // Hard faults never leak into the soft-fault decisions: a campaign
+      // with only hard rates must leave the VM faults off.
+      EXPECT_EQ(fa.vm.kind, fault::VmFault::kNone);
+      EXPECT_FALSE(fa.flip_verdict);
+    }
+  }
+  // At these rates 512 draws cover the kinds (probability of missing any
+  // one is negligible) and crash retries see fresh draws.
+  EXPECT_GT(kinds_seen.size(), 4u);
+  EXPECT_TRUE(execs_differ);
+
+  // Hard rates are part of the campaign fingerprint: a journal recorded
+  // under SIGSEGV injection must not feed a campaign without it.
+  fault::Injector::Rates soft_only;
+  soft_only.abort = 0.1;
+  EXPECT_NE(fault::Injector(0x44AAD, rates).fingerprint_tag(),
+            fault::Injector(0x44AAD, soft_only).fingerprint_tag());
+}
+
 TEST(Injector, ZeroRatesNeverFault) {
   const fault::Injector quiet(1234, {});
   for (int k = 0; k < 100; ++k) {
     const auto f = quiet.for_trial("key-" + std::to_string(k), 0);
     EXPECT_EQ(f.vm.kind, fault::VmFault::kNone);
     EXPECT_FALSE(f.flip_verdict);
+    EXPECT_EQ(f.hard, fault::HardFault::kNone);
   }
 }
 
@@ -401,7 +447,8 @@ TEST(Evaluate, FailureClassNamesRoundTrip) {
        {FailureClass::kNone, FailureClass::kTrap,
         FailureClass::kSentinelEscape, FailureClass::kDivergence,
         FailureClass::kTimeout, FailureClass::kBudget,
-        FailureClass::kInternalError}) {
+        FailureClass::kInternalError, FailureClass::kCrash,
+        FailureClass::kResource}) {
     FailureClass parsed;
     ASSERT_TRUE(verify::parse_failure_class(verify::failure_class_name(c),
                                             &parsed));

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <string>
 
 #include "config/textio.hpp"
@@ -14,9 +15,12 @@
 #include "lang/compile.hpp"
 #include "program/layout.hpp"
 #include "program/program.hpp"
+#include "runner/trial_runner.hpp"
 #include "search/search.hpp"
 #include "search/trial_cache.hpp"
+#include "support/fault.hpp"
 #include "support/journal.hpp"
+#include "support/strings.hpp"
 #include "verify/evaluate.hpp"
 
 namespace fpmix::search {
@@ -335,6 +339,77 @@ TEST(Resume, ParallelWarmRunMatchesSerial) {
   EXPECT_EQ(warm.metrics.trials_live, 0u);
   EXPECT_EQ(warm.configs_tested, cold.configs_tested);
   EXPECT_EQ(warm.final_config, cold.final_config);
+  std::remove(journal.c_str());
+}
+
+TEST(Resume, IsolatedWorkerDeathsLeaveJournalWholeAndReplayable) {
+  // Sandboxed trial workers are killed mid-trial by an injected hard-fault
+  // campaign (SIGKILL/SIGSEGV between accepting a request and delivering
+  // its result, plus truncated result frames). The journal must still hold
+  // only whole, CRC-sealed, uniquely-sequenced records, and a resume over
+  // it must replay byte-identically with zero live evaluations.
+  if (!runner::isolation_supported()) {
+    GTEST_SKIP() << "no fork on this platform";
+  }
+  const std::string journal = temp_journal("resume_isolated.jsonl");
+
+  // Clean in-process reference: hard faults are retried, never voted, so
+  // even the faulted run must land exactly here.
+  Prepared pr = prepare();
+  const SearchResult clean = run_search(pr.image, &pr.index, *pr.verifier,
+                                        {});
+  const std::string clean_text = config::to_text(pr.index,
+                                                 clean.final_config);
+
+  fault::Injector::Rates rates;
+  rates.kill = 0.08;
+  rates.segv = 0.05;
+  rates.trunc_result = 0.03;
+  const fault::Injector injector(0xD1ED, rates);
+
+  SearchOptions opts;
+  opts.journal_path = journal;
+  opts.isolate_trials = true;
+  opts.num_workers = 2;
+  opts.max_trial_crashes = 6;
+  opts.fault_injector = &injector;
+
+  Prepared p1 = prepare();
+  const SearchResult cold = run_search(p1.image, &p1.index, *p1.verifier,
+                                       opts);
+  // The campaign actually killed workers, and the search still converged
+  // to the clean result.
+  EXPECT_GT(cold.metrics.worker_crashes + cold.metrics.protocol_errors, 0u);
+  EXPECT_EQ(cold.metrics.crash_quarantined, 0u);
+  EXPECT_EQ(config::to_text(p1.index, cold.final_config), clean_text);
+
+  // No torn or duplicate records despite the carnage.
+  const auto lines = Journal::read_lines(journal);
+  ASSERT_FALSE(lines.empty());
+  std::set<std::uint64_t> seqs;
+  for (const std::string& line : lines) {
+    ASSERT_EQ(check_seal(line), SealCheck::kOk) << line;
+    const std::size_t at = line.find("\"seq\":");
+    ASSERT_NE(at, std::string::npos) << line;
+    std::uint64_t seq = 0;
+    ASSERT_TRUE(parse_u64(line.substr(at + 6,
+                                      line.find_first_of(",}", at + 6) -
+                                          (at + 6)),
+                          &seq))
+        << line;
+    EXPECT_TRUE(seqs.insert(seq).second) << "duplicate seq in " << line;
+  }
+
+  // Resume: byte-identical replay, zero live evaluations, zero worker
+  // executions, and only the new meta line appended to the journal.
+  Prepared p2 = prepare();
+  const SearchResult warm = run_search(p2.image, &p2.index, *p2.verifier,
+                                       opts);
+  EXPECT_EQ(warm.metrics.trials_live, 0u);
+  EXPECT_EQ(warm.metrics.isolated_trials, 0u);
+  EXPECT_EQ(warm.configs_tested, cold.configs_tested);
+  EXPECT_EQ(config::to_text(p2.index, warm.final_config), clean_text);
+  EXPECT_EQ(Journal::read_lines(journal).size(), lines.size() + 1);
   std::remove(journal.c_str());
 }
 

@@ -7,7 +7,7 @@
 //                    [--threads N] [--deadline-ms N] [--retries N] [--quiet]
 //                    [--isolate] [--workers N] [--max-crashes N]
 //                    [--worker-rlimit-as MB] [--fault-seed N]
-//                    [--metrics-json FILE]
+//                    [--metrics-json FILE] [--no-image-cache]
 //
 // --deadline-ms bounds each trial's wall-clock time (a spinning patched
 // binary is classified "timeout" instead of hanging the search);
@@ -25,7 +25,12 @@
 // sets the per-config crash-loop breaker, and --fault-seed N arms a
 // deterministic hard-fault campaign (SIGSEGV/SIGKILL/OOM/corrupt-frame
 // injection) for exercising the supervisor. --metrics-json dumps the full
-// SearchMetrics, including the per-signal worker-crash census, to FILE.
+// SearchMetrics, including the per-signal worker-crash census and the
+// per-worker-slot request/respawn/quarantine counts, to FILE.
+//
+// --no-image-cache disables the incremental trial pipeline (per-function
+// variant reuse + warm image caches), rebuilding every trial from scratch.
+// Results are identical either way; the flag exists for A/B benchmarking.
 //
 // Exit codes: 0 search completed and the composition verified; 1 search
 // completed but the final composition fails verification; 2 usage error;
@@ -99,6 +104,12 @@ bool write_metrics_json(const std::string& path,
   num("predecode_seconds", m.predecode_seconds);
   num("run_seconds", m.run_seconds);
   num("verify_seconds", m.verify_seconds);
+  uint("image_cache_hits", m.image_cache_hits);
+  uint("image_cache_misses", m.image_cache_misses);
+  num("patch_saved_seconds", m.patch_saved_seconds);
+  num("predecode_saved_seconds", m.predecode_saved_seconds);
+  uint("funcs_reused", m.funcs_reused);
+  uint("funcs_patched", m.funcs_patched);
   census("failures_by_class", m.failures_by_class);
   uint("retries", m.retries);
   uint("quarantined", m.quarantined);
@@ -112,6 +123,20 @@ bool write_metrics_json(const std::string& path,
   census("crashes_by_signal", m.crashes_by_signal);
   boolean("crash_storm", m.crash_storm);
   boolean("isolation_degraded", m.isolation_degraded);
+  uint("delta_requests", m.delta_requests);
+  uint("full_requests", m.full_requests);
+  uint("delta_bytes", m.delta_bytes);
+  uint("full_bytes", m.full_bytes);
+  j += "  \"workers\": [";
+  for (std::size_t i = 0; i < m.worker_slots.size(); ++i) {
+    const search::WorkerSlotMetrics& s = m.worker_slots[i];
+    j += strformat(
+        "%s{\"slot\": %zu, \"requests\": %zu, \"respawns\": %zu, "
+        "\"crashes\": %zu, \"timeouts\": %zu, \"quarantines\": %zu}",
+        i == 0 ? "" : ", ", i, s.requests, s.respawns, s.crashes, s.timeouts,
+        s.quarantines);
+  }
+  j += "],\n";
   uint("configs_tested", res.configs_tested);
   boolean("refined", res.refined);
   j += strformat("  \"final_passed\": %s\n}\n",
@@ -143,6 +168,7 @@ int main(int argc, char** argv) {
     else if (arg == "--quiet") quiet = true;
     else if (arg == "--no-resume") opts.resume = false;
     else if (arg == "--isolate") opts.isolate_trials = true;
+    else if (arg == "--no-image-cache") opts.image_cache = false;
     else if (arg == "--out" && i + 1 < argc) out_path = argv[++i];
     else if (arg == "--journal" && i + 1 < argc) opts.journal_path = argv[++i];
     else if (arg == "--metrics-json" && i + 1 < argc) metrics_path = argv[++i];
@@ -279,6 +305,14 @@ int main(int argc, char** argv) {
               "verify %.2fs\n",
               m.patch_seconds, m.predecode_seconds, m.run_seconds,
               m.verify_seconds);
+  if (m.image_cache_hits + m.image_cache_misses > 0) {
+    std::printf("incremental: %zu image hit(s) / %zu miss(es), %zu func "
+                "segment(s) reused / %zu patched, ~%.3fs patch + %.3fs "
+                "predecode saved\n",
+                m.image_cache_hits, m.image_cache_misses, m.funcs_reused,
+                m.funcs_patched, m.patch_saved_seconds,
+                m.predecode_saved_seconds);
+  }
   if (!m.failures_by_class.empty()) {
     std::printf("failed trials by class:\n");
     for (const auto& [cls_name, count] : m.failures_by_class) {
@@ -299,6 +333,19 @@ int main(int argc, char** argv) {
                 "error(s), %zu config(s) quarantined by the breaker\n",
                 m.isolated_trials, m.worker_crashes, m.worker_respawns,
                 m.worker_timeouts, m.protocol_errors, m.crash_quarantined);
+    if (m.delta_requests + m.full_requests > 0) {
+      std::printf("wire: %zu delta frame(s) (%zu B) + %zu full frame(s) "
+                  "(%zu B)\n",
+                  m.delta_requests, m.delta_bytes, m.full_requests,
+                  m.full_bytes);
+    }
+    for (std::size_t i = 0; i < m.worker_slots.size(); ++i) {
+      const search::WorkerSlotMetrics& s = m.worker_slots[i];
+      std::printf("  worker %zu: %zu request(s), %zu respawn(s), "
+                  "%zu crash(es), %zu timeout(s), %zu quarantine(s)\n",
+                  i, s.requests, s.respawns, s.crashes, s.timeouts,
+                  s.quarantines);
+    }
     if (!m.crashes_by_signal.empty()) {
       std::printf("worker crash census:\n");
       for (const auto& [sig, count] : m.crashes_by_signal) {

@@ -1,0 +1,94 @@
+#include "instrument/incremental.hpp"
+
+#include <map>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace fpmix::instrument {
+
+IncrementalPatcher::IncrementalPatcher(const program::Image& original,
+                                       const config::StructureIndex& index,
+                                       InstrumentOptions options)
+    : prog_(program::lift(original)),
+      index_(index),
+      options_(std::move(options)) {
+  prog_.validate();
+  FPMIX_CHECK(index_.funcs().size() == prog_.functions.size());
+  func_instrs_.resize(prog_.functions.size());
+  for (std::size_t i = 0; i < index_.instrs().size(); ++i) {
+    func_instrs_[index_.instrs()[i].func].push_back(i);
+  }
+  variants_.resize(prog_.functions.size());
+}
+
+std::string IncrementalPatcher::signature_of(
+    std::size_t f, const config::PrecisionConfig& cfg) const {
+  const auto& instrs = func_instrs_[f];
+  std::string sig;
+  sig.reserve(instrs.size());
+  for (std::size_t i : instrs) {
+    config::Precision p = cfg.resolve(index_, i);
+    // Mirror instrument_function's demotion rule so configs that differ
+    // only in unreplaceable ways share a variant.
+    if (p == config::Precision::kSingle && !index_.instrs()[i].candidate) {
+      p = config::Precision::kDouble;
+    }
+    sig.push_back(config::precision_flag(p));
+  }
+  return sig;
+}
+
+IncrementalPatcher::Build IncrementalPatcher::patch(
+    const config::PrecisionConfig& cfg) {
+  const std::size_t n = prog_.functions.size();
+  Build b;
+  b.funcs_total = n;
+  b.variants.resize(n);
+  std::vector<const program::FuncLayout*> layouts(n);
+  for (std::size_t f = 0; f < n; ++f) {
+    std::string sig = signature_of(f, cfg);
+    auto& cache = variants_[f];
+    auto it = cache.find(sig);
+    if (it == cache.end()) {
+      ++variant_misses_;
+      if (cache.size() >= kMaxVariantsPerFunc) cache.clear();
+      // Un-demoted precisions: instrument_function applies the demotion
+      // rule itself, exactly as the from-scratch path does.
+      std::map<std::uint64_t, config::Precision> pmap;
+      for (std::size_t i : func_instrs_[f]) {
+        pmap[index_.instrs()[i].addr] = cfg.resolve(index_, i);
+      }
+      FuncVariant v;
+      const program::Function pf =
+          instrument_function(prog_.functions[f], pmap, &v.stats, options_);
+      v.layout = program::layout_function(pf);
+      it = cache.emplace(std::move(sig), std::move(v)).first;
+    } else {
+      ++variant_hits_;
+      ++b.funcs_reused;
+    }
+    b.variants[f] = &it->second;
+    layouts[f] = &it->second.layout;
+    b.stats.add(it->second.stats);
+  }
+  b.image = program::assemble(prog_, layouts);
+  return b;
+}
+
+std::shared_ptr<const vm::ExecutableImage> IncrementalPatcher::predecode(
+    Build&& build) {
+  std::vector<std::shared_ptr<const vm::CodeSegment>> segments(
+      build.variants.size());
+  for (std::size_t f = 0; f < build.variants.size(); ++f) {
+    FuncVariant* v = build.variants[f];
+    if (v->segment == nullptr) {
+      v->segment = vm::CodeSegment::build(v->layout);
+    }
+    segments[f] = v->segment;
+  }
+  return vm::ExecutableImage::build_spliced(std::move(build.image),
+                                            segments);
+}
+
+}  // namespace fpmix::instrument

@@ -147,15 +147,8 @@ class TagStateTracker {
   std::array<TagState, arch::kNumXmms> states_{};
 };
 
-}  // namespace
-
-program::Program splice_snippets(const program::Program& prog,
-                                 const WrapPredicate& would_wrap,
-                                 const SnippetFactory& factory,
-                                 InstrumentStats* stats,
-                                 const std::function<void()>& on_block_start) {
-  prog.validate();
-
+/// Copies the non-function program metadata (sections, bases, entry).
+program::Program copy_meta(const program::Program& prog) {
   program::Program out;
   out.code_base = prog.code_base;
   out.data_base = prog.data_base;
@@ -164,99 +157,118 @@ program::Program splice_snippets(const program::Program& prog,
   out.bss_size = prog.bss_size;
   out.memory_size = prog.memory_size;
   out.entry_function = prog.entry_function;
+  return out;
+}
 
-  for (const program::Function& fn : prog.functions) {
-    for (const program::BasicBlock& blk : fn.blocks) {
-      check_flag_liveness(fn, blk, would_wrap);
-    }
+}  // namespace
 
-    program::Function nf;
-    nf.name = fn.name;
-    nf.module = fn.module;
-    nf.orig_addr = fn.orig_addr;
-
-    std::vector<program::BlockIndex> head_of_old(fn.blocks.size());
-    std::vector<program::BasicBlock> blocks;
-
-    for (std::size_t bi = 0; bi < fn.blocks.size(); ++bi) {
-      const program::BasicBlock& blk = fn.blocks[bi];
-      head_of_old[bi] = static_cast<program::BlockIndex>(blocks.size());
-
-      program::BasicBlock cur;
-      cur.orig_addr = blk.orig_addr;
-      if (on_block_start) on_block_start();
-
-      for (const Instr& ins : blk.instrs) {
-        std::optional<SnippetChain> chain = factory(ins);
-        if (!chain.has_value()) {
-          cur.instrs.push_back(ins);
-          continue;
-        }
-
-        // Section 2.4: split the block around the instruction and splice
-        // the snippet chain in its place.
-        if (stats != nullptr) {
-          ++stats->wrapped;
-          stats->snippet_instrs += chain->instruction_count();
-        }
-        const auto chain_base =
-            static_cast<program::BlockIndex>(blocks.size() + 1);
-        cur.fallthrough = chain_base;
-        if (cur.orig_addr == arch::kNoAddr) cur.orig_addr = ins.addr;
-        blocks.push_back(std::move(cur));
-        const auto exit_index = static_cast<program::BlockIndex>(
-            chain_base +
-            static_cast<program::BlockIndex>(chain->blocks.size()));
-        for (program::BasicBlock& sb : chain->blocks) {
-          const auto fix = [&](program::BlockIndex e) {
-            if (e == SnippetChain::kChainExit) return exit_index;
-            if (e == program::kNoIndex) return program::kNoIndex;
-            return static_cast<program::BlockIndex>(chain_base + e);
-          };
-          sb.taken = fix(sb.taken);
-          sb.fallthrough = fix(sb.fallthrough);
-          if (sb.ends_with_branch()) {
-            sb.instrs.back().src.imm = sb.taken;
-          }
-          if (sb.orig_addr == arch::kNoAddr) sb.orig_addr = ins.addr;
-          blocks.push_back(std::move(sb));
-        }
-        cur = program::BasicBlock{};
-        cur.orig_addr = ins.addr;
-      }
-
-      // Close the final fragment with the original block's terminator edges
-      // (encoded as old indices; remapped below).
-      cur.taken = encode_old(blk.taken);
-      cur.fallthrough = encode_old(blk.fallthrough);
-      blocks.push_back(std::move(cur));
-    }
-
-    // Remap old edges to the heads of their rebuilt blocks.
-    for (program::BasicBlock& b : blocks) {
-      if (is_encoded_old(b.taken)) {
-        b.taken = head_of_old[static_cast<std::size_t>(decode_old(b.taken))];
-        if (b.ends_with_branch()) b.instrs.back().src.imm = b.taken;
-      }
-      if (is_encoded_old(b.fallthrough)) {
-        b.fallthrough =
-            head_of_old[static_cast<std::size_t>(decode_old(b.fallthrough))];
-      }
-    }
-
-    nf.blocks = std::move(blocks);
-    out.functions.push_back(std::move(nf));
+program::Function splice_function(const program::Function& fn,
+                                  const WrapPredicate& would_wrap,
+                                  const SnippetFactory& factory,
+                                  InstrumentStats* stats,
+                                  const std::function<void()>& on_block_start) {
+  for (const program::BasicBlock& blk : fn.blocks) {
+    check_flag_liveness(fn, blk, would_wrap);
   }
 
+  program::Function nf;
+  nf.name = fn.name;
+  nf.module = fn.module;
+  nf.orig_addr = fn.orig_addr;
+
+  std::vector<program::BlockIndex> head_of_old(fn.blocks.size());
+  std::vector<program::BasicBlock> blocks;
+
+  for (std::size_t bi = 0; bi < fn.blocks.size(); ++bi) {
+    const program::BasicBlock& blk = fn.blocks[bi];
+    head_of_old[bi] = static_cast<program::BlockIndex>(blocks.size());
+
+    program::BasicBlock cur;
+    cur.orig_addr = blk.orig_addr;
+    if (on_block_start) on_block_start();
+
+    for (const Instr& ins : blk.instrs) {
+      std::optional<SnippetChain> chain = factory(ins);
+      if (!chain.has_value()) {
+        cur.instrs.push_back(ins);
+        continue;
+      }
+
+      // Section 2.4: split the block around the instruction and splice
+      // the snippet chain in its place.
+      if (stats != nullptr) {
+        ++stats->wrapped;
+        stats->snippet_instrs += chain->instruction_count();
+      }
+      const auto chain_base =
+          static_cast<program::BlockIndex>(blocks.size() + 1);
+      cur.fallthrough = chain_base;
+      if (cur.orig_addr == arch::kNoAddr) cur.orig_addr = ins.addr;
+      blocks.push_back(std::move(cur));
+      const auto exit_index = static_cast<program::BlockIndex>(
+          chain_base +
+          static_cast<program::BlockIndex>(chain->blocks.size()));
+      for (program::BasicBlock& sb : chain->blocks) {
+        const auto fix = [&](program::BlockIndex e) {
+          if (e == SnippetChain::kChainExit) return exit_index;
+          if (e == program::kNoIndex) return program::kNoIndex;
+          return static_cast<program::BlockIndex>(chain_base + e);
+        };
+        sb.taken = fix(sb.taken);
+        sb.fallthrough = fix(sb.fallthrough);
+        if (sb.ends_with_branch()) {
+          sb.instrs.back().src.imm = sb.taken;
+        }
+        if (sb.orig_addr == arch::kNoAddr) sb.orig_addr = ins.addr;
+        blocks.push_back(std::move(sb));
+      }
+      cur = program::BasicBlock{};
+      cur.orig_addr = ins.addr;
+    }
+
+    // Close the final fragment with the original block's terminator edges
+    // (encoded as old indices; remapped below).
+    cur.taken = encode_old(blk.taken);
+    cur.fallthrough = encode_old(blk.fallthrough);
+    blocks.push_back(std::move(cur));
+  }
+
+  // Remap old edges to the heads of their rebuilt blocks.
+  for (program::BasicBlock& b : blocks) {
+    if (is_encoded_old(b.taken)) {
+      b.taken = head_of_old[static_cast<std::size_t>(decode_old(b.taken))];
+      if (b.ends_with_branch()) b.instrs.back().src.imm = b.taken;
+    }
+    if (is_encoded_old(b.fallthrough)) {
+      b.fallthrough =
+          head_of_old[static_cast<std::size_t>(decode_old(b.fallthrough))];
+    }
+  }
+
+  nf.blocks = std::move(blocks);
+  return nf;
+}
+
+program::Program splice_snippets(const program::Program& prog,
+                                 const WrapPredicate& would_wrap,
+                                 const SnippetFactory& factory,
+                                 InstrumentStats* stats,
+                                 const std::function<void()>& on_block_start) {
+  prog.validate();
+  program::Program out = copy_meta(prog);
+  for (const program::Function& fn : prog.functions) {
+    out.functions.push_back(
+        splice_function(fn, would_wrap, factory, stats, on_block_start));
+  }
   out.validate();
   return out;
 }
 
-InstrumentResult instrument(const program::Program& prog,
-                            const config::StructureIndex& index,
-                            const config::PrecisionConfig& cfg,
-                            const InstrumentOptions& options) {
-  const std::map<std::uint64_t, Precision> pmap = cfg.address_map(index);
+program::Function instrument_function(
+    const program::Function& fn,
+    const std::map<std::uint64_t, config::Precision>& pmap,
+    InstrumentStats* stats, const InstrumentOptions& options) {
+  InstrumentStats local;
 
   const auto effective_precision = [&](const Instr& ins) {
     auto it = pmap.find(ins.addr);
@@ -276,7 +288,6 @@ InstrumentResult instrument(const program::Program& prog,
     return p;
   };
 
-  InstrumentResult result;
   // The dataflow facts are strictly intra-block: the tracker resets at
   // every block head (blocks can have multiple predecessors with different
   // tag states).
@@ -289,7 +300,7 @@ InstrumentResult instrument(const program::Program& prog,
 
   const auto factory = [&](const Instr& ins) -> std::optional<SnippetChain> {
     const Precision p = effective_precision(ins);
-    if (p == Precision::kIgnore) ++result.stats.ignored;
+    if (p == Precision::kIgnore) ++local.ignored;
     if (!needs_snippet(ins, p)) {
       if (options.dataflow_optimize) tracker.step_unwrapped(ins);
       return std::nullopt;
@@ -300,16 +311,126 @@ InstrumentResult instrument(const program::Program& prog,
     if (options.dataflow_optimize) {
       sopts.dst_state = tracker.state_of(ins.dst);
       sopts.src_state = tracker.state_of(ins.src);
-      if (sopts.dst_state != TagState::kUnknown) ++result.stats.checks_elided;
-      if (sopts.src_state != TagState::kUnknown) ++result.stats.checks_elided;
+      if (sopts.dst_state != TagState::kUnknown) ++local.checks_elided;
+      if (sopts.src_state != TagState::kUnknown) ++local.checks_elided;
       tracker.step_wrapped(ins, single);
     }
-    if (single) ++result.stats.replaced_single;
+    if (single) ++local.replaced_single;
     return build_snippet(ins, p, sopts);
   };
 
-  result.patched = splice_snippets(prog, would_wrap, factory, &result.stats,
-                                   [&] { tracker.reset(); });
+  program::Function nf =
+      splice_function(fn, would_wrap, factory, &local, [&] { tracker.reset(); });
+  if (stats != nullptr) *stats = local;
+  return nf;
+}
+
+InstrumentResult instrument(const program::Program& prog,
+                            const config::StructureIndex& index,
+                            const config::PrecisionConfig& cfg,
+                            const InstrumentOptions& options) {
+  const std::map<std::uint64_t, Precision> pmap = cfg.address_map(index);
+  prog.validate();
+
+  InstrumentResult result;
+  result.patched = copy_meta(prog);
+  result.per_function.reserve(prog.functions.size());
+  for (const program::Function& fn : prog.functions) {
+    InstrumentStats fs;
+    result.patched.functions.push_back(
+        instrument_function(fn, pmap, &fs, options));
+    result.stats.add(fs);
+    result.per_function.push_back(fs);
+  }
+  result.patched.validate();
+  return result;
+}
+
+std::vector<std::size_t> dirty_functions(const config::StructureIndex& index,
+                                         const config::PrecisionConfig& a,
+                                         const config::PrecisionConfig& b) {
+  std::vector<bool> dirty(index.funcs().size(), false);
+  const auto mark_func = [&](std::size_t f) {
+    if (f < dirty.size()) dirty[f] = true;
+  };
+
+  // The delta encoding enumerates exactly the flags that differ (added,
+  // changed or removed), so the diff's cost scales with the change size.
+  const std::string delta = b.encode_delta_from(a);
+  std::size_t pos = 0;
+  while (pos < delta.size()) {
+    const char level = delta[pos++];
+    std::size_t id = 0;
+    while (pos < delta.size() && delta[pos] >= '0' && delta[pos] <= '9') {
+      id = id * 10 + static_cast<std::size_t>(delta[pos++] - '0');
+    }
+    pos += 3;  // skip `=<flag>;` (own encoder's output; always well formed)
+    switch (level) {
+      case 'm':
+        if (id < index.modules().size()) {
+          for (std::size_t f : index.modules()[id].funcs) mark_func(f);
+        }
+        break;
+      case 'f': mark_func(id); break;
+      case 'b':
+        if (id < index.blocks().size()) mark_func(index.blocks()[id].func);
+        break;
+      case 'i':
+        if (id < index.instrs().size()) mark_func(index.instrs()[id].func);
+        break;
+      default: break;
+    }
+  }
+
+  std::vector<std::size_t> out;
+  for (std::size_t f = 0; f < dirty.size(); ++f) {
+    if (dirty[f]) out.push_back(f);
+  }
+  return out;
+}
+
+InstrumentResult instrument_delta(const program::Program& prog,
+                                  const config::StructureIndex& index,
+                                  const config::PrecisionConfig& base_cfg,
+                                  const InstrumentResult& base_result,
+                                  const config::PrecisionConfig& cfg,
+                                  const InstrumentOptions& options) {
+  FPMIX_CHECK(base_result.patched.functions.size() == prog.functions.size());
+  FPMIX_CHECK(base_result.per_function.size() == prog.functions.size());
+
+  std::vector<bool> is_dirty(prog.functions.size(), false);
+  for (std::size_t f : dirty_functions(index, base_cfg, cfg)) {
+    if (f < is_dirty.size()) is_dirty[f] = true;
+  }
+
+  // Resolve effective precisions only for instructions in dirty functions:
+  // the delta's cost must scale with the size of the change, not the
+  // program.
+  std::map<std::uint64_t, Precision> pmap;
+  for (std::size_t i = 0; i < index.instrs().size(); ++i) {
+    const config::InstrEntry& ie = index.instrs()[i];
+    if (ie.func < is_dirty.size() && is_dirty[ie.func]) {
+      pmap[ie.addr] = cfg.resolve(index, i);
+    }
+  }
+
+  prog.validate();
+  InstrumentResult result;
+  result.patched = copy_meta(prog);
+  result.per_function.reserve(prog.functions.size());
+  for (std::size_t fi = 0; fi < prog.functions.size(); ++fi) {
+    InstrumentStats fs;
+    if (is_dirty[fi]) {
+      result.patched.functions.push_back(
+          instrument_function(prog.functions[fi], pmap, &fs, options));
+    } else {
+      result.patched.functions.push_back(base_result.patched.functions[fi]);
+      fs = base_result.per_function[fi];
+    }
+    result.stats.add(fs);
+    result.per_function.push_back(fs);
+  }
+  result.patched.validate();
   return result;
 }
 

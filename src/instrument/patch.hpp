@@ -14,7 +14,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <optional>
+#include <vector>
 
 #include "config/config.hpp"
 #include "config/structure.hpp"
@@ -30,6 +32,16 @@ struct InstrumentStats {
   std::size_t ignored = 0;          // flagged `ignore` and left untouched
   std::size_t snippet_instrs = 0;   // total instructions across all snippets
   std::size_t checks_elided = 0;    // sentinel tests removed by dataflow
+
+  /// Every counter is a per-instruction sum, so whole-program stats are the
+  /// sum of per-function stats -- the invariant instrument_delta relies on.
+  void add(const InstrumentStats& s) {
+    wrapped += s.wrapped;
+    replaced_single += s.replaced_single;
+    ignored += s.ignored;
+    snippet_instrs += s.snippet_instrs;
+    checks_elided += s.checks_elided;
+  }
 };
 
 struct InstrumentOptions {
@@ -45,6 +57,9 @@ struct InstrumentOptions {
 struct InstrumentResult {
   program::Program patched;
   InstrumentStats stats;
+  /// Per-function breakdown (same order as patched.functions); stats is the
+  /// element-wise sum. instrument_delta() copies entries for clean functions.
+  std::vector<InstrumentStats> per_function;
 };
 
 /// Patches a lifted program according to `cfg`. The structure index must
@@ -64,6 +79,44 @@ program::Image instrument_image(const program::Image& image,
                                 const config::PrecisionConfig& cfg,
                                 InstrumentStats* stats = nullptr,
                                 const InstrumentOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Incremental patching.
+
+/// Patches ONE function against a whole-program address -> effective
+/// precision map (see PrecisionConfig::address_map; the map needs entries
+/// only for this function's instructions). Per-instruction decisions are
+/// identical to instrument()'s -- the tag-state dataflow is intra-block, so
+/// patching functions independently is equivalent by construction. `*stats`
+/// receives counters for this function alone.
+program::Function instrument_function(
+    const program::Function& fn,
+    const std::map<std::uint64_t, config::Precision>& pmap,
+    InstrumentStats* stats, const InstrumentOptions& options = {});
+
+/// Function ids whose effective precision assignment may differ between `a`
+/// and `b`. Conservative by subtree: a differing module flag dirties every
+/// function of that module; differing function/block/instruction flags dirty
+/// the containing function. Ids out of range for `index` are ignored (they
+/// cannot affect any function).
+std::vector<std::size_t> dirty_functions(const config::StructureIndex& index,
+                                         const config::PrecisionConfig& a,
+                                         const config::PrecisionConfig& b);
+
+/// Incremental instrument(): re-patches only the functions that
+/// dirty_functions(index, base_cfg, cfg) reports, reusing `base_result`'s
+/// patched functions and per-function stats everywhere else. `base_result`
+/// must come from instrument(prog, index, base_cfg, options) with this same
+/// prog/index/options. The result is equivalent to
+/// instrument(prog, index, cfg, options) -- clean functions resolve to the
+/// same effective precisions under both configs, and patching is
+/// function-local.
+InstrumentResult instrument_delta(const program::Program& prog,
+                                  const config::StructureIndex& index,
+                                  const config::PrecisionConfig& base_cfg,
+                                  const InstrumentResult& base_result,
+                                  const config::PrecisionConfig& cfg,
+                                  const InstrumentOptions& options = {});
 
 // ---------------------------------------------------------------------------
 // Generic splice engine.
@@ -88,5 +141,14 @@ program::Program splice_snippets(const program::Program& prog,
                                  InstrumentStats* stats,
                                  const std::function<void()>& on_block_start =
                                      nullptr);
+
+/// Single-function core of splice_snippets: liveness precondition check for
+/// the function's blocks, then the block split/splice rebuild.
+program::Function splice_function(const program::Function& fn,
+                                  const WrapPredicate& would_wrap,
+                                  const SnippetFactory& factory,
+                                  InstrumentStats* stats,
+                                  const std::function<void()>& on_block_start =
+                                      nullptr);
 
 }  // namespace fpmix::instrument

@@ -26,89 +26,147 @@ std::uint32_t jmp_size() {
   return size;
 }
 
+void write_le64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu);
+  }
+}
+
 }  // namespace
 
-Image relayout(const Program& prog) {
-  prog.validate();
+FuncLayout layout_function(const Function& fn) {
+  FuncLayout out;
+  out.name = fn.name;
+  out.module = fn.module;
 
-  // Pass 1: assign addresses. Instruction encodings have a fixed size that
-  // does not depend on operand values, so one forward pass suffices.
-  std::vector<std::uint64_t> func_addr(prog.functions.size());
-  std::vector<std::vector<std::uint64_t>> block_addr(prog.functions.size());
-  std::uint64_t pc = prog.code_base;
-  for (std::size_t fi = 0; fi < prog.functions.size(); ++fi) {
-    const Function& fn = prog.functions[fi];
-    func_addr[fi] = pc;
-    block_addr[fi].resize(fn.blocks.size());
-    for (std::size_t bi = 0; bi < fn.blocks.size(); ++bi) {
-      block_addr[fi][bi] = pc;
-      for (const arch::Instr& ins : fn.blocks[bi].instrs) {
-        pc += arch::encoded_size(ins);
+  // Pass 1: local block offsets. Instruction encodings have a fixed size
+  // that does not depend on operand values, so one forward pass suffices.
+  std::vector<std::uint64_t> block_off(fn.blocks.size());
+  std::uint64_t size = 0;
+  for (std::size_t bi = 0; bi < fn.blocks.size(); ++bi) {
+    block_off[bi] = size;
+    for (const arch::Instr& ins : fn.blocks[bi].instrs) {
+      size += arch::encoded_size(ins);
+    }
+    if (needs_explicit_jump(fn, bi)) size += jmp_size();
+  }
+  out.bytes.reserve(size);
+
+  // Pass 2: emit with local targets plus relocation/provenance records.
+  for (std::size_t bi = 0; bi < fn.blocks.size(); ++bi) {
+    const BasicBlock& blk = fn.blocks[bi];
+    // Raw origin and offset of the last instruction emitted for this block,
+    // feeding the explicit-jmp origin-inheritance rule.
+    std::uint64_t last_origin_raw = arch::kNoAddr;
+    std::uint32_t last_off = 0;
+    bool has_last = false;
+    for (std::size_t ii = 0; ii < blk.instrs.size(); ++ii) {
+      arch::Instr ins = blk.instrs[ii];
+      const auto& info = arch::opcode_info(ins.op);
+      const auto off = static_cast<std::uint32_t>(out.bytes.size());
+      if (info.is_branch) {
+        FPMIX_CHECK(ii + 1 == blk.instrs.size());
+        const std::uint64_t target =
+            block_off[static_cast<std::size_t>(blk.taken)];
+        ins.src.imm = static_cast<std::int64_t>(target);
+        out.relocs.push_back(
+            {off + arch::encoded_size(ins) - 8, target, /*is_call=*/false});
+      } else if (info.is_call) {
+        out.relocs.push_back({off + arch::encoded_size(ins) - 8,
+                              static_cast<std::uint64_t>(ins.src.imm),
+                              /*is_call=*/true});
       }
-      if (needs_explicit_jump(fn, bi)) pc += jmp_size();
+      if (ins.origin != arch::kNoAddr) {
+        out.origins.push_back({off, ins.origin, 0, /*from_jmp=*/false});
+      }
+      last_origin_raw = ins.origin;
+      last_off = off;
+      has_last = true;
+      arch::encode(ins, &out.bytes);
+    }
+    if (needs_explicit_jump(fn, bi)) {
+      const std::uint64_t target =
+          block_off[static_cast<std::size_t>(blk.fallthrough)];
+      const arch::Instr jmp = arch::make2(
+          arch::Opcode::kJmp, arch::Operand::none(),
+          arch::Operand::make_imm(static_cast<std::int64_t>(target)));
+      const auto off = static_cast<std::uint32_t>(out.bytes.size());
+      out.relocs.push_back(
+          {off + arch::encoded_size(jmp) - 8, target, /*is_call=*/false});
+      if (has_last) {
+        out.origins.push_back({off, last_origin_raw, last_off,
+                               /*from_jmp=*/true});
+      }
+      arch::encode(jmp, &out.bytes);
     }
   }
+  return out;
+}
 
-  // Pass 2: emit with resolved targets.
+Image assemble(const Program& meta,
+               const std::vector<const FuncLayout*>& funcs) {
+  FPMIX_CHECK(funcs.size() == meta.functions.size());
+
+  std::vector<std::uint64_t> func_base(funcs.size());
+  std::uint64_t pc = meta.code_base;
+  for (std::size_t fi = 0; fi < funcs.size(); ++fi) {
+    func_base[fi] = pc;
+    pc += funcs[fi]->bytes.size();
+  }
+
   Image img;
-  img.code_base = prog.code_base;
-  img.data_base = prog.data_base;
-  img.data = prog.data;
-  img.bss_base = prog.bss_base;
-  img.bss_size = prog.bss_size;
-  img.memory_size = prog.memory_size;
-  img.code.reserve(pc - prog.code_base);
+  img.code_base = meta.code_base;
+  img.data_base = meta.data_base;
+  img.data = meta.data;
+  img.bss_base = meta.bss_base;
+  img.bss_size = meta.bss_size;
+  img.memory_size = meta.memory_size;
+  img.code.reserve(pc - meta.code_base);
 
-  for (std::size_t fi = 0; fi < prog.functions.size(); ++fi) {
-    const Function& fn = prog.functions[fi];
-    const std::uint64_t fn_start = func_addr[fi];
-    for (std::size_t bi = 0; bi < fn.blocks.size(); ++bi) {
-      const BasicBlock& blk = fn.blocks[bi];
-      std::uint64_t last_origin = arch::kNoAddr;
-      for (std::size_t ii = 0; ii < blk.instrs.size(); ++ii) {
-        arch::Instr ins = blk.instrs[ii];
-        const auto& info = arch::opcode_info(ins.op);
-        if (info.is_branch) {
-          FPMIX_CHECK(ii + 1 == blk.instrs.size());
-          ins.src.imm = static_cast<std::int64_t>(
-              block_addr[fi][static_cast<std::size_t>(blk.taken)]);
-        } else if (info.is_call) {
-          ins.src.imm = static_cast<std::int64_t>(
-              func_addr[static_cast<std::size_t>(ins.src.imm)]);
-        }
-        const std::uint64_t at = img.code_base + img.code.size();
-        const std::uint64_t origin =
-            (ins.origin != arch::kNoAddr) ? ins.origin : at;
-        if (origin != at) img.origins.push_back({at, origin});
-        last_origin = origin;
-        arch::encode(ins, &img.code);
-      }
-      if (needs_explicit_jump(fn, bi)) {
-        arch::Instr jmp = arch::make2(
-            arch::Opcode::kJmp, arch::Operand::none(),
-            arch::Operand::make_imm(static_cast<std::int64_t>(
-                block_addr[fi][static_cast<std::size_t>(blk.fallthrough)])));
-        const std::uint64_t at = img.code_base + img.code.size();
-        if (last_origin != arch::kNoAddr && last_origin != at) {
-          img.origins.push_back({at, last_origin});
-        }
-        arch::encode(jmp, &img.code);
-      }
+  for (std::size_t fi = 0; fi < funcs.size(); ++fi) {
+    const FuncLayout& fl = *funcs[fi];
+    const std::uint64_t base = func_base[fi];
+    const std::size_t off0 = img.code.size();
+    img.code.insert(img.code.end(), fl.bytes.begin(), fl.bytes.end());
+    for (const FuncLayout::Reloc& rel : fl.relocs) {
+      const std::uint64_t abs =
+          rel.is_call ? func_base[static_cast<std::size_t>(rel.value)]
+                      : base + rel.value;
+      write_le64(img.code.data() + off0 + rel.imm_off, abs);
+    }
+    for (const FuncLayout::OriginRec& rec : fl.origins) {
+      const std::uint64_t at = base + rec.off;
+      // A jmp inherits the origin of the instruction it follows; an origin
+      // of kNoAddr there means "the previous instruction's own address".
+      const std::uint64_t origin =
+          rec.from_jmp && rec.origin == arch::kNoAddr ? base + rec.prev_off
+                                                      : rec.origin;
+      if (origin != at) img.origins.push_back({at, origin});
     }
     Symbol sym;
-    sym.name = fn.name;
-    sym.module = fn.module;
-    sym.addr = fn_start;
-    const std::uint64_t fn_end = (fi + 1 < prog.functions.size())
-                                     ? func_addr[fi + 1]
-                                     : pc;
-    sym.size = fn_end - fn_start;
+    sym.name = fl.name;
+    sym.module = fl.module;
+    sym.addr = base;
+    sym.size = (fi + 1 < funcs.size() ? func_base[fi + 1] : pc) - base;
     img.symbols.push_back(std::move(sym));
   }
 
-  img.entry = func_addr[static_cast<std::size_t>(prog.entry_function)];
+  img.entry = func_base[static_cast<std::size_t>(meta.entry_function)];
   img.validate();
   return img;
+}
+
+Image relayout(const Program& prog) {
+  prog.validate();
+  std::vector<FuncLayout> layouts;
+  layouts.reserve(prog.functions.size());
+  for (const Function& fn : prog.functions) {
+    layouts.push_back(layout_function(fn));
+  }
+  std::vector<const FuncLayout*> ptrs;
+  ptrs.reserve(layouts.size());
+  for (const FuncLayout& fl : layouts) ptrs.push_back(&fl);
+  return assemble(prog, ptrs);
 }
 
 Image rewrite_identity(const Image& image) { return relayout(lift(image)); }

@@ -112,6 +112,7 @@ std::string WireReader::str() {
 
 std::string encode_request(const TrialRequest& req) {
   std::string out;
+  put_u8(&out, req.opcode);
   put_string(&out, req.key);
   put_u32(&out, req.exec_index);
   put_string(&out, req.config_key);
@@ -120,10 +121,12 @@ std::string encode_request(const TrialRequest& req) {
 
 bool decode_request(std::string_view payload, TrialRequest* out) {
   WireReader r(payload);
+  out->opcode = r.u8();
   out->key = r.str();
   out->exec_index = r.u32();
   out->config_key = r.str();
-  return r.done();
+  if (!r.done()) return false;
+  return out->opcode == kReqFull || out->opcode == kReqDelta;
 }
 
 std::string encode_result(const WireResult& res) {
@@ -137,6 +140,11 @@ std::string encode_result(const WireResult& res) {
   put_u64(&out, res.predecode_ns);
   put_u64(&out, res.run_ns);
   put_u64(&out, res.verify_ns);
+  put_u8(&out, res.image_cache_hit);
+  put_u64(&out, res.patch_saved_ns);
+  put_u64(&out, res.predecode_saved_ns);
+  put_u32(&out, res.funcs_reused);
+  put_u32(&out, res.funcs_total);
   return out;
 }
 
@@ -151,6 +159,11 @@ bool decode_result(std::string_view payload, WireResult* out) {
   out->predecode_ns = r.u64();
   out->run_ns = r.u64();
   out->verify_ns = r.u64();
+  out->image_cache_hit = r.u8();
+  out->patch_saved_ns = r.u64();
+  out->predecode_saved_ns = r.u64();
+  out->funcs_reused = r.u32();
+  out->funcs_total = r.u32();
   return r.done();
 }
 
@@ -171,6 +184,11 @@ bool to_eval_result(const WireResult& w, verify::EvalResult* out) {
   out->predecode_ns = w.predecode_ns;
   out->run_ns = w.run_ns;
   out->verify_ns = w.verify_ns;
+  out->image_cache_hit = w.image_cache_hit != 0;
+  out->patch_saved_ns = w.patch_saved_ns;
+  out->predecode_saved_ns = w.predecode_saved_ns;
+  out->funcs_reused = w.funcs_reused;
+  out->funcs_total = w.funcs_total;
   return true;
 }
 
@@ -185,6 +203,11 @@ WireResult from_eval_result(const verify::EvalResult& r) {
   w.predecode_ns = r.predecode_ns;
   w.run_ns = r.run_ns;
   w.verify_ns = r.verify_ns;
+  w.image_cache_hit = r.image_cache_hit ? 1 : 0;
+  w.patch_saved_ns = r.patch_saved_ns;
+  w.predecode_saved_ns = r.predecode_saved_ns;
+  w.funcs_reused = r.funcs_reused;
+  w.funcs_total = r.funcs_total;
   return w;
 }
 

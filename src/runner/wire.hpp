@@ -71,12 +71,22 @@ class WireReader {
 
 // ---- Trial request (driver -> worker) -------------------------------------
 
+/// Request opcodes: how `config_key` is to be interpreted.
+constexpr std::uint8_t kReqFull = 1;   // full canonical_key serialization
+constexpr std::uint8_t kReqDelta = 2;  // delta script against the worker's
+                                       // session base config (see
+                                       // PrecisionConfig::apply_delta)
+
 struct TrialRequest {
+  std::uint8_t opcode = kReqFull;
   std::string key;         // config digest (journal identity, injector key)
   std::uint32_t exec_index = 0;  // per-config execution counter; the fault
                                  // injector's attempt index, so crash
                                  // retries draw fresh faults
-  std::string config_key;  // PrecisionConfig::canonical_key serialization
+  std::string config_key;  // full canonical key (kReqFull) or delta script
+                           // against the session base (kReqDelta). Either
+                           // way the decoded config becomes the worker's
+                           // new session base.
 };
 
 std::string encode_request(const TrialRequest& req);
@@ -96,6 +106,12 @@ struct WireResult {
   std::uint64_t predecode_ns = 0;
   std::uint64_t run_ns = 0;
   std::uint64_t verify_ns = 0;
+  // Incremental-pipeline accounting (mirrors verify::EvalResult).
+  std::uint8_t image_cache_hit = 0;
+  std::uint64_t patch_saved_ns = 0;
+  std::uint64_t predecode_saved_ns = 0;
+  std::uint32_t funcs_reused = 0;
+  std::uint32_t funcs_total = 0;
 };
 
 std::string encode_result(const WireResult& r);

@@ -35,6 +35,13 @@ struct WorkerPool::Slot {
   std::uint64_t deadline_at = 0;  // steady ns; 0 = no supervisor timeout
   bool term_sent = false;
   std::uint64_t kill_at = 0;  // TERM grace expiry once term_sent
+  /// Driver-side mirror of the worker's delta session base: the last config
+  /// this worker successfully received. Reset on every (re)spawn -- a fresh
+  /// worker has no base, so the first request after a respawn is always a
+  /// full frame.
+  bool has_base = false;
+  config::PrecisionConfig base;
+  std::size_t stats_index = 0;  // index into PoolStats::slots
 };
 
 WorkerPool::WorkerPool(const WorkerContext& ctx, const PoolOptions& opts)
@@ -43,9 +50,16 @@ WorkerPool::WorkerPool(const WorkerContext& ctx, const PoolOptions& opts)
 WorkerPool::~WorkerPool() = default;
 
 bool WorkerPool::spawn_slot(Slot* slot, bool respawn) {
+  // The fresh worker has no session base; delta requests would desync.
+  slot->has_base = false;
   if (!slot->worker.spawn(ctx_, opts_.limits)) return false;
   ++stats_.workers_spawned;
-  if (respawn) ++stats_.workers_respawned;
+  if (respawn) {
+    ++stats_.workers_respawned;
+    if (slot->stats_index < stats_.slots.size()) {
+      ++stats_.slots[slot->stats_index].respawns;
+    }
+  }
   return true;
 }
 
@@ -62,10 +76,12 @@ bool WorkerPool::start() {
   const int want = std::max(1, opts_.workers);
   for (int i = 0; i < want; ++i) {
     auto slot = std::make_unique<Slot>();
+    slot->stats_index = slots_.size();
     if (spawn_slot(slot.get(), /*respawn=*/false)) {
       slots_.push_back(std::move(slot));
     }
   }
+  stats_.slots.resize(slots_.size());
   started_ = !slots_.empty();
   return started_;
 }
@@ -118,11 +134,18 @@ std::vector<TrialOutcome> WorkerPool::run_batch(
     finish(j, std::move(result), /*quarantined=*/false);
   };
 
+  const auto slot_stats = [&](const Slot& s) -> SlotStats* {
+    return s.stats_index < stats_.slots.size() ? &stats_.slots[s.stats_index]
+                                               : nullptr;
+  };
+
   // A fault event (death / resource verdict / protocol error): retry the
   // trial with a fresh injector draw, or trip the per-config breaker.
-  const auto fault_event = [&](std::size_t j, const std::string& detail) {
+  const auto fault_event = [&](std::size_t j, const Slot& s,
+                               const std::string& detail) {
     ++deaths[j];
     if (record_fault_event(jobs[j].key)) {
+      if (SlotStats* ss = slot_stats(s)) ++ss->quarantines;
       verify::EvalResult er;
       er.passed = false;
       er.failure_class = verify::FailureClass::kCrash;
@@ -146,6 +169,7 @@ std::vector<TrialOutcome> WorkerPool::run_batch(
   // failed send). Harmless when the child is already gone.
   const auto kill_and_reap = [](Slot& s) {
     s.worker.send_sigkill();
+    s.has_base = false;
     Worker::Death death;
     s.worker.reap(&death, /*block=*/true);
     return death;
@@ -164,7 +188,8 @@ std::vector<TrialOutcome> WorkerPool::run_batch(
         kill_and_reap(s);
         note_death();
         s.busy = false;
-        fault_event(j, "malformed result payload from worker");
+        if (SlotStats* ss = slot_stats(s)) ++ss->crashes;
+        fault_event(j, s, "malformed result payload from worker");
         return;
       }
       s.busy = false;
@@ -173,7 +198,7 @@ std::vector<TrialOutcome> WorkerPool::run_batch(
         // fresh attempt, then the breaker.
         ++stats_.resource_retries;
         consecutive_deaths_ = 0;  // the worker survived and spoke
-        fault_event(j, er.failure);
+        fault_event(j, s, er.failure);
         return;
       }
       deliver_verdict(j, std::move(er));
@@ -184,7 +209,8 @@ std::vector<TrialOutcome> WorkerPool::run_batch(
       kill_and_reap(s);
       note_death();
       s.busy = false;
-      fault_event(j, "corrupt or truncated result frame");
+      if (SlotStats* ss = slot_stats(s)) ++ss->crashes;
+      fault_event(j, s, "corrupt or truncated result frame");
       return;
     }
     // kNeedMore: either nothing complete yet, or EOF with no frame.
@@ -192,10 +218,12 @@ std::vector<TrialOutcome> WorkerPool::run_batch(
     Worker::Death death;
     s.worker.reap(&death, /*block=*/true);
     s.busy = false;
+    s.has_base = false;
     if (s.term_sent) {
       // The supervisor killed it for exceeding the trial deadline: a
       // voting kTimeout verdict, same as the in-process deadline path.
       ++stats_.timeouts_killed;
+      if (SlotStats* ss = slot_stats(s)) ++ss->timeouts;
       verify::EvalResult er;
       er.passed = false;
       er.failure_class = verify::FailureClass::kTimeout;
@@ -215,8 +243,9 @@ std::vector<TrialOutcome> WorkerPool::run_batch(
       ++stats_.crashes_by_signal[strformat("exit:%d", death.exit_code)];
     }
     if (cls == verify::FailureClass::kResource) ++stats_.resource_retries;
+    if (SlotStats* ss = slot_stats(s)) ++ss->crashes;
     note_death();
-    fault_event(j, detail);
+    fault_event(j, s, detail);
   };
 
   while (completed < jobs.size() && !stats_.crash_storm) {
@@ -255,7 +284,22 @@ std::vector<TrialOutcome> WorkerPool::run_batch(
       TrialRequest req;
       req.key = job.key;
       req.exec_index = exec_counter_[job.key]++;
-      req.config_key = job.config->canonical_key();
+      // Adaptive config encoding: ship the delta against this worker's
+      // session base when it is strictly smaller than the full canonical
+      // key; otherwise fall back to a full frame (which also re-anchors
+      // the session after large jumps).
+      std::string full = job.config->canonical_key();
+      if (s.has_base) {
+        std::string delta = job.config->encode_delta_from(s.base);
+        if (delta.size() < full.size()) {
+          req.opcode = kReqDelta;
+          req.config_key = std::move(delta);
+        }
+      }
+      if (req.opcode != kReqDelta) {
+        req.opcode = kReqFull;
+        req.config_key = std::move(full);
+      }
       if (first_dispatch[j] == 0) first_dispatch[j] = now_ns();
       ++stats_.isolated_trials;
       if (!s.worker.send_request(req)) {
@@ -263,10 +307,25 @@ std::vector<TrialOutcome> WorkerPool::run_batch(
         std::string detail;
         classify_death(death, &detail);
         ++stats_.worker_crashes;
+        if (SlotStats* ss = slot_stats(s)) ++ss->crashes;
         note_death();
-        fault_event(j, strformat("request pipe broken (%s)", detail.c_str()));
+        fault_event(j, s,
+                    strformat("request pipe broken (%s)", detail.c_str()));
         continue;
       }
+      // The worker advances its session base on every request it decodes;
+      // mirror that here. If it dies before decoding, the respawn resets
+      // both sides.
+      s.base = *job.config;
+      s.has_base = true;
+      if (req.opcode == kReqDelta) {
+        ++stats_.delta_requests;
+        stats_.delta_bytes += req.config_key.size();
+      } else {
+        ++stats_.full_requests;
+        stats_.full_bytes += req.config_key.size();
+      }
+      if (SlotStats* ss = slot_stats(s)) ++ss->requests;
       s.busy = true;
       s.job_index = j;
       s.term_sent = false;

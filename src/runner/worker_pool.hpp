@@ -52,6 +52,16 @@ struct PoolOptions {
   RlimitSpec limits;
 };
 
+/// Per-worker-slot census (slot = one seat in the pool; the worker process
+/// occupying it may be respawned many times).
+struct SlotStats {
+  std::uint64_t requests = 0;     // trial requests successfully sent
+  std::uint64_t respawns = 0;     // worker processes respawned into the slot
+  std::uint64_t crashes = 0;      // non-supervisor deaths observed
+  std::uint64_t timeouts = 0;     // supervisor deadline kills
+  std::uint64_t quarantines = 0;  // per-config breakers tripped on this slot
+};
+
 struct PoolStats {
   std::uint64_t workers_spawned = 0;
   std::uint64_t workers_respawned = 0;
@@ -70,6 +80,14 @@ struct PoolStats {
   /// Death census by signal name ("SIGSEGV" -> 17), plus "exit:<N>" for
   /// nonzero exits.
   std::map<std::string, std::uint64_t> crashes_by_signal;
+  /// Delta-encoded config shipping (see wire.hpp kReqDelta): requests sent
+  /// in each form and their config-payload bytes.
+  std::uint64_t delta_requests = 0;
+  std::uint64_t full_requests = 0;
+  std::uint64_t delta_bytes = 0;
+  std::uint64_t full_bytes = 0;
+  /// One entry per pool slot.
+  std::vector<SlotStats> slots;
 };
 
 /// One trial to execute: the journal key identifying it and the config.

@@ -13,6 +13,7 @@
 #include "support/strings.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
+#include "verify/trial_builder.hpp"
 #include "vm/machine.hpp"
 
 namespace fpmix::search {
@@ -154,6 +155,7 @@ class Searcher {
   SearchResult run() {
     setup_journal();
     profile_original();
+    setup_builder();
     setup_pool();
     seed_queue();
 
@@ -263,6 +265,15 @@ class Searcher {
       for (const auto& [sig, n] : ps.crashes_by_signal) {
         metrics_.crashes_by_signal[sig] = n;
       }
+      metrics_.delta_requests = ps.delta_requests;
+      metrics_.full_requests = ps.full_requests;
+      metrics_.delta_bytes = ps.delta_bytes;
+      metrics_.full_bytes = ps.full_bytes;
+      for (const runner::SlotStats& ss : ps.slots) {
+        metrics_.worker_slots.push_back(WorkerSlotMetrics{
+            ss.requests, ss.respawns, ss.crashes, ss.timeouts,
+            ss.quarantines});
+      }
     }
     out.metrics = metrics_;
     if (options_.progress_log) {
@@ -343,7 +354,63 @@ class Searcher {
     std::uint64_t eval_ns = 0;
     std::uint32_t attempts = 1;  // evaluations spent (retry policy)
     bool mixed_votes = false;    // attempts disagreed -> quarantine
+
+    // Stage/cache accounting summed over *every* attempt via note_attempt
+    // (t->result only keeps the last one); commit_trial folds these into
+    // the metrics.
+    std::uint64_t patch_ns = 0;
+    std::uint64_t predecode_ns = 0;
+    std::uint64_t run_ns = 0;
+    std::uint64_t verify_ns = 0;
+    std::uint64_t patch_saved_ns = 0;
+    std::uint64_t predecode_saved_ns = 0;
+    std::size_t funcs_reused = 0;
+    std::size_t funcs_patched = 0;
+    std::size_t image_hits = 0;
+    std::size_t image_misses = 0;
   };
+
+  /// Folds one evaluation attempt's stage costs and incremental-pipeline
+  /// accounting into the trial's accumulators. The single bookkeeping path
+  /// for both engines: evaluate_live calls it per in-process attempt,
+  /// evaluate_isolated per worker-delivered result.
+  static void note_attempt(Trial* t) {
+    const verify::EvalResult& r = t->result;
+    t->patch_ns += r.patch_ns;
+    t->predecode_ns += r.predecode_ns;
+    t->run_ns += r.run_ns;
+    t->verify_ns += r.verify_ns;
+    t->patch_saved_ns += r.patch_saved_ns;
+    t->predecode_saved_ns += r.predecode_saved_ns;
+    // funcs_total == 0 means the attempt never reached a TrialBuilder
+    // (legacy path, synthetic breaker/storm verdicts): no cache traffic.
+    if (r.funcs_total > 0) {
+      if (r.image_cache_hit) {
+        ++t->image_hits;
+      } else {
+        ++t->image_misses;
+      }
+      t->funcs_reused += r.funcs_reused;
+      t->funcs_patched += r.funcs_total - r.funcs_reused;
+    }
+  }
+
+  /// Settles the vote: majority verdict, ties failing (a config that
+  /// cannot be trusted to pass must not enter the final composition).
+  /// Shared by the in-process and isolated paths.
+  static void apply_majority_verdict(Trial* t, std::uint32_t passes,
+                                     std::uint32_t fails) {
+    const bool verdict = passes > fails;
+    if (verdict == t->result.passed) return;
+    t->result.passed = verdict;
+    if (verdict) {
+      t->result.failure_class = verify::FailureClass::kNone;
+      t->result.failure.clear();
+    } else if (t->result.failure_class == verify::FailureClass::kNone) {
+      t->result.failure_class = verify::FailureClass::kDivergence;
+      t->result.failure = "verification failed (majority vote)";
+    }
+  }
 
   void setup_journal() {
     std::string fault_tag = options_.fault_injector != nullptr
@@ -380,6 +447,11 @@ class Searcher {
     journal_.append_sealed(encode_meta_line(search_fp_));
   }
 
+  void setup_builder() {
+    if (!options_.image_cache) return;
+    builder_ = std::make_unique<verify::TrialBuilder>(original_, ix_);
+  }
+
   void setup_pool() {
     if (!options_.isolate_trials) return;
     if (!runner::isolation_supported()) {
@@ -395,6 +467,10 @@ class Searcher {
     ctx.eval.max_instructions = options_.max_instructions_per_run;
     ctx.eval.profile = false;
     ctx.eval.deadline_ns = options_.deadline_ms * 1000000ull;
+    // Forked workers inherit the builder's warm caches (copy-on-write) and
+    // keep their private copies hot across requests for the worker's
+    // lifetime; each respawn starts from the driver's state at fork time.
+    ctx.eval.builder = builder_.get();
     ctx.injector = options_.fault_injector;
 
     runner::PoolOptions popts;
@@ -450,6 +526,7 @@ class Searcher {
         Vote& v = votes[i];
         t->result = outs[j].result;
         t->eval_ns += outs[j].wall_ns;
+        note_attempt(t);
         if (outs[j].quarantined ||
             t->result.failure_class == verify::FailureClass::kInternalError) {
           // Breaker verdict or crash storm: final, outside the vote.
@@ -478,17 +555,7 @@ class Searcher {
       }
       t->attempts = std::max<std::uint32_t>(1, v.passes + v.fails);
       t->mixed_votes = v.passes > 0 && v.fails > 0;
-      const bool verdict = v.passes > v.fails;
-      if (verdict != t->result.passed) {
-        t->result.passed = verdict;
-        if (verdict) {
-          t->result.failure_class = verify::FailureClass::kNone;
-          t->result.failure.clear();
-        } else if (t->result.failure_class == verify::FailureClass::kNone) {
-          t->result.failure_class = verify::FailureClass::kDivergence;
-          t->result.failure = "verification failed (majority vote)";
-        }
-      }
+      apply_majority_verdict(t, v.passes, v.fails);
     }
   }
 
@@ -522,6 +589,7 @@ class Searcher {
     // from profile_original(), so the VM can take its non-profiling loop.
     eopts.profile = false;
     eopts.deadline_ns = options_.deadline_ms * 1000000ull;
+    eopts.builder = builder_.get();
 
     const std::uint32_t max_attempts = 1 + options_.max_retries;
     std::uint32_t passes = 0;
@@ -535,6 +603,7 @@ class Searcher {
       }
       t->result =
           verify::evaluate_config(original_, ix_, t->cfg, verifier_, eopts);
+      note_attempt(t);
       if (t->result.passed) {
         ++passes;
       } else {
@@ -545,20 +614,7 @@ class Searcher {
     t->eval_ns = timer.elapsed_ns();
     t->attempts = passes + fails;
     t->mixed_votes = passes > 0 && fails > 0;
-
-    // Majority verdict, ties failing (a config that cannot be trusted to
-    // pass must not enter the final composition).
-    const bool verdict = passes > fails;
-    if (verdict != t->result.passed) {
-      t->result.passed = verdict;
-      if (verdict) {
-        t->result.failure_class = verify::FailureClass::kNone;
-        t->result.failure.clear();
-      } else if (t->result.failure_class == verify::FailureClass::kNone) {
-        t->result.failure_class = verify::FailureClass::kDivergence;
-        t->result.failure = "verification failed (majority vote)";
-      }
-    }
+    apply_majority_verdict(t, passes, fails);
   }
 
   /// Cache-aware evaluation of a composed configuration (final union and
@@ -601,14 +657,23 @@ class Searcher {
       const double secs = 1e-9 * static_cast<double>(t->eval_ns);
       metrics_.eval_seconds += secs;
       metrics_.eval_seconds_per_level[level] += secs;
-      metrics_.patch_seconds += 1e-9 * static_cast<double>(t->result.patch_ns);
+      metrics_.patch_seconds += 1e-9 * static_cast<double>(t->patch_ns);
       metrics_.predecode_seconds +=
-          1e-9 * static_cast<double>(t->result.predecode_ns);
-      metrics_.run_seconds += 1e-9 * static_cast<double>(t->result.run_ns);
-      metrics_.verify_seconds +=
-          1e-9 * static_cast<double>(t->result.verify_ns);
+          1e-9 * static_cast<double>(t->predecode_ns);
+      metrics_.run_seconds += 1e-9 * static_cast<double>(t->run_ns);
+      metrics_.verify_seconds += 1e-9 * static_cast<double>(t->verify_ns);
+      metrics_.patch_saved_seconds +=
+          1e-9 * static_cast<double>(t->patch_saved_ns);
+      metrics_.predecode_saved_seconds +=
+          1e-9 * static_cast<double>(t->predecode_saved_ns);
+      metrics_.image_cache_hits += t->image_hits;
+      metrics_.image_cache_misses += t->image_misses;
+      metrics_.funcs_reused += t->funcs_reused;
+      metrics_.funcs_patched += t->funcs_patched;
       CachedTrial entry{t->result.passed, t->result.failure_class,
-                        t->result.failure, t->eval_ns};
+                        t->result.failure, t->eval_ns,
+                        t->patch_saved_ns + t->predecode_saved_ns,
+                        t->image_hits > 0};
       if (journal_.is_open()) {
         journal_.append_sealed(
             encode_trial_line(t->key, name, candidates, entry));
@@ -799,6 +864,10 @@ class Searcher {
   std::string search_fp_;
   SearchMetrics metrics_;
   Timer wall_timer_;
+  /// Shared patch+predecode front end (image_cache option). Declared
+  /// before pool_ so the pool (whose workers hold a pointer to it through
+  /// WorkerContext) is destroyed first.
+  std::unique_ptr<verify::TrialBuilder> builder_;
   std::unique_ptr<runner::WorkerPool> pool_;  // isolate mode only
   std::size_t pool_workers_ = 1;
 };

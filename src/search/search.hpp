@@ -112,6 +112,15 @@ struct SearchOptions {
   /// set (a crashing fleet is exactly when the journal must survive).
   bool journal_fsync = false;
 
+  // ---- Incremental trial pipeline ------------------------------------------
+  /// Reuse patch + predecode work across trials through a shared
+  /// verify::TrialBuilder: per-function micro-op variant caching, spliced
+  /// segment predecode, and an LRU of whole built images -- used by the
+  /// in-process path and inherited by each long-lived sandboxed worker.
+  /// Never changes results (incremental builds are bit-identical to
+  /// from-scratch builds); disable only for A/B benchmarking.
+  bool image_cache = true;
+
   // ---- Observability -------------------------------------------------------
   /// Emit progress lines (trials/sec, cache hit rate, queue depth, ETA)
   /// through support/log at info level while the search runs.
@@ -129,6 +138,16 @@ struct TestRecord {
   bool cached = false;       // served from the trial cache, not evaluated
   std::uint64_t eval_ns = 0; // live evaluation wall time (0 when cached)
   std::string failure;       // trap/verification detail when failed
+};
+
+/// Per-worker-slot supervision census (isolate mode): one seat in the pool,
+/// across however many worker processes occupied it.
+struct WorkerSlotMetrics {
+  std::size_t requests = 0;     // trial requests successfully sent
+  std::size_t respawns = 0;     // worker processes respawned into the slot
+  std::size_t crashes = 0;      // non-supervisor deaths observed
+  std::size_t timeouts = 0;     // supervisor deadline kills
+  std::size_t quarantines = 0;  // per-config breakers tripped on this slot
 };
 
 /// Throughput and cache statistics of one run_search call.
@@ -151,6 +170,19 @@ struct SearchMetrics {
   double predecode_seconds = 0.0;
   double run_seconds = 0.0;
   double verify_seconds = 0.0;
+
+  // ---- Incremental trial pipeline -----------------------------------------
+  /// Whole-image cache hits/misses across live evaluation attempts, summed
+  /// over both engines (sandboxed workers report theirs over the wire).
+  std::size_t image_cache_hits = 0;
+  std::size_t image_cache_misses = 0;
+  /// Estimated patch/predecode seconds avoided relative to a cold build.
+  double patch_saved_seconds = 0.0;
+  double predecode_saved_seconds = 0.0;
+  /// Function-granularity reuse: segments spliced unchanged from the
+  /// variant cache vs. re-lowered from scratch.
+  std::size_t funcs_reused = 0;
+  std::size_t funcs_patched = 0;
 
   // ---- Failure taxonomy and supervision -----------------------------------
   /// Failed trials by failure_class_name ("trap", "sentinel-escape",
@@ -190,6 +222,14 @@ struct SearchMetrics {
   /// isolate_trials was requested but fork is unavailable (or no worker
   /// could be spawned); the search ran in-process instead.
   bool isolation_degraded = false;
+  /// Config frames shipped delta-encoded against each worker's session
+  /// base config vs. as full canonical keys, with their payload bytes.
+  std::size_t delta_requests = 0;
+  std::size_t full_requests = 0;
+  std::size_t delta_bytes = 0;
+  std::size_t full_bytes = 0;
+  /// One entry per worker slot (isolate mode only).
+  std::vector<WorkerSlotMetrics> worker_slots;
 };
 
 struct SearchResult {

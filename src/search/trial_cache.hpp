@@ -42,6 +42,12 @@ struct CachedTrial {
   verify::FailureClass failure_class = verify::FailureClass::kNone;
   std::string failure;
   std::uint64_t eval_ns = 0;  // live evaluation cost when first computed
+  /// Incremental-pipeline accounting when first computed: estimated
+  /// patch+predecode ns avoided vs. a cold build, and whether any attempt
+  /// was served whole from the image cache. Informational (journal
+  /// analysis); the search's decision procedure never reads them.
+  std::uint64_t saved_ns = 0;
+  bool image_cache_hit = false;
 };
 
 /// In-memory index of completed trials, keyed on the config digest.

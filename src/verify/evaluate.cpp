@@ -3,6 +3,7 @@
 #include "support/error.hpp"
 #include "support/strings.hpp"
 #include "support/timer.hpp"
+#include "verify/trial_builder.hpp"
 
 namespace fpmix::verify {
 
@@ -88,13 +89,27 @@ EvalResult evaluate_config(const program::Image& original,
   // memory, ...) are a trial outcome, not a search abort: the paper's
   // premise is that a failed trial is ordinary data.
   try {
-    program::Image patched =
-        instrument::instrument_image(original, index, cfg, &result.stats);
-    result.patch_ns = timer.elapsed_ns();
+    std::shared_ptr<const vm::ExecutableImage> exec;
+    if (options.builder != nullptr) {
+      TrialBuilder::Built built = options.builder->build(cfg);
+      exec = std::move(built.exec);
+      result.stats = built.stats;
+      result.patch_ns = built.patch_ns;
+      result.predecode_ns = built.predecode_ns;
+      result.image_cache_hit = built.cache_hit;
+      result.patch_saved_ns = built.patch_saved_ns;
+      result.predecode_saved_ns = built.predecode_saved_ns;
+      result.funcs_reused = built.funcs_reused;
+      result.funcs_total = built.funcs_total;
+    } else {
+      program::Image patched =
+          instrument::instrument_image(original, index, cfg, &result.stats);
+      result.patch_ns = timer.elapsed_ns();
 
-    timer.reset();
-    const auto exec = vm::ExecutableImage::build(std::move(patched));
-    result.predecode_ns = timer.elapsed_ns();
+      timer.reset();
+      exec = vm::ExecutableImage::build(std::move(patched));
+      result.predecode_ns = timer.elapsed_ns();
+    }
 
     vm::Machine::Options mopts;
     mopts.max_instructions = options.max_instructions;

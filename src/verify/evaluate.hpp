@@ -14,6 +14,8 @@
 
 namespace fpmix::verify {
 
+class TrialBuilder;
+
 struct EvalOptions {
   std::uint64_t max_instructions = 1ull << 32;
   /// Per-instruction execution counts. Pass/fail trials never read them, so
@@ -29,6 +31,11 @@ struct EvalOptions {
   /// Planned faults for this evaluation attempt (fault-injection
   /// campaigns); nullptr evaluates clean.
   const fault::TrialFaults* faults = nullptr;
+  /// Incremental patch+predecode front end (see verify/trial_builder.hpp).
+  /// When set, trial construction reuses per-function variants and whole
+  /// cached images across evaluations; when null, every evaluation builds
+  /// from scratch. Both paths produce bit-identical executables.
+  TrialBuilder* builder = nullptr;
 };
 
 /// Why a trial failed -- the per-trial taxonomy the search aggregates,
@@ -71,6 +78,13 @@ struct EvalResult {
   std::uint64_t predecode_ns = 0;  // ExecutableImage::build of the patch
   std::uint64_t run_ns = 0;        // VM execution
   std::uint64_t verify_ns = 0;     // verifier.verify on the outputs
+
+  // Incremental-pipeline accounting (all zero without EvalOptions::builder).
+  bool image_cache_hit = false;       // whole image served from the LRU
+  std::uint64_t patch_saved_ns = 0;   // estimated vs. the cold baseline
+  std::uint64_t predecode_saved_ns = 0;
+  std::uint32_t funcs_reused = 0;     // functions spliced from the cache
+  std::uint32_t funcs_total = 0;
 };
 
 /// Builds the mixed-precision binary for `cfg` and evaluates it. Crashes,

@@ -5,6 +5,7 @@
 
 #include "arch/encode.hpp"
 #include "arch/opcode.hpp"
+#include "program/layout.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 
@@ -60,7 +61,9 @@ MicroKind int_variant(const Instr& ins, MicroKind rr, MicroKind ri,
   return MicroKind::kFallback;
 }
 
-MicroOp lower(const Instr& ins) {
+}  // namespace
+
+MicroOp lower_instr(const Instr& ins) {
   MicroOp u;
   const auto set = [&u](MicroKind k) {
     u.kind = static_cast<std::uint16_t>(k);
@@ -346,8 +349,6 @@ MicroOp lower(const Instr& ins) {
   return u;
 }
 
-}  // namespace
-
 std::shared_ptr<const ExecutableImage> ExecutableImage::build(
     program::Image image) {
   // shared_ptr<ExecutableImage> first so members stay mutable during
@@ -387,7 +388,152 @@ std::shared_ptr<const ExecutableImage> ExecutableImage::build(
   exec->entry_index_ = entry;
 
   exec->uops_.reserve(exec->code_.size());
-  for (const Instr& ins : exec->code_) exec->uops_.push_back(lower(ins));
+  for (const Instr& ins : exec->code_) {
+    exec->uops_.push_back(lower_instr(ins));
+  }
+  return exec;
+}
+
+std::shared_ptr<const CodeSegment> CodeSegment::build(
+    const program::FuncLayout& layout) {
+  auto seg = std::shared_ptr<CodeSegment>(new CodeSegment);
+  seg->byte_size_ = layout.bytes.size();
+  // Decoding at image base 0 makes every instr addr a local byte offset.
+  seg->code_ = arch::decode_all(layout.bytes, /*image_base=*/0);
+
+  std::unordered_map<std::uint64_t, std::uint32_t> index_of_off;
+  index_of_off.reserve(seg->code_.size() * 2);
+  for (std::size_t i = 0; i < seg->code_.size(); ++i) {
+    index_of_off[seg->code_[i].addr] = static_cast<std::uint32_t>(i);
+  }
+  for (std::size_t i = 0; i < seg->code_.size(); ++i) {
+    Instr& ins = seg->code_[i];
+    const auto& info = arch::opcode_info(ins.op);
+    if (info.is_branch) {
+      const auto target = static_cast<std::uint64_t>(ins.src.imm);
+      if (target == seg->byte_size_) {
+        // Branch to the function's end (an empty trailing block): local
+        // index one-past-the-end, resolved against the NEXT function's
+        // first instruction -- or rejected -- at splice time.
+        ins.src.imm = static_cast<std::int64_t>(seg->code_.size());
+      } else {
+        auto it = index_of_off.find(target);
+        if (it == index_of_off.end()) {
+          throw VmError(strformat(
+              "branch at local offset 0x%llx targets local offset 0x%llx, "
+              "which is not an instruction boundary in its segment",
+              static_cast<unsigned long long>(ins.addr),
+              static_cast<unsigned long long>(target)));
+        }
+        ins.src.imm = it->second;
+      }
+      seg->branch_sites_.push_back(static_cast<std::uint32_t>(i));
+    } else if (info.is_call) {
+      // imm stays the callee function index until splice time.
+      seg->call_sites_.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  seg->uops_.reserve(seg->code_.size());
+  for (const Instr& ins : seg->code_) {
+    seg->uops_.push_back(lower_instr(ins));
+  }
+  return seg;
+}
+
+std::shared_ptr<const ExecutableImage> ExecutableImage::build_spliced(
+    program::Image image,
+    const std::vector<std::shared_ptr<const CodeSegment>>& segments) {
+  auto exec = std::shared_ptr<ExecutableImage>(new ExecutableImage);
+  exec->image_ = std::move(image);
+  exec->image_.validate();
+
+  const std::size_t n = segments.size();
+  std::vector<std::uint64_t> seg_addr(n);
+  std::vector<std::size_t> instr_base(n + 1);
+  std::uint64_t pc = exec->image_.code_base;
+  std::size_t total = 0;
+  for (std::size_t f = 0; f < n; ++f) {
+    seg_addr[f] = pc;
+    instr_base[f] = total;
+    pc += segments[f]->byte_size_;
+    total += segments[f]->code_.size();
+  }
+  instr_base[n] = total;
+  if (pc - exec->image_.code_base != exec->image_.code.size()) {
+    throw VmError("spliced segments do not cover the image's code section");
+  }
+  if (total == 0) throw VmError("image has no code");
+
+  exec->code_.reserve(total);
+  exec->uops_.reserve(total);
+  exec->index_of_addr_.reserve(total * 2);
+  for (std::size_t f = 0; f < n; ++f) {
+    const CodeSegment& seg = *segments[f];
+    const std::uint64_t base = seg_addr[f];
+    exec->code_.insert(exec->code_.end(), seg.code_.begin(),
+                       seg.code_.end());
+    exec->uops_.insert(exec->uops_.end(), seg.uops_.begin(),
+                       seg.uops_.end());
+    for (std::size_t i = instr_base[f]; i < instr_base[f + 1]; ++i) {
+      Instr& ins = exec->code_[i];
+      ins.addr += base;
+      exec->index_of_addr_[ins.addr] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  // Control-transfer fixups. Targets are read from the pristine segment
+  // data (the copies above were already rebased), and the out-of-range
+  // errors reconstruct the absolute target address so the message matches
+  // build()'s byte-for-byte.
+  for (std::size_t f = 0; f < n; ++f) {
+    const CodeSegment& seg = *segments[f];
+    const std::uint64_t base = seg_addr[f];
+    const std::size_t ibase = instr_base[f];
+    for (std::uint32_t site : seg.branch_sites_) {
+      const auto local = static_cast<std::size_t>(seg.code_[site].src.imm);
+      const std::size_t global = ibase + local;
+      if (global >= total) {
+        const std::uint64_t target =
+            base + (local == seg.code_.size() ? seg.byte_size_
+                                              : seg.code_[local].addr);
+        throw VmError(strformat(
+            "control transfer at 0x%llx targets 0x%llx, which is not an "
+            "instruction boundary",
+            static_cast<unsigned long long>(base + seg.code_[site].addr),
+            static_cast<unsigned long long>(target)));
+      }
+      exec->code_[ibase + site].src.imm = static_cast<std::int64_t>(global);
+      exec->uops_[ibase + site].imm = static_cast<std::int64_t>(global);
+    }
+    for (std::uint32_t site : seg.call_sites_) {
+      const auto callee = static_cast<std::size_t>(seg.code_[site].src.imm);
+      FPMIX_CHECK(callee < n);
+      const std::size_t global = instr_base[callee];
+      if (global >= total) {
+        // Callee (and every function after it) is empty: its address is not
+        // an instruction boundary, exactly as build() would discover.
+        throw VmError(strformat(
+            "control transfer at 0x%llx targets 0x%llx, which is not an "
+            "instruction boundary",
+            static_cast<unsigned long long>(base + seg.code_[site].addr),
+            static_cast<unsigned long long>(seg_addr[callee])));
+      }
+      exec->code_[ibase + site].src.imm = static_cast<std::int64_t>(global);
+      MicroOp& u = exec->uops_[ibase + site];
+      u.imm = static_cast<std::int64_t>(global);
+      u.aux += base;  // local return offset -> absolute return address
+    }
+  }
+
+  const std::size_t entry = exec->index_of(exec->image_.entry);
+  if (entry == kNoIndex) {
+    throw VmError(strformat(
+        "entry point 0x%llx is not an instruction boundary",
+        static_cast<unsigned long long>(exec->image_.entry)));
+  }
+  exec->entry_index_ = entry;
+  exec->segments_ = segments;
+  exec->segment_first_index_ = std::move(instr_base);
   return exec;
 }
 

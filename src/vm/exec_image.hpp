@@ -29,6 +29,10 @@
 #include "arch/instr.hpp"
 #include "program/image.hpp"
 
+namespace fpmix::program {
+struct FuncLayout;
+}  // namespace fpmix::program
+
 namespace fpmix::vm {
 
 /// Handler selector: one enumerator per specialized (opcode x operand
@@ -101,6 +105,43 @@ struct MicroOp {
 };
 static_assert(sizeof(MicroOp) == 32);
 
+/// Lowers one decoded instruction to its micro-op (always 1:1; lowering
+/// never fails). The branch/call immediate passes through untouched, so the
+/// caller decides whether it holds a local or a global instruction index.
+MicroOp lower_instr(const arch::Instr& ins);
+
+/// Predecoded, position-independent form of ONE function's code: the
+/// decoded instructions and lowered micro-ops of a FuncLayout, with control
+/// transfers kept in local form (branch imm = instruction index *within the
+/// segment*, or one-past-the-end for a branch to the function's end; call
+/// imm = callee *function index*; call aux = local return offset; instr
+/// addr = local byte offset). Immutable and shared: the incremental patcher
+/// caches segments per (function, precision signature) and
+/// ExecutableImage::build_spliced rebases any mix of them into a full
+/// image without re-decoding or re-lowering.
+class CodeSegment {
+ public:
+  /// Decodes and lowers `layout`. Throws VmError if a branch relocation
+  /// does not land on an instruction boundary within the segment.
+  static std::shared_ptr<const CodeSegment> build(
+      const program::FuncLayout& layout);
+
+  std::size_t instruction_count() const { return code_.size(); }
+  std::size_t byte_size() const { return byte_size_; }
+
+ private:
+  friend class ExecutableImage;
+  CodeSegment() = default;
+
+  std::vector<arch::Instr> code_;
+  std::vector<MicroOp> uops_;
+  /// Instruction indices whose imm needs `+ first instruction index of this
+  /// segment` (branches) or resolution through the callee's segment (calls).
+  std::vector<std::uint32_t> branch_sites_;
+  std::vector<std::uint32_t> call_sites_;
+  std::size_t byte_size_ = 0;
+};
+
 /// An immutable, shareable execution form of a program::Image: decoded
 /// instructions with control-transfer targets resolved to instruction
 /// indices, the address->index map, and the lowered micro-op stream.
@@ -114,6 +155,17 @@ class ExecutableImage {
   /// transfer targets a non-boundary, or when the entry point is not an
   /// instruction boundary.
   static std::shared_ptr<const ExecutableImage> build(program::Image image);
+
+  /// Splices predecoded per-function segments (one per function, in program
+  /// order, matching `image`'s layout) into a full executable: bulk-copies
+  /// each segment's instructions and micro-ops, rebases addresses, and
+  /// rewrites branch/call immediates to global instruction indices. Produces
+  /// a result indistinguishable from build(std::move(image)) without
+  /// re-decoding or re-lowering unchanged functions. Throws VmError under
+  /// exactly the same conditions (and with the same messages) as build().
+  static std::shared_ptr<const ExecutableImage> build_spliced(
+      program::Image image,
+      const std::vector<std::shared_ptr<const CodeSegment>>& segments);
 
   const program::Image& image() const { return image_; }
 
@@ -132,6 +184,18 @@ class ExecutableImage {
                                       : static_cast<std::size_t>(it->second);
   }
 
+  /// Segments this image was spliced from (empty when built from scratch).
+  /// Holding them keeps the structural sharing alive for diagnostics.
+  const std::vector<std::shared_ptr<const CodeSegment>>& segments() const {
+    return segments_;
+  }
+
+  /// When spliced: global instruction index of each segment's first
+  /// instruction, plus a final total-count entry (size = segments + 1).
+  const std::vector<std::size_t>& segment_first_index() const {
+    return segment_first_index_;
+  }
+
  private:
   ExecutableImage() = default;
 
@@ -140,6 +204,8 @@ class ExecutableImage {
   std::vector<MicroOp> uops_;
   std::unordered_map<std::uint64_t, std::uint32_t> index_of_addr_;
   std::size_t entry_index_ = 0;
+  std::vector<std::shared_ptr<const CodeSegment>> segments_;
+  std::vector<std::size_t> segment_first_index_;
 };
 
 }  // namespace fpmix::vm

@@ -253,5 +253,109 @@ TEST_P(ProgramFuzz, InstrumentationPropertiesHold) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ProgramFuzz, ::testing::Range(0, 6));
 
+// ---------------------------------------------------------------------------
+// 3. Config serialization fuzz: canonical-key and delta round-trips over
+// deep hierarchical configs (flags at every level, ids spanning sixteen
+// orders of binary magnitude).
+
+config::PrecisionConfig random_config(SplitMix64* rng, std::size_t max_flags) {
+  config::PrecisionConfig cfg;
+  const auto precision = [&] {
+    return rng->next_below(2) == 0 ? config::Precision::kDouble
+                                   : config::Precision::kSingle;
+  };
+  const std::size_t n = rng->next_below(max_flags + 1);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t id = static_cast<std::size_t>(
+        rng->next_below(1ull << (1 + rng->next_below(16))));
+    switch (rng->next_below(4)) {
+      case 0: cfg.set_module(id, precision()); break;
+      case 1: cfg.set_func(id, precision()); break;
+      case 2: cfg.set_block(id, precision()); break;
+      default: cfg.set_instr(id, precision()); break;
+    }
+  }
+  return cfg;
+}
+
+/// A plausible search-step neighbour of `base`: a few flags added, changed
+/// or erased at random levels.
+config::PrecisionConfig mutate_config(const config::PrecisionConfig& base,
+                                      SplitMix64* rng) {
+  config::PrecisionConfig cfg = base;
+  const std::size_t edits = 1 + rng->next_below(6);
+  for (std::size_t k = 0; k < edits; ++k) {
+    const std::size_t id = static_cast<std::size_t>(
+        rng->next_below(1ull << (1 + rng->next_below(16))));
+    std::optional<config::Precision> p;
+    if (rng->next_below(3) != 0) {
+      p = rng->next_below(2) == 0 ? config::Precision::kDouble
+                                  : config::Precision::kSingle;
+    }
+    switch (rng->next_below(4)) {
+      case 0: cfg.set_module(id, p); break;
+      case 1: cfg.set_func(id, p); break;
+      case 2: cfg.set_block(id, p); break;
+      default: cfg.set_instr(id, p); break;
+    }
+  }
+  return cfg;
+}
+
+class ConfigFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConfigFuzz, CanonicalKeyRoundTrips) {
+  SplitMix64 rng(0xC0F16 + static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 500; ++trial) {
+    const config::PrecisionConfig cfg = random_config(&rng, 64);
+    const std::string key = cfg.canonical_key();
+    config::PrecisionConfig back;
+    ASSERT_TRUE(config::PrecisionConfig::from_canonical_key(key, &back))
+        << key;
+    ASSERT_EQ(back.canonical_key(), key);
+    ASSERT_EQ(back.stable_hash(), cfg.stable_hash());
+  }
+}
+
+TEST_P(ConfigFuzz, DeltaRoundTrips) {
+  SplitMix64 rng(0xDE17A + static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 500; ++trial) {
+    const config::PrecisionConfig base = random_config(&rng, 48);
+    // Half neighbours (the wire protocol's common case), half unrelated
+    // configs (worst case: the delta rewrites everything).
+    const config::PrecisionConfig target = rng.next_below(2) == 0
+                                               ? mutate_config(base, &rng)
+                                               : random_config(&rng, 48);
+    const std::string delta = target.encode_delta_from(base);
+    config::PrecisionConfig got;
+    ASSERT_TRUE(config::PrecisionConfig::apply_delta(base, delta, &got))
+        << delta;
+    ASSERT_EQ(got.canonical_key(), target.canonical_key()) << delta;
+    if (base.canonical_key() == target.canonical_key()) {
+      ASSERT_TRUE(delta.empty());
+    }
+  }
+}
+
+TEST_P(ConfigFuzz, MalformedDeltasNeverCorrupt) {
+  SplitMix64 rng(0xBAD0 + static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 500; ++trial) {
+    const config::PrecisionConfig base = random_config(&rng, 16);
+    std::string junk(rng.next_below(24), '\0');
+    for (auto& c : junk) c = static_cast<char>(rng.next_u64());
+    config::PrecisionConfig out;
+    // Either rejected or parsed; never crashes, and on success the result
+    // still round-trips through its own canonical key.
+    if (config::PrecisionConfig::apply_delta(base, junk, &out)) {
+      config::PrecisionConfig back;
+      ASSERT_TRUE(config::PrecisionConfig::from_canonical_key(
+          out.canonical_key(), &back));
+      ASSERT_EQ(back.canonical_key(), out.canonical_key());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConfigFuzz, ::testing::Range(0, 4));
+
 }  // namespace
 }  // namespace fpmix

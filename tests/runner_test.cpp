@@ -115,6 +115,11 @@ TEST(Wire, RequestAndResultRoundTrip) {
   er.predecode_ns = 2;
   er.run_ns = 3;
   er.verify_ns = 4;
+  er.image_cache_hit = true;
+  er.patch_saved_ns = 111;
+  er.predecode_saved_ns = 222;
+  er.funcs_reused = 5;
+  er.funcs_total = 9;
   const runner::WireResult w = runner::from_eval_result(er);
   runner::WireResult wback;
   ASSERT_TRUE(runner::decode_result(runner::encode_result(w), &wback));
@@ -126,6 +131,31 @@ TEST(Wire, RequestAndResultRoundTrip) {
   EXPECT_EQ(er2.failure, er.failure);
   EXPECT_EQ(er2.instructions_retired, er.instructions_retired);
   EXPECT_EQ(er2.run_ns, er.run_ns);
+  EXPECT_EQ(er2.image_cache_hit, er.image_cache_hit);
+  EXPECT_EQ(er2.patch_saved_ns, er.patch_saved_ns);
+  EXPECT_EQ(er2.predecode_saved_ns, er.predecode_saved_ns);
+  EXPECT_EQ(er2.funcs_reused, er.funcs_reused);
+  EXPECT_EQ(er2.funcs_total, er.funcs_total);
+}
+
+TEST(Wire, DeltaRequestRoundTripAndOpcodeValidation) {
+  runner::TrialRequest req;
+  req.opcode = runner::kReqDelta;
+  req.key = "cfg-digest-def";
+  req.exec_index = 3;
+  req.config_key = "f3=s;i12=-;";  // delta payload: changed subtree only
+  runner::TrialRequest back;
+  ASSERT_TRUE(runner::decode_request(runner::encode_request(req), &back));
+  EXPECT_EQ(back.opcode, runner::kReqDelta);
+  EXPECT_EQ(back.key, req.key);
+  EXPECT_EQ(back.config_key, req.config_key);
+
+  // Unknown opcodes are a protocol error, not a guess.
+  std::string bad = runner::encode_request(req);
+  bad[0] = 0x7F;
+  EXPECT_FALSE(runner::decode_request(bad, &back));
+  bad[0] = 0;
+  EXPECT_FALSE(runner::decode_request(bad, &back));
 }
 
 TEST(Wire, RejectsOutOfRangeEnums) {

@@ -1,0 +1,187 @@
+// Distributed search scaling: one scheduler against 1/2/4 local
+// runner_serve endpoints vs the in-process path, on the class-W EP
+// analogue.
+//
+// Each fleet row forks N daemon processes (2 sandboxed workers each, the
+// runner_serve default), points one search at them, and reports trial
+// throughput plus per-endpoint utilisation -- the fraction of the run each
+// endpoint's workers spent actually evaluating trials
+// (busy_ns / (wall * workers)). Every row asserts the final configuration
+// is bit-exact against the in-process baseline: distribution buys wall
+// clock, never a different answer (EXPERIMENTS.md section 11).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "config/structure.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "runner/trial_runner.hpp"
+#include "search/search.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace {
+
+using namespace fpmix;
+
+constexpr int kWorkersPerEndpoint = 2;
+constexpr char kBench[] = "ep";
+constexpr char kClass = 'W';
+
+#if defined(__unix__) || defined(__APPLE__)
+
+std::unique_ptr<net::ServedWorkload> serve_factory(const std::string& bench,
+                                                   char cls,
+                                                   std::string* error) {
+  if (bench != kBench || cls != kClass) {
+    if (error != nullptr) *error = "this fleet serves only ep class W";
+    return nullptr;
+  }
+  const kernels::Workload w = kernels::make_ep(cls);
+  auto out = std::make_unique<net::ServedWorkload>();
+  out->image = kernels::build_image(w);
+  out->index = config::StructureIndex::build(program::lift(out->image));
+  out->verifier = kernels::make_verifier(w, out->image);
+  return out;
+}
+
+struct Fleet {
+  std::vector<std::string> endpoints;
+  std::vector<pid_t> pids;
+
+  bool spawn(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      net::Listener listener;
+      std::string error;
+      if (!listener.listen_on("127.0.0.1", 0, &error)) {
+        std::fprintf(stderr, "listen: %s\n", error.c_str());
+        return false;
+      }
+      net::Endpoint ep;
+      ep.port = listener.port();
+      const pid_t pid = ::fork();
+      if (pid == 0) {
+        net::ServerOptions sopts;
+        sopts.workers = kWorkersPerEndpoint;
+        net::RunnerServer server(std::move(listener), serve_factory, sopts);
+        server.serve(nullptr);
+        std::_Exit(0);
+      }
+      endpoints.push_back(ep.str());
+      pids.push_back(pid);
+    }
+    return true;
+  }
+
+  void stop() {
+    for (pid_t pid : pids) {
+      ::kill(pid, SIGKILL);
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+    }
+    pids.clear();
+    endpoints.clear();
+  }
+  ~Fleet() { stop(); }
+};
+
+struct Row {
+  double seconds = 0.0;
+  search::SearchResult result;
+};
+
+Row run_search_row(const search::SearchOptions& opts) {
+  const kernels::Workload w = kernels::make_ep(kClass);
+  const program::Image img = kernels::build_image(w);
+  auto ix = config::StructureIndex::build(program::lift(img));
+  const auto verifier = kernels::make_verifier(w, img);
+  Row row;
+  Timer t;
+  row.result = search::run_search(img, &ix, *verifier, opts);
+  row.seconds = t.elapsed_seconds();
+  return row;
+}
+
+void print_utilisation(const Row& row) {
+  const double wall_ns = row.seconds * 1e9;
+  for (const search::EndpointMetrics& m : row.result.metrics.endpoints_used) {
+    const double util =
+        wall_ns > 0 && m.workers > 0
+            ? 100.0 * static_cast<double>(m.busy_ns) / (wall_ns * m.workers)
+            : 0.0;
+    std::printf("      %-16s %2u workers  %5zu trials  %3zu failover(s)  "
+                "%5.1f%% busy\n",
+                m.address.c_str(), m.workers, m.trials, m.failovers, util);
+  }
+}
+
+#endif  // POSIX
+
+}  // namespace
+
+int main() {
+#if defined(__unix__) || defined(__APPLE__)
+  if (!net::supported() || !runner::isolation_supported()) {
+    std::printf("sockets/fork unsupported on this platform; skipping\n");
+    return 0;
+  }
+
+  std::printf("Distributed search scaling: %s class %c, %d workers per "
+              "endpoint\n",
+              kBench, kClass, kWorkersPerEndpoint);
+
+  // In-process baseline (threads = the widest fleet's lane count).
+  search::SearchOptions base;
+  base.keep_log = false;
+  base.num_threads = 4 * kWorkersPerEndpoint;
+  const Row local = run_search_row(base);
+  const double local_tps =
+      local.seconds > 0 ? local.result.configs_tested / local.seconds : 0.0;
+  std::printf("  %-12s %6zu trials %9.1f/s   (baseline)\n", "in-process",
+              local.result.configs_tested, local_tps);
+  std::fflush(stdout);
+
+  bool all_identical = true;
+  for (const std::size_t n : {1u, 2u, 4u}) {
+    Fleet fleet;
+    if (!fleet.spawn(n)) return 1;
+
+    search::SearchOptions opts;
+    opts.keep_log = false;
+    opts.endpoints = fleet.endpoints;
+    opts.remote_bench = kBench;
+    opts.remote_class = kClass;
+    const Row row = run_search_row(opts);
+    fleet.stop();
+
+    const double tps =
+        row.seconds > 0 ? row.result.configs_tested / row.seconds : 0.0;
+    const bool identical =
+        row.result.final_config == local.result.final_config &&
+        row.result.configs_tested == local.result.configs_tested &&
+        !row.result.metrics.remote_degraded;
+    all_identical = all_identical && identical;
+    std::printf("  %zu endpoint%s %6zu trials %9.1f/s %7.2fx  %s\n", n,
+                n == 1 ? " " : "s", row.result.configs_tested, tps,
+                local_tps > 0 ? tps / local_tps : 0.0,
+                identical ? "identical" : "MISMATCH");
+    print_utilisation(row);
+    std::fflush(stdout);
+  }
+
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: a fleet shape changed the search result\n");
+    return 1;
+  }
+  return 0;
+#else
+  std::printf("sockets/fork unsupported on this platform; skipping\n");
+  return 0;
+#endif
+}

@@ -8,6 +8,8 @@
 //                    [--isolate] [--workers N] [--max-crashes N]
 //                    [--worker-rlimit-as MB] [--fault-seed N]
 //                    [--metrics-json FILE] [--no-image-cache]
+//                    [--connect HOST:PORT,...] [--shard-cache]
+//                    [--journal-deterministic] [--serve PORT]
 //
 // --deadline-ms bounds each trial's wall-clock time (a spinning patched
 // binary is classified "timeout" instead of hanging the search);
@@ -32,9 +34,22 @@
 // variant reuse + warm image caches), rebuilding every trial from scratch.
 // Results are identical either way; the flag exists for A/B benchmarking.
 //
+// --connect dispatches trials to remote runner_serve daemons instead of
+// local execution: trials fan out across the fleet (least-loaded first),
+// endpoints that die mid-trial are failed over, and the search degrades to
+// in-process evaluation if the whole fleet is lost. --shard-cache shares
+// one fleet-wide trial cache across every scheduler connected to the same
+// daemons. --journal-deterministic zeroes per-trial timing fields in the
+// journal so a distributed run's journal is byte-identical to a local
+// run's. --serve PORT skips the search entirely and runs this binary as a
+// runner_serve daemon on 127.0.0.1:PORT (--workers sizes its pool).
+//
 // Exit codes: 0 search completed and the composition verified; 1 search
 // completed but the final composition fails verification; 2 usage error;
 // 3 internal failure (worker crash storm or internal-error trials).
+#include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -43,6 +58,8 @@
 
 #include "config/textio.hpp"
 #include "kernels/workload.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
 #include "program/program.hpp"
 #include "search/search.hpp"
 #include "support/fault.hpp"
@@ -127,6 +144,28 @@ bool write_metrics_json(const std::string& path,
   uint("full_requests", m.full_requests);
   uint("delta_bytes", m.delta_bytes);
   uint("full_bytes", m.full_bytes);
+  uint("remote_trials", m.remote_trials);
+  uint("shard_cache_hits", m.shard_cache_hits);
+  uint("endpoint_failovers", m.endpoint_failovers);
+  uint("endpoint_reconnects", m.endpoint_reconnects);
+  uint("endpoint_disconnects", m.endpoint_disconnects);
+  uint("endpoints_lost", m.endpoints_lost);
+  uint("remote_unserved", m.remote_unserved);
+  boolean("remote_degraded", m.remote_degraded);
+  j += "  \"endpoints\": [";
+  for (std::size_t i = 0; i < m.endpoints_used.size(); ++i) {
+    const search::EndpointMetrics& e = m.endpoints_used[i];
+    std::string esc;
+    json_escape(e.address, &esc);
+    j += strformat(
+        "%s{\"address\": \"%s\", \"workers\": %u, \"trials\": %zu, "
+        "\"cache_hits\": %zu, \"failovers\": %zu, \"reconnects\": %zu, "
+        "\"disconnects\": %zu, \"busy_seconds\": %.6f, \"lost\": %s}",
+        i == 0 ? "" : ", ", esc.c_str(), e.workers, e.trials, e.cache_hits,
+        e.failovers, e.reconnects, e.disconnects,
+        1e-9 * static_cast<double>(e.busy_ns), e.lost ? "true" : "false");
+  }
+  j += "],\n";
   j += "  \"workers\": [";
   for (std::size_t i = 0; i < m.worker_slots.size(); ++i) {
     const search::WorkerSlotMetrics& s = m.worker_slots[i];
@@ -147,10 +186,49 @@ bool write_metrics_json(const std::string& path,
   return f.good();
 }
 
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+/// WorkloadFactory for --serve mode: any NAS analogue this binary can
+/// search, it can also serve.
+std::unique_ptr<net::ServedWorkload> build_served(const std::string& bench,
+                                                  char cls,
+                                                  std::string* error) {
+  kernels::Workload w;
+  if (bench == "ep") w = kernels::make_ep(cls);
+  else if (bench == "cg") w = kernels::make_cg(cls);
+  else if (bench == "ft") w = kernels::make_ft(cls);
+  else if (bench == "mg") w = kernels::make_mg(cls);
+  else if (bench == "bt") w = kernels::make_bt(cls);
+  else if (bench == "lu") w = kernels::make_lu(cls);
+  else if (bench == "sp") w = kernels::make_sp(cls);
+  else if (bench == "amg") w = kernels::make_amg();
+  else {
+    if (error != nullptr) {
+      *error = strformat("unknown benchmark '%s'", bench.c_str());
+    }
+    return nullptr;
+  }
+  auto out = std::make_unique<net::ServedWorkload>();
+  out->image = kernels::build_image(w);
+  out->index = config::StructureIndex::build(program::lift(out->image));
+  out->verifier = kernels::make_verifier(w, out->image);
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string bench = argc > 1 ? argv[1] : "ep";
+  // The benchmark is positional, but flag-only invocations (--serve) have
+  // no positional arguments at all.
+  std::string bench = "ep";
+  int first_flag = 2;
+  if (argc > 1 && argv[1][0] != '-') {
+    bench = argv[1];
+  } else {
+    first_flag = 1;
+  }
   char cls = 'W';
   bool trace = false;
   bool refine = false;
@@ -159,9 +237,11 @@ int main(int argc, char** argv) {
   std::uint64_t fault_seed = 0;
   std::string out_path;
   std::string metrics_path;
+  bool serve_mode = false;
+  std::uint64_t serve_port = 0;
   search::SearchOptions opts;
   opts.keep_log = true;
-  for (int i = 2; i < argc; ++i) {
+  for (int i = first_flag; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace") trace = true;
     else if (arg == "--refine") refine = true;
@@ -226,9 +306,60 @@ int main(int argc, char** argv) {
       }
       opts.max_retries = static_cast<std::uint32_t>(n);
     }
+    else if (arg == "--connect" && i + 1 < argc) {
+      for (std::string_view part : split_fields(argv[++i], ",")) {
+        net::Endpoint ep;
+        if (!net::parse_endpoint(part, &ep)) {
+          std::fprintf(stderr, "bad --connect endpoint '%.*s'\n",
+                       static_cast<int>(part.size()), part.data());
+          return 2;
+        }
+        opts.endpoints.emplace_back(part);
+      }
+    }
+    else if (arg == "--shard-cache") opts.shard_cache = true;
+    else if (arg == "--journal-deterministic") opts.journal_timings = false;
+    else if (arg == "--serve" && i + 1 < argc) {
+      if (!parse_u64(argv[++i], &serve_port) || serve_port > 65535) {
+        std::fprintf(stderr, "bad --serve port '%s'\n", argv[i]);
+        return 2;
+      }
+      serve_mode = true;
+    }
     else if (arg.size() == 1) cls = arg[0];
   }
   opts.refine_composition = refine;
+
+  // --serve: become a runner daemon instead of searching (same daemon core
+  // as the standalone runner_serve binary).
+  if (serve_mode) {
+    if (!net::supported()) {
+      std::fprintf(stderr, "sockets are unsupported on this platform\n");
+      return 3;
+    }
+    net::Listener listener;
+    std::string error;
+    if (!listener.listen_on("127.0.0.1",
+                            static_cast<std::uint16_t>(serve_port), &error)) {
+      std::fprintf(stderr, "cannot listen: %s\n", error.c_str());
+      return 3;
+    }
+    net::ServerOptions sopts;
+    sopts.workers = static_cast<int>(
+        opts.num_workers != 0 ? opts.num_workers
+                              : std::max<std::size_t>(2, opts.num_threads));
+    sopts.verbose = !quiet;
+    if (!quiet) log::set_level(log::Level::kInfo);
+    std::printf("nas_search: serving on 127.0.0.1:%u (%d workers per "
+                "backend)\n",
+                static_cast<unsigned>(listener.port()), sopts.workers);
+    std::fflush(stdout);
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    net::RunnerServer server(std::move(listener), build_served, sopts);
+    server.serve(&g_stop);
+    return 0;
+  }
 
   // The stock hard-fault campaign: process-destroying faults only, so the
   // search's verdicts (and final configuration) stay identical to a clean
@@ -243,9 +374,9 @@ int main(int argc, char** argv) {
     rates.corrupt_result = 0.01;
     injector = std::make_unique<fault::Injector>(fault_seed, rates);
     opts.fault_injector = injector.get();
-    if (!opts.isolate_trials) {
-      std::fprintf(stderr,
-                   "--fault-seed arms hard faults, which need --isolate\n");
+    if (!opts.isolate_trials && opts.endpoints.empty()) {
+      std::fprintf(stderr, "--fault-seed arms hard faults, which need "
+                           "--isolate or --connect\n");
       return 2;
     }
   }
@@ -269,6 +400,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown benchmark '%s'\n", bench.c_str());
     return 2;
   }
+
+  // The handshake re-announces the workload by name; the daemons build the
+  // identical image and verifier on their side.
+  opts.remote_bench = bench;
+  opts.remote_class = cls;
 
   std::printf("searching %s ...\n", w.name.c_str());
   const program::Image img = kernels::build_image(w);
@@ -357,6 +493,23 @@ int main(int argc, char** argv) {
     }
     if (m.crash_storm) {
       std::printf("ERROR: worker crash storm; search results incomplete\n");
+    }
+  }
+  if (!opts.endpoints.empty()) {
+    std::printf("distributed: %zu remote trial(s), %zu shard-cache hit(s), "
+                "%zu failover(s), %zu reconnect(s), %zu endpoint(s) lost, "
+                "%zu unserved\n",
+                m.remote_trials, m.shard_cache_hits, m.endpoint_failovers,
+                m.endpoint_reconnects, m.endpoints_lost, m.remote_unserved);
+    for (const search::EndpointMetrics& em : m.endpoints_used) {
+      std::printf("  endpoint %s: %u worker(s), %zu trial(s), %zu cache "
+                  "hit(s), %zu failover(s), %.2fs busy%s\n",
+                  em.address.c_str(), em.workers, em.trials, em.cache_hits,
+                  em.failovers, 1e-9 * static_cast<double>(em.busy_ns),
+                  em.lost ? " (lost)" : "");
+    }
+    if (m.remote_degraded) {
+      std::printf("note: no endpoint usable; the search ran locally\n");
     }
   }
   std::printf("final configuration: %.1f%% static / %.1f%% dynamic "

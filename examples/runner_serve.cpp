@@ -1,0 +1,158 @@
+// runner_serve: the remote half of the distributed search service.
+//
+// Starts a daemon that fronts a local sandboxed WorkerPool and serves trial
+// evaluations to nas_search --connect clients over TCP (the same CRC-framed
+// wire protocol the pool speaks to its forked workers). One daemon can hold
+// sessions from many schedulers at once; sessions that announce the same
+// workload and evaluation semantics share one backend (one built image, one
+// warm TrialBuilder, one worker fleet) and, with --shard-cache on the
+// client, one fleet-wide trial cache.
+//
+// Usage:  runner_serve [--host H] [--port N] [--port-file FILE]
+//                      [--workers N] [--exit-after N] [--quiet]
+//
+// --port 0 (the default) binds a kernel-assigned port; --port-file writes
+// the bound "host:port" to FILE so scripts and CI can discover it without
+// racing. --exit-after N stops the daemon after N trial results -- the
+// chaos hook the endpoint-death tests and CI smoke use to simulate a
+// runner dying mid-search.
+//
+// Exit codes: 0 clean shutdown (signal or --exit-after); 1 cannot bind;
+// 2 usage error.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "config/structure.hpp"
+#include "kernels/workload.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "program/program.hpp"
+#include "support/log.hpp"
+#include "support/strings.hpp"
+
+using namespace fpmix;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+/// Maps a session's announced benchmark to a built workload. Every NAS
+/// analogue nas_search can search is servable.
+std::unique_ptr<net::ServedWorkload> build_workload(const std::string& bench,
+                                                    char cls,
+                                                    std::string* error) {
+  kernels::Workload w;
+  if (bench == "ep") w = kernels::make_ep(cls);
+  else if (bench == "cg") w = kernels::make_cg(cls);
+  else if (bench == "ft") w = kernels::make_ft(cls);
+  else if (bench == "mg") w = kernels::make_mg(cls);
+  else if (bench == "bt") w = kernels::make_bt(cls);
+  else if (bench == "lu") w = kernels::make_lu(cls);
+  else if (bench == "sp") w = kernels::make_sp(cls);
+  else if (bench == "amg") w = kernels::make_amg();
+  else {
+    if (error != nullptr) {
+      *error = strformat("unknown benchmark '%s'", bench.c_str());
+    }
+    return nullptr;
+  }
+  auto out = std::make_unique<net::ServedWorkload>();
+  out->image = kernels::build_image(w);
+  out->index = config::StructureIndex::build(program::lift(out->image));
+  out->verifier = kernels::make_verifier(w, out->image);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::uint64_t port = 0;
+  std::string port_file;
+  net::ServerOptions sopts;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quiet") quiet = true;
+    else if (arg == "--host" && i + 1 < argc) host = argv[++i];
+    else if (arg == "--port" && i + 1 < argc) {
+      if (!parse_u64(argv[++i], &port) || port > 65535) {
+        std::fprintf(stderr, "bad --port value '%s'\n", argv[i]);
+        return 2;
+      }
+    }
+    else if (arg == "--port-file" && i + 1 < argc) port_file = argv[++i];
+    else if (arg == "--workers" && i + 1 < argc) {
+      std::uint64_t n = 0;
+      if (!parse_u64(argv[++i], &n) || n == 0 || n > 256) {
+        std::fprintf(stderr, "bad --workers value '%s'\n", argv[i]);
+        return 2;
+      }
+      sopts.workers = static_cast<int>(n);
+    }
+    else if (arg == "--exit-after" && i + 1 < argc) {
+      if (!parse_u64(argv[++i], &sopts.exit_after_results)) {
+        std::fprintf(stderr, "bad --exit-after value '%s'\n", argv[i]);
+        return 2;
+      }
+    }
+    else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (!quiet) {
+    sopts.verbose = true;
+    log::set_level(log::Level::kInfo);
+  }
+
+  if (!net::supported()) {
+    std::fprintf(stderr, "sockets are unsupported on this platform\n");
+    return 1;
+  }
+  net::Listener listener;
+  std::string error;
+  if (!listener.listen_on(host, static_cast<std::uint16_t>(port), &error)) {
+    std::fprintf(stderr, "cannot listen: %s\n", error.c_str());
+    return 1;
+  }
+  const std::string address =
+      strformat("%s:%u", host.c_str(),
+                static_cast<unsigned>(listener.port()));
+  if (!port_file.empty()) {
+    std::ofstream f(port_file);
+    f << address << "\n";
+    if (!f.good()) {
+      std::fprintf(stderr, "cannot write port file %s\n", port_file.c_str());
+      return 1;
+    }
+  }
+  std::printf("runner_serve: listening on %s (%d workers per backend)\n",
+              address.c_str(), sopts.workers);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  net::RunnerServer server(std::move(listener), build_workload, sopts);
+  server.serve(&g_stop);
+
+  const net::ServerStats& st = server.stats();
+  std::printf("runner_serve: done -- %llu session(s) (%llu rejected), "
+              "%llu trial(s) served (%llu shard-cache hit(s)), "
+              "%llu cache insert(s), %llu protocol error(s), "
+              "%llu backend(s)\n",
+              static_cast<unsigned long long>(st.sessions_accepted),
+              static_cast<unsigned long long>(st.sessions_rejected),
+              static_cast<unsigned long long>(st.trials_served),
+              static_cast<unsigned long long>(st.shard_cache_hits),
+              static_cast<unsigned long long>(st.cache_inserts),
+              static_cast<unsigned long long>(st.protocol_errors),
+              static_cast<unsigned long long>(st.backends));
+  return 0;
+}

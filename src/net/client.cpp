@@ -1,0 +1,182 @@
+#include "net/client.hpp"
+
+#include <chrono>
+
+#include "runner/wire.hpp"
+#include "support/strings.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FPMIX_NET_POSIX 1
+#include <poll.h>
+#else
+#define FPMIX_NET_POSIX 0
+#endif
+
+namespace fpmix::net {
+
+using runner::FrameStatus;
+
+namespace {
+
+std::uint64_t now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::unique_ptr<EndpointClient> EndpointClient::connect(
+    const Endpoint& ep, const HelloMsg& hello, int connect_timeout_ms,
+    int hello_timeout_ms, std::string* error) {
+#if !FPMIX_NET_POSIX
+  (void)ep;
+  (void)hello;
+  (void)connect_timeout_ms;
+  (void)hello_timeout_ms;
+  if (error != nullptr) *error = "sockets unsupported on this platform";
+  return nullptr;
+#else
+  Socket sock = connect_to(ep, connect_timeout_ms, error);
+  if (!sock.valid()) return nullptr;
+  std::unique_ptr<EndpointClient> c(
+      new EndpointClient(std::move(sock), ep));
+  if (!c->sock_.send_all(runner::encode_frame(encode_hello(hello)),
+                         connect_timeout_ms)) {
+    if (error != nullptr) {
+      *error = strformat("%s: hello send failed", ep.str().c_str());
+    }
+    return nullptr;
+  }
+  // The ack can take a while on a cold server: building the workload and
+  // running the reference computation happens inside the handshake.
+  const std::uint64_t deadline = now_ms() + static_cast<std::uint64_t>(
+                                                hello_timeout_ms > 0
+                                                    ? hello_timeout_ms
+                                                    : 60000);
+  for (;;) {
+    std::string payload;
+    const FrameStatus st = c->fb_.next(&payload);
+    if (st == FrameStatus::kOk) {
+      HelloAckMsg ack;
+      if (peek_msg_type(payload) != kMsgHelloAck ||
+          !decode_hello_ack(payload, &ack)) {
+        if (error != nullptr) {
+          *error = strformat("%s: malformed hello ack", ep.str().c_str());
+        }
+        return nullptr;
+      }
+      if (ack.ok == 0) {
+        if (error != nullptr) {
+          *error = strformat("%s: rejected: %s", ep.str().c_str(),
+                             ack.error.c_str());
+        }
+        return nullptr;
+      }
+      c->workers_ = ack.workers;
+      c->verifier_fp_ = ack.verifier_fp;
+      return c;
+    }
+    if (st == FrameStatus::kCorrupt) {
+      if (error != nullptr) {
+        *error = strformat("%s: corrupt handshake frame", ep.str().c_str());
+      }
+      return nullptr;
+    }
+    const std::uint64_t now = now_ms();
+    if (now >= deadline) {
+      if (error != nullptr) {
+        *error = strformat("%s: hello ack timeout", ep.str().c_str());
+      }
+      return nullptr;
+    }
+    pollfd pfd{c->sock_.fd(), POLLIN, 0};
+    ::poll(&pfd, 1, static_cast<int>(deadline - now));
+    std::string bytes;
+    const IoStatus io = c->sock_.read_available(&bytes);
+    if (!bytes.empty()) c->fb_.append(bytes);
+    if (io == IoStatus::kEof || io == IoStatus::kError) {
+      if (c->fb_.buffered() > 0) continue;  // the ack may already be here
+      if (error != nullptr) {
+        *error = strformat("%s: connection closed during handshake",
+                           ep.str().c_str());
+      }
+      return nullptr;
+    }
+  }
+#endif
+}
+
+bool EndpointClient::submit(const TrialMsg& m) {
+  if (dead_) return false;
+  if (!sock_.send_all(runner::encode_frame(encode_trial(m)),
+                      /*timeout_ms=*/10000)) {
+    last_error_ = "trial send failed";
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool EndpointClient::insert(const CacheInsertMsg& m) {
+  if (dead_) return false;
+  if (!sock_.send_all(runner::encode_frame(encode_cache_insert(m)),
+                      /*timeout_ms=*/10000)) {
+    last_error_ = "cache insert send failed";
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool EndpointClient::drain(std::vector<ResultMsg>* out) {
+  if (dead_) return false;
+  std::string bytes;
+  const IoStatus io = sock_.read_available(&bytes);
+  if (!bytes.empty()) fb_.append(bytes);
+  bool session_over = io == IoStatus::kEof || io == IoStatus::kError;
+  // Decode everything already reassembled -- a server that answered and
+  // then died still gets its verdicts counted.
+  for (;;) {
+    std::string payload;
+    const FrameStatus st = fb_.next(&payload);
+    if (st == FrameStatus::kNeedMore) break;
+    if (st == FrameStatus::kCorrupt) {
+      last_error_ = "corrupt frame";
+      session_over = true;
+      break;
+    }
+    const std::uint8_t type = peek_msg_type(payload);
+    if (type == kMsgResult) {
+      ResultMsg m;
+      if (!decode_result_msg(payload, &m)) {
+        last_error_ = "malformed result message";
+        session_over = true;
+        break;
+      }
+      out->push_back(std::move(m));
+      continue;
+    }
+    if (type == kMsgError) {
+      std::string text;
+      last_error_ = decode_error_msg(payload, &text)
+                        ? text
+                        : std::string("malformed error message");
+      session_over = true;
+      break;
+    }
+    last_error_ = strformat("unexpected message type %u",
+                            static_cast<unsigned>(type));
+    session_over = true;
+    break;
+  }
+  if (session_over) {
+    if (last_error_.empty()) last_error_ = "connection closed";
+    close();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace fpmix::net

@@ -1,0 +1,82 @@
+// EndpointClient: one scheduler-side session to a runner_serve daemon.
+//
+// Owns the socket, the frame reassembly buffer, and the handshake state for
+// a single endpoint. The connect path is synchronous (the scheduler brings
+// fleets up before searching); everything after the HelloAck is
+// non-blocking -- submit() queues trial frames onto the wire, drain()
+// collects whatever results have arrived, and the scheduler multiplexes
+// many clients through one poll(2) set via fd().
+//
+// Any transport damage (EOF, socket error, corrupt frame, protocol
+// violation) kills the session permanently: drain() returns false, the
+// scheduler reroutes in-flight trials to other shards, and reconnection is
+// the scheduler's job (with jittered backoff). There is no in-place
+// recovery, exactly like a dead worker pipe in the local pool.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+
+namespace fpmix::net {
+
+class EndpointClient {
+ public:
+  /// Connects, sends the hello, and waits (bounded) for the ack. Returns
+  /// nullptr with *error on refusal, timeout, rejection, or any protocol
+  /// damage during the handshake.
+  static std::unique_ptr<EndpointClient> connect(const Endpoint& ep,
+                                                 const HelloMsg& hello,
+                                                 int connect_timeout_ms,
+                                                 int hello_timeout_ms,
+                                                 std::string* error);
+
+  /// Queues one trial on the session. False when the session is dead or
+  /// the send fails (the caller reroutes the trial).
+  bool submit(const TrialMsg& m);
+
+  /// Ships a shard-cache fill. Failures are non-fatal to the caller
+  /// (cache fills are advisory) but kill this session like any send error.
+  bool insert(const CacheInsertMsg& m);
+
+  /// Drains the socket and appends every complete ResultMsg to *out.
+  /// Returns false when the session died (EOF, error, corrupt frame,
+  /// protocol violation); results decoded before the damage are still
+  /// appended, so a clean server shutdown delivers its final verdicts.
+  bool drain(std::vector<ResultMsg>* out);
+
+  bool alive() const { return !dead_; }
+  int fd() const { return sock_.fd(); }
+  const Endpoint& endpoint() const { return ep_; }
+  /// Pool width behind the endpoint (from the HelloAck).
+  std::uint32_t workers() const { return workers_; }
+  /// Server-side verifier fingerprint (the scheduler cross-checks it
+  /// against the local one before trusting any verdict).
+  const std::string& verifier_fp() const { return verifier_fp_; }
+  /// Most recent session error text (handshake rejection, transport
+  /// damage), for diagnostics.
+  const std::string& last_error() const { return last_error_; }
+
+  void close() {
+    dead_ = true;
+    sock_.close();
+  }
+
+ private:
+  EndpointClient(Socket sock, const Endpoint& ep)
+      : sock_(std::move(sock)), ep_(ep) {}
+
+  Socket sock_;
+  Endpoint ep_;
+  FrameBuffer fb_;
+  std::uint32_t workers_ = 0;
+  std::string verifier_fp_;
+  std::string last_error_;
+  bool dead_ = false;
+};
+
+}  // namespace fpmix::net

@@ -1,0 +1,209 @@
+#include "net/protocol.hpp"
+
+#include <cstring>
+
+namespace fpmix::net {
+
+using runner::FrameStatus;
+using runner::WireReader;
+
+namespace {
+
+/// Doubles cross the wire as IEEE-754 bit patterns: exact, endian-stable,
+/// and NaN-safe (a rate table is plain data, not arithmetic).
+std::uint64_t double_bits(double v) {
+  std::uint64_t b = 0;
+  static_assert(sizeof(b) == sizeof(v));
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+double bits_double(std::uint64_t b) {
+  double v = 0;
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+std::uint8_t peek_msg_type(std::string_view payload) {
+  return payload.empty() ? 0 : static_cast<std::uint8_t>(payload[0]);
+}
+
+// ---- Hello -----------------------------------------------------------------
+
+std::string encode_hello(const HelloMsg& m) {
+  std::string p;
+  runner::put_u8(&p, kMsgHello);
+  runner::put_u32(&p, m.version);
+  runner::put_string(&p, m.bench);
+  runner::put_u8(&p, m.cls);
+  runner::put_u64(&p, m.max_instructions);
+  runner::put_u64(&p, m.deadline_ms);
+  runner::put_u32(&p, m.max_crashes);
+  runner::put_u64(&p, m.rlimit_mb);
+  runner::put_u8(&p, m.shard_cache);
+  runner::put_string(&p, m.search_fp);
+  runner::put_u8(&p, m.has_fault);
+  runner::put_u64(&p, m.fault_seed);
+  const fault::Injector::Rates& r = m.fault_rates;
+  const double rates[12] = {r.abort,          r.bitflip,       r.sentinel,
+                            r.stall,          r.flaky,         r.segv,
+                            r.kill,           r.oom,           r.hang,
+                            r.hang_ignore_term, r.trunc_result,
+                            r.corrupt_result};
+  for (double v : rates) runner::put_u64(&p, double_bits(v));
+  return p;
+}
+
+bool decode_hello(std::string_view payload, HelloMsg* out) {
+  WireReader r(payload);
+  if (r.u8() != kMsgHello) return false;
+  out->version = r.u32();
+  out->bench = r.str();
+  out->cls = r.u8();
+  out->max_instructions = r.u64();
+  out->deadline_ms = r.u64();
+  out->max_crashes = r.u32();
+  out->rlimit_mb = r.u64();
+  out->shard_cache = r.u8();
+  out->search_fp = r.str();
+  out->has_fault = r.u8();
+  out->fault_seed = r.u64();
+  double rates[12];
+  for (double& v : rates) v = bits_double(r.u64());
+  fault::Injector::Rates& fr = out->fault_rates;
+  fr.abort = rates[0];
+  fr.bitflip = rates[1];
+  fr.sentinel = rates[2];
+  fr.stall = rates[3];
+  fr.flaky = rates[4];
+  fr.segv = rates[5];
+  fr.kill = rates[6];
+  fr.oom = rates[7];
+  fr.hang = rates[8];
+  fr.hang_ignore_term = rates[9];
+  fr.trunc_result = rates[10];
+  fr.corrupt_result = rates[11];
+  return r.done();
+}
+
+// ---- HelloAck --------------------------------------------------------------
+
+std::string encode_hello_ack(const HelloAckMsg& m) {
+  std::string p;
+  runner::put_u8(&p, kMsgHelloAck);
+  runner::put_u8(&p, m.ok);
+  runner::put_string(&p, m.error);
+  runner::put_string(&p, m.verifier_fp);
+  runner::put_u32(&p, m.workers);
+  return p;
+}
+
+bool decode_hello_ack(std::string_view payload, HelloAckMsg* out) {
+  WireReader r(payload);
+  if (r.u8() != kMsgHelloAck) return false;
+  out->ok = r.u8();
+  out->error = r.str();
+  out->verifier_fp = r.str();
+  out->workers = r.u32();
+  return r.done();
+}
+
+// ---- Trial -----------------------------------------------------------------
+
+std::string encode_trial(const TrialMsg& m) {
+  std::string p;
+  runner::put_u8(&p, kMsgTrial);
+  runner::put_u64(&p, m.ticket);
+  runner::put_string(&p, m.key);
+  runner::put_string(&p, m.config_key);
+  return p;
+}
+
+bool decode_trial(std::string_view payload, TrialMsg* out) {
+  WireReader r(payload);
+  if (r.u8() != kMsgTrial) return false;
+  out->ticket = r.u64();
+  out->key = r.str();
+  out->config_key = r.str();
+  return r.done();
+}
+
+// ---- Result ----------------------------------------------------------------
+
+std::string encode_result_msg(const ResultMsg& m) {
+  std::string p;
+  runner::put_u8(&p, kMsgResult);
+  runner::put_u64(&p, m.ticket);
+  runner::put_u8(&p, m.flags);
+  runner::put_u32(&p, m.worker_deaths);
+  runner::put_u64(&p, m.wall_ns);
+  runner::put_string(&p, m.wire_result);
+  return p;
+}
+
+bool decode_result_msg(std::string_view payload, ResultMsg* out) {
+  WireReader r(payload);
+  if (r.u8() != kMsgResult) return false;
+  out->ticket = r.u64();
+  out->flags = r.u8();
+  out->worker_deaths = r.u32();
+  out->wall_ns = r.u64();
+  out->wire_result = r.str();
+  return r.done();
+}
+
+// ---- Cache insert ----------------------------------------------------------
+
+std::string encode_cache_insert(const CacheInsertMsg& m) {
+  std::string p;
+  runner::put_u8(&p, kMsgCacheInsert);
+  runner::put_string(&p, m.key);
+  runner::put_u8(&p, m.passed);
+  runner::put_u8(&p, m.failure_class);
+  runner::put_string(&p, m.failure);
+  return p;
+}
+
+bool decode_cache_insert(std::string_view payload, CacheInsertMsg* out) {
+  WireReader r(payload);
+  if (r.u8() != kMsgCacheInsert) return false;
+  out->key = r.str();
+  out->passed = r.u8();
+  out->failure_class = r.u8();
+  out->failure = r.str();
+  return r.done();
+}
+
+// ---- Error -----------------------------------------------------------------
+
+std::string encode_error_msg(std::string_view message) {
+  std::string p;
+  runner::put_u8(&p, kMsgError);
+  runner::put_string(&p, message);
+  return p;
+}
+
+bool decode_error_msg(std::string_view payload, std::string* message) {
+  WireReader r(payload);
+  if (r.u8() != kMsgError) return false;
+  *message = r.str();
+  return r.done();
+}
+
+// ---- FrameBuffer -----------------------------------------------------------
+
+FrameStatus FrameBuffer::next(std::string* payload) {
+  if (corrupt_) return FrameStatus::kCorrupt;
+  std::size_t consumed = 0;
+  const FrameStatus st = runner::decode_frame(buf_, payload, &consumed);
+  if (st == FrameStatus::kOk) {
+    buf_.erase(0, consumed);
+  } else if (st == FrameStatus::kCorrupt) {
+    corrupt_ = true;
+  }
+  return st;
+}
+
+}  // namespace fpmix::net

@@ -1,0 +1,150 @@
+// Session protocol of the distributed search service.
+//
+// The transport reuses the runner's CRC-framed wire format verbatim
+// (runner/wire.hpp: `magic | payload_len | payload | crc32`), carried over
+// TCP instead of pipes -- a corrupt or truncated frame is a *detected*
+// session error on either side, never a silently wrong verdict. The first
+// payload byte is a message type:
+//
+//   client -> server
+//     kMsgHello        session handshake: protocol version, workload id,
+//                      evaluation semantics (budget/deadline/breaker/
+//                      rlimit), search fingerprint, fault campaign
+//     kMsgTrial        one trial: ticket + config digest + full canonical
+//                      config key (the server's own pool re-deltas to its
+//                      workers; the session stream stays stateless)
+//     kMsgCacheInsert  shard-cache fill: a verdict this client computed
+//                      elsewhere (another shard or in-process)
+//   server -> client
+//     kMsgHelloAck     accept (worker count, verifier fingerprint to
+//                      cross-check) or reject (error text)
+//     kMsgResult       one trial verdict: ticket, flags, encoded WireResult
+//     kMsgError        fatal session error (text), connection closes
+//
+// Many trials may be outstanding per connection; results return in
+// completion order and are correlated by ticket. Every encode/decode here
+// is a pure function over std::string, so the whole protocol unit-tests
+// without opening a socket.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "runner/wire.hpp"
+#include "support/fault.hpp"
+
+namespace fpmix::net {
+
+/// Bumped on any incompatible message change; HelloAck rejects mismatches.
+constexpr std::uint32_t kProtocolVersion = 1;
+
+constexpr std::uint8_t kMsgHello = 1;
+constexpr std::uint8_t kMsgHelloAck = 2;
+constexpr std::uint8_t kMsgTrial = 3;
+constexpr std::uint8_t kMsgResult = 4;
+constexpr std::uint8_t kMsgCacheInsert = 5;
+constexpr std::uint8_t kMsgError = 6;
+
+/// First payload byte, or 0 for an empty payload.
+std::uint8_t peek_msg_type(std::string_view payload);
+
+// ---- Handshake -------------------------------------------------------------
+
+struct HelloMsg {
+  std::uint32_t version = kProtocolVersion;
+  std::string bench;  // workload name ("ep", "cg", ...)
+  std::uint8_t cls = 'W';
+  // Evaluation semantics (must match the client's in-process path exactly,
+  // or results would not be byte-compatible with its journal).
+  std::uint64_t max_instructions = 1ull << 32;
+  std::uint64_t deadline_ms = 0;
+  std::uint32_t max_crashes = 3;
+  std::uint64_t rlimit_mb = 512;
+  std::uint8_t shard_cache = 0;  // consult/fill the fleet-wide trial cache
+  std::string search_fp;         // shard-cache namespace (trial_cache.hpp)
+  // Fault campaign (deterministic; both sides re-derive per-trial draws).
+  std::uint8_t has_fault = 0;
+  std::uint64_t fault_seed = 0;
+  fault::Injector::Rates fault_rates{};
+};
+
+std::string encode_hello(const HelloMsg& m);
+bool decode_hello(std::string_view payload, HelloMsg* out);
+
+struct HelloAckMsg {
+  std::uint8_t ok = 0;
+  std::string error;        // when !ok
+  std::string verifier_fp;  // server-side verifier fingerprint (cross-check)
+  std::uint32_t workers = 0;  // pool width behind this endpoint
+};
+
+std::string encode_hello_ack(const HelloAckMsg& m);
+bool decode_hello_ack(std::string_view payload, HelloAckMsg* out);
+
+// ---- Trials ----------------------------------------------------------------
+
+struct TrialMsg {
+  std::uint64_t ticket = 0;
+  std::string key;         // config digest (journal/cache/injector identity)
+  std::string config_key;  // full canonical PrecisionConfig serialization
+};
+
+std::string encode_trial(const TrialMsg& m);
+bool decode_trial(std::string_view payload, TrialMsg* out);
+
+/// ResultMsg flag bits.
+constexpr std::uint8_t kResultQuarantined = 1u << 0;  // breaker tripped
+constexpr std::uint8_t kResultCacheHit = 1u << 1;     // served from shard cache
+
+struct ResultMsg {
+  std::uint64_t ticket = 0;
+  std::uint8_t flags = 0;
+  std::uint32_t worker_deaths = 0;  // fault events absorbed server-side
+  std::uint64_t wall_ns = 0;        // server-side dispatch-to-delivery time
+  std::string wire_result;          // runner::encode_result payload
+};
+
+std::string encode_result_msg(const ResultMsg& m);
+bool decode_result_msg(std::string_view payload, ResultMsg* out);
+
+// ---- Shard cache fill ------------------------------------------------------
+
+struct CacheInsertMsg {
+  std::string key;
+  std::uint8_t passed = 0;
+  std::uint8_t failure_class = 0;  // verify::FailureClass
+  std::string failure;
+};
+
+std::string encode_cache_insert(const CacheInsertMsg& m);
+bool decode_cache_insert(std::string_view payload, CacheInsertMsg* out);
+
+// ---- Session error ---------------------------------------------------------
+
+std::string encode_error_msg(std::string_view message);
+bool decode_error_msg(std::string_view payload, std::string* message);
+
+// ---- Incremental frame extraction ------------------------------------------
+
+/// Accumulates stream bytes and yields complete CRC-verified frame
+/// payloads. Corruption is sticky: once the stream is bad there is no
+/// resynchronization -- the connection must be dropped (the sender retries
+/// on another shard, exactly like a dead worker pipe).
+class FrameBuffer {
+ public:
+  void append(std::string_view data) { buf_.append(data); }
+
+  /// Extracts the next complete frame payload. kNeedMore when the buffer
+  /// holds only a prefix; kCorrupt (sticky) on framing/CRC damage.
+  runner::FrameStatus next(std::string* payload);
+
+  bool corrupt() const { return corrupt_; }
+  std::size_t buffered() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+  bool corrupt_ = false;
+};
+
+}  // namespace fpmix::net

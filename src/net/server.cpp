@@ -1,0 +1,467 @@
+#include "net/server.hpp"
+
+#include <chrono>
+#include <map>
+#include <string.h>
+#include <unordered_map>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "runner/worker_pool.hpp"
+#include "support/fault.hpp"
+#include "support/log.hpp"
+#include "support/strings.hpp"
+#include "verify/trial_builder.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FPMIX_NET_POSIX 1
+#include <poll.h>
+#else
+#define FPMIX_NET_POSIX 0
+#endif
+
+namespace fpmix::net {
+
+using runner::FrameStatus;
+
+namespace {
+
+/// One shard-cache verdict: exactly the slice of an EvalResult the search's
+/// decision procedure consumes (mirrors search::CachedTrial without pulling
+/// the search library into the net layer).
+struct CacheEntry {
+  bool passed = false;
+  std::uint8_t failure_class = 0;
+  std::string failure;
+};
+
+/// Identity of one evaluation context. Sessions whose hellos collapse to
+/// the same key share a backend (workload, builder, injector, pool).
+std::string backend_key(const HelloMsg& h) {
+  std::string k = strformat(
+      "%s|%c|%llu|%llu|%u|%llu|%u|%llu|", h.bench.c_str(),
+      static_cast<char>(h.cls),
+      static_cast<unsigned long long>(h.max_instructions),
+      static_cast<unsigned long long>(h.deadline_ms),
+      static_cast<unsigned>(h.max_crashes),
+      static_cast<unsigned long long>(h.rlimit_mb),
+      static_cast<unsigned>(h.has_fault),
+      static_cast<unsigned long long>(h.fault_seed));
+  // Fold the rate table in as bit patterns (exact, no formatting loss).
+  const fault::Injector::Rates& r = h.fault_rates;
+  const double rates[12] = {r.abort,          r.bitflip,       r.sentinel,
+                            r.stall,          r.flaky,         r.segv,
+                            r.kill,           r.oom,           r.hang,
+                            r.hang_ignore_term, r.trunc_result,
+                            r.corrupt_result};
+  std::uint64_t digest = 1469598103934665603ull;  // FNV-1a over the bits
+  for (double v : rates) {
+    std::uint64_t b = 0;
+    memcpy(&b, &v, sizeof(b));
+    for (int i = 0; i < 8; ++i) {
+      digest ^= (b >> (8 * i)) & 0xFF;
+      digest *= 1099511628211ull;
+    }
+  }
+  k += strformat("%016llx", static_cast<unsigned long long>(digest));
+  return k;
+}
+
+}  // namespace
+
+struct RunnerServer::Impl {
+  Listener listener;
+  WorkloadFactory factory;
+  ServerOptions opts;
+  ServerStats* stats = nullptr;
+
+  struct Backend {
+    std::unique_ptr<ServedWorkload> wl;
+    std::unique_ptr<verify::TrialBuilder> builder;
+    std::unique_ptr<fault::Injector> injector;
+    std::unique_ptr<runner::WorkerPool> pool;
+    std::string verifier_fp;
+    std::uint32_t workers = 0;
+    /// Fleet-wide trial cache, namespaced by search fingerprint so faulted
+    /// and clean campaigns never cross-pollinate. First insert wins.
+    std::map<std::string, std::unordered_map<std::string, CacheEntry>> shard;
+    /// Routing of pool tickets back to sessions.
+    struct Route {
+      std::uint64_t session_id = 0;
+      std::uint64_t client_ticket = 0;
+      std::string key;
+      std::string search_fp;
+      bool shard_cache = false;
+    };
+    std::map<std::uint64_t, Route> inflight;
+    std::uint64_t next_ticket = 1;
+  };
+
+  struct Session {
+    std::uint64_t id = 0;
+    Socket sock;
+    FrameBuffer fb;
+    bool hello_done = false;
+    bool dead = false;
+    Backend* backend = nullptr;
+    std::string search_fp;
+    bool shard_cache = false;
+  };
+
+  std::map<std::string, std::unique_ptr<Backend>> backends;
+  std::map<std::uint64_t, std::unique_ptr<Session>> sessions;
+  std::uint64_t next_session_id = 1;
+  bool exit_tripped = false;
+
+  void drop_session(Session* s) {
+    s->dead = true;
+    s->sock.close();
+  }
+
+  void send_frame(Session* s, const std::string& payload) {
+    if (s->dead) return;
+    if (!s->sock.send_all(runner::encode_frame(payload),
+                          /*timeout_ms=*/10000)) {
+      drop_session(s);
+    }
+  }
+
+  void session_error(Session* s, const std::string& message) {
+    ++stats->protocol_errors;
+    send_frame(s, encode_error_msg(message));
+    drop_session(s);
+  }
+
+  /// Builds (or reuses) the backend for a hello and acks the session.
+  void handle_hello(Session* s, const HelloMsg& h) {
+    HelloAckMsg ack;
+    if (h.version != kProtocolVersion) {
+      ack.error = strformat("protocol version mismatch: server %u, client %u",
+                            kProtocolVersion, h.version);
+      ++stats->sessions_rejected;
+      send_frame(s, encode_hello_ack(ack));
+      drop_session(s);
+      return;
+    }
+    const std::string key = backend_key(h);
+    Backend* b = nullptr;
+    auto it = backends.find(key);
+    if (it != backends.end()) {
+      b = it->second.get();
+    } else {
+      auto nb = std::make_unique<Backend>();
+      std::string error;
+      nb->wl = factory(h.bench, static_cast<char>(h.cls), &error);
+      if (nb->wl == nullptr) {
+        ack.error = error.empty() ? "unknown workload" : error;
+        ++stats->sessions_rejected;
+        send_frame(s, encode_hello_ack(ack));
+        drop_session(s);
+        return;
+      }
+      nb->verifier_fp = nb->wl->verifier->fingerprint();
+      nb->builder = std::make_unique<verify::TrialBuilder>(nb->wl->image,
+                                                           nb->wl->index);
+      if (h.has_fault != 0) {
+        nb->injector =
+            std::make_unique<fault::Injector>(h.fault_seed, h.fault_rates);
+      }
+      runner::WorkerContext ctx;
+      ctx.image = &nb->wl->image;
+      ctx.index = &nb->wl->index;
+      ctx.verifier = nb->wl->verifier.get();
+      ctx.eval.max_instructions = h.max_instructions;
+      ctx.eval.profile = false;
+      ctx.eval.deadline_ns = h.deadline_ms * 1000000ull;
+      ctx.eval.builder = nb->builder.get();
+      ctx.injector = nb->injector.get();
+      runner::PoolOptions popts;
+      popts.workers = opts.workers;
+      popts.max_crashes_per_config = h.max_crashes;
+      popts.term_grace_ms = opts.term_grace_ms;
+      popts.limits.address_space_mb = h.rlimit_mb;
+      // Supervisor wall-clock backstop over the worker's own VM deadline
+      // (same envelope the in-process search applies to its local pool).
+      popts.trial_timeout_ms =
+          h.deadline_ms > 0 ? h.deadline_ms * 3 + 1000 : 0;
+      nb->pool = std::make_unique<runner::WorkerPool>(ctx, popts);
+      if (!nb->pool->start()) {
+        ack.error = "cannot spawn sandboxed workers on this host";
+        ++stats->sessions_rejected;
+        send_frame(s, encode_hello_ack(ack));
+        drop_session(s);
+        return;
+      }
+      nb->workers =
+          static_cast<std::uint32_t>(nb->pool->stats().slots.size());
+      b = nb.get();
+      backends.emplace(key, std::move(nb));
+      ++stats->backends;
+      if (opts.verbose) {
+        log::infof("runner_serve: backend %s.%c up (%u workers)",
+                   h.bench.c_str(), static_cast<char>(h.cls), b->workers);
+      }
+    }
+    s->backend = b;
+    s->hello_done = true;
+    s->search_fp = h.search_fp;
+    s->shard_cache = h.shard_cache != 0;
+    ack.ok = 1;
+    ack.verifier_fp = b->verifier_fp;
+    ack.workers = b->workers;
+    send_frame(s, encode_hello_ack(ack));
+  }
+
+  /// Sends one result and trips the exit_after_results chaos hook.
+  void send_result(Session* s, const ResultMsg& m) {
+    send_frame(s, encode_result_msg(m));
+    ++stats->trials_served;
+    if (opts.exit_after_results > 0 &&
+        stats->trials_served >= opts.exit_after_results) {
+      exit_tripped = true;
+    }
+  }
+
+  void handle_trial(Session* s, const TrialMsg& m) {
+    Backend* b = s->backend;
+    if (s->shard_cache) {
+      auto& cache = b->shard[s->search_fp];
+      auto hit = cache.find(m.key);
+      if (hit != cache.end()) {
+        ++stats->shard_cache_hits;
+        runner::WireResult w;
+        w.passed = hit->second.passed;
+        w.failure_class = hit->second.failure_class;
+        w.failure = hit->second.failure;
+        ResultMsg r;
+        r.ticket = m.ticket;
+        r.flags = kResultCacheHit;
+        r.wire_result = runner::encode_result(w);
+        send_result(s, r);
+        return;
+      }
+    }
+    config::PrecisionConfig cfg;
+    if (!config::PrecisionConfig::from_canonical_key(m.config_key, &cfg)) {
+      session_error(s, strformat("trial %s: malformed config key",
+                                 m.key.c_str()));
+      return;
+    }
+    const std::uint64_t ticket = b->next_ticket++;
+    Backend::Route route;
+    route.session_id = s->id;
+    route.client_ticket = m.ticket;
+    route.key = m.key;
+    route.search_fp = s->search_fp;
+    route.shard_cache = s->shard_cache;
+    b->inflight.emplace(ticket, std::move(route));
+    b->pool->submit(ticket, m.key, cfg);
+  }
+
+  void handle_cache_insert(Session* s, const CacheInsertMsg& m) {
+    auto& cache = s->backend->shard[s->search_fp];
+    CacheEntry e;
+    e.passed = m.passed != 0;
+    e.failure_class = m.failure_class;
+    e.failure = m.failure;
+    cache.emplace(m.key, std::move(e));  // first insert wins
+    ++stats->cache_inserts;
+  }
+
+  void handle_payload(Session* s, const std::string& payload) {
+    const std::uint8_t type = peek_msg_type(payload);
+    if (!s->hello_done) {
+      HelloMsg h;
+      if (type != kMsgHello || !decode_hello(payload, &h)) {
+        session_error(s, "expected hello");
+        return;
+      }
+      handle_hello(s, h);
+      return;
+    }
+    switch (type) {
+      case kMsgTrial: {
+        TrialMsg m;
+        if (!decode_trial(payload, &m)) {
+          session_error(s, "malformed trial message");
+          return;
+        }
+        handle_trial(s, m);
+        return;
+      }
+      case kMsgCacheInsert: {
+        CacheInsertMsg m;
+        if (!decode_cache_insert(payload, &m)) {
+          session_error(s, "malformed cache-insert message");
+          return;
+        }
+        handle_cache_insert(s, m);
+        return;
+      }
+      case kMsgError: {
+        drop_session(s);
+        return;
+      }
+      default:
+        session_error(s, strformat("unexpected message type %u",
+                                   static_cast<unsigned>(type)));
+    }
+  }
+
+  /// Routes finished pool work back to sessions and the shard cache.
+  void pump_backends() {
+    for (auto& [key, b] : backends) {
+      if (b->pool == nullptr || b->pool->idle()) continue;
+      b->pool->pump(0);
+      for (runner::WorkerPool::Finished& f : b->pool->take_finished()) {
+        auto rit = b->inflight.find(f.ticket);
+        if (rit == b->inflight.end()) continue;
+        Backend::Route route = std::move(rit->second);
+        b->inflight.erase(rit);
+        // Fill the shard cache first (even when the session is gone --
+        // the verdict is fleet knowledge now).
+        if (route.shard_cache) {
+          auto& cache = b->shard[route.search_fp];
+          CacheEntry e;
+          e.passed = f.outcome.result.passed;
+          e.failure_class =
+              static_cast<std::uint8_t>(f.outcome.result.failure_class);
+          e.failure = f.outcome.result.failure;
+          cache.emplace(route.key, std::move(e));
+        }
+        auto sit = sessions.find(route.session_id);
+        if (sit == sessions.end() || sit->second->dead) continue;
+        ResultMsg r;
+        r.ticket = route.client_ticket;
+        if (f.outcome.quarantined) r.flags |= kResultQuarantined;
+        r.worker_deaths = f.outcome.worker_deaths;
+        r.wall_ns = f.outcome.wall_ns;
+        r.wire_result =
+            runner::encode_result(runner::from_eval_result(f.outcome.result));
+        send_result(sit->second.get(), r);
+      }
+    }
+  }
+};
+
+RunnerServer::RunnerServer(Listener listener, WorkloadFactory factory,
+                           const ServerOptions& opts)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->listener = std::move(listener);
+  impl_->factory = std::move(factory);
+  impl_->opts = opts;
+  impl_->stats = &stats_;
+}
+
+RunnerServer::~RunnerServer() = default;
+
+std::uint16_t RunnerServer::port() const { return impl_->listener.port(); }
+
+void RunnerServer::serve(const std::atomic<bool>* stop) {
+#if !FPMIX_NET_POSIX
+  (void)stop;
+  return;
+#else
+  Impl& im = *impl_;
+  std::string scratch;
+  while (!(stop != nullptr && stop->load()) && !im.exit_tripped) {
+    // ---- Assemble the poll set: listener + sessions + worker pipes. ----
+    std::vector<pollfd> fds;
+    fds.push_back(pollfd{im.listener.fd(), POLLIN, 0});
+    std::vector<Impl::Session*> fd_sessions;
+    for (auto& [id, s] : im.sessions) {
+      if (s->dead) continue;
+      fds.push_back(pollfd{s->sock.fd(), POLLIN, 0});
+      fd_sessions.push_back(s.get());
+    }
+    const std::size_t pool_fd_base = fds.size();
+    std::uint64_t pool_deadline = 0;
+    for (auto& [key, b] : im.backends) {
+      std::vector<int> pfds;
+      b->pool->poll_fds(&pfds);
+      for (int fd : pfds) fds.push_back(pollfd{fd, POLLIN, 0});
+      const std::uint64_t d = b->pool->next_deadline_ns();
+      if (d != 0 && (pool_deadline == 0 || d < pool_deadline)) {
+        pool_deadline = d;
+      }
+    }
+    (void)pool_fd_base;
+
+    // Wake a few times a second to check the stop flag; earlier when a
+    // supervised trial's deadline comes first.
+    int timeout_ms = 200;
+    if (pool_deadline != 0) {
+      const auto now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count();
+      const std::uint64_t now_ns = static_cast<std::uint64_t>(now);
+      const int until =
+          pool_deadline > now_ns
+              ? static_cast<int>((pool_deadline - now_ns) / 1000000ull) + 1
+              : 0;
+      if (until < timeout_ms) timeout_ms = until;
+    }
+    ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+
+    // ---- Accept new sessions. ----
+    if ((fds[0].revents & POLLIN) != 0) {
+      for (;;) {
+        Socket sock = im.listener.accept_connection();
+        if (!sock.valid()) break;
+        auto s = std::make_unique<Impl::Session>();
+        s->id = im.next_session_id++;
+        s->sock = std::move(sock);
+        ++stats_.sessions_accepted;
+        if (im.opts.verbose) {
+          log::infof("runner_serve: session %llu connected",
+                     static_cast<unsigned long long>(s->id));
+        }
+        im.sessions.emplace(s->id, std::move(s));
+      }
+    }
+
+    // ---- Drain session sockets and process complete frames. ----
+    for (Impl::Session* s : fd_sessions) {
+      scratch.clear();
+      const IoStatus st = s->sock.read_available(&scratch);
+      if (!scratch.empty()) s->fb.append(scratch);
+      if (st == IoStatus::kError || st == IoStatus::kEof) im.drop_session(s);
+      for (;;) {
+        std::string payload;
+        const FrameStatus fst = s->fb.next(&payload);
+        if (fst == FrameStatus::kNeedMore) break;
+        if (fst == FrameStatus::kCorrupt) {
+          im.session_error(s, "corrupt frame");
+          break;
+        }
+        im.handle_payload(s, payload);
+        if (s->dead) break;
+      }
+    }
+
+    // ---- Run the pools and route finished trials. ----
+    im.pump_backends();
+
+    // ---- Reap dead sessions. ----
+    for (auto it = im.sessions.begin(); it != im.sessions.end();) {
+      if (it->second->dead) {
+        if (im.opts.verbose) {
+          log::infof("runner_serve: session %llu closed",
+                     static_cast<unsigned long long>(it->first));
+        }
+        it = im.sessions.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Teardown: closing the listener and every session socket is the
+  // "endpoint died" signal clients react to (exit_after_results chaos
+  // hook, daemon shutdown). Pools die with their backends.
+  im.listener.close();
+  for (auto& [id, s] : im.sessions) s->sock.close();
+  im.sessions.clear();
+#endif
+}
+
+}  // namespace fpmix::net

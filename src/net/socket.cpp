@@ -1,0 +1,304 @@
+#include "net/socket.hpp"
+
+#include "support/strings.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FPMIX_NET_POSIX 1
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define FPMIX_NET_POSIX 0
+#endif
+
+namespace fpmix::net {
+
+bool supported() { return FPMIX_NET_POSIX != 0; }
+
+std::string Endpoint::str() const {
+  return strformat("%s:%u", host.c_str(), static_cast<unsigned>(port));
+}
+
+bool parse_endpoint(std::string_view s, Endpoint* out) {
+  const std::size_t colon = s.rfind(':');
+  if (colon == std::string_view::npos) return false;
+  const std::string_view host = s.substr(0, colon);
+  std::uint64_t port = 0;
+  if (!parse_u64(std::string(s.substr(colon + 1)), &port) || port == 0 ||
+      port > 65535) {
+    return false;
+  }
+  out->host = host.empty() ? std::string("127.0.0.1") : std::string(host);
+  out->port = static_cast<std::uint16_t>(port);
+  return true;
+}
+
+#if FPMIX_NET_POSIX
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void set_nodelay(int fd) {
+  // Trial frames are small request/response pairs; Nagle would add 40ms
+  // stalls to every one of them.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Resolves host to an IPv4 sockaddr. Numeric addresses and "localhost"
+/// are all the service uses, but getaddrinfo handles real names too.
+bool resolve(const std::string& host, std::uint16_t port, sockaddr_in* out,
+             std::string* error) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), nullptr, &hints, &res);
+  if (rc != 0 || res == nullptr) {
+    if (error != nullptr) {
+      *error = strformat("cannot resolve '%s': %s", host.c_str(),
+                         ::gai_strerror(rc));
+    }
+    return false;
+  }
+  *out = *reinterpret_cast<sockaddr_in*>(res->ai_addr);
+  out->sin_port = htons(port);
+  ::freeaddrinfo(res);
+  return true;
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+IoStatus Socket::read_available(std::string* buf) {
+  if (fd_ < 0) return IoStatus::kError;
+  char chunk[65536];
+  bool got_any = false;
+  for (;;) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buf->append(chunk, static_cast<std::size_t>(n));
+      got_any = true;
+      continue;
+    }
+    if (n == 0) {
+      // Orderly shutdown. Bytes drained this call still count as progress;
+      // the next call reports the EOF.
+      return got_any ? IoStatus::kOk : IoStatus::kEof;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return got_any ? IoStatus::kOk : IoStatus::kWouldBlock;
+    }
+    if (errno == EINTR) continue;
+    return IoStatus::kError;
+  }
+}
+
+bool Socket::send_all(std::string_view data, int timeout_ms) {
+  if (fd_ < 0) return false;
+  std::size_t off = 0;
+  while (off < data.size()) {
+#if defined(MSG_NOSIGNAL)
+    const int flags = MSG_NOSIGNAL;  // EPIPE, not SIGPIPE, on a dead peer
+#else
+    const int flags = 0;
+#endif
+    const ssize_t n =
+        ::send(fd_, data.data() + off, data.size() - off, flags);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd_, POLLOUT, 0};
+      const int rc = ::poll(&pfd, 1, timeout_ms);
+      if (rc <= 0) return false;  // timeout or poll error
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+Listener::~Listener() { close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+  other.port_ = 0;
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  port_ = 0;
+}
+
+bool Listener::listen_on(const std::string& host, std::uint16_t port,
+                         std::string* error) {
+  close();
+  sockaddr_in addr{};
+  if (!resolve(host, port, &addr, error)) return false;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = strformat("socket: %s", ::strerror(errno));
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0 || !set_nonblocking(fd)) {
+    if (error != nullptr) {
+      *error = strformat("bind/listen %s:%u: %s", host.c_str(),
+                         static_cast<unsigned>(port), ::strerror(errno));
+    }
+    ::close(fd);
+    return false;
+  }
+  // Read back the bound port (meaningful when the caller asked for 0).
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = port;
+  }
+  fd_ = fd;
+  return true;
+}
+
+Socket Listener::accept_connection() {
+  if (fd_ < 0) return Socket();
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      if (!set_nonblocking(fd)) {
+        ::close(fd);
+        return Socket();
+      }
+      set_nodelay(fd);
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    return Socket();  // EAGAIN and real errors both: nothing to accept
+  }
+}
+
+Socket connect_to(const Endpoint& ep, int timeout_ms, std::string* error) {
+  sockaddr_in addr{};
+  if (!resolve(ep.host, ep.port, &addr, error)) return Socket();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = strformat("socket: %s", ::strerror(errno));
+    return Socket();
+  }
+  if (!set_nonblocking(fd)) {
+    if (error != nullptr) *error = "cannot set O_NONBLOCK";
+    ::close(fd);
+    return Socket();
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      if (error != nullptr) {
+        *error = strformat("connect %s: %s", ep.str().c_str(),
+                           ::strerror(errno));
+      }
+      ::close(fd);
+      return Socket();
+    }
+    // Non-blocking connect: wait (bounded) for the handshake to settle,
+    // then read the verdict from SO_ERROR.
+    pollfd pfd{fd, POLLOUT, 0};
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    if (rc <= 0 ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 ||
+        soerr != 0) {
+      if (error != nullptr) {
+        *error = rc <= 0
+                     ? strformat("connect %s: timeout after %d ms",
+                                 ep.str().c_str(), timeout_ms)
+                     : strformat("connect %s: %s", ep.str().c_str(),
+                                 ::strerror(soerr));
+      }
+      ::close(fd);
+      return Socket();
+    }
+  }
+  set_nodelay(fd);
+  return Socket(fd);
+}
+
+#else  // !FPMIX_NET_POSIX
+
+Socket::~Socket() = default;
+Socket::Socket(Socket&&) noexcept {}
+Socket& Socket::operator=(Socket&&) noexcept { return *this; }
+void Socket::close() {}
+IoStatus Socket::read_available(std::string*) { return IoStatus::kError; }
+bool Socket::send_all(std::string_view, int) { return false; }
+
+Listener::~Listener() = default;
+Listener::Listener(Listener&&) noexcept {}
+Listener& Listener::operator=(Listener&&) noexcept { return *this; }
+void Listener::close() {}
+bool Listener::listen_on(const std::string&, std::uint16_t,
+                         std::string* error) {
+  if (error != nullptr) *error = "sockets unsupported on this platform";
+  return false;
+}
+Socket Listener::accept_connection() { return Socket(); }
+
+Socket connect_to(const Endpoint&, int, std::string* error) {
+  if (error != nullptr) *error = "sockets unsupported on this platform";
+  return Socket();
+}
+
+#endif  // FPMIX_NET_POSIX
+
+}  // namespace fpmix::net

@@ -1,0 +1,106 @@
+// Thin POSIX TCP layer for the distributed search service.
+//
+// Everything here is deliberately small: move-only fd wrappers, a
+// non-blocking listener, a timeout-bounded connect, and the two I/O shapes
+// the protocol needs -- "drain whatever is readable right now" (feeding the
+// incremental frame decoder) and "write this whole buffer, polling through
+// partial writes". No frameworks, no threads: the daemon and the scheduler
+// each multiplex their sockets from one poll(2) loop, exactly like the
+// WorkerPool multiplexes its worker pipes.
+//
+// Like the runner, the whole layer is runtime-gated: supported() is false
+// on platforms without BSD sockets, and callers degrade to the in-process
+// path there.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fpmix::net {
+
+/// True when this platform has the socket layer (POSIX).
+bool supported();
+
+/// A "host:port" network address.
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string str() const;
+};
+
+/// Parses "host:port" (host may be empty for 127.0.0.1). Returns false on
+/// a missing/invalid port.
+bool parse_endpoint(std::string_view s, Endpoint* out);
+
+enum class IoStatus : std::uint8_t {
+  kOk,          // progress was made
+  kWouldBlock,  // nothing available right now
+  kEof,         // orderly shutdown from the peer
+  kError,       // socket error; the connection is dead
+};
+
+/// Move-only connected-socket wrapper. The fd is non-blocking.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Appends every byte currently readable to *buf (non-blocking drain).
+  /// kOk when any bytes arrived; kEof only when the peer closed with no
+  /// bytes pending.
+  IoStatus read_available(std::string* buf);
+
+  /// Writes the whole buffer, polling for writability through partial
+  /// writes. `timeout_ms` bounds each stall (-1 = wait indefinitely).
+  /// False on error or timeout -- the connection should be dropped.
+  bool send_all(std::string_view data, int timeout_ms = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Non-blocking listening socket. Port 0 binds a kernel-assigned port,
+/// readable from port() after listen_on -- how tests and the CI smoke job
+/// avoid port races.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+
+  /// Binds and listens on host:port. False (with *error) on failure.
+  bool listen_on(const std::string& host, std::uint16_t port,
+                 std::string* error);
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  /// The bound port (kernel-assigned when listen_on got port 0).
+  std::uint16_t port() const { return port_; }
+  void close();
+
+  /// Accepts one pending connection (non-blocking); an invalid Socket when
+  /// none is waiting.
+  Socket accept_connection();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to `ep` with a wall-clock bound on the TCP handshake. Returns
+/// an invalid Socket (with *error) on failure or timeout.
+Socket connect_to(const Endpoint& ep, int timeout_ms, std::string* error);
+
+}  // namespace fpmix::net

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <deque>
 #include <thread>
 
 #include "support/strings.hpp"
@@ -31,7 +30,7 @@ std::uint64_t now_ns() {
 struct WorkerPool::Slot {
   Worker worker;
   bool busy = false;
-  std::size_t job_index = 0;
+  std::uint64_t ticket = 0;       // in-flight work ticket when busy
   std::uint64_t deadline_at = 0;  // steady ns; 0 = no supervisor timeout
   bool term_sent = false;
   std::uint64_t kill_at = 0;  // TERM grace expiry once term_sent
@@ -49,6 +48,11 @@ WorkerPool::WorkerPool(const WorkerContext& ctx, const PoolOptions& opts)
 
 WorkerPool::~WorkerPool() = default;
 
+SlotStats* WorkerPool::slot_stats(const Slot& s) {
+  return s.stats_index < stats_.slots.size() ? &stats_.slots[s.stats_index]
+                                             : nullptr;
+}
+
 bool WorkerPool::spawn_slot(Slot* slot, bool respawn) {
   // The fresh worker has no session base; delta requests would desync.
   slot->has_base = false;
@@ -56,9 +60,7 @@ bool WorkerPool::spawn_slot(Slot* slot, bool respawn) {
   ++stats_.workers_spawned;
   if (respawn) {
     ++stats_.workers_respawned;
-    if (slot->stats_index < stats_.slots.size()) {
-      ++stats_.slots[slot->stats_index].respawns;
-    }
+    if (SlotStats* ss = slot_stats(*slot)) ++ss->respawns;
   }
   return true;
 }
@@ -86,6 +88,363 @@ bool WorkerPool::start() {
   return started_;
 }
 
+void WorkerPool::submit(std::uint64_t ticket, const std::string& key,
+                        const config::PrecisionConfig& config) {
+  Work w;
+  w.key = key;
+  w.cfg = config;
+  work_.emplace(ticket, std::move(w));
+  queue_.push_back(ticket);
+}
+
+void WorkerPool::finish(std::uint64_t ticket, verify::EvalResult result,
+                        bool quarantined) {
+  auto it = work_.find(ticket);
+  if (it == work_.end()) return;  // stale (post-storm) delivery
+  Finished f;
+  f.ticket = ticket;
+  f.outcome.result = std::move(result);
+  f.outcome.worker_deaths = it->second.deaths;
+  f.outcome.quarantined = quarantined;
+  const std::uint64_t start = it->second.first_ns;
+  f.outcome.wall_ns = start != 0 && now_ns() > start ? now_ns() - start : 0;
+  work_.erase(it);
+  finished_.push_back(std::move(f));
+}
+
+// A verdict (pass/fail/timeout) landed for this config: its fault streak
+// resets and the pool-wide storm detector sees a healthy environment.
+void WorkerPool::deliver_verdict(std::uint64_t ticket,
+                                 verify::EvalResult result) {
+  auto it = work_.find(ticket);
+  if (it != work_.end()) fault_streak_[it->second.key] = 0;
+  consecutive_deaths_ = 0;
+  finish(ticket, std::move(result), /*quarantined=*/false);
+}
+
+// A fault event (death / resource verdict / protocol error): retry the
+// trial with a fresh injector draw, or trip the per-config breaker.
+void WorkerPool::fault_event(std::uint64_t ticket, Slot* slot,
+                             const std::string& detail) {
+  auto it = work_.find(ticket);
+  if (it == work_.end()) return;
+  ++it->second.deaths;
+  const std::string& key = it->second.key;
+  if (record_fault_event(key)) {
+    if (SlotStats* ss = slot_stats(*slot)) ++ss->quarantines;
+    verify::EvalResult er;
+    er.passed = false;
+    er.failure_class = verify::FailureClass::kCrash;
+    er.failure = strformat(
+        "quarantined after %u consecutive worker faults (last: %s)",
+        static_cast<unsigned>(fault_streak_[key]), detail.c_str());
+    finish(ticket, std::move(er), /*quarantined=*/true);
+  } else {
+    queue_.push_back(ticket);
+  }
+}
+
+void WorkerPool::note_death() {
+  ++consecutive_deaths_;
+  if (consecutive_deaths_ >= opts_.crash_storm_threshold) {
+    stats_.crash_storm = true;
+  }
+}
+
+// Force-kills and reaps a worker whose stream turned bad (corrupt frame,
+// failed send). Harmless when the child is already gone.
+Worker::Death WorkerPool::kill_and_reap(Slot* slot) {
+  slot->worker.send_sigkill();
+  slot->has_base = false;
+  Worker::Death death;
+  slot->worker.reap(&death, /*block=*/true);
+  return death;
+}
+
+void WorkerPool::process_ready(Slot* sp) {
+#if FPMIX_POOL_POSIX
+  Slot& s = *sp;
+  std::string payload;
+  bool eof = false;
+  const FrameStatus st = s.worker.read_result(&payload, &eof);
+  const std::uint64_t ticket = s.ticket;
+  if (st == FrameStatus::kOk) {
+    WireResult w;
+    verify::EvalResult er;
+    if (!decode_result(payload, &w) || !to_eval_result(w, &er)) {
+      ++stats_.protocol_errors;
+      kill_and_reap(&s);
+      note_death();
+      s.busy = false;
+      if (SlotStats* ss = slot_stats(s)) ++ss->crashes;
+      fault_event(ticket, &s, "malformed result payload from worker");
+      return;
+    }
+    s.busy = false;
+    if (er.failure_class == verify::FailureClass::kResource) {
+      // Resource verdicts are fault events, not votes: the config gets a
+      // fresh attempt, then the breaker.
+      ++stats_.resource_retries;
+      consecutive_deaths_ = 0;  // the worker survived and spoke
+      fault_event(ticket, &s, er.failure);
+      return;
+    }
+    deliver_verdict(ticket, std::move(er));
+    return;
+  }
+  if (st == FrameStatus::kCorrupt) {
+    ++stats_.protocol_errors;
+    kill_and_reap(&s);
+    note_death();
+    s.busy = false;
+    if (SlotStats* ss = slot_stats(s)) ++ss->crashes;
+    fault_event(ticket, &s, "corrupt or truncated result frame");
+    return;
+  }
+  // kNeedMore: either nothing complete yet, or EOF with no frame.
+  if (!eof) return;
+  Worker::Death death;
+  s.worker.reap(&death, /*block=*/true);
+  s.busy = false;
+  s.has_base = false;
+  if (s.term_sent) {
+    // The supervisor killed it for exceeding the trial deadline: a
+    // voting kTimeout verdict, same as the in-process deadline path.
+    ++stats_.timeouts_killed;
+    if (SlotStats* ss = slot_stats(s)) ++ss->timeouts;
+    verify::EvalResult er;
+    er.passed = false;
+    er.failure_class = verify::FailureClass::kTimeout;
+    er.run_status = vm::RunResult::Status::kDeadline;
+    er.failure = strformat(
+        "trial exceeded the supervisor deadline (%llu ms); worker killed",
+        static_cast<unsigned long long>(opts_.trial_timeout_ms));
+    deliver_verdict(ticket, std::move(er));
+    return;
+  }
+  std::string detail;
+  const verify::FailureClass cls = classify_death(death, &detail);
+  ++stats_.worker_crashes;
+  if (death.signaled) {
+    ++stats_.crashes_by_signal[signal_name(death.signal)];
+  } else {
+    ++stats_.crashes_by_signal[strformat("exit:%d", death.exit_code)];
+  }
+  if (cls == verify::FailureClass::kResource) ++stats_.resource_retries;
+  if (SlotStats* ss = slot_stats(s)) ++ss->crashes;
+  note_death();
+  fault_event(ticket, &s, detail);
+#else
+  (void)sp;
+#endif
+}
+
+void WorkerPool::dispatch() {
+#if FPMIX_POOL_POSIX
+  for (auto& sp : slots_) {
+    Slot& s = *sp;
+    if (s.busy) continue;
+    // Configs quarantined earlier never run again.
+    while (!queue_.empty()) {
+      const std::uint64_t t = queue_.front();
+      auto it = work_.find(t);
+      if (it == work_.end()) {  // stale ticket (post-storm drain)
+        queue_.pop_front();
+        continue;
+      }
+      if (quarantined_.count(it->second.key) == 0) break;
+      queue_.pop_front();
+      verify::EvalResult er;
+      er.passed = false;
+      er.failure_class = verify::FailureClass::kCrash;
+      er.failure = "config quarantined by the crash-loop breaker";
+      finish(t, std::move(er), /*quarantined=*/true);
+    }
+    if (queue_.empty()) break;
+    if (!s.worker.running()) {
+      if (consecutive_deaths_ > 0) {
+        // Jittered exponential backoff (2ms doubling to a 200ms cap by
+        // default): keeps a crash-looping config from respawn-thrashing
+        // the machine, and keeps slots from respawning in lockstep.
+        const std::uint64_t ms = backoff_delay_ms(
+            opts_.respawn_backoff, consecutive_deaths_,
+            backoff_rng_.next_u64());
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      }
+      if (!spawn_slot(&s, /*respawn=*/true)) {
+        note_death();  // repeated fork failure is an environment problem
+        if (stats_.crash_storm) break;
+        continue;
+      }
+    }
+    const std::uint64_t t = queue_.front();
+    queue_.pop_front();
+    Work& w = work_.find(t)->second;
+    TrialRequest req;
+    req.key = w.key;
+    req.exec_index = exec_counter_[w.key]++;
+    // Adaptive config encoding: ship the delta against this worker's
+    // session base when it is strictly smaller than the full canonical
+    // key; otherwise fall back to a full frame (which also re-anchors
+    // the session after large jumps).
+    std::string full = w.cfg.canonical_key();
+    if (s.has_base) {
+      std::string delta = w.cfg.encode_delta_from(s.base);
+      if (delta.size() < full.size()) {
+        req.opcode = kReqDelta;
+        req.config_key = std::move(delta);
+      }
+    }
+    if (req.opcode != kReqDelta) {
+      req.opcode = kReqFull;
+      req.config_key = std::move(full);
+    }
+    if (w.first_ns == 0) w.first_ns = now_ns();
+    ++stats_.isolated_trials;
+    if (!s.worker.send_request(req)) {
+      const Worker::Death death = kill_and_reap(&s);
+      std::string detail;
+      classify_death(death, &detail);
+      ++stats_.worker_crashes;
+      if (SlotStats* ss = slot_stats(s)) ++ss->crashes;
+      note_death();
+      fault_event(t, &s,
+                  strformat("request pipe broken (%s)", detail.c_str()));
+      if (stats_.crash_storm) break;
+      continue;
+    }
+    // The worker advances its session base on every request it decodes;
+    // mirror that here. If it dies before decoding, the respawn resets
+    // both sides.
+    s.base = w.cfg;
+    s.has_base = true;
+    if (req.opcode == kReqDelta) {
+      ++stats_.delta_requests;
+      stats_.delta_bytes += req.config_key.size();
+    } else {
+      ++stats_.full_requests;
+      stats_.full_bytes += req.config_key.size();
+    }
+    if (SlotStats* ss = slot_stats(s)) ++ss->requests;
+    s.busy = true;
+    s.ticket = t;
+    s.term_sent = false;
+    s.kill_at = 0;
+    s.deadline_at = opts_.trial_timeout_ms > 0
+                        ? now_ns() + opts_.trial_timeout_ms * 1000000ull
+                        : 0;
+  }
+#endif
+}
+
+void WorkerPool::fail_all_outstanding(const std::string& reason) {
+  // Collect first: finish() mutates work_.
+  std::vector<std::uint64_t> tickets;
+  tickets.reserve(work_.size());
+  for (const auto& [t, w] : work_) tickets.push_back(t);
+  for (std::uint64_t t : tickets) {
+    verify::EvalResult er;
+    er.passed = false;
+    er.failure_class = verify::FailureClass::kInternalError;
+    er.failure = reason;
+    finish(t, std::move(er), /*quarantined=*/false);
+  }
+  queue_.clear();
+}
+
+void WorkerPool::pump(int max_wait_ms) {
+#if !FPMIX_POOL_POSIX
+  (void)max_wait_ms;
+  fail_all_outstanding("process isolation is unsupported on this platform");
+  return;
+#else
+  if (!started_) {
+    fail_all_outstanding("worker pool has no running workers");
+    return;
+  }
+  if (stats_.crash_storm) {
+    fail_all_outstanding(strformat(
+        "worker crash storm: %u consecutive deaths, batch aborted",
+        static_cast<unsigned>(consecutive_deaths_)));
+    return;
+  }
+
+  dispatch();
+  if (stats_.crash_storm) {
+    fail_all_outstanding(strformat(
+        "worker crash storm: %u consecutive deaths, batch aborted",
+        static_cast<unsigned>(consecutive_deaths_)));
+    return;
+  }
+
+  // Gather in-flight response fds.
+  std::vector<pollfd> fds;
+  std::vector<Slot*> fd_slots;
+  std::uint64_t next_event = 0;
+  for (auto& sp : slots_) {
+    Slot& s = *sp;
+    if (!s.busy) continue;
+    fds.push_back(pollfd{s.worker.response_fd(), POLLIN, 0});
+    fd_slots.push_back(&s);
+    const std::uint64_t ev = s.term_sent ? s.kill_at : s.deadline_at;
+    if (ev != 0 && (next_event == 0 || ev < next_event)) next_event = ev;
+  }
+  if (fds.empty()) return;  // nothing in flight
+
+  int timeout_ms = max_wait_ms;
+  if (next_event != 0) {
+    const std::uint64_t now = now_ns();
+    const int until =
+        next_event > now
+            ? static_cast<int>((next_event - now) / 1000000ull) + 1
+            : 0;
+    if (timeout_ms < 0 || until < timeout_ms) timeout_ms = until;
+  }
+  ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    if (fds[i].revents != 0) process_ready(fd_slots[i]);
+  }
+
+  // Deadline enforcement: TERM first, KILL after the grace period.
+  const std::uint64_t now = now_ns();
+  for (auto& sp : slots_) {
+    Slot& s = *sp;
+    if (!s.busy) continue;
+    if (!s.term_sent && s.deadline_at != 0 && now >= s.deadline_at) {
+      s.worker.send_sigterm();
+      s.term_sent = true;
+      s.kill_at = now + opts_.term_grace_ms * 1000000ull;
+    } else if (s.term_sent && now >= s.kill_at) {
+      s.worker.send_sigkill();
+    }
+  }
+#endif
+}
+
+std::vector<WorkerPool::Finished> WorkerPool::take_finished() {
+  std::vector<Finished> out;
+  out.swap(finished_);
+  return out;
+}
+
+void WorkerPool::poll_fds(std::vector<int>* out) const {
+  for (const auto& sp : slots_) {
+    if (sp->busy) out->push_back(sp->worker.response_fd());
+  }
+}
+
+std::uint64_t WorkerPool::next_deadline_ns() const {
+  std::uint64_t next_event = 0;
+  for (const auto& sp : slots_) {
+    const Slot& s = *sp;
+    if (!s.busy) continue;
+    const std::uint64_t ev = s.term_sent ? s.kill_at : s.deadline_at;
+    if (ev != 0 && (next_event == 0 || ev < next_event)) next_event = ev;
+  }
+  return next_event;
+}
+
 std::vector<TrialOutcome> WorkerPool::run_batch(
     const std::vector<TrialJob>& jobs) {
   std::vector<TrialOutcome> out(jobs.size());
@@ -108,286 +467,20 @@ std::vector<TrialOutcome> WorkerPool::run_batch(
     return out;
   }
 
-  std::deque<std::size_t> queue;
-  for (std::size_t i = 0; i < jobs.size(); ++i) queue.push_back(i);
-  std::vector<std::uint64_t> first_dispatch(jobs.size(), 0);
-  std::vector<std::uint32_t> deaths(jobs.size(), 0);
-  std::vector<char> done(jobs.size(), 0);
-  std::size_t completed = 0;
-
-  const auto finish = [&](std::size_t j, verify::EvalResult result,
-                          bool quarantined) {
-    out[j].result = std::move(result);
-    out[j].worker_deaths = deaths[j];
-    out[j].quarantined = quarantined;
-    const std::uint64_t start = first_dispatch[j];
-    out[j].wall_ns = start != 0 && now_ns() > start ? now_ns() - start : 0;
-    done[j] = 1;
-    ++completed;
-  };
-
-  // A verdict (pass/fail/timeout) landed for this config: its fault streak
-  // resets and the pool-wide storm detector sees a healthy environment.
-  const auto deliver_verdict = [&](std::size_t j, verify::EvalResult result) {
-    fault_streak_[jobs[j].key] = 0;
-    consecutive_deaths_ = 0;
-    finish(j, std::move(result), /*quarantined=*/false);
-  };
-
-  const auto slot_stats = [&](const Slot& s) -> SlotStats* {
-    return s.stats_index < stats_.slots.size() ? &stats_.slots[s.stats_index]
-                                               : nullptr;
-  };
-
-  // A fault event (death / resource verdict / protocol error): retry the
-  // trial with a fresh injector draw, or trip the per-config breaker.
-  const auto fault_event = [&](std::size_t j, const Slot& s,
-                               const std::string& detail) {
-    ++deaths[j];
-    if (record_fault_event(jobs[j].key)) {
-      if (SlotStats* ss = slot_stats(s)) ++ss->quarantines;
-      verify::EvalResult er;
-      er.passed = false;
-      er.failure_class = verify::FailureClass::kCrash;
-      er.failure = strformat(
-          "quarantined after %u consecutive worker faults (last: %s)",
-          static_cast<unsigned>(fault_streak_[jobs[j].key]), detail.c_str());
-      finish(j, std::move(er), /*quarantined=*/true);
-    } else {
-      queue.push_back(j);
-    }
-  };
-
-  const auto note_death = [&]() {
-    ++consecutive_deaths_;
-    if (consecutive_deaths_ >= opts_.crash_storm_threshold) {
-      stats_.crash_storm = true;
-    }
-  };
-
-  // Force-kills and reaps a worker whose stream turned bad (corrupt frame,
-  // failed send). Harmless when the child is already gone.
-  const auto kill_and_reap = [](Slot& s) {
-    s.worker.send_sigkill();
-    s.has_base = false;
-    Worker::Death death;
-    s.worker.reap(&death, /*block=*/true);
-    return death;
-  };
-
-  const auto process_ready = [&](Slot& s) {
-    std::string payload;
-    bool eof = false;
-    const FrameStatus st = s.worker.read_result(&payload, &eof);
-    const std::size_t j = s.job_index;
-    if (st == FrameStatus::kOk) {
-      WireResult w;
-      verify::EvalResult er;
-      if (!decode_result(payload, &w) || !to_eval_result(w, &er)) {
-        ++stats_.protocol_errors;
-        kill_and_reap(s);
-        note_death();
-        s.busy = false;
-        if (SlotStats* ss = slot_stats(s)) ++ss->crashes;
-        fault_event(j, s, "malformed result payload from worker");
-        return;
-      }
-      s.busy = false;
-      if (er.failure_class == verify::FailureClass::kResource) {
-        // Resource verdicts are fault events, not votes: the config gets a
-        // fresh attempt, then the breaker.
-        ++stats_.resource_retries;
-        consecutive_deaths_ = 0;  // the worker survived and spoke
-        fault_event(j, s, er.failure);
-        return;
-      }
-      deliver_verdict(j, std::move(er));
-      return;
-    }
-    if (st == FrameStatus::kCorrupt) {
-      ++stats_.protocol_errors;
-      kill_and_reap(s);
-      note_death();
-      s.busy = false;
-      if (SlotStats* ss = slot_stats(s)) ++ss->crashes;
-      fault_event(j, s, "corrupt or truncated result frame");
-      return;
-    }
-    // kNeedMore: either nothing complete yet, or EOF with no frame.
-    if (!eof) return;
-    Worker::Death death;
-    s.worker.reap(&death, /*block=*/true);
-    s.busy = false;
-    s.has_base = false;
-    if (s.term_sent) {
-      // The supervisor killed it for exceeding the trial deadline: a
-      // voting kTimeout verdict, same as the in-process deadline path.
-      ++stats_.timeouts_killed;
-      if (SlotStats* ss = slot_stats(s)) ++ss->timeouts;
-      verify::EvalResult er;
-      er.passed = false;
-      er.failure_class = verify::FailureClass::kTimeout;
-      er.run_status = vm::RunResult::Status::kDeadline;
-      er.failure = strformat(
-          "trial exceeded the supervisor deadline (%llu ms); worker killed",
-          static_cast<unsigned long long>(opts_.trial_timeout_ms));
-      deliver_verdict(j, std::move(er));
-      return;
-    }
-    std::string detail;
-    const verify::FailureClass cls = classify_death(death, &detail);
-    ++stats_.worker_crashes;
-    if (death.signaled) {
-      ++stats_.crashes_by_signal[signal_name(death.signal)];
-    } else {
-      ++stats_.crashes_by_signal[strformat("exit:%d", death.exit_code)];
-    }
-    if (cls == verify::FailureClass::kResource) ++stats_.resource_retries;
-    if (SlotStats* ss = slot_stats(s)) ++ss->crashes;
-    note_death();
-    fault_event(j, s, detail);
-  };
-
-  while (completed < jobs.size() && !stats_.crash_storm) {
-    // Dispatch queued jobs onto idle slots.
-    for (auto& sp : slots_) {
-      Slot& s = *sp;
-      if (s.busy) continue;
-      // Configs quarantined in an earlier batch never run again.
-      while (!queue.empty() && quarantined_.count(jobs[queue.front()].key)) {
-        const std::size_t j = queue.front();
-        queue.pop_front();
-        verify::EvalResult er;
-        er.passed = false;
-        er.failure_class = verify::FailureClass::kCrash;
-        er.failure = "config quarantined by the crash-loop breaker";
-        finish(j, std::move(er), /*quarantined=*/true);
-      }
-      if (queue.empty()) break;
-      if (!s.worker.running()) {
-        if (consecutive_deaths_ > 0) {
-          // Exponential backoff: 2ms doubling to a 200ms cap. Keeps a
-          // crash-looping config from respawn-thrashing the machine.
-          const std::uint64_t ms = std::min<std::uint64_t>(
-              200, 1ull << std::min<std::uint32_t>(consecutive_deaths_, 8));
-          std::this_thread::sleep_for(std::chrono::milliseconds(ms));
-        }
-        if (!spawn_slot(&s, /*respawn=*/true)) {
-          note_death();  // repeated fork failure is an environment problem
-          if (stats_.crash_storm) break;
-          continue;
-        }
-      }
-      const std::size_t j = queue.front();
-      queue.pop_front();
-      const TrialJob& job = jobs[j];
-      TrialRequest req;
-      req.key = job.key;
-      req.exec_index = exec_counter_[job.key]++;
-      // Adaptive config encoding: ship the delta against this worker's
-      // session base when it is strictly smaller than the full canonical
-      // key; otherwise fall back to a full frame (which also re-anchors
-      // the session after large jumps).
-      std::string full = job.config->canonical_key();
-      if (s.has_base) {
-        std::string delta = job.config->encode_delta_from(s.base);
-        if (delta.size() < full.size()) {
-          req.opcode = kReqDelta;
-          req.config_key = std::move(delta);
-        }
-      }
-      if (req.opcode != kReqDelta) {
-        req.opcode = kReqFull;
-        req.config_key = std::move(full);
-      }
-      if (first_dispatch[j] == 0) first_dispatch[j] = now_ns();
-      ++stats_.isolated_trials;
-      if (!s.worker.send_request(req)) {
-        const Worker::Death death = kill_and_reap(s);
-        std::string detail;
-        classify_death(death, &detail);
-        ++stats_.worker_crashes;
-        if (SlotStats* ss = slot_stats(s)) ++ss->crashes;
-        note_death();
-        fault_event(j, s,
-                    strformat("request pipe broken (%s)", detail.c_str()));
-        continue;
-      }
-      // The worker advances its session base on every request it decodes;
-      // mirror that here. If it dies before decoding, the respawn resets
-      // both sides.
-      s.base = *job.config;
-      s.has_base = true;
-      if (req.opcode == kReqDelta) {
-        ++stats_.delta_requests;
-        stats_.delta_bytes += req.config_key.size();
-      } else {
-        ++stats_.full_requests;
-        stats_.full_bytes += req.config_key.size();
-      }
-      if (SlotStats* ss = slot_stats(s)) ++ss->requests;
-      s.busy = true;
-      s.job_index = j;
-      s.term_sent = false;
-      s.kill_at = 0;
-      s.deadline_at = opts_.trial_timeout_ms > 0
-                          ? now_ns() + opts_.trial_timeout_ms * 1000000ull
-                          : 0;
-    }
-    if (completed >= jobs.size() || stats_.crash_storm) break;
-
-    // Gather in-flight response fds.
-    std::vector<pollfd> fds;
-    std::vector<Slot*> fd_slots;
-    std::uint64_t next_event = 0;
-    for (auto& sp : slots_) {
-      Slot& s = *sp;
-      if (!s.busy) continue;
-      fds.push_back(pollfd{s.worker.response_fd(), POLLIN, 0});
-      fd_slots.push_back(&s);
-      const std::uint64_t ev = s.term_sent ? s.kill_at : s.deadline_at;
-      if (ev != 0 && (next_event == 0 || ev < next_event)) next_event = ev;
-    }
-    if (fds.empty()) continue;  // nothing in flight: dispatch again
-
-    int timeout_ms = -1;
-    if (next_event != 0) {
-      const std::uint64_t now = now_ns();
-      timeout_ms = next_event > now
-                       ? static_cast<int>((next_event - now) / 1000000ull) + 1
-                       : 0;
-    }
-    ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
-
-    for (std::size_t i = 0; i < fds.size(); ++i) {
-      if (fds[i].revents != 0) process_ready(*fd_slots[i]);
-    }
-
-    // Deadline enforcement: TERM first, KILL after the grace period.
-    const std::uint64_t now = now_ns();
-    for (auto& sp : slots_) {
-      Slot& s = *sp;
-      if (!s.busy) continue;
-      if (!s.term_sent && s.deadline_at != 0 && now >= s.deadline_at) {
-        s.worker.send_sigterm();
-        s.term_sent = true;
-        s.kill_at = now + opts_.term_grace_ms * 1000000ull;
-      } else if (s.term_sent && now >= s.kill_at) {
-        s.worker.send_sigkill();
-      }
-    }
+  std::map<std::uint64_t, std::size_t> index_of;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const std::uint64_t t = next_ticket_++;
+    index_of[t] = i;
+    submit(t, jobs[i].key, *jobs[i].config);
   }
-
-  if (stats_.crash_storm) {
-    for (std::size_t j = 0; j < jobs.size(); ++j) {
-      if (done[j]) continue;
-      verify::EvalResult er;
-      er.passed = false;
-      er.failure_class = verify::FailureClass::kInternalError;
-      er.failure = strformat(
-          "worker crash storm: %u consecutive deaths, batch aborted",
-          static_cast<unsigned>(consecutive_deaths_));
-      finish(j, std::move(er), /*quarantined=*/false);
+  std::size_t completed = 0;
+  while (completed < jobs.size()) {
+    pump(/*max_wait_ms=*/-1);
+    for (Finished& f : take_finished()) {
+      auto it = index_of.find(f.ticket);
+      if (it == index_of.end()) continue;  // not from this batch
+      out[it->second] = std::move(f.outcome);
+      ++completed;
     }
   }
   return out;

@@ -9,19 +9,30 @@
 //
 // Failure policy, in one paragraph: a worker death, an over-rlimit resource
 // verdict, or a corrupt/truncated result frame is a *fault event*, not a
-// trial verdict. The pool respawns the worker (exponential backoff) and
-// re-executes the trial with a fresh fault-injector attempt index. A config
-// that kills workers max_crashes_per_config times in a row trips its
-// circuit breaker: it is reported as a failing (kCrash) outcome, marked
-// quarantined, and never executed again. A supervisor-timeout kill
-// (TERM, then KILL after a grace period) is different: it yields a voting
-// kTimeout verdict, mirroring what the in-process deadline path reports.
-// If workers keep dying regardless of config (crash_storm_threshold
-// consecutive deaths with no result delivered), the pool declares a crash
-// storm and fails the remaining batch instead of fork-bombing the machine.
+// trial verdict. The pool respawns the worker (jittered exponential
+// backoff; see support/backoff.hpp) and re-executes the trial with a fresh
+// fault-injector attempt index. A config that kills workers
+// max_crashes_per_config times in a row trips its circuit breaker: it is
+// reported as a failing (kCrash) outcome, marked quarantined, and never
+// executed again. A supervisor-timeout kill (TERM, then KILL after a grace
+// period) is different: it yields a voting kTimeout verdict, mirroring what
+// the in-process deadline path reports. If workers keep dying regardless of
+// config (crash_storm_threshold consecutive deaths with no result
+// delivered), the pool declares a crash storm and fails all outstanding
+// work instead of fork-bombing the machine.
+//
+// The pool exposes two interfaces over one engine:
+//   * run_batch(): the synchronous driver loop the search uses -- submit a
+//     batch, pump until every outcome is in, return them in job order;
+//   * submit()/pump()/take_finished(): the asynchronous form the network
+//     runner daemon uses to multiplex many client sessions over one pool.
+//     poll_fds()/next_deadline_ns() let an external event loop (the
+//     daemon's socket loop) sleep on worker pipes and supervisor deadlines
+//     alongside its own fds.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <set>
@@ -29,6 +40,7 @@
 #include <vector>
 
 #include "runner/trial_runner.hpp"
+#include "support/backoff.hpp"
 
 namespace fpmix::runner {
 
@@ -40,14 +52,18 @@ struct PoolOptions {
   /// config as failing.
   std::uint32_t max_crashes_per_config = 3;
   /// Pool-wide breaker: this many consecutive worker deaths without a
-  /// single delivered result aborts the batch (the environment, not any
-  /// one config, is broken).
+  /// single delivered result aborts outstanding work (the environment, not
+  /// any one config, is broken).
   std::uint32_t crash_storm_threshold = 16;
   /// Wall-clock cap per trial execution; 0 disables supervisor timeouts
   /// (the worker's own VM deadline is then the only clock).
   std::uint64_t trial_timeout_ms = 0;
   /// Grace between SIGTERM and SIGKILL for a timed-out worker.
   std::uint64_t term_grace_ms = 250;
+  /// Respawn throttle after consecutive deaths (jitter keeps N slots from
+  /// respawning in lockstep). The envelope matches the historical inline
+  /// policy: 2ms doubling to a 200ms cap.
+  BackoffPolicy respawn_backoff;
   /// Rlimits each worker applies to itself.
   RlimitSpec limits;
 };
@@ -105,6 +121,10 @@ struct TrialOutcome {
   /// True when the circuit breaker tripped: `result` is a synthetic kCrash
   /// failure and the config will never run again.
   bool quarantined = false;
+  /// False when no executor could take the trial at all (every remote
+  /// endpoint down, in the distributed scheduler); the caller falls back
+  /// to in-process evaluation. The pool itself always serves.
+  bool served = true;
 };
 
 /// Supervisor for a fleet of sandboxed Workers. Not thread-safe: one
@@ -120,11 +140,48 @@ class WorkerPool {
   /// forked -- the caller degrades to the in-process path.
   bool start();
 
-  /// Executes every job (keys must be distinct within a batch) and returns
-  /// outcomes in job order. Handles crash retries, respawns, timeouts and
-  /// quarantine internally; after a crash storm the remaining jobs come
-  /// back as kInternalError failures.
+  /// Executes every job and returns outcomes in job order. Handles crash
+  /// retries, respawns, timeouts and quarantine internally; after a crash
+  /// storm the remaining jobs come back as kInternalError failures.
   std::vector<TrialOutcome> run_batch(const std::vector<TrialJob>& jobs);
+
+  // ---- Asynchronous interface (the runner daemon's event loop) ------------
+
+  /// Queues one trial. `ticket` is the caller's correlation id, echoed in
+  /// the Finished record; it must be unique among unfinished submissions.
+  /// The config is copied (the async caller's batch may outlive its
+  /// buffers). Quarantined configs, crash storms and unsupported platforms
+  /// all surface as Finished records on the next pump().
+  void submit(std::uint64_t ticket, const std::string& key,
+              const config::PrecisionConfig& config);
+
+  /// One supervision iteration: dispatch queued trials onto idle workers,
+  /// wait up to `max_wait_ms` for response traffic (0 = just drain what is
+  /// ready, -1 = sleep until traffic or an internal deadline), process
+  /// results, enforce trial deadlines.
+  void pump(int max_wait_ms);
+
+  /// One finished trial from the async interface.
+  struct Finished {
+    std::uint64_t ticket = 0;
+    TrialOutcome outcome;
+  };
+  /// Drains finished trials accumulated by pump(), in completion order.
+  std::vector<Finished> take_finished();
+
+  /// True when nothing is queued, in flight, or waiting to be taken.
+  bool idle() const {
+    return queue_.empty() && work_.empty() && finished_.empty();
+  }
+  /// Trials submitted but not yet finished (queued + in flight).
+  std::size_t outstanding() const { return work_.size(); }
+
+  /// Appends the response fds of busy workers, for an external poll loop;
+  /// pump(0) once any is readable.
+  void poll_fds(std::vector<int>* out) const;
+  /// Earliest supervisor deadline (steady-clock ns; 0 = none). An external
+  /// poll must not sleep past it, or timed-out workers linger unkilled.
+  std::uint64_t next_deadline_ns() const;
 
   const PoolStats& stats() const { return stats_; }
   bool crash_storm() const { return stats_.crash_storm; }
@@ -135,11 +192,29 @@ class WorkerPool {
 
  private:
   struct Slot;
+  /// One submitted trial (queued or in flight).
+  struct Work {
+    std::string key;
+    config::PrecisionConfig cfg;
+    std::uint64_t first_ns = 0;   // first dispatch (wall_ns baseline)
+    std::uint32_t deaths = 0;     // fault events absorbed so far
+  };
 
   bool spawn_slot(Slot* slot, bool respawn);
   /// Registers a fault event for `key`; returns true when the breaker
   /// tripped (the config is now quarantined).
   bool record_fault_event(const std::string& key);
+  void finish(std::uint64_t ticket, verify::EvalResult result,
+              bool quarantined);
+  void deliver_verdict(std::uint64_t ticket, verify::EvalResult result);
+  void fault_event(std::uint64_t ticket, Slot* slot,
+                   const std::string& detail);
+  void note_death();
+  Worker::Death kill_and_reap(Slot* slot);
+  void process_ready(Slot* slot);
+  void dispatch();
+  void fail_all_outstanding(const std::string& reason);
+  SlotStats* slot_stats(const Slot& s);
 
   WorkerContext ctx_;
   PoolOptions opts_;
@@ -154,7 +229,14 @@ class WorkerPool {
   /// Pool-wide consecutive deaths with no delivered result (storm detector
   /// and backoff driver).
   std::uint32_t consecutive_deaths_ = 0;
+  /// Jitter stream for the respawn backoff (deterministic per pool).
+  SplitMix64 backoff_rng_{0x6261636B6F6666ull};  // "backoff"
   bool started_ = false;
+
+  std::map<std::uint64_t, Work> work_;   // ticket -> unfinished trial
+  std::deque<std::uint64_t> queue_;      // tickets awaiting dispatch
+  std::vector<Finished> finished_;
+  std::uint64_t next_ticket_ = 1;        // run_batch's internal tickets
 };
 
 }  // namespace fpmix::runner

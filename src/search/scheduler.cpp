@@ -1,0 +1,323 @@
+#include "search/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "runner/wire.hpp"
+#include "support/log.hpp"
+#include "support/strings.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FPMIX_NET_POSIX 1
+#include <poll.h>
+#else
+#define FPMIX_NET_POSIX 0
+#endif
+
+namespace fpmix::search {
+
+namespace {
+
+std::uint64_t now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void sleep_ms(int ms) {
+#if FPMIX_NET_POSIX
+  ::poll(nullptr, 0, ms);
+#else
+  (void)ms;
+#endif
+}
+
+}  // namespace
+
+Scheduler::Scheduler(const SchedulerOptions& opts) : opts_(opts) {
+  shards_.reserve(opts_.endpoints.size());
+  for (std::size_t i = 0; i < opts_.endpoints.size(); ++i) {
+    Shard s;
+    s.ep = opts_.endpoints[i];
+    s.m.address = s.ep.str();
+    // Per-shard backoff seed: deterministic, distinct per shard so a fleet
+    // that drops together does not redial in lockstep.
+    s.backoff = Backoff(opts_.reconnect_backoff, 0x73686172ull + i);
+    shards_.push_back(std::move(s));
+  }
+}
+
+Scheduler::~Scheduler() = default;
+
+bool Scheduler::try_connect(Shard* s) {
+  std::string error;
+  auto client = net::EndpointClient::connect(
+      s->ep, opts_.hello, opts_.connect_timeout_ms, opts_.hello_timeout_ms,
+      &error);
+  if (client == nullptr) {
+    log::warnf("scheduler: endpoint %s unavailable: %s",
+               s->m.address.c_str(), error.c_str());
+    if (++s->consecutive_failures >= opts_.max_endpoint_failures) {
+      s->lost = true;
+      s->m.lost = true;
+      log::warnf("scheduler: endpoint %s lost after %u failures",
+                 s->m.address.c_str(), s->consecutive_failures);
+    } else {
+      s->retry_at_ms = now_ms() + s->backoff.next_ms();
+    }
+    return false;
+  }
+  if (!opts_.verifier_fp.empty() &&
+      client->verifier_fp() != opts_.verifier_fp) {
+    // The endpoint evaluates a different reference computation; its
+    // verdicts would be garbage. Never retry.
+    log::warnf("scheduler: endpoint %s verifier fingerprint mismatch "
+               "(local %s, remote %s); endpoint dropped",
+               s->m.address.c_str(), opts_.verifier_fp.c_str(),
+               client->verifier_fp().c_str());
+    s->lost = true;
+    s->m.lost = true;
+    return false;
+  }
+  if (s->ever_connected) ++s->m.reconnects;
+  s->ever_connected = true;
+  s->consecutive_failures = 0;
+  s->backoff.reset();
+  s->m.workers = client->workers();
+  s->client = std::move(client);
+  return true;
+}
+
+std::size_t Scheduler::connect() {
+  std::size_t live = 0;
+  for (Shard& s : shards_) {
+    if (try_connect(&s)) ++live;
+  }
+  return live;
+}
+
+std::size_t Scheduler::capacity() const {
+  std::size_t total = 0;
+  for (const Shard& s : shards_) {
+    if (s.client != nullptr) total += s.m.workers;
+  }
+  return total;
+}
+
+bool Scheduler::any_live() const {
+  for (const Shard& s : shards_) {
+    if (s.client != nullptr) return true;
+  }
+  return false;
+}
+
+void Scheduler::shard_down(Shard* s) {
+  ++s->m.disconnects;
+  if (s->client != nullptr && !s->client->last_error().empty()) {
+    log::warnf("scheduler: endpoint %s dropped: %s", s->m.address.c_str(),
+               s->client->last_error().c_str());
+  }
+  s->client.reset();
+  if (++s->consecutive_failures >= opts_.max_endpoint_failures) {
+    s->lost = true;
+    s->m.lost = true;
+    log::warnf("scheduler: endpoint %s lost after %u failures",
+               s->m.address.c_str(), s->consecutive_failures);
+  } else {
+    s->retry_at_ms = now_ms() + s->backoff.next_ms();
+  }
+}
+
+void Scheduler::reconnect_due() {
+  const std::uint64_t now = now_ms();
+  for (Shard& s : shards_) {
+    if (s.client != nullptr || s.lost || now < s.retry_at_ms) continue;
+    try_connect(&s);
+  }
+}
+
+Scheduler::Shard* Scheduler::least_loaded() {
+  Shard* best = nullptr;
+  double best_load = 0.0;
+  for (Shard& s : shards_) {
+    if (s.client == nullptr) continue;
+    const double load =
+        static_cast<double>(s.inflight.size()) /
+        static_cast<double>(std::max<std::uint32_t>(1, s.m.workers));
+    if (best == nullptr || load < best_load) {
+      best = &s;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+std::vector<runner::TrialOutcome> Scheduler::run_batch(
+    const std::vector<runner::TrialJob>& jobs) {
+  std::vector<runner::TrialOutcome> outcomes(jobs.size());
+  struct JobState {
+    bool done = false;
+    bool in_flight = false;
+    std::uint32_t deaths = 0;  // endpoints that died holding this trial
+  };
+  std::vector<JobState> state(jobs.size());
+  std::size_t remaining = jobs.size();
+
+  // Reroutes or quarantines a downed shard's in-flight trials, then runs
+  // the endpoint failure accounting.
+  const auto fail_shard = [&](Shard* s) {
+    for (const auto& [ticket, i] : s->inflight) {
+      if (state[i].done) continue;
+      state[i].in_flight = false;
+      if (++state[i].deaths >= opts_.max_trial_crashes) {
+        runner::TrialOutcome& o = outcomes[i];
+        o.result.passed = false;
+        o.result.failure_class = verify::FailureClass::kCrash;
+        o.result.failure = strformat(
+            "quarantined after %u endpoint failures mid-trial",
+            state[i].deaths);
+        o.worker_deaths = state[i].deaths;
+        o.quarantined = true;
+        o.served = true;
+        state[i].done = true;
+        --remaining;
+      } else {
+        ++s->m.failovers;
+      }
+    }
+    s->inflight.clear();
+    shard_down(s);
+  };
+
+  while (remaining > 0) {
+    reconnect_due();
+    if (!any_live()) {
+      // Anything still waiting on a backoff timer? Sleep toward the
+      // earliest redial; otherwise the fleet is gone for good.
+      std::uint64_t earliest = 0;
+      for (const Shard& s : shards_) {
+        if (s.lost || s.client != nullptr) continue;
+        if (earliest == 0 || s.retry_at_ms < earliest) {
+          earliest = s.retry_at_ms;
+        }
+      }
+      if (earliest == 0) {
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+          if (state[i].done) continue;
+          outcomes[i].served = false;
+          state[i].done = true;
+          --remaining;
+        }
+        break;
+      }
+      const std::uint64_t now = now_ms();
+      sleep_ms(earliest > now
+                   ? static_cast<int>(std::min<std::uint64_t>(
+                         earliest - now, 100))
+                   : 1);
+      continue;
+    }
+
+    // ---- Dispatch every unassigned trial to the least-loaded shard. ----
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (state[i].done || state[i].in_flight) continue;
+      Shard* s = least_loaded();
+      if (s == nullptr) break;
+      net::TrialMsg m;
+      m.ticket = next_ticket_++;
+      m.key = jobs[i].key;
+      m.config_key = jobs[i].config->canonical_key();
+      if (!s->client->submit(m)) {
+        fail_shard(s);
+        break;  // re-plan against the surviving fleet
+      }
+      s->inflight.emplace(m.ticket, i);
+      state[i].in_flight = true;
+    }
+
+#if FPMIX_NET_POSIX
+    // ---- Wait for traffic (bounded, to keep redial timers honest). ----
+    std::vector<pollfd> fds;
+    for (Shard& s : shards_) {
+      if (s.client != nullptr && !s.inflight.empty()) {
+        fds.push_back(pollfd{s.client->fd(), POLLIN, 0});
+      }
+    }
+    if (!fds.empty()) {
+      ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 200);
+    }
+#endif
+
+    // ---- Drain results from every live shard. ----
+    for (Shard& s : shards_) {
+      if (s.client == nullptr || s.inflight.empty()) continue;
+      std::vector<net::ResultMsg> results;
+      const bool ok = s.client->drain(&results);
+      bool damaged = false;
+      for (net::ResultMsg& r : results) {
+        auto it = s.inflight.find(r.ticket);
+        if (it == s.inflight.end()) continue;  // stale (already rerouted)
+        const std::size_t i = it->second;
+        s.inflight.erase(it);
+        runner::WireResult w;
+        verify::EvalResult er;
+        if (!runner::decode_result(r.wire_result, &w) ||
+            !runner::to_eval_result(w, &er)) {
+          // The frame CRC passed but the payload is semantically bad:
+          // treat it like transport damage and reroute the trial.
+          state[i].in_flight = false;
+          damaged = true;
+          continue;
+        }
+        runner::TrialOutcome& o = outcomes[i];
+        o.result = std::move(er);
+        o.wall_ns = r.wall_ns;
+        o.worker_deaths = r.worker_deaths;
+        o.quarantined = (r.flags & net::kResultQuarantined) != 0;
+        o.served = true;
+        state[i].done = true;
+        state[i].in_flight = false;
+        --remaining;
+        ++s.m.trials;
+        s.m.busy_ns += r.wall_ns;
+        if ((r.flags & net::kResultCacheHit) != 0) ++s.m.cache_hits;
+      }
+      if (!ok || damaged) fail_shard(&s);
+    }
+  }
+  return outcomes;
+}
+
+void Scheduler::broadcast_insert(const std::string& key, bool passed,
+                                 std::uint8_t failure_class,
+                                 const std::string& failure) {
+  if (opts_.hello.shard_cache == 0) return;
+  net::CacheInsertMsg m;
+  m.key = key;
+  m.passed = passed ? 1 : 0;
+  m.failure_class = failure_class;
+  m.failure = failure;
+  for (Shard& s : shards_) {
+    if (s.client == nullptr) continue;
+    if (!s.client->insert(m)) {
+      ++s.m.disconnects;
+      s.client.reset();
+      if (++s.consecutive_failures >= opts_.max_endpoint_failures) {
+        s.lost = true;
+        s.m.lost = true;
+      } else {
+        s.retry_at_ms = now_ms() + s.backoff.next_ms();
+      }
+    }
+  }
+}
+
+std::vector<EndpointMetrics> Scheduler::endpoint_metrics() const {
+  std::vector<EndpointMetrics> out;
+  out.reserve(shards_.size());
+  for (const Shard& s : shards_) out.push_back(s.m);
+  return out;
+}
+
+}  // namespace fpmix::search

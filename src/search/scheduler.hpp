@@ -1,0 +1,109 @@
+// Scheduler: the client half of the distributed search service.
+//
+// Fans trial batches out across a fleet of runner_serve endpoints with
+// many trials outstanding per connection, picking the least-loaded shard
+// (in-flight trials per worker) for each dispatch. The scheduler is the
+// drop-in remote counterpart of runner::WorkerPool::run_batch: same job
+// type, same outcome type, same contract (every job gets an outcome, in
+// job order), so the search core stays executor-agnostic.
+//
+// Endpoint failure handling mirrors the pool's worker supervision one
+// level up. A dead connection is a fault event, not a verdict: its
+// in-flight trials are rerouted to surviving shards, a trial that rides
+// too many dying endpoints is quarantined as kCrash (the same breaker
+// taxonomy as a crash-looping config), and the endpoint itself is retried
+// with jittered exponential backoff until a consecutive-failure budget
+// marks it lost. When every endpoint is lost, outcomes come back with
+// served == false and the caller (the search) degrades to in-process
+// evaluation -- availability over distribution, never a wrong verdict.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "runner/worker_pool.hpp"
+#include "search/search.hpp"  // EndpointMetrics
+#include "support/backoff.hpp"
+
+namespace fpmix::search {
+
+struct SchedulerOptions {
+  std::vector<net::Endpoint> endpoints;
+  /// Session handshake template (workload id, evaluation semantics, shard
+  /// cache flag, search fingerprint, fault campaign).
+  net::HelloMsg hello;
+  int connect_timeout_ms = 2000;
+  /// The ack can lag on a cold server (it builds the workload and runs the
+  /// reference computation inside the handshake).
+  int hello_timeout_ms = 60000;
+  /// Consecutive connect/session failures before an endpoint is lost.
+  std::uint32_t max_endpoint_failures = 3;
+  /// Endpoint deaths one trial may ride before it is quarantined as
+  /// kCrash (the scheduler-level crash-loop breaker).
+  std::uint32_t max_trial_crashes = 3;
+  /// Local verifier fingerprint; a shard whose HelloAck disagrees is lost
+  /// immediately (semantic mismatch never heals by reconnecting).
+  std::string verifier_fp;
+  BackoffPolicy reconnect_backoff;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(const SchedulerOptions& opts);
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Dials every endpoint and runs the handshakes. Returns the number of
+  /// live sessions (0 means the caller should degrade to local execution).
+  std::size_t connect();
+
+  /// Total workers across live endpoints (the search sizes batches to it).
+  std::size_t capacity() const;
+  bool any_live() const;
+
+  /// Evaluates one batch remotely. Blocks until every job has an outcome:
+  /// a remote verdict, a quarantine verdict (too many endpoint deaths), or
+  /// served == false when the whole fleet is lost.
+  std::vector<runner::TrialOutcome> run_batch(
+      const std::vector<runner::TrialJob>& jobs);
+
+  /// Ships a verdict this client obtained elsewhere (local fallback,
+  /// journal replay) to every live shard's cache. No-op unless the session
+  /// was opened with shard_cache.
+  void broadcast_insert(const std::string& key, bool passed,
+                        std::uint8_t failure_class,
+                        const std::string& failure);
+
+  std::vector<EndpointMetrics> endpoint_metrics() const;
+
+ private:
+  struct Shard {
+    net::Endpoint ep;
+    std::unique_ptr<net::EndpointClient> client;
+    Backoff backoff;
+    std::uint64_t retry_at_ms = 0;
+    std::uint32_t consecutive_failures = 0;
+    bool lost = false;
+    bool ever_connected = false;
+    EndpointMetrics m;
+    std::map<std::uint64_t, std::size_t> inflight;  // ticket -> job index
+  };
+
+  bool try_connect(Shard* s);
+  void shard_down(Shard* s);
+  void reconnect_due();
+  Shard* least_loaded();
+
+  SchedulerOptions opts_;
+  std::vector<Shard> shards_;
+  std::uint64_t next_ticket_ = 1;
+};
+
+}  // namespace fpmix::search

@@ -4,7 +4,9 @@
 #include <deque>
 #include <memory>
 
+#include "net/socket.hpp"
 #include "runner/worker_pool.hpp"
+#include "search/scheduler.hpp"
 #include "search/trial_cache.hpp"
 #include "support/error.hpp"
 #include "support/hash.hpp"
@@ -156,6 +158,7 @@ class Searcher {
     setup_journal();
     profile_original();
     setup_builder();
+    setup_remote();
     setup_pool();
     seed_queue();
 
@@ -163,14 +166,16 @@ class Searcher {
     // are the parallelism, and threads + fork do not mix); otherwise live
     // evaluations fan out on a thread pool.
     std::unique_ptr<ThreadPool> tpool;
-    if (pool_ == nullptr) {
+    if (pool_ == nullptr && sched_ == nullptr) {
       tpool = std::make_unique<ThreadPool>(
           std::max<std::size_t>(1, options_.num_threads));
     }
-    const std::size_t lanes = pool_ != nullptr
-                                  ? std::max<std::size_t>(1, pool_workers_)
-                                  : std::max<std::size_t>(
-                                        1, options_.num_threads);
+    const std::size_t lanes =
+        sched_ != nullptr
+            ? std::max<std::size_t>(1, sched_->capacity())
+            : (pool_ != nullptr
+                   ? std::max<std::size_t>(1, pool_workers_)
+                   : std::max<std::size_t>(1, options_.num_threads));
     while (!queue_.empty()) {
       // Pop a batch (highest priority first), resolve cache hits, and
       // evaluate the misses concurrently. Trials are committed in pop
@@ -187,7 +192,12 @@ class Searcher {
       for (std::size_t i = 0; i < trials.size(); ++i) {
         if (!trials[i].cached) live.push_back(i);
       }
-      if (pool_ != nullptr && !live.empty()) {
+      if (sched_ != nullptr && !live.empty()) {
+        std::vector<Trial*> lp;
+        lp.reserve(live.size());
+        for (std::size_t i : live) lp.push_back(&trials[i]);
+        evaluate_remote(lp);
+      } else if (pool_ != nullptr && !live.empty()) {
         std::vector<Trial*> lp;
         lp.reserve(live.size());
         for (std::size_t i : live) lp.push_back(&trials[i]);
@@ -273,6 +283,17 @@ class Searcher {
         metrics_.worker_slots.push_back(WorkerSlotMetrics{
             ss.requests, ss.respawns, ss.crashes, ss.timeouts,
             ss.quarantines});
+      }
+    }
+    if (sched_ != nullptr) {
+      metrics_.endpoints_used = sched_->endpoint_metrics();
+      for (const EndpointMetrics& em : metrics_.endpoints_used) {
+        metrics_.remote_trials += em.trials;
+        metrics_.shard_cache_hits += em.cache_hits;
+        metrics_.endpoint_failovers += em.failovers;
+        metrics_.endpoint_reconnects += em.reconnects;
+        metrics_.endpoint_disconnects += em.disconnects;
+        if (em.lost) ++metrics_.endpoints_lost;
       }
     }
     out.metrics = metrics_;
@@ -420,7 +441,13 @@ class Searcher {
     // (not per-vote-attempt) fault indices and can absorb hard faults the
     // in-process path never sees; mark the fingerprint so such journals
     // never feed an in-process run. Clean journals stay mode-compatible.
-    if (!fault_tag.empty() && options_.isolate_trials) fault_tag += "+iso";
+    // Remote endpoints run the same sandboxed-pool semantics, so a
+    // distributed faulted journal is interchangeable with a local isolated
+    // one (the distributed-soak tests rely on exactly that).
+    if (!fault_tag.empty() &&
+        (options_.isolate_trials || !options_.endpoints.empty())) {
+      fault_tag += "+iso";
+    }
     search_fp_ = search_fingerprint(verifier_.fingerprint(),
                                     options_.max_instructions_per_run,
                                     options_.deadline_ms, fault_tag);
@@ -452,8 +479,68 @@ class Searcher {
     builder_ = std::make_unique<verify::TrialBuilder>(original_, ix_);
   }
 
+  /// Brings the distributed scheduler up when endpoints are configured.
+  /// Any startup problem (bad addresses, unreachable fleet, platform
+  /// without sockets) degrades to local execution with a warning -- same
+  /// philosophy as setup_pool.
+  void setup_remote() {
+    if (options_.endpoints.empty()) return;
+    if (!net::supported()) {
+      log::warnf("search: endpoints configured but sockets are unsupported "
+                 "on this platform; running locally");
+      metrics_.remote_degraded = true;
+      return;
+    }
+    if (options_.remote_bench.empty()) {
+      log::warnf("search: endpoints configured but remote_bench is empty; "
+                 "running locally");
+      metrics_.remote_degraded = true;
+      return;
+    }
+    SchedulerOptions sopts;
+    for (const std::string& e : options_.endpoints) {
+      net::Endpoint ep;
+      if (!net::parse_endpoint(e, &ep)) {
+        log::warnf("search: ignoring malformed endpoint '%s'", e.c_str());
+        continue;
+      }
+      sopts.endpoints.push_back(ep);
+    }
+    if (sopts.endpoints.empty()) {
+      metrics_.remote_degraded = true;
+      return;
+    }
+    net::HelloMsg& h = sopts.hello;
+    h.bench = options_.remote_bench;
+    h.cls = static_cast<std::uint8_t>(options_.remote_class);
+    h.max_instructions = options_.max_instructions_per_run;
+    h.deadline_ms = options_.deadline_ms;
+    h.max_crashes = options_.max_trial_crashes;
+    h.rlimit_mb = options_.worker_rlimit_as_mb;
+    h.shard_cache = options_.shard_cache ? 1 : 0;
+    h.search_fp = search_fp_;
+    if (options_.fault_injector != nullptr) {
+      h.has_fault = 1;
+      h.fault_seed = options_.fault_injector->seed();
+      h.fault_rates = options_.fault_injector->rates();
+    }
+    sopts.connect_timeout_ms = static_cast<int>(options_.connect_timeout_ms);
+    sopts.hello_timeout_ms = static_cast<int>(options_.hello_timeout_ms);
+    sopts.max_endpoint_failures = options_.max_endpoint_failures;
+    sopts.max_trial_crashes = options_.max_trial_crashes;
+    sopts.verifier_fp = verifier_.fingerprint();
+    auto sched = std::make_unique<Scheduler>(sopts);
+    if (sched->connect() == 0) {
+      log::warnf("search: no runner endpoint reachable; running locally");
+      metrics_.remote_degraded = true;
+      return;
+    }
+    sched_ = std::move(sched);
+  }
+
   void setup_pool() {
     if (!options_.isolate_trials) return;
+    if (sched_ != nullptr) return;  // endpoints sandbox trials remotely
     if (!runner::isolation_supported()) {
       log::warnf("search: trial isolation requested but fork is unavailable "
                  "on this platform; running trials in-process");
@@ -559,6 +646,79 @@ class Searcher {
     }
   }
 
+  /// Distributed counterpart of evaluate_isolated: same whole-batch vote
+  /// rounds, but trials run on the remote fleet. A trial the fleet cannot
+  /// serve at all (every endpoint lost) falls back to a full local
+  /// evaluation so the search still completes.
+  void evaluate_remote(const std::vector<Trial*>& live) {
+    const std::uint32_t max_attempts = 1 + options_.max_retries;
+    struct Vote {
+      std::uint32_t passes = 0;
+      std::uint32_t fails = 0;
+      bool settled = false;  // quarantined/internal: the result stands
+      bool local = false;    // evaluate_live settled everything itself
+    };
+    std::vector<Vote> votes(live.size());
+    std::vector<std::size_t> open(live.size());
+    for (std::size_t i = 0; i < live.size(); ++i) open[i] = i;
+
+    for (std::uint32_t attempt = 0;
+         attempt < max_attempts && !open.empty(); ++attempt) {
+      std::vector<runner::TrialJob> jobs;
+      jobs.reserve(open.size());
+      for (std::size_t i : open) {
+        jobs.push_back(runner::TrialJob{live[i]->key, &live[i]->cfg});
+      }
+      const std::vector<runner::TrialOutcome> outs = sched_->run_batch(jobs);
+      std::vector<std::size_t> next;
+      for (std::size_t j = 0; j < open.size(); ++j) {
+        const std::size_t i = open[j];
+        Trial* t = live[i];
+        Vote& v = votes[i];
+        if (!outs[j].served) {
+          // Whole fleet gone mid-search: evaluate this trial locally
+          // (evaluate_live runs its own vote loop and settles the trial).
+          ++metrics_.remote_unserved;
+          evaluate_live(t);
+          v.settled = true;
+          v.local = true;
+          continue;
+        }
+        t->result = outs[j].result;
+        t->eval_ns += outs[j].wall_ns;
+        note_attempt(t);
+        if (outs[j].quarantined ||
+            t->result.failure_class == verify::FailureClass::kInternalError) {
+          v.settled = true;
+          continue;
+        }
+        if (t->result.passed) {
+          ++v.passes;
+        } else {
+          ++v.fails;
+        }
+        if (v.passes <= max_attempts / 2 && v.fails <= max_attempts / 2) {
+          next.push_back(i);
+        }
+      }
+      open = std::move(next);
+    }
+
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      Trial* t = live[i];
+      const Vote& v = votes[i];
+      if (v.local) continue;
+      if (v.settled) {
+        t->attempts = std::max<std::uint32_t>(1, v.passes + v.fails + 1);
+        t->mixed_votes = false;
+        continue;
+      }
+      t->attempts = std::max<std::uint32_t>(1, v.passes + v.fails);
+      t->mixed_votes = v.passes > 0 && v.fails > 0;
+      apply_majority_verdict(t, v.passes, v.fails);
+    }
+  }
+
   Trial make_trial(Unit u) {
     Trial t;
     t.unit = std::move(u);
@@ -625,7 +785,9 @@ class Searcher {
     t.cfg = cfg;
     fill_from_cache(&t);
     if (!t.cached) {
-      if (pool_ != nullptr) {
+      if (sched_ != nullptr) {
+        evaluate_remote({&t});
+      } else if (pool_ != nullptr) {
         evaluate_isolated({&t});
       } else {
         evaluate_live(&t);
@@ -670,15 +832,28 @@ class Searcher {
       metrics_.image_cache_misses += t->image_misses;
       metrics_.funcs_reused += t->funcs_reused;
       metrics_.funcs_patched += t->funcs_patched;
+      // With journal_timings off, the nondeterministic per-trial timing
+      // fields are zeroed so journal bytes depend only on the verdict
+      // stream -- the property the distributed byte-identity checks diff.
+      const bool times = options_.journal_timings;
       CachedTrial entry{t->result.passed, t->result.failure_class,
-                        t->result.failure, t->eval_ns,
-                        t->patch_saved_ns + t->predecode_saved_ns,
-                        t->image_hits > 0};
+                        t->result.failure, times ? t->eval_ns : 0,
+                        times ? t->patch_saved_ns + t->predecode_saved_ns : 0,
+                        times && t->image_hits > 0};
       if (journal_.is_open()) {
         journal_.append_sealed(
             encode_trial_line(t->key, name, candidates, entry));
       }
       cache_.insert(t->key, std::move(entry));
+    }
+    if (sched_ != nullptr) {
+      // Make the verdict fleet knowledge (no-op unless shard_cache): the
+      // endpoint that served it already cached it; the others -- and
+      // verdicts from local fallback or journal replay -- learn it here.
+      sched_->broadcast_insert(
+          t->key, t->result.passed,
+          static_cast<std::uint8_t>(t->result.failure_class),
+          t->result.failure);
     }
     if (options_.keep_log) {
       TestRecord rec;
@@ -870,6 +1045,7 @@ class Searcher {
   std::unique_ptr<verify::TrialBuilder> builder_;
   std::unique_ptr<runner::WorkerPool> pool_;  // isolate mode only
   std::size_t pool_workers_ = 1;
+  std::unique_ptr<Scheduler> sched_;  // distributed mode only
 };
 
 }  // namespace

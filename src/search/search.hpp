@@ -121,6 +121,35 @@ struct SearchOptions {
   /// from-scratch builds); disable only for A/B benchmarking.
   bool image_cache = true;
 
+  // ---- Distributed execution -----------------------------------------------
+  /// runner_serve endpoints ("host:port"). Non-empty routes trial
+  /// evaluation through the network scheduler instead of local execution
+  /// (isolate_trials is then ignored; the endpoints sandbox trials in
+  /// their own pools). Trials no endpoint can serve fall back to
+  /// in-process evaluation, so the search always completes.
+  std::vector<std::string> endpoints;
+  /// Workload identity announced in the session handshake; the endpoints
+  /// build it on their side, so it must denote the same image and
+  /// verifier as the ones passed to run_search (the handshake
+  /// cross-checks the verifier fingerprint and drops mismatched
+  /// endpoints).
+  std::string remote_bench;
+  char remote_class = 'W';
+  /// Consult and fill the fleet-wide shard trial cache, so N schedulers
+  /// sharing a fleet evaluate every configuration at most once.
+  bool shard_cache = false;
+  std::uint64_t connect_timeout_ms = 2000;
+  /// Handshake-ack budget; cold endpoints build the workload and run the
+  /// reference computation inside the handshake.
+  std::uint64_t hello_timeout_ms = 60000;
+  /// Consecutive failures before an endpoint is abandoned for the run.
+  std::uint32_t max_endpoint_failures = 3;
+  /// Record per-trial timing fields (eval_ns, saved_ns, cache flags) in
+  /// the journal. Off, they are zeroed so two runs of the same search --
+  /// local or distributed, any fleet shape -- produce byte-identical
+  /// journals.
+  bool journal_timings = true;
+
   // ---- Observability -------------------------------------------------------
   /// Emit progress lines (trials/sec, cache hit rate, queue depth, ETA)
   /// through support/log at info level while the search runs.
@@ -138,6 +167,19 @@ struct TestRecord {
   bool cached = false;       // served from the trial cache, not evaluated
   std::uint64_t eval_ns = 0; // live evaluation wall time (0 when cached)
   std::string failure;       // trap/verification detail when failed
+};
+
+/// Per-endpoint accounting of a distributed run (SearchOptions::endpoints).
+struct EndpointMetrics {
+  std::string address;
+  std::uint32_t workers = 0;     // pool width behind the endpoint
+  std::size_t trials = 0;        // results delivered (cache hits included)
+  std::size_t cache_hits = 0;    // served by the endpoint's shard cache
+  std::size_t failovers = 0;     // in-flight trials rerouted off this shard
+  std::size_t reconnects = 0;    // successful reconnects after a drop
+  std::size_t disconnects = 0;   // sessions lost (EOF/error/corrupt)
+  std::uint64_t busy_ns = 0;     // summed server-side trial wall time
+  bool lost = false;             // consecutive-failure budget exhausted
 };
 
 /// Per-worker-slot supervision census (isolate mode): one seat in the pool,
@@ -230,6 +272,25 @@ struct SearchMetrics {
   std::size_t full_bytes = 0;
   /// One entry per worker slot (isolate mode only).
   std::vector<WorkerSlotMetrics> worker_slots;
+
+  // ---- Distributed execution ----------------------------------------------
+  /// Trial results served by remote endpoints (shard-cache hits included).
+  std::size_t remote_trials = 0;
+  /// Trials answered from the fleet-wide shard cache without evaluation.
+  std::size_t shard_cache_hits = 0;
+  /// In-flight trials rerouted off a dying endpoint onto another shard.
+  std::size_t endpoint_failovers = 0;
+  std::size_t endpoint_reconnects = 0;
+  std::size_t endpoint_disconnects = 0;
+  /// Endpoints abandoned after exhausting their consecutive-failure budget.
+  std::size_t endpoints_lost = 0;
+  /// Trials no endpoint could serve; evaluated in-process instead.
+  std::size_t remote_unserved = 0;
+  /// Endpoints were configured but none was usable at startup; the whole
+  /// search ran locally.
+  bool remote_degraded = false;
+  /// One entry per configured endpoint (distributed mode only).
+  std::vector<EndpointMetrics> endpoints_used;
 };
 
 struct SearchResult {

@@ -1,0 +1,28 @@
+#include "support/backoff.hpp"
+
+namespace fpmix {
+
+std::uint64_t backoff_delay_ms(const BackoffPolicy& policy,
+                               std::uint32_t failures,
+                               std::uint64_t jitter_draw) {
+  if (failures == 0) return 0;
+  const std::uint64_t cap = policy.cap_ms > 0 ? policy.cap_ms : 1;
+  std::uint64_t raw = policy.base_ms > 0 ? policy.base_ms : 1;
+  // Double per failure, saturating at the cap (the explicit bound also
+  // keeps a huge failure count from overflowing the shift).
+  for (std::uint32_t i = 1; i < failures && raw < cap; ++i) raw <<= 1;
+  if (raw > cap) raw = cap;
+
+  // Uniform factor in [1 - jitter, 1 + jitter] from the raw draw (same
+  // u64 -> [0,1) mapping SplitMix64::next_double uses).
+  const double unit =
+      static_cast<double>(jitter_draw >> 11) * 0x1.0p-53;
+  const double factor = 1.0 + policy.jitter * (2.0 * unit - 1.0);
+  std::uint64_t ms = static_cast<std::uint64_t>(
+      static_cast<double>(raw) * factor + 0.5);
+  if (ms < 1) ms = 1;
+  if (ms > cap) ms = cap;
+  return ms;
+}
+
+}  // namespace fpmix

@@ -1,0 +1,64 @@
+// Jittered exponential backoff, shared by every retry loop in the tree.
+//
+// Two consumers need the same policy with different state shapes: the
+// WorkerPool's respawn throttle already tracks consecutive deaths itself
+// (the counter doubles as its crash-storm detector), while the network
+// scheduler's reconnect loop wants a self-contained counter per endpoint.
+// So the policy + delay computation is a pure function -- exactly unit-
+// testable -- and a small stateful wrapper serves callers without their
+// own counter.
+//
+// Jitter matters here: a fleet of schedulers reconnecting to a restarted
+// runner daemon (or N pool slots respawning after an injected crash storm)
+// must not retry in lockstep. The jitter draw is deterministic from the
+// caller-provided RNG stream, so tests replay identically.
+#pragma once
+
+#include <cstdint>
+
+#include "support/rng.hpp"
+
+namespace fpmix {
+
+struct BackoffPolicy {
+  /// Delay after the first failure, in milliseconds.
+  std::uint64_t base_ms = 2;
+  /// Hard ceiling; delays (jitter included) never exceed it.
+  std::uint64_t cap_ms = 200;
+  /// Fractional jitter: the computed delay is scaled by a uniform factor
+  /// in [1 - jitter, 1 + jitter], then clamped to [1, cap_ms].
+  double jitter = 0.25;
+};
+
+/// Delay before retry number `failures` (1-based; 0 means "no failure yet"
+/// and returns 0). The un-jittered envelope is base_ms doubling per failure
+/// up to cap_ms; `jitter_draw` is one raw u64 of entropy (e.g.
+/// SplitMix64::next_u64) that selects the jitter factor. The result is
+/// always in [1, cap_ms] for failures >= 1.
+std::uint64_t backoff_delay_ms(const BackoffPolicy& policy,
+                               std::uint32_t failures,
+                               std::uint64_t jitter_draw);
+
+/// Stateful convenience wrapper: next() counts a failure and returns the
+/// delay to sleep; reset() on success. Deterministic for a given seed.
+class Backoff {
+ public:
+  Backoff() : Backoff(BackoffPolicy{}) {}
+  explicit Backoff(const BackoffPolicy& policy, std::uint64_t seed = 0)
+      : policy_(policy), rng_(seed) {}
+
+  std::uint64_t next_ms() {
+    ++failures_;
+    return backoff_delay_ms(policy_, failures_, rng_.next_u64());
+  }
+  void reset() { failures_ = 0; }
+  std::uint32_t failures() const { return failures_; }
+  const BackoffPolicy& policy() const { return policy_; }
+
+ private:
+  BackoffPolicy policy_;
+  SplitMix64 rng_;
+  std::uint32_t failures_ = 0;
+};
+
+}  // namespace fpmix

@@ -112,6 +112,9 @@ class Injector {
   std::string fingerprint_tag() const;
 
   std::uint64_t seed() const { return seed_; }
+  /// The campaign's rate table (the network scheduler ships it to remote
+  /// runners in the session handshake, so both sides draw identically).
+  const Rates& rates() const { return rates_; }
 
  private:
   std::uint64_t seed_;

@@ -1,0 +1,871 @@
+// The distributed search service: session protocol, sockets, the runner
+// daemon, the network scheduler, and the search running across a fleet.
+//
+// Five layers:
+//  1. protocol -- every message round-trips as a pure function, the frame
+//     buffer reassembles byte-dribbled streams, and corruption is a sticky
+//     *detected* session error, never a wrong payload;
+//  2. sockets -- endpoint parsing and frames surviving partial reads and
+//     partial writes over a real loopback connection;
+//  3. scheduler -- remote batches match in-process verdicts; an endpoint
+//     dying mid-trial reroutes its in-flight work to surviving shards or
+//     quarantines it as kCrash once the crash budget is spent;
+//  4. search equivalence -- a fleet-served search must produce journals
+//     byte-identical to the in-process path, degrade to local execution
+//     when no endpoint is reachable, and keep every accepted trial across
+//     an endpoint death mid-search;
+//  5. the acceptance soak -- seeded hard-fault campaigns driven through a
+//     two-endpoint fleet, each asserted byte-identical to the local
+//     isolated oracle under the same campaign.
+//
+// The soak's campaign count scales via FPMIX_SOAK_CAMPAIGNS (CI sets 200).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "config/textio.hpp"
+#include "lang/builder.hpp"
+#include "lang/compile.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "program/layout.hpp"
+#include "program/program.hpp"
+#include "runner/trial_runner.hpp"
+#include "runner/wire.hpp"
+#include "search/scheduler.hpp"
+#include "search/search.hpp"
+#include "support/fault.hpp"
+#include "verify/evaluate.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace fpmix {
+namespace {
+
+using config::Precision;
+using lang::Builder;
+using lang::Expr;
+
+// ---------------------------------------------------------------------------
+// Session protocol: pure functions, no sockets.
+
+TEST(NetProtocol, HelloRoundTripPreservesFaultCampaign) {
+  net::HelloMsg h;
+  h.bench = "cg";
+  h.cls = 'A';
+  h.max_instructions = 123456789;
+  h.deadline_ms = 250;
+  h.max_crashes = 7;
+  h.rlimit_mb = 64;
+  h.shard_cache = 1;
+  h.search_fp = "fp:abc|v1";
+  h.has_fault = 1;
+  h.fault_seed = 0xDEADBEEFCAFEull;
+  h.fault_rates.segv = 0.05;
+  h.fault_rates.oom = 1.0 / 3.0;  // a non-terminating binary fraction
+  h.fault_rates.hang_ignore_term = 0.125;
+  h.fault_rates.corrupt_result = 0.02;
+
+  const std::string payload = net::encode_hello(h);
+  EXPECT_EQ(net::peek_msg_type(payload), net::kMsgHello);
+
+  net::HelloMsg back;
+  ASSERT_TRUE(net::decode_hello(payload, &back));
+  EXPECT_EQ(back.version, net::kProtocolVersion);
+  EXPECT_EQ(back.bench, h.bench);
+  EXPECT_EQ(back.cls, h.cls);
+  EXPECT_EQ(back.max_instructions, h.max_instructions);
+  EXPECT_EQ(back.deadline_ms, h.deadline_ms);
+  EXPECT_EQ(back.max_crashes, h.max_crashes);
+  EXPECT_EQ(back.rlimit_mb, h.rlimit_mb);
+  EXPECT_EQ(back.shard_cache, h.shard_cache);
+  EXPECT_EQ(back.search_fp, h.search_fp);
+  EXPECT_EQ(back.has_fault, h.has_fault);
+  EXPECT_EQ(back.fault_seed, h.fault_seed);
+  // Rates ship as raw bit patterns: bit-exact, both sides re-derive the
+  // same per-trial draws.
+  EXPECT_EQ(back.fault_rates.segv, h.fault_rates.segv);
+  EXPECT_EQ(back.fault_rates.oom, h.fault_rates.oom);
+  EXPECT_EQ(back.fault_rates.hang_ignore_term, h.fault_rates.hang_ignore_term);
+  EXPECT_EQ(back.fault_rates.corrupt_result, h.fault_rates.corrupt_result);
+  EXPECT_EQ(back.fault_rates.kill, 0.0);
+
+  // A message of the wrong type never decodes as another.
+  net::TrialMsg t;
+  EXPECT_FALSE(net::decode_trial(payload, &t));
+}
+
+TEST(NetProtocol, AckTrialResultCacheInsertErrorRoundTrip) {
+  net::HelloAckMsg ack;
+  ack.ok = 1;
+  ack.verifier_fp = "relerr:1e-12:9";
+  ack.workers = 4;
+  net::HelloAckMsg ack_back;
+  ASSERT_TRUE(net::decode_hello_ack(net::encode_hello_ack(ack), &ack_back));
+  EXPECT_EQ(ack_back.ok, 1);
+  EXPECT_EQ(ack_back.verifier_fp, ack.verifier_fp);
+  EXPECT_EQ(ack_back.workers, 4u);
+
+  net::HelloAckMsg rej;
+  rej.ok = 0;
+  rej.error = "unknown benchmark 'zz'";
+  ASSERT_TRUE(net::decode_hello_ack(net::encode_hello_ack(rej), &ack_back));
+  EXPECT_EQ(ack_back.ok, 0);
+  EXPECT_EQ(ack_back.error, rej.error);
+
+  net::TrialMsg trial;
+  trial.ticket = 42;
+  trial.key = "cfg-digest-abc";
+  trial.config_key = "m0=s;f3=d;i12=i;";
+  net::TrialMsg trial_back;
+  ASSERT_TRUE(net::decode_trial(net::encode_trial(trial), &trial_back));
+  EXPECT_EQ(trial_back.ticket, 42u);
+  EXPECT_EQ(trial_back.key, trial.key);
+  EXPECT_EQ(trial_back.config_key, trial.config_key);
+
+  runner::WireResult wr;
+  wr.passed = false;
+  wr.failure_class =
+      static_cast<std::uint8_t>(verify::FailureClass::kDivergence);
+  wr.failure = "relative error 3.1e-7 at output 1";
+  wr.instructions_retired = 987654;
+  net::ResultMsg res;
+  res.ticket = 7;
+  res.flags = net::kResultQuarantined | net::kResultCacheHit;
+  res.worker_deaths = 2;
+  res.wall_ns = 12345678;
+  res.wire_result = runner::encode_result(wr);
+  net::ResultMsg res_back;
+  ASSERT_TRUE(net::decode_result_msg(net::encode_result_msg(res), &res_back));
+  EXPECT_EQ(res_back.ticket, 7u);
+  EXPECT_EQ(res_back.flags, res.flags);
+  EXPECT_EQ(res_back.worker_deaths, 2u);
+  EXPECT_EQ(res_back.wall_ns, res.wall_ns);
+  runner::WireResult wr_back;
+  ASSERT_TRUE(runner::decode_result(res_back.wire_result, &wr_back));
+  EXPECT_EQ(wr_back.passed, wr.passed);
+  EXPECT_EQ(wr_back.failure_class, wr.failure_class);
+  EXPECT_EQ(wr_back.failure, wr.failure);
+  EXPECT_EQ(wr_back.instructions_retired, wr.instructions_retired);
+
+  net::CacheInsertMsg ins;
+  ins.key = "cfg-digest-def";
+  ins.passed = 0;
+  ins.failure_class = static_cast<std::uint8_t>(verify::FailureClass::kTrap);
+  ins.failure = "trapped at 0x40";
+  net::CacheInsertMsg ins_back;
+  ASSERT_TRUE(
+      net::decode_cache_insert(net::encode_cache_insert(ins), &ins_back));
+  EXPECT_EQ(ins_back.key, ins.key);
+  EXPECT_EQ(ins_back.passed, 0);
+  EXPECT_EQ(ins_back.failure_class, ins.failure_class);
+  EXPECT_EQ(ins_back.failure, ins.failure);
+
+  std::string text;
+  ASSERT_TRUE(
+      net::decode_error_msg(net::encode_error_msg("session torn"), &text));
+  EXPECT_EQ(text, "session torn");
+}
+
+TEST(NetProtocol, FrameBufferReassemblesByteDribbledStream) {
+  const std::vector<std::string> payloads = {
+      net::encode_hello(net::HelloMsg{}),
+      net::encode_trial(net::TrialMsg{9, "k", "m0=s;"}),
+      net::encode_error_msg("x")};
+  std::string stream;
+  for (const std::string& p : payloads) stream += runner::encode_frame(p);
+
+  net::FrameBuffer fb;
+  std::vector<std::string> got;
+  std::string payload;
+  for (char c : stream) {
+    fb.append(std::string_view(&c, 1));
+    while (fb.next(&payload) == runner::FrameStatus::kOk) {
+      got.push_back(payload);
+    }
+  }
+  ASSERT_EQ(got.size(), payloads.size());
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_EQ(got[i], payloads[i]) << i;
+  }
+  EXPECT_EQ(fb.buffered(), 0u);
+  EXPECT_FALSE(fb.corrupt());
+}
+
+TEST(NetProtocol, SingleByteCorruptionIsStickyAndNeverResyncs) {
+  const std::string good = runner::encode_frame(
+      net::encode_trial(net::TrialMsg{1, "key", "m0=s;"}));
+  // Damage the first payload byte (the message type): magic and length
+  // still parse, so only the CRC can catch it.
+  std::string bad = good;
+  bad[8] = static_cast<char>(bad[8] ^ 0x20);
+
+  net::FrameBuffer fb;
+  fb.append(bad);
+  std::string payload;
+  EXPECT_EQ(fb.next(&payload), runner::FrameStatus::kCorrupt);
+  EXPECT_TRUE(fb.corrupt());
+
+  // No resynchronization: even a pristine frame after the damage stays
+  // unreadable -- the connection must be dropped.
+  fb.append(good);
+  EXPECT_EQ(fb.next(&payload), runner::FrameStatus::kCorrupt);
+  EXPECT_TRUE(fb.corrupt());
+}
+
+// ---------------------------------------------------------------------------
+// Sockets.
+
+TEST(NetSocket, ParseEndpoint) {
+  net::Endpoint ep;
+  ASSERT_TRUE(net::parse_endpoint("10.0.0.7:9000", &ep));
+  EXPECT_EQ(ep.host, "10.0.0.7");
+  EXPECT_EQ(ep.port, 9000);
+  EXPECT_EQ(ep.str(), "10.0.0.7:9000");
+
+  ASSERT_TRUE(net::parse_endpoint(":4500", &ep));
+  EXPECT_EQ(ep.host, "127.0.0.1");
+  EXPECT_EQ(ep.port, 4500);
+
+  EXPECT_FALSE(net::parse_endpoint("no-port-here", &ep));
+  EXPECT_FALSE(net::parse_endpoint("h:0", &ep));
+  EXPECT_FALSE(net::parse_endpoint("h:65536", &ep));
+  EXPECT_FALSE(net::parse_endpoint("h:notaport", &ep));
+  EXPECT_FALSE(net::parse_endpoint("", &ep));
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+/// Pumps a socket until the frame buffer yields one payload (bounded).
+std::string read_one_frame(net::Socket* s, net::FrameBuffer* fb) {
+  std::string payload;
+  for (int i = 0; i < 2000; ++i) {
+    if (fb->next(&payload) == runner::FrameStatus::kOk) return payload;
+    std::string chunk;
+    const net::IoStatus st = s->read_available(&chunk);
+    if (st == net::IoStatus::kOk) {
+      fb->append(chunk);
+    } else if (st == net::IoStatus::kWouldBlock) {
+      ::poll(nullptr, 0, 2);
+    } else {
+      break;
+    }
+  }
+  ADD_FAILURE() << "no frame arrived";
+  return std::string();
+}
+
+TEST(NetSocket, FramesSurvivePartialReadsAndWritesOverLoopback) {
+  if (!net::supported()) GTEST_SKIP() << "no sockets on this platform";
+  net::Listener listener;
+  std::string error;
+  ASSERT_TRUE(listener.listen_on("127.0.0.1", 0, &error)) << error;
+  ASSERT_GT(listener.port(), 0);
+
+  net::Endpoint ep;
+  ep.port = listener.port();
+  net::Socket client = net::connect_to(ep, 2000, &error);
+  ASSERT_TRUE(client.valid()) << error;
+
+  net::Socket server;
+  for (int i = 0; i < 500 && !server.valid(); ++i) {
+    server = listener.accept_connection();
+    if (!server.valid()) ::poll(nullptr, 0, 2);
+  }
+  ASSERT_TRUE(server.valid());
+
+  // Client -> server, one byte per send: the reader sees an arbitrarily
+  // fragmented stream and must still reassemble the exact payload.
+  const std::string payload =
+      net::encode_trial(net::TrialMsg{77, "digest", "f1=s;"});
+  const std::string frame = runner::encode_frame(payload);
+  for (char c : frame) {
+    ASSERT_TRUE(client.send_all(std::string_view(&c, 1), 1000));
+  }
+  net::FrameBuffer server_fb;
+  EXPECT_EQ(read_one_frame(&server, &server_fb), payload);
+
+  // Server -> client, whole frame at once.
+  const std::string reply = net::encode_error_msg("pong");
+  ASSERT_TRUE(server.send_all(runner::encode_frame(reply), 1000));
+  net::FrameBuffer client_fb;
+  EXPECT_EQ(read_one_frame(&client, &client_fb), reply);
+
+  // Orderly shutdown surfaces as EOF, not an error.
+  server.close();
+  std::string rest;
+  for (int i = 0; i < 500; ++i) {
+    const net::IoStatus st = client.read_available(&rest);
+    if (st == net::IoStatus::kWouldBlock) {
+      ::poll(nullptr, 0, 2);
+      continue;
+    }
+    EXPECT_EQ(st, net::IoStatus::kEof);
+    break;
+  }
+}
+
+#endif  // POSIX sockets
+
+// ---------------------------------------------------------------------------
+// The served workload: same mixed-sensitivity shape as the isolation
+// tests -- a narrowable floor() chain plus a precision-critical tail, so
+// searches descend through several levels.
+
+struct NetWorkload {
+  program::Image image;
+  config::StructureIndex index;
+  std::unique_ptr<verify::Verifier> verifier;
+};
+
+NetWorkload make_workload() {
+  Builder b;
+  b.begin_func("main", "m");
+  auto good = b.var_f64("good");
+  auto bad = b.var_f64("bad");
+  b.set(good, b.cf(0.0));
+  for (int k = 0; k < 10; ++k) {
+    b.set(good, floor_(Expr(good) + b.cf(1.0 + k)));
+  }
+  b.set(bad, b.cf(1.0) / b.cf(3.0) + b.cf(1.0) / b.cf(7.0));
+  b.output(good);
+  b.output(bad);
+  b.end_func();
+
+  NetWorkload w{program::relayout(lang::compile(b.take_model(),
+                                                lang::Mode::kDouble)),
+                {}, nullptr};
+  w.index = config::StructureIndex::build(program::lift(w.image));
+  std::vector<double> ref = verify::reference_outputs(w.image);
+  w.verifier = std::make_unique<verify::RelativeErrorVerifier>(std::move(ref),
+                                                               1e-12);
+  return w;
+}
+
+std::string temp_journal(const std::string& name) {
+  const std::string path = testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+#define SKIP_WITHOUT_NET()                                          \
+  if (!net::supported() || !runner::isolation_supported()) {        \
+    GTEST_SKIP() << "sockets or fork unavailable on this platform"; \
+  }
+
+#if defined(__unix__) || defined(__APPLE__)
+
+/// The test fleet serves exactly one workload id.
+std::unique_ptr<net::ServedWorkload> serve_factory(const std::string& bench,
+                                                   char /*cls*/,
+                                                   std::string* error) {
+  if (bench != "iso") {
+    if (error != nullptr) *error = "unknown benchmark '" + bench + "'";
+    return nullptr;
+  }
+  NetWorkload w = make_workload();
+  auto out = std::make_unique<net::ServedWorkload>();
+  out->image = std::move(w.image);
+  out->index = config::StructureIndex::build(program::lift(out->image));
+  out->verifier = std::move(w.verifier);
+  return out;
+}
+
+/// A RunnerServer forked into a child process. Forking keeps the daemon's
+/// single-threaded-loop-that-forks-workers discipline intact (the gtest
+/// parent may spin up search threads), and killing the child IS the
+/// endpoint-death fault the failover tests exercise.
+struct ServerProc {
+  net::Endpoint ep;
+  pid_t pid = -1;
+
+  ServerProc() = default;
+  ServerProc(const ServerProc&) = delete;
+  ServerProc& operator=(const ServerProc&) = delete;
+  ServerProc(ServerProc&& o) noexcept : ep(o.ep), pid(o.pid) { o.pid = -1; }
+  ServerProc& operator=(ServerProc&& o) noexcept {
+    stop();
+    ep = o.ep;
+    pid = o.pid;
+    o.pid = -1;
+    return *this;
+  }
+
+  void stop() {
+    if (pid <= 0) return;
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    pid = -1;
+  }
+  ~ServerProc() { stop(); }
+};
+
+ServerProc spawn_server(int workers, std::uint64_t exit_after = 0) {
+  net::Listener listener;
+  std::string error;
+  if (!listener.listen_on("127.0.0.1", 0, &error)) {
+    ADD_FAILURE() << "listen: " << error;
+    return ServerProc{};
+  }
+  ServerProc sp;
+  sp.ep.port = listener.port();
+  sp.pid = ::fork();
+  if (sp.pid == 0) {
+    net::ServerOptions sopts;
+    sopts.workers = workers;
+    sopts.exit_after_results = exit_after;
+    net::RunnerServer server(std::move(listener), serve_factory, sopts);
+    server.serve(nullptr);
+    std::_Exit(0);
+  }
+  // The parent's copy of the listener fd closes with the local object; the
+  // child keeps its own.
+  return sp;
+}
+
+net::HelloMsg make_hello() {
+  net::HelloMsg h;
+  h.bench = "iso";
+  h.max_instructions = 1ull << 24;
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Client handshake.
+
+TEST(DistributedClient, ServerRejectsUnknownWorkloadAndBadVersion) {
+  SKIP_WITHOUT_NET();
+  ServerProc sp = spawn_server(1);
+  ASSERT_GT(sp.pid, 0);
+
+  net::HelloMsg bad_bench = make_hello();
+  bad_bench.bench = "nope";
+  std::string error;
+  EXPECT_EQ(net::EndpointClient::connect(sp.ep, bad_bench, 2000, 30000,
+                                         &error),
+            nullptr);
+  EXPECT_NE(error.find("unknown benchmark"), std::string::npos) << error;
+
+  net::HelloMsg bad_version = make_hello();
+  bad_version.version = 999;
+  EXPECT_EQ(net::EndpointClient::connect(sp.ep, bad_version, 2000, 30000,
+                                         &error),
+            nullptr);
+  EXPECT_FALSE(error.empty());
+
+  // A good hello on the same (still running) daemon succeeds and reports
+  // the pool width and verifier fingerprint.
+  NetWorkload w = make_workload();
+  auto client =
+      net::EndpointClient::connect(sp.ep, make_hello(), 2000, 60000, &error);
+  ASSERT_NE(client, nullptr) << error;
+  EXPECT_EQ(client->workers(), 1u);
+  EXPECT_EQ(client->verifier_fp(), w.verifier->fingerprint());
+}
+
+// ---------------------------------------------------------------------------
+// The scheduler: remote batches, endpoint death, failover.
+
+TEST(DistributedScheduler, RemoteBatchMatchesInProcessVerdicts) {
+  SKIP_WITHOUT_NET();
+  ServerProc sp = spawn_server(2);
+  ASSERT_GT(sp.pid, 0);
+  NetWorkload w = make_workload();
+
+  search::SchedulerOptions so;
+  so.endpoints = {sp.ep};
+  so.hello = make_hello();
+  so.verifier_fp = w.verifier->fingerprint();
+  search::Scheduler sched(so);
+  ASSERT_EQ(sched.connect(), 1u);
+  EXPECT_TRUE(sched.any_live());
+  EXPECT_EQ(sched.capacity(), 2u);
+
+  config::PrecisionConfig all_double;
+  config::PrecisionConfig module_single;
+  module_single.set_module(0, Precision::kSingle);
+  std::vector<runner::TrialJob> jobs;
+  jobs.push_back(runner::TrialJob{"all-double", &all_double});
+  jobs.push_back(runner::TrialJob{"module-single", &module_single});
+
+  const std::vector<runner::TrialOutcome> outs = sched.run_batch(jobs);
+  ASSERT_EQ(outs.size(), 2u);
+  verify::EvalOptions eval;
+  eval.max_instructions = 1ull << 24;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const verify::EvalResult ref = verify::evaluate_config(
+        w.image, w.index, *jobs[i].config, *w.verifier, eval);
+    EXPECT_TRUE(outs[i].served) << jobs[i].key;
+    EXPECT_FALSE(outs[i].quarantined) << jobs[i].key;
+    EXPECT_EQ(outs[i].worker_deaths, 0u) << jobs[i].key;
+    EXPECT_EQ(outs[i].result.passed, ref.passed) << jobs[i].key;
+    EXPECT_EQ(outs[i].result.failure_class, ref.failure_class)
+        << jobs[i].key;
+    EXPECT_EQ(outs[i].result.failure, ref.failure) << jobs[i].key;
+  }
+
+  const std::vector<search::EndpointMetrics> em = sched.endpoint_metrics();
+  ASSERT_EQ(em.size(), 1u);
+  EXPECT_EQ(em[0].address, sp.ep.str());
+  EXPECT_EQ(em[0].workers, 2u);
+  EXPECT_EQ(em[0].trials, 2u);
+  EXPECT_FALSE(em[0].lost);
+}
+
+TEST(DistributedScheduler, EndpointDeathMidTrialQuarantinesAsCrash) {
+  SKIP_WITHOUT_NET();
+  // A single endpoint that dies after delivering one result, and a crash
+  // budget of one: every trial stranded in flight must come back as a
+  // quarantined kCrash verdict -- the same breaker taxonomy as a
+  // crash-looping config -- never hang, never pass.
+  ServerProc sp = spawn_server(2, /*exit_after=*/1);
+  ASSERT_GT(sp.pid, 0);
+  NetWorkload w = make_workload();
+
+  search::SchedulerOptions so;
+  so.endpoints = {sp.ep};
+  so.hello = make_hello();
+  so.verifier_fp = w.verifier->fingerprint();
+  so.max_trial_crashes = 1;
+  so.max_endpoint_failures = 1;
+  search::Scheduler sched(so);
+  ASSERT_EQ(sched.connect(), 1u);
+
+  config::PrecisionConfig all_double;
+  std::vector<runner::TrialJob> jobs;
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back(
+        runner::TrialJob{"death-" + std::to_string(i), &all_double});
+  }
+  const std::vector<runner::TrialOutcome> outs = sched.run_batch(jobs);
+  ASSERT_EQ(outs.size(), jobs.size());
+
+  std::size_t ok = 0, quarantined = 0;
+  for (const runner::TrialOutcome& o : outs) {
+    if (o.served && !o.quarantined) {
+      ++ok;
+    } else if (o.served && o.quarantined) {
+      ++quarantined;
+      EXPECT_FALSE(o.result.passed);
+      EXPECT_EQ(o.result.failure_class, verify::FailureClass::kCrash);
+      EXPECT_NE(o.result.failure.find("endpoint failures"),
+                std::string::npos)
+          << o.result.failure;
+      EXPECT_GE(o.worker_deaths, 1u);
+    }
+  }
+  EXPECT_GE(ok, 1u);           // the endpoint served before dying
+  EXPECT_GE(quarantined, 1u);  // and stranded the rest
+  EXPECT_EQ(ok + quarantined, jobs.size());
+
+  const std::vector<search::EndpointMetrics> em = sched.endpoint_metrics();
+  ASSERT_EQ(em.size(), 1u);
+  EXPECT_GE(em[0].disconnects, 1u);
+  EXPECT_TRUE(em[0].lost);
+}
+
+TEST(DistributedScheduler, EndpointDeathFailsOverToSurvivingShard) {
+  SKIP_WITHOUT_NET();
+  ServerProc dying = spawn_server(2, /*exit_after=*/1);
+  ServerProc healthy = spawn_server(2);
+  ASSERT_GT(dying.pid, 0);
+  ASSERT_GT(healthy.pid, 0);
+  NetWorkload w = make_workload();
+
+  search::SchedulerOptions so;
+  so.endpoints = {dying.ep, healthy.ep};
+  so.hello = make_hello();
+  so.verifier_fp = w.verifier->fingerprint();
+  so.max_endpoint_failures = 2;
+  search::Scheduler sched(so);
+  ASSERT_EQ(sched.connect(), 2u);
+  EXPECT_EQ(sched.capacity(), 4u);
+
+  config::PrecisionConfig all_double;
+  config::PrecisionConfig module_single;
+  module_single.set_module(0, Precision::kSingle);
+  std::vector<runner::TrialJob> jobs;
+  for (int i = 0; i < 6; ++i) {
+    jobs.push_back(runner::TrialJob{
+        "failover-" + std::to_string(i),
+        (i % 2 == 0) ? &all_double : &module_single});
+  }
+  const std::vector<runner::TrialOutcome> outs = sched.run_batch(jobs);
+  ASSERT_EQ(outs.size(), jobs.size());
+
+  // Every trial lands a real verdict on the surviving shard: no
+  // quarantines, no unserved work, verdicts equal to in-process.
+  verify::EvalOptions eval;
+  eval.max_instructions = 1ull << 24;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_TRUE(outs[i].served) << jobs[i].key;
+    EXPECT_FALSE(outs[i].quarantined) << jobs[i].key;
+    const verify::EvalResult ref = verify::evaluate_config(
+        w.image, w.index, *jobs[i].config, *w.verifier, eval);
+    EXPECT_EQ(outs[i].result.passed, ref.passed) << jobs[i].key;
+    EXPECT_EQ(outs[i].result.failure, ref.failure) << jobs[i].key;
+  }
+
+  const std::vector<search::EndpointMetrics> em = sched.endpoint_metrics();
+  ASSERT_EQ(em.size(), 2u);
+  EXPECT_GE(em[0].disconnects, 1u);  // the dying endpoint dropped
+  EXPECT_GE(em[0].failovers, 1u);    // and its in-flight work was rerouted
+  EXPECT_EQ(em[0].trials + em[1].trials, jobs.size());
+}
+
+// ---------------------------------------------------------------------------
+// Search equivalence across the fleet.
+
+TEST(DistributedSearch, CleanFleetRunIsByteIdenticalToLocalRun) {
+  SKIP_WITHOUT_NET();
+  // Fork the fleet before the local run spins up threads.
+  ServerProc s1 = spawn_server(2);
+  ServerProc s2 = spawn_server(2);
+  ASSERT_GT(s1.pid, 0);
+  ASSERT_GT(s2.pid, 0);
+
+  const std::string local_journal = temp_journal("net_clean_local.jsonl");
+  const std::string fleet_journal = temp_journal("net_clean_fleet.jsonl");
+
+  search::SearchOptions local;
+  local.num_threads = 4;  // matches the fleet's lane count (2 x 2 workers)
+  local.journal_timings = false;
+  local.journal_path = local_journal;
+  NetWorkload a = make_workload();
+  const search::SearchResult lres =
+      search::run_search(a.image, &a.index, *a.verifier, local);
+
+  search::SearchOptions fleet;
+  fleet.endpoints = {s1.ep.str(), s2.ep.str()};
+  fleet.remote_bench = "iso";
+  fleet.journal_timings = false;
+  fleet.journal_path = fleet_journal;
+  NetWorkload b = make_workload();
+  const search::SearchResult fres =
+      search::run_search(b.image, &b.index, *b.verifier, fleet);
+
+  EXPECT_FALSE(fres.metrics.remote_degraded);
+  EXPECT_GT(fres.metrics.remote_trials, 0u);
+  EXPECT_EQ(fres.metrics.remote_unserved, 0u);
+  EXPECT_EQ(fres.metrics.endpoints_lost, 0u);
+  ASSERT_EQ(fres.metrics.endpoints_used.size(), 2u);
+
+  EXPECT_EQ(fres.configs_tested, lres.configs_tested);
+  EXPECT_EQ(fres.final_passed, lres.final_passed);
+  EXPECT_EQ(config::to_text(b.index, fres.final_config),
+            config::to_text(a.index, lres.final_config));
+  // The journals -- trial order, keys, verdicts, failure text -- agree
+  // down to the byte: a resumed search cannot tell which executor ran.
+  const std::string local_bytes = read_file(local_journal);
+  ASSERT_FALSE(local_bytes.empty());
+  EXPECT_EQ(read_file(fleet_journal), local_bytes);
+}
+
+TEST(DistributedSearch, FleetLossDegradesToLocalExecution) {
+  if (!net::supported()) GTEST_SKIP() << "no sockets on this platform";
+  // A once-valid endpoint that refuses connections: bind, then close.
+  net::Listener gone;
+  std::string error;
+  ASSERT_TRUE(gone.listen_on("127.0.0.1", 0, &error)) << error;
+  const std::uint16_t dead_port = gone.port();
+  gone.close();
+
+  NetWorkload o = make_workload();
+  const search::SearchResult oracle =
+      search::run_search(o.image, &o.index, *o.verifier, {});
+
+  search::SearchOptions opts;
+  opts.endpoints = {"127.0.0.1:" + std::to_string(dead_port)};
+  opts.remote_bench = "iso";
+  opts.connect_timeout_ms = 500;
+  NetWorkload w = make_workload();
+  const search::SearchResult res =
+      search::run_search(w.image, &w.index, *w.verifier, opts);
+
+  EXPECT_TRUE(res.metrics.remote_degraded);
+  EXPECT_EQ(res.metrics.remote_trials, 0u);
+  EXPECT_EQ(res.configs_tested, oracle.configs_tested);
+  EXPECT_EQ(res.final_passed, oracle.final_passed);
+  EXPECT_EQ(config::to_text(w.index, res.final_config),
+            config::to_text(o.index, oracle.final_config));
+}
+
+TEST(DistributedSearch, EndpointDeathMidSearchKeepsEveryAcceptedTrial) {
+  SKIP_WITHOUT_NET();
+  // One endpoint dies after two results; its sibling absorbs the rest.
+  ServerProc dying = spawn_server(2, /*exit_after=*/2);
+  ServerProc healthy = spawn_server(2);
+  ASSERT_GT(dying.pid, 0);
+  ASSERT_GT(healthy.pid, 0);
+
+  const std::string local_journal = temp_journal("net_death_local.jsonl");
+  const std::string fleet_journal = temp_journal("net_death_fleet.jsonl");
+
+  search::SearchOptions local;
+  local.num_threads = 4;
+  local.journal_timings = false;
+  local.journal_path = local_journal;
+  NetWorkload a = make_workload();
+  const search::SearchResult lres =
+      search::run_search(a.image, &a.index, *a.verifier, local);
+
+  search::SearchOptions fleet;
+  fleet.endpoints = {dying.ep.str(), healthy.ep.str()};
+  fleet.remote_bench = "iso";
+  fleet.journal_timings = false;
+  fleet.journal_path = fleet_journal;
+  fleet.max_endpoint_failures = 2;
+  NetWorkload b = make_workload();
+  const search::SearchResult fres =
+      search::run_search(b.image, &b.index, *b.verifier, fleet);
+
+  // Graceful degradation: the death cost retries, never accepted trials
+  // or correctness.
+  EXPECT_GE(fres.metrics.endpoint_disconnects, 1u);
+  EXPECT_EQ(fres.metrics.remote_unserved, 0u);
+  EXPECT_EQ(fres.configs_tested, lres.configs_tested);
+  EXPECT_EQ(fres.final_passed, lres.final_passed);
+  EXPECT_EQ(config::to_text(b.index, fres.final_config),
+            config::to_text(a.index, lres.final_config));
+  const std::string local_bytes = read_file(local_journal);
+  ASSERT_FALSE(local_bytes.empty());
+  EXPECT_EQ(read_file(fleet_journal), local_bytes);
+}
+
+TEST(DistributedSearch, ShardCacheServesRepeatSearchWithoutReevaluation) {
+  SKIP_WITHOUT_NET();
+  ServerProc sp = spawn_server(2);
+  ASSERT_GT(sp.pid, 0);
+
+  search::SearchOptions opts;
+  opts.endpoints = {sp.ep.str()};
+  opts.remote_bench = "iso";
+  opts.shard_cache = true;
+
+  NetWorkload a = make_workload();
+  const search::SearchResult first =
+      search::run_search(a.image, &a.index, *a.verifier, opts);
+  EXPECT_FALSE(first.metrics.remote_degraded);
+  EXPECT_GT(first.metrics.remote_trials, 0u);
+
+  // Same search fingerprint, fresh session: the daemon's fleet-wide cache
+  // answers repeat configurations without touching its pool.
+  NetWorkload b = make_workload();
+  const search::SearchResult second =
+      search::run_search(b.image, &b.index, *b.verifier, opts);
+  EXPECT_GT(second.metrics.shard_cache_hits, 0u);
+  EXPECT_EQ(second.configs_tested, first.configs_tested);
+  EXPECT_EQ(second.final_passed, first.final_passed);
+  EXPECT_EQ(config::to_text(b.index, second.final_config),
+            config::to_text(a.index, first.final_config));
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance soak: seeded hard-fault campaigns against a fleet whose
+// endpoints' workers are dying under them, each campaign asserted
+// byte-identical to the local isolated oracle under the same campaign.
+
+std::size_t soak_campaigns() {
+  if (const char* env = std::getenv("FPMIX_SOAK_CAMPAIGNS")) {
+    const unsigned long n = std::strtoul(env, nullptr, 10);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  return 25;  // local default; CI exports FPMIX_SOAK_CAMPAIGNS=200
+}
+
+TEST(DistributedSoak, FaultedFleetConvergesByteIdenticallyToIsolatedOracle) {
+  SKIP_WITHOUT_NET();
+  // Process-destroying faults only (worker deaths are retried, never
+  // voted), at the same rates as the isolation soak.
+  fault::Injector::Rates rates;
+  rates.segv = 0.05;
+  rates.kill = 0.03;
+  rates.oom = 0.03;
+  rates.trunc_result = 0.02;
+  rates.corrupt_result = 0.02;
+
+  // Each campaign runs two full searches (fleet + oracle) and forks two
+  // daemons; scale the count down from the isolation soak's budget.
+  const std::size_t campaigns = std::max<std::size_t>(2, soak_campaigns() / 5);
+  std::uint64_t total_faults = 0;
+  for (std::size_t c = 0; c < campaigns; ++c) {
+    SCOPED_TRACE("campaign " + std::to_string(c));
+    const fault::Injector injector(0x7E57D157 + c, rates);
+
+    ServerProc s1 = spawn_server(2);
+    ServerProc s2 = spawn_server(2);
+    ASSERT_GT(s1.pid, 0);
+    ASSERT_GT(s2.pid, 0);
+
+    const std::string fleet_journal =
+        temp_journal("net_soak_fleet_" + std::to_string(c) + ".jsonl");
+    search::SearchOptions fleet;
+    fleet.endpoints = {s1.ep.str(), s2.ep.str()};
+    fleet.remote_bench = "iso";
+    fleet.journal_timings = false;
+    fleet.journal_path = fleet_journal;
+    fleet.fault_injector = &injector;
+    fleet.max_trial_crashes = 6;  // absorb faults, don't quarantine configs
+    NetWorkload f = make_workload();
+    const search::SearchResult fres =
+        search::run_search(f.image, &f.index, *f.verifier, fleet);
+    s1.stop();
+    s2.stop();
+
+    // The oracle: same campaign, local sandboxed pool of the same width
+    // (so lanes -- and therefore journal order -- match the fleet).
+    const std::string oracle_journal =
+        temp_journal("net_soak_oracle_" + std::to_string(c) + ".jsonl");
+    search::SearchOptions oracle;
+    oracle.isolate_trials = true;
+    oracle.num_workers = 4;
+    oracle.journal_timings = false;
+    oracle.journal_path = oracle_journal;
+    oracle.fault_injector = &injector;
+    oracle.max_trial_crashes = 6;
+    NetWorkload o = make_workload();
+    const search::SearchResult ores =
+        search::run_search(o.image, &o.index, *o.verifier, oracle);
+
+    EXPECT_FALSE(fres.metrics.remote_degraded);
+    EXPECT_GT(fres.metrics.remote_trials, 0u);
+    EXPECT_EQ(fres.final_passed, ores.final_passed);
+    EXPECT_EQ(config::to_text(f.index, fres.final_config),
+              config::to_text(o.index, ores.final_config));
+    const std::string oracle_bytes = read_file(oracle_journal);
+    ASSERT_FALSE(oracle_bytes.empty());
+    EXPECT_EQ(read_file(fleet_journal), oracle_bytes);
+
+    // The oracle runs the identical seeded campaign, so its fault census
+    // proves the campaign actually destroyed workers on both executors.
+    total_faults += ores.metrics.worker_crashes + ores.metrics.protocol_errors;
+  }
+  EXPECT_GT(total_faults, 0u);
+}
+
+#endif  // POSIX fork
+
+}  // namespace
+}  // namespace fpmix

@@ -2,6 +2,7 @@
 // stable hashing, JSONL journal.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
@@ -9,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "support/backoff.hpp"
 #include "support/hash.hpp"
 #include "support/journal.hpp"
 #include "support/rng.hpp"
@@ -285,6 +287,78 @@ TEST(ThreadPool, DestructionDrainsQueue) {
     for (int i = 0; i < 50; ++i) pool.submit([&count] { ++count; });
   }
   EXPECT_EQ(count.load(), 50);
+}
+
+// ---------------------------------------------------------------------------
+// Jittered exponential backoff.
+
+TEST(Backoff, ZeroFailuresMeansNoDelay) {
+  EXPECT_EQ(backoff_delay_ms(BackoffPolicy{}, 0, 0), 0u);
+}
+
+TEST(Backoff, StaysInsideJitteredEnvelope) {
+  BackoffPolicy policy;  // base 2ms, cap 200ms, jitter 0.25
+  SplitMix64 rng(0xB0FFu);
+  for (std::uint32_t failures = 1; failures <= 64; ++failures) {
+    // Un-jittered envelope: base doubling per failure, saturating at cap.
+    std::uint64_t raw = policy.base_ms;
+    for (std::uint32_t i = 1; i < failures && raw < policy.cap_ms; ++i) {
+      raw <<= 1;
+    }
+    raw = std::min(raw, policy.cap_ms);
+    const std::uint64_t lo = static_cast<std::uint64_t>(
+        static_cast<double>(raw) * (1.0 - policy.jitter));
+    for (int draw = 0; draw < 100; ++draw) {
+      const std::uint64_t ms =
+          backoff_delay_ms(policy, failures, rng.next_u64());
+      EXPECT_GE(ms, std::max<std::uint64_t>(1, lo));
+      EXPECT_LE(ms, policy.cap_ms);
+    }
+  }
+}
+
+TEST(Backoff, HugeFailureCountSaturatesAtCapWithoutOverflow) {
+  BackoffPolicy policy;
+  policy.base_ms = 50;
+  policy.cap_ms = 2000;
+  policy.jitter = 0.0;
+  EXPECT_EQ(backoff_delay_ms(policy, 1, 0), 50u);
+  EXPECT_EQ(backoff_delay_ms(policy, 2, 0), 100u);
+  EXPECT_EQ(backoff_delay_ms(policy, 7, 0), 2000u);  // 50 << 6 = 3200 -> cap
+  EXPECT_EQ(backoff_delay_ms(policy, 1000000, 0), 2000u);
+  EXPECT_EQ(backoff_delay_ms(policy, 0xFFFFFFFFu, 0), 2000u);
+}
+
+TEST(Backoff, JitterActuallyVariesAndIsDeterministic) {
+  BackoffPolicy policy;
+  policy.base_ms = 100;
+  policy.cap_ms = 100000;  // keep the cap out of the way
+  policy.jitter = 0.5;
+  std::set<std::uint64_t> seen;
+  SplitMix64 rng(42);
+  for (int i = 0; i < 50; ++i) {
+    seen.insert(backoff_delay_ms(policy, 1, rng.next_u64()));
+  }
+  EXPECT_GT(seen.size(), 10u);  // the draws spread over [50, 150]
+  // Same seed, same stream: the stateful wrapper replays identically.
+  Backoff a(policy, 7), b(policy, 7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next_ms(), b.next_ms());
+  EXPECT_EQ(a.failures(), 10u);
+  a.reset();
+  EXPECT_EQ(a.failures(), 0u);
+}
+
+TEST(Backoff, DegeneratePoliciesClampSanely) {
+  BackoffPolicy policy;
+  policy.base_ms = 0;  // clamped to 1
+  policy.cap_ms = 0;   // clamped to 1
+  policy.jitter = 1.0;
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t ms =
+        backoff_delay_ms(policy, static_cast<std::uint32_t>(i + 1),
+                         static_cast<std::uint64_t>(i) << 59);
+    EXPECT_EQ(ms, 1u);  // floor 1, cap 1
+  }
 }
 
 }  // namespace

@@ -1,0 +1,213 @@
+// Three-way MIPS comparison of the VM execution engines, plus the JIT's
+// compile-time budget.
+//
+// For each NAS kernel analogue, predecodes the image once and runs it to
+// completion on the reference switch interpreter, the micro-op engine and
+// the baseline JIT (profiling off on all three -- the trial-evaluation
+// configuration). Reports retired-instructions-per-second per engine, the
+// JIT's standalone compile+link time, and the cold (first run on a fresh
+// image, compile included) vs warm (per-image code cache hit) wall time.
+// All three engines must agree bit-for-bit on outputs and retired counts;
+// any mismatch fails the run with a non-zero exit, so this binary doubles
+// as an end-to-end differential check.
+//
+// On hosts without JIT support (non-x86-64, sanitizer builds, hardened
+// kernels) the JIT columns are skipped and the switch/micro comparison
+// still runs -- exit stays 0 so CI sanitizer legs can execute the binary.
+//
+// Usage: bench_jit_compile [S|W|A] [--quick]
+//   --quick: class S, one repetition per engine (the CI smoke
+//   configuration; still prints the full table).
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "kernels/workload.hpp"
+#include "support/timer.hpp"
+#include "vm/jit/jit.hpp"
+#include "vm/machine.hpp"
+
+namespace {
+
+struct EngineRun {
+  double best_seconds = 0.0;
+  double first_seconds = 0.0;  // cold run: includes compile+link on the JIT
+  std::uint64_t retired = 0;
+  std::vector<double> outputs;
+  bool ok = false;
+  std::string error;
+};
+
+EngineRun run_best_of(
+    const std::shared_ptr<const fpmix::vm::ExecutableImage>& exec,
+    fpmix::vm::Engine engine, std::uint64_t max_instructions, int reps) {
+  EngineRun out;
+  for (int rep = 0; rep < reps; ++rep) {
+    fpmix::vm::Machine::Options opts;
+    opts.engine = engine;
+    opts.profile = false;
+    opts.max_instructions = max_instructions;
+    fpmix::vm::Machine m(exec, opts);
+    fpmix::Timer t;
+    const fpmix::vm::RunResult r = m.run();
+    const double secs = t.elapsed_seconds();
+    if (rep == 0) out.first_seconds = secs;
+    if (rep == 0 || secs < out.best_seconds) out.best_seconds = secs;
+    out.retired = m.instructions_retired();
+    out.outputs = m.output_f64();
+    out.ok = r.ok();
+    out.error = r.trap_message;
+    if (!out.ok) break;
+  }
+  return out;
+}
+
+bool bit_identical(const EngineRun& a, const EngineRun& b) {
+  if (a.retired != b.retired || a.outputs.size() != b.outputs.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.outputs.size(); ++i) {
+    if (std::bit_cast<std::uint64_t>(a.outputs[i]) !=
+        std::bit_cast<std::uint64_t>(b.outputs[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fpmix;
+
+  char cls = 'W';
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strlen(argv[i]) == 1) {
+      cls = argv[i][0];
+    }
+  }
+  if (quick) cls = 'S';
+  const int reps = quick ? 1 : 3;
+
+  const bool jit = vm::jit::jit_supported();
+  if (!jit) {
+    std::printf("note: jit unavailable on this host (%s); "
+                "jit columns skipped\n",
+                vm::jit::jit_unsupported_reason());
+  }
+
+  std::vector<kernels::Workload> suite;
+  suite.push_back(kernels::make_ep(cls));
+  suite.push_back(kernels::make_cg(cls));
+  suite.push_back(kernels::make_ft(cls));
+  suite.push_back(kernels::make_mg(cls));
+  suite.push_back(kernels::make_bt(cls));
+  suite.push_back(kernels::make_lu(cls));
+  suite.push_back(kernels::make_sp(cls));
+
+  std::printf("VM engines + JIT compile budget, NAS kernel suite, class %c "
+              "(best of %d rep%s)\n",
+              cls, reps, reps == 1 ? "" : "s");
+  bench::print_rule(100);
+  std::printf("%-8s %13s %10s %10s %10s %8s %9s %9s %9s\n", "bench",
+              "instructions", "sw MIPS", "micro MIPS", "jit MIPS",
+              "jit/mic", "compile", "cold ms", "warm ms");
+  bench::print_rule(100);
+
+  bool all_match = true;
+  double log_speedup_sum = 0.0;
+  std::size_t speedup_rows = 0;
+  for (const kernels::Workload& w : suite) {
+    const program::Image img = kernels::build_image(w);
+
+    // Standalone compile+link cost, measured outside the Machine so the
+    // table separates translation from execution. Monolithic (global-form)
+    // compile of the whole stream, the same work a cold Machine run does.
+    double compile_seconds = 0.0;
+    if (jit) {
+      const auto exec_probe = vm::ExecutableImage::build(img);
+      Timer ct;
+      const auto blob = vm::jit::compile_stream(
+          exec_probe->uops(), vm::jit::CompileMode{false, false});
+      std::vector<vm::jit::LinkSegment> segs;
+      segs.push_back({blob, 0, 0});
+      const auto linked =
+          vm::jit::JitImage::link(segs, exec_probe->uops().size());
+      compile_seconds = ct.elapsed_seconds();
+      if (linked == nullptr) {
+        std::printf("%-8s FAILED: jit link refused\n", w.name.c_str());
+        all_match = false;
+        continue;
+      }
+    }
+
+    const auto exec = vm::ExecutableImage::build(img);
+    const EngineRun sw = run_best_of(exec, vm::Engine::kSwitch,
+                                     w.max_instructions, reps);
+    const EngineRun micro = run_best_of(exec, vm::Engine::kMicroOp,
+                                        w.max_instructions, reps);
+    // reps + 1 so the warm column exists even under --quick: rep 0 is the
+    // cold compile, later reps hit the per-image code cache.
+    const EngineRun jrun =
+        jit ? run_best_of(exec, vm::Engine::kJit, w.max_instructions,
+                          reps + 1)
+            : EngineRun{};
+    if (!sw.ok || !micro.ok || (jit && !jrun.ok)) {
+      std::printf("%-8s FAILED: %s\n", w.name.c_str(),
+                  (!sw.ok   ? sw.error
+                   : !micro.ok ? micro.error
+                               : jrun.error)
+                      .c_str());
+      all_match = false;
+      continue;
+    }
+    if (!bit_identical(sw, micro) || (jit && !bit_identical(sw, jrun))) {
+      std::printf("%-8s ENGINE MISMATCH (outputs or retired count)\n",
+                  w.name.c_str());
+      all_match = false;
+      continue;
+    }
+
+    const double sw_mips =
+        static_cast<double>(sw.retired) / sw.best_seconds / 1e6;
+    const double micro_mips =
+        static_cast<double>(micro.retired) / micro.best_seconds / 1e6;
+    if (jit) {
+      const double jit_mips =
+          static_cast<double>(jrun.retired) / jrun.best_seconds / 1e6;
+      const double speedup = jit_mips / micro_mips;
+      log_speedup_sum += std::log(speedup);
+      ++speedup_rows;
+      std::printf("%-8s %13llu %10.1f %10.1f %10.1f %7.2fx %7.2fms "
+                  "%9.2f %9.2f\n",
+                  w.name.c_str(),
+                  static_cast<unsigned long long>(jrun.retired), sw_mips,
+                  micro_mips, jit_mips, speedup, 1e3 * compile_seconds,
+                  1e3 * jrun.first_seconds, 1e3 * jrun.best_seconds);
+    } else {
+      std::printf("%-8s %13llu %10.1f %10.1f %10s %8s %9s %9s %9s\n",
+                  w.name.c_str(),
+                  static_cast<unsigned long long>(micro.retired), sw_mips,
+                  micro_mips, "-", "-", "-", "-", "-");
+    }
+  }
+  bench::print_rule(100);
+  if (!all_match) {
+    std::printf("FAIL: engines disagree; see rows above\n");
+    return 1;
+  }
+  if (speedup_rows > 0) {
+    const double geomean =
+        std::exp(log_speedup_sum / static_cast<double>(speedup_rows));
+    std::printf("geomean speedup: %.2fx (jit over micro-op)\n", geomean);
+  }
+  return 0;
+}

@@ -10,6 +10,7 @@
 //                    [--metrics-json FILE] [--no-image-cache]
 //                    [--connect HOST:PORT,...] [--shard-cache]
 //                    [--journal-deterministic] [--serve PORT]
+//                    [--engine switch|microop|jit]
 //
 // --deadline-ms bounds each trial's wall-clock time (a spinning patched
 // binary is classified "timeout" instead of hanging the search);
@@ -44,6 +45,13 @@
 // run's. --serve PORT skips the search entirely and runs this binary as a
 // runner_serve daemon on 127.0.0.1:PORT (--workers sizes its pool).
 //
+// --engine picks the VM engine trials run on: "switch" (reference
+// interpreter), "microop" (predecoded micro-op interpreter, the default)
+// or "jit" (native x86-64 code compiled from the micro-op stream). All
+// three are bit-identical, so journals and verdicts do not depend on the
+// choice; a host that cannot run the jit falls back to microop with a
+// warning (counted as jit_downgraded in --metrics-json).
+//
 // Exit codes: 0 search completed and the composition verified; 1 search
 // completed but the final composition fails verification; 2 usage error;
 // 3 internal failure (worker crash storm or internal-error trials).
@@ -66,6 +74,7 @@
 #include "support/log.hpp"
 #include "support/strings.hpp"
 #include "support/timer.hpp"
+#include "vm/machine.hpp"
 
 using namespace fpmix;
 
@@ -131,6 +140,7 @@ bool write_metrics_json(const std::string& path,
   uint("retries", m.retries);
   uint("quarantined", m.quarantined);
   boolean("profile_degraded", m.profile_degraded);
+  uint("jit_downgraded", m.jit_downgraded);
   uint("isolated_trials", m.isolated_trials);
   uint("worker_crashes", m.worker_crashes);
   uint("worker_respawns", m.worker_respawns);
@@ -160,10 +170,12 @@ bool write_metrics_json(const std::string& path,
     j += strformat(
         "%s{\"address\": \"%s\", \"workers\": %u, \"trials\": %zu, "
         "\"cache_hits\": %zu, \"failovers\": %zu, \"reconnects\": %zu, "
-        "\"disconnects\": %zu, \"busy_seconds\": %.6f, \"lost\": %s}",
+        "\"disconnects\": %zu, \"busy_seconds\": %.6f, \"lost\": %s, "
+        "\"jit_downgraded\": %s}",
         i == 0 ? "" : ", ", esc.c_str(), e.workers, e.trials, e.cache_hits,
         e.failovers, e.reconnects, e.disconnects,
-        1e-9 * static_cast<double>(e.busy_ns), e.lost ? "true" : "false");
+        1e-9 * static_cast<double>(e.busy_ns), e.lost ? "true" : "false",
+        e.jit_downgraded ? "true" : "false");
   }
   j += "],\n";
   j += "  \"workers\": [";
@@ -315,6 +327,18 @@ int main(int argc, char** argv) {
           return 2;
         }
         opts.endpoints.emplace_back(part);
+      }
+    }
+    else if (arg == "--engine" && i + 1 < argc) {
+      const std::string name = argv[++i];
+      if (name == "switch") opts.engine = vm::Engine::kSwitch;
+      else if (name == "microop") opts.engine = vm::Engine::kMicroOp;
+      else if (name == "jit") opts.engine = vm::Engine::kJit;
+      else {
+        std::fprintf(stderr, "bad --engine value '%s' "
+                             "(expected switch, microop or jit)\n",
+                     name.c_str());
+        return 2;
       }
     }
     else if (arg == "--shard-cache") opts.shard_cache = true;
@@ -511,6 +535,11 @@ int main(int argc, char** argv) {
     if (m.remote_degraded) {
       std::printf("note: no endpoint usable; the search ran locally\n");
     }
+  }
+  if (m.jit_downgraded > 0) {
+    std::printf("note: jit engine unavailable for %zu evaluator(s); those "
+                "trials ran on the micro-op engine (results identical)\n",
+                m.jit_downgraded);
   }
   std::printf("final configuration: %.1f%% static / %.1f%% dynamic "
               "replacement, composition %s\n",

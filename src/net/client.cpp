@@ -75,6 +75,7 @@ std::unique_ptr<EndpointClient> EndpointClient::connect(
         return nullptr;
       }
       c->workers_ = ack.workers;
+      c->engine_ = ack.engine;
       c->verifier_fp_ = ack.verifier_fp;
       return c;
     }

@@ -57,6 +57,9 @@ class EndpointClient {
   /// Server-side verifier fingerprint (the scheduler cross-checks it
   /// against the local one before trusting any verdict).
   const std::string& verifier_fp() const { return verifier_fp_; }
+  /// vm::Engine the endpoint actually runs (from the HelloAck; may lawfully
+  /// be micro-op when jit was requested of a jit-incapable host).
+  std::uint8_t engine() const { return engine_; }
   /// Most recent session error text (handshake rejection, transport
   /// damage), for diagnostics.
   const std::string& last_error() const { return last_error_; }
@@ -74,6 +77,7 @@ class EndpointClient {
   Endpoint ep_;
   FrameBuffer fb_;
   std::uint32_t workers_ = 0;
+  std::uint8_t engine_ = 0;
   std::string verifier_fp_;
   std::string last_error_;
   bool dead_ = false;

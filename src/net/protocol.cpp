@@ -38,6 +38,7 @@ std::string encode_hello(const HelloMsg& m) {
   runner::put_u32(&p, m.version);
   runner::put_string(&p, m.bench);
   runner::put_u8(&p, m.cls);
+  runner::put_u8(&p, m.engine);
   runner::put_u64(&p, m.max_instructions);
   runner::put_u64(&p, m.deadline_ms);
   runner::put_u32(&p, m.max_crashes);
@@ -62,6 +63,7 @@ bool decode_hello(std::string_view payload, HelloMsg* out) {
   out->version = r.u32();
   out->bench = r.str();
   out->cls = r.u8();
+  out->engine = r.u8();
   out->max_instructions = r.u64();
   out->deadline_ms = r.u64();
   out->max_crashes = r.u32();
@@ -97,6 +99,7 @@ std::string encode_hello_ack(const HelloAckMsg& m) {
   runner::put_string(&p, m.error);
   runner::put_string(&p, m.verifier_fp);
   runner::put_u32(&p, m.workers);
+  runner::put_u8(&p, m.engine);
   return p;
 }
 
@@ -107,6 +110,7 @@ bool decode_hello_ack(std::string_view payload, HelloAckMsg* out) {
   out->error = r.str();
   out->verifier_fp = r.str();
   out->workers = r.u32();
+  out->engine = r.u8();
   return r.done();
 }
 

@@ -37,7 +37,9 @@
 namespace fpmix::net {
 
 /// Bumped on any incompatible message change; HelloAck rejects mismatches.
-constexpr std::uint32_t kProtocolVersion = 1;
+/// v2: Hello carries the VM execution engine, HelloAck echoes the engine
+/// the endpoint will actually run (a jit-incapable host downgrades).
+constexpr std::uint32_t kProtocolVersion = 2;
 
 constexpr std::uint8_t kMsgHello = 1;
 constexpr std::uint8_t kMsgHelloAck = 2;
@@ -57,6 +59,11 @@ struct HelloMsg {
   std::uint8_t cls = 'W';
   // Evaluation semantics (must match the client's in-process path exactly,
   // or results would not be byte-compatible with its journal).
+  /// vm::Engine the endpoint should run trials on. All engines are
+  /// bit-identical, so this is a performance choice, not a semantic one --
+  /// which is why a jit-incapable endpoint may downgrade (see HelloAckMsg)
+  /// instead of rejecting the session.
+  std::uint8_t engine = 0;
   std::uint64_t max_instructions = 1ull << 32;
   std::uint64_t deadline_ms = 0;
   std::uint32_t max_crashes = 3;
@@ -77,6 +84,10 @@ struct HelloAckMsg {
   std::string error;        // when !ok
   std::string verifier_fp;  // server-side verifier fingerprint (cross-check)
   std::uint32_t workers = 0;  // pool width behind this endpoint
+  /// vm::Engine the endpoint will actually evaluate on. Equals the hello's
+  /// engine except for the one sanctioned mismatch: jit requested on a host
+  /// that cannot run it answers with the micro-op engine.
+  std::uint8_t engine = 0;
 };
 
 std::string encode_hello_ack(const HelloAckMsg& m);

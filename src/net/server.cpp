@@ -10,6 +10,8 @@
 #include "runner/worker_pool.hpp"
 #include "support/fault.hpp"
 #include "support/log.hpp"
+#include "vm/jit/jit.hpp"
+#include "vm/machine.hpp"
 #include "support/strings.hpp"
 #include "verify/trial_builder.hpp"
 
@@ -39,8 +41,8 @@ struct CacheEntry {
 /// the same key share a backend (workload, builder, injector, pool).
 std::string backend_key(const HelloMsg& h) {
   std::string k = strformat(
-      "%s|%c|%llu|%llu|%u|%llu|%u|%llu|", h.bench.c_str(),
-      static_cast<char>(h.cls),
+      "%s|%c|%u|%llu|%llu|%u|%llu|%u|%llu|", h.bench.c_str(),
+      static_cast<char>(h.cls), static_cast<unsigned>(h.engine),
       static_cast<unsigned long long>(h.max_instructions),
       static_cast<unsigned long long>(h.deadline_ms),
       static_cast<unsigned>(h.max_crashes),
@@ -143,7 +145,28 @@ struct RunnerServer::Impl {
       drop_session(s);
       return;
     }
-    const std::string key = backend_key(h);
+    if (h.engine > static_cast<std::uint8_t>(vm::Engine::kJit)) {
+      ack.error = strformat("unknown engine %u", static_cast<unsigned>(h.engine));
+      ++stats->sessions_rejected;
+      send_frame(s, encode_hello_ack(ack));
+      drop_session(s);
+      return;
+    }
+    // The one sanctioned mismatch: jit requested on a host that cannot run
+    // it downgrades to the (bit-identical) micro-op engine. The resolved
+    // engine keys the backend, so a jit and a microop session on a jit-less
+    // host share one pool.
+    HelloMsg rh = h;
+    if (rh.engine == static_cast<std::uint8_t>(vm::Engine::kJit) &&
+        !vm::jit::jit_supported()) {
+      rh.engine = static_cast<std::uint8_t>(vm::Engine::kMicroOp);
+      log::warnf("runner_serve: jit engine unavailable (%s); session %llu "
+                 "runs on the micro-op engine",
+                 vm::jit::jit_unsupported_reason(),
+                 static_cast<unsigned long long>(s->id));
+    }
+    ack.engine = rh.engine;
+    const std::string key = backend_key(rh);
     Backend* b = nullptr;
     auto it = backends.find(key);
     if (it != backends.end()) {
@@ -172,6 +195,7 @@ struct RunnerServer::Impl {
       ctx.verifier = nb->wl->verifier.get();
       ctx.eval.max_instructions = h.max_instructions;
       ctx.eval.profile = false;
+      ctx.eval.engine = static_cast<vm::Engine>(rh.engine);
       ctx.eval.deadline_ns = h.deadline_ms * 1000000ull;
       ctx.eval.builder = nb->builder.get();
       ctx.injector = nb->injector.get();

@@ -6,6 +6,7 @@
 #include "runner/wire.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
+#include "vm/machine.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define FPMIX_NET_POSIX 1
@@ -79,6 +80,29 @@ bool Scheduler::try_connect(Shard* s) {
     s->lost = true;
     s->m.lost = true;
     return false;
+  }
+  if (client->engine() != opts_.hello.engine) {
+    // Engines are bit-identical, so only one mismatch is sanctioned: jit
+    // requested of a host that cannot run it answers micro-op. Anything
+    // else is a protocol violation; never trust the endpoint.
+    const bool sanctioned_downgrade =
+        opts_.hello.engine == static_cast<std::uint8_t>(vm::Engine::kJit) &&
+        client->engine() == static_cast<std::uint8_t>(vm::Engine::kMicroOp);
+    if (!sanctioned_downgrade) {
+      log::warnf("scheduler: endpoint %s answered engine %u to a request "
+                 "for engine %u; endpoint dropped",
+                 s->m.address.c_str(), static_cast<unsigned>(client->engine()),
+                 static_cast<unsigned>(opts_.hello.engine));
+      s->lost = true;
+      s->m.lost = true;
+      return false;
+    }
+    if (!s->m.jit_downgraded) {
+      log::warnf("scheduler: endpoint %s cannot run the jit engine; its "
+                 "trials run on the micro-op engine (results identical)",
+                 s->m.address.c_str());
+      s->m.jit_downgraded = true;
+    }
   }
   if (s->ever_connected) ++s->m.reconnects;
   s->ever_connected = true;

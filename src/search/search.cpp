@@ -16,6 +16,7 @@
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 #include "verify/trial_builder.hpp"
+#include "vm/jit/jit.hpp"
 #include "vm/machine.hpp"
 
 namespace fpmix::search {
@@ -155,6 +156,7 @@ class Searcher {
         options_(options) {}
 
   SearchResult run() {
+    resolve_engine();
     setup_journal();
     profile_original();
     setup_builder();
@@ -294,6 +296,7 @@ class Searcher {
         metrics_.endpoint_reconnects += em.reconnects;
         metrics_.endpoint_disconnects += em.disconnects;
         if (em.lost) ++metrics_.endpoints_lost;
+        if (em.jit_downgraded) ++metrics_.jit_downgraded;
       }
     }
     out.metrics = metrics_;
@@ -308,9 +311,27 @@ class Searcher {
   }
 
  private:
+  /// Resolves the requested engine against this host's capabilities; the
+  /// result drives the profiling run, in-process trials and the local
+  /// worker pool. Remote endpoints resolve independently in the handshake
+  /// (the hello carries the *requested* engine: a jit-capable server
+  /// should compile even when this host cannot). Deliberately not part of
+  /// the search fingerprint -- every engine is bit-identical.
+  void resolve_engine() {
+    engine_ = options_.engine;
+    if (engine_ == vm::Engine::kJit && !vm::jit::jit_supported()) {
+      log::warnf("search: jit engine unavailable (%s); running trials on "
+                 "the micro-op engine",
+                 vm::jit::jit_unsupported_reason());
+      ++metrics_.jit_downgraded;
+      engine_ = vm::Engine::kMicroOp;
+    }
+  }
+
   void profile_original() {
     vm::Machine::Options mopts;
     mopts.max_instructions = options_.max_instructions_per_run;
+    mopts.engine = engine_;
     mopts.deadline_ns = options_.deadline_ms * 1000000ull;
     vm::Machine machine(original_, mopts);
     const vm::RunResult r = machine.run();
@@ -513,6 +534,7 @@ class Searcher {
     net::HelloMsg& h = sopts.hello;
     h.bench = options_.remote_bench;
     h.cls = static_cast<std::uint8_t>(options_.remote_class);
+    h.engine = static_cast<std::uint8_t>(options_.engine);
     h.max_instructions = options_.max_instructions_per_run;
     h.deadline_ms = options_.deadline_ms;
     h.max_crashes = options_.max_trial_crashes;
@@ -553,6 +575,7 @@ class Searcher {
     ctx.verifier = &verifier_;
     ctx.eval.max_instructions = options_.max_instructions_per_run;
     ctx.eval.profile = false;
+    ctx.eval.engine = engine_;
     ctx.eval.deadline_ns = options_.deadline_ms * 1000000ull;
     // Forked workers inherit the builder's warm caches (copy-on-write) and
     // keep their private copies hot across requests for the worker's
@@ -748,6 +771,7 @@ class Searcher {
     // Pass/fail is all a trial reports; per-instruction counts come only
     // from profile_original(), so the VM can take its non-profiling loop.
     eopts.profile = false;
+    eopts.engine = engine_;
     eopts.deadline_ns = options_.deadline_ms * 1000000ull;
     eopts.builder = builder_.get();
 
@@ -1037,6 +1061,8 @@ class Searcher {
   TrialCache cache_;
   Journal journal_;
   std::string search_fp_;
+  /// Host-resolved execution engine (see resolve_engine()).
+  vm::Engine engine_ = vm::Engine::kMicroOp;
   SearchMetrics metrics_;
   Timer wall_timer_;
   /// Shared patch+predecode front end (image_cache option). Declared

@@ -52,6 +52,15 @@ struct SearchOptions {
   std::uint64_t max_instructions_per_run = 1ull << 32;
   bool keep_log = true;
 
+  /// VM execution engine for every trial run (and the profiling run). All
+  /// engines are bit-identical -- journals, verdicts and profiles do not
+  /// depend on this choice, and it is deliberately NOT part of the search
+  /// fingerprint, so a journal written under one engine resumes under
+  /// another. kJit degrades to kMicroOp (with a warning and
+  /// SearchMetrics::jit_downgraded) on hosts that cannot run compiled
+  /// code; remote endpoints may do the same per-endpoint.
+  vm::Engine engine = vm::Engine::kMicroOp;
+
   /// Second search phase (the paper's Section 3.1 suggestion: "a second
   /// search phase may be useful, to determine the largest subset of
   /// individually-passing instruction replacements that may be composed to
@@ -180,6 +189,9 @@ struct EndpointMetrics {
   std::size_t disconnects = 0;   // sessions lost (EOF/error/corrupt)
   std::uint64_t busy_ns = 0;     // summed server-side trial wall time
   bool lost = false;             // consecutive-failure budget exhausted
+  /// The endpoint could not run the requested jit engine and evaluated on
+  /// the micro-op engine instead (results identical; timing differs).
+  bool jit_downgraded = false;
 };
 
 /// Per-worker-slot supervision census (isolate mode): one seat in the pool,
@@ -240,6 +252,11 @@ struct SearchMetrics {
   /// The profiling run of the original binary failed, and the search fell
   /// back to unweighted structure-order prioritisation.
   bool profile_degraded = false;
+  /// Execution contexts that downgraded a requested jit engine to the
+  /// micro-op engine (1 for the local process, plus one per remote endpoint
+  /// that answered the handshake with the downgrade). Results are
+  /// unaffected; only the expected speedup is.
+  std::size_t jit_downgraded = 0;
 
   // ---- Process isolation --------------------------------------------------
   /// Trial executions dispatched to sandboxed workers (retries included).

@@ -28,6 +28,7 @@
 
 #include "arch/instr.hpp"
 #include "program/image.hpp"
+#include "vm/jit/cache.hpp"
 
 namespace fpmix::program {
 struct FuncLayout;
@@ -129,6 +130,15 @@ class CodeSegment {
   std::size_t instruction_count() const { return code_.size(); }
   std::size_t byte_size() const { return byte_size_; }
 
+  const std::vector<arch::Instr>& code() const { return code_; }
+  const std::vector<MicroOp>& uops() const { return uops_; }
+
+  /// Lazily-filled native-code cache (see jit/cache.hpp): the JIT engine
+  /// compiles a segment's local-form micro-ops at most once per profile
+  /// variant, so delta trials that re-splice shared segments re-JIT only
+  /// the dirty functions.
+  jit::BlobCache& jit_cache() const { return jit_cache_; }
+
  private:
   friend class ExecutableImage;
   CodeSegment() = default;
@@ -140,6 +150,7 @@ class CodeSegment {
   std::vector<std::uint32_t> branch_sites_;
   std::vector<std::uint32_t> call_sites_;
   std::size_t byte_size_ = 0;
+  mutable jit::BlobCache jit_cache_;
 };
 
 /// An immutable, shareable execution form of a program::Image: decoded
@@ -196,6 +207,11 @@ class ExecutableImage {
     return segment_first_index_;
   }
 
+  /// Lazily-filled linked-native-code cache: the JIT engine links a whole
+  /// image at most once per profile variant, so a warm ImageCache hit
+  /// carries compiled code along with the predecode.
+  jit::ImageJitCache& jit_cache() const { return jit_cache_; }
+
  private:
   ExecutableImage() = default;
 
@@ -206,6 +222,7 @@ class ExecutableImage {
   std::size_t entry_index_ = 0;
   std::vector<std::shared_ptr<const CodeSegment>> segments_;
   std::vector<std::size_t> segment_first_index_;
+  mutable jit::ImageJitCache jit_cache_;
 };
 
 }  // namespace fpmix::vm

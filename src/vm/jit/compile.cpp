@@ -1,0 +1,892 @@
+// MicroOp stream -> position-independent x86-64 blob.
+//
+// Each guest instruction is lowered to a fixed template that begins with the
+// interpreter's exact dispatch sequence (budget check, optional profile
+// count, retire) and then performs the operation against the Machine's own
+// state through the pinned base registers:
+//
+//   r15 = JitContext*   r12 = gpr file   r13 = VM memory
+//   rbx = xmm file      r14 = retired    rbp = max_instructions
+//
+// rax/rcx/rdx/rsi/rdi/r8 and xmm0-2 are scratch within a template.
+//
+// Trap-shaped paths (bounds, tag sentinel, budget) branch to per-site
+// out-of-line stubs emitted after the instruction bodies; the stubs load the
+// faulting pc as a link-patched immediate and call the C++ helpers through
+// the context block. Rare or complex kinds (idiv/irem, cvtt*, packed,
+// intrinsics, fallback) go through the generic-exec helper, which runs the
+// micro-op interpreter's own handler for exactly one instruction -- lowering
+// is total and the engines cannot drift.
+//
+// Ordering subtleties are load-bearing and mirror machine.cpp exactly:
+// bounds traps fire before tag traps on the same load, the tag check on the
+// destination operand precedes the source's bounds check, push updates sp
+// before the trapping store, pop increments sp only after the load, and the
+// two halves of 16-byte moves commit the first lane before the second lane's
+// bounds check.
+
+#include <cstddef>
+#include <deque>
+
+#include "arch/operand.hpp"
+#include "vm/jit/emitter.hpp"
+#include "vm/jit/jit.hpp"
+
+namespace fpmix::vm::jit {
+namespace {
+
+// JitContext field displacements off r15 (layout static_asserted in jit.hpp).
+constexpr std::int32_t kCtxMemSize = 16;
+constexpr std::int32_t kCtxRetired = 32;
+constexpr std::int32_t kCtxCounts = 48;
+constexpr std::int32_t kCtxTagCmp = 56;
+constexpr std::int32_t kCtxExitPc = 64;
+constexpr std::int32_t kCtxExitStatus = 72;
+constexpr std::int32_t kCtxFlagEq = 76;
+constexpr std::int32_t kCtxFlagLt = 77;
+constexpr std::int32_t kCtxFlagLtu = 78;
+constexpr std::int32_t kCtxEpilogue = 80;
+constexpr std::int32_t kCtxHelpMemTrap = 88;
+constexpr std::int32_t kCtxHelpTagTrap = 96;
+constexpr std::int32_t kCtxHelpExec = 104;
+constexpr std::int32_t kCtxHelpRet = 112;
+constexpr std::int32_t kCtxHelpIntrin = 120;
+static_assert(offsetof(JitContext, mem_size) == kCtxMemSize);
+static_assert(offsetof(JitContext, counts) == kCtxCounts);
+static_assert(offsetof(JitContext, exit_pc) == kCtxExitPc);
+static_assert(offsetof(JitContext, flag_ltu) == kCtxFlagLtu);
+static_assert(offsetof(JitContext, help_mem_trap) == kCtxHelpMemTrap);
+static_assert(offsetof(JitContext, help_ret) == kCtxHelpRet);
+static_assert(offsetof(JitContext, help_intrin) == kCtxHelpIntrin);
+
+constexpr bool fits_i32(std::int64_t v) {
+  return v >= INT32_MIN && v <= INT32_MAX;
+}
+
+constexpr std::int32_t gpr_off(unsigned r) {
+  return static_cast<std::int32_t>(r) * 8;
+}
+constexpr std::int32_t xmm_lo(unsigned r) {
+  return static_cast<std::int32_t>(r) * 16;
+}
+constexpr std::int32_t xmm_hi(unsigned r) {
+  return static_cast<std::int32_t>(r) * 16 + 8;
+}
+constexpr std::int32_t kSpOff = gpr_off(arch::kSpReg);
+
+// SSE scalar arithmetic opcodes (the F2/F3 0F xx second byte).
+constexpr std::uint8_t kSseAdd = 0x58;
+constexpr std::uint8_t kSseMul = 0x59;
+constexpr std::uint8_t kSseSub = 0x5C;
+constexpr std::uint8_t kSseDiv = 0x5E;
+constexpr std::uint8_t kSseSqrt = 0x51;
+
+class Compiler {
+ public:
+  Compiler(const std::vector<MicroOp>& uops, CompileMode mode)
+      : uops_(uops), mode_(mode) {}
+
+  std::shared_ptr<const SegmentBlob> run() {
+    auto blob = std::make_shared<SegmentBlob>();
+    const std::size_t n = uops_.size();
+    instr_off_.reserve(n);
+    for (pc_ = 0; pc_ < n; ++pc_) {
+      instr_off_.push_back(static_cast<std::uint32_t>(e_.size()));
+      prologue();
+      emit(uops_[pc_]);
+    }
+    // Falling off the last instruction continues at the next one in program
+    // order: the following segment's entry, or the image's off-end stub.
+    jmp_target(static_cast<std::uint64_t>(n));
+    emit_tails();
+    emit_stubs();
+    blob->code = std::move(e_.code);
+    blob->relocs = std::move(relocs_);
+    blob->instr_off = std::move(instr_off_);
+    return blob;
+  }
+
+ private:
+  Emitter e_;
+  std::vector<Reloc> relocs_;
+  std::vector<std::uint32_t> instr_off_;
+  const std::vector<MicroOp>& uops_;
+  CompileMode mode_;
+  std::size_t pc_ = 0;
+
+  Emitter::Label exit_tail_;  // jmp epilogue (helper already set the status)
+  Emitter::Label halt_tail_;  // status = kExitHalt, then epilogue
+
+  struct BudgetStub {
+    Emitter::Label label;
+    std::uint32_t pc;
+  };
+  struct MemStub {
+    Emitter::Label label;
+    std::uint32_t pc;
+    std::uint8_t bytes;
+    bool is_store;
+  };
+  struct TagStub {
+    Emitter::Label label;
+    std::uint32_t pc;
+    int bits_reg;
+  };
+  std::deque<BudgetStub> budget_stubs_;
+  std::deque<MemStub> mem_stubs_;
+  std::deque<TagStub> tag_stubs_;
+
+  std::uint32_t pc32() const { return static_cast<std::uint32_t>(pc_); }
+
+  // --- reloc-carrying emission helpers -------------------------------------
+
+  void mov_ri32_reloc(int reg, Reloc::Kind kind, std::uint64_t value) {
+    e_.rex(false, 0, 0, reg);
+    e_.u8(static_cast<std::uint8_t>(0xB8 | (reg & 7)));
+    relocs_.push_back({kind, static_cast<std::uint32_t>(e_.size()), value});
+    e_.u32(0);
+  }
+  void jmp_target(std::uint64_t target) {
+    const std::size_t at = e_.jmp_reloc();
+    relocs_.push_back(
+        {Reloc::Kind::kRel32Target, static_cast<std::uint32_t>(at), target});
+  }
+  void jcc_target(int cc, std::uint64_t target) {
+    const std::size_t at = e_.jcc_reloc(cc);
+    relocs_.push_back(
+        {Reloc::Kind::kRel32Target, static_cast<std::uint32_t>(at), target});
+  }
+
+  // --- the per-instruction dispatch prologue -------------------------------
+  // Same order as FPMIX_DISPATCH: budget check, profile count, retire.
+
+  void prologue() {
+    e_.alu_rr(Alu::kCmp, R14, RBP);  // cmp retired, max_instructions
+    budget_stubs_.push_back({{}, pc32()});
+    e_.jcc(CC_AE, budget_stubs_.back().label);
+    if (mode_.profile) {
+      e_.mov_rm(RAX, R15, kCtxCounts);
+      const std::size_t at = e_.inc_m_disp32(RAX);
+      relocs_.push_back({Reloc::Kind::kDisp32Counts,
+                         static_cast<std::uint32_t>(at), pc_});
+    }
+    e_.inc_r(R14);
+  }
+
+  // --- common fragments ----------------------------------------------------
+
+  /// Effective address into RAX (clobbers RCX). Absent base/index were
+  /// redirected to the always-zero slot at lowering; loading that slot would
+  /// be correct but wasteful, so the recipe specialises on presence instead.
+  void emit_ea(const MicroOp& u) {
+    const bool has_base = u.ea_base != kZeroRegSlot;
+    const bool has_index = u.ea_index != kZeroRegSlot;
+    if (!has_base && !has_index) {
+      e_.mov_ri32s(RAX, u.ea_disp);
+      return;
+    }
+    if (has_base && !has_index) {
+      e_.mov_rm(RAX, R12, gpr_off(u.ea_base));
+      if (u.ea_disp != 0) e_.lea_bd(RAX, RAX, u.ea_disp);
+      return;
+    }
+    if (!has_base) {
+      e_.mov_rm(RCX, R12, gpr_off(u.ea_index));
+      if (u.ea_shift != 0) e_.shl_ri8(RCX, u.ea_shift);
+      e_.lea_bd(RAX, RCX, u.ea_disp);
+      return;
+    }
+    e_.mov_rm(RAX, R12, gpr_off(u.ea_base));
+    e_.mov_rm(RCX, R12, gpr_off(u.ea_index));
+    if (u.ea_shift <= 3) {
+      e_.lea_bisd(RAX, RAX, RCX, u.ea_shift, u.ea_disp);
+    } else {
+      e_.shl_ri8(RCX, u.ea_shift);
+      e_.lea_bisd(RAX, RAX, RCX, 0, u.ea_disp);
+    }
+  }
+
+  /// Bounds check for `bytes` at the address in RAX (clobbers RCX), same
+  /// predicate as Machine::load/store: addr+bytes > mem_size || wrapped.
+  void bounds(unsigned bytes, bool is_store) {
+    mem_stubs_.push_back(
+        {{}, pc32(), static_cast<std::uint8_t>(bytes), is_store});
+    Emitter::Label& stub = mem_stubs_.back().label;
+    e_.lea_bd(RCX, RAX, static_cast<std::int32_t>(bytes));
+    e_.alu_rr(Alu::kCmp, RCX, RAX);
+    e_.jcc(CC_B, stub);
+    e_.alu_rm(Alu::kCmp, RCX, R15, kCtxMemSize);
+    e_.jcc(CC_A, stub);
+  }
+
+  /// Replaced-double sentinel check on the f64 bits in `bits_reg` (not RSI;
+  /// clobbers RSI). ctx->tag_cmp is unmatchable when the trap is off, so the
+  /// same code serves both modes.
+  void tag_check(int bits_reg) {
+    tag_stubs_.push_back({{}, pc32(), bits_reg});
+    e_.mov_rr(RSI, bits_reg);
+    e_.shr_ri8(RSI, 32);
+    e_.alu_rm(Alu::kCmp, RSI, R15, kCtxTagCmp);
+    e_.jcc(CC_E, tag_stubs_.back().label);
+  }
+
+  /// Integer-compare flag materialisation from the live host flags.
+  void store_cmp_flags() {
+    e_.setcc_m(CC_E, R15, kCtxFlagEq);
+    e_.setcc_m(CC_L, R15, kCtxFlagLt);
+    e_.setcc_m(CC_B, R15, kCtxFlagLtu);
+  }
+
+  /// ucomis flag materialisation: eq = ordered-equal, lt = ltu = ordered
+  /// less-than; every flag false on NaN. All three setcc must precede the
+  /// ANDs (which clobber the host flags).
+  void store_fcmp_flags() {
+    e_.setcc_r(CC_NP, RCX);  // ordered
+    e_.setcc_r(CC_E, RAX);
+    e_.setcc_r(CC_B, RDX);
+    e_.and_rr8(RAX, RCX);
+    e_.mov_mr8(R15, kCtxFlagEq, RAX);
+    e_.and_rr8(RDX, RCX);
+    e_.mov_mr8(R15, kCtxFlagLt, RDX);
+    e_.mov_mr8(R15, kCtxFlagLtu, RDX);
+  }
+
+  /// Delegate this one instruction to the micro-op interpreter's handler.
+  void generic_exec() {
+    e_.mov_mr(R15, kCtxRetired, R14);
+    mov_ri32_reloc(RSI, Reloc::Kind::kImm32Pc, pc_);
+    e_.mov_rr(RDI, R15);
+    e_.call_m(R15, kCtxHelpExec);
+    e_.test_rr(RAX, RAX);
+    e_.jcc(CC_E, exit_tail_);
+    e_.jmp_r(RAX);
+  }
+
+  /// Loads u.imm into `reg` (imm32 sign-extended when it fits).
+  void load_imm(int reg, std::int64_t imm) {
+    if (fits_i32(imm)) {
+      e_.mov_ri32s(reg, static_cast<std::int32_t>(imm));
+    } else {
+      e_.mov_ri64(reg, static_cast<std::uint64_t>(imm));
+    }
+  }
+
+  /// Conditional guest branch on one flag byte: taken when the byte is
+  /// nonzero (want_set) or zero.
+  void jcc_flag(std::int32_t flag_off, bool want_set, std::uint64_t target) {
+    e_.cmp_mi8_b(R15, flag_off, 0);
+    jcc_target(want_set ? CC_NE : CC_E, target);
+  }
+  /// Guest branch on (lt|eq) or (ltu|eq) composites.
+  void jcc_or(std::int32_t flag_off, bool want_set, std::uint64_t target) {
+    e_.mov_rm8(RAX, R15, flag_off);
+    e_.mov_rm8(RCX, R15, kCtxFlagEq);
+    e_.or_rr8(RAX, RCX);
+    jcc_target(want_set ? CC_NE : CC_E, target);
+  }
+
+  // --- per-kind templates --------------------------------------------------
+
+  void emit(const MicroOp& u) {
+    const std::uint64_t tgt = static_cast<std::uint64_t>(u.imm);
+    switch (static_cast<MicroKind>(u.kind)) {
+      case MicroKind::kNop:
+        break;
+      case MicroKind::kHalt:
+        e_.jmp(halt_tail_);
+        break;
+
+      // -- control flow --
+      case MicroKind::kJmp: jmp_target(tgt); break;
+      case MicroKind::kJe: jcc_flag(kCtxFlagEq, true, tgt); break;
+      case MicroKind::kJne: jcc_flag(kCtxFlagEq, false, tgt); break;
+      case MicroKind::kJl: jcc_flag(kCtxFlagLt, true, tgt); break;
+      case MicroKind::kJge: jcc_flag(kCtxFlagLt, false, tgt); break;
+      case MicroKind::kJb: jcc_flag(kCtxFlagLtu, true, tgt); break;
+      case MicroKind::kJae: jcc_flag(kCtxFlagLtu, false, tgt); break;
+      case MicroKind::kJle: jcc_or(kCtxFlagLt, true, tgt); break;
+      case MicroKind::kJg: jcc_or(kCtxFlagLt, false, tgt); break;
+      case MicroKind::kJbe: jcc_or(kCtxFlagLtu, true, tgt); break;
+      case MicroKind::kJa: jcc_or(kCtxFlagLtu, false, tgt); break;
+
+      case MicroKind::kCall:
+        // push64(aux): sp -= 8 commits before the store, as in the
+        // interpreter (a trapping call leaves sp decremented).
+        e_.mov_rm(RAX, R12, kSpOff);
+        e_.alu_ri8(Alu::kSub, RAX, 8);
+        e_.mov_mr(R12, kSpOff, RAX);
+        bounds(8, /*is_store=*/true);
+        if (mode_.local) {
+          // Return address: local byte offset, rebased at link time.
+          e_.rex(true, 0, 0, RDX);
+          e_.u8(static_cast<std::uint8_t>(0xB8 | RDX));
+          relocs_.push_back({Reloc::Kind::kAbs64RetAddr,
+                             static_cast<std::uint32_t>(e_.size()), u.aux});
+          e_.u64(0);
+        } else {
+          e_.mov_ri64(RDX, u.aux);
+        }
+        e_.mov_mxr(R13, RAX, 0, RDX);
+        if (mode_.local) {
+          // imm = callee function index; resolved via the link placement.
+          const std::size_t at = e_.jmp_reloc();
+          relocs_.push_back({Reloc::Kind::kRel32Call,
+                             static_cast<std::uint32_t>(at), tgt});
+        } else {
+          jmp_target(tgt);  // imm = callee's global instruction index
+        }
+        break;
+
+      case MicroKind::kRet:
+        // pop64(): load first (sp unchanged if it traps), then sp += 8.
+        e_.mov_rm(RAX, R12, kSpOff);
+        bounds(8, /*is_store=*/false);
+        e_.mov_rmx(RDX, R13, RAX, 0);
+        e_.alu_mi(Alu::kAdd, R12, kSpOff, 8);
+        e_.test_rr(RDX, RDX);
+        e_.jcc(CC_E, halt_tail_);  // the null frame pushed by run()
+        e_.mov_mr(R15, kCtxRetired, R14);
+        e_.mov_rr(RDI, R15);
+        e_.mov_rr(RSI, RDX);
+        mov_ri32_reloc(RDX, Reloc::Kind::kImm32Pc, pc_);
+        e_.call_m(R15, kCtxHelpRet);
+        e_.test_rr(RAX, RAX);
+        e_.jcc(CC_E, exit_tail_);
+        e_.jmp_r(RAX);
+        break;
+
+      // -- integer file --
+      case MicroKind::kMovRR:
+        e_.mov_rm(RAX, R12, gpr_off(u.b));
+        e_.mov_mr(R12, gpr_off(u.a), RAX);
+        break;
+      case MicroKind::kMovRI:
+        if (fits_i32(u.imm)) {
+          e_.mov_mi32s(R12, gpr_off(u.a), static_cast<std::int32_t>(u.imm));
+        } else {
+          e_.mov_ri64(RAX, static_cast<std::uint64_t>(u.imm));
+          e_.mov_mr(R12, gpr_off(u.a), RAX);
+        }
+        break;
+      case MicroKind::kLoad:
+        emit_ea(u);
+        bounds(8, false);
+        e_.mov_rmx(RDX, R13, RAX, 0);
+        e_.mov_mr(R12, gpr_off(u.a), RDX);
+        break;
+      case MicroKind::kStore:
+        emit_ea(u);
+        bounds(8, true);
+        e_.mov_rm(RDX, R12, gpr_off(u.b));
+        e_.mov_mxr(R13, RAX, 0, RDX);
+        break;
+      case MicroKind::kLea:
+        emit_ea(u);
+        e_.mov_mr(R12, gpr_off(u.a), RAX);
+        break;
+
+      case MicroKind::kAddRR: int_rr(Alu::kAdd, u); break;
+      case MicroKind::kAddRI: int_ri(Alu::kAdd, u); break;
+      case MicroKind::kSubRR: int_rr(Alu::kSub, u); break;
+      case MicroKind::kSubRI: int_ri(Alu::kSub, u); break;
+      case MicroKind::kAndRR: int_rr(Alu::kAnd, u); break;
+      case MicroKind::kAndRI: int_ri(Alu::kAnd, u); break;
+      case MicroKind::kOrRR: int_rr(Alu::kOr, u); break;
+      case MicroKind::kOrRI: int_ri(Alu::kOr, u); break;
+      case MicroKind::kXorRR: int_rr(Alu::kXor, u); break;
+      case MicroKind::kXorRI: int_ri(Alu::kXor, u); break;
+
+      case MicroKind::kImulRR:
+        e_.mov_rm(RAX, R12, gpr_off(u.a));
+        e_.imul_rm(RAX, R12, gpr_off(u.b));
+        e_.mov_mr(R12, gpr_off(u.a), RAX);
+        break;
+      case MicroKind::kImulRI:
+        if (fits_i32(u.imm)) {
+          e_.imul_rmi(RAX, R12, gpr_off(u.a),
+                      static_cast<std::int32_t>(u.imm));
+        } else {
+          e_.mov_ri64(RAX, static_cast<std::uint64_t>(u.imm));
+          e_.imul_rm(RAX, R12, gpr_off(u.a));
+        }
+        e_.mov_mr(R12, gpr_off(u.a), RAX);
+        break;
+
+      case MicroKind::kShlRR: shift_rr(4, u); break;
+      case MicroKind::kShrRR: shift_rr(5, u); break;
+      case MicroKind::kSarRR: shift_rr(7, u); break;
+      case MicroKind::kShlRI: shift_ri(4, u); break;
+      case MicroKind::kShrRI: shift_ri(5, u); break;
+      case MicroKind::kSarRI: shift_ri(7, u); break;
+
+      case MicroKind::kCmpRR:
+        e_.mov_rm(RAX, R12, gpr_off(u.a));
+        e_.alu_rm(Alu::kCmp, RAX, R12, gpr_off(u.b));
+        store_cmp_flags();
+        break;
+      case MicroKind::kCmpRI:
+        e_.mov_rm(RAX, R12, gpr_off(u.a));
+        if (fits_i32(u.imm)) {
+          e_.alu_ri(Alu::kCmp, RAX, static_cast<std::int32_t>(u.imm));
+        } else {
+          e_.mov_ri64(RCX, static_cast<std::uint64_t>(u.imm));
+          e_.alu_rr(Alu::kCmp, RAX, RCX);
+        }
+        store_cmp_flags();
+        break;
+      case MicroKind::kTestRR:
+        e_.mov_rm(RAX, R12, gpr_off(u.a));
+        e_.alu_rm(Alu::kAnd, RAX, R12, gpr_off(u.b));
+        store_test_flags();
+        break;
+      case MicroKind::kTestRI:
+        e_.mov_rm(RAX, R12, gpr_off(u.a));
+        if (fits_i32(u.imm)) {
+          e_.test_ri(RAX, static_cast<std::int32_t>(u.imm));
+        } else {
+          e_.mov_ri64(RCX, static_cast<std::uint64_t>(u.imm));
+          e_.test_rr(RAX, RCX);
+        }
+        store_test_flags();
+        break;
+
+      case MicroKind::kPush:
+        // Value read BEFORE the sp update: push sp pushes the old sp.
+        e_.mov_rm(RDX, R12, gpr_off(u.a));
+        e_.mov_rm(RAX, R12, kSpOff);
+        e_.alu_ri8(Alu::kSub, RAX, 8);
+        e_.mov_mr(R12, kSpOff, RAX);
+        bounds(8, true);
+        e_.mov_mxr(R13, RAX, 0, RDX);
+        break;
+      case MicroKind::kPop:
+        // Destination written AFTER sp += 8: pop sp yields the popped value.
+        e_.mov_rm(RAX, R12, kSpOff);
+        bounds(8, false);
+        e_.mov_rmx(RDX, R13, RAX, 0);
+        e_.alu_mi(Alu::kAdd, R12, kSpOff, 8);
+        e_.mov_mr(R12, gpr_off(u.a), RDX);
+        break;
+
+      // -- xmm data movement --
+      case MicroKind::kMovqXR:
+        e_.mov_rm(RAX, R12, gpr_off(u.b));
+        e_.mov_mr(RBX, xmm_lo(u.a), RAX);  // upper lane preserved
+        break;
+      case MicroKind::kMovqRX:
+        e_.mov_rm(RAX, RBX, xmm_lo(u.b));
+        e_.mov_mr(R12, gpr_off(u.a), RAX);
+        break;
+      case MicroKind::kMovsdXX:
+        e_.mov_rm(RAX, RBX, xmm_lo(u.b));
+        e_.mov_mr(RBX, xmm_lo(u.a), RAX);  // lo only, hi preserved
+        break;
+      case MicroKind::kMovsdXM:
+        emit_ea(u);
+        bounds(8, false);
+        e_.mov_rmx(RDX, R13, RAX, 0);
+        e_.mov_mr(RBX, xmm_lo(u.a), RDX);
+        e_.mov_mi32s(RBX, xmm_hi(u.a), 0);
+        break;
+      case MicroKind::kMovsdMX:
+        emit_ea(u);
+        bounds(8, true);
+        e_.mov_rm(RDX, RBX, xmm_lo(u.b));
+        e_.mov_mxr(R13, RAX, 0, RDX);
+        break;
+      case MicroKind::kMovssXM:
+        emit_ea(u);
+        bounds(4, false);
+        e_.mov_rmx32(RDX, R13, RAX, 0);     // zero-extending 4-byte load
+        e_.mov_mr(RBX, xmm_lo(u.a), RDX);   // lo = zext32(value)
+        e_.mov_mi32s(RBX, xmm_hi(u.a), 0);
+        break;
+      case MicroKind::kMovssMX:
+        emit_ea(u);
+        bounds(4, true);
+        e_.mov_rm32(RDX, RBX, xmm_lo(u.b));
+        e_.mov_mxr32(R13, RAX, 0, RDX);
+        break;
+      case MicroKind::kMovapdXX:
+        e_.mov_rm(RAX, RBX, xmm_lo(u.b));
+        e_.mov_rm(RDX, RBX, xmm_hi(u.b));
+        e_.mov_mr(RBX, xmm_lo(u.a), RAX);
+        e_.mov_mr(RBX, xmm_hi(u.a), RDX);
+        break;
+      case MicroKind::kMovapdXM:
+        // Lane 0 commits before lane 1's bounds check, like the interpreter's
+        // two independent load() calls.
+        emit_ea(u);
+        bounds(8, false);
+        e_.mov_rmx(RDX, R13, RAX, 0);
+        e_.mov_mr(RBX, xmm_lo(u.a), RDX);
+        e_.alu_ri8(Alu::kAdd, RAX, 8);
+        bounds(8, false);
+        e_.mov_rmx(RDX, R13, RAX, 0);
+        e_.mov_mr(RBX, xmm_hi(u.a), RDX);
+        break;
+      case MicroKind::kMovapdMX:
+        emit_ea(u);
+        bounds(8, true);
+        e_.mov_rm(RDX, RBX, xmm_lo(u.b));
+        e_.mov_mxr(R13, RAX, 0, RDX);
+        e_.alu_ri8(Alu::kAdd, RAX, 8);
+        bounds(8, true);
+        e_.mov_rm(RDX, RBX, xmm_hi(u.b));
+        e_.mov_mxr(R13, RAX, 0, RDX);
+        break;
+      case MicroKind::kPushX:
+        e_.mov_rm(RAX, R12, kSpOff);
+        e_.alu_ri8(Alu::kSub, RAX, 16);
+        e_.mov_mr(R12, kSpOff, RAX);
+        bounds(8, true);
+        e_.mov_rm(RDX, RBX, xmm_lo(u.a));
+        e_.mov_mxr(R13, RAX, 0, RDX);
+        e_.alu_ri8(Alu::kAdd, RAX, 8);
+        bounds(8, true);
+        e_.mov_rm(RDX, RBX, xmm_hi(u.a));
+        e_.mov_mxr(R13, RAX, 0, RDX);
+        break;
+      case MicroKind::kPopX:
+        e_.mov_rm(RAX, R12, kSpOff);
+        bounds(8, false);
+        e_.mov_rmx(RDX, R13, RAX, 0);
+        e_.mov_mr(RBX, xmm_lo(u.a), RDX);
+        e_.alu_ri8(Alu::kAdd, RAX, 8);
+        bounds(8, false);
+        e_.mov_rmx(RDX, R13, RAX, 0);
+        e_.mov_mr(RBX, xmm_hi(u.a), RDX);
+        e_.alu_mi(Alu::kAdd, R12, kSpOff, 16);
+        break;
+
+      // -- scalar f64 --
+      case MicroKind::kAddsdXX: sd_xx(kSseAdd, u); break;
+      case MicroKind::kAddsdXM: sd_xm(kSseAdd, u); break;
+      case MicroKind::kSubsdXX: sd_xx(kSseSub, u); break;
+      case MicroKind::kSubsdXM: sd_xm(kSseSub, u); break;
+      case MicroKind::kMulsdXX: sd_xx(kSseMul, u); break;
+      case MicroKind::kMulsdXM: sd_xm(kSseMul, u); break;
+      case MicroKind::kDivsdXX: sd_xx(kSseDiv, u); break;
+      case MicroKind::kDivsdXM: sd_xm(kSseDiv, u); break;
+      case MicroKind::kMinsdXX: sd_minmax_xx(/*is_min=*/true, u); break;
+      case MicroKind::kMinsdXM: sd_minmax_xm(true, u); break;
+      case MicroKind::kMaxsdXX: sd_minmax_xx(false, u); break;
+      case MicroKind::kMaxsdXM: sd_minmax_xm(false, u); break;
+      case MicroKind::kSqrtsdXX:
+        e_.mov_rm(RDX, RBX, xmm_lo(u.b));
+        tag_check(RDX);
+        e_.movq_xr(0, RDX);
+        e_.sse_rr(0xF2, kSseSqrt, 0, 0);
+        e_.movq_mx(RBX, xmm_lo(u.a), 0);
+        break;
+      case MicroKind::kSqrtsdXM:
+        emit_ea(u);
+        bounds(8, false);
+        e_.mov_rmx(RDX, R13, RAX, 0);
+        tag_check(RDX);
+        e_.movq_xr(0, RDX);
+        e_.sse_rr(0xF2, kSseSqrt, 0, 0);
+        e_.movq_mx(RBX, xmm_lo(u.a), 0);
+        break;
+      case MicroKind::kUcomisdXX:
+        e_.mov_rm(RDX, RBX, xmm_lo(u.a));
+        tag_check(RDX);
+        e_.mov_rm(RCX, RBX, xmm_lo(u.b));
+        tag_check(RCX);
+        e_.movq_xr(0, RDX);
+        e_.movq_xr(1, RCX);
+        e_.ucomisd(0, 1);
+        store_fcmp_flags();
+        break;
+      case MicroKind::kUcomisdXM:
+        e_.mov_rm(RDX, RBX, xmm_lo(u.a));
+        tag_check(RDX);
+        e_.movq_xr(0, RDX);
+        emit_ea(u);
+        bounds(8, false);
+        e_.mov_rmx(RCX, R13, RAX, 0);
+        tag_check(RCX);
+        e_.movq_xr(1, RCX);
+        e_.ucomisd(0, 1);
+        store_fcmp_flags();
+        break;
+      case MicroKind::kCvtsd2ssXX:
+        e_.mov_rm(RDX, RBX, xmm_lo(u.b));
+        tag_check(RDX);
+        e_.movq_xr(0, RDX);
+        e_.cvtsd2ss(1, 0);
+        e_.movd_rx(RAX, 1);  // zero-extends: lo = zext32(float bits)
+        e_.mov_mr(RBX, xmm_lo(u.a), RAX);
+        break;
+      case MicroKind::kCvtsd2ssXM:
+        emit_ea(u);
+        bounds(8, false);
+        e_.mov_rmx(RDX, R13, RAX, 0);
+        tag_check(RDX);
+        e_.movq_xr(0, RDX);
+        e_.cvtsd2ss(1, 0);
+        e_.movd_rx(RAX, 1);
+        e_.mov_mr(RBX, xmm_lo(u.a), RAX);
+        break;
+      case MicroKind::kCvtss2sdXX:
+        e_.mov_rm32(RAX, RBX, xmm_lo(u.b));
+        e_.movd_xr(0, RAX);
+        e_.cvtss2sd(1, 0);
+        e_.movq_mx(RBX, xmm_lo(u.a), 1);
+        break;
+      case MicroKind::kCvtss2sdXM:
+        emit_ea(u);
+        bounds(4, false);
+        e_.mov_rmx32(RAX, R13, RAX, 0);
+        e_.movd_xr(0, RAX);
+        e_.cvtss2sd(1, 0);
+        e_.movq_mx(RBX, xmm_lo(u.a), 1);
+        break;
+      case MicroKind::kCvtsi2sd:
+        e_.mov_rm(RAX, R12, gpr_off(u.b));
+        e_.cvtsi2sd(0, RAX);
+        e_.movq_mx(RBX, xmm_lo(u.a), 0);
+        break;
+
+      // -- scalar f32 (no tag checks: the sentinel lives in the high word) --
+      case MicroKind::kAddssXX: ss_xx(kSseAdd, u); break;
+      case MicroKind::kAddssXM: ss_xm(kSseAdd, u); break;
+      case MicroKind::kSubssXX: ss_xx(kSseSub, u); break;
+      case MicroKind::kSubssXM: ss_xm(kSseSub, u); break;
+      case MicroKind::kMulssXX: ss_xx(kSseMul, u); break;
+      case MicroKind::kMulssXM: ss_xm(kSseMul, u); break;
+      case MicroKind::kDivssXX: ss_xx(kSseDiv, u); break;
+      case MicroKind::kDivssXM: ss_xm(kSseDiv, u); break;
+      case MicroKind::kMinssXX: ss_minmax_xx(true, u); break;
+      case MicroKind::kMinssXM: ss_minmax_xm(true, u); break;
+      case MicroKind::kMaxssXX: ss_minmax_xx(false, u); break;
+      case MicroKind::kMaxssXM: ss_minmax_xm(false, u); break;
+      case MicroKind::kSqrtssXX:
+        e_.movss_xm(0, RBX, xmm_lo(u.b));
+        e_.sse_rr(0xF3, kSseSqrt, 0, 0);
+        e_.movss_mx(RBX, xmm_lo(u.a), 0);
+        break;
+      case MicroKind::kSqrtssXM:
+        emit_ea(u);
+        bounds(4, false);
+        e_.movss_xmx(0, R13, RAX, 0);
+        e_.sse_rr(0xF3, kSseSqrt, 0, 0);
+        e_.movss_mx(RBX, xmm_lo(u.a), 0);
+        break;
+      case MicroKind::kUcomissXX:
+        e_.movss_xm(0, RBX, xmm_lo(u.a));
+        e_.movss_xm(1, RBX, xmm_lo(u.b));
+        e_.ucomiss(0, 1);
+        store_fcmp_flags();
+        break;
+      case MicroKind::kUcomissXM:
+        e_.movss_xm(0, RBX, xmm_lo(u.a));
+        emit_ea(u);
+        bounds(4, false);
+        e_.movss_xmx(1, R13, RAX, 0);
+        e_.ucomiss(0, 1);
+        store_fcmp_flags();
+        break;
+      case MicroKind::kCvtsi2ss:
+        e_.mov_rm(RAX, R12, gpr_off(u.b));
+        e_.cvtsi2ss(0, RAX);
+        e_.movss_mx(RBX, xmm_lo(u.a), 0);
+        break;
+
+      // -- intrinsic call: hot in math-heavy kernels, so it gets its own
+      //    helper that skips the flag syncs and the native-address lookup
+      //    the generic path pays (intrinsics touch neither flags nor pc;
+      //    control always falls through) --
+      case MicroKind::kIntrin:
+        e_.mov_mr(R15, kCtxRetired, R14);
+        mov_ri32_reloc(RSI, Reloc::Kind::kImm32Pc, pc_);
+        e_.mov_rr(RDI, R15);
+        e_.call_m(R15, kCtxHelpIntrin);
+        e_.test_rr(RAX, RAX);
+        e_.jcc(CC_E, exit_tail_);
+        break;
+
+      // -- everything else (idiv/irem, cvtt*, packed, bitwise-128,
+      //    fallback): one round trip through the interpreter's handler --
+      default:
+        generic_exec();
+        break;
+    }
+  }
+
+  void int_rr(Alu op, const MicroOp& u) {
+    e_.mov_rm(RAX, R12, gpr_off(u.b));
+    e_.alu_mr(op, R12, gpr_off(u.a), RAX);
+  }
+  void int_ri(Alu op, const MicroOp& u) {
+    if (fits_i32(u.imm)) {
+      e_.alu_mi(op, R12, gpr_off(u.a), static_cast<std::int32_t>(u.imm));
+    } else {
+      e_.mov_ri64(RAX, static_cast<std::uint64_t>(u.imm));
+      e_.alu_mr(op, R12, gpr_off(u.a), RAX);
+    }
+  }
+  void shift_rr(int op, const MicroOp& u) {
+    // Hardware masks cl by 63 for 64-bit shifts, same as the handler's & 63.
+    e_.mov_rm(RCX, R12, gpr_off(u.b));
+    e_.shift_m_cl(op, R12, gpr_off(u.a));
+  }
+  void shift_ri(int op, const MicroOp& u) {
+    e_.shift_m_i8(op, R12, gpr_off(u.a),
+                  static_cast<std::uint8_t>(u.imm & 63));
+  }
+  void store_test_flags() {
+    e_.setcc_m(CC_E, R15, kCtxFlagEq);
+    e_.setcc_m(CC_S, R15, kCtxFlagLt);
+    e_.mov_mi8(R15, kCtxFlagLtu, 0);
+  }
+
+  void sd_xx(std::uint8_t op, const MicroOp& u) {
+    e_.mov_rm(RDX, RBX, xmm_lo(u.a));
+    tag_check(RDX);
+    e_.mov_rm(RCX, RBX, xmm_lo(u.b));
+    tag_check(RCX);
+    e_.movq_xr(0, RDX);
+    e_.movq_xr(1, RCX);
+    e_.sse_rr(0xF2, op, 0, 1);
+    e_.movq_mx(RBX, xmm_lo(u.a), 0);
+  }
+  void sd_xm(std::uint8_t op, const MicroOp& u) {
+    e_.mov_rm(RDX, RBX, xmm_lo(u.a));
+    tag_check(RDX);  // dst tag precedes the src bounds check
+    e_.movq_xr(0, RDX);
+    emit_ea(u);
+    bounds(8, false);
+    e_.mov_rmx(RCX, R13, RAX, 0);
+    tag_check(RCX);
+    e_.movq_xr(1, RCX);
+    e_.sse_rr(0xF2, op, 0, 1);
+    e_.movq_mx(RBX, xmm_lo(u.a), 0);
+  }
+  /// min: b < a ? b : a; max: a < b ? b : a. cmpltsd is an ordered compare
+  /// (false on NaN), so the blend picks `a` exactly like the C++ ternary.
+  void sd_minmax_blend(bool is_min) {
+    // x0 = a, x1 = b on entry; result in x1.
+    if (is_min) {
+      e_.movaps_rr(2, 1);
+      e_.cmpltsd(2, 0);  // mask = b < a
+    } else {
+      e_.movaps_rr(2, 0);
+      e_.cmpltsd(2, 1);  // mask = a < b
+    }
+    e_.andpd(1, 2);   // b & mask
+    e_.andnpd(2, 0);  // ~mask & a
+    e_.orpd(1, 2);    // mask ? b : a
+  }
+  void sd_minmax_xx(bool is_min, const MicroOp& u) {
+    e_.mov_rm(RDX, RBX, xmm_lo(u.a));
+    tag_check(RDX);
+    e_.mov_rm(RCX, RBX, xmm_lo(u.b));
+    tag_check(RCX);
+    e_.movq_xr(0, RDX);
+    e_.movq_xr(1, RCX);
+    sd_minmax_blend(is_min);
+    e_.movq_mx(RBX, xmm_lo(u.a), 1);
+  }
+  void sd_minmax_xm(bool is_min, const MicroOp& u) {
+    e_.mov_rm(RDX, RBX, xmm_lo(u.a));
+    tag_check(RDX);
+    e_.movq_xr(0, RDX);
+    emit_ea(u);
+    bounds(8, false);
+    e_.mov_rmx(RCX, R13, RAX, 0);
+    tag_check(RCX);
+    e_.movq_xr(1, RCX);
+    sd_minmax_blend(is_min);
+    e_.movq_mx(RBX, xmm_lo(u.a), 1);
+  }
+
+  void ss_xx(std::uint8_t op, const MicroOp& u) {
+    e_.movss_xm(0, RBX, xmm_lo(u.a));
+    e_.sse_rm(0xF3, op, 0, RBX, xmm_lo(u.b));
+    e_.movss_mx(RBX, xmm_lo(u.a), 0);  // low 32 bits only (with_low32)
+  }
+  void ss_xm(std::uint8_t op, const MicroOp& u) {
+    e_.movss_xm(0, RBX, xmm_lo(u.a));
+    emit_ea(u);
+    bounds(4, false);
+    e_.movss_xmx(1, R13, RAX, 0);
+    e_.sse_rr(0xF3, op, 0, 1);
+    e_.movss_mx(RBX, xmm_lo(u.a), 0);
+  }
+  void ss_minmax_blend(bool is_min) {
+    if (is_min) {
+      e_.movaps_rr(2, 1);
+      e_.cmpltss(2, 0);
+    } else {
+      e_.movaps_rr(2, 0);
+      e_.cmpltss(2, 1);
+    }
+    e_.andpd(1, 2);
+    e_.andnpd(2, 0);
+    e_.orpd(1, 2);
+  }
+  void ss_minmax_xx(bool is_min, const MicroOp& u) {
+    e_.movss_xm(0, RBX, xmm_lo(u.a));
+    e_.movss_xm(1, RBX, xmm_lo(u.b));
+    ss_minmax_blend(is_min);
+    e_.movss_mx(RBX, xmm_lo(u.a), 1);
+  }
+  void ss_minmax_xm(bool is_min, const MicroOp& u) {
+    e_.movss_xm(0, RBX, xmm_lo(u.a));
+    emit_ea(u);
+    bounds(4, false);
+    e_.movss_xmx(1, R13, RAX, 0);
+    ss_minmax_blend(is_min);
+    e_.movss_mx(RBX, xmm_lo(u.a), 1);
+  }
+
+  // --- tails and stubs -----------------------------------------------------
+
+  void emit_tails() {
+    e_.bind(exit_tail_);
+    e_.jmp_m(R15, kCtxEpilogue);
+    e_.bind(halt_tail_);
+    e_.mov_mi32_d(R15, kCtxExitStatus, kExitHalt);
+    e_.jmp_m(R15, kCtxEpilogue);
+  }
+
+  void emit_stubs() {
+    for (auto& s : budget_stubs_) {
+      e_.bind(s.label);
+      mov_ri32_reloc(RAX, Reloc::Kind::kImm32Pc, s.pc);
+      e_.mov_mr(R15, kCtxExitPc, RAX);
+      e_.mov_mi32_d(R15, kCtxExitStatus, kExitBudget);
+      e_.jmp_m(R15, kCtxEpilogue);
+    }
+    for (auto& s : mem_stubs_) {
+      e_.bind(s.label);
+      e_.mov_rr(RSI, RAX);  // faulting address
+      e_.mov_ri32(RDX, s.bytes);
+      mov_ri32_reloc(RCX, Reloc::Kind::kImm32Pc, s.pc);
+      e_.mov_ri32(R8, s.is_store ? 1 : 0);
+      e_.mov_mr(R15, kCtxRetired, R14);
+      e_.mov_rr(RDI, R15);
+      e_.call_m(R15, kCtxHelpMemTrap);
+      e_.jmp_m(R15, kCtxEpilogue);
+    }
+    for (auto& s : tag_stubs_) {
+      e_.bind(s.label);
+      if (s.bits_reg != RSI) e_.mov_rr(RSI, s.bits_reg);
+      mov_ri32_reloc(RDX, Reloc::Kind::kImm32Pc, s.pc);
+      e_.mov_mr(R15, kCtxRetired, R14);
+      e_.mov_rr(RDI, R15);
+      e_.call_m(R15, kCtxHelpTagTrap);
+      e_.jmp_m(R15, kCtxEpilogue);
+    }
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const SegmentBlob> compile_stream(
+    const std::vector<MicroOp>& uops, CompileMode mode) {
+  return Compiler(uops, mode).run();
+}
+
+}  // namespace fpmix::vm::jit

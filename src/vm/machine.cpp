@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <mutex>
 #include <thread>
 
 #include "arch/disasm.hpp"
@@ -13,9 +14,11 @@
 #include "arch/intrinsics.hpp"
 #include "arch/tag.hpp"
 #include "support/error.hpp"
+#include "support/log.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
 #include "support/timer.hpp"
+#include "vm/jit/jit.hpp"
 
 namespace fpmix::vm {
 
@@ -169,6 +172,18 @@ RunResult Machine::run() {
 
 RunResult Machine::run_engine() {
   if (options_.engine == Engine::kSwitch) return run_switch();
+  if (options_.engine == Engine::kJit) {
+    if (jit::jit_supported()) return run_jit();
+    // Degrade once per process, loudly: results are still bit-identical, so
+    // nothing downstream needs to care beyond the timing.
+    static std::once_flag warned;
+    std::call_once(warned, [] {
+      log::warnf(
+          "jit engine unavailable (%s); falling back to the micro-op engine",
+          jit::jit_unsupported_reason());
+    });
+    options_.engine = Engine::kMicroOp;
+  }
   return options_.profile ? run_micro<true>() : run_micro<false>();
 }
 
@@ -1597,6 +1612,264 @@ static_assert([] {
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// JIT engine driver.
+//
+// Compiled code (src/vm/jit/) keeps guest state in the Machine's own arrays
+// -- the context block pins pointers to them -- so everything outside the
+// inner dispatch (chunked supervision, fault injection, profile readout)
+// works unchanged. This block supplies the policy the mechanism-only jit/
+// layer leaves out: the helper callbacks compiled code reaches through the
+// context, the per-segment / per-image compilation caches, and the exit
+// translation back into RunResult with byte-identical trap messages.
+// ---------------------------------------------------------------------------
+
+struct JitExec {
+  /// Machine-side state hung off JitContext::run_state for one entry: traps
+  /// cannot unwind through JIT frames, so helpers park the message here and
+  /// return through the epilogue.
+  struct RunState {
+    Machine* m = nullptr;
+    std::string trap_message;
+    bool sentinel = false;
+  };
+
+  static Machine& machine(jit::JitContext* ctx) {
+    return *static_cast<RunState*>(ctx->run_state)->m;
+  }
+
+  // VM flags are mirrored as bytes in the context while JIT code runs; the
+  // interpreter handlers (generic-exec) read/write Machine::flags_, so the
+  // two views are synced around every helper call.
+  static void flags_to_machine(const jit::JitContext* ctx, Machine& m) {
+    m.flags_.eq = ctx->flag_eq != 0;
+    m.flags_.lt = ctx->flag_lt != 0;
+    m.flags_.ltu = ctx->flag_ltu != 0;
+  }
+  static void flags_to_ctx(jit::JitContext* ctx, const Machine& m) {
+    ctx->flag_eq = m.flags_.eq ? 1 : 0;
+    ctx->flag_lt = m.flags_.lt ? 1 : 0;
+    ctx->flag_ltu = m.flags_.ltu ? 1 : 0;
+  }
+
+  static void record_trap(jit::JitContext* ctx, std::uint64_t pc,
+                          std::string message, bool sentinel) {
+    auto* rs = static_cast<RunState*>(ctx->run_state);
+    rs->trap_message = std::move(message);
+    rs->sentinel = sentinel;
+    ctx->exit_pc = pc;
+    ctx->exit_status = jit::kExitTrap;
+  }
+
+  // --- helpers entered from compiled code (through the context block) ------
+
+  /// Bounds-check failure in a JIT'd memory template: same message as
+  /// Machine::load/store.
+  static void help_mem_trap(jit::JitContext* ctx, std::uint64_t addr,
+                            std::uint64_t bytes, std::uint64_t pc,
+                            std::uint64_t is_store) {
+    record_trap(
+        ctx, pc,
+        strformat(is_store != 0
+                      ? "memory write of %u bytes at 0x%llx out of bounds"
+                      : "memory read of %u bytes at 0x%llx out of bounds",
+                  static_cast<unsigned>(bytes),
+                  static_cast<unsigned long long>(addr)),
+        false);
+  }
+
+  /// Inline tag compare matched the sentinel: compose the full diagnostic
+  /// through the interpreter's own path so the message is byte-identical.
+  static void help_tag_trap(jit::JitContext* ctx, std::uint64_t bits,
+                            std::uint64_t pc) {
+    Machine& m = machine(ctx);
+    try {
+      m.check_not_tagged(m.exec_->code()[pc], bits);
+      // The stub only fires on a sentinel match, so check_not_tagged always
+      // throws; reaching here means the compare constant drifted.
+      record_trap(ctx, pc, "tag stub fired without a tagged value", false);
+    } catch (const Machine::Trap& t) {
+      record_trap(ctx, pc, t.message, t.sentinel);
+    }
+  }
+
+  /// Generic-exec: runs exactly one instruction through the micro-op
+  /// handler table (unspecialised forms, intrinsics, the off-end stub).
+  /// Returns the native address to continue at, or null to exit.
+  static const void* help_exec(jit::JitContext* ctx, std::uint64_t pc) {
+    Machine& m = machine(ctx);
+    const auto* img = static_cast<const jit::JitImage*>(ctx->image);
+    const auto& uops = m.exec_->uops();
+    if (pc >= uops.size()) {
+      record_trap(ctx, pc,
+                  strformat("execution ran past the end of the code"), false);
+      return nullptr;
+    }
+    flags_to_machine(ctx, m);
+    try {
+      const MicroOp& u = uops[pc];
+      const std::size_t next =
+          kMicroTable[u.kind](m, u, static_cast<std::size_t>(pc));
+      flags_to_ctx(ctx, m);
+      if (next == MicroExec::kStop) {
+        ctx->exit_status = jit::kExitHalt;
+        return nullptr;
+      }
+      return img->native_addr(next);
+    } catch (const Machine::Trap& t) {
+      flags_to_ctx(ctx, m);
+      record_trap(ctx, pc, t.message, t.sentinel);
+      return nullptr;
+    }
+  }
+
+  /// Return-address resolution for the JIT'd kRet template (the pop and the
+  /// null-frame check were already done inline). Returns the native address
+  /// of the return target, or null to exit (trap recorded).
+  static const void* help_ret(jit::JitContext* ctx, std::uint64_t ra,
+                              std::uint64_t pc) {
+    Machine& m = machine(ctx);
+    const std::size_t idx = m.exec_->index_of(ra);
+    if (idx == ExecutableImage::kNoIndex) {
+      record_trap(ctx, pc,
+                  strformat("ret to 0x%llx, not an instruction boundary",
+                            static_cast<unsigned long long>(ra)),
+                  false);
+      return nullptr;
+    }
+    return static_cast<const jit::JitImage*>(ctx->image)->native_addr(idx);
+  }
+
+  /// Fast path for kIntrin: intrinsics touch neither the VM flags nor the
+  /// pc, so this skips the generic path's flag syncs and native-address
+  /// lookup. Returns 1 to fall through, 0 on trap.
+  static std::uint64_t help_intrin(jit::JitContext* ctx, std::uint64_t pc) {
+    Machine& m = machine(ctx);
+    try {
+      m.exec_intrinsic(m.exec_->code()[pc]);
+      return 1;
+    } catch (const Machine::Trap& t) {
+      record_trap(ctx, pc, t.message, t.sentinel);
+      return 0;
+    }
+  }
+
+  // --- compilation caches --------------------------------------------------
+
+  /// Compiles (or fetches) a segment's position-independent blob. Cached on
+  /// the CodeSegment, so every image that splices it shares the code.
+  static std::shared_ptr<const jit::SegmentBlob> blob_for(
+      const CodeSegment& seg, bool profile) {
+    jit::BlobCache& cache = seg.jit_cache();
+    std::lock_guard<std::mutex> lock(cache.mu);
+    auto& slot = cache.variant[profile ? 1 : 0];
+    if (slot == nullptr) {
+      slot = jit::compile_stream(seg.uops(),
+                                 {/*local=*/true, /*profile=*/profile});
+    }
+    return slot;
+  }
+
+  /// Links (or fetches) the executable translation of a whole image. May
+  /// return null when executable memory is unavailable at link time.
+  static std::shared_ptr<const jit::JitImage> image_for(
+      const ExecutableImage& exec, bool profile) {
+    jit::ImageJitCache& cache = exec.jit_cache();
+    std::lock_guard<std::mutex> lock(cache.mu);
+    auto& slot = cache.variant[profile ? 1 : 0];
+    if (slot != nullptr) return slot;
+
+    std::vector<jit::LinkSegment> links;
+    const auto& segs = exec.segments();
+    if (!segs.empty()) {
+      // Spliced image: link the per-segment blobs at their splice positions.
+      // A segment's guest byte base is the rebased address of its first
+      // instruction (segments store local addresses starting at 0).
+      const auto& first = exec.segment_first_index();
+      links.reserve(segs.size());
+      for (std::size_t i = 0; i < segs.size(); ++i) {
+        const CodeSegment& s = *segs[i];
+        const std::uint64_t byte_base =
+            s.instruction_count() == 0 ? 0 : exec.code()[first[i]].addr;
+        links.push_back({blob_for(s, profile), first[i], byte_base});
+      }
+    } else {
+      // Built from scratch (no segments): one monolithic blob in global
+      // form, cached on the image itself.
+      links.push_back({jit::compile_stream(
+                           exec.uops(), {/*local=*/false, /*profile=*/profile}),
+                       /*first_index=*/0, /*byte_base=*/0});
+    }
+    slot = jit::JitImage::link(links, exec.uops().size());
+    return slot;
+  }
+
+  // --- the run loop glue ---------------------------------------------------
+
+  static RunResult run(Machine& m) {
+    const jit::Runtime* rt = jit::runtime();
+    FPMIX_CHECK(rt != nullptr);  // run_engine verified jit_supported()
+    const auto img = image_for(*m.exec_, m.options_.profile);
+    if (img == nullptr) {
+      // Executable memory vanished after the capability probe (hardened
+      // kernel tightening mid-flight); degrade for this run.
+      return m.options_.profile ? m.run_micro<true>() : m.run_micro<false>();
+    }
+
+    RunState rs;
+    rs.m = &m;
+    jit::JitContext ctx{};
+    ctx.gpr = m.gpr_;
+    ctx.mem_base = m.mem_base_;
+    ctx.mem_size = m.mem_size_;
+    ctx.xmm = m.xmm_;
+    ctx.retired = m.retired_;
+    ctx.max_instructions = m.options_.max_instructions;
+    ctx.counts = m.options_.profile ? m.counts_.data() : nullptr;
+    ctx.tag_cmp = m.options_.tag_trap
+                      ? static_cast<std::uint64_t>(arch::kReplacedTag)
+                      : jit::kTagCmpDisabled;
+    ctx.exit_status = jit::kExitHalt;
+    flags_to_ctx(&ctx, m);
+    ctx.epilogue = rt->epilogue;
+    ctx.help_mem_trap = reinterpret_cast<const void*>(&help_mem_trap);
+    ctx.help_tag_trap = reinterpret_cast<const void*>(&help_tag_trap);
+    ctx.help_exec = reinterpret_cast<const void*>(&help_exec);
+    ctx.help_ret = reinterpret_cast<const void*>(&help_ret);
+    ctx.help_intrin = reinterpret_cast<const void*>(&help_intrin);
+    ctx.run_state = &rs;
+    ctx.image = img.get();
+
+    const std::uint32_t status = rt->entry(&ctx, img->native_addr(m.pc_));
+
+    RunResult result;
+    m.retired_ = ctx.retired;
+    result.instructions_retired = ctx.retired;
+    flags_to_machine(&ctx, m);
+    switch (status) {
+      case jit::kExitHalt:
+        // Like the interpreters, a clean stop leaves pc_ untouched.
+        m.stopped_ = true;
+        result.status = RunResult::Status::kHalted;
+        break;
+      case jit::kExitBudget:
+        m.pc_ = static_cast<std::size_t>(ctx.exit_pc);  // the unexecuted pc
+        result.status = RunResult::Status::kOutOfBudget;
+        result.trap_message = "instruction budget exhausted";
+        break;
+      default:  // jit::kExitTrap
+        m.pc_ = static_cast<std::size_t>(ctx.exit_pc);
+        result.status = RunResult::Status::kTrapped;
+        result.trap_message =
+            rs.trap_message + m.trap_context(m.pc_, ctx.retired);
+        result.sentinel_escape = rs.sentinel;
+        break;
+    }
+    return result;
+  }
+};
+
+RunResult Machine::run_jit() { return JitExec::run(*this); }
 
 // Hot fall-through pairs fused into one token: the first op must be a plain
 // fall-through (never a branch), the second may be anything. A fused block

@@ -40,6 +40,8 @@ namespace fpmix::vm {
 enum class Engine : std::uint8_t {
   kMicroOp = 0,  // predecoded micro-op handler table (fast path, default)
   kSwitch = 1,   // reference decode-and-switch interpreter (oracle)
+  kJit = 2,      // baseline template JIT (x86-64 hosts; degrades to
+                 // kMicroOp with a one-time warning when unsupported)
 };
 
 struct RunResult {
@@ -147,6 +149,7 @@ class Machine {
 
  private:
   friend struct MicroExec;  // the micro-op handlers (machine.cpp)
+  friend struct JitExec;    // the JIT driver + its C++ helpers (machine.cpp)
 
   struct Xmm {
     std::uint64_t lo = 0;
@@ -194,6 +197,10 @@ class Machine {
   // Micro-op engine; the template parameter selects the profiling loop.
   template <bool Profile>
   RunResult run_micro();
+
+  // JIT engine: runs natively compiled code (src/vm/jit/), bit-identical to
+  // the interpreters. Caller must have verified jit::jit_supported().
+  RunResult run_jit();
 
   /// Invokes the selected engine from the current machine state.
   RunResult run_engine();

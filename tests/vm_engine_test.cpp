@@ -1,15 +1,22 @@
-// Differential testing of the two VM execution engines.
+// Differential testing of the VM execution engines.
 //
-// The micro-op engine (Engine::kMicroOp) must be observationally
-// indistinguishable from the reference switch interpreter
-// (Engine::kSwitch): bit-identical outputs, identical trap status and
-// message, identical retired counts and identical per-address profiles --
-// on clean runs, on every trap class (tag escape, division, out-of-bounds,
-// budget), and on instrumented images. A shared ExecutableImage must also
-// behave identically from many Machines across threads.
+// The micro-op engine (Engine::kMicroOp) and the JIT engine (Engine::kJit,
+// on hosts that support it) must be observationally indistinguishable from
+// the reference switch interpreter (Engine::kSwitch): bit-identical
+// outputs, identical trap status and message, identical retired counts and
+// identical per-address profiles -- on clean runs, on every trap class (tag
+// escape, division, out-of-bounds, budget), and on instrumented images. A
+// shared ExecutableImage must also behave identically from many Machines
+// across threads.
+//
+// The JIT additionally gets engine-specific coverage: chunked supervision
+// (deadline + fault injection re-enter compiled code mid-run), and the
+// incremental path (a warm-cache re-JIT of a delta trial must behave
+// bit-identically to a cold compile of the same image).
 #include <gtest/gtest.h>
 
 #include <bit>
+#include <cstdlib>
 #include <functional>
 #include <thread>
 
@@ -17,12 +24,15 @@
 #include "arch/tag.hpp"
 #include "asm/assembler.hpp"
 #include "config/config.hpp"
+#include "instrument/incremental.hpp"
 #include "instrument/patch.hpp"
 #include "lang/builder.hpp"
 #include "lang/compile.hpp"
 #include "program/layout.hpp"
 #include "program/program.hpp"
+#include "support/fault.hpp"
 #include "support/rng.hpp"
+#include "vm/jit/jit.hpp"
 #include "vm/machine.hpp"
 
 namespace fpmix {
@@ -53,27 +63,37 @@ EngineOut run_engine(const std::shared_ptr<const vm::ExecutableImage>& exec,
   return o;
 }
 
-/// Runs `img` on both engines (sharing one predecoded image) and demands
-/// bit-identical observable behaviour.
+/// Demands `got` is observationally bit-identical to the reference run.
+void expect_same(const EngineOut& got, const EngineOut& ref,
+                 const std::string& what) {
+  EXPECT_EQ(got.result.status, ref.result.status) << what;
+  EXPECT_EQ(got.result.trap_message, ref.result.trap_message) << what;
+  EXPECT_EQ(got.result.sentinel_escape, ref.result.sentinel_escape) << what;
+  EXPECT_EQ(got.retired, ref.retired) << what;
+
+  ASSERT_EQ(got.f64.size(), ref.f64.size()) << what;
+  for (std::size_t i = 0; i < ref.f64.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(got.f64[i]),
+              std::bit_cast<std::uint64_t>(ref.f64[i]))
+        << what << " f64 output " << i;
+  }
+  EXPECT_EQ(got.i64, ref.i64) << what;
+  EXPECT_EQ(got.profile, ref.profile) << what;
+}
+
+/// Runs `img` on every engine this host supports (sharing one predecoded
+/// image) and demands bit-identical observable behaviour.
 void expect_engines_identical(const program::Image& img,
                               vm::Machine::Options opts = {},
                               const char* what = "") {
   const auto exec = vm::ExecutableImage::build(img);
-  const EngineOut micro = run_engine(exec, vm::Engine::kMicroOp, opts);
   const EngineOut ref = run_engine(exec, vm::Engine::kSwitch, opts);
-
-  EXPECT_EQ(micro.result.status, ref.result.status) << what;
-  EXPECT_EQ(micro.result.trap_message, ref.result.trap_message) << what;
-  EXPECT_EQ(micro.retired, ref.retired) << what;
-
-  ASSERT_EQ(micro.f64.size(), ref.f64.size()) << what;
-  for (std::size_t i = 0; i < ref.f64.size(); ++i) {
-    EXPECT_EQ(std::bit_cast<std::uint64_t>(micro.f64[i]),
-              std::bit_cast<std::uint64_t>(ref.f64[i]))
-        << what << " f64 output " << i;
+  expect_same(run_engine(exec, vm::Engine::kMicroOp, opts), ref,
+              std::string(what) + " [microop]");
+  if (vm::jit::jit_supported()) {
+    expect_same(run_engine(exec, vm::Engine::kJit, opts), ref,
+                std::string(what) + " [jit]");
   }
-  EXPECT_EQ(micro.i64, ref.i64) << what;
-  EXPECT_EQ(micro.profile, ref.profile) << what;
 }
 
 // ---------------------------------------------------------------------------
@@ -325,6 +345,144 @@ TEST(SharedExecImage, ManyMachinesAcrossThreads) {
                     i)][j]),
                 std::bit_cast<std::uint64_t>(want[j]));
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JIT engine specifics. Every test degrades to a skip on hosts where the JIT
+// is unavailable (non-x86-64, sanitizer builds, hardened kernels); the
+// downgrade path itself is exercised by the engine tests above, which run
+// kJit through the public Options and rely on the automatic fallback.
+
+#define FPMIX_REQUIRE_JIT()                                            \
+  if (!vm::jit::jit_supported()) {                                     \
+    GTEST_SKIP() << "jit unavailable: " << vm::jit::jit_unsupported_reason(); \
+  }
+
+/// A program that never halts: spins on FP work so deadline supervision has
+/// something to interrupt mid-chunk.
+program::Image endless_fp_loop() {
+  casm::Assembler a;
+  a.begin_function("main", "main");
+  a.emit(Opcode::kMov, Operand::gpr(1), Operand::make_imm(0x3FF0000000000000));
+  a.emit(Opcode::kMovqXR, Operand::xmm(0), Operand::gpr(1));
+  auto l = a.new_label();
+  a.bind(l);
+  a.emit(Opcode::kAddsd, Operand::xmm(0), Operand::xmm(0));
+  a.emit(Opcode::kMulsd, Operand::xmm(0), Operand::xmm(0));
+  a.jmp(l);
+  a.end_function();
+  return program::relayout(a.finish("main"));
+}
+
+TEST(JitEngine, DeadlineInterruptsCompiledCodeMidRun) {
+  FPMIX_REQUIRE_JIT();
+  vm::Machine::Options opts;
+  opts.engine = vm::Engine::kJit;
+  opts.tag_trap = false;  // the loop overflows to inf; only time stops it
+  opts.deadline_ns = 50ull * 1000 * 1000;
+  opts.deadline_check_interval = 1 << 14;  // many chunk re-entries
+  vm::Machine m(endless_fp_loop(), opts);
+  const vm::RunResult r = m.run();
+  EXPECT_EQ(r.status, vm::RunResult::Status::kDeadline);
+  // The machine really executed compiled chunks before the clock fired.
+  EXPECT_GT(r.instructions_retired, 1u << 14);
+}
+
+TEST(JitEngine, ChunkedSupervisionIsBitIdenticalAcrossEngines) {
+  // A huge deadline forces the supervised chunking path on every engine
+  // without ever firing: results must stay bit-identical to the unchunked
+  // runs, proving the JIT resumes exactly from pc_/retired_ mid-program.
+  for (int seed = 0; seed < 3; ++seed) {
+    const lang::ProgramModel model =
+        random_model(0xC41F + static_cast<std::uint64_t>(seed));
+    vm::Machine::Options opts;
+    opts.deadline_ns = 3'600ull * 1000 * 1000 * 1000;
+    opts.deadline_check_interval = 64;  // tiny chunks: many JIT re-entries
+    expect_engines_identical(
+        program::relayout(lang::compile(model, lang::Mode::kDouble)), opts,
+        "chunked");
+  }
+}
+
+TEST(JitEngine, InjectedFaultsFireIdenticallyInCompiledCode) {
+  // Sentinel and bit-flip faults mutate machine state between chunks; the
+  // compiled code reads the same arrays, so the fault must be consumed at
+  // the same instruction with the same diagnostic on all engines.
+  for (const auto kind : {fault::VmFault::kSentinel, fault::VmFault::kBitFlip,
+                          fault::VmFault::kAbort}) {
+    const lang::ProgramModel model = random_model(0xFA17);
+    const program::Image img =
+        program::relayout(lang::compile(model, lang::Mode::kDouble));
+    fault::VmFaultSpec spec;
+    spec.kind = kind;
+    spec.at_retired = 300;
+    spec.seed = 7;
+    vm::Machine::Options opts;
+    opts.fault = &spec;
+    expect_engines_identical(img, opts, "vm fault");
+  }
+}
+
+TEST(JitEngine, DeltaReJitIsBitIdenticalToColdCompile) {
+  FPMIX_REQUIRE_JIT();
+  // Two configs that differ in one module: the incremental patcher re-uses
+  // every unchanged function's CodeSegment, so the second predecode's JIT
+  // pass links mostly warm blobs (compiled while running the first trial).
+  // The warm-linked image must behave bit-identically to a from-scratch
+  // ExecutableImage::build + cold compile of the same bytes.
+  const lang::ProgramModel model = random_model(0xDE17A);
+  const program::Image orig =
+      program::relayout(lang::compile(model, lang::Mode::kDouble));
+  const auto ix = config::StructureIndex::build(program::lift(orig));
+  instrument::IncrementalPatcher patcher(orig, ix);
+
+  config::PrecisionConfig base;  // all-double baseline
+  const auto exec_a = patcher.predecode(patcher.patch(base));
+  vm::Machine::Options opts;
+  opts.engine = vm::Engine::kJit;
+  // Warm the blob caches of every shared segment.
+  const EngineOut warm_a = run_engine(exec_a, vm::Engine::kJit, opts);
+
+  config::PrecisionConfig delta;
+  delta.set_module(0, config::Precision::kSingle);
+  const auto exec_b = patcher.predecode(patcher.patch(delta));
+  const EngineOut warm_b = run_engine(exec_b, vm::Engine::kJit, opts);
+
+  // Cold reference: identical image bytes, fresh predecode, fresh JIT.
+  const auto cold_exec =
+      vm::ExecutableImage::build(instrument::instrument_image(orig, ix, delta));
+  expect_same(warm_b, run_engine(cold_exec, vm::Engine::kJit, opts),
+              "warm re-JIT vs cold compile");
+  // And both must agree with the interpreter oracle.
+  expect_same(warm_b, run_engine(cold_exec, vm::Engine::kSwitch, opts),
+              "warm re-JIT vs switch oracle");
+  (void)warm_a;
+}
+
+TEST(JitEngine, EnvScaledFuzzAcrossAllEngines) {
+  // Deeper soak for CI: FPMIX_ENGINE_FUZZ_TRIALS scales the trial count
+  // (default stays light for local runs). Every trial runs original and
+  // all-single instrumented builds on all available engines.
+  int trials = 6;
+  if (const char* env = std::getenv("FPMIX_ENGINE_FUZZ_TRIALS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) trials = static_cast<int>(n);
+  }
+  for (int t = 0; t < trials; ++t) {
+    const std::uint64_t seed = 0x17F0 + static_cast<std::uint64_t>(t) * 131;
+    const lang::ProgramModel model = random_model(seed);
+    const program::Image orig =
+        program::relayout(lang::compile(model, lang::Mode::kDouble));
+    expect_engines_identical(orig, {}, "fuzz original");
+
+    const auto ix = config::StructureIndex::build(program::lift(orig));
+    config::PrecisionConfig cfg;
+    for (std::size_t m = 0; m < ix.modules().size(); ++m) {
+      cfg.set_module(m, config::Precision::kSingle);
+    }
+    expect_engines_identical(instrument::instrument_image(orig, ix, cfg), {},
+                             "fuzz instrumented");
   }
 }
 

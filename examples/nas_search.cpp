@@ -10,7 +10,8 @@
 //                    [--metrics-json FILE] [--no-image-cache]
 //                    [--connect HOST:PORT,...] [--shard-cache]
 //                    [--journal-deterministic] [--serve PORT]
-//                    [--engine switch|microop|jit]
+//                    [--engine switch|microop|jit] [--adopt]
+//                    [--heartbeat-ms N] [--reconnect-max-ms N]
 //
 // --deadline-ms bounds each trial's wall-clock time (a spinning patched
 // binary is classified "timeout" instead of hanging the search);
@@ -44,6 +45,15 @@
 // journal so a distributed run's journal is byte-identical to a local
 // run's. --serve PORT skips the search entirely and runs this binary as a
 // runner_serve daemon on 127.0.0.1:PORT (--workers sizes its pool).
+//
+// While connected, the scheduler streams every journal record to the
+// fleet (each daemon retains a replicated shard) and pings endpoints
+// every --heartbeat-ms (default 1000, 0 disables) so a stalled endpoint
+// is distinguished from a slow one; --reconnect-max-ms caps the jittered
+// reconnect backoff (default 200). --adopt makes a fresh scheduler fetch
+// the fleet-held journal, reconcile it into the local --journal file, and
+// resume the interrupted search byte-identically -- the failover path
+// after a scheduler host dies.
 //
 // --engine picks the VM engine trials run on: "switch" (reference
 // interpreter), "microop" (predecoded micro-op interpreter, the default)
@@ -162,6 +172,13 @@ bool write_metrics_json(const std::string& path,
   uint("endpoints_lost", m.endpoints_lost);
   uint("remote_unserved", m.remote_unserved);
   boolean("remote_degraded", m.remote_degraded);
+  uint("missed_beats", m.missed_beats);
+  uint("lease_expiries", m.lease_expiries);
+  uint("late_results", m.late_results);
+  uint("redispatched", m.redispatched);
+  uint("breaker_trips", m.breaker_trips);
+  j += strformat("  \"adopted_records\": %llu,\n",
+                 static_cast<unsigned long long>(m.adopted_records));
   j += "  \"endpoints\": [";
   for (std::size_t i = 0; i < m.endpoints_used.size(); ++i) {
     const search::EndpointMetrics& e = m.endpoints_used[i];
@@ -171,11 +188,21 @@ bool write_metrics_json(const std::string& path,
         "%s{\"address\": \"%s\", \"workers\": %u, \"trials\": %zu, "
         "\"cache_hits\": %zu, \"failovers\": %zu, \"reconnects\": %zu, "
         "\"disconnects\": %zu, \"busy_seconds\": %.6f, \"lost\": %s, "
-        "\"jit_downgraded\": %s}",
+        "\"jit_downgraded\": %s, \"pings\": %zu, \"pongs\": %zu, "
+        "\"missed_beats\": %zu, \"lease_expiries\": %zu, "
+        "\"late_results\": %zu, \"redispatched\": %zu, "
+        "\"breaker_trips\": %zu, \"rtt_p50_us\": %llu, "
+        "\"rtt_p95_us\": %llu, \"rtt_max_us\": %llu, "
+        "\"journal_records\": %llu}",
         i == 0 ? "" : ", ", esc.c_str(), e.workers, e.trials, e.cache_hits,
         e.failovers, e.reconnects, e.disconnects,
         1e-9 * static_cast<double>(e.busy_ns), e.lost ? "true" : "false",
-        e.jit_downgraded ? "true" : "false");
+        e.jit_downgraded ? "true" : "false", e.pings, e.pongs,
+        e.missed_beats, e.lease_expiries, e.late_results, e.redispatched,
+        e.breaker_trips, static_cast<unsigned long long>(e.rtt_p50_us),
+        static_cast<unsigned long long>(e.rtt_p95_us),
+        static_cast<unsigned long long>(e.rtt_max_us),
+        static_cast<unsigned long long>(e.journal_records));
   }
   j += "],\n";
   j += "  \"workers\": [";
@@ -343,6 +370,23 @@ int main(int argc, char** argv) {
     }
     else if (arg == "--shard-cache") opts.shard_cache = true;
     else if (arg == "--journal-deterministic") opts.journal_timings = false;
+    else if (arg == "--adopt") opts.adopt_fleet = true;
+    else if (arg == "--heartbeat-ms" && i + 1 < argc) {
+      if (!parse_u64(argv[++i], &opts.heartbeat_ms) ||
+          opts.heartbeat_ms > 60000) {
+        std::fprintf(stderr, "bad --heartbeat-ms value '%s' (0 disables, "
+                             "max 60000)\n", argv[i]);
+        return 2;
+      }
+    }
+    else if (arg == "--reconnect-max-ms" && i + 1 < argc) {
+      if (!parse_u64(argv[++i], &opts.reconnect_max_ms) ||
+          opts.reconnect_max_ms == 0 || opts.reconnect_max_ms > 60000) {
+        std::fprintf(stderr, "bad --reconnect-max-ms value '%s' "
+                             "(1..60000)\n", argv[i]);
+        return 2;
+      }
+    }
     else if (arg == "--serve" && i + 1 < argc) {
       if (!parse_u64(argv[++i], &serve_port) || serve_port > 65535) {
         std::fprintf(stderr, "bad --serve port '%s'\n", argv[i]);
@@ -353,6 +397,12 @@ int main(int argc, char** argv) {
     else if (arg.size() == 1) cls = arg[0];
   }
   opts.refine_composition = refine;
+  if (opts.adopt_fleet && (opts.endpoints.empty() ||
+                           opts.journal_path.empty())) {
+    std::fprintf(stderr, "--adopt rebuilds the local journal from the "
+                         "fleet, which needs --connect and --journal\n");
+    return 2;
+  }
 
   // --serve: become a runner daemon instead of searching (same daemon core
   // as the standalone runner_serve binary).
@@ -525,12 +575,33 @@ int main(int argc, char** argv) {
                 "%zu unserved\n",
                 m.remote_trials, m.shard_cache_hits, m.endpoint_failovers,
                 m.endpoint_reconnects, m.endpoints_lost, m.remote_unserved);
+    if (m.adopted_records > 0) {
+      std::printf("failover: adopted %llu journal record(s) from the "
+                  "fleet\n",
+                  static_cast<unsigned long long>(m.adopted_records));
+    }
+    if (m.missed_beats + m.lease_expiries + m.late_results +
+            m.redispatched + m.breaker_trips > 0) {
+      std::printf("liveness: %zu missed beat(s), %zu lease expiry(ies), "
+                  "%zu late result(s) discarded, %zu trial(s) "
+                  "re-dispatched, %zu breaker trip(s)\n",
+                  m.missed_beats, m.lease_expiries, m.late_results,
+                  m.redispatched, m.breaker_trips);
+    }
     for (const search::EndpointMetrics& em : m.endpoints_used) {
       std::printf("  endpoint %s: %u worker(s), %zu trial(s), %zu cache "
                   "hit(s), %zu failover(s), %.2fs busy%s\n",
                   em.address.c_str(), em.workers, em.trials, em.cache_hits,
                   em.failovers, 1e-9 * static_cast<double>(em.busy_ns),
                   em.lost ? " (lost)" : "");
+      if (em.pings > 0) {
+        std::printf("    heartbeat: %zu ping(s) / %zu pong(s), rtt p50 "
+                    "%llu us, p95 %llu us, max %llu us\n",
+                    em.pings, em.pongs,
+                    static_cast<unsigned long long>(em.rtt_p50_us),
+                    static_cast<unsigned long long>(em.rtt_p95_us),
+                    static_cast<unsigned long long>(em.rtt_max_us));
+      }
     }
     if (m.remote_degraded) {
       std::printf("note: no endpoint usable; the search ran locally\n");

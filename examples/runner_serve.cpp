@@ -10,12 +10,22 @@
 //
 // Usage:  runner_serve [--host H] [--port N] [--port-file FILE]
 //                      [--workers N] [--exit-after N] [--quiet]
+//                      [--max-sessions N] [--idle-timeout-ms N]
 //
 // --port 0 (the default) binds a kernel-assigned port; --port-file writes
 // the bound "host:port" to FILE so scripts and CI can discover it without
 // racing. --exit-after N stops the daemon after N trial results -- the
 // chaos hook the endpoint-death tests and CI smoke use to simulate a
 // runner dying mid-search.
+//
+// Each session's scheduler streams its CRC-sealed journal records here;
+// the daemon retains a per-search replicated shard that outlives the
+// session, so a fresh scheduler (nas_search --adopt) can rebuild the
+// trial history from the fleet after its host dies. --max-sessions caps
+// concurrent sessions (default 64; excess connects are rejected with an
+// error frame) and --idle-timeout-ms reaps sessions with no traffic for
+// that long (default 600000, 0 disables); a reaped session logs its
+// search fingerprint and retained-shard size, and the shard survives.
 //
 // Exit codes: 0 clean shutdown (signal or --exit-after); 1 cannot bind;
 // 2 usage error.
@@ -102,6 +112,22 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
+    else if (arg == "--max-sessions" && i + 1 < argc) {
+      std::uint64_t n = 0;
+      if (!parse_u64(argv[++i], &n) || n == 0 || n > 4096) {
+        std::fprintf(stderr, "bad --max-sessions value '%s' (1..4096)\n",
+                     argv[i]);
+        return 2;
+      }
+      sopts.max_sessions = static_cast<std::size_t>(n);
+    }
+    else if (arg == "--idle-timeout-ms" && i + 1 < argc) {
+      if (!parse_u64(argv[++i], &sopts.idle_timeout_ms)) {
+        std::fprintf(stderr, "bad --idle-timeout-ms value '%s' "
+                             "(0 disables)\n", argv[i]);
+        return 2;
+      }
+    }
     else {
       std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
       return 2;
@@ -143,16 +169,23 @@ int main(int argc, char** argv) {
   server.serve(&g_stop);
 
   const net::ServerStats& st = server.stats();
-  std::printf("runner_serve: done -- %llu session(s) (%llu rejected), "
-              "%llu trial(s) served (%llu shard-cache hit(s)), "
-              "%llu cache insert(s), %llu protocol error(s), "
+  std::printf("runner_serve: done -- %llu session(s) (%llu rejected, "
+              "%llu reaped), %llu trial(s) served (%llu shard-cache "
+              "hit(s)), %llu cache insert(s), %llu protocol error(s), "
               "%llu backend(s)\n",
               static_cast<unsigned long long>(st.sessions_accepted),
               static_cast<unsigned long long>(st.sessions_rejected),
+              static_cast<unsigned long long>(st.sessions_reaped),
               static_cast<unsigned long long>(st.trials_served),
               static_cast<unsigned long long>(st.shard_cache_hits),
               static_cast<unsigned long long>(st.cache_inserts),
               static_cast<unsigned long long>(st.protocol_errors),
               static_cast<unsigned long long>(st.backends));
+  std::printf("runner_serve: journal -- %llu append(s) (%llu rejected), "
+              "%llu fetch(es), %llu ping(s)\n",
+              static_cast<unsigned long long>(st.journal_appends),
+              static_cast<unsigned long long>(st.journal_rejected),
+              static_cast<unsigned long long>(st.journal_fetches),
+              static_cast<unsigned long long>(st.pings));
   return 0;
 }

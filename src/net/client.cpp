@@ -62,6 +62,17 @@ std::unique_ptr<EndpointClient> EndpointClient::connect(
       HelloAckMsg ack;
       if (peek_msg_type(payload) != kMsgHelloAck ||
           !decode_hello_ack(payload, &ack)) {
+        // A full daemon answers the connect with an error frame instead of
+        // an ack (e.g. "session limit reached"); surface its text.
+        std::string text;
+        if (peek_msg_type(payload) == kMsgError &&
+            decode_error_msg(payload, &text)) {
+          if (error != nullptr) {
+            *error = strformat("%s: rejected: %s", ep.str().c_str(),
+                               text.c_str());
+          }
+          return nullptr;
+        }
         if (error != nullptr) {
           *error = strformat("%s: malformed hello ack", ep.str().c_str());
         }
@@ -77,6 +88,7 @@ std::unique_ptr<EndpointClient> EndpointClient::connect(
       c->workers_ = ack.workers;
       c->engine_ = ack.engine;
       c->verifier_fp_ = ack.verifier_fp;
+      c->shard_records_ = ack.shard_records;
       return c;
     }
     if (st == FrameStatus::kCorrupt) {
@@ -131,6 +143,105 @@ bool EndpointClient::insert(const CacheInsertMsg& m) {
   return true;
 }
 
+bool EndpointClient::journal_append(const JournalAppendMsg& m) {
+  if (dead_) return false;
+  if (!sock_.send_all(runner::encode_frame(encode_journal_append(m)),
+                      /*timeout_ms=*/10000)) {
+    last_error_ = "journal append send failed";
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool EndpointClient::ping(const PingMsg& m) {
+  if (dead_) return false;
+  if (!sock_.send_all(runner::encode_frame(encode_ping(m)),
+                      /*timeout_ms=*/10000)) {
+    last_error_ = "ping send failed";
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool EndpointClient::fetch_journal(std::vector<std::string>* lines,
+                                   int timeout_ms, std::string* error) {
+#if !FPMIX_NET_POSIX
+  (void)lines;
+  (void)timeout_ms;
+  if (error != nullptr) *error = "sockets unsupported on this platform";
+  return false;
+#else
+  if (dead_) {
+    if (error != nullptr) *error = "session dead";
+    return false;
+  }
+  if (!sock_.send_all(runner::encode_frame(encode_journal_fetch()),
+                      /*timeout_ms=*/10000)) {
+    last_error_ = "journal fetch send failed";
+    close();
+    if (error != nullptr) *error = last_error_;
+    return false;
+  }
+  const std::uint64_t deadline =
+      now_ms() + static_cast<std::uint64_t>(timeout_ms > 0 ? timeout_ms
+                                                           : 10000);
+  bool peer_closed = false;
+  for (;;) {
+    std::string payload;
+    const FrameStatus st = fb_.next(&payload);
+    if (st == FrameStatus::kOk) {
+      JournalTailMsg tail;
+      if (peek_msg_type(payload) != kMsgJournalTail ||
+          !decode_journal_tail(payload, &tail)) {
+        // Pongs from an in-flight heartbeat may interleave with the tail
+        // stream; anything else mid-fetch is a protocol violation.
+        PongMsg pong;
+        if (peek_msg_type(payload) == kMsgPong &&
+            decode_pong(payload, &pong)) {
+          pongs_.push_back(pong);
+          continue;
+        }
+        last_error_ = "unexpected frame during journal fetch";
+        close();
+        if (error != nullptr) *error = last_error_;
+        return false;
+      }
+      for (std::string& l : tail.lines) lines->push_back(std::move(l));
+      if (tail.done != 0) return true;
+      continue;
+    }
+    if (st == FrameStatus::kCorrupt) {
+      last_error_ = "corrupt frame during journal fetch";
+      close();
+      if (error != nullptr) *error = last_error_;
+      return false;
+    }
+    // kNeedMore: a closed peer can never complete the partial frame.
+    if (peer_closed) {
+      last_error_ = "connection closed during journal fetch";
+      close();
+      if (error != nullptr) *error = last_error_;
+      return false;
+    }
+    const std::uint64_t now = now_ms();
+    if (now >= deadline) {
+      last_error_ = "journal fetch timeout";
+      close();
+      if (error != nullptr) *error = last_error_;
+      return false;
+    }
+    pollfd pfd{sock_.fd(), POLLIN, 0};
+    ::poll(&pfd, 1, static_cast<int>(deadline - now));
+    std::string bytes;
+    const IoStatus io = sock_.read_available(&bytes);
+    if (!bytes.empty()) fb_.append(bytes);
+    if (io == IoStatus::kEof || io == IoStatus::kError) peer_closed = true;
+  }
+#endif
+}
+
 bool EndpointClient::drain(std::vector<ResultMsg>* out) {
   if (dead_) return false;
   std::string bytes;
@@ -157,6 +268,16 @@ bool EndpointClient::drain(std::vector<ResultMsg>* out) {
         break;
       }
       out->push_back(std::move(m));
+      continue;
+    }
+    if (type == kMsgPong) {
+      PongMsg m;
+      if (!decode_pong(payload, &m)) {
+        last_error_ = "malformed pong message";
+        session_over = true;
+        break;
+      }
+      pongs_.push_back(m);
       continue;
     }
     if (type == kMsgError) {

@@ -43,11 +43,34 @@ class EndpointClient {
   /// (cache fills are advisory) but kill this session like any send error.
   bool insert(const CacheInsertMsg& m);
 
+  /// Streams one CRC-sealed journal line for replication. Like insert(),
+  /// advisory to the caller but fatal to the session on send failure.
+  bool journal_append(const JournalAppendMsg& m);
+
+  /// Sends a heartbeat probe; the pong comes back through drain().
+  bool ping(const PingMsg& m);
+
+  /// Synchronously fetches the endpoint's retained journal shard for this
+  /// session's search fingerprint (scheduler failover). Appends the lines
+  /// in sequence order to *lines. False (with *error) on timeout or
+  /// session death; only usable while no trials are in flight -- any
+  /// non-tail frame during the fetch is a protocol violation.
+  bool fetch_journal(std::vector<std::string>* lines, int timeout_ms,
+                     std::string* error);
+
   /// Drains the socket and appends every complete ResultMsg to *out.
   /// Returns false when the session died (EOF, error, corrupt frame,
   /// protocol violation); results decoded before the damage are still
   /// appended, so a clean server shutdown delivers its final verdicts.
+  /// Pongs are collected aside; take_pongs() hands them over.
   bool drain(std::vector<ResultMsg>* out);
+
+  /// Heartbeat echoes collected by drain() since the last call.
+  std::vector<PongMsg> take_pongs() {
+    std::vector<PongMsg> out;
+    out.swap(pongs_);
+    return out;
+  }
 
   bool alive() const { return !dead_; }
   int fd() const { return sock_.fd(); }
@@ -60,6 +83,9 @@ class EndpointClient {
   /// vm::Engine the endpoint actually runs (from the HelloAck; may lawfully
   /// be micro-op when jit was requested of a jit-incapable host).
   std::uint8_t engine() const { return engine_; }
+  /// Journal records the endpoint already retained for this search
+  /// fingerprint at handshake time (v3 HelloAck) -- fleet journal coverage.
+  std::uint64_t shard_records() const { return shard_records_; }
   /// Most recent session error text (handshake rejection, transport
   /// damage), for diagnostics.
   const std::string& last_error() const { return last_error_; }
@@ -78,8 +104,10 @@ class EndpointClient {
   FrameBuffer fb_;
   std::uint32_t workers_ = 0;
   std::uint8_t engine_ = 0;
+  std::uint64_t shard_records_ = 0;
   std::string verifier_fp_;
   std::string last_error_;
+  std::vector<PongMsg> pongs_;
   bool dead_ = false;
 };
 

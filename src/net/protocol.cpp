@@ -100,6 +100,7 @@ std::string encode_hello_ack(const HelloAckMsg& m) {
   runner::put_string(&p, m.verifier_fp);
   runner::put_u32(&p, m.workers);
   runner::put_u8(&p, m.engine);
+  runner::put_u64(&p, m.shard_records);
   return p;
 }
 
@@ -111,6 +112,7 @@ bool decode_hello_ack(std::string_view payload, HelloAckMsg* out) {
   out->verifier_fp = r.str();
   out->workers = r.u32();
   out->engine = r.u8();
+  out->shard_records = r.u64();
   return r.done();
 }
 
@@ -177,6 +179,94 @@ bool decode_cache_insert(std::string_view payload, CacheInsertMsg* out) {
   out->passed = r.u8();
   out->failure_class = r.u8();
   out->failure = r.str();
+  return r.done();
+}
+
+// ---- Replicated journal streaming ------------------------------------------
+
+std::string encode_journal_append(const JournalAppendMsg& m) {
+  std::string p;
+  runner::put_u8(&p, kMsgJournalAppend);
+  runner::put_string(&p, m.line);
+  return p;
+}
+
+bool decode_journal_append(std::string_view payload, JournalAppendMsg* out) {
+  WireReader r(payload);
+  if (r.u8() != kMsgJournalAppend) return false;
+  out->line = r.str();
+  return r.done();
+}
+
+std::string encode_journal_fetch() {
+  std::string p;
+  runner::put_u8(&p, kMsgJournalFetch);
+  return p;
+}
+
+bool decode_journal_fetch(std::string_view payload) {
+  WireReader r(payload);
+  if (r.u8() != kMsgJournalFetch) return false;
+  return r.done();
+}
+
+std::string encode_journal_tail(const JournalTailMsg& m) {
+  std::string p;
+  runner::put_u8(&p, kMsgJournalTail);
+  runner::put_u64(&p, m.total);
+  runner::put_u8(&p, m.done);
+  runner::put_u32(&p, static_cast<std::uint32_t>(m.lines.size()));
+  for (const std::string& l : m.lines) runner::put_string(&p, l);
+  return p;
+}
+
+bool decode_journal_tail(std::string_view payload, JournalTailMsg* out) {
+  WireReader r(payload);
+  if (r.u8() != kMsgJournalTail) return false;
+  out->total = r.u64();
+  out->done = r.u8();
+  const std::uint32_t n = r.u32();
+  // Bound before allocating: a line costs >= 4 payload bytes (its length
+  // prefix), so a count the remaining payload cannot possibly hold is
+  // framing damage, not a big chunk.
+  if (n > payload.size() / 4 + 1) return false;
+  out->lines.clear();
+  out->lines.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out->lines.push_back(r.str());
+  return r.done();
+}
+
+// ---- Heartbeat -------------------------------------------------------------
+
+std::string encode_ping(const PingMsg& m) {
+  std::string p;
+  runner::put_u8(&p, kMsgPing);
+  runner::put_u64(&p, m.nonce);
+  runner::put_u64(&p, m.t_send_ns);
+  return p;
+}
+
+bool decode_ping(std::string_view payload, PingMsg* out) {
+  WireReader r(payload);
+  if (r.u8() != kMsgPing) return false;
+  out->nonce = r.u64();
+  out->t_send_ns = r.u64();
+  return r.done();
+}
+
+std::string encode_pong(const PongMsg& m) {
+  std::string p;
+  runner::put_u8(&p, kMsgPong);
+  runner::put_u64(&p, m.nonce);
+  runner::put_u64(&p, m.t_send_ns);
+  return p;
+}
+
+bool decode_pong(std::string_view payload, PongMsg* out) {
+  WireReader r(payload);
+  if (r.u8() != kMsgPong) return false;
+  out->nonce = r.u64();
+  out->t_send_ns = r.u64();
   return r.done();
 }
 

@@ -7,19 +7,28 @@
 // payload byte is a message type:
 //
 //   client -> server
-//     kMsgHello        session handshake: protocol version, workload id,
-//                      evaluation semantics (budget/deadline/breaker/
-//                      rlimit), search fingerprint, fault campaign
-//     kMsgTrial        one trial: ticket + config digest + full canonical
-//                      config key (the server's own pool re-deltas to its
-//                      workers; the session stream stays stateless)
-//     kMsgCacheInsert  shard-cache fill: a verdict this client computed
-//                      elsewhere (another shard or in-process)
+//     kMsgHello          session handshake: protocol version, workload id,
+//                        evaluation semantics (budget/deadline/breaker/
+//                        rlimit), search fingerprint, fault campaign
+//     kMsgTrial          one trial: ticket + config digest + full canonical
+//                        config key (the server's own pool re-deltas to its
+//                        workers; the session stream stays stateless)
+//     kMsgCacheInsert    shard-cache fill: a verdict this client computed
+//                        elsewhere (another shard or in-process)
+//     kMsgJournalAppend  one CRC-sealed journal record, streamed as the
+//                        scheduler commits it locally; the server retains a
+//                        per-search_fp replicated shard of them
+//     kMsgJournalFetch   request the retained shard for this session's
+//                        search_fp (scheduler failover / --adopt)
+//     kMsgPing           heartbeat probe (nonce + client send timestamp)
 //   server -> client
-//     kMsgHelloAck     accept (worker count, verifier fingerprint to
-//                      cross-check) or reject (error text)
-//     kMsgResult       one trial verdict: ticket, flags, encoded WireResult
-//     kMsgError        fatal session error (text), connection closes
+//     kMsgHelloAck       accept (worker count, verifier fingerprint to
+//                        cross-check, retained shard size) or reject
+//     kMsgResult         one trial verdict: ticket, flags, encoded WireResult
+//     kMsgJournalTail    fetch response: a chunk of retained journal lines
+//                        in sequence order, done flag on the last chunk
+//     kMsgPong           heartbeat echo (nonce + timestamp bounced back)
+//     kMsgError          fatal session error (text), connection closes
 //
 // Many trials may be outstanding per connection; results return in
 // completion order and are correlated by ticket. Every encode/decode here
@@ -30,6 +39,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "runner/wire.hpp"
 #include "support/fault.hpp"
@@ -39,7 +49,10 @@ namespace fpmix::net {
 /// Bumped on any incompatible message change; HelloAck rejects mismatches.
 /// v2: Hello carries the VM execution engine, HelloAck echoes the engine
 /// the endpoint will actually run (a jit-incapable host downgrades).
-constexpr std::uint32_t kProtocolVersion = 2;
+/// v3: replicated journal streaming (JournalAppend/JournalFetch/
+/// JournalTail), heartbeat liveness (Ping/Pong), HelloAck reports the
+/// retained shard size.
+constexpr std::uint32_t kProtocolVersion = 3;
 
 constexpr std::uint8_t kMsgHello = 1;
 constexpr std::uint8_t kMsgHelloAck = 2;
@@ -47,6 +60,11 @@ constexpr std::uint8_t kMsgTrial = 3;
 constexpr std::uint8_t kMsgResult = 4;
 constexpr std::uint8_t kMsgCacheInsert = 5;
 constexpr std::uint8_t kMsgError = 6;
+constexpr std::uint8_t kMsgJournalAppend = 7;
+constexpr std::uint8_t kMsgJournalFetch = 8;
+constexpr std::uint8_t kMsgJournalTail = 9;
+constexpr std::uint8_t kMsgPing = 10;
+constexpr std::uint8_t kMsgPong = 11;
 
 /// First payload byte, or 0 for an empty payload.
 std::uint8_t peek_msg_type(std::string_view payload);
@@ -88,6 +106,10 @@ struct HelloAckMsg {
   /// engine except for the one sanctioned mismatch: jit requested on a host
   /// that cannot run it answers with the micro-op engine.
   std::uint8_t engine = 0;
+  /// Journal records this endpoint already retains for the session's
+  /// search_fp (v3): an adopting scheduler reads fleet coverage from the
+  /// handshake alone.
+  std::uint64_t shard_records = 0;
 };
 
 std::string encode_hello_ack(const HelloAckMsg& m);
@@ -130,6 +152,58 @@ struct CacheInsertMsg {
 
 std::string encode_cache_insert(const CacheInsertMsg& m);
 bool decode_cache_insert(std::string_view payload, CacheInsertMsg* out);
+
+// ---- Replicated journal streaming (v3) -------------------------------------
+
+/// One CRC-sealed journal line (support/journal v2 format, no trailing
+/// newline), streamed scheduler -> endpoint as it commits locally. The
+/// server re-validates the seal before retaining it, so a damaged line is
+/// dropped, never replicated.
+struct JournalAppendMsg {
+  std::string line;
+};
+
+std::string encode_journal_append(const JournalAppendMsg& m);
+bool decode_journal_append(std::string_view payload, JournalAppendMsg* out);
+
+/// Requests the endpoint's retained shard for this session's search_fp.
+/// The reply is a run of JournalTail chunks ending with done=1.
+std::string encode_journal_fetch();
+bool decode_journal_fetch(std::string_view payload);
+
+/// One chunk of a shard fetch, lines in ascending sequence order. `total`
+/// is the full retained-record count (repeated on every chunk); `done`
+/// marks the final chunk (an empty shard answers with one empty done
+/// chunk).
+struct JournalTailMsg {
+  std::uint64_t total = 0;
+  std::uint8_t done = 0;
+  std::vector<std::string> lines;
+};
+
+std::string encode_journal_tail(const JournalTailMsg& m);
+bool decode_journal_tail(std::string_view payload, JournalTailMsg* out);
+
+// ---- Heartbeat (v3) --------------------------------------------------------
+
+/// Liveness probe. The server echoes both fields back verbatim in a Pong;
+/// the scheduler matches by nonce and derives RTT from its own clock, so
+/// nothing depends on cross-host time.
+struct PingMsg {
+  std::uint64_t nonce = 0;
+  std::uint64_t t_send_ns = 0;
+};
+
+std::string encode_ping(const PingMsg& m);
+bool decode_ping(std::string_view payload, PingMsg* out);
+
+struct PongMsg {
+  std::uint64_t nonce = 0;
+  std::uint64_t t_send_ns = 0;  // the ping's timestamp, echoed
+};
+
+std::string encode_pong(const PongMsg& m);
+bool decode_pong(std::string_view payload, PongMsg* out);
 
 // ---- Session error ---------------------------------------------------------
 

@@ -1,6 +1,7 @@
 #include "net/server.hpp"
 
 #include <chrono>
+#include <cstdlib>
 #include <map>
 #include <string.h>
 #include <unordered_map>
@@ -9,6 +10,7 @@
 #include "net/protocol.hpp"
 #include "runner/worker_pool.hpp"
 #include "support/fault.hpp"
+#include "support/journal.hpp"
 #include "support/log.hpp"
 #include "vm/jit/jit.hpp"
 #include "vm/machine.hpp"
@@ -69,6 +71,26 @@ std::string backend_key(const HelloMsg& h) {
   return k;
 }
 
+std::uint64_t steady_now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Extracts the seal's sequence number from a journal line already known to
+/// pass check_seal. False when the line is not flat JSON or lacks "seq"
+/// (a sealed line always has it, so this is belt-and-braces).
+bool sealed_seq(const std::string& line, std::uint64_t* seq) {
+  JsonRecord rec;
+  if (!parse_flat_json(line, &rec)) return false;
+  auto it = rec.find("seq");
+  if (it == rec.end() || it->second.empty()) return false;
+  char* end = nullptr;
+  *seq = std::strtoull(it->second.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
 }  // namespace
 
 struct RunnerServer::Impl {
@@ -108,12 +130,54 @@ struct RunnerServer::Impl {
     Backend* backend = nullptr;
     std::string search_fp;
     bool shard_cache = false;
+    std::uint64_t last_active_ms = 0;  // last inbound traffic (idle reaping)
+  };
+
+  /// One replicated journal shard: every CRC-sealed line a scheduler has
+  /// streamed for one search fingerprint, keyed (and deduplicated) by its
+  /// sealed sequence number. Survives the session that fed it -- an adopting
+  /// scheduler fetches it over a *new* session with the same search_fp.
+  struct JournalShard {
+    std::map<std::uint64_t, std::string> by_seq;
+    std::uint64_t dropped = 0;     // records shed to max_shard_records
+    std::uint64_t last_touch = 0;  // LRU clock for whole-shard eviction
   };
 
   std::map<std::string, std::unique_ptr<Backend>> backends;
   std::map<std::uint64_t, std::unique_ptr<Session>> sessions;
+  std::map<std::string, JournalShard> journal_shards;  // by search_fp
   std::uint64_t next_session_id = 1;
+  std::uint64_t shard_touch_clock = 1;
   bool exit_tripped = false;
+
+  /// The retained shard for `search_fp`, creating it (and evicting the
+  /// least-recently-touched shard past the cap) on first touch.
+  JournalShard* touch_shard(const std::string& search_fp) {
+    auto it = journal_shards.find(search_fp);
+    if (it == journal_shards.end()) {
+      if (opts.max_journal_shards > 0 &&
+          journal_shards.size() >= opts.max_journal_shards) {
+        auto victim = journal_shards.begin();
+        for (auto jt = journal_shards.begin(); jt != journal_shards.end();
+             ++jt) {
+          if (jt->second.last_touch < victim->second.last_touch) victim = jt;
+        }
+        if (opts.verbose) {
+          log::infof("runner_serve: evicting journal shard %s (%zu records)",
+                     victim->first.c_str(), victim->second.by_seq.size());
+        }
+        journal_shards.erase(victim);
+      }
+      it = journal_shards.emplace(search_fp, JournalShard{}).first;
+    }
+    it->second.last_touch = shard_touch_clock++;
+    return &it->second;
+  }
+
+  std::uint64_t shard_records(const std::string& search_fp) const {
+    auto it = journal_shards.find(search_fp);
+    return it == journal_shards.end() ? 0 : it->second.by_seq.size();
+  }
 
   void drop_session(Session* s) {
     s->dead = true;
@@ -233,6 +297,7 @@ struct RunnerServer::Impl {
     ack.ok = 1;
     ack.verifier_fp = b->verifier_fp;
     ack.workers = b->workers;
+    ack.shard_records = shard_records(h.search_fp);
     send_frame(s, encode_hello_ack(ack));
   }
 
@@ -292,6 +357,50 @@ struct RunnerServer::Impl {
     ++stats->cache_inserts;
   }
 
+  /// Retains one streamed journal record. Damage (bad seal, unparseable
+  /// seq) is *dropped*, not fatal: the replicated shard mirrors the local
+  /// journal's torn-tail tolerance -- a reader skips the broken record, and
+  /// the fleet-wide union from the other endpoints heals the gap.
+  void handle_journal_append(Session* s, const JournalAppendMsg& m) {
+    std::uint64_t seq = 0;
+    if (check_seal(m.line) != SealCheck::kOk || !sealed_seq(m.line, &seq)) {
+      ++stats->journal_rejected;
+      return;
+    }
+    JournalShard* shard = touch_shard(s->search_fp);
+    if (!shard->by_seq.emplace(seq, m.line).second) return;  // seq dedupe
+    ++stats->journal_appends;
+    while (opts.max_shard_records > 0 &&
+           shard->by_seq.size() > opts.max_shard_records) {
+      shard->by_seq.erase(shard->by_seq.begin());
+      ++shard->dropped;
+    }
+  }
+
+  /// Streams the whole retained shard back as JournalTail chunks. Chunked
+  /// so a large history never produces one unbounded frame; the client
+  /// reassembles until done=1.
+  void handle_journal_fetch(Session* s) {
+    ++stats->journal_fetches;
+    const auto it = journal_shards.find(s->search_fp);
+    JournalTailMsg chunk;
+    chunk.total = it == journal_shards.end() ? 0 : it->second.by_seq.size();
+    constexpr std::size_t kLinesPerChunk = 256;
+    if (it != journal_shards.end()) {
+      it->second.last_touch = shard_touch_clock++;
+      for (const auto& [seq, line] : it->second.by_seq) {
+        chunk.lines.push_back(line);
+        if (chunk.lines.size() >= kLinesPerChunk) {
+          send_frame(s, encode_journal_tail(chunk));
+          chunk.lines.clear();
+          if (s->dead) return;
+        }
+      }
+    }
+    chunk.done = 1;
+    send_frame(s, encode_journal_tail(chunk));
+  }
+
   void handle_payload(Session* s, const std::string& payload) {
     const std::uint8_t type = peek_msg_type(payload);
     if (!s->hello_done) {
@@ -320,6 +429,36 @@ struct RunnerServer::Impl {
           return;
         }
         handle_cache_insert(s, m);
+        return;
+      }
+      case kMsgJournalAppend: {
+        JournalAppendMsg m;
+        if (!decode_journal_append(payload, &m)) {
+          session_error(s, "malformed journal-append message");
+          return;
+        }
+        handle_journal_append(s, m);
+        return;
+      }
+      case kMsgJournalFetch: {
+        if (!decode_journal_fetch(payload)) {
+          session_error(s, "malformed journal-fetch message");
+          return;
+        }
+        handle_journal_fetch(s);
+        return;
+      }
+      case kMsgPing: {
+        PingMsg m;
+        if (!decode_ping(payload, &m)) {
+          session_error(s, "malformed ping message");
+          return;
+        }
+        ++stats->pings;
+        PongMsg pong;
+        pong.nonce = m.nonce;
+        pong.t_send_ns = m.t_send_ns;
+        send_frame(s, encode_pong(pong));
         return;
       }
       case kMsgError: {
@@ -432,9 +571,21 @@ void RunnerServer::serve(const std::atomic<bool>* stop) {
       for (;;) {
         Socket sock = im.listener.accept_connection();
         if (!sock.valid()) break;
+        if (im.opts.max_sessions > 0 &&
+            im.sessions.size() >= im.opts.max_sessions) {
+          // Reject above the cap before any backend work: an error frame
+          // the client surfaces, then close.
+          ++stats_.sessions_rejected;
+          sock.send_all(runner::encode_frame(
+                            encode_error_msg("session limit reached")),
+                        /*timeout_ms=*/1000);
+          sock.close();
+          continue;
+        }
         auto s = std::make_unique<Impl::Session>();
         s->id = im.next_session_id++;
         s->sock = std::move(sock);
+        s->last_active_ms = steady_now_ms();
         ++stats_.sessions_accepted;
         if (im.opts.verbose) {
           log::infof("runner_serve: session %llu connected",
@@ -448,7 +599,10 @@ void RunnerServer::serve(const std::atomic<bool>* stop) {
     for (Impl::Session* s : fd_sessions) {
       scratch.clear();
       const IoStatus st = s->sock.read_available(&scratch);
-      if (!scratch.empty()) s->fb.append(scratch);
+      if (!scratch.empty()) {
+        s->fb.append(scratch);
+        s->last_active_ms = steady_now_ms();
+      }
       if (st == IoStatus::kError || st == IoStatus::kEof) im.drop_session(s);
       for (;;) {
         std::string payload;
@@ -465,6 +619,24 @@ void RunnerServer::serve(const std::atomic<bool>* stop) {
 
     // ---- Run the pools and route finished trials. ----
     im.pump_backends();
+
+    // ---- Reap idle sessions (their journal shard survives them). ----
+    if (im.opts.idle_timeout_ms > 0) {
+      const std::uint64_t now_ms = steady_now_ms();
+      for (auto& [id, s] : im.sessions) {
+        if (s->dead || now_ms - s->last_active_ms < im.opts.idle_timeout_ms) {
+          continue;
+        }
+        ++stats_.sessions_reaped;
+        log::infof("runner_serve: reaping idle session %llu (search_fp %s, "
+                   "%llu retained journal records)",
+                   static_cast<unsigned long long>(id),
+                   s->search_fp.empty() ? "-" : s->search_fp.c_str(),
+                   static_cast<unsigned long long>(
+                       im.shard_records(s->search_fp)));
+        im.drop_session(s.get());
+      }
+    }
 
     // ---- Reap dead sessions. ----
     for (auto it = im.sessions.begin(); it != im.sessions.end();) {

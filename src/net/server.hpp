@@ -57,16 +57,34 @@ struct ServerOptions {
   /// many trial results have been delivered; 0 serves forever. Simulates
   /// an endpoint dying mid-search.
   std::uint64_t exit_after_results = 0;
+  /// Concurrent session cap; connections past it are rejected with an
+  /// error frame before any backend work is done. 0 = unlimited.
+  std::uint64_t max_sessions = 64;
+  /// Sessions with no inbound traffic for this long are reaped (their
+  /// replicated journal shard survives -- that is the point of it).
+  /// 0 = never reap.
+  std::uint64_t idle_timeout_ms = 600000;
+  /// Per-search_fp replicated-journal bound: beyond this many retained
+  /// records the lowest sequence numbers are dropped (and counted).
+  std::uint64_t max_shard_records = 1ull << 16;
+  /// Distinct search_fp shards retained; beyond it the least-recently
+  /// touched whole shard is evicted.
+  std::uint64_t max_journal_shards = 8;
   /// Log one line per session/backend event at info level.
   bool verbose = false;
 };
 
 struct ServerStats {
   std::uint64_t sessions_accepted = 0;
-  std::uint64_t sessions_rejected = 0;   // bad hello / unknown workload
+  std::uint64_t sessions_rejected = 0;   // bad hello / unknown workload / cap
+  std::uint64_t sessions_reaped = 0;     // idle-timeout reaps
   std::uint64_t trials_served = 0;       // results delivered (cache included)
   std::uint64_t shard_cache_hits = 0;    // served without touching the pool
   std::uint64_t cache_inserts = 0;       // client kMsgCacheInsert fills
+  std::uint64_t journal_appends = 0;     // replicated records retained
+  std::uint64_t journal_rejected = 0;    // bad seal / unparseable seq
+  std::uint64_t journal_fetches = 0;     // shard fetches served
+  std::uint64_t pings = 0;               // heartbeats answered
   std::uint64_t protocol_errors = 0;     // corrupt frames / bad messages
   std::uint64_t backends = 0;            // distinct evaluation contexts
 };

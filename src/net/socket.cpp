@@ -1,5 +1,8 @@
 #include "net/socket.hpp"
 
+#include <atomic>
+
+#include "support/fault.hpp"
 #include "support/strings.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -21,6 +24,17 @@
 namespace fpmix::net {
 
 bool supported() { return FPMIX_NET_POSIX != 0; }
+
+namespace {
+/// Process-wide chaos source (test harness only; see set_socket_chaos).
+const fault::NetChaos* g_socket_chaos = nullptr;
+/// Distinct per-connection chaos ids, assigned on first chaos-visible op.
+std::atomic<std::uint64_t> g_chaos_conn_ids{1};
+}  // namespace
+
+void set_socket_chaos(const fault::NetChaos* chaos) {
+  g_socket_chaos = chaos;
+}
 
 std::string Endpoint::str() const {
   return strformat("%s:%u", host.c_str(), static_cast<unsigned>(port));
@@ -82,13 +96,30 @@ bool resolve(const std::string& host, std::uint16_t port, sockaddr_in* out,
 
 Socket::~Socket() { close(); }
 
-Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+Socket::Socket(Socket&& other) noexcept
+    : fd_(other.fd_), chaos_id_(other.chaos_id_), chaos_op_(other.chaos_op_),
+      held_(std::move(other.held_)),
+      held_after_next_(other.held_after_next_) {
+  other.fd_ = -1;
+  other.chaos_id_ = 0;
+  other.chaos_op_ = 0;
+  other.held_.clear();
+  other.held_after_next_ = false;
+}
 
 Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = other.fd_;
+    chaos_id_ = other.chaos_id_;
+    chaos_op_ = other.chaos_op_;
+    held_ = std::move(other.held_);
+    held_after_next_ = other.held_after_next_;
     other.fd_ = -1;
+    other.chaos_id_ = 0;
+    other.chaos_op_ = 0;
+    other.held_.clear();
+    other.held_after_next_ = false;
   }
   return *this;
 }
@@ -125,6 +156,54 @@ IoStatus Socket::read_available(std::string* buf) {
 }
 
 bool Socket::send_all(std::string_view data, int timeout_ms) {
+  const fault::NetChaos* chaos = g_socket_chaos;
+  if (chaos == nullptr) {
+    // No chaos installed (production): a frame held by a since-cleared
+    // chaos source still flushes first, preserving stream order.
+    if (held_.empty()) return send_plain(data, timeout_ms);
+    std::string buf = std::move(held_);
+    held_.clear();
+    held_after_next_ = false;
+    buf.append(data);
+    return send_plain(buf, timeout_ms);
+  }
+  if (chaos_id_ == 0) {
+    chaos_id_ = g_chaos_conn_ids.fetch_add(1, std::memory_order_relaxed);
+  }
+  const fault::NetFault f = chaos->for_op(chaos_id_, chaos_op_++);
+  if (f == fault::NetFault::kConnReset) {
+    close();
+    return false;
+  }
+  if (f == fault::NetFault::kStall) {
+    // A stalled link / short partition window: the frame arrives, late.
+    ::poll(nullptr, 0, static_cast<int>(chaos->stall_ms()));
+  }
+  if (held_.empty() && (f == fault::NetFault::kDelayFrame ||
+                        f == fault::NetFault::kReorderFrames)) {
+    // Hold the whole frame; it rides the wire around the *next* send on
+    // this socket (before it for delay, after it for reorder). At most one
+    // frame is held at a time -- a second hold draw flushes instead.
+    held_.assign(data.data(), data.size());
+    held_after_next_ = f == fault::NetFault::kReorderFrames;
+    return true;
+  }
+  std::string buf;
+  if (!held_.empty() && !held_after_next_) {
+    buf.append(held_);
+    held_.clear();
+  }
+  buf.append(data);
+  if (f == fault::NetFault::kDupFrame) buf.append(data);
+  if (!held_.empty()) {
+    buf.append(held_);
+    held_.clear();
+    held_after_next_ = false;
+  }
+  return send_plain(buf, timeout_ms);
+}
+
+bool Socket::send_plain(std::string_view data, int timeout_ms) {
   if (fd_ < 0) return false;
   std::size_t off = 0;
   while (off < data.size()) {
@@ -282,6 +361,7 @@ Socket& Socket::operator=(Socket&&) noexcept { return *this; }
 void Socket::close() {}
 IoStatus Socket::read_available(std::string*) { return IoStatus::kError; }
 bool Socket::send_all(std::string_view, int) { return false; }
+bool Socket::send_plain(std::string_view, int) { return false; }
 
 Listener::~Listener() = default;
 Listener::Listener(Listener&&) noexcept {}

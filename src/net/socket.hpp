@@ -17,10 +17,22 @@
 #include <string>
 #include <string_view>
 
+namespace fpmix::fault {
+class NetChaos;
+}  // namespace fpmix::fault
+
 namespace fpmix::net {
 
 /// True when this platform has the socket layer (POSIX).
 bool supported();
+
+/// Installs (or clears, with nullptr) a process-wide transport chaos
+/// source: every Socket::send_all consults it and may reset the
+/// connection, stall, or hold/duplicate/reorder whole frames. The chaos
+/// test harness only; production never installs one. The pointer must
+/// outlive its installation. Not thread-safe against concurrent senders --
+/// install before the fleet traffic starts, clear after it drains.
+void set_socket_chaos(const fault::NetChaos* chaos);
 
 /// A "host:port" network address.
 struct Endpoint {
@@ -63,10 +75,21 @@ class Socket {
   /// Writes the whole buffer, polling for writability through partial
   /// writes. `timeout_ms` bounds each stall (-1 = wait indefinitely).
   /// False on error or timeout -- the connection should be dropped.
+  /// When a chaos source is installed (set_socket_chaos) the call may
+  /// instead reset the connection, stall, or hold the frame to flush
+  /// before/after the next send on this socket.
   bool send_all(std::string_view data, int timeout_ms = -1);
 
  private:
+  bool send_plain(std::string_view data, int timeout_ms);
+
   int fd_ = -1;
+  // Chaos state: per-connection id + op counter feeding NetChaos::for_op,
+  // and at most one held frame awaiting its flush slot.
+  std::uint64_t chaos_id_ = 0;
+  std::uint64_t chaos_op_ = 0;
+  std::string held_;
+  bool held_after_next_ = false;  // true: reorder (flush after next frame)
 };
 
 /// Non-blocking listening socket. Port 0 binds a kernel-assigned port,

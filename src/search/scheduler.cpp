@@ -26,6 +26,13 @@ std::uint64_t now_ms() {
           .count());
 }
 
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 void sleep_ms(int ms) {
 #if FPMIX_NET_POSIX
   ::poll(nullptr, 0, ms);
@@ -59,14 +66,7 @@ bool Scheduler::try_connect(Shard* s) {
   if (client == nullptr) {
     log::warnf("scheduler: endpoint %s unavailable: %s",
                s->m.address.c_str(), error.c_str());
-    if (++s->consecutive_failures >= opts_.max_endpoint_failures) {
-      s->lost = true;
-      s->m.lost = true;
-      log::warnf("scheduler: endpoint %s lost after %u failures",
-                 s->m.address.c_str(), s->consecutive_failures);
-    } else {
-      s->retry_at_ms = now_ms() + s->backoff.next_ms();
-    }
+    note_failure(s);
     return false;
   }
   if (!opts_.verifier_fp.empty() &&
@@ -109,6 +109,7 @@ bool Scheduler::try_connect(Shard* s) {
   s->consecutive_failures = 0;
   s->backoff.reset();
   s->m.workers = client->workers();
+  s->m.journal_records = client->shard_records();
   s->client = std::move(client);
   return true;
 }
@@ -136,13 +137,13 @@ bool Scheduler::any_live() const {
   return false;
 }
 
-void Scheduler::shard_down(Shard* s) {
-  ++s->m.disconnects;
-  if (s->client != nullptr && !s->client->last_error().empty()) {
-    log::warnf("scheduler: endpoint %s dropped: %s", s->m.address.c_str(),
-               s->client->last_error().c_str());
-  }
-  s->client.reset();
+void Scheduler::note_failure(Shard* s) {
+  // The closed->open transition of the per-endpoint circuit breaker: the
+  // first failure of a streak opens it (dispatch stops, the jittered
+  // backoff times the open interval, reconnect_due's probe is the
+  // half-open test). Later failures of the same streak re-open it without
+  // counting a new trip.
+  if (s->consecutive_failures == 0) ++s->m.breaker_trips;
   if (++s->consecutive_failures >= opts_.max_endpoint_failures) {
     s->lost = true;
     s->m.lost = true;
@@ -151,6 +152,19 @@ void Scheduler::shard_down(Shard* s) {
   } else {
     s->retry_at_ms = now_ms() + s->backoff.next_ms();
   }
+}
+
+void Scheduler::shard_down(Shard* s) {
+  ++s->m.disconnects;
+  if (s->client != nullptr && !s->client->last_error().empty()) {
+    log::warnf("scheduler: endpoint %s dropped: %s", s->m.address.c_str(),
+               s->client->last_error().c_str());
+  }
+  s->client.reset();
+  s->pending_pings.clear();
+  s->unanswered = 0;
+  s->last_ping_ms = 0;
+  note_failure(s);
 }
 
 void Scheduler::reconnect_due() {
@@ -183,17 +197,21 @@ std::vector<runner::TrialOutcome> Scheduler::run_batch(
   struct JobState {
     bool done = false;
     bool in_flight = false;
-    std::uint32_t deaths = 0;  // endpoints that died holding this trial
+    std::uint32_t deaths = 0;   // endpoints that died holding this trial
+    std::uint64_t lease = 0;    // ticket of the current (only) live dispatch
   };
   std::vector<JobState> state(jobs.size());
   std::size_t remaining = jobs.size();
 
   // Reroutes or quarantines a downed shard's in-flight trials, then runs
-  // the endpoint failure accounting.
+  // the endpoint failure accounting. Voids every lease the shard held: a
+  // result arriving later for one of these tickets is late, and is
+  // discarded, never double-voted.
   const auto fail_shard = [&](Shard* s) {
     for (const auto& [ticket, i] : s->inflight) {
       if (state[i].done) continue;
       state[i].in_flight = false;
+      state[i].lease = 0;
       if (++state[i].deaths >= opts_.max_trial_crashes) {
         runner::TrialOutcome& o = outcomes[i];
         o.result.passed = false;
@@ -214,8 +232,46 @@ std::vector<runner::TrialOutcome> Scheduler::run_batch(
     shard_down(s);
   };
 
+  // Heartbeat pass: ping every live shard whose period elapsed. A shard
+  // with the previous ping still unanswered when the next comes due has
+  // missed a beat; missing missed_beat_limit in a row is death -- slow is
+  // tolerated (RTT just grows), silent is not.
+  const auto heartbeat = [&]() {
+    if (opts_.heartbeat_ms == 0) return;
+    const std::uint64_t now = now_ms();
+    for (Shard& s : shards_) {
+      if (s.client == nullptr) continue;
+      if (s.last_ping_ms != 0 && now - s.last_ping_ms < opts_.heartbeat_ms) {
+        continue;
+      }
+      if (s.last_ping_ms != 0 && !s.pending_pings.empty()) {
+        ++s.unanswered;
+        ++s.m.missed_beats;
+        if (s.unanswered >= opts_.missed_beat_limit) {
+          log::warnf("scheduler: endpoint %s missed %u heartbeats; "
+                     "declaring dead (%zu leases expire)",
+                     s.m.address.c_str(), s.unanswered, s.inflight.size());
+          s.m.lease_expiries += s.inflight.size();
+          fail_shard(&s);
+          continue;
+        }
+      }
+      net::PingMsg ping;
+      ping.nonce = s.next_nonce++;
+      ping.t_send_ns = now_ns();
+      if (!s.client->ping(ping)) {
+        fail_shard(&s);
+        continue;
+      }
+      s.pending_pings.emplace(ping.nonce, ping.t_send_ns);
+      s.last_ping_ms = now;
+      ++s.m.pings;
+    }
+  };
+
   while (remaining > 0) {
     reconnect_due();
+    heartbeat();
     if (!any_live()) {
       // Anything still waiting on a backoff timer? Sleep toward the
       // earliest redial; otherwise the fleet is gone for good.
@@ -258,32 +314,61 @@ std::vector<runner::TrialOutcome> Scheduler::run_batch(
       }
       s->inflight.emplace(m.ticket, i);
       state[i].in_flight = true;
+      state[i].lease = m.ticket;
+      if (state[i].deaths > 0) ++s->m.redispatched;
     }
 
 #if FPMIX_NET_POSIX
     // ---- Wait for traffic (bounded, to keep redial timers honest). ----
+    // Every live shard is in the set, idle ones included: pongs (and the
+    // errors of a dying session) must be seen even between dispatches.
     std::vector<pollfd> fds;
+    int poll_ms = 200;
+    if (opts_.heartbeat_ms > 0 &&
+        opts_.heartbeat_ms < static_cast<std::uint64_t>(poll_ms)) {
+      poll_ms = static_cast<int>(opts_.heartbeat_ms);
+    }
     for (Shard& s : shards_) {
-      if (s.client != nullptr && !s.inflight.empty()) {
+      if (s.client != nullptr) {
         fds.push_back(pollfd{s.client->fd(), POLLIN, 0});
       }
     }
     if (!fds.empty()) {
-      ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 200);
+      ::poll(fds.data(), static_cast<nfds_t>(fds.size()), poll_ms);
     }
 #endif
 
     // ---- Drain results from every live shard. ----
     for (Shard& s : shards_) {
-      if (s.client == nullptr || s.inflight.empty()) continue;
+      if (s.client == nullptr) continue;
       std::vector<net::ResultMsg> results;
       const bool ok = s.client->drain(&results);
+      // Match pongs to outstanding pings. A pong answers its nonce and
+      // every earlier one (the link is FIFO), so one echo clears a whole
+      // stall's backlog.
+      for (const net::PongMsg& pong : s.client->take_pongs()) {
+        auto pit = s.pending_pings.find(pong.nonce);
+        if (pit == s.pending_pings.end()) continue;
+        s.rtt_us.push_back((now_ns() - pit->second) / 1000);
+        s.pending_pings.erase(s.pending_pings.begin(), std::next(pit));
+        s.unanswered = 0;
+        ++s.m.pongs;
+      }
       bool damaged = false;
       for (net::ResultMsg& r : results) {
         auto it = s.inflight.find(r.ticket);
-        if (it == s.inflight.end()) continue;  // stale (already rerouted)
+        if (it == s.inflight.end()) {
+          // A ticket this shard no longer holds: a duplicated frame, or a
+          // verdict that outlived its lease. Never double-voted.
+          ++s.m.late_results;
+          continue;
+        }
         const std::size_t i = it->second;
         s.inflight.erase(it);
+        if (state[i].done || state[i].lease != r.ticket) {
+          ++s.m.late_results;
+          continue;
+        }
         runner::WireResult w;
         verify::EvalResult er;
         if (!runner::decode_result(r.wire_result, &w) ||
@@ -324,23 +409,53 @@ void Scheduler::broadcast_insert(const std::string& key, bool passed,
   m.failure = failure;
   for (Shard& s : shards_) {
     if (s.client == nullptr) continue;
-    if (!s.client->insert(m)) {
-      ++s.m.disconnects;
-      s.client.reset();
-      if (++s.consecutive_failures >= opts_.max_endpoint_failures) {
-        s.lost = true;
-        s.m.lost = true;
-      } else {
-        s.retry_at_ms = now_ms() + s.backoff.next_ms();
-      }
-    }
+    if (!s.client->insert(m)) shard_down(&s);
   }
+}
+
+void Scheduler::stream_journal(const std::string& line) {
+  net::JournalAppendMsg m;
+  m.line = line;
+  for (Shard& s : shards_) {
+    if (s.client == nullptr) continue;
+    if (!s.client->journal_append(m)) shard_down(&s);
+  }
+}
+
+std::size_t Scheduler::fetch_fleet_journal(std::vector<std::string>* lines) {
+  std::size_t served = 0;
+  for (Shard& s : shards_) {
+    if (s.client == nullptr) continue;
+    std::vector<std::string> got;
+    std::string error;
+    if (!s.client->fetch_journal(&got, /*timeout_ms=*/30000, &error)) {
+      log::warnf("scheduler: journal fetch from %s failed: %s",
+                 s.m.address.c_str(), error.c_str());
+      shard_down(&s);
+      continue;
+    }
+    ++served;
+    for (std::string& l : got) lines->push_back(std::move(l));
+  }
+  return served;
 }
 
 std::vector<EndpointMetrics> Scheduler::endpoint_metrics() const {
   std::vector<EndpointMetrics> out;
   out.reserve(shards_.size());
-  for (const Shard& s : shards_) out.push_back(s.m);
+  for (const Shard& s : shards_) {
+    EndpointMetrics m = s.m;
+    if (!s.rtt_us.empty()) {
+      std::vector<std::uint64_t> rtt = s.rtt_us;
+      std::sort(rtt.begin(), rtt.end());
+      m.rtt_p50_us = rtt[rtt.size() / 2];
+      m.rtt_p95_us = rtt[(rtt.size() * 95) / 100 >= rtt.size()
+                             ? rtt.size() - 1
+                             : (rtt.size() * 95) / 100];
+      m.rtt_max_us = rtt.back();
+    }
+    out.push_back(std::move(m));
+  }
   return out;
 }
 

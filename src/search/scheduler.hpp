@@ -51,6 +51,14 @@ struct SchedulerOptions {
   /// immediately (semantic mismatch never heals by reconnecting).
   std::string verifier_fp;
   BackoffPolicy reconnect_backoff;
+  /// Heartbeat period in milliseconds; 0 disables. While a batch runs the
+  /// scheduler pings every live shard this often and tracks round-trip
+  /// times, so a stalled endpoint is distinguished from a merely slow one.
+  std::uint64_t heartbeat_ms = 0;
+  /// Consecutive heartbeats an endpoint may leave unanswered before it is
+  /// declared dead: its session closes, its trial leases expire, and its
+  /// in-flight trials re-dispatch to surviving shards.
+  std::uint32_t missed_beat_limit = 3;
 };
 
 class Scheduler {
@@ -81,6 +89,17 @@ class Scheduler {
                         std::uint8_t failure_class,
                         const std::string& failure);
 
+  /// Replicates one CRC-sealed journal line to every live shard, as the
+  /// local journal commits it. Advisory: a send failure downs that shard
+  /// (the line survives on the others and in the local file).
+  void stream_journal(const std::string& line);
+
+  /// Fetches every live endpoint's retained journal shard and appends all
+  /// lines (unreconciled; duplicates across endpoints expected) to *lines.
+  /// Returns the number of shards that answered. Call before dispatching
+  /// any trials -- the fetch is synchronous per session.
+  std::size_t fetch_fleet_journal(std::vector<std::string>* lines);
+
   std::vector<EndpointMetrics> endpoint_metrics() const;
 
  private:
@@ -94,10 +113,22 @@ class Scheduler {
     bool ever_connected = false;
     EndpointMetrics m;
     std::map<std::uint64_t, std::size_t> inflight;  // ticket -> job index
+    // Heartbeat state: pings outstanding (nonce -> local send time, ns),
+    // the beats the current silence has lasted, and the RTT sample log.
+    std::map<std::uint64_t, std::uint64_t> pending_pings;
+    std::uint64_t next_nonce = 1;
+    std::uint64_t last_ping_ms = 0;
+    std::uint32_t unanswered = 0;
+    std::vector<std::uint64_t> rtt_us;
   };
 
   bool try_connect(Shard* s);
   void shard_down(Shard* s);
+  /// Endpoint-failure accounting shared by every failure path: counts a
+  /// circuit-breaker trip on the closed->open transition, arms the jittered
+  /// backoff (the breaker's open interval; reconnect_due half-opens it with
+  /// a probe), and marks the shard lost past the failure budget.
+  void note_failure(Shard* s);
   void reconnect_due();
   Shard* least_loaded();
 

@@ -1,7 +1,9 @@
 #include "search/search.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <deque>
+#include <fstream>
 #include <memory>
 
 #include "net/socket.hpp"
@@ -157,10 +159,14 @@ class Searcher {
 
   SearchResult run() {
     resolve_engine();
+    compute_fingerprint();
+    // The scheduler comes up before the journal so --adopt can rebuild the
+    // local file from the fleet's replicated shards before replay.
+    setup_remote();
+    adopt_fleet_journal();
     setup_journal();
     profile_original();
     setup_builder();
-    setup_remote();
     setup_pool();
     seed_queue();
 
@@ -295,6 +301,11 @@ class Searcher {
         metrics_.endpoint_failovers += em.failovers;
         metrics_.endpoint_reconnects += em.reconnects;
         metrics_.endpoint_disconnects += em.disconnects;
+        metrics_.missed_beats += em.missed_beats;
+        metrics_.lease_expiries += em.lease_expiries;
+        metrics_.late_results += em.late_results;
+        metrics_.redispatched += em.redispatched;
+        metrics_.breaker_trips += em.breaker_trips;
         if (em.lost) ++metrics_.endpoints_lost;
         if (em.jit_downgraded) ++metrics_.jit_downgraded;
       }
@@ -454,7 +465,7 @@ class Searcher {
     }
   }
 
-  void setup_journal() {
+  void compute_fingerprint() {
     std::string fault_tag = options_.fault_injector != nullptr
                                 ? options_.fault_injector->fingerprint_tag()
                                 : "";
@@ -472,8 +483,122 @@ class Searcher {
     search_fp_ = search_fingerprint(verifier_.fingerprint(),
                                     options_.max_instructions_per_run,
                                     options_.deadline_ms, fault_tag);
+  }
+
+  /// Replicates one freshly committed sealed journal line to the fleet.
+  void stream_line(const std::string& line) {
+    if (sched_ != nullptr && !line.empty()) sched_->stream_journal(line);
+  }
+
+  /// Scheduler failover (--adopt): rebuild the local journal from the
+  /// fleet's replicated shards before the ordinary resume replay runs.
+  /// Reconciliation rules: only lines whose seal verifies participate (a
+  /// torn replica tail or damaged local line is healed by any intact
+  /// copy); lines are keyed by their sealed sequence number, first valid
+  /// copy wins; the union must begin with this search's meta record. The
+  /// reconciled file then replays through the normal path, and appending
+  /// continues at max(seq)+1 with no new meta -- so a resumed search's
+  /// journal is byte-identical to an undisturbed run's.
+  void adopt_fleet_journal() {
+    if (!options_.adopt_fleet) return;
+    if (options_.journal_path.empty()) {
+      log::warnf("search: --adopt requested without a journal; ignored");
+      return;
+    }
+    std::vector<std::string> fleet_lines;
+    std::size_t served = 0;
+    if (sched_ != nullptr) served = sched_->fetch_fleet_journal(&fleet_lines);
+    if (served == 0) {
+      log::warnf("search: adopt: no fleet shard answered; resuming from "
+                 "the local journal alone");
+    }
+    std::map<std::uint64_t, std::string> by_seq;
+    const auto take = [&](const std::string& line) {
+      if (check_seal(line) != SealCheck::kOk) return;
+      JsonRecord rec;
+      if (!parse_flat_json(line, &rec)) return;
+      const auto seq_it = rec.find("seq");
+      std::uint64_t seq = 0;
+      if (seq_it == rec.end() || !parse_u64(seq_it->second, &seq)) return;
+      by_seq.emplace(seq, line);
+    };
+    for (const std::string& l : fleet_lines) take(l);
+    // Local lines participate too, but only the *last* section recorded
+    // under this search fingerprint: every journal session restarts
+    // sequence numbering at its meta record, so mixing sections would
+    // collide seqs.
+    std::vector<std::string> local_section;
+    bool fp_matches = false;
+    for (const std::string& line :
+         Journal::read_lines(options_.journal_path)) {
+      JsonRecord rec;
+      if (!parse_flat_json(line, &rec)) continue;
+      const auto type = rec.find("type");
+      if (type != rec.end() && type->second == "meta") {
+        const auto fp = rec.find("search_fp");
+        fp_matches = fp != rec.end() && fp->second == search_fp_;
+        local_section.clear();
+        if (fp_matches) local_section.push_back(line);
+        continue;
+      }
+      if (fp_matches) local_section.push_back(line);
+    }
+    for (const std::string& l : local_section) take(l);
+    if (by_seq.empty()) return;  // nothing anywhere: a fresh search
+    {
+      // The replay classifies trials as foreign until it sees this
+      // search's meta record, so the reconciled history must lead with it.
+      JsonRecord rec;
+      const bool ok = parse_flat_json(by_seq.begin()->second, &rec);
+      const auto type = rec.find("type");
+      const auto fp = rec.find("search_fp");
+      if (!ok || by_seq.begin()->first != 1 || type == rec.end() ||
+          type->second != "meta" || fp == rec.end() ||
+          fp->second != search_fp_) {
+        log::warnf("search: adopt: reconciled history does not begin with "
+                   "this search's meta record; starting fresh");
+        return;
+      }
+    }
+    // Atomic rewrite (tmp + rename): a crash mid-adopt leaves either the
+    // old journal or the fully reconciled one, never a hybrid.
+    const std::string tmp = options_.journal_path + ".adopt.tmp";
+    {
+      std::ofstream f(tmp, std::ios::trunc | std::ios::binary);
+      if (!f) {
+        log::warnf("search: adopt: cannot write %s; resuming from the "
+                   "local journal alone", tmp.c_str());
+        return;
+      }
+      for (const auto& [seq, line] : by_seq) f << line << '\n';
+      f.flush();
+      if (!f) {
+        log::warnf("search: adopt: short write to %s; resuming from the "
+                   "local journal alone", tmp.c_str());
+        std::remove(tmp.c_str());
+        return;
+      }
+    }
+    if (std::rename(tmp.c_str(), options_.journal_path.c_str()) != 0) {
+      log::warnf("search: adopt: cannot replace %s; resuming from the "
+                 "local journal alone", options_.journal_path.c_str());
+      std::remove(tmp.c_str());
+      return;
+    }
+    adopted_ = true;
+    adopted_next_seq_ = by_seq.rbegin()->first + 1;
+    metrics_.adopted_records = by_seq.size();
+    log::infof("search: adopted %zu journal record(s) from %zu fleet "
+               "shard(s)", by_seq.size(), served);
+    // Heal the fleet in return: stream the reconciled union back so every
+    // shard converges to it (sequence-deduplicated server-side, so
+    // restreaming what a shard already holds is a no-op).
+    for (const auto& [seq, line] : by_seq) stream_line(line);
+  }
+
+  void setup_journal() {
     if (options_.journal_path.empty()) return;
-    if (options_.resume) {
+    if (options_.resume || adopted_) {
       JournalReplayStats stats;
       const std::size_t n =
           load_journal(options_.journal_path, search_fp_, &cache_, &stats);
@@ -492,7 +617,14 @@ class Searcher {
     // When trials run in crash-prone sandboxed workers, every committed
     // record must survive a driver loss too: fsync each sealed line.
     journal_.set_fsync(options_.journal_fsync || options_.isolate_trials);
-    journal_.append_sealed(encode_meta_line(search_fp_));
+    if (adopted_) {
+      // The adopted history already leads with this search's meta record;
+      // appending another would restart sequence numbering and break the
+      // byte-identity of failover resumes. Continue the adopted stream.
+      journal_.set_next_seq(adopted_next_seq_);
+    } else {
+      stream_line(journal_.append_sealed(encode_meta_line(search_fp_)));
+    }
   }
 
   void setup_builder() {
@@ -551,6 +683,9 @@ class Searcher {
     sopts.max_endpoint_failures = options_.max_endpoint_failures;
     sopts.max_trial_crashes = options_.max_trial_crashes;
     sopts.verifier_fp = verifier_.fingerprint();
+    sopts.heartbeat_ms = options_.heartbeat_ms;
+    sopts.reconnect_backoff.cap_ms =
+        std::max<std::uint64_t>(1, options_.reconnect_max_ms);
     auto sched = std::make_unique<Scheduler>(sopts);
     if (sched->connect() == 0) {
       log::warnf("search: no runner endpoint reachable; running locally");
@@ -865,8 +1000,11 @@ class Searcher {
                         times ? t->patch_saved_ns + t->predecode_saved_ns : 0,
                         times && t->image_hits > 0};
       if (journal_.is_open()) {
-        journal_.append_sealed(
-            encode_trial_line(t->key, name, candidates, entry));
+        // Commit locally, then replicate the exact sealed bytes to every
+        // live shard: any N-1 subset of the fleet can reconstruct the
+        // journal a dead scheduler leaves behind (--adopt).
+        stream_line(journal_.append_sealed(
+            encode_trial_line(t->key, name, candidates, entry)));
       }
       cache_.insert(t->key, std::move(entry));
     }
@@ -1061,6 +1199,10 @@ class Searcher {
   TrialCache cache_;
   Journal journal_;
   std::string search_fp_;
+  /// --adopt state: the local journal was rebuilt from the fleet's shards;
+  /// sealed appends continue the adopted sequence stream (no new meta).
+  bool adopted_ = false;
+  std::uint64_t adopted_next_seq_ = 1;
   /// Host-resolved execution engine (see resolve_engine()).
   vm::Engine engine_ = vm::Engine::kMicroOp;
   SearchMetrics metrics_;

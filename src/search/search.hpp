@@ -153,6 +153,21 @@ struct SearchOptions {
   std::uint64_t hello_timeout_ms = 60000;
   /// Consecutive failures before an endpoint is abandoned for the run.
   std::uint32_t max_endpoint_failures = 3;
+  /// Heartbeat period: the scheduler pings every live endpoint this often
+  /// and tracks RTT; an endpoint missing 3 consecutive beats is declared
+  /// dead (its leases expire and its trials re-dispatch). 0 disables
+  /// heartbeats (liveness then rests on send failures alone).
+  std::uint64_t heartbeat_ms = 1000;
+  /// Reconnect backoff cap, in milliseconds (the jittered exponential
+  /// circuit breaker's longest open interval before a half-open probe).
+  std::uint64_t reconnect_max_ms = 200;
+  /// Adopt a running search from the fleet: before replaying the local
+  /// journal, fetch every endpoint's replicated journal shard, reconcile
+  /// the union by sequence number + CRC, and rewrite journal_path with it.
+  /// A fresh scheduler started with this flag resumes a SIGKILLed
+  /// predecessor's search byte-identically. Requires journal_path and
+  /// endpoints.
+  bool adopt_fleet = false;
   /// Record per-trial timing fields (eval_ns, saved_ns, cache flags) in
   /// the journal. Off, they are zeroed so two runs of the same search --
   /// local or distributed, any fleet shape -- produce byte-identical
@@ -192,6 +207,20 @@ struct EndpointMetrics {
   /// The endpoint could not run the requested jit engine and evaluated on
   /// the micro-op engine instead (results identical; timing differs).
   bool jit_downgraded = false;
+
+  // ---- Failover / liveness (heartbeat-enabled runs) -----------------------
+  std::size_t pings = 0;          // heartbeat probes sent
+  std::size_t pongs = 0;          // echoes received
+  std::size_t missed_beats = 0;   // a beat came due with the last unanswered
+  std::size_t lease_expiries = 0; // in-flight leases voided by liveness death
+  std::size_t late_results = 0;   // results discarded (expired/stale lease)
+  std::size_t redispatched = 0;   // dispatches of a trial some shard died on
+  std::size_t breaker_trips = 0;  // circuit breaker closed->open transitions
+  std::uint64_t rtt_p50_us = 0;   // heartbeat round-trip percentiles
+  std::uint64_t rtt_p95_us = 0;
+  std::uint64_t rtt_max_us = 0;
+  /// Journal records this endpoint already retained at handshake time.
+  std::uint64_t journal_records = 0;
 };
 
 /// Per-worker-slot supervision census (isolate mode): one seat in the pool,
@@ -306,6 +335,16 @@ struct SearchMetrics {
   /// Endpoints were configured but none was usable at startup; the whole
   /// search ran locally.
   bool remote_degraded = false;
+  /// Heartbeat/failover totals across the fleet (per-endpoint detail in
+  /// endpoints_used).
+  std::size_t missed_beats = 0;
+  std::size_t lease_expiries = 0;
+  std::size_t late_results = 0;
+  std::size_t redispatched = 0;
+  std::size_t breaker_trips = 0;
+  /// Journal records reconciled from the fleet on --adopt failover (0 on
+  /// ordinary runs).
+  std::size_t adopted_records = 0;
   /// One entry per configured endpoint (distributed mode only).
   std::vector<EndpointMetrics> endpoints_used;
 };

@@ -83,6 +83,34 @@ std::string Injector::fingerprint_tag() const {
   return hex_digest(h);
 }
 
+NetFault NetChaos::for_op(std::uint64_t conn_id,
+                          std::uint64_t op_index) const {
+  std::uint64_t h = fnv1a64("net-chaos", seed_);
+  h = fnv1a64_mix(h, conn_id);
+  h = fnv1a64_mix(h, op_index);
+  SplitMix64 rng(h);
+  const double v = unit_draw(&rng);
+  double edge = rates_.reset;
+  NetFault kind = NetFault::kNone;
+  if (v < edge) {
+    kind = NetFault::kConnReset;
+  } else if (v < (edge += rates_.stall)) {
+    kind = NetFault::kStall;
+  } else if (v < (edge += rates_.delay)) {
+    kind = NetFault::kDelayFrame;
+  } else if (v < (edge += rates_.dup)) {
+    kind = NetFault::kDupFrame;
+  } else if (v < (edge += rates_.reorder)) {
+    kind = NetFault::kReorderFrames;
+  }
+  // A held first frame (the hello) would never flush; see the header.
+  if (op_index == 0 && (kind == NetFault::kDelayFrame ||
+                        kind == NetFault::kReorderFrames)) {
+    kind = NetFault::kNone;
+  }
+  return kind;
+}
+
 bool sabotage_journal(const std::string& path, JournalFault kind,
                       std::uint64_t seed) {
   std::vector<std::string> lines = Journal::read_lines(path);

@@ -121,6 +121,63 @@ class Injector {
   Rates rates_;
 };
 
+// ---- Network chaos ---------------------------------------------------------
+
+/// Transport-level fault kinds, injected at the net::Socket send path (the
+/// frame boundary: every send_all call carries exactly one protocol frame).
+/// All of them are *detected* failures by construction -- a reset kills the
+/// session, a duplicated frame is a stale ticket, a reordered frame is an
+/// out-of-order (but individually CRC-intact) message -- so a chaos campaign
+/// can prove the fleet heals around them without ever producing a wrong
+/// verdict.
+enum class NetFault : std::uint8_t {
+  kNone = 0,
+  kConnReset,      // close the socket mid-stream: peer sees EOF/reset
+  kStall,          // sleep before sending: a stalled link / partition window
+  kDelayFrame,     // hold this frame; it flushes before the next send
+  kDupFrame,       // send this frame twice: duplicate delivery
+  kReorderFrames,  // hold this frame; it flushes *after* the next send
+};
+
+/// Deterministic, seeded source of transport faults. Like Injector, every
+/// decision is a pure function -- here of (campaign seed, connection id,
+/// per-connection op index) -- so a campaign replays identically for a given
+/// connection history. Install process-wide with net::set_socket_chaos; the
+/// runner daemons are forked before installation and stay chaos-free, so
+/// faults land exactly on the scheduler's half of every session.
+class NetChaos {
+ public:
+  /// Independent probability of each fault kind per send op (mutually
+  /// exclusive, first match on a single draw).
+  struct Rates {
+    double reset = 0.0;
+    double stall = 0.0;
+    double delay = 0.0;
+    double dup = 0.0;
+    double reorder = 0.0;
+    /// Sleep applied by kStall, in milliseconds.
+    std::uint64_t stall_ms = 20;
+  };
+
+  NetChaos(std::uint64_t seed, const Rates& rates)
+      : seed_(seed), rates_(rates) {}
+
+  /// The fault to apply to send op `op_index` of connection `conn_id`.
+  /// Hold kinds (delay/reorder) are suppressed on a connection's first op:
+  /// a held hello frame would never flush (nothing follows it until the
+  /// handshake completes), turning a chaos draw into a silent hang instead
+  /// of a detectable fault.
+  NetFault for_op(std::uint64_t conn_id, std::uint64_t op_index) const;
+
+  std::uint64_t stall_ms() const { return rates_.stall_ms; }
+  std::uint64_t seed() const { return seed_; }
+  const Rates& rates() const { return rates_; }
+
+ private:
+  std::uint64_t seed_;
+  Rates rates_;
+};
+
 /// Journal sabotage kinds (applied to a file between runs).
 enum class JournalFault : std::uint8_t {
   kTruncateTail,     // cut the final line mid-write (crash signature)

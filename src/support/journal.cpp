@@ -230,11 +230,13 @@ void Journal::close() {
   path_.clear();
 }
 
-void Journal::append_sealed(const std::string& json_object) {
+std::string Journal::append_sealed(const std::string& json_object) {
   // Sequence assignment and the write happen under one lock, so concurrent
   // sealed appends can neither interleave bytes nor reuse a sequence number.
   const std::lock_guard<std::mutex> lock(mutex_);
-  append_locked(seal_record(json_object, next_seq_++));
+  std::string line = seal_record(json_object, next_seq_++);
+  append_locked(line);
+  return line;
 }
 
 void Journal::append(const std::string& json_object) {

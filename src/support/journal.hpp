@@ -79,8 +79,11 @@ class Journal {
 
   /// Appends `json_object` sealed with the next sequence number and its
   /// CRC32 (see seal_record). Sequence numbers restart at 1 per journal
-  /// session unless set_next_seq was called after a replay.
-  void append_sealed(const std::string& json_object);
+  /// session unless set_next_seq was called after a replay. Returns the
+  /// sealed line exactly as written (no trailing newline) so callers can
+  /// replicate the committed record elsewhere -- the distributed scheduler
+  /// streams it to every live endpoint.
+  std::string append_sealed(const std::string& json_object);
 
   /// When on, every append is followed by fsync(2), so a sealed record
   /// survives power loss, not just process death (fflush alone only moves

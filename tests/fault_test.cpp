@@ -192,6 +192,58 @@ TEST(Injector, ZeroRatesNeverFault) {
 }
 
 // ---------------------------------------------------------------------------
+// Network chaos: transport faults as a pure function of
+// (seed, connection, op index).
+
+TEST(NetChaos, PureFunctionOfSeedConnectionAndOp) {
+  fault::NetChaos::Rates rates;
+  rates.reset = 0.05;
+  rates.stall = 0.1;
+  rates.delay = 0.1;
+  rates.dup = 0.1;
+  rates.reorder = 0.1;
+  const fault::NetChaos a(0xC4A05, rates);
+  const fault::NetChaos b(0xC4A05, rates);
+  const fault::NetChaos other(0xC4A06, rates);
+
+  std::size_t faults = 0;
+  std::size_t diverged = 0;
+  for (std::uint64_t conn = 0; conn < 8; ++conn) {
+    for (std::uint64_t op = 0; op < 200; ++op) {
+      const fault::NetFault fa = a.for_op(conn, op);
+      // The same (seed, conn, op) triple always draws the same fault: a
+      // chaos campaign replays identically for a given connection history.
+      EXPECT_EQ(fa, b.for_op(conn, op));
+      if (fa != fault::NetFault::kNone) ++faults;
+      if (fa != other.for_op(conn, op)) ++diverged;
+    }
+  }
+  EXPECT_GT(faults, 0u);    // the rates actually fire
+  EXPECT_GT(diverged, 0u);  // and a different seed draws differently
+}
+
+TEST(NetChaos, HoldKindsSuppressedOnAConnectionsFirstOp) {
+  // A held hello frame would never flush (nothing follows it until the
+  // handshake completes), so op 0 must never draw delay or reorder.
+  fault::NetChaos::Rates rates;
+  rates.delay = 0.5;
+  rates.reorder = 0.5;
+  const fault::NetChaos chaos(0xF00D, rates);
+  for (std::uint64_t conn = 0; conn < 500; ++conn) {
+    const fault::NetFault f = chaos.for_op(conn, 0);
+    EXPECT_NE(f, fault::NetFault::kDelayFrame) << conn;
+    EXPECT_NE(f, fault::NetFault::kReorderFrames) << conn;
+  }
+}
+
+TEST(NetChaos, ZeroRatesNeverFault) {
+  const fault::NetChaos quiet(99, {});
+  for (std::uint64_t op = 0; op < 300; ++op) {
+    EXPECT_EQ(quiet.for_op(7, op), fault::NetFault::kNone);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Journal sabotage.
 
 std::string sabotage_fixture(const char* name, std::size_t records) {

@@ -1,7 +1,7 @@
 // The distributed search service: session protocol, sockets, the runner
 // daemon, the network scheduler, and the search running across a fleet.
 //
-// Five layers:
+// Six layers:
 //  1. protocol -- every message round-trips as a pure function, the frame
 //     buffer reassembles byte-dribbled streams, and corruption is a sticky
 //     *detected* session error, never a wrong payload;
@@ -16,7 +16,12 @@
 //     an endpoint death mid-search;
 //  5. the acceptance soak -- seeded hard-fault campaigns driven through a
 //     two-endpoint fleet, each asserted byte-identical to the local
-//     isolated oracle under the same campaign.
+//     isolated oracle under the same campaign;
+//  6. failover -- replicated journal shards survive session death and
+//     reject torn lines, heartbeats measure RTT and expire leases,
+//     duplicate results are discarded never double-voted, and a scheduler
+//     SIGKILLed mid-search is adopted (--adopt) byte-identically under
+//     clean, endpoint-death, and seeded network-chaos campaigns.
 //
 // The soak's campaign count scales via FPMIX_SOAK_CAMPAIGNS (CI sets 200).
 #include <gtest/gtest.h>
@@ -28,6 +33,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "config/textio.hpp"
@@ -44,6 +50,7 @@
 #include "search/scheduler.hpp"
 #include "search/search.hpp"
 #include "support/fault.hpp"
+#include "support/journal.hpp"
 #include "verify/evaluate.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -225,6 +232,66 @@ TEST(NetProtocol, SingleByteCorruptionIsStickyAndNeverResyncs) {
   fb.append(good);
   EXPECT_EQ(fb.next(&payload), runner::FrameStatus::kCorrupt);
   EXPECT_TRUE(fb.corrupt());
+}
+
+TEST(NetProtocol, JournalStreamingMessagesRoundTrip) {
+  // HelloAck carries the endpoint's retained-shard size, so an adopting
+  // scheduler knows before fetching whether the fleet holds any history.
+  net::HelloAckMsg ack;
+  ack.ok = 1;
+  ack.verifier_fp = "relerr:1e-12:9";
+  ack.workers = 2;
+  ack.shard_records = 12345;
+  net::HelloAckMsg ack_back;
+  ASSERT_TRUE(net::decode_hello_ack(net::encode_hello_ack(ack), &ack_back));
+  EXPECT_EQ(ack_back.shard_records, 12345u);
+
+  // JournalAppend ships the sealed line byte-exactly: the seal (seq + CRC)
+  // is the integrity check on the far side, so nothing may reformat it.
+  net::JournalAppendMsg app;
+  app.line = seal_record("{\"type\":\"trial\",\"key\":\"abc\"}", 7);
+  net::JournalAppendMsg app_back;
+  ASSERT_TRUE(
+      net::decode_journal_append(net::encode_journal_append(app), &app_back));
+  EXPECT_EQ(app_back.line, app.line);
+  EXPECT_EQ(check_seal(app_back.line), SealCheck::kOk);
+
+  EXPECT_TRUE(net::decode_journal_fetch(net::encode_journal_fetch()));
+
+  net::JournalTailMsg tail;
+  tail.total = 3;
+  tail.done = 1;
+  tail.lines = {seal_record("{\"a\":1}", 1), seal_record("{\"b\":2}", 2)};
+  net::JournalTailMsg tail_back;
+  ASSERT_TRUE(
+      net::decode_journal_tail(net::encode_journal_tail(tail), &tail_back));
+  EXPECT_EQ(tail_back.total, 3u);
+  EXPECT_EQ(tail_back.done, 1);
+  ASSERT_EQ(tail_back.lines.size(), 2u);
+  EXPECT_EQ(tail_back.lines[0], tail.lines[0]);
+  EXPECT_EQ(tail_back.lines[1], tail.lines[1]);
+
+  net::PingMsg ping;
+  ping.nonce = 42;
+  ping.t_send_ns = 998877665544332211ull;
+  net::PingMsg ping_back;
+  ASSERT_TRUE(net::decode_ping(net::encode_ping(ping), &ping_back));
+  EXPECT_EQ(ping_back.nonce, 42u);
+  EXPECT_EQ(ping_back.t_send_ns, ping.t_send_ns);
+
+  net::PongMsg pong;
+  pong.nonce = 42;
+  pong.t_send_ns = ping.t_send_ns;
+  net::PongMsg pong_back;
+  ASSERT_TRUE(net::decode_pong(net::encode_pong(pong), &pong_back));
+  EXPECT_EQ(pong_back.nonce, 42u);
+  EXPECT_EQ(pong_back.t_send_ns, pong.t_send_ns);
+
+  // Cross-type decodes fail: a ping never decodes as a pong or an append.
+  EXPECT_FALSE(net::decode_pong(net::encode_ping(ping), &pong_back));
+  EXPECT_FALSE(
+      net::decode_journal_append(net::encode_ping(ping), &app_back));
+  EXPECT_FALSE(net::decode_journal_fetch(net::encode_ping(ping)));
 }
 
 // ---------------------------------------------------------------------------
@@ -422,7 +489,9 @@ struct ServerProc {
   ~ServerProc() { stop(); }
 };
 
-ServerProc spawn_server(int workers, std::uint64_t exit_after = 0) {
+ServerProc spawn_server(int workers, std::uint64_t exit_after = 0,
+                        std::size_t max_sessions = 0,
+                        std::uint64_t idle_timeout_ms = 0) {
   net::Listener listener;
   std::string error;
   if (!listener.listen_on("127.0.0.1", 0, &error)) {
@@ -436,6 +505,8 @@ ServerProc spawn_server(int workers, std::uint64_t exit_after = 0) {
     net::ServerOptions sopts;
     sopts.workers = workers;
     sopts.exit_after_results = exit_after;
+    if (max_sessions > 0) sopts.max_sessions = max_sessions;
+    if (idle_timeout_ms > 0) sopts.idle_timeout_ms = idle_timeout_ms;
     net::RunnerServer server(std::move(listener), serve_factory, sopts);
     server.serve(nullptr);
     std::_Exit(0);
@@ -483,6 +554,102 @@ TEST(DistributedClient, ServerRejectsUnknownWorkloadAndBadVersion) {
   ASSERT_NE(client, nullptr) << error;
   EXPECT_EQ(client->workers(), 1u);
   EXPECT_EQ(client->verifier_fp(), w.verifier->fingerprint());
+}
+
+TEST(DistributedClient, JournalShardSurvivesSessionDeathAndRejectsTornLines) {
+  SKIP_WITHOUT_NET();
+  ServerProc sp = spawn_server(1);
+  ASSERT_GT(sp.pid, 0);
+
+  net::HelloMsg h = make_hello();
+  h.search_fp = "fp:shard-retention";
+  std::string error;
+  auto c1 = net::EndpointClient::connect(sp.ep, h, 2000, 60000, &error);
+  ASSERT_NE(c1, nullptr) << error;
+  EXPECT_EQ(c1->shard_records(), 0u);
+
+  const std::string meta = seal_record(
+      "{\"type\":\"meta\",\"version\":2,\"search_fp\":\"fp:shard-retention\"}",
+      1);
+  const std::string t1 = seal_record("{\"type\":\"trial\",\"key\":\"a\"}", 2);
+  const std::string t2 = seal_record("{\"type\":\"trial\",\"key\":\"b\"}", 3);
+  // A torn line -- the tail a dying scheduler half-wrote: one flipped byte
+  // breaks the CRC, and the shard must reject it rather than retain damage.
+  std::string torn = seal_record("{\"type\":\"trial\",\"key\":\"torn\"}", 4);
+  torn[torn.find("torn")] ^= 0x01;
+  ASSERT_EQ(check_seal(torn), SealCheck::kCorrupt);
+
+  ASSERT_TRUE(c1->journal_append({meta}));
+  ASSERT_TRUE(c1->journal_append({t1}));
+  ASSERT_TRUE(c1->journal_append({torn}));
+  ASSERT_TRUE(c1->journal_append({t2}));
+  // A duplicate sequence number (a re-streamed record after a failover
+  // heals the fleet) is idempotent: the first retained copy wins.
+  ASSERT_TRUE(c1->journal_append(
+      {seal_record("{\"type\":\"trial\",\"key\":\"dup\"}", 2)}));
+
+  std::vector<std::string> lines;
+  ASSERT_TRUE(c1->fetch_journal(&lines, 10000, &error)) << error;
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], meta);
+  EXPECT_EQ(lines[1], t1);
+  EXPECT_EQ(lines[2], t2);
+
+  // Kill the session outright; the shard outlives it, and a fresh session
+  // announcing the same search sees the retained history in its ack.
+  c1.reset();
+  auto c2 = net::EndpointClient::connect(sp.ep, h, 2000, 60000, &error);
+  ASSERT_NE(c2, nullptr) << error;
+  EXPECT_EQ(c2->shard_records(), 3u);
+  lines.clear();
+  ASSERT_TRUE(c2->fetch_journal(&lines, 10000, &error)) << error;
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], meta);
+  EXPECT_EQ(lines[2], t2);
+
+  // A different search fingerprint gets its own (empty) shard.
+  net::HelloMsg other = make_hello();
+  other.search_fp = "fp:someone-else";
+  auto c3 = net::EndpointClient::connect(sp.ep, other, 2000, 60000, &error);
+  ASSERT_NE(c3, nullptr) << error;
+  EXPECT_EQ(c3->shard_records(), 0u);
+}
+
+TEST(DistributedClient, SessionCapRejectsAndIdleReapingKeepsTheShard) {
+  SKIP_WITHOUT_NET();
+  // One-session daemon that reaps anything idle for 200ms.
+  ServerProc sp = spawn_server(1, /*exit_after=*/0, /*max_sessions=*/1,
+                               /*idle_timeout_ms=*/200);
+  ASSERT_GT(sp.pid, 0);
+
+  net::HelloMsg h = make_hello();
+  h.search_fp = "fp:reap-test";
+  std::string error;
+  auto c1 = net::EndpointClient::connect(sp.ep, h, 2000, 60000, &error);
+  ASSERT_NE(c1, nullptr) << error;
+  ASSERT_TRUE(c1->journal_append({seal_record(
+      "{\"type\":\"meta\",\"version\":2,\"search_fp\":\"fp:reap-test\"}",
+      1)}));
+
+  // The cap: a second concurrent session is rejected outright.
+  EXPECT_EQ(net::EndpointClient::connect(sp.ep, h, 2000, 5000, &error),
+            nullptr);
+  EXPECT_NE(error.find("session limit"), std::string::npos) << error;
+
+  // Idle reaping: after 200ms of silence the daemon drops the session --
+  // but the retained journal shard survives it, so the slot it frees can
+  // serve a successor that still sees the full history.
+  std::vector<net::ResultMsg> results;
+  bool dropped = false;
+  for (int i = 0; i < 2000 && !dropped; ++i) {
+    dropped = !c1->drain(&results);
+    ::poll(nullptr, 0, 5);
+  }
+  EXPECT_TRUE(dropped);
+  c1.reset();
+  auto c2 = net::EndpointClient::connect(sp.ep, h, 2000, 60000, &error);
+  ASSERT_NE(c2, nullptr) << error;
+  EXPECT_EQ(c2->shard_records(), 1u);
 }
 
 // ---------------------------------------------------------------------------
@@ -633,6 +800,118 @@ TEST(DistributedScheduler, EndpointDeathFailsOverToSurvivingShard) {
   EXPECT_GE(em[0].disconnects, 1u);  // the dying endpoint dropped
   EXPECT_GE(em[0].failovers, 1u);    // and its in-flight work was rerouted
   EXPECT_EQ(em[0].trials + em[1].trials, jobs.size());
+}
+
+TEST(DistributedScheduler, HeartbeatMeasuresRttOnALiveEndpoint) {
+  SKIP_WITHOUT_NET();
+  ServerProc sp = spawn_server(2);
+  ASSERT_GT(sp.pid, 0);
+  NetWorkload w = make_workload();
+
+  search::SchedulerOptions so;
+  so.endpoints = {sp.ep};
+  so.hello = make_hello();
+  so.verifier_fp = w.verifier->fingerprint();
+  so.heartbeat_ms = 1;  // ping on every dispatch loop
+  search::Scheduler sched(so);
+  ASSERT_EQ(sched.connect(), 1u);
+
+  config::PrecisionConfig all_double;
+  std::vector<runner::TrialJob> jobs;
+  for (int i = 0; i < 6; ++i) {
+    jobs.push_back(runner::TrialJob{"hb-" + std::to_string(i), &all_double});
+  }
+  const std::vector<runner::TrialOutcome> outs = sched.run_batch(jobs);
+  ASSERT_EQ(outs.size(), jobs.size());
+  for (const runner::TrialOutcome& o : outs) {
+    EXPECT_TRUE(o.served);
+    EXPECT_FALSE(o.quarantined);
+  }
+
+  // A healthy endpoint answers its pings: no missed beats, no lease
+  // expiries, and the RTT percentiles are ordered samples, not garbage.
+  const std::vector<search::EndpointMetrics> em = sched.endpoint_metrics();
+  ASSERT_EQ(em.size(), 1u);
+  EXPECT_GE(em[0].pings, 1u);
+  EXPECT_GE(em[0].pongs, 1u);
+  EXPECT_EQ(em[0].lease_expiries, 0u);
+  EXPECT_FALSE(em[0].lost);
+  EXPECT_LE(em[0].rtt_p50_us, em[0].rtt_p95_us);
+  EXPECT_LE(em[0].rtt_p95_us, em[0].rtt_max_us);
+  EXPECT_GT(em[0].rtt_max_us, 0u);
+}
+
+TEST(DistributedScheduler, DuplicateResultIsDiscardedNeverDoubleVoted) {
+  if (!net::supported()) GTEST_SKIP() << "no sockets on this platform";
+  // A hand-rolled endpoint that answers one trial with the same verdict
+  // TWICE in a single write: the second copy's ticket no longer holds a
+  // lease, so the scheduler must discard it (counted as a late result),
+  // never hand the batch two outcomes.
+  net::Listener listener;
+  std::string error;
+  ASSERT_TRUE(listener.listen_on("127.0.0.1", 0, &error)) << error;
+  net::Endpoint ep;
+  ep.port = listener.port();
+
+  NetWorkload w = make_workload();
+  const std::string fp = w.verifier->fingerprint();
+  std::thread server([&listener, fp]() {
+    net::Socket s;
+    for (int i = 0; i < 2000 && !s.valid(); ++i) {
+      s = listener.accept_connection();
+      if (!s.valid()) ::poll(nullptr, 0, 2);
+    }
+    if (!s.valid()) return;
+    net::FrameBuffer fb;
+    std::string payload = read_one_frame(&s, &fb);  // the hello
+    net::HelloAckMsg ack;
+    ack.ok = 1;
+    ack.workers = 1;
+    ack.verifier_fp = fp;
+    s.send_all(runner::encode_frame(net::encode_hello_ack(ack)), 1000);
+    payload = read_one_frame(&s, &fb);  // the trial
+    net::TrialMsg t;
+    if (!net::decode_trial(payload, &t)) return;
+    runner::WireResult wr;
+    wr.passed = true;
+    net::ResultMsg r;
+    r.ticket = t.ticket;
+    r.wire_result = runner::encode_result(wr);
+    const std::string frame =
+        runner::encode_frame(net::encode_result_msg(r));
+    s.send_all(frame + frame, 1000);  // the verdict, delivered twice
+    // Linger until the scheduler hangs up so the close is not a death.
+    std::string sink;
+    for (int i = 0; i < 2000; ++i) {
+      if (s.read_available(&sink) != net::IoStatus::kWouldBlock) break;
+      ::poll(nullptr, 0, 2);
+    }
+  });
+
+  {
+    search::SchedulerOptions so;
+    so.endpoints = {ep};
+    so.hello = make_hello();
+    so.verifier_fp = fp;
+    search::Scheduler sched(so);
+    ASSERT_EQ(sched.connect(), 1u);
+
+    config::PrecisionConfig all_double;
+    std::vector<runner::TrialJob> jobs;
+    jobs.push_back(runner::TrialJob{"dup-result", &all_double});
+    const std::vector<runner::TrialOutcome> outs = sched.run_batch(jobs);
+    ASSERT_EQ(outs.size(), 1u);
+    EXPECT_TRUE(outs[0].served);
+    EXPECT_TRUE(outs[0].result.passed);
+    EXPECT_FALSE(outs[0].quarantined);
+
+    const std::vector<search::EndpointMetrics> em =
+        sched.endpoint_metrics();
+    ASSERT_EQ(em.size(), 1u);
+    EXPECT_EQ(em[0].trials, 1u);        // voted exactly once
+    EXPECT_EQ(em[0].late_results, 1u);  // the duplicate, discarded
+  }
+  server.join();
 }
 
 // ---------------------------------------------------------------------------
@@ -863,6 +1142,215 @@ TEST(DistributedSoak, FaultedFleetConvergesByteIdenticallyToIsolatedOracle) {
     total_faults += ores.metrics.worker_crashes + ores.metrics.protocol_errors;
   }
   EXPECT_GT(total_faults, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler failover: a dead scheduler's history lives in the fleet's
+// replicated shards, and a fresh --adopt scheduler must resume from them
+// byte-identically -- clean, under endpoint death, and under seeded
+// network chaos.
+
+/// Reference journal bytes + final config text from an undisturbed local
+/// run of the shared workload (4 lanes, matching the 2 x 2-worker fleet).
+struct Oracle {
+  std::string journal;
+  std::string config;
+};
+
+Oracle local_oracle(const std::string& tag) {
+  const std::string path = temp_journal("net_oracle_" + tag + ".jsonl");
+  search::SearchOptions local;
+  local.num_threads = 4;
+  local.journal_timings = false;
+  local.journal_path = path;
+  NetWorkload w = make_workload();
+  const search::SearchResult res =
+      search::run_search(w.image, &w.index, *w.verifier, local);
+  Oracle o;
+  o.journal = read_file(path);
+  o.config = config::to_text(w.index, res.final_config);
+  EXPECT_FALSE(o.journal.empty());
+  return o;
+}
+
+/// Forks a child process running a fleet search -- the scheduler host the
+/// failover tests kill. The child inherits any installed socket chaos.
+pid_t spawn_fleet_search(const std::vector<std::string>& eps,
+                         const std::string& journal_path) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    search::SearchOptions fleet;
+    fleet.endpoints = eps;
+    fleet.remote_bench = "iso";
+    fleet.journal_timings = false;
+    fleet.journal_path = journal_path;
+    fleet.max_endpoint_failures = 32;
+    fleet.heartbeat_ms = 20;
+    NetWorkload w = make_workload();
+    search::run_search(w.image, &w.index, *w.verifier, fleet);
+    std::_Exit(0);
+  }
+  return pid;
+}
+
+/// SIGKILLs `pid` once its journal shows progress (or reaps it if the
+/// search won the race and finished -- both outcomes must converge).
+void kill_after_progress(pid_t pid, const std::string& journal_path,
+                         std::size_t min_lines) {
+  for (int i = 0; i < 5000; ++i) {
+    int status = 0;
+    if (::waitpid(pid, &status, WNOHANG) == pid) return;
+    const std::string bytes = read_file(journal_path);
+    if (static_cast<std::size_t>(
+            std::count(bytes.begin(), bytes.end(), '\n')) >= min_lines) {
+      break;
+    }
+    ::poll(nullptr, 0, 2);
+  }
+  ::kill(pid, SIGKILL);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+}
+
+search::SearchResult adopt_run(const std::vector<std::string>& eps,
+                               const std::string& journal_path,
+                               NetWorkload* w) {
+  search::SearchOptions opts;
+  opts.endpoints = eps;
+  opts.remote_bench = "iso";
+  opts.journal_timings = false;
+  opts.journal_path = journal_path;
+  opts.adopt_fleet = true;
+  opts.max_endpoint_failures = 32;
+  opts.heartbeat_ms = 20;
+  return search::run_search(w->image, &w->index, *w->verifier, opts);
+}
+
+TEST(DistributedFailover, AdoptRebuildsLocalJournalFromFleetShards) {
+  SKIP_WITHOUT_NET();
+  ServerProc s1 = spawn_server(2);
+  ServerProc s2 = spawn_server(2);
+  ASSERT_GT(s1.pid, 0);
+  ASSERT_GT(s2.pid, 0);
+  const Oracle oracle = local_oracle("adopt_clean");
+
+  // A fleet search completes, streaming every journal record to both
+  // daemons as it commits locally.
+  const std::string fleet_j = temp_journal("net_adopt_fleet.jsonl");
+  {
+    search::SearchOptions fleet;
+    fleet.endpoints = {s1.ep.str(), s2.ep.str()};
+    fleet.remote_bench = "iso";
+    fleet.journal_timings = false;
+    fleet.journal_path = fleet_j;
+    NetWorkload w = make_workload();
+    const search::SearchResult res =
+        search::run_search(w.image, &w.index, *w.verifier, fleet);
+    EXPECT_FALSE(res.metrics.remote_degraded);
+    EXPECT_EQ(read_file(fleet_j), oracle.journal);
+  }
+
+  // The scheduler host "dies": its local journal is gone. A fresh --adopt
+  // scheduler with an empty journal path rebuilds the full history from
+  // the fleet and resumes with every verdict already cached.
+  std::remove(fleet_j.c_str());
+  const std::string adopt_j = temp_journal("net_adopt_rebuilt.jsonl");
+  NetWorkload w = make_workload();
+  const search::SearchResult res =
+      adopt_run({s1.ep.str(), s2.ep.str()}, adopt_j, &w);
+  EXPECT_GT(res.metrics.adopted_records, 0u);
+  EXPECT_EQ(res.metrics.trials_live, 0u);  // nothing re-evaluated
+  EXPECT_EQ(read_file(adopt_j), oracle.journal);
+  EXPECT_EQ(config::to_text(w.index, res.final_config), oracle.config);
+}
+
+TEST(DistributedFailover, SchedulerKilledMidSearchAdoptsByteIdentically) {
+  SKIP_WITHOUT_NET();
+  const Oracle oracle = local_oracle("adopt_kill");
+  for (int dying = 0; dying < 2; ++dying) {
+    SCOPED_TRACE(dying ? "endpoint-death" : "clean");
+    // In the endpoint-death case one daemon dies after two results, so the
+    // killed scheduler ALSO rode a failover before its own death.
+    ServerProc s1 = dying ? spawn_server(2, /*exit_after=*/2)
+                          : spawn_server(2);
+    ServerProc s2 = spawn_server(2);
+    ASSERT_GT(s1.pid, 0);
+    ASSERT_GT(s2.pid, 0);
+    const std::vector<std::string> eps = {s1.ep.str(), s2.ep.str()};
+
+    const std::string child_j =
+        temp_journal("net_kill_child_" + std::to_string(dying) + ".jsonl");
+    const pid_t pid = spawn_fleet_search(eps, child_j);
+    ASSERT_GT(pid, 0);
+    kill_after_progress(pid, child_j, /*min_lines=*/3);
+
+    // A fresh scheduler on a fresh journal path: only the fleet-held
+    // shards can supply the dead scheduler's history.
+    const std::string adopt_j =
+        temp_journal("net_kill_adopt_" + std::to_string(dying) + ".jsonl");
+    NetWorkload w = make_workload();
+    const search::SearchResult res = adopt_run(eps, adopt_j, &w);
+    EXPECT_EQ(read_file(adopt_j), oracle.journal);
+    EXPECT_EQ(config::to_text(w.index, res.final_config), oracle.config);
+  }
+}
+
+TEST(DistributedChaos, SeededChaosCampaignsConvergeAndAdoptByteIdentically) {
+  SKIP_WITHOUT_NET();
+  const Oracle oracle = local_oracle("chaos");
+  fault::NetChaos::Rates rates;
+  rates.reset = 0.01;
+  rates.stall = 0.03;
+  rates.stall_ms = 5;
+  rates.delay = 0.04;
+  rates.dup = 0.04;
+  rates.reorder = 0.02;
+
+  // Even campaigns: an undisturbed in-process scheduler rides out the
+  // chaos. Odd campaigns: the scheduler is killed mid-search and a fresh
+  // one adopts -- still under the same chaos. Every campaign must land the
+  // oracle's exact journal bytes and final configuration.
+  const std::size_t campaigns = std::max<std::size_t>(2, soak_campaigns() / 5);
+  for (std::size_t c = 0; c < campaigns; ++c) {
+    SCOPED_TRACE("campaign " + std::to_string(c));
+    // Daemons fork before chaos installs, so faults land exactly on the
+    // scheduler's half of every session.
+    ServerProc s1 = spawn_server(2);
+    ServerProc s2 = spawn_server(2);
+    ASSERT_GT(s1.pid, 0);
+    ASSERT_GT(s2.pid, 0);
+    const std::vector<std::string> eps = {s1.ep.str(), s2.ep.str()};
+    const fault::NetChaos chaos(0xC4A05EED + c, rates);
+    net::set_socket_chaos(&chaos);
+
+    const std::string cj =
+        temp_journal("net_chaos_" + std::to_string(c) + ".jsonl");
+    NetWorkload w = make_workload();
+    if (c % 2 == 0) {
+      search::SearchOptions fleet;
+      fleet.endpoints = eps;
+      fleet.remote_bench = "iso";
+      fleet.journal_timings = false;
+      fleet.journal_path = cj;
+      fleet.max_endpoint_failures = 32;
+      fleet.heartbeat_ms = 20;
+      const search::SearchResult res =
+          search::run_search(w.image, &w.index, *w.verifier, fleet);
+      net::set_socket_chaos(nullptr);
+      EXPECT_EQ(read_file(cj), oracle.journal);
+      EXPECT_EQ(config::to_text(w.index, res.final_config), oracle.config);
+    } else {
+      const pid_t pid = spawn_fleet_search(eps, cj);
+      ASSERT_GT(pid, 0);
+      kill_after_progress(pid, cj, /*min_lines=*/3);
+      const std::string adopt_j =
+          temp_journal("net_chaos_adopt_" + std::to_string(c) + ".jsonl");
+      const search::SearchResult res = adopt_run(eps, adopt_j, &w);
+      net::set_socket_chaos(nullptr);
+      EXPECT_EQ(read_file(adopt_j), oracle.journal);
+      EXPECT_EQ(config::to_text(w.index, res.final_config), oracle.config);
+    }
+  }
 }
 
 #endif  // POSIX fork

@@ -12,6 +12,7 @@
 //                    [--journal-deterministic] [--serve PORT]
 //                    [--engine switch|microop|jit] [--adopt]
 //                    [--heartbeat-ms N] [--reconnect-max-ms N]
+//                    [--gossip-ms N]
 //
 // --deadline-ms bounds each trial's wall-clock time (a spinning patched
 // binary is classified "timeout" instead of hanging the search);
@@ -53,7 +54,12 @@
 // reconnect backoff (default 200). --adopt makes a fresh scheduler fetch
 // the fleet-held journal, reconcile it into the local --journal file, and
 // resume the interrupted search byte-identically -- the failover path
-// after a scheduler host dies.
+// after a scheduler host dies. --gossip-ms (default 1000, 0 disables)
+// sets the anti-entropy period: the scheduler exchanges journal-shard
+// digests with every live endpoint that often and re-streams whatever a
+// digest shows missing, so a restarted daemon (see runner_serve
+// --state-dir) converges back to a full replica without waiting for the
+// next adoption.
 //
 // --engine picks the VM engine trials run on: "switch" (reference
 // interpreter), "microop" (predecoded micro-op interpreter, the default)
@@ -179,6 +185,11 @@ bool write_metrics_json(const std::string& path,
   uint("breaker_trips", m.breaker_trips);
   j += strformat("  \"adopted_records\": %llu,\n",
                  static_cast<unsigned long long>(m.adopted_records));
+  uint("gossip_rounds", m.gossip_rounds);
+  uint("records_repaired", m.records_repaired);
+  uint("shards_reloaded", m.shards_reloaded);
+  uint("disk_faults", m.disk_faults);
+  uint("state_degraded", m.state_degraded);
   j += "  \"endpoints\": [";
   for (std::size_t i = 0; i < m.endpoints_used.size(); ++i) {
     const search::EndpointMetrics& e = m.endpoints_used[i];
@@ -193,7 +204,9 @@ bool write_metrics_json(const std::string& path,
         "\"late_results\": %zu, \"redispatched\": %zu, "
         "\"breaker_trips\": %zu, \"rtt_p50_us\": %llu, "
         "\"rtt_p95_us\": %llu, \"rtt_max_us\": %llu, "
-        "\"journal_records\": %llu}",
+        "\"journal_records\": %llu, \"gossip_rounds\": %zu, "
+        "\"records_repaired\": %zu, \"shards_reloaded\": %llu, "
+        "\"disk_faults\": %llu, \"state_degraded\": %s}",
         i == 0 ? "" : ", ", esc.c_str(), e.workers, e.trials, e.cache_hits,
         e.failovers, e.reconnects, e.disconnects,
         1e-9 * static_cast<double>(e.busy_ns), e.lost ? "true" : "false",
@@ -202,7 +215,11 @@ bool write_metrics_json(const std::string& path,
         e.breaker_trips, static_cast<unsigned long long>(e.rtt_p50_us),
         static_cast<unsigned long long>(e.rtt_p95_us),
         static_cast<unsigned long long>(e.rtt_max_us),
-        static_cast<unsigned long long>(e.journal_records));
+        static_cast<unsigned long long>(e.journal_records),
+        e.gossip_rounds, e.records_repaired,
+        static_cast<unsigned long long>(e.shards_reloaded),
+        static_cast<unsigned long long>(e.disk_faults),
+        e.state_degraded ? "true" : "false");
   }
   j += "],\n";
   j += "  \"workers\": [";
@@ -384,6 +401,14 @@ int main(int argc, char** argv) {
           opts.reconnect_max_ms == 0 || opts.reconnect_max_ms > 60000) {
         std::fprintf(stderr, "bad --reconnect-max-ms value '%s' "
                              "(1..60000)\n", argv[i]);
+        return 2;
+      }
+    }
+    else if (arg == "--gossip-ms" && i + 1 < argc) {
+      if (!parse_u64(argv[++i], &opts.gossip_ms) ||
+          opts.gossip_ms > 60000) {
+        std::fprintf(stderr, "bad --gossip-ms value '%s' (0 disables, "
+                             "max 60000)\n", argv[i]);
         return 2;
       }
     }
@@ -588,12 +613,21 @@ int main(int argc, char** argv) {
                   m.missed_beats, m.lease_expiries, m.late_results,
                   m.redispatched, m.breaker_trips);
     }
+    if (m.gossip_rounds + m.records_repaired + m.shards_reloaded +
+            m.disk_faults + m.state_degraded > 0) {
+      std::printf("durability: %zu gossip round(s), %zu record(s) "
+                  "repaired, %zu shard(s) reloaded, %zu disk fault(s), "
+                  "%zu endpoint(s) degraded to in-memory state\n",
+                  m.gossip_rounds, m.records_repaired, m.shards_reloaded,
+                  m.disk_faults, m.state_degraded);
+    }
     for (const search::EndpointMetrics& em : m.endpoints_used) {
       std::printf("  endpoint %s: %u worker(s), %zu trial(s), %zu cache "
-                  "hit(s), %zu failover(s), %.2fs busy%s\n",
+                  "hit(s), %zu failover(s), %.2fs busy%s%s\n",
                   em.address.c_str(), em.workers, em.trials, em.cache_hits,
                   em.failovers, 1e-9 * static_cast<double>(em.busy_ns),
-                  em.lost ? " (lost)" : "");
+                  em.lost ? " (lost)" : "",
+                  em.state_degraded ? " (state degraded)" : "");
       if (em.pings > 0) {
         std::printf("    heartbeat: %zu ping(s) / %zu pong(s), rtt p50 "
                     "%llu us, p95 %llu us, max %llu us\n",
@@ -601,6 +635,10 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(em.rtt_p50_us),
                     static_cast<unsigned long long>(em.rtt_p95_us),
                     static_cast<unsigned long long>(em.rtt_max_us));
+      }
+      if (em.gossip_rounds > 0) {
+        std::printf("    gossip: %zu round(s), %zu record(s) re-streamed\n",
+                    em.gossip_rounds, em.records_repaired);
       }
     }
     if (m.remote_degraded) {

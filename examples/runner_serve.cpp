@@ -11,12 +11,25 @@
 // Usage:  runner_serve [--host H] [--port N] [--port-file FILE]
 //                      [--workers N] [--exit-after N] [--quiet]
 //                      [--max-sessions N] [--idle-timeout-ms N]
+//                      [--state-dir DIR] [--state-fsync]
+//                      [--disk-fault-seed N] [--disk-fault-rate P]
+//                      [--disk-unreadable-rate P]
 //
 // --port 0 (the default) binds a kernel-assigned port; --port-file writes
 // the bound "host:port" to FILE so scripts and CI can discover it without
 // racing. --exit-after N stops the daemon after N trial results -- the
 // chaos hook the endpoint-death tests and CI smoke use to simulate a
 // runner dying mid-search.
+//
+// --state-dir DIR persists every retained journal shard and verdict cache
+// under DIR as CRC-sealed JSONL and reloads them at startup, so a daemon
+// that is SIGKILLed and restarted on the same directory resumes with its
+// replicas intact (--state-fsync makes each append power-loss durable). An
+// unusable directory degrades the daemon to the pre-v4 in-memory behaviour
+// with a one-time warning; it never refuses to serve. --disk-fault-* turn
+// on the seeded deterministic disk-fault campaign (short writes, torn
+// records, fsync failures, ENOSPC, unreadable files on reload) for
+// durability testing.
 //
 // Each session's scheduler streams its CRC-sealed journal records here;
 // the daemon retains a per-search replicated shard that outlives the
@@ -32,6 +45,7 @@
 #include <atomic>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -41,6 +55,7 @@
 #include "net/server.hpp"
 #include "net/socket.hpp"
 #include "program/program.hpp"
+#include "support/fault.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
 
@@ -79,6 +94,15 @@ std::unique_ptr<net::ServedWorkload> build_workload(const std::string& bench,
   return out;
 }
 
+/// Parses a probability in [0, 1]. Strict: the whole string must consume.
+bool parse_prob(const char* s, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || v < 0.0 || v > 1.0) return false;
+  *out = v;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -87,6 +111,10 @@ int main(int argc, char** argv) {
   std::string port_file;
   net::ServerOptions sopts;
   bool quiet = false;
+  bool have_disk_seed = false;
+  std::uint64_t disk_seed = 0;
+  double disk_fault_rate = 0.02;
+  double disk_unreadable_rate = 0.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quiet") quiet = true;
@@ -128,6 +156,31 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
+    else if (arg == "--state-dir" && i + 1 < argc) {
+      sopts.state_dir = argv[++i];
+    }
+    else if (arg == "--state-fsync") sopts.state_fsync = true;
+    else if (arg == "--disk-fault-seed" && i + 1 < argc) {
+      if (!parse_u64(argv[++i], &disk_seed)) {
+        std::fprintf(stderr, "bad --disk-fault-seed value '%s'\n", argv[i]);
+        return 2;
+      }
+      have_disk_seed = true;
+    }
+    else if (arg == "--disk-fault-rate" && i + 1 < argc) {
+      if (!parse_prob(argv[++i], &disk_fault_rate)) {
+        std::fprintf(stderr, "bad --disk-fault-rate value '%s' (0..1)\n",
+                     argv[i]);
+        return 2;
+      }
+    }
+    else if (arg == "--disk-unreadable-rate" && i + 1 < argc) {
+      if (!parse_prob(argv[++i], &disk_unreadable_rate)) {
+        std::fprintf(stderr, "bad --disk-unreadable-rate value '%s' "
+                             "(0..1)\n", argv[i]);
+        return 2;
+      }
+    }
     else {
       std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
       return 2;
@@ -136,6 +189,26 @@ int main(int argc, char** argv) {
   if (!quiet) {
     sopts.verbose = true;
     log::set_level(log::Level::kInfo);
+  }
+  // The disk-fault campaign: write-path faults (short write, torn record,
+  // fsync failure) at the shared rate, plus optionally unreadable files at
+  // reload. ENOSPC/degradation is exercised with an unwritable --state-dir
+  // rather than a rate -- it is a terminal state, not a recoverable fault.
+  std::unique_ptr<fault::DiskChaos> disk_chaos;
+  if (have_disk_seed) {
+    if (sopts.state_dir.empty()) {
+      std::fprintf(stderr,
+                   "--disk-fault-seed needs --state-dir (disk faults are "
+                   "injected into the shard store)\n");
+      return 2;
+    }
+    fault::DiskChaos::Rates rates;
+    rates.short_write = disk_fault_rate;
+    rates.torn_record = disk_fault_rate;
+    rates.fsync_fail = disk_fault_rate;
+    rates.unreadable = disk_unreadable_rate;
+    disk_chaos = std::make_unique<fault::DiskChaos>(disk_seed, rates);
+    sopts.disk_chaos = disk_chaos.get();
   }
 
   if (!net::supported()) {
@@ -182,10 +255,18 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(st.protocol_errors),
               static_cast<unsigned long long>(st.backends));
   std::printf("runner_serve: journal -- %llu append(s) (%llu rejected), "
-              "%llu fetch(es), %llu ping(s)\n",
+              "%llu fetch(es), %llu digest(s), %llu ping(s)\n",
               static_cast<unsigned long long>(st.journal_appends),
               static_cast<unsigned long long>(st.journal_rejected),
               static_cast<unsigned long long>(st.journal_fetches),
+              static_cast<unsigned long long>(st.digests),
               static_cast<unsigned long long>(st.pings));
+  std::printf("runner_serve: state -- %llu shard(s) reloaded (%llu "
+              "record(s), %llu discarded), %llu disk fault(s)%s\n",
+              static_cast<unsigned long long>(st.shards_reloaded),
+              static_cast<unsigned long long>(st.records_reloaded),
+              static_cast<unsigned long long>(st.records_discarded),
+              static_cast<unsigned long long>(st.disk_faults),
+              st.state_degraded != 0 ? ", DEGRADED to in-memory" : "");
   return 0;
 }

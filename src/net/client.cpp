@@ -89,6 +89,9 @@ std::unique_ptr<EndpointClient> EndpointClient::connect(
       c->engine_ = ack.engine;
       c->verifier_fp_ = ack.verifier_fp;
       c->shard_records_ = ack.shard_records;
+      c->state_degraded_ = ack.state_degraded != 0;
+      c->shards_reloaded_ = ack.shards_reloaded;
+      c->disk_faults_ = ack.disk_faults;
       return c;
     }
     if (st == FrameStatus::kCorrupt) {
@@ -165,6 +168,17 @@ bool EndpointClient::ping(const PingMsg& m) {
   return true;
 }
 
+bool EndpointClient::request_digest() {
+  if (dead_) return false;
+  if (!sock_.send_all(runner::encode_frame(encode_shard_digest()),
+                      /*timeout_ms=*/10000)) {
+    last_error_ = "shard digest send failed";
+    close();
+    return false;
+  }
+  return true;
+}
+
 bool EndpointClient::fetch_journal(std::vector<std::string>* lines,
                                    int timeout_ms, std::string* error) {
 #if !FPMIX_NET_POSIX
@@ -195,12 +209,19 @@ bool EndpointClient::fetch_journal(std::vector<std::string>* lines,
       JournalTailMsg tail;
       if (peek_msg_type(payload) != kMsgJournalTail ||
           !decode_journal_tail(payload, &tail)) {
-        // Pongs from an in-flight heartbeat may interleave with the tail
-        // stream; anything else mid-fetch is a protocol violation.
+        // Pongs from an in-flight heartbeat (or a digest ack from a gossip
+        // round) may interleave with the tail stream; anything else
+        // mid-fetch is a protocol violation.
         PongMsg pong;
         if (peek_msg_type(payload) == kMsgPong &&
             decode_pong(payload, &pong)) {
           pongs_.push_back(pong);
+          continue;
+        }
+        ShardDigestMsg digest;
+        if (peek_msg_type(payload) == kMsgShardDigestAck &&
+            decode_shard_digest_ack(payload, &digest)) {
+          digests_.push_back(digest);
           continue;
         }
         last_error_ = "unexpected frame during journal fetch";
@@ -278,6 +299,16 @@ bool EndpointClient::drain(std::vector<ResultMsg>* out) {
         break;
       }
       pongs_.push_back(m);
+      continue;
+    }
+    if (type == kMsgShardDigestAck) {
+      ShardDigestMsg m;
+      if (!decode_shard_digest_ack(payload, &m)) {
+        last_error_ = "malformed shard-digest ack";
+        session_over = true;
+        break;
+      }
+      digests_.push_back(m);
       continue;
     }
     if (type == kMsgError) {

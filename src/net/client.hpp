@@ -50,6 +50,10 @@ class EndpointClient {
   /// Sends a heartbeat probe; the pong comes back through drain().
   bool ping(const PingMsg& m);
 
+  /// Requests a shard digest (anti-entropy gossip); the ack comes back
+  /// through drain() and take_digests().
+  bool request_digest();
+
   /// Synchronously fetches the endpoint's retained journal shard for this
   /// session's search fingerprint (scheduler failover). Appends the lines
   /// in sequence order to *lines. False (with *error) on timeout or
@@ -72,6 +76,13 @@ class EndpointClient {
     return out;
   }
 
+  /// Shard digests collected by drain() since the last call.
+  std::vector<ShardDigestMsg> take_digests() {
+    std::vector<ShardDigestMsg> out;
+    out.swap(digests_);
+    return out;
+  }
+
   bool alive() const { return !dead_; }
   int fd() const { return sock_.fd(); }
   const Endpoint& endpoint() const { return ep_; }
@@ -86,6 +97,13 @@ class EndpointClient {
   /// Journal records the endpoint already retained for this search
   /// fingerprint at handshake time (v3 HelloAck) -- fleet journal coverage.
   std::uint64_t shard_records() const { return shard_records_; }
+  /// Endpoint durability health at handshake time (v4 HelloAck): true when
+  /// its shard store degraded to in-memory operation.
+  bool state_degraded() const { return state_degraded_; }
+  /// State files the endpoint restored at its last startup (v4 HelloAck).
+  std::uint64_t shards_reloaded() const { return shards_reloaded_; }
+  /// Storage failures (injected or real) the endpoint has absorbed.
+  std::uint64_t disk_faults() const { return disk_faults_; }
   /// Most recent session error text (handshake rejection, transport
   /// damage), for diagnostics.
   const std::string& last_error() const { return last_error_; }
@@ -105,9 +123,13 @@ class EndpointClient {
   std::uint32_t workers_ = 0;
   std::uint8_t engine_ = 0;
   std::uint64_t shard_records_ = 0;
+  bool state_degraded_ = false;
+  std::uint64_t shards_reloaded_ = 0;
+  std::uint64_t disk_faults_ = 0;
   std::string verifier_fp_;
   std::string last_error_;
   std::vector<PongMsg> pongs_;
+  std::vector<ShardDigestMsg> digests_;
   bool dead_ = false;
 };
 

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "support/journal.hpp"
+
 namespace fpmix::net {
 
 using runner::FrameStatus;
@@ -101,6 +103,9 @@ std::string encode_hello_ack(const HelloAckMsg& m) {
   runner::put_u32(&p, m.workers);
   runner::put_u8(&p, m.engine);
   runner::put_u64(&p, m.shard_records);
+  runner::put_u8(&p, m.state_degraded);
+  runner::put_u64(&p, m.shards_reloaded);
+  runner::put_u64(&p, m.disk_faults);
   return p;
 }
 
@@ -113,6 +118,9 @@ bool decode_hello_ack(std::string_view payload, HelloAckMsg* out) {
   out->workers = r.u32();
   out->engine = r.u8();
   out->shard_records = r.u64();
+  out->state_degraded = r.u8();
+  out->shards_reloaded = r.u64();
+  out->disk_faults = r.u64();
   return r.done();
 }
 
@@ -234,6 +242,58 @@ bool decode_journal_tail(std::string_view payload, JournalTailMsg* out) {
   out->lines.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) out->lines.push_back(r.str());
   return r.done();
+}
+
+// ---- Anti-entropy gossip ---------------------------------------------------
+
+std::string encode_shard_digest() {
+  std::string p;
+  runner::put_u8(&p, kMsgShardDigest);
+  return p;
+}
+
+bool decode_shard_digest(std::string_view payload) {
+  WireReader r(payload);
+  if (r.u8() != kMsgShardDigest) return false;
+  return r.done();
+}
+
+std::string encode_shard_digest_ack(const ShardDigestMsg& m) {
+  std::string p;
+  runner::put_u8(&p, kMsgShardDigestAck);
+  runner::put_u64(&p, m.records);
+  runner::put_u64(&p, m.max_seq);
+  runner::put_u32(&p, m.seq_crc);
+  return p;
+}
+
+bool decode_shard_digest_ack(std::string_view payload, ShardDigestMsg* out) {
+  WireReader r(payload);
+  if (r.u8() != kMsgShardDigestAck) return false;
+  out->records = r.u64();
+  out->max_seq = r.u64();
+  out->seq_crc = r.u32();
+  return r.done();
+}
+
+std::uint32_t seq_set_crc(const std::map<std::uint64_t, std::string>& by_seq,
+                          std::uint64_t up_to_seq, std::uint64_t* records) {
+  // Each sequence number contributes its 8 little-endian bytes, in
+  // ascending order, so the CRC identifies the *set* of retained seqs
+  // independent of record contents (the seals already guard those).
+  std::string bytes;
+  std::uint64_t n = 0;
+  for (const auto& [seq, line] : by_seq) {
+    if (seq > up_to_seq) break;
+    std::uint64_t v = seq;
+    for (int i = 0; i < 8; ++i) {
+      bytes += static_cast<char>(v & 0xFF);
+      v >>= 8;
+    }
+    ++n;
+  }
+  if (records != nullptr) *records = n;
+  return crc32(bytes);
 }
 
 // ---- Heartbeat -------------------------------------------------------------

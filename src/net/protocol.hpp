@@ -37,6 +37,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -52,7 +53,11 @@ namespace fpmix::net {
 /// v3: replicated journal streaming (JournalAppend/JournalFetch/
 /// JournalTail), heartbeat liveness (Ping/Pong), HelloAck reports the
 /// retained shard size.
-constexpr std::uint32_t kProtocolVersion = 3;
+/// v4: durable daemon state -- HelloAck reports the endpoint's persistence
+/// health (state_degraded, shards_reloaded, disk_faults), and the
+/// ShardDigest/ShardDigestAck exchange lets the scheduler compare shard
+/// contents across endpoints (anti-entropy gossip) without fetching them.
+constexpr std::uint32_t kProtocolVersion = 4;
 
 constexpr std::uint8_t kMsgHello = 1;
 constexpr std::uint8_t kMsgHelloAck = 2;
@@ -65,6 +70,8 @@ constexpr std::uint8_t kMsgJournalFetch = 8;
 constexpr std::uint8_t kMsgJournalTail = 9;
 constexpr std::uint8_t kMsgPing = 10;
 constexpr std::uint8_t kMsgPong = 11;
+constexpr std::uint8_t kMsgShardDigest = 12;
+constexpr std::uint8_t kMsgShardDigestAck = 13;
 
 /// First payload byte, or 0 for an empty payload.
 std::uint8_t peek_msg_type(std::string_view payload);
@@ -110,6 +117,15 @@ struct HelloAckMsg {
   /// search_fp (v3): an adopting scheduler reads fleet coverage from the
   /// handshake alone.
   std::uint64_t shard_records = 0;
+  /// Persistence health (v4). state_degraded means the daemon's shard store
+  /// fell back to in-memory operation (unwritable/full state dir) -- its
+  /// replicas are live but will not survive a restart. shards_reloaded and
+  /// disk_faults snapshot the store counters at handshake time, so a
+  /// scheduler can report per-endpoint durability without extra round
+  /// trips.
+  std::uint8_t state_degraded = 0;
+  std::uint64_t shards_reloaded = 0;
+  std::uint64_t disk_faults = 0;
 };
 
 std::string encode_hello_ack(const HelloAckMsg& m);
@@ -183,6 +199,36 @@ struct JournalTailMsg {
 
 std::string encode_journal_tail(const JournalTailMsg& m);
 bool decode_journal_tail(std::string_view payload, JournalTailMsg* out);
+
+// ---- Anti-entropy gossip (v4) ----------------------------------------------
+
+/// Requests a digest of the endpoint's retained shard for this session's
+/// search_fp. The scheduler compares the reply against the record set it
+/// has committed locally and re-streams only what the endpoint is missing,
+/// so shard healing is continuous instead of riding the next adoption.
+std::string encode_shard_digest();
+bool decode_shard_digest(std::string_view payload);
+
+/// Digest of one retained shard: record count, highest sealed sequence
+/// number, and a CRC32 over the ascending sequence numbers (each as 8
+/// little-endian bytes). Two shards with equal digests hold the same
+/// sequence set; a matching prefix digest identifies a pure tail gap, which
+/// is the cheap (and overwhelmingly common) repair case.
+struct ShardDigestMsg {
+  std::uint64_t records = 0;
+  std::uint64_t max_seq = 0;
+  std::uint32_t seq_crc = 0;
+};
+
+std::string encode_shard_digest_ack(const ShardDigestMsg& m);
+bool decode_shard_digest_ack(std::string_view payload, ShardDigestMsg* out);
+
+/// CRC32 over the ascending sequence numbers of `by_seq` that are
+/// <= `up_to_seq`, each contributing 8 little-endian bytes -- the digest
+/// both sides of the gossip exchange compute. Returns the record count
+/// considered through *records.
+std::uint32_t seq_set_crc(const std::map<std::uint64_t, std::string>& by_seq,
+                          std::uint64_t up_to_seq, std::uint64_t* records);
 
 // ---- Heartbeat (v3) --------------------------------------------------------
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "net/protocol.hpp"
+#include "net/shard_store.hpp"
 #include "runner/worker_pool.hpp"
 #include "support/fault.hpp"
 #include "support/journal.hpp"
@@ -78,19 +79,6 @@ std::uint64_t steady_now_ms() {
           .count());
 }
 
-/// Extracts the seal's sequence number from a journal line already known to
-/// pass check_seal. False when the line is not flat JSON or lacks "seq"
-/// (a sealed line always has it, so this is belt-and-braces).
-bool sealed_seq(const std::string& line, std::uint64_t* seq) {
-  JsonRecord rec;
-  if (!parse_flat_json(line, &rec)) return false;
-  auto it = rec.find("seq");
-  if (it == rec.end() || it->second.empty()) return false;
-  char* end = nullptr;
-  *seq = std::strtoull(it->second.c_str(), &end, 10);
-  return end != nullptr && *end == '\0';
-}
-
 }  // namespace
 
 struct RunnerServer::Impl {
@@ -146,9 +134,52 @@ struct RunnerServer::Impl {
   std::map<std::string, std::unique_ptr<Backend>> backends;
   std::map<std::uint64_t, std::unique_ptr<Session>> sessions;
   std::map<std::string, JournalShard> journal_shards;  // by search_fp
+  /// Durable backing for journal shards and verdict caches (no-op without a
+  /// state dir). Verdicts reloaded at startup wait here until a session
+  /// announces their search_fp, then seed that backend's cache.
+  std::unique_ptr<ShardStore> store;
+  std::map<std::string, std::vector<PersistedVerdict>> persisted_verdicts;
   std::uint64_t next_session_id = 1;
   std::uint64_t shard_touch_clock = 1;
   bool exit_tripped = false;
+
+  void mirror_store_stats() {
+    const ShardStoreStats& s = store->stats();
+    stats->shards_reloaded = s.shards_reloaded;
+    stats->records_reloaded = s.records_reloaded;
+    stats->records_discarded = s.records_discarded;
+    stats->disk_faults = s.disk_faults;
+    stats->state_degraded = s.degraded ? 1 : 0;
+  }
+
+  /// Restores persisted shards into memory, enforcing the same retention
+  /// caps a live stream would have hit.
+  void reload_state() {
+    std::map<std::string, std::map<std::uint64_t, std::string>> journal;
+    store->load(&journal, &persisted_verdicts);
+    for (auto& [fp, by_seq] : journal) {
+      JournalShard shard;
+      shard.by_seq = std::move(by_seq);
+      while (opts.max_shard_records > 0 &&
+             shard.by_seq.size() > opts.max_shard_records) {
+        shard.by_seq.erase(shard.by_seq.begin());
+        ++shard.dropped;
+      }
+      shard.last_touch = shard_touch_clock++;
+      journal_shards.emplace(fp, std::move(shard));
+    }
+    while (opts.max_journal_shards > 0 &&
+           journal_shards.size() > opts.max_journal_shards) {
+      auto victim = journal_shards.begin();
+      for (auto jt = journal_shards.begin(); jt != journal_shards.end();
+           ++jt) {
+        if (jt->second.last_touch < victim->second.last_touch) victim = jt;
+      }
+      store->remove_journal(victim->first);
+      journal_shards.erase(victim);
+    }
+    mirror_store_stats();
+  }
 
   /// The retained shard for `search_fp`, creating it (and evicting the
   /// least-recently-touched shard past the cap) on first touch.
@@ -166,6 +197,7 @@ struct RunnerServer::Impl {
           log::infof("runner_serve: evicting journal shard %s (%zu records)",
                      victim->first.c_str(), victim->second.by_seq.size());
         }
+        store->remove_journal(victim->first);
         journal_shards.erase(victim);
       }
       it = journal_shards.emplace(search_fp, JournalShard{}).first;
@@ -294,10 +326,29 @@ struct RunnerServer::Impl {
     s->hello_done = true;
     s->search_fp = h.search_fp;
     s->shard_cache = h.shard_cache != 0;
+    // Verdicts reloaded from the state dir seed this backend's cache now
+    // that a session has bound their search_fp to evaluation semantics.
+    // emplace keeps first-insert-wins exact: a live insert that raced the
+    // reload is never overwritten.
+    auto pv = persisted_verdicts.find(h.search_fp);
+    if (pv != persisted_verdicts.end()) {
+      auto& cache = b->shard[h.search_fp];
+      for (PersistedVerdict& v : pv->second) {
+        CacheEntry e;
+        e.passed = v.passed;
+        e.failure_class = v.failure_class;
+        e.failure = std::move(v.failure);
+        cache.emplace(std::move(v.key), std::move(e));
+      }
+      persisted_verdicts.erase(pv);
+    }
     ack.ok = 1;
     ack.verifier_fp = b->verifier_fp;
     ack.workers = b->workers;
     ack.shard_records = shard_records(h.search_fp);
+    ack.state_degraded = store->stats().degraded ? 1 : 0;
+    ack.shards_reloaded = store->stats().shards_reloaded;
+    ack.disk_faults = store->stats().disk_faults;
     send_frame(s, encode_hello_ack(ack));
   }
 
@@ -353,8 +404,25 @@ struct RunnerServer::Impl {
     e.passed = m.passed != 0;
     e.failure_class = m.failure_class;
     e.failure = m.failure;
-    cache.emplace(m.key, std::move(e));  // first insert wins
+    if (cache.emplace(m.key, std::move(e)).second) {  // first insert wins
+      persist_verdict(s->search_fp, m.key, m.passed != 0, m.failure_class,
+                      m.failure);
+    }
     ++stats->cache_inserts;
+  }
+
+  /// Mirrors one retained verdict to the state dir (no-op when disabled).
+  void persist_verdict(const std::string& search_fp, const std::string& key,
+                       bool passed, std::uint8_t failure_class,
+                       const std::string& failure) {
+    if (!store->enabled()) return;
+    PersistedVerdict v;
+    v.key = key;
+    v.passed = passed;
+    v.failure_class = failure_class;
+    v.failure = failure;
+    store->append_verdict(search_fp, v);
+    mirror_store_stats();
   }
 
   /// Retains one streamed journal record. Damage (bad seal, unparseable
@@ -370,11 +438,33 @@ struct RunnerServer::Impl {
     JournalShard* shard = touch_shard(s->search_fp);
     if (!shard->by_seq.emplace(seq, m.line).second) return;  // seq dedupe
     ++stats->journal_appends;
+    store->append_journal(s->search_fp, m.line);
+    std::uint64_t evicted = 0;
     while (opts.max_shard_records > 0 &&
            shard->by_seq.size() > opts.max_shard_records) {
       shard->by_seq.erase(shard->by_seq.begin());
       ++shard->dropped;
+      ++evicted;
     }
+    if (evicted > 0) {
+      store->note_evicted(s->search_fp, evicted, shard->by_seq);
+    }
+    mirror_store_stats();
+  }
+
+  /// Answers a gossip digest request over the session's retained shard.
+  /// An endpoint with no shard answers the zero digest, which the
+  /// scheduler reads as "missing everything".
+  void handle_shard_digest(Session* s) {
+    ++stats->digests;
+    ShardDigestMsg d;
+    const auto it = journal_shards.find(s->search_fp);
+    if (it != journal_shards.end() && !it->second.by_seq.empty()) {
+      it->second.last_touch = shard_touch_clock++;
+      d.max_seq = it->second.by_seq.rbegin()->first;
+      d.seq_crc = seq_set_crc(it->second.by_seq, d.max_seq, &d.records);
+    }
+    send_frame(s, encode_shard_digest_ack(d));
   }
 
   /// Streams the whole retained shard back as JournalTail chunks. Chunked
@@ -448,6 +538,14 @@ struct RunnerServer::Impl {
         handle_journal_fetch(s);
         return;
       }
+      case kMsgShardDigest: {
+        if (!decode_shard_digest(payload)) {
+          session_error(s, "malformed shard-digest message");
+          return;
+        }
+        handle_shard_digest(s);
+        return;
+      }
       case kMsgPing: {
         PingMsg m;
         if (!decode_ping(payload, &m)) {
@@ -490,7 +588,14 @@ struct RunnerServer::Impl {
           e.failure_class =
               static_cast<std::uint8_t>(f.outcome.result.failure_class);
           e.failure = f.outcome.result.failure;
-          cache.emplace(route.key, std::move(e));
+          const bool fresh = cache.emplace(route.key, std::move(e)).second;
+          if (fresh) {
+            persist_verdict(route.search_fp, route.key,
+                            f.outcome.result.passed,
+                            static_cast<std::uint8_t>(
+                                f.outcome.result.failure_class),
+                            f.outcome.result.failure);
+          }
         }
         auto sit = sessions.find(route.session_id);
         if (sit == sessions.end() || sit->second->dead) continue;
@@ -514,6 +619,13 @@ RunnerServer::RunnerServer(Listener listener, WorkloadFactory factory,
   impl_->factory = std::move(factory);
   impl_->opts = opts;
   impl_->stats = &stats_;
+  ShardStoreOptions sopts;
+  sopts.dir = opts.state_dir;
+  sopts.fsync = opts.state_fsync;
+  sopts.chaos = opts.disk_chaos;
+  sopts.verbose = opts.verbose;
+  impl_->store = std::make_unique<ShardStore>(sopts);
+  impl_->reload_state();
 }
 
 RunnerServer::~RunnerServer() = default;
@@ -657,6 +769,7 @@ void RunnerServer::serve(const std::atomic<bool>* stop) {
   im.listener.close();
   for (auto& [id, s] : im.sessions) s->sock.close();
   im.sessions.clear();
+  im.mirror_store_stats();
 #endif
 }
 

@@ -31,6 +31,7 @@
 #include "config/structure.hpp"
 #include "net/socket.hpp"
 #include "program/image.hpp"
+#include "support/fault.hpp"
 #include "verify/verifier.hpp"
 
 namespace fpmix::net {
@@ -70,6 +71,17 @@ struct ServerOptions {
   /// Distinct search_fp shards retained; beyond it the least-recently
   /// touched whole shard is evicted.
   std::uint64_t max_journal_shards = 8;
+  /// Durable state directory (shard journal + verdict-cache files, see
+  /// net/shard_store.hpp). Empty keeps every shard purely in memory (the
+  /// pre-v4 behaviour); set, a restarted daemon rejoins the fleet with its
+  /// replicas intact. An unusable directory degrades back to in-memory
+  /// operation (warned once, flagged in every HelloAck) -- never an abort.
+  std::string state_dir;
+  /// fsync(2) every persisted shard append (power-loss durability).
+  bool state_fsync = false;
+  /// Seeded deterministic disk-fault injection for the shard store; must
+  /// outlive the server. nullptr = no injection.
+  const fault::DiskChaos* disk_chaos = nullptr;
   /// Log one line per session/backend event at info level.
   bool verbose = false;
 };
@@ -85,8 +97,16 @@ struct ServerStats {
   std::uint64_t journal_rejected = 0;    // bad seal / unparseable seq
   std::uint64_t journal_fetches = 0;     // shard fetches served
   std::uint64_t pings = 0;               // heartbeats answered
+  std::uint64_t digests = 0;             // shard-digest requests answered
   std::uint64_t protocol_errors = 0;     // corrupt frames / bad messages
   std::uint64_t backends = 0;            // distinct evaluation contexts
+  // Durable-state counters, mirrored from the shard store (zero when no
+  // state dir is configured).
+  std::uint64_t shards_reloaded = 0;     // state files restored at startup
+  std::uint64_t records_reloaded = 0;    // intact lines restored at startup
+  std::uint64_t records_discarded = 0;   // damaged lines dropped at reload
+  std::uint64_t disk_faults = 0;         // injected + real storage failures
+  std::uint64_t state_degraded = 0;      // 1 when persistence fell back to RAM
 };
 
 /// The daemon. Construct with a bound listener (port 0 for kernel-assigned,

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "runner/wire.hpp"
+#include "support/journal.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
 #include "vm/machine.hpp"
@@ -110,6 +111,16 @@ bool Scheduler::try_connect(Shard* s) {
   s->backoff.reset();
   s->m.workers = client->workers();
   s->m.journal_records = client->shard_records();
+  s->m.state_degraded = client->state_degraded();
+  s->m.shards_reloaded = client->shards_reloaded();
+  s->m.disk_faults = client->disk_faults();
+  if (s->m.state_degraded) {
+    log::warnf("scheduler: endpoint %s reports degraded state persistence "
+               "(in-memory shards only)",
+               s->m.address.c_str());
+  }
+  s->digest_inflight = false;
+  s->last_gossip_ms = 0;
   s->client = std::move(client);
   return true;
 }
@@ -164,6 +175,8 @@ void Scheduler::shard_down(Shard* s) {
   s->pending_pings.clear();
   s->unanswered = 0;
   s->last_ping_ms = 0;
+  s->digest_inflight = false;
+  s->last_gossip_ms = 0;
   note_failure(s);
 }
 
@@ -269,9 +282,33 @@ std::vector<runner::TrialOutcome> Scheduler::run_batch(
     }
   };
 
+  // Gossip pass: ask every live shard whose period elapsed for a shard
+  // digest (one outstanding per shard; the ack returns through drain and
+  // heal_from_digest re-streams whatever the comparison shows missing).
+  // A reconnected endpoint is back in the gossip rotation immediately, so
+  // a daemon restart heals within one period instead of riding the next
+  // adoption.
+  const auto gossip = [&]() {
+    if (opts_.gossip_ms == 0 || streamed_.empty()) return;
+    const std::uint64_t now = now_ms();
+    for (Shard& s : shards_) {
+      if (s.client == nullptr || s.digest_inflight) continue;
+      if (s.last_gossip_ms != 0 && now - s.last_gossip_ms < opts_.gossip_ms) {
+        continue;
+      }
+      if (!s.client->request_digest()) {
+        fail_shard(&s);
+        continue;
+      }
+      s.digest_inflight = true;
+      s.last_gossip_ms = now;
+    }
+  };
+
   while (remaining > 0) {
     reconnect_due();
     heartbeat();
+    gossip();
     if (!any_live()) {
       // Anything still waiting on a backoff timer? Sleep toward the
       // earliest redial; otherwise the fleet is gone for good.
@@ -392,10 +429,117 @@ std::vector<runner::TrialOutcome> Scheduler::run_batch(
         s.m.busy_ns += r.wall_ns;
         if ((r.flags & net::kResultCacheHit) != 0) ++s.m.cache_hits;
       }
-      if (!ok || damaged) fail_shard(&s);
+      if (!ok || damaged) {
+        fail_shard(&s);
+        continue;
+      }
+      // Gossip digests ride the same stream; heal after the verdicts so a
+      // repair send failure cannot orphan results already decoded.
+      for (const net::ShardDigestMsg& d : s.client->take_digests()) {
+        s.digest_inflight = false;
+        if (!heal_from_digest(&s, d)) {
+          fail_shard(&s);
+          break;
+        }
+      }
     }
   }
   return outcomes;
+}
+
+bool Scheduler::heal_from_digest(Shard* s, const net::ShardDigestMsg& d) {
+  ++s->m.gossip_rounds;
+  if (streamed_.empty()) return true;
+  std::uint64_t local_records = 0;
+  const std::uint64_t local_max = streamed_.rbegin()->first;
+  const std::uint32_t local_crc =
+      net::seq_set_crc(streamed_, local_max, &local_records);
+  if (d.records == local_records && d.max_seq == local_max &&
+      d.seq_crc == local_crc) {
+    return true;  // replicas agree
+  }
+  // The common divergence is a pure tail gap (endpoint restarted, joined
+  // late, or lost its unfsynced tail): its whole digest then equals our
+  // prefix digest through its max_seq, and only (max_seq, local_max] needs
+  // to move. Anything else -- interior holes, foreign seqs -- falls back to
+  // re-streaming the full set; the endpoint dedupes by seq, so the
+  // fallback is idempotent, just not minimal.
+  std::uint64_t from_seq = 1;
+  if (d.records > 0 && d.max_seq < local_max) {
+    std::uint64_t prefix_records = 0;
+    const std::uint32_t prefix_crc =
+        net::seq_set_crc(streamed_, d.max_seq, &prefix_records);
+    if (prefix_records == d.records && prefix_crc == d.seq_crc) {
+      from_seq = d.max_seq + 1;
+    }
+  }
+  std::uint64_t repaired = 0;
+  net::JournalAppendMsg m;
+  for (const auto& [seq, line] : streamed_) {
+    if (seq < from_seq) continue;
+    m.line = line;
+    if (!s->client->journal_append(m)) return false;
+    ++repaired;
+  }
+  s->m.records_repaired += repaired;
+  if (repaired > 0) {
+    log::infof("scheduler: gossip re-streamed %llu records to %s "
+               "(endpoint had %llu/%llu)",
+               static_cast<unsigned long long>(repaired),
+               s->m.address.c_str(),
+               static_cast<unsigned long long>(d.records),
+               static_cast<unsigned long long>(local_records));
+  }
+  return true;
+}
+
+std::size_t Scheduler::gossip_now(int timeout_ms) {
+  reconnect_due();
+  std::size_t total = 0;
+  for (Shard& s : shards_) {
+    if (s.client == nullptr) continue;
+    if (!s.client->request_digest()) {
+      shard_down(&s);
+      continue;
+    }
+    const std::uint64_t deadline =
+        now_ms() + static_cast<std::uint64_t>(timeout_ms > 0 ? timeout_ms
+                                                             : 5000);
+    bool answered = false;
+    while (!answered) {
+      // No batch is running, so any results drained here rode an expired
+      // lease; they are discarded exactly like late results in run_batch.
+      std::vector<net::ResultMsg> late;
+      const bool ok = s.client->drain(&late);
+      s.m.late_results += late.size();
+      for (const net::ShardDigestMsg& d : s.client->take_digests()) {
+        answered = true;
+        const std::uint64_t before = s.m.records_repaired;
+        if (!heal_from_digest(&s, d)) {
+          shard_down(&s);
+          break;
+        }
+        total += s.m.records_repaired - before;
+      }
+      if (answered || s.client == nullptr) break;
+      if (!ok) {
+        shard_down(&s);
+        break;
+      }
+      const std::uint64_t now = now_ms();
+      if (now >= deadline) {
+        log::warnf("scheduler: gossip digest from %s timed out",
+                   s.m.address.c_str());
+        shard_down(&s);
+        break;
+      }
+#if FPMIX_NET_POSIX
+      pollfd pfd{s.client->fd(), POLLIN, 0};
+      ::poll(&pfd, 1, static_cast<int>(deadline - now));
+#endif
+    }
+  }
+  return total;
 }
 
 void Scheduler::broadcast_insert(const std::string& key, bool passed,
@@ -414,6 +558,12 @@ void Scheduler::broadcast_insert(const std::string& key, bool passed,
 }
 
 void Scheduler::stream_journal(const std::string& line) {
+  // Retain every committed line locally: this set is what gossip digests
+  // are compared against, and what heals a diverged endpoint.
+  std::uint64_t seq = 0;
+  if (check_seal(line) == SealCheck::kOk && sealed_seq(line, &seq)) {
+    streamed_.emplace(seq, line);
+  }
   net::JournalAppendMsg m;
   m.line = line;
   for (Shard& s : shards_) {

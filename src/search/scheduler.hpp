@@ -59,6 +59,14 @@ struct SchedulerOptions {
   /// declared dead: its session closes, its trial leases expire, and its
   /// in-flight trials re-dispatch to surviving shards.
   std::uint32_t missed_beat_limit = 3;
+  /// Anti-entropy gossip period in milliseconds; 0 disables. While a batch
+  /// runs, every live shard is asked for a digest of its retained journal
+  /// shard this often; a digest that disagrees with the scheduler's own
+  /// committed record set triggers a re-stream of exactly the missing seq
+  /// range (or the full set when the divergence is interior), so a
+  /// restarted or damaged endpoint heals continuously instead of waiting
+  /// for the next adoption.
+  std::uint64_t gossip_ms = 0;
 };
 
 class Scheduler {
@@ -100,6 +108,13 @@ class Scheduler {
   /// any trials -- the fetch is synchronous per session.
   std::size_t fetch_fleet_journal(std::vector<std::string>* lines);
 
+  /// Runs one synchronous gossip round right now: asks every live shard
+  /// for a digest, waits (bounded) for each answer, and re-streams what
+  /// the comparison shows missing. Returns the number of records
+  /// re-streamed. run_batch gossips on its own period; this entry point is
+  /// for healing between batches (and for tests).
+  std::size_t gossip_now(int timeout_ms = 5000);
+
   std::vector<EndpointMetrics> endpoint_metrics() const;
 
  private:
@@ -120,9 +135,17 @@ class Scheduler {
     std::uint64_t last_ping_ms = 0;
     std::uint32_t unanswered = 0;
     std::vector<std::uint64_t> rtt_us;
+    // Gossip state: one digest request outstanding at a time per shard.
+    bool digest_inflight = false;
+    std::uint64_t last_gossip_ms = 0;
   };
 
   bool try_connect(Shard* s);
+  /// Compares an endpoint's shard digest against the locally committed
+  /// record set and re-streams what the endpoint is missing (counted in
+  /// the shard's records_repaired). False when a re-stream send failed --
+  /// the caller downs the shard.
+  bool heal_from_digest(Shard* s, const net::ShardDigestMsg& d);
   void shard_down(Shard* s);
   /// Endpoint-failure accounting shared by every failure path: counts a
   /// circuit-breaker trip on the closed->open transition, arms the jittered
@@ -134,6 +157,11 @@ class Scheduler {
 
   SchedulerOptions opts_;
   std::vector<Shard> shards_;
+  /// Every CRC-sealed line this scheduler has committed (streamed or
+  /// adopted), keyed by sealed seq -- the reference set gossip digests are
+  /// compared against. Mirrors the local journal file, so its footprint is
+  /// the search history the scheduler already retains on disk.
+  std::map<std::uint64_t, std::string> streamed_;
   std::uint64_t next_ticket_ = 1;
 };
 

@@ -306,6 +306,11 @@ class Searcher {
         metrics_.late_results += em.late_results;
         metrics_.redispatched += em.redispatched;
         metrics_.breaker_trips += em.breaker_trips;
+        metrics_.gossip_rounds += em.gossip_rounds;
+        metrics_.records_repaired += em.records_repaired;
+        metrics_.shards_reloaded += em.shards_reloaded;
+        metrics_.disk_faults += em.disk_faults;
+        if (em.state_degraded) ++metrics_.state_degraded;
         if (em.lost) ++metrics_.endpoints_lost;
         if (em.jit_downgraded) ++metrics_.jit_downgraded;
       }
@@ -560,29 +565,21 @@ class Searcher {
         return;
       }
     }
-    // Atomic rewrite (tmp + rename): a crash mid-adopt leaves either the
-    // old journal or the fully reconciled one, never a hybrid.
-    const std::string tmp = options_.journal_path + ".adopt.tmp";
-    {
-      std::ofstream f(tmp, std::ios::trunc | std::ios::binary);
-      if (!f) {
-        log::warnf("search: adopt: cannot write %s; resuming from the "
-                   "local journal alone", tmp.c_str());
-        return;
-      }
-      for (const auto& [seq, line] : by_seq) f << line << '\n';
-      f.flush();
-      if (!f) {
-        log::warnf("search: adopt: short write to %s; resuming from the "
-                   "local journal alone", tmp.c_str());
-        std::remove(tmp.c_str());
-        return;
-      }
+    // Atomic rewrite (tmp + fsync + rename + directory fsync): a crash
+    // mid-adopt leaves either the old journal or the fully reconciled one
+    // on disk, never a hybrid -- and the reconciled one survives power
+    // loss, which matters because adoption is exactly the
+    // crashed-predecessor path.
+    std::string contents;
+    for (const auto& [seq, line] : by_seq) {
+      contents += line;
+      contents += '\n';
     }
-    if (std::rename(tmp.c_str(), options_.journal_path.c_str()) != 0) {
-      log::warnf("search: adopt: cannot replace %s; resuming from the "
-                 "local journal alone", options_.journal_path.c_str());
-      std::remove(tmp.c_str());
+    std::string aerr;
+    if (!atomic_replace(options_.journal_path, contents, &aerr)) {
+      log::warnf("search: adopt: cannot replace %s (%s); resuming from the "
+                 "local journal alone", options_.journal_path.c_str(),
+                 aerr.c_str());
       return;
     }
     adopted_ = true;
@@ -684,6 +681,7 @@ class Searcher {
     sopts.max_trial_crashes = options_.max_trial_crashes;
     sopts.verifier_fp = verifier_.fingerprint();
     sopts.heartbeat_ms = options_.heartbeat_ms;
+    sopts.gossip_ms = options_.gossip_ms;
     sopts.reconnect_backoff.cap_ms =
         std::max<std::uint64_t>(1, options_.reconnect_max_ms);
     auto sched = std::make_unique<Scheduler>(sopts);

@@ -158,6 +158,12 @@ struct SearchOptions {
   /// dead (its leases expire and its trials re-dispatch). 0 disables
   /// heartbeats (liveness then rests on send failures alone).
   std::uint64_t heartbeat_ms = 1000;
+  /// Anti-entropy gossip period: the scheduler asks every live endpoint
+  /// for a digest of its retained journal shard this often and re-streams
+  /// whatever the digest shows missing, so a restarted or disk-damaged
+  /// endpoint converges back to the full replica without waiting for an
+  /// adoption. 0 disables gossip.
+  std::uint64_t gossip_ms = 1000;
   /// Reconnect backoff cap, in milliseconds (the jittered exponential
   /// circuit breaker's longest open interval before a half-open probe).
   std::uint64_t reconnect_max_ms = 200;
@@ -221,6 +227,16 @@ struct EndpointMetrics {
   std::uint64_t rtt_max_us = 0;
   /// Journal records this endpoint already retained at handshake time.
   std::uint64_t journal_records = 0;
+
+  // ---- Durability / anti-entropy (v4 endpoints) ---------------------------
+  std::size_t gossip_rounds = 0;     // digest answers compared
+  std::size_t records_repaired = 0;  // journal records re-streamed by gossip
+  /// State files the endpoint restored at startup (from the HelloAck).
+  std::uint64_t shards_reloaded = 0;
+  /// Storage failures (injected or real) the endpoint has absorbed.
+  std::uint64_t disk_faults = 0;
+  /// The endpoint's shard store degraded to in-memory operation.
+  bool state_degraded = false;
 };
 
 /// Per-worker-slot supervision census (isolate mode): one seat in the pool,
@@ -345,6 +361,15 @@ struct SearchMetrics {
   /// Journal records reconciled from the fleet on --adopt failover (0 on
   /// ordinary runs).
   std::size_t adopted_records = 0;
+  /// Durability totals across the fleet (per-endpoint detail in
+  /// endpoints_used): digest rounds compared, records gossip re-streamed,
+  /// state files endpoints restored at startup, storage failures absorbed,
+  /// and endpoints whose shard store degraded to in-memory operation.
+  std::size_t gossip_rounds = 0;
+  std::size_t records_repaired = 0;
+  std::size_t shards_reloaded = 0;
+  std::size_t disk_faults = 0;
+  std::size_t state_degraded = 0;
   /// One entry per configured endpoint (distributed mode only).
   std::vector<EndpointMetrics> endpoints_used;
 };

@@ -111,6 +111,36 @@ NetFault NetChaos::for_op(std::uint64_t conn_id,
   return kind;
 }
 
+DiskFault DiskChaos::for_op(std::string_view file_key,
+                            std::uint64_t op_index) const {
+  std::uint64_t h = fnv1a64("disk-chaos", seed_);
+  h = fnv1a64(file_key, h);
+  h = fnv1a64_mix(h, op_index);
+  SplitMix64 rng(h);
+  const double v = unit_draw(&rng);
+  double edge = rates_.short_write;
+  DiskFault kind = DiskFault::kNone;
+  if (v < edge) {
+    kind = DiskFault::kShortWrite;
+  } else if (v < (edge += rates_.torn_record)) {
+    kind = DiskFault::kTornRecord;
+  } else if (v < (edge += rates_.fsync_fail)) {
+    kind = DiskFault::kFsyncFail;
+  } else if (v < (edge += rates_.enospc)) {
+    kind = DiskFault::kEnospc;
+  } else if (v < (edge += rates_.unreadable)) {
+    kind = DiskFault::kUnreadable;
+  }
+  // Reload (op 0) can only fail by being unreadable; write kinds there would
+  // be meaningless. Symmetrically, an append cannot be "unreadable".
+  if (op_index == 0) {
+    if (kind != DiskFault::kUnreadable) kind = DiskFault::kNone;
+  } else if (kind == DiskFault::kUnreadable) {
+    kind = DiskFault::kNone;
+  }
+  return kind;
+}
+
 bool sabotage_journal(const std::string& path, JournalFault kind,
                       std::uint64_t seed) {
   std::vector<std::string> lines = Journal::read_lines(path);

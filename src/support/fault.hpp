@@ -178,6 +178,54 @@ class NetChaos {
   Rates rates_;
 };
 
+// ---- Disk chaos ------------------------------------------------------------
+
+/// Storage-level fault kinds, injected at the daemon shard store's file
+/// operations (src/net/shard_store). Each models a real failure the durable
+/// state layer must absorb: torn writes are what crash-consistency healing
+/// exists for, fsync failures silently weaken durability, ENOSPC must
+/// degrade the daemon to in-memory shards rather than kill the session, and
+/// an unreadable file on reload must cost only that shard.
+enum class DiskFault : std::uint8_t {
+  kNone = 0,
+  kShortWrite,   // persist only a prefix of the record, no newline: torn tail
+  kTornRecord,   // persist the whole record but lose the newline: torn tail
+  kFsyncFail,    // the append lands in the page cache but fsync is "lost"
+  kEnospc,       // the write fails outright: device full / quota exceeded
+  kUnreadable,   // the shard file cannot be opened on reload (EIO signature)
+};
+
+/// Deterministic, seeded source of disk faults. Every decision is a pure
+/// function of (campaign seed, shard file key, per-file op index) -- the
+/// reload is op 0, appends count up from 1 -- so a campaign replays
+/// identically for a given shard history regardless of session interleaving.
+class DiskChaos {
+ public:
+  /// Independent probability of each fault kind per file op (mutually
+  /// exclusive, first match on a single draw). kUnreadable is only
+  /// consulted at reload (op 0); the write kinds only at append ops.
+  struct Rates {
+    double short_write = 0.0;
+    double torn_record = 0.0;
+    double fsync_fail = 0.0;
+    double enospc = 0.0;
+    double unreadable = 0.0;
+  };
+
+  DiskChaos(std::uint64_t seed, const Rates& rates)
+      : seed_(seed), rates_(rates) {}
+
+  /// The fault to apply to op `op_index` of the shard file `file_key`.
+  DiskFault for_op(std::string_view file_key, std::uint64_t op_index) const;
+
+  std::uint64_t seed() const { return seed_; }
+  const Rates& rates() const { return rates_; }
+
+ private:
+  std::uint64_t seed_;
+  Rates rates_;
+};
+
 /// Journal sabotage kinds (applied to a file between runs).
 enum class JournalFault : std::uint8_t {
   kTruncateTail,     // cut the final line mid-write (crash signature)

@@ -1,9 +1,12 @@
 #include "support/journal.hpp"
 
 #include <cctype>
+#include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
 #include <unistd.h>
 #define FPMIX_JOURNAL_HAS_FSYNC 1
 #endif
@@ -194,6 +197,71 @@ bool parse_flat_json(std::string_view line, JsonRecord* out) {
   }
   skip_ws(line, &pos);
   return pos == line.size();
+}
+
+bool sealed_seq(const std::string& line, std::uint64_t* seq) {
+  JsonRecord rec;
+  if (!parse_flat_json(line, &rec)) return false;
+  const auto it = rec.find("seq");
+  if (it == rec.end()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+  if (errno != 0 || end == it->second.c_str() || *end != '\0') return false;
+  *seq = v;
+  return true;
+}
+
+bool atomic_replace(const std::string& path, std::string_view contents,
+                    std::string* error) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) {
+      *error = strformat("open %s: %s", tmp.c_str(), std::strerror(errno));
+    }
+    return false;
+  }
+  bool ok = contents.empty() ||
+            std::fwrite(contents.data(), 1, contents.size(), f) ==
+                contents.size();
+  if (ok) ok = std::fflush(f) == 0;
+#if FPMIX_JOURNAL_HAS_FSYNC
+  // The replacement contents must be durable *before* the rename: renaming
+  // first could leave the directory pointing at a file whose bytes never
+  // reached disk.
+  if (ok) ok = ::fsync(::fileno(f)) == 0;
+#endif
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) {
+    if (error != nullptr) {
+      *error = strformat("write %s: %s", tmp.c_str(), std::strerror(errno));
+    }
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) {
+      *error = strformat("rename %s -> %s: %s", tmp.c_str(), path.c_str(),
+                         std::strerror(errno));
+    }
+    std::remove(tmp.c_str());
+    return false;
+  }
+#if FPMIX_JOURNAL_HAS_FSYNC
+  // rename(2) is atomic but not durable: the directory entry lives in its
+  // own metadata block, so fsync the directory or a power cut can resurrect
+  // the old file.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : slash == 0 ? "/" : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+#endif
+  return true;
 }
 
 Journal::~Journal() { close(); }

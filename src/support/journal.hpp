@@ -57,6 +57,20 @@ using JsonRecord = std::map<std::string, std::string, std::less<>>;
 /// unspecified) on malformed input, nesting, or non-scalar values.
 bool parse_flat_json(std::string_view line, JsonRecord* out);
 
+/// Extracts the sequence number of a sealed record. Returns false for
+/// unsealed or damaged lines (callers should check_seal first when they
+/// need integrity, not just a seq).
+bool sealed_seq(const std::string& line, std::uint64_t* seq);
+
+/// Atomically replaces `path` with `contents`: writes `path` + ".tmp",
+/// flushes and fsyncs it, renames over `path`, then fsyncs the containing
+/// directory so the rename itself survives power loss (rename alone only
+/// guarantees the *file* contents are durable, not the directory entry
+/// pointing at them). Returns false -- with the tmp file removed and `path`
+/// untouched -- on any failure.
+bool atomic_replace(const std::string& path, std::string_view contents,
+                    std::string* error = nullptr);
+
 /// Append-only JSONL writer. Appends are mutex-guarded, so a supervisor
 /// thread and pool workers can journal concurrently: each record is written
 /// whole (line + seal + flush under one lock), never interleaved.

@@ -1,7 +1,7 @@
 // The distributed search service: session protocol, sockets, the runner
 // daemon, the network scheduler, and the search running across a fleet.
 //
-// Six layers:
+// Seven layers:
 //  1. protocol -- every message round-trips as a pure function, the frame
 //     buffer reassembles byte-dribbled streams, and corruption is a sticky
 //     *detected* session error, never a wrong payload;
@@ -21,7 +21,14 @@
 //     reject torn lines, heartbeats measure RTT and expire leases,
 //     duplicate results are discarded never double-voted, and a scheduler
 //     SIGKILLed mid-search is adopted (--adopt) byte-identically under
-//     clean, endpoint-death, and seeded network-chaos campaigns.
+//     clean, endpoint-death, and seeded network-chaos campaigns;
+//  7. durability -- a daemon's journal shards and verdict caches persist
+//     under --state-dir and survive SIGKILL + restart (torn tails and
+//     corrupt records healed at reload), anti-entropy gossip re-streams
+//     whatever a shard digest shows missing, an unwritable state dir
+//     degrades to in-memory with the degradation announced in the hello
+//     ack, and seeded disk-fault campaigns stay byte-identical to the
+//     clean oracle.
 //
 // The soak's campaign count scales via FPMIX_SOAK_CAMPAIGNS (CI sets 200).
 #include <gtest/gtest.h>
@@ -50,6 +57,7 @@
 #include "search/scheduler.hpp"
 #include "search/search.hpp"
 #include "support/fault.hpp"
+#include "support/hash.hpp"
 #include "support/journal.hpp"
 #include "verify/evaluate.hpp"
 
@@ -294,6 +302,156 @@ TEST(NetProtocol, JournalStreamingMessagesRoundTrip) {
   EXPECT_FALSE(net::decode_journal_fetch(net::encode_ping(ping)));
 }
 
+TEST(NetProtocol, ShardDigestMessagesAndSeqSetCrc) {
+  // The v4 HelloAck announces the endpoint's durability health.
+  net::HelloAckMsg ack;
+  ack.ok = 1;
+  ack.verifier_fp = "relerr:1e-12:9";
+  ack.workers = 2;
+  ack.state_degraded = 1;
+  ack.shards_reloaded = 7;
+  ack.disk_faults = 3;
+  net::HelloAckMsg ack_back;
+  ASSERT_TRUE(net::decode_hello_ack(net::encode_hello_ack(ack), &ack_back));
+  EXPECT_EQ(ack_back.state_degraded, 1);
+  EXPECT_EQ(ack_back.shards_reloaded, 7u);
+  EXPECT_EQ(ack_back.disk_faults, 3u);
+
+  EXPECT_TRUE(net::decode_shard_digest(net::encode_shard_digest()));
+  EXPECT_FALSE(net::decode_shard_digest(net::encode_journal_fetch()));
+
+  net::ShardDigestMsg d;
+  d.records = 42;
+  d.max_seq = 99;
+  d.seq_crc = 0xDEADBEEF;
+  net::ShardDigestMsg d_back;
+  ASSERT_TRUE(net::decode_shard_digest_ack(net::encode_shard_digest_ack(d),
+                                           &d_back));
+  EXPECT_EQ(d_back.records, 42u);
+  EXPECT_EQ(d_back.max_seq, 99u);
+  EXPECT_EQ(d_back.seq_crc, 0xDEADBEEFu);
+  EXPECT_FALSE(
+      net::decode_shard_digest_ack(net::encode_shard_digest(), &d_back));
+
+  // seq_set_crc is a pure function of the *sequence numbers* present, so
+  // two replicas agree exactly when they hold the same record set.
+  std::map<std::uint64_t, std::string> a;
+  a[1] = "x";
+  a[2] = "y";
+  a[3] = "z";
+  std::uint64_t n = 0;
+  const std::uint32_t full = net::seq_set_crc(a, 3, &n);
+  EXPECT_EQ(n, 3u);
+
+  std::map<std::uint64_t, std::string> b;
+  b[1] = "completely";
+  b[2] = "different";
+  b[3] = "payloads";
+  const std::uint32_t same_seqs = net::seq_set_crc(b, 3, &n);
+  EXPECT_EQ(same_seqs, full);  // digests cover presence, not bytes
+
+  // The prefix digest is what tail-gap detection compares: a replica that
+  // holds exactly seqs 1..2 digests identically to our 1..2 prefix.
+  const std::uint32_t prefix = net::seq_set_crc(a, 2, &n);
+  EXPECT_EQ(n, 2u);
+  EXPECT_NE(prefix, full);
+  b.erase(3);
+  EXPECT_EQ(net::seq_set_crc(b, 99, &n), prefix);
+
+  // An interior hole changes the digest even at equal count and max seq.
+  std::map<std::uint64_t, std::string> holey;
+  holey[1] = "x";
+  holey[3] = "z";
+  std::uint64_t holey_n = 0;
+  const std::uint32_t holey_crc = net::seq_set_crc(holey, 3, &holey_n);
+  EXPECT_EQ(holey_n, 2u);
+  EXPECT_NE(holey_crc, prefix);
+}
+
+TEST(NetProtocol, DiskChaosIsDeterministicPerSeedFileAndOp) {
+  fault::DiskChaos::Rates rates;
+  rates.short_write = 0.1;
+  rates.torn_record = 0.1;
+  rates.fsync_fail = 0.1;
+  rates.enospc = 0.05;
+  rates.unreadable = 0.5;
+  const fault::DiskChaos chaos(0xD15CFA11, rates);
+
+  // Same (seed, file, op) -> same draw, every time: a daemon restarted
+  // under the identical campaign re-derives the identical fault schedule.
+  for (std::uint64_t op = 0; op < 200; ++op) {
+    EXPECT_EQ(chaos.for_op("shard-abc.jsonl", op),
+              chaos.for_op("shard-abc.jsonl", op));
+  }
+  // Different files and different seeds draw independently.
+  const fault::DiskChaos other(0xD15CFA12, rates);
+  std::size_t file_diff = 0;
+  std::size_t seed_diff = 0;
+  for (std::uint64_t op = 0; op < 200; ++op) {
+    if (chaos.for_op("shard-abc.jsonl", op) !=
+        chaos.for_op("shard-def.jsonl", op)) {
+      ++file_diff;
+    }
+    if (chaos.for_op("shard-abc.jsonl", op) !=
+        other.for_op("shard-abc.jsonl", op)) {
+      ++seed_diff;
+    }
+  }
+  EXPECT_GT(file_diff, 0u);
+  EXPECT_GT(seed_diff, 0u);
+
+  // Op 0 is the reload probe: only "unreadable" may fire there, and
+  // append ops (>= 1) never draw it -- a fault taxonomy where each fault
+  // lands on the operation it models.
+  std::size_t unreadable_at_reload = 0;
+  for (std::uint64_t f = 0; f < 64; ++f) {
+    const std::string name = "shard-" + std::to_string(f) + ".jsonl";
+    const fault::DiskFault at0 = chaos.for_op(name, 0);
+    EXPECT_TRUE(at0 == fault::DiskFault::kNone ||
+                at0 == fault::DiskFault::kUnreadable);
+    if (at0 == fault::DiskFault::kUnreadable) ++unreadable_at_reload;
+    for (std::uint64_t op = 1; op < 50; ++op) {
+      EXPECT_NE(chaos.for_op(name, op), fault::DiskFault::kUnreadable);
+    }
+  }
+  EXPECT_GT(unreadable_at_reload, 0u);  // rate 0.5 over 64 files
+
+  // Zero rates never fault.
+  const fault::DiskChaos clean(1, fault::DiskChaos::Rates{});
+  for (std::uint64_t op = 0; op < 100; ++op) {
+    EXPECT_EQ(clean.for_op("shard-abc.jsonl", op), fault::DiskFault::kNone);
+  }
+}
+
+TEST(NetProtocol, AtomicReplaceWritesWholeFileOrNothing) {
+  const std::string path = testing::TempDir() + "atomic_replace_test.txt";
+  std::remove(path.c_str());
+  std::string error;
+  ASSERT_TRUE(atomic_replace(path, "first\n", &error)) << error;
+  {
+    std::ifstream f(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    EXPECT_EQ(ss.str(), "first\n");
+  }
+  // Replacing an existing file swaps contents atomically (tmp + rename);
+  // the tmp file never lingers.
+  ASSERT_TRUE(atomic_replace(path, "second\n", &error)) << error;
+  {
+    std::ifstream f(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    EXPECT_EQ(ss.str(), "second\n");
+  }
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+  // A destination whose directory does not exist fails cleanly.
+  EXPECT_FALSE(atomic_replace(testing::TempDir() + "no_such_dir/x.txt",
+                              "data", &error));
+  EXPECT_FALSE(error.empty());
+}
+
 // ---------------------------------------------------------------------------
 // Sockets.
 
@@ -489,13 +647,26 @@ struct ServerProc {
   ~ServerProc() { stop(); }
 };
 
-ServerProc spawn_server(int workers, std::uint64_t exit_after = 0,
-                        std::size_t max_sessions = 0,
-                        std::uint64_t idle_timeout_ms = 0) {
+struct SpawnOpts {
+  int workers = 2;
+  std::uint64_t exit_after = 0;
+  std::size_t max_sessions = 0;
+  std::uint64_t idle_timeout_ms = 0;
+  /// Durable-state knobs: shard/cache persistence under this directory,
+  /// optionally under a seeded disk-fault campaign.
+  std::string state_dir;
+  const fault::DiskChaos* disk_chaos = nullptr;
+  /// 0 binds a kernel-assigned port; nonzero rebinds a specific one (the
+  /// restart-on-the-same-endpoint path; SO_REUSEADDR makes this race-free
+  /// once the predecessor is reaped).
+  std::uint16_t port = 0;
+};
+
+ServerProc spawn_server_with(const SpawnOpts& o, bool allow_bind_fail = false) {
   net::Listener listener;
   std::string error;
-  if (!listener.listen_on("127.0.0.1", 0, &error)) {
-    ADD_FAILURE() << "listen: " << error;
+  if (!listener.listen_on("127.0.0.1", o.port, &error)) {
+    if (!allow_bind_fail) ADD_FAILURE() << "listen: " << error;
     return ServerProc{};
   }
   ServerProc sp;
@@ -503,10 +674,12 @@ ServerProc spawn_server(int workers, std::uint64_t exit_after = 0,
   sp.pid = ::fork();
   if (sp.pid == 0) {
     net::ServerOptions sopts;
-    sopts.workers = workers;
-    sopts.exit_after_results = exit_after;
-    if (max_sessions > 0) sopts.max_sessions = max_sessions;
-    if (idle_timeout_ms > 0) sopts.idle_timeout_ms = idle_timeout_ms;
+    sopts.workers = o.workers;
+    sopts.exit_after_results = o.exit_after;
+    if (o.max_sessions > 0) sopts.max_sessions = o.max_sessions;
+    if (o.idle_timeout_ms > 0) sopts.idle_timeout_ms = o.idle_timeout_ms;
+    sopts.state_dir = o.state_dir;
+    sopts.disk_chaos = o.disk_chaos;
     net::RunnerServer server(std::move(listener), serve_factory, sopts);
     server.serve(nullptr);
     std::_Exit(0);
@@ -514,6 +687,44 @@ ServerProc spawn_server(int workers, std::uint64_t exit_after = 0,
   // The parent's copy of the listener fd closes with the local object; the
   // child keeps its own.
   return sp;
+}
+
+ServerProc spawn_server(int workers, std::uint64_t exit_after = 0,
+                        std::size_t max_sessions = 0,
+                        std::uint64_t idle_timeout_ms = 0) {
+  SpawnOpts o;
+  o.workers = workers;
+  o.exit_after = exit_after;
+  o.max_sessions = max_sessions;
+  o.idle_timeout_ms = idle_timeout_ms;
+  return spawn_server_with(o);
+}
+
+/// Respawns a daemon on a specific port (a restart of a killed one). The
+/// old child must already be reaped; the bind can still race the kernel
+/// briefly, so retry for up to ~2s.
+ServerProc respawn_at(std::uint16_t port, SpawnOpts o) {
+  o.port = port;
+  for (int i = 0; i < 200; ++i) {
+    ServerProc sp = spawn_server_with(o, /*allow_bind_fail=*/true);
+    if (sp.pid > 0) return sp;
+    ::poll(nullptr, 0, 10);
+  }
+  ADD_FAILURE() << "could not rebind port " << port;
+  return ServerProc{};
+}
+
+/// A fresh, unique on-disk state directory.
+std::string temp_state_dir(const std::string& tag) {
+  std::string tmpl = testing::TempDir() + "fpmix_state_" + tag + "_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  char* got = ::mkdtemp(buf.data());
+  if (got == nullptr) {
+    ADD_FAILURE() << "mkdtemp failed for " << tmpl;
+    return tmpl;
+  }
+  return std::string(got);
 }
 
 net::HelloMsg make_hello() {
@@ -1351,6 +1562,417 @@ TEST(DistributedChaos, SeededChaosCampaignsConvergeAndAdoptByteIdentically) {
       EXPECT_EQ(config::to_text(w.index, res.final_config), oracle.config);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Durability: --state-dir persistence across SIGKILL + restart, damage
+// healing at reload, anti-entropy gossip, and seeded disk-fault campaigns.
+
+TEST(DistributedDurable, StateDirSurvivesSigkillRestartAndHealsDamage) {
+  SKIP_WITHOUT_NET();
+  const std::string state = temp_state_dir("restart");
+  const std::string fp = "fp:durable-restart";
+  SpawnOpts o;
+  o.workers = 1;
+  o.state_dir = state;
+  ServerProc sp = spawn_server_with(o);
+  ASSERT_GT(sp.pid, 0);
+
+  net::HelloMsg h = make_hello();
+  h.search_fp = fp;
+  std::string error;
+  auto c1 = net::EndpointClient::connect(sp.ep, h, 2000, 60000, &error);
+  ASSERT_NE(c1, nullptr) << error;
+  EXPECT_FALSE(c1->state_degraded());
+  EXPECT_EQ(c1->shard_records(), 0u);
+
+  const std::string meta = seal_record(
+      "{\"type\":\"meta\",\"version\":2,\"search_fp\":\"" + fp + "\"}", 1);
+  const std::string t1 = seal_record("{\"type\":\"trial\",\"key\":\"a\"}", 2);
+  const std::string t2 = seal_record("{\"type\":\"trial\",\"key\":\"b\"}", 3);
+  ASSERT_TRUE(c1->journal_append({meta}));
+  ASSERT_TRUE(c1->journal_append({t1}));
+  ASSERT_TRUE(c1->journal_append({t2}));
+  std::vector<std::string> lines;
+  ASSERT_TRUE(c1->fetch_journal(&lines, 10000, &error)) << error;
+  ASSERT_EQ(lines.size(), 3u);
+  c1.reset();
+
+  // SIGKILL: nothing graceful happens, yet every append already reached
+  // the shard file.
+  sp.stop();
+
+  // Damage the shard on disk the way real crashes do: flip one byte
+  // inside a sealed record (CRC now fails) and glue a torn half-record
+  // onto the tail (the write a dying daemon never finished).
+  const std::string shard_path =
+      state + "/shard-" + hex_digest(fnv1a64(fp)) + ".jsonl";
+  std::string bytes = read_file(shard_path);
+  ASSERT_FALSE(bytes.empty());
+  const std::size_t at = bytes.find("\"key\":\"b\"");
+  ASSERT_NE(at, std::string::npos);
+  bytes[at + 8] ^= 0x01;
+  bytes += "{\"type\":\"trial\",\"key\":\"half";  // no newline: torn tail
+  {
+    std::ofstream f(shard_path, std::ios::trunc | std::ios::binary);
+    f << bytes;
+  }
+
+  // Restart from the same state dir: the intact records reload, the
+  // damaged ones are dropped and the file is compacted down to what
+  // survived.
+  ServerProc sp2 = spawn_server_with(o);
+  ASSERT_GT(sp2.pid, 0);
+  auto c2 = net::EndpointClient::connect(sp2.ep, h, 2000, 60000, &error);
+  ASSERT_NE(c2, nullptr) << error;
+  EXPECT_FALSE(c2->state_degraded());
+  EXPECT_GE(c2->shards_reloaded(), 1u);
+  EXPECT_EQ(c2->shard_records(), 2u);  // meta + t1; t2 was corrupted
+  lines.clear();
+  ASSERT_TRUE(c2->fetch_journal(&lines, 10000, &error)) << error;
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], meta);
+  EXPECT_EQ(lines[1], t1);
+
+  // New appends continue the stream and also survive a second restart.
+  // The fetch round-trip after the append matters: appends are
+  // fire-and-forget, and TCP ordering means the daemon has processed
+  // (and persisted) the append before it can answer the fetch -- without
+  // it the SIGKILL below races the append frame.
+  ASSERT_TRUE(c2->journal_append({t2}));
+  lines.clear();
+  ASSERT_TRUE(c2->fetch_journal(&lines, 10000, &error)) << error;
+  ASSERT_EQ(lines.size(), 3u);
+  c2.reset();
+  sp2.stop();
+  const std::string healed = read_file(shard_path);
+  EXPECT_EQ(healed.find("half"), std::string::npos);  // tail healed away
+  ServerProc sp3 = spawn_server_with(o);
+  ASSERT_GT(sp3.pid, 0);
+  auto c3 = net::EndpointClient::connect(sp3.ep, h, 2000, 60000, &error);
+  ASSERT_NE(c3, nullptr) << error;
+  EXPECT_EQ(c3->shard_records(), 3u);
+  lines.clear();
+  ASSERT_TRUE(c3->fetch_journal(&lines, 10000, &error)) << error;
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[2], t2);
+}
+
+TEST(DistributedDurable, VerdictCacheSurvivesRestartAndServesCacheHits) {
+  SKIP_WITHOUT_NET();
+  const std::string state = temp_state_dir("cache");
+  SpawnOpts o;
+  o.workers = 2;
+  o.state_dir = state;
+  ServerProc sp = spawn_server_with(o);
+  ASSERT_GT(sp.pid, 0);
+
+  search::SearchOptions opts;
+  opts.endpoints = {sp.ep.str()};
+  opts.remote_bench = "iso";
+  opts.shard_cache = true;
+  NetWorkload a = make_workload();
+  const search::SearchResult first =
+      search::run_search(a.image, &a.index, *a.verifier, opts);
+  EXPECT_FALSE(first.metrics.remote_degraded);
+  EXPECT_GT(first.metrics.remote_trials, 0u);
+
+  // Kill the daemon outright; a successor on the same state dir reloads
+  // the persisted verdict cache, so the repeat search is answered from it
+  // without re-evaluating -- across a process death, not just a session.
+  sp.stop();
+  ServerProc sp2 = spawn_server_with(o);
+  ASSERT_GT(sp2.pid, 0);
+  opts.endpoints = {sp2.ep.str()};
+  NetWorkload b = make_workload();
+  const search::SearchResult second =
+      search::run_search(b.image, &b.index, *b.verifier, opts);
+  EXPECT_GT(second.metrics.shard_cache_hits, 0u);
+  EXPECT_EQ(second.configs_tested, first.configs_tested);
+  EXPECT_EQ(second.final_passed, first.final_passed);
+  EXPECT_EQ(config::to_text(b.index, second.final_config),
+            config::to_text(a.index, first.final_config));
+  ASSERT_EQ(second.metrics.endpoints_used.size(), 1u);
+  EXPECT_GE(second.metrics.endpoints_used[0].shards_reloaded, 1u);
+}
+
+TEST(DistributedDurable, UnwritableStateDirDegradesToInMemory) {
+  SKIP_WITHOUT_NET();
+  // A state dir that cannot exist: a path component is a regular file.
+  const std::string blocker = testing::TempDir() + "fpmix_state_blocker";
+  {
+    std::ofstream f(blocker, std::ios::trunc);
+    f << "not a directory\n";
+  }
+  SpawnOpts o;
+  o.workers = 1;
+  o.state_dir = blocker + "/sub";
+  ServerProc sp = spawn_server_with(o);
+  ASSERT_GT(sp.pid, 0);
+
+  // The daemon still serves -- in-memory, with the degradation announced
+  // in the very first hello ack.
+  net::HelloMsg h = make_hello();
+  h.search_fp = "fp:degraded";
+  std::string error;
+  auto c = net::EndpointClient::connect(sp.ep, h, 2000, 60000, &error);
+  ASSERT_NE(c, nullptr) << error;
+  EXPECT_TRUE(c->state_degraded());
+  EXPECT_GE(c->disk_faults(), 1u);
+  ASSERT_TRUE(c->journal_append({seal_record(
+      "{\"type\":\"meta\",\"version\":2,\"search_fp\":\"fp:degraded\"}", 1)}));
+  std::vector<std::string> lines;
+  ASSERT_TRUE(c->fetch_journal(&lines, 10000, &error)) << error;
+  EXPECT_EQ(lines.size(), 1u);
+  std::remove(blocker.c_str());
+}
+
+TEST(DistributedGossip, GossipRepairsBlankedShardWithoutAdoption) {
+  SKIP_WITHOUT_NET();
+  ServerProc s1 = spawn_server(1);
+  SpawnOpts o2;
+  o2.workers = 1;
+  ServerProc s2 = spawn_server_with(o2);
+  ASSERT_GT(s1.pid, 0);
+  ASSERT_GT(s2.pid, 0);
+  const std::uint16_t port2 = s2.ep.port;
+
+  search::SchedulerOptions so;
+  so.endpoints = {s1.ep, s2.ep};
+  so.hello = make_hello();
+  so.hello.search_fp = "fp:gossip";
+  so.max_endpoint_failures = 64;
+  search::Scheduler sched(so);
+  ASSERT_EQ(sched.connect(), 2u);
+
+  // Stream a small committed history to the whole fleet.
+  std::vector<std::string> committed;
+  committed.push_back(seal_record(
+      "{\"type\":\"meta\",\"version\":2,\"search_fp\":\"fp:gossip\"}", 1));
+  for (std::uint64_t seq = 2; seq <= 6; ++seq) {
+    committed.push_back(seal_record(
+        "{\"type\":\"trial\",\"key\":\"k" + std::to_string(seq) + "\"}", seq));
+  }
+  for (const std::string& l : committed) sched.stream_journal(l);
+
+  // A digest round against a fleet that already agrees repairs nothing.
+  EXPECT_EQ(sched.gossip_now(5000), 0u);
+
+  // Blank one endpoint: SIGKILL it and restart it empty on the same port
+  // (no state dir -- its replica is simply gone, the worst case).
+  s2.stop();
+  s2 = respawn_at(port2, o2);
+  ASSERT_GT(s2.pid, 0);
+
+  // Gossip alone -- no adoption, no fetch -- must notice the blank digest
+  // and re-stream the full history. The first round after the drop downs
+  // the stale session; reconnect + heal happen within the backoff budget.
+  std::size_t repaired = 0;
+  for (int i = 0; i < 500 && repaired < committed.size(); ++i) {
+    repaired += sched.gossip_now(5000);
+    ::poll(nullptr, 0, 10);
+  }
+  EXPECT_GE(repaired, committed.size());
+
+  // The restarted endpoint now holds the byte-exact replica.
+  std::string error;
+  auto check = net::EndpointClient::connect(s2.ep, so.hello, 2000, 60000,
+                                            &error);
+  ASSERT_NE(check, nullptr) << error;
+  EXPECT_EQ(check->shard_records(), committed.size());
+  std::vector<std::string> lines;
+  ASSERT_TRUE(check->fetch_journal(&lines, 10000, &error)) << error;
+  ASSERT_EQ(lines.size(), committed.size());
+  for (std::size_t i = 0; i < committed.size(); ++i) {
+    EXPECT_EQ(lines[i], committed[i]);
+  }
+
+  const std::vector<search::EndpointMetrics> em = sched.endpoint_metrics();
+  ASSERT_EQ(em.size(), 2u);
+  EXPECT_GE(em[1].records_repaired, committed.size());
+  EXPECT_GT(em[1].gossip_rounds, 0u);
+}
+
+TEST(DistributedDurable, DaemonSigkilledMidSearchRestartsFromStateDir) {
+  SKIP_WITHOUT_NET();
+  const Oracle oracle = local_oracle("durable_kill");
+  const std::string state = temp_state_dir("midsearch");
+  SpawnOpts o1;
+  o1.workers = 2;
+  o1.state_dir = state;
+  ServerProc s1 = spawn_server_with(o1);
+  ServerProc s2 = spawn_server(2);
+  ASSERT_GT(s1.pid, 0);
+  ASSERT_GT(s2.pid, 0);
+  const std::uint16_t port1 = s1.ep.port;
+
+  const std::string fleet_j = temp_journal("net_durable_kill.jsonl");
+  // A sidecar kills the stateful daemon once the search shows progress,
+  // then restarts it from the same state dir on the same port. The
+  // scheduler rides the death (failover + reconnect) and gossip re-streams
+  // whatever the shard missed while the daemon was down.
+  ServerProc restarted;
+  std::thread killer([&]() {
+    kill_after_progress(s1.pid, fleet_j, /*min_lines=*/3);
+    s1.pid = -1;  // reaped by kill_after_progress
+    restarted = respawn_at(port1, o1);
+  });
+
+  search::SearchOptions fleet;
+  fleet.endpoints = {"127.0.0.1:" + std::to_string(port1), s2.ep.str()};
+  fleet.remote_bench = "iso";
+  fleet.journal_timings = false;
+  fleet.journal_path = fleet_j;
+  fleet.max_endpoint_failures = 64;
+  fleet.heartbeat_ms = 20;
+  fleet.gossip_ms = 20;
+  NetWorkload w = make_workload();
+  const search::SearchResult res =
+      search::run_search(w.image, &w.index, *w.verifier, fleet);
+  killer.join();
+
+  // Byte-identical convergence: the daemon death cost availability only.
+  EXPECT_EQ(read_file(fleet_j), oracle.journal);
+  EXPECT_EQ(config::to_text(w.index, res.final_config), oracle.config);
+  EXPECT_EQ(res.metrics.remote_unserved, 0u);
+  ASSERT_EQ(res.metrics.endpoints_used.size(), 2u);
+  const search::EndpointMetrics& em = res.metrics.endpoints_used[0];
+  EXPECT_GE(em.disconnects, 1u);
+  // The reconnect handshake saw the state reloaded from disk (the daemon
+  // was not blank after its restart)...
+  EXPECT_GE(em.shards_reloaded + em.journal_records, 1u);
+
+  // ...and after the run the restarted daemon's shard is the full journal
+  // byte-for-byte (reload + gossip healing, not adoption).
+  net::HelloMsg h = make_hello();
+  h.search_fp = "";
+  std::string error;
+  std::vector<std::string> lines;
+  {
+    search::SchedulerOptions so;
+    so.endpoints = {net::Endpoint{"127.0.0.1", port1}};
+    so.hello = make_hello();
+    // Recover the search fingerprint from the journal's meta record.
+    const std::string bytes = read_file(fleet_j);
+    JsonRecord meta;
+    ASSERT_TRUE(parse_flat_json(bytes.substr(0, bytes.find('\n')), &meta));
+    so.hello.search_fp = meta["search_fp"];
+    search::Scheduler probe(so);
+    ASSERT_EQ(probe.connect(), 1u);
+    ASSERT_EQ(probe.fetch_fleet_journal(&lines), 1u);
+  }
+  std::string shard_bytes;
+  for (const std::string& l : lines) {
+    shard_bytes += l;
+    shard_bytes += '\n';
+  }
+  EXPECT_EQ(shard_bytes, oracle.journal);
+}
+
+TEST(DistributedDiskChaos, SeededDiskFaultCampaignsStayByteIdentical) {
+  SKIP_WITHOUT_NET();
+  const Oracle oracle = local_oracle("disk_chaos");
+  fault::DiskChaos::Rates rates;
+  rates.short_write = 0.05;
+  rates.torn_record = 0.05;
+  rates.fsync_fail = 0.05;
+  rates.unreadable = 0.25;  // fires only at reload, i.e. the restart leg
+
+  // Even campaigns run undisturbed under write faults; odd campaigns also
+  // SIGKILL + restart the stateful daemon mid-search, so torn shard tails
+  // written by the fault campaign are healed at reload and the gap is
+  // gossip-repaired. Every campaign must land the oracle's exact bytes:
+  // daemon-side disk damage may cost durability, never verdicts.
+  const std::size_t campaigns = std::max<std::size_t>(2, soak_campaigns() / 8);
+  std::uint64_t total_faults = 0;
+  for (std::size_t c = 0; c < campaigns; ++c) {
+    SCOPED_TRACE("campaign " + std::to_string(c));
+    const fault::DiskChaos chaos(0xD15C0000 + c, rates);
+    const std::string state1 = temp_state_dir("dc1_" + std::to_string(c));
+    const std::string state2 = temp_state_dir("dc2_" + std::to_string(c));
+    SpawnOpts o1;
+    o1.workers = 2;
+    o1.state_dir = state1;
+    o1.disk_chaos = &chaos;
+    SpawnOpts o2 = o1;
+    o2.state_dir = state2;
+    ServerProc s1 = spawn_server_with(o1);
+    ServerProc s2 = spawn_server_with(o2);
+    ASSERT_GT(s1.pid, 0);
+    ASSERT_GT(s2.pid, 0);
+    const std::uint16_t port1 = s1.ep.port;
+
+    const std::string cj =
+        temp_journal("net_disk_chaos_" + std::to_string(c) + ".jsonl");
+    ServerProc restarted;
+    std::thread killer;
+    if (c % 2 == 1) {
+      killer = std::thread([&]() {
+        kill_after_progress(s1.pid, cj, /*min_lines=*/3);
+        s1.pid = -1;
+        restarted = respawn_at(port1, o1);
+      });
+    }
+
+    search::SearchOptions fleet;
+    fleet.endpoints = {"127.0.0.1:" + std::to_string(port1), s2.ep.str()};
+    fleet.remote_bench = "iso";
+    fleet.journal_timings = false;
+    fleet.journal_path = cj;
+    fleet.max_endpoint_failures = 64;
+    fleet.heartbeat_ms = 20;
+    fleet.gossip_ms = 20;
+    NetWorkload w = make_workload();
+    const search::SearchResult res =
+        search::run_search(w.image, &w.index, *w.verifier, fleet);
+    if (killer.joinable()) killer.join();
+
+    EXPECT_FALSE(res.metrics.remote_degraded);
+    EXPECT_EQ(read_file(cj), oracle.journal);
+    EXPECT_EQ(config::to_text(w.index, res.final_config), oracle.config);
+
+    // The campaign's injected faults are visible in a fresh handshake's
+    // durability census (store-wide counters survive within the daemon).
+    std::string error;
+    for (const net::Endpoint& ep :
+         {net::Endpoint{"127.0.0.1", port1}, s2.ep}) {
+      auto probe =
+          net::EndpointClient::connect(ep, make_hello(), 2000, 60000, &error);
+      if (probe != nullptr) total_faults += probe->disk_faults();
+    }
+  }
+  EXPECT_GT(total_faults, 0u);
+
+  // The degraded leg: a daemon whose state dir is unusable serves the
+  // whole search in-memory, byte-identically, with the degradation
+  // counted in the scheduler's metrics.
+  const std::string blocker = testing::TempDir() + "fpmix_dc_blocker";
+  {
+    std::ofstream f(blocker, std::ios::trunc);
+    f << "not a directory\n";
+  }
+  SpawnOpts od;
+  od.workers = 2;
+  od.state_dir = blocker + "/sub";
+  ServerProc sd1 = spawn_server_with(od);
+  ServerProc sd2 = spawn_server(2);
+  ASSERT_GT(sd1.pid, 0);
+  ASSERT_GT(sd2.pid, 0);
+  const std::string dj = temp_journal("net_disk_degraded.jsonl");
+  search::SearchOptions fleet;
+  fleet.endpoints = {sd1.ep.str(), sd2.ep.str()};
+  fleet.remote_bench = "iso";
+  fleet.journal_timings = false;
+  fleet.journal_path = dj;
+  fleet.gossip_ms = 20;
+  NetWorkload w = make_workload();
+  const search::SearchResult res =
+      search::run_search(w.image, &w.index, *w.verifier, fleet);
+  EXPECT_EQ(read_file(dj), oracle.journal);
+  EXPECT_EQ(config::to_text(w.index, res.final_config), oracle.config);
+  EXPECT_GE(res.metrics.state_degraded, 1u);
+  EXPECT_GE(res.metrics.disk_faults, 1u);
+  std::remove(blocker.c_str());
 }
 
 #endif  // POSIX fork

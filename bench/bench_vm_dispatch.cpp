@@ -8,19 +8,23 @@
 // with a non-zero exit, so this binary doubles as an end-to-end
 // differential check.
 //
-// Usage: bench_vm_dispatch [S|W|A] [--quick]
+// Usage: bench_vm_dispatch [S|W|A] [--quick] [--json FILE]
 //   --quick: class S, one repetition per engine (the CI smoke
 //   configuration; still prints the full table).
+//   --json FILE: also write the per-kernel rows and geomean as one JSON
+//   object (seeds BENCH_DISPATCH.json).
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "kernels/workload.hpp"
 #include "lang/compile.hpp"
+#include "support/strings.hpp"
 #include "support/timer.hpp"
 #include "vm/machine.hpp"
 
@@ -64,9 +68,12 @@ int main(int argc, char** argv) {
 
   char cls = 'W';
   bool quick = false;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else if (std::strlen(argv[i]) == 1) {
       cls = argv[i][0];
     }
@@ -93,6 +100,7 @@ int main(int argc, char** argv) {
 
   bool all_match = true;
   double log_speedup_sum = 0.0;
+  std::string json_rows;
   for (const kernels::Workload& w : suite) {
     const program::Image img = kernels::build_image(w);
     const auto exec = vm::ExecutableImage::build(img);
@@ -134,6 +142,12 @@ int main(int argc, char** argv) {
     std::printf("%-8s %14llu %12.1f %12.1f %8.2fx\n", w.name.c_str(),
                 static_cast<unsigned long long>(micro.retired), sw_mips,
                 micro_mips, speedup);
+    json_rows += strformat(
+        "%s    {\"name\": \"%s\", \"instructions\": %llu, "
+        "\"switch_mips\": %.1f, \"micro_mips\": %.1f, \"speedup\": %.3f}",
+        json_rows.empty() ? "" : ",\n", w.name.c_str(),
+        static_cast<unsigned long long>(micro.retired), sw_mips, micro_mips,
+        speedup);
   }
   bench::print_rule(78);
   if (!all_match) {
@@ -143,5 +157,17 @@ int main(int argc, char** argv) {
   const double geomean =
       std::exp(log_speedup_sum / static_cast<double>(suite.size()));
   std::printf("geomean speedup: %.2fx (micro-op over switch)\n", geomean);
+  if (!json_path.empty()) {
+    std::ofstream f(json_path);
+    if (!f) {
+      std::printf("FAIL: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    f << "{\n  \"bench\": \"bench_vm_dispatch\",\n"
+      << strformat("  \"class\": \"%c\",\n", cls)
+      << strformat("  \"reps\": %d,\n", reps) << "  \"kernels\": [\n"
+      << json_rows << "\n  ],\n"
+      << strformat("  \"geomean_speedup\": %.3f\n}\n", geomean);
+  }
   return 0;
 }

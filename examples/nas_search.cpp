@@ -90,6 +90,7 @@
 #include "support/log.hpp"
 #include "support/strings.hpp"
 #include "support/timer.hpp"
+#include "vm/jit/jit.hpp"
 #include "vm/machine.hpp"
 
 using namespace fpmix;
@@ -232,6 +233,31 @@ bool write_metrics_json(const std::string& path,
         s.quarantines);
   }
   j += "],\n";
+  // Process-wide JIT lowering census (static uop counts across every
+  // compile_stream call this run, including delta re-JITs): how many uops
+  // lowered to inline native code vs the generic-exec fallback vs an
+  // out-of-line helper call, per op family.
+  {
+    const vm::jit::LoweringStats lw = vm::jit::lowering_totals();
+    j += "  \"jit_lowering\": {";
+    bool first = true;
+    for (int f = 0; f < vm::jit::LoweringStats::kNumFamilies; ++f) {
+      j += strformat(
+          "%s\"%s\": {\"native\": %llu, \"generic\": %llu, "
+          "\"helper\": %llu}",
+          first ? "" : ", ", vm::jit::lowering_family_name(f),
+          static_cast<unsigned long long>(lw.native[f]),
+          static_cast<unsigned long long>(lw.generic[f]),
+          static_cast<unsigned long long>(lw.helper[f]));
+      first = false;
+    }
+    j += strformat(
+        ", \"fused_pairs\": %llu, \"reg_alloc_blocks\": %llu, "
+        "\"reg_alloc_slots\": %llu},\n",
+        static_cast<unsigned long long>(lw.fused_pairs),
+        static_cast<unsigned long long>(lw.reg_alloc_blocks),
+        static_cast<unsigned long long>(lw.reg_alloc_slots));
+  }
   uint("configs_tested", res.configs_tested);
   boolean("refined", res.refined);
   j += strformat("  \"final_passed\": %s\n}\n",

@@ -382,6 +382,18 @@ class Emitter {
   void movss_xmx(int xdst, int base, int index, std::int32_t disp) {
     sse_rmx(0xF3, 0x10, xdst, base, index, disp);
   }
+  void movss_rr(int xdst, int xsrc) {  // low 32 bits; upper 96 preserved
+    sse_rr(0xF3, 0x10, xdst, xsrc);
+  }
+  void movups_xm(int xdst, int base, std::int32_t disp) {  // 16-byte load
+    sse_rm(0, 0x10, xdst, base, disp);
+  }
+  void movups_mx(int base, std::int32_t disp, int xsrc) {  // 16-byte store
+    sse_rm(0, 0x11, xsrc, base, disp);
+  }
+  void movups_xmx(int xdst, int base, int index, std::int32_t disp) {
+    sse_rmx(0, 0x10, xdst, base, index, disp);
+  }
   void movaps_rr(int dst, int src) { sse_rr(0, 0x28, dst, src); }
   void cmpltsd(int dst, int src) {  // dst = dst < src ? ~0 : 0 (low lane)
     sse_rr(0xF2, 0xC2, dst, src); u8(1);
@@ -392,12 +404,61 @@ class Emitter {
   void andpd(int dst, int src) { sse_rr(0x66, 0x54, dst, src); }
   void andnpd(int dst, int src) { sse_rr(0x66, 0x55, dst, src); }
   void orpd(int dst, int src) { sse_rr(0x66, 0x56, dst, src); }
+  void xorpd(int dst, int src) { sse_rr(0x66, 0x57, dst, src); }
   void ucomisd(int a, int b) { sse_rr(0x66, 0x2E, a, b); }
   void ucomiss(int a, int b) { sse_rr(0, 0x2E, a, b); }
   void cvtsi2sd(int xdst, int rsrc) { sse_rr(0xF2, 0x2A, xdst, rsrc, true); }
   void cvtsi2ss(int xdst, int rsrc) { sse_rr(0xF3, 0x2A, xdst, rsrc, true); }
   void cvtsd2ss(int xdst, int xsrc) { sse_rr(0xF2, 0x5A, xdst, xsrc); }
   void cvtss2sd(int xdst, int xsrc) { sse_rr(0xF3, 0x5A, xdst, xsrc); }
+  void cvttsd2si(int rdst, int xsrc) { sse_rr(0xF2, 0x2C, rdst, xsrc, true); }
+  void cvttss2si(int rdst, int xsrc) { sse_rr(0xF3, 0x2C, rdst, xsrc, true); }
+  void movq_xm(int xdst, int base, std::int32_t disp) {  // movq xmm, m64
+    sse_rm(0xF3, 0x7E, xdst, base, disp);                // (zeroes upper lane)
+  }
+  void movq_xmx(int xdst, int base, int index, std::int32_t disp) {
+    sse_rmx(0xF3, 0x7E, xdst, base, index, disp);
+  }
+  void movq_mxx(int base, int index, std::int32_t disp, int xsrc) {
+    sse_rmx(0x66, 0xD6, xsrc, base, index, disp);
+  }
+  void movq_xx(int xdst, int xsrc) {  // copy low qword, zero upper lane
+    sse_rr(0xF3, 0x7E, xdst, xsrc);
+  }
+  /// roundsd xmm, xmm, imm8 — SSE4.1; mode 0x9 = floor, 0xA = ceil
+  /// (bit 3 suppresses precision exceptions).
+  void roundsd(int xdst, int xsrc, std::uint8_t mode) {
+    u8(0x66); rex(false, xdst, 0, xsrc);
+    u8(0x0F); u8(0x3A); u8(0x0B); modrm(3, xdst, xsrc); u8(mode);
+  }
+  /// roundss xmm, xmm, imm8 — SSE4.1 single-precision twin of roundsd;
+  /// reads/writes the low dword only, upper bits of dst preserved.
+  void roundss(int xdst, int xsrc, std::uint8_t mode) {
+    u8(0x66); rex(false, xdst, 0, xsrc);
+    u8(0x0F); u8(0x3A); u8(0x0A); modrm(3, xdst, xsrc); u8(mode);
+  }
+
+  // --- integer divide ------------------------------------------------------
+
+  void cqo() { u8(0x48); u8(0x99); }  // sign-extend rax into rdx:rax
+  void idiv_r(int reg) {              // signed divide rdx:rax by r64
+    rex(true, 0, 0, reg); u8(0xF7); modrm(3, 7, reg);
+  }
+
+  /// op: 4 = shl, 5 = shr, 7 = sar. Shift r64 by cl.
+  void shift_r_cl(int op, int reg) {
+    rex(true, 0, 0, reg); u8(0xD3); modrm(3, op, reg);
+  }
+  void shift_r_i8(int op, int reg, std::uint8_t imm) {
+    rex(true, 0, 0, reg); u8(0xC1); modrm(3, op, reg); u8(imm);
+  }
+  void imul_rri(int dst, int src, std::int32_t imm) {  // dst = src * imm32
+    rex(true, dst, 0, src); u8(0x69); modrm(3, dst, src);
+    u32(static_cast<std::uint32_t>(imm));
+  }
+  void btr_ri(int reg, std::uint8_t bit) {  // clear bit `bit` of r64
+    rex(true, 0, 0, reg); u8(0x0F); u8(0xBA); modrm(3, 6, reg); u8(bit);
+  }
 };
 
 }  // namespace fpmix::vm::jit

@@ -35,6 +35,7 @@
 #include <memory>
 #include <vector>
 
+#include "arch/intrinsics.hpp"
 #include "vm/exec_image.hpp"
 
 namespace fpmix::vm::jit {
@@ -50,6 +51,10 @@ enum : std::uint32_t {
   kExitHalt = 0,    // clean stop: halt, or ret to the null frame
   kExitBudget = 1,  // retired reached max_instructions (exit_pc = resume pc)
   kExitTrap = 2,    // helper composed a trap (exit_pc = faulting pc)
+  kExitBudgetNear = 3,  // a block-entry guard found the budget boundary
+                        // inside the block: fewer than the block's retire
+                        // count remain. Nothing was executed; the driver
+                        // interprets from exit_pc to the exact boundary.
 };
 
 struct JitContext {
@@ -75,6 +80,13 @@ struct JitContext {
   const void* help_intrin;         // +120 (ctx, pc) -> 1 | 0 on trap
   void* run_state;                 // +128 Machine-side state (trap sink)
   const void* image;               // +136 owning JitImage
+  const void* help_op_trap;        // +144 (ctx, pc, msg_id) divide/cvtt traps
+  const void* const* intrin_fn;    // +152 per-id double(*)(double) | null
+  // One-compare bounds limits: addr >= mem_limitN  ⟺  addr + N > mem_size,
+  // with no wrap possible because the address itself is compared. 0 when
+  // mem_size < N (every address faults).
+  std::uint64_t mem_limit8;        // +160 mem_size - 7, saturated to 0
+  std::uint64_t mem_limit4;        // +168 mem_size - 3, saturated to 0
 };
 static_assert(offsetof(JitContext, retired) == 32);
 static_assert(offsetof(JitContext, tag_cmp) == 56);
@@ -83,11 +95,45 @@ static_assert(offsetof(JitContext, flag_eq) == 76);
 static_assert(offsetof(JitContext, epilogue) == 80);
 static_assert(offsetof(JitContext, help_intrin) == 120);
 static_assert(offsetof(JitContext, image) == 136);
+static_assert(offsetof(JitContext, help_op_trap) == 144);
+static_assert(offsetof(JitContext, intrin_fn) == 152);
+static_assert(offsetof(JitContext, mem_limit8) == 160);
+static_assert(offsetof(JitContext, mem_limit4) == 168);
+
+/// help_op_trap message selectors (kept in one place so the helper composes
+/// byte-identical interpreter trap text).
+enum : std::uint32_t {
+  kOpTrapDivZero = 0,       // "integer division by zero"
+  kOpTrapRemZero = 1,       // "integer remainder by zero"
+  kOpTrapDivOverflow = 2,   // "integer division overflow"
+  kOpTrapRemOverflow = 3,   // "integer remainder overflow"
+  kOpTrapCvttSdRange = 4,   // "cvttsd2si operand out of int64 range"
+  kOpTrapCvttSsRange = 5,   // "cvttss2si operand out of int64 range"
+};
 
 /// tag_cmp value when the tag trap is disabled: compiled code compares
 /// `bits >> 32` (always < 2^32) against this, so it can never match and no
 /// separate no-trap compilation variant is needed.
 inline constexpr std::uint64_t kTagCmpDisabled = 1ull << 40;
+
+/// True for intrinsic ids whose bodies compiled code may invoke directly
+/// through JitContext::intrin_fn (the hot unary math set: one f64 in, one
+/// f64 out, no machine-state side effects). Must agree with the non-null
+/// entries of the machine's intrin_fn table -- checked at table build time.
+constexpr bool intrinsic_inlinable(std::uint16_t id) {
+  using arch::intrinsics::Id;
+  switch (static_cast<Id>(id)) {
+    case Id::kSin: case Id::kCos: case Id::kTan:
+    case Id::kExp: case Id::kLog:
+    case Id::kFloor: case Id::kCeil: case Id::kFabs:
+    case Id::kSinF32: case Id::kCosF32: case Id::kTanF32:
+    case Id::kExpF32: case Id::kLogF32:
+    case Id::kFloorF32: case Id::kCeilF32: case Id::kFabsF32:
+      return true;
+    default:
+      return false;
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Position-independent segment blobs.
@@ -110,6 +156,62 @@ struct Reloc {
   std::uint64_t value;
 };
 
+/// How each micro-op was lowered, tallied per op family: "native" = inline
+/// host code, "helper" = out-of-line C++ helper on the hot path
+/// (intrinsic/ret), "generic" = one-instruction micro-op interpreter
+/// fallback. Surfaced by bench_jit_compile and --metrics-json so
+/// specialisation gaps are visible instead of silent.
+struct LoweringStats {
+  enum Family : int {
+    kInt = 0,    // mov/lea/alu/shift/cmp/test
+    kMem,        // load/store/push/pop (gpr + xmm)
+    kBranch,     // jmp/jcc (incl. the branch half of fused pairs)
+    kCallRet,
+    kF64,        // scalar double arithmetic/compare/minmax/sqrt
+    kF32,        // scalar float arithmetic/compare/minmax/sqrt
+    kPacked,     // pd/ps packed arithmetic
+    kBitwise,    // andpd/orpd/xorpd
+    kConvert,    // cvt* conversions
+    kDivRem,     // idiv/irem
+    kIntrin,
+    kOther,      // nop/halt/fallback
+    kNumFamilies,
+  };
+  std::uint64_t native[kNumFamilies] = {};
+  std::uint64_t generic[kNumFamilies] = {};
+  std::uint64_t helper[kNumFamilies] = {};
+  std::uint64_t fused_pairs = 0;  // cmp/test+jcc pairs with flags elided
+  std::uint64_t reg_alloc_blocks = 0;  // blocks that got host registers
+  std::uint64_t reg_alloc_slots = 0;   // guest slots promoted across blocks
+
+  void add(const LoweringStats& o) {
+    for (int f = 0; f < kNumFamilies; ++f) {
+      native[f] += o.native[f];
+      generic[f] += o.generic[f];
+      helper[f] += o.helper[f];
+    }
+    fused_pairs += o.fused_pairs;
+    reg_alloc_blocks += o.reg_alloc_blocks;
+    reg_alloc_slots += o.reg_alloc_slots;
+  }
+  std::uint64_t total(const std::uint64_t* a) const {
+    std::uint64_t s = 0;
+    for (int f = 0; f < kNumFamilies; ++f) s += a[f];
+    return s;
+  }
+  std::uint64_t total_native() const { return total(native); }
+  std::uint64_t total_generic() const { return total(generic); }
+  std::uint64_t total_helper() const { return total(helper); }
+};
+
+/// Human-readable name for a LoweringStats::Family index.
+const char* lowering_family_name(int family);
+
+/// Process-wide lowering totals accumulated by every compile_stream call
+/// (internally synchronised), for --metrics-json; reset for benchmarks.
+LoweringStats lowering_totals();
+void reset_lowering_totals();
+
 /// Native code compiled from one micro-op stream in local form. Immutable
 /// and position-independent: link_image copies it anywhere and applies the
 /// relocations.
@@ -119,6 +221,8 @@ class SegmentBlob {
   std::vector<Reloc> relocs;
   /// Byte offset of each instruction's native entry (size = uop count).
   std::vector<std::uint32_t> instr_off;
+  /// Per-blob lowering census (also accumulated into lowering_totals()).
+  LoweringStats stats;
 };
 
 /// Compilation mode for a stream's control-transfer immediates.

@@ -1754,6 +1754,116 @@ struct JitExec {
     }
   }
 
+  /// Arithmetic trap from a specialised template (idiv/irem, cvtt*): the
+  /// interpreter's message is selected by id so the text stays
+  /// byte-identical without the generic-exec detour.
+  static void help_op_trap(jit::JitContext* ctx, std::uint64_t pc,
+                           std::uint64_t msg_id) {
+    static const char* const kMsgs[] = {
+        "integer division by zero",
+        "integer remainder by zero",
+        "integer division overflow",
+        "integer remainder overflow",
+        "cvttsd2si operand out of int64 range",
+        "cvttss2si operand out of int64 range",
+    };
+    FPMIX_CHECK(msg_id < sizeof(kMsgs) / sizeof(kMsgs[0]));
+    record_trap(ctx, pc, kMsgs[msg_id], false);
+  }
+
+  // --- inlined-intrinsic call targets --------------------------------------
+  //
+  // The JIT's hot-intrinsic tier calls these double(double) entries directly
+  // from compiled code (arguments/results move through host xmm0). They call
+  // the exact functions exec_intrinsic calls, so results are bit-identical;
+  // F32 twins share the double-precision entry because compiled code widens
+  // the argument and narrows the result exactly like arg_f32/ret_f32 above.
+  // Null entries (pow's two-argument evaluation order, output/print/MPI)
+  // keep the out-of-line help_intrin path.
+
+  static double in_sin(double x) { return std::sin(x); }
+  static double in_cos(double x) { return std::cos(x); }
+  static double in_tan(double x) { return std::tan(x); }
+  static double in_exp(double x) { return std::exp(x); }
+  static double in_log(double x) { return std::log(x); }
+  static double in_floor(double x) { return std::floor(x); }
+  static double in_ceil(double x) { return std::ceil(x); }
+  static double in_fabs(double x) { return std::fabs(x); }
+
+  static const void* const* intrin_fn_table() {
+    static const auto table = [] {
+      std::array<const void*, static_cast<std::size_t>(in::Id::kNumIntrinsics)>
+          t{};
+      const auto set = [&](in::Id id, double (*fn)(double)) {
+        t[static_cast<std::size_t>(id)] = reinterpret_cast<const void*>(fn);
+      };
+      set(in::Id::kSin, &in_sin);
+      set(in::Id::kCos, &in_cos);
+      set(in::Id::kTan, &in_tan);
+      set(in::Id::kExp, &in_exp);
+      set(in::Id::kLog, &in_log);
+      set(in::Id::kFloor, &in_floor);
+      set(in::Id::kCeil, &in_ceil);
+      set(in::Id::kFabs, &in_fabs);
+      set(in::Id::kSinF32, &in_sin);
+      set(in::Id::kCosF32, &in_cos);
+      set(in::Id::kTanF32, &in_tan);
+      set(in::Id::kExpF32, &in_exp);
+      set(in::Id::kLogF32, &in_log);
+      set(in::Id::kFloorF32, &in_floor);
+      set(in::Id::kCeilF32, &in_ceil);
+      set(in::Id::kFabsF32, &in_fabs);
+      // The compiler inlines exactly the ids this table covers; a mismatch
+      // would send an id to a null slot (crash) or silently skip the tier.
+      for (std::size_t i = 0; i < t.size(); ++i) {
+        FPMIX_CHECK(jit::intrinsic_inlinable(static_cast<std::uint16_t>(i)) ==
+                    (t[i] != nullptr));
+      }
+      return t;
+    }();
+    return table.data();
+  }
+
+  // --- timed helper variants (Options::time_jit_helpers) -------------------
+  //
+  // Same helpers wrapped in wall-clock accounting, installed in the context
+  // instead of the plain ones so the common path pays nothing. Only the
+  // helpers reachable on a non-trapping hot path are wrapped; trap helpers
+  // end the run anyway.
+
+  static std::uint64_t now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+  static void add_helper_ns(jit::JitContext* ctx, std::uint64_t t0) {
+    Machine& m = machine(ctx);
+    m.jit_helper_ns_ += now_ns() - t0;
+    m.jit_helper_calls_ += 1;
+  }
+
+  static const void* help_exec_timed(jit::JitContext* ctx, std::uint64_t pc) {
+    const std::uint64_t t0 = now_ns();
+    const void* r = help_exec(ctx, pc);
+    add_helper_ns(ctx, t0);
+    return r;
+  }
+  static const void* help_ret_timed(jit::JitContext* ctx, std::uint64_t ra,
+                                    std::uint64_t pc) {
+    const std::uint64_t t0 = now_ns();
+    const void* r = help_ret(ctx, ra, pc);
+    add_helper_ns(ctx, t0);
+    return r;
+  }
+  static std::uint64_t help_intrin_timed(jit::JitContext* ctx,
+                                         std::uint64_t pc) {
+    const std::uint64_t t0 = now_ns();
+    const std::uint64_t r = help_intrin(ctx, pc);
+    add_helper_ns(ctx, t0);
+    return r;
+  }
+
   // --- compilation caches --------------------------------------------------
 
   /// Compiles (or fetches) a segment's position-independent blob. Cached on
@@ -1806,6 +1916,50 @@ struct JitExec {
 
   // --- the run loop glue ---------------------------------------------------
 
+  /// Near-budget tail: a block-entry guard found the budget boundary inside
+  /// its block and exited before running any of it. Interpret one
+  /// instruction at a time (FPMIX_DISPATCH order: budget check, count,
+  /// retire, handler) up to the exact boundary -- the interpreter is the
+  /// semantic oracle, so the stop is bit-identical, including a stop
+  /// between a fused compare/branch (the handler materialises the flags)
+  /// and a fault applied at an exact retired count. Bounded work: strictly
+  /// fewer instructions remain than the block would have retired.
+  static std::uint32_t interp_near_tail(jit::JitContext* ctx, Machine& m) {
+    const auto& uops = m.exec_->uops();
+    std::size_t pc = static_cast<std::size_t>(ctx->exit_pc);
+    flags_to_machine(ctx, m);
+    while (true) {
+      if (ctx->retired >= ctx->max_instructions) {
+        ctx->exit_pc = pc;
+        flags_to_ctx(ctx, m);
+        return jit::kExitBudget;
+      }
+      if (pc >= uops.size()) {
+        flags_to_ctx(ctx, m);
+        record_trap(ctx, pc,
+                    strformat("execution ran past the end of the code"),
+                    false);
+        return jit::kExitTrap;
+      }
+      if (ctx->counts != nullptr) ++ctx->counts[pc];
+      ++ctx->retired;
+      try {
+        const MicroOp& u = uops[pc];
+        const std::size_t next =
+            kMicroTable[u.kind](m, u, pc);
+        if (next == MicroExec::kStop) {
+          flags_to_ctx(ctx, m);
+          return jit::kExitHalt;
+        }
+        pc = next;
+      } catch (const Machine::Trap& t) {
+        flags_to_ctx(ctx, m);
+        record_trap(ctx, pc, t.message, t.sentinel);
+        return jit::kExitTrap;
+      }
+    }
+  }
+
   static RunResult run(Machine& m) {
     const jit::Runtime* rt = jit::runtime();
     FPMIX_CHECK(rt != nullptr);  // run_engine verified jit_supported()
@@ -1834,13 +1988,28 @@ struct JitExec {
     ctx.epilogue = rt->epilogue;
     ctx.help_mem_trap = reinterpret_cast<const void*>(&help_mem_trap);
     ctx.help_tag_trap = reinterpret_cast<const void*>(&help_tag_trap);
-    ctx.help_exec = reinterpret_cast<const void*>(&help_exec);
-    ctx.help_ret = reinterpret_cast<const void*>(&help_ret);
-    ctx.help_intrin = reinterpret_cast<const void*>(&help_intrin);
+    if (m.options_.time_jit_helpers) {
+      ctx.help_exec = reinterpret_cast<const void*>(&help_exec_timed);
+      ctx.help_ret = reinterpret_cast<const void*>(&help_ret_timed);
+      ctx.help_intrin = reinterpret_cast<const void*>(&help_intrin_timed);
+    } else {
+      ctx.help_exec = reinterpret_cast<const void*>(&help_exec);
+      ctx.help_ret = reinterpret_cast<const void*>(&help_ret);
+      ctx.help_intrin = reinterpret_cast<const void*>(&help_intrin);
+    }
+    ctx.help_op_trap = reinterpret_cast<const void*>(&help_op_trap);
+    // Withholding the table forces every intrinsic through help_intrin, so
+    // the Amdahl split sees intrinsic time too (the inline tier would
+    // otherwise bypass the timed wrapper).
+    ctx.intrin_fn =
+        m.options_.time_jit_helpers ? nullptr : intrin_fn_table();
+    ctx.mem_limit8 = m.mem_size_ >= 8 ? m.mem_size_ - 7 : 0;
+    ctx.mem_limit4 = m.mem_size_ >= 4 ? m.mem_size_ - 3 : 0;
     ctx.run_state = &rs;
     ctx.image = img.get();
 
-    const std::uint32_t status = rt->entry(&ctx, img->native_addr(m.pc_));
+    std::uint32_t status = rt->entry(&ctx, img->native_addr(m.pc_));
+    if (status == jit::kExitBudgetNear) status = interp_near_tail(&ctx, m);
 
     RunResult result;
     m.retired_ = ctx.retired;

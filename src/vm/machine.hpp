@@ -100,6 +100,12 @@ class Machine {
     /// kind == kNone runs clean. Applied at the exact retired-instruction
     /// count of the spec, on either engine.
     const fault::VmFaultSpec* fault = nullptr;
+
+    /// JIT engine only: wrap the out-of-line C++ helpers (generic-exec,
+    /// intrinsic, ret) in wall-clock accounting so bench_jit_compile can
+    /// split kernel time into jitted code vs helper time (Amdahl view).
+    /// Adds a clock read per helper call; leave off for timed runs.
+    bool time_jit_helpers = false;
   };
 
   /// Convenience constructors: predecode a private ExecutableImage from
@@ -127,6 +133,13 @@ class Machine {
   const std::vector<std::int64_t>& output_i64() const { return output_i64_; }
 
   std::uint64_t instructions_retired() const { return retired_; }
+
+  /// Wall-clock nanoseconds spent in JIT helper calls (generic-exec,
+  /// intrinsic, ret resolution) when Options::time_jit_helpers was set;
+  /// 0 otherwise and on the interpreter engines.
+  std::uint64_t jit_helper_ns() const { return jit_helper_ns_; }
+  /// Helper-call count alongside jit_helper_ns() (same gating).
+  std::uint64_t jit_helper_calls() const { return jit_helper_calls_; }
 
   /// The shared predecoded image this machine executes.
   const std::shared_ptr<const ExecutableImage>& executable() const {
@@ -238,6 +251,8 @@ class Machine {
 
   std::vector<double> output_f64_;
   std::vector<std::int64_t> output_i64_;
+  std::uint64_t jit_helper_ns_ = 0;     // see Options::time_jit_helpers
+  std::uint64_t jit_helper_calls_ = 0;
   bool ran_ = false;
 };
 

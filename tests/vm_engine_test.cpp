@@ -18,6 +18,7 @@
 #include <bit>
 #include <cstdlib>
 #include <functional>
+#include <limits>
 #include <thread>
 
 #include "arch/encode.hpp"
@@ -311,6 +312,274 @@ TEST(EngineDiff, RangeTrapIdentical) {
                            "cvttsd2si range");
 }
 
+TEST(EngineDiff, DivisionEdgeCasesIdentical) {
+  // Quotient/remainder edges through both operand forms: the JIT lowers
+  // idiv/irem natively (cqo+idiv with explicit guards), so INT64_MIN/-1
+  // and /0 must produce the interpreter's trap -- not the hardware #DE --
+  // with the same message and retired count.
+  constexpr std::int64_t kMin = INT64_MIN;
+  constexpr std::int64_t kMax = INT64_MAX;
+  struct Case { std::int64_t a, b; };
+  const Case cases[] = {{7, 3},    {-7, 3},  {7, -3},   {-7, -3},
+                        {kMin, 1}, {kMax, -1}, {kMin, -1}, {42, 0},
+                        {kMin, 0}, {0, -1}};
+  for (const Opcode op : {Opcode::kIdiv, Opcode::kIrem}) {
+    for (const bool reg_form : {true, false}) {
+      for (const Case& c : cases) {
+        casm::Assembler a;
+        a.begin_function("main", "main");
+        a.emit(Opcode::kMov, Operand::gpr(1), Operand::make_imm(c.a));
+        if (reg_form) {
+          a.emit(Opcode::kMov, Operand::gpr(2), Operand::make_imm(c.b));
+          a.emit(op, Operand::gpr(1), Operand::gpr(2));
+        } else {
+          a.emit(op, Operand::gpr(1), Operand::make_imm(c.b));
+        }
+        a.intrin(in::Id::kOutputI64);  // reads gpr1
+        a.halt();
+        a.end_function();
+        expect_engines_identical(
+            program::relayout(a.finish("main")), {},
+            (std::string(arch::opcode_name(op)) +
+             (reg_form ? " rr " : " ri ") + std::to_string(c.a) + "/" +
+             std::to_string(c.b))
+                .c_str());
+      }
+    }
+  }
+}
+
+TEST(EngineDiff, TruncationBoundariesIdentical) {
+  // cvttsd2si / cvttss2si around the interpreter's +-9.2e18 guard band,
+  // plus NaN (the !(a<x && a>y) form traps on NaN). Each value runs as one
+  // program: in-range values publish the truncated integer, out-of-range
+  // values must trap with the same message on every engine.
+  const double f64_cases[] = {0.5,    -0.5,    9.19e18, -9.19e18, 9.3e18,
+                              -9.3e18, 9.2e18, -9.2e18,
+                              std::numeric_limits<double>::quiet_NaN(),
+                              std::numeric_limits<double>::infinity()};
+  for (const double v : f64_cases) {
+    casm::Assembler a;
+    a.begin_function("main", "main");
+    a.emit(Opcode::kMov, Operand::gpr(1),
+           Operand::make_imm(static_cast<std::int64_t>(
+               std::bit_cast<std::uint64_t>(v))));
+    a.emit(Opcode::kMovqXR, Operand::xmm(0), Operand::gpr(1));
+    a.emit(Opcode::kCvttsd2si, Operand::gpr(1), Operand::xmm(0));
+    a.intrin(in::Id::kOutputI64);
+    a.halt();
+    a.end_function();
+    expect_engines_identical(program::relayout(a.finish("main")), {},
+                             ("cvttsd2si " + std::to_string(v)).c_str());
+  }
+  const float f32_cases[] = {3.7f, -3.7f, 9.1e18f, -9.1e18f, 9.3e18f,
+                             std::numeric_limits<float>::quiet_NaN(),
+                             -std::numeric_limits<float>::infinity()};
+  for (const float v : f32_cases) {
+    casm::Assembler a;
+    a.begin_function("main", "main");
+    a.emit(Opcode::kMov, Operand::gpr(1),
+           Operand::make_imm(static_cast<std::int64_t>(
+               std::bit_cast<std::uint32_t>(v))));
+    a.emit(Opcode::kMovqXR, Operand::xmm(0), Operand::gpr(1));
+    a.emit(Opcode::kCvttss2si, Operand::gpr(1), Operand::xmm(0));
+    a.intrin(in::Id::kOutputI64);
+    a.halt();
+    a.end_function();
+    expect_engines_identical(program::relayout(a.finish("main")), {},
+                             ("cvttss2si " + std::to_string(v)).c_str());
+  }
+}
+
+namespace {
+
+/// Publishes both 64-bit halves of an xmm register through scratch memory
+/// (kMovapdMX then two integer loads), so packed-lane tests observe every
+/// bit of the 128-bit result.
+void output_xmm128(casm::Assembler& a, int xmm, std::int32_t scratch) {
+  a.emit(Opcode::kMovapdMX, Operand::mem_abs(scratch), Operand::xmm(xmm));
+  a.emit(Opcode::kLoad, Operand::gpr(1), Operand::mem_abs(scratch));
+  a.intrin(in::Id::kOutputI64);
+  a.emit(Opcode::kLoad, Operand::gpr(1), Operand::mem_abs(scratch + 8));
+  a.intrin(in::Id::kOutputI64);
+}
+
+}  // namespace
+
+TEST(EngineDiff, PackedLanesIdentical) {
+  // Packed pd/ps arithmetic and 128-bit bitwise ops, register and memory
+  // source forms, including dst==src aliasing. Both lanes of every result
+  // are published, so a lane swap or upper-lane corruption in the JIT's
+  // SSE lowering cannot hide.
+  casm::Assembler a;
+  a.begin_function("main", "main");
+  const auto d0 = a.data_f64(1.5);
+  const auto d1 = a.data_f64(-2.25);
+  a.data_f64(0.875);       // second lane of the 128-bit load at d1
+  const auto scratch = static_cast<std::int32_t>(a.data_i64(0));
+  a.data_i64(0);           // second half of the 16-byte scratch area
+
+  a.emit(Opcode::kMovapdXM, Operand::xmm(0),
+         Operand::mem_abs(static_cast<std::int32_t>(d0)));
+  a.emit(Opcode::kMovapdXM, Operand::xmm(1),
+         Operand::mem_abs(static_cast<std::int32_t>(d1)));
+  for (const Opcode op : {Opcode::kAddpd, Opcode::kSubpd, Opcode::kMulpd,
+                          Opcode::kDivpd}) {
+    a.emit(Opcode::kMovapdXX, Operand::xmm(2), Operand::xmm(0));
+    a.emit(op, Operand::xmm(2), Operand::xmm(1));          // reg src
+    output_xmm128(a, 2, scratch);
+    a.emit(Opcode::kMovapdXX, Operand::xmm(3), Operand::xmm(0));
+    a.emit(op, Operand::xmm(3),
+           Operand::mem_abs(static_cast<std::int32_t>(d1)));  // mem src
+    output_xmm128(a, 3, scratch);
+  }
+  a.emit(Opcode::kMovapdXX, Operand::xmm(4), Operand::xmm(1));
+  a.emit(Opcode::kMulpd, Operand::xmm(4), Operand::xmm(4));  // aliased
+  a.emit(Opcode::kSqrtpd, Operand::xmm(5), Operand::xmm(4));
+  output_xmm128(a, 5, scratch);
+
+  // ps: four f32 lanes per op.
+  for (const Opcode op : {Opcode::kAddps, Opcode::kSubps, Opcode::kMulps,
+                          Opcode::kDivps}) {
+    a.emit(Opcode::kMovapdXX, Operand::xmm(6), Operand::xmm(0));
+    a.emit(op, Operand::xmm(6), Operand::xmm(1));
+    output_xmm128(a, 6, scratch);
+  }
+  a.emit(Opcode::kMovapdXX, Operand::xmm(7), Operand::xmm(1));
+  a.emit(Opcode::kMulps, Operand::xmm(7), Operand::xmm(7));
+  a.emit(Opcode::kSqrtps, Operand::xmm(8), Operand::xmm(7));
+  output_xmm128(a, 8, scratch);
+
+  // 128-bit bitwise, reg and mem forms.
+  for (const Opcode op : {Opcode::kAndpd, Opcode::kOrpd, Opcode::kXorpd}) {
+    a.emit(Opcode::kMovapdXX, Operand::xmm(9), Operand::xmm(0));
+    a.emit(op, Operand::xmm(9), Operand::xmm(1));
+    output_xmm128(a, 9, scratch);
+    a.emit(Opcode::kMovapdXX, Operand::xmm(10), Operand::xmm(0));
+    a.emit(op, Operand::xmm(10),
+           Operand::mem_abs(static_cast<std::int32_t>(d1)));
+    output_xmm128(a, 10, scratch);
+  }
+  a.emit(Opcode::kXorpd, Operand::xmm(0), Operand::xmm(0));  // aliased zero
+  output_xmm128(a, 0, scratch);
+  a.halt();
+  a.end_function();
+  expect_engines_identical(program::relayout(a.finish("main")), {},
+                           "packed lanes");
+}
+
+TEST(EngineDiff, PackedTagInLaneTrapsIdentical) {
+  // A replaced-double sentinel in lane 1 only: packed arithmetic reads both
+  // lanes, so the tag trap must fire with the same diagnostic even though
+  // lane 0 is clean. Exercises the per-lane tag checks of the JIT's packed
+  // lowering.
+  casm::Assembler a;
+  a.begin_function("main", "main");
+  const auto d0 = a.data_f64(1.0);
+  a.data_i64(static_cast<std::int64_t>(arch::make_tagged(2.0f)));  // lane 1
+  a.emit(Opcode::kMovapdXM, Operand::xmm(0),
+         Operand::mem_abs(static_cast<std::int32_t>(d0)));
+  a.emit(Opcode::kAddpd, Operand::xmm(0), Operand::xmm(0));
+  a.halt();
+  a.end_function();
+  const program::Image img = program::relayout(a.finish("main"));
+  expect_engines_identical(img, {}, "tag in packed lane");
+
+  const auto exec = vm::ExecutableImage::build(img);
+  const EngineOut o = run_engine(exec, vm::Engine::kMicroOp, {});
+  EXPECT_EQ(o.result.status, vm::RunResult::Status::kTrapped);
+  EXPECT_TRUE(o.result.sentinel_escape);
+}
+
+TEST(EngineDiff, RegisterPressureSpillBlocksIdentical) {
+  // One long straight-line block touching more guest registers than the
+  // allocator has promotion hosts (3 gprs, 12 xmms): the block must spill
+  // and reload correctly, and a budget stop inside it must resume with
+  // bit-identical state. Every register is published at the end.
+  casm::Assembler a;
+  a.begin_function("main", "main");
+  for (int r = 1; r <= 10; ++r) {
+    a.emit(Opcode::kMov, Operand::gpr(static_cast<std::uint8_t>(r)),
+           Operand::make_imm(1000 + 17 * r));
+  }
+  for (int x = 0; x < 14; ++x) {
+    a.emit(Opcode::kMov, Operand::gpr(11),
+           Operand::make_imm(static_cast<std::int64_t>(
+               std::bit_cast<std::uint64_t>(0.5 + 0.25 * x))));
+    a.emit(Opcode::kMovqXR, Operand::xmm(static_cast<std::uint8_t>(x)),
+           Operand::gpr(11));
+  }
+  // Interleaved arithmetic: many live values, repeated uses of each.
+  for (int round = 0; round < 4; ++round) {
+    for (int r = 1; r <= 10; ++r) {
+      a.emit(Opcode::kAdd, Operand::gpr(static_cast<std::uint8_t>(r)),
+             Operand::gpr(static_cast<std::uint8_t>(1 + (r % 10))));
+    }
+    for (int x = 0; x < 14; ++x) {
+      a.emit(Opcode::kAddsd, Operand::xmm(static_cast<std::uint8_t>(x)),
+             Operand::xmm(static_cast<std::uint8_t>((x + 3) % 14)));
+    }
+  }
+  for (int r = 1; r <= 10; ++r) {
+    a.emit(Opcode::kMov, Operand::gpr(12),
+           Operand::gpr(static_cast<std::uint8_t>(r)));
+    a.emit(Opcode::kMov, Operand::gpr(1), Operand::gpr(12));
+    a.intrin(in::Id::kOutputI64);
+  }
+  for (int x = 0; x < 14; ++x) {
+    a.emit(Opcode::kMovsdXX, Operand::xmm(0),
+           Operand::xmm(static_cast<std::uint8_t>(x)));
+    a.intrin(in::Id::kOutputF64);
+  }
+  a.halt();
+  a.end_function();
+  const program::Image img = program::relayout(a.finish("main"));
+  expect_engines_identical(img, {}, "register pressure");
+
+  // Budget stops inside the block: retired counts and register state must
+  // match wherever the stop lands (the JIT's batched budget guards hand the
+  // tail to the interpreter at an arbitrary interior instruction).
+  const auto exec = vm::ExecutableImage::build(img);
+  const EngineOut full = run_engine(exec, vm::Engine::kSwitch, {});
+  ASSERT_TRUE(full.result.ok());
+  for (const std::uint64_t budget :
+       {std::uint64_t{1}, std::uint64_t{2}, full.retired / 3,
+        full.retired / 2, full.retired - 1}) {
+    vm::Machine::Options opts;
+    opts.max_instructions = budget;
+    expect_engines_identical(img, opts,
+                             ("pressure budget " + std::to_string(budget)).c_str());
+  }
+}
+
+TEST(EngineDiff, BudgetBoundarySweepOnFuzzedProgram) {
+  // Sweeps the instruction budget across a fuzzed program so stops land on
+  // covered-run interiors, fused compare+branch pairs and intrinsic calls.
+  // The JIT exits via its near-budget stub and finishes on the interpreter;
+  // the observable state must stay bit-identical at every boundary.
+  const lang::ProgramModel model = random_model(0xB0DE7);
+  const program::Image img =
+      program::relayout(lang::compile(model, lang::Mode::kDouble));
+  const auto exec = vm::ExecutableImage::build(img);
+  const EngineOut full = run_engine(exec, vm::Engine::kSwitch, {});
+  ASSERT_TRUE(full.result.ok());
+  ASSERT_GT(full.retired, 64u);
+  for (std::uint64_t budget = full.retired - 9; budget <= full.retired;
+       ++budget) {
+    vm::Machine::Options opts;
+    opts.max_instructions = budget;
+    expect_engines_identical(img, opts,
+                             ("budget " + std::to_string(budget)).c_str());
+  }
+  for (const std::uint64_t budget :
+       {full.retired / 7, full.retired / 3, full.retired / 2}) {
+    vm::Machine::Options opts;
+    opts.max_instructions = budget;
+    expect_engines_identical(img, opts,
+                             ("budget " + std::to_string(budget)).c_str());
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Shared predecoded images.
 
@@ -484,6 +753,27 @@ TEST(JitEngine, EnvScaledFuzzAcrossAllEngines) {
     expect_engines_identical(instrument::instrument_image(orig, ix, cfg), {},
                              "fuzz instrumented");
   }
+}
+
+TEST(JitEngine, NoRegallocFallbackIsBitIdentical) {
+  FPMIX_REQUIRE_JIT();
+  // FPMIX_JIT_NO_REGALLOC=1 compiles every block against the pinned arrays
+  // (no promotion, no fusion) -- the escape hatch and the CI fallback leg.
+  // The flag is read per compile_stream call, so toggling it here affects
+  // only the fresh images built inside the loop.
+  ASSERT_EQ(setenv("FPMIX_JIT_NO_REGALLOC", "1", 1), 0);
+  for (int seed = 0; seed < 3; ++seed) {
+    const lang::ProgramModel model =
+        random_model(0x90A1 + static_cast<std::uint64_t>(seed));
+    const program::Image img =
+        program::relayout(lang::compile(model, lang::Mode::kDouble));
+    expect_engines_identical(img, {}, "no-regalloc");
+    // Budget stops still hand tails to the interpreter correctly.
+    vm::Machine::Options opts;
+    opts.max_instructions = 500;
+    expect_engines_identical(img, opts, "no-regalloc budget");
+  }
+  ASSERT_EQ(unsetenv("FPMIX_JIT_NO_REGALLOC"), 0);
 }
 
 }  // namespace
